@@ -1,0 +1,56 @@
+"""E3 — §5 repeatability ≈ ±1 % of full scale.
+
+Workload: the same setpoint (100 cm/s) approached repeatedly, half the
+runs from below (40 cm/s) and half from above (200 cm/s), mimicking a
+valve operator re-establishing a test point.  Repeatability is the
+half-spread of the settled means over full scale.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import repeatability_pct_fs
+from repro.analysis.report import format_table
+from repro.station.profiles import staircase
+
+TARGET_CMPS = 100.0
+APPROACHES_CMPS = [40.0, 200.0, 40.0, 200.0]
+APPROACH_DWELL_S = 6.0
+# The 0.1 Hz output IIR cascaded with the line lag needs ~10 s to decay
+# below the noise floor; measure over the last quarter of a long dwell.
+TARGET_DWELL_S = 18.0
+
+
+def _run(setup):
+    means = []
+    for start in APPROACHES_CMPS:
+        profile = staircase([start], dwell_s=APPROACH_DWELL_S)
+        profile.append(profile.segments[0].__class__(
+            duration_s=TARGET_DWELL_S, speed_mps=TARGET_CMPS * 1e-2,
+            pressure_pa=2.0e5, temperature_k=288.15))
+        record = setup.rig.run(profile, record_every_n=100)
+        t0 = record.time_s[0]
+        window = record.steady_window(
+            t0 + APPROACH_DWELL_S + 0.75 * TARGET_DWELL_S,
+            t0 + APPROACH_DWELL_S + TARGET_DWELL_S)
+        means.append(float(np.mean(window.measured_mps)))
+    return means
+
+
+def test_e03_repeatability(benchmark, paper_setup):
+    means = benchmark.pedantic(lambda: _run(paper_setup),
+                               rounds=1, iterations=1)
+    rep = repeatability_pct_fs(np.array(means))
+    print()
+    rows = [(f"from {a:.0f} cm/s", m * 100.0)
+            for a, m in zip(APPROACHES_CMPS, means)]
+    rows.append(("repeatability [± % FS]", rep))
+    print(format_table(
+        ["approach", "settled mean [cm/s]"], rows,
+        title=f"E3 / §5 — repeatability at {TARGET_CMPS:.0f} cm/s "
+              "(paper: ≈ ±1 % FS)"))
+
+    # Paper shape: about ±1 % FS; allow up to ±2 % for the simulated rig,
+    # and require it to be a meaningful nonzero spread measurement.
+    assert 0.0 <= rep < 2.0
+    # All approaches land near the target (no hysteresis blow-up).
+    assert np.all(np.abs(np.array(means) - 1.0) < 0.12)

@@ -1,0 +1,41 @@
+"""E4 — §5: "The flow direction was clearly detected."
+
+Workload: a bidirectional staircase (forward levels then the same
+levels reversed).  The dual-heater asymmetry must claim the correct
+sign at every level once the line has settled, across the full speed
+range — including high speed, where the thermal wake is thinnest.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.station.profiles import bidirectional_staircase
+
+LEVELS_CMPS = [20.0, 80.0, 180.0, 250.0]
+DWELL_S = 8.0
+
+
+def _run(setup):
+    profile = bidirectional_staircase(LEVELS_CMPS, dwell_s=DWELL_S)
+    record = setup.rig.run(profile, record_every_n=100)
+    t0 = record.time_s[0]
+    rows = []
+    all_levels = LEVELS_CMPS + [-level for level in LEVELS_CMPS]
+    for i, level in enumerate(all_levels):
+        window = record.steady_window(t0 + i * DWELL_S + 0.6 * DWELL_S,
+                                      t0 + (i + 1) * DWELL_S)
+        claimed = int(np.median(window.direction))
+        rows.append((level, claimed, int(np.sign(level)),
+                     "ok" if claimed == np.sign(level) else "WRONG"))
+    return rows
+
+
+def test_e04_direction(benchmark, paper_setup):
+    rows = benchmark.pedantic(lambda: _run(paper_setup),
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["setpoint [cm/s]", "claimed direction", "true direction", "verdict"],
+        rows,
+        title="E4 / §5 — flow direction detection over ±(20-250) cm/s"))
+    assert all(r[3] == "ok" for r in rows)

@@ -1,0 +1,84 @@
+"""E6 — Fig. 8 + §5: CaCO3 deposits and their mitigation.
+
+Fig. 8 shows calcite scaling the heater region; §5 reports that the
+final design showed "no deposit of calcium carbonate" after months in
+the Tuscan line.  The deposit matters because its thermal resistance
+drifts the King's-law gain, which a stale calibration turns into flow
+error.
+
+Workload: 6 months in hard water at 30 cm/s, quasi-static (the loop is
+settled, then fouling integrates week by week), over a matrix of
+{passivation: bare-oxide / PECVD-nitride} x {drive: continuous /
+pulsed 30 %} x {overtemperature: 30 K / 5 K}.
+
+Shape criteria: scaling needs the hot wall (only the high-ΔT cases
+grow deposit), passivation and pulsing each cut it, and the paper's
+combination (nitride + pulsed + 5 K) stays clean for 6 months.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.physics.carbonate import TUSCAN_TAP_WATER
+from repro.sensor.fouling import FoulingConfig, FoulingModel
+
+SPEED_MPS = 0.30
+BULK_K = 288.15
+MONTHS = 6
+WEEK_S = 7 * 86_400.0
+
+CASES = [
+    ("bare oxide, continuous, ΔT=30 K", 1.00, 1.0, 30.0),
+    ("PECVD nitride, continuous, ΔT=30 K", 0.10, 1.0, 30.0),
+    ("PECVD nitride, pulsed 30 %, ΔT=30 K", 0.10, 0.3, 30.0),
+    ("PECVD nitride, pulsed 30 %, ΔT=5 K (paper)", 0.10, 0.3, 5.0),
+]
+
+
+def _grow(adhesion, duty, overtemp_k):
+    model = FoulingModel(FoulingConfig(adhesion_factor=adhesion))
+    wall_k = BULK_K + duty * overtemp_k  # time-averaged wall temperature
+    for _ in range(MONTHS * 4):
+        model.step(WEEK_S, TUSCAN_TAP_WATER, wall_k, BULK_K, SPEED_MPS)
+    return model
+
+
+def _gain_drift_pct(model, clean_g=5.0e-3, area=1.9e-8):
+    g_fouled = model.degrade_conductance(clean_g, area)
+    return (1.0 - g_fouled / clean_g) * 100.0
+
+
+def _run_all():
+    rows = []
+    for name, adhesion, duty, overtemp in CASES:
+        model = _grow(adhesion, duty, overtemp)
+        rows.append((name, model.thickness_m * 1e6,
+                     _gain_drift_pct(model)))
+    return rows
+
+
+def test_e06_fouling(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["configuration", f"deposit after {MONTHS} months [µm]",
+         "conductance (gain) drift [%]"],
+        rows,
+        title="E6 / fig. 8 — CaCO3 fouling matrix (hard Tuscan water, "
+              "30 cm/s)"))
+
+    thickness = {r[0]: r[1] for r in rows}
+    drift = {r[0]: r[2] for r in rows}
+    bare = thickness["bare oxide, continuous, ΔT=30 K"]
+    nitride = thickness["PECVD nitride, continuous, ΔT=30 K"]
+    pulsed = thickness["PECVD nitride, pulsed 30 %, ΔT=30 K"]
+    paper = thickness["PECVD nitride, pulsed 30 %, ΔT=5 K (paper)"]
+    # Fig. 8: an unprotected continuously hot surface scales visibly.
+    assert bare > 1.0  # micrometres
+    assert drift["bare oxide, continuous, ΔT=30 K"] > 2.0
+    # Passivation cuts it hard; pulsing cuts it further.
+    assert nitride < 0.3 * bare
+    assert pulsed < nitride
+    # §5: the deployed configuration shows "no deposit" after months.
+    assert paper < 0.01  # < 10 nm: no deposit at any practical level
+    assert drift["PECVD nitride, pulsed 30 %, ΔT=5 K (paper)"] < 0.05

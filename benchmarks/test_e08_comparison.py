@@ -1,0 +1,126 @@
+"""E8 — §5: comparison against commercial devices.
+
+"Compared to commercial devices, as for example magnetic system like
+Promag 50 (resolution lower than ±0.5% respect to full scale), this
+implementation features a slightly higher noise but dramatically
+reduces the cost of more than one order of magnitude ... achieves the
+same accuracy of the turbine wheel devices with cost reduction and
+improved reliability since no mechanical moving parts are exposed."
+
+Workload: the three meters read the same steady line at low/mid/high
+flow; the table reports each meter's ±3σ resolution (% FS), plus the
+deployment traits the paper argues from.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import FULL_SCALE_MPS, resolution_pct_fs
+from repro.analysis.report import format_table
+from repro.baselines.promag import Promag50
+from repro.baselines.turbine import TurbineMeter
+from repro.baselines.venturi import VenturiMeter
+
+SETPOINTS_CMPS = [25.0, 125.0, 250.0]
+WINDOW_S = 20.0
+MAF_COST_EUR = 150.0  # sensor + conditioning ASIC at volume (paper's pitch)
+
+
+def _meter_resolution(meter, v_mps, dt=1e-3):
+    for _ in range(int(5.0 / dt)):
+        meter.read(v_mps, dt)
+    readings = np.array([meter.read(v_mps, dt)
+                         for _ in range(int(WINDOW_S / dt))])
+    return resolution_pct_fs(readings)
+
+
+def _maf_resolution(setup, v_cmps):
+    line = setup.rig.line
+    monitor = setup.monitor
+    v = v_cmps * 1e-2
+    line.jump_to(v)
+    from repro.sensor.maf import FlowConditions
+    dt = monitor.platform.dt_s
+    for _ in range(int(8.0 / dt)):
+        state = line.step(dt, v)
+        monitor.step(line.conditions(state))
+    readings = []
+    for _ in range(int(WINDOW_S / dt)):
+        state = line.step(dt, v)
+        readings.append(monitor.step(line.conditions(state)).speed_mps)
+    return resolution_pct_fs(np.array(readings))
+
+
+def _meter_mean(meter, v_mps, seconds=10.0, dt=1e-3):
+    for _ in range(int(5.0 / dt)):
+        meter.read(v_mps, dt)
+    readings = [meter.read(v_mps, dt) for _ in range(int(seconds / dt))]
+    return float(np.mean(readings))
+
+
+def _run(setup):
+    promag = Promag50(seed=11)
+    turbine = TurbineMeter(seed=12)
+    venturi = VenturiMeter(seed=15)
+    rows = []
+    for v_cmps in SETPOINTS_CMPS:
+        v = v_cmps * 1e-2
+        rows.append((
+            v_cmps,
+            _maf_resolution(setup, v_cmps),
+            _meter_resolution(promag, v),
+            _meter_resolution(turbine, v),
+            _meter_resolution(venturi, v),
+        ))
+    # Accuracy stressors the turbine cannot dodge: low-flow stall and
+    # bearing wear (the MAF has no moving parts -> neither applies).
+    stall_err_pct = abs(_meter_mean(TurbineMeter(seed=13), 0.03) - 0.03) \
+        / FULL_SCALE_MPS * 100.0
+    worn = TurbineMeter(seed=14)
+    worn.age(17_500.0)  # ~2 years of continuous service
+    wear_err_pct = abs(_meter_mean(worn, 1.25) - 1.25) / FULL_SCALE_MPS * 100.0
+    return rows, stall_err_pct, wear_err_pct
+
+
+def test_e08_comparison(benchmark, paper_setup):
+    rows, stall_err_pct, wear_err_pct = benchmark.pedantic(
+        lambda: _run(paper_setup), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["speed [cm/s]", "MAF+ISIF [±% FS]", "Promag 50 [±% FS]",
+         "turbine [±% FS]", "venturi dP [±% FS]"],
+        rows,
+        title="E8 / §5 — resolution comparison (3σ, % of 250 cm/s FS)"))
+
+    promag_traits = Promag50().traits
+    turbine_traits = TurbineMeter().traits
+    trait_rows = [
+        ["cost [EUR]", MAF_COST_EUR, promag_traits.cost_eur,
+         turbine_traits.cost_eur],
+        ["moving parts", "no", "no", "yes"],
+        ["hot insertable", "yes", "no", "no"],
+        ["error at 3 cm/s (stall) [% FS]", "~0", "~0",
+         round(stall_err_pct, 2)],
+        ["error after 2 y wear [% FS]", "0 (no wear)", "~0",
+         round(wear_err_pct, 2)],
+    ]
+    print(format_table(
+        ["trait", "MAF+ISIF", "Promag 50", "turbine"], trait_rows,
+        title="deployment traits and accuracy stressors"))
+
+    maf_res = np.array([r[1] for r in rows])
+    promag_res = np.array([r[2] for r in rows])
+    venturi_res = np.array([r[4] for r in rows])
+    # Paper shape: MAF slightly noisier than the Promag...
+    assert np.all(maf_res > promag_res)
+    assert np.all(promag_res < 0.5)  # the Promag's class
+    # The intrusive dP meter's square-law turndown loses the paper's
+    # low-flow regime outright (its worst point is the MAF's best).
+    assert venturi_res[0] > maf_res[0]
+    # ...but its worst-case resolution stays within the turbine's
+    # worst-case *accuracy* once stall and wear are on the table —
+    # the paper's "same accuracy ... with improved reliability".
+    assert np.max(maf_res) < max(stall_err_pct, wear_err_pct) + 0.5
+    assert stall_err_pct > 1.0  # the turbine's dead zone is real
+    assert wear_err_pct > 1.0   # and so is its drift
+    # ...and more than an order of magnitude cheaper than the Promag.
+    assert promag_traits.cost_eur > 10.0 * MAF_COST_EUR

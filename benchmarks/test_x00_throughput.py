@@ -1,0 +1,49 @@
+"""X0 — simulator throughput (library performance, not a paper artefact).
+
+pytest-benchmark timing of the hot paths a user actually pays for:
+
+* one closed-loop tick (sensor + AFE + ADC + PI) with the behavioural
+  ADC — the default system-simulation cost;
+* the same tick with the bit-true ΣΔ + CIC chain (OSR 64) — the price
+  of structural ADC fidelity (the E13 trade);
+* one raw sensor step (physics only).
+
+These keep performance regressions visible: the E1-E12 benches assume
+thousands of ticks per wall-second.
+"""
+
+import pytest
+
+from repro.conditioning.cta import CTAController
+from repro.isif.platform import ISIFPlatform
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+
+COND = FlowConditions(speed_mps=1.0)
+
+
+def make_loop(bit_true):
+    sensor = MAFSensor(MAFConfig(seed=99))
+    platform = ISIFPlatform.for_anemometer(seed=99, bit_true_adc=bit_true)
+    controller = CTAController(sensor, platform)
+    controller.settle(COND, 0.1)
+    return controller
+
+
+def test_x00_loop_tick_behavioural(benchmark):
+    controller = make_loop(bit_true=False)
+    benchmark(lambda: controller.step(COND))
+    # > 1000 ticks/s keeps the system benches tractable.
+    assert benchmark.stats["mean"] < 1e-3
+
+
+def test_x00_loop_tick_bit_true(benchmark):
+    controller = make_loop(bit_true=True)
+    benchmark(lambda: controller.step(COND))
+    # The OSR-64 modulator costs real time but must stay usable.
+    assert benchmark.stats["mean"] < 20e-3
+
+
+def test_x00_sensor_step_physics_only(benchmark):
+    sensor = MAFSensor(MAFConfig(seed=98))
+    benchmark(lambda: sensor.step(1e-3, 2.0, 2.0, COND))
+    assert benchmark.stats["mean"] < 2e-4

@@ -1,0 +1,75 @@
+"""The die's automotive heritage: the same stack in its native air duct.
+
+§2: "This MAF (Mass Air Flow) sensor was originally designed for
+automotive but is also suitable for all applications of flow control of
+gaseous and fluid media."  This example runs the identical die,
+platform and firmware in air at the classic automotive overtemperature
+(ΔT = 40 K — fine in a gas, catastrophic in water per fig. 7), performs
+a mini calibration, and contrasts the two media side by side.
+
+Run:  python examples/automotive_air_heritage.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.conditioning.cta import CTAConfig, CTAController
+from repro.isif.platform import ISIFPlatform
+from repro.physics import air
+from repro.physics.convection import WireGeometry, derive_kings_coefficients
+from repro.physics.kings_law import fit_kings_law
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+
+AIR_SPEEDS_MPS = [1.0, 3.0, 6.0, 10.0, 15.0]  # duct velocities
+AIR_T = 293.15
+
+
+def main() -> None:
+    print("Closing the CTA loop in AIR at ΔT = 40 K ...")
+    sensor = MAFSensor(MAFConfig(seed=30, medium="air"))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=30),
+                               CTAConfig(overtemperature_k=40.0))
+
+    points = []
+    for v in AIR_SPEEDS_MPS:
+        cond = FlowConditions(speed_mps=v, temperature_k=AIR_T,
+                              pressure_pa=0.0)
+        tel = controller.settle(cond, 1.5)
+        g = controller.conductance_from_supplies(tel.supply_a_v,
+                                                 tel.supply_b_v)
+        points.append((v, g, tel.supply_a_v,
+                       tel.readout.heater_a_power_w))
+    law = fit_kings_law(np.array([p[0] for p in points]),
+                        np.array([p[1] for p in points]), exponent=0.5)
+
+    rows = [(v, round(u, 3), round(p * 1e3, 2), round(g * 1e6, 1))
+            for v, g, u, p in points]
+    print()
+    print(format_table(
+        ["air speed [m/s]", "supply [V]", "heater power [mW]", "G [µW/K]"],
+        rows, title="MAF in its native medium (ΔT = 40 K, 20 °C air)"))
+    print(f"fitted King's law (air): A = {law.coeff_a * 1e6:.1f} µW/K, "
+          f"B = {law.coeff_b * 1e6:.1f} µW/K (m/s)^-0.5")
+
+    # Contrast with water at the physics level.
+    a_air, b_air, _ = derive_kings_coefficients(WireGeometry(), 313.15,
+                                                medium=air)
+    from repro.physics import water
+    a_w, b_w, _ = derive_kings_coefficients(WireGeometry(), 290.65,
+                                            medium=water)
+    print()
+    print(format_table(
+        ["medium", "A [µW/K]", "B [µW/K (m/s)^-0.5]", "typical ΔT [K]",
+         "range [m/s]"],
+        [["air (automotive)", round(a_air * 1e6, 1), round(b_air * 1e6, 1),
+          40, "0-20"],
+         ["water (this paper)", round(a_w * 1e6, 1), round(b_w * 1e6, 1),
+          5, "0-2.5"]],
+        title="Why water operation needed rework (§2/§4)"))
+    print("\nWater conducts ~2 orders of magnitude harder: same die, but "
+          "reduced overtemperature,\npulsed drive, backside fill and "
+          "water-proof packaging — the subject of the paper.")
+
+
+if __name__ == "__main__":
+    main()

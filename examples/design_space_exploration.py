@@ -1,0 +1,68 @@
+"""Design-space exploration on the ISIF platform (§3 methodology).
+
+ISIF exists to let a designer sweep analog settings and digital IP
+configurations against a live sensor before committing to silicon.
+This example explores AFE gain x channel LPF corner for the MAF
+anemometer, scoring each configuration by conductance noise (the
+resolution proxy) and LEON load, and prints the preferred corner.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep
+from repro.conditioning.cta import CTAConfig, CTAController
+from repro.isif.platform import ISIFPlatform
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+
+CONDITIONS = FlowConditions(speed_mps=1.0)
+
+
+def evaluate(gain_index, lpf_hz):
+    """Close the loop in one configuration; return its scorecard."""
+    sensor = MAFSensor(MAFConfig(seed=66, enable_bubbles=False,
+                                 enable_fouling=False))
+    platform = ISIFPlatform.for_anemometer(
+        gain_index=gain_index, digital_lpf_cutoff_hz=lpf_hz, seed=66)
+    controller = CTAController(sensor, platform, CTAConfig())
+    controller.settle(CONDITIONS, 0.6)
+    g = []
+    for _ in range(1000):
+        tel = controller.step(CONDITIONS)
+        g.append(controller.conductance_from_supplies(
+            tel.supply_a_v, tel.supply_b_v))
+    g = np.array(g)
+    return {
+        "noise_pct": float(np.std(g) / np.mean(g)) * 100.0,
+        "cpu_util_pct": platform.scheduler.utilization() * 100.0,
+    }
+
+
+def main() -> None:
+    grid = {"gain_index": [0, 2, 4, 6], "lpf_hz": [10.0, 50.0, 200.0]}
+    total = len(grid["gain_index"]) * len(grid["lpf_hz"])
+    print(f"Exploring {total} configurations ...")
+    results = sweep(grid, evaluate)
+
+    rows = [(r.params["gain_index"], r.params["lpf_hz"],
+             round(r.metrics["noise_pct"], 4),
+             round(r.metrics["cpu_util_pct"], 2))
+            for r in results]
+    print()
+    print(format_table(
+        ["AFE gain index", "LPF corner [Hz]", "G noise [% rms]",
+         "LEON util [%]"],
+        rows, title="Design-space exploration (MAF anemometer channel)"))
+
+    best = min(results, key=lambda r: r.metrics["noise_pct"])
+    print(f"\nPreferred corner: gain index {best.params['gain_index']}, "
+          f"LPF {best.params['lpf_hz']:.0f} Hz "
+          f"({best.metrics['noise_pct']:.4f} % rms conductance noise)")
+    print("In the platform flow, this configuration would now be frozen "
+          "into the dedicated ASIC (paper §7).")
+
+
+if __name__ == "__main__":
+    main()

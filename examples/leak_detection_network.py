@@ -1,0 +1,73 @@
+"""Distribution-network leak detection (the paper's §6 vision).
+
+"The presented measurement system ... can be widely diffused all over
+the water distribution channels: allowing also any malfunction behavior
+(e.g. water loss in tube) ... to be immediately localized and isolated."
+
+Three calibrated monitoring points bound two pipe segments.  Midway
+through the run a leak opens in the second segment; the CUSUM balance
+detector localises it.  To keep the example quick, the meters report
+once per second from steady sub-runs of the full simulation.
+
+Run:  python examples/leak_detection_network.py
+"""
+
+import numpy as np
+
+from repro import FlowConditions, LeakDetector, NetworkSegmentMonitor, build_calibrated_monitor
+
+SNAPSHOTS = 120          # one per "second" of network time
+LEAK_STARTS_AT = 60      # snapshot index when the pipe starts losing water
+LINE_SPEED_MPS = 1.0
+LEAK_LOSS_MPS = 0.06     # 6 cm/s of speed equivalent lost in segment B
+
+
+def main() -> None:
+    print("Calibrating three monitoring points (A, B, C) ...")
+    meters = [build_calibrated_monitor(seed=s, fast=True,
+                                       use_pulsed_drive=False).monitor
+              for s in (11, 22, 33)]
+
+    detector = LeakDetector()
+    detector.add_segment(NetworkSegmentMonitor("segment A-B",
+                                               threshold_mps_s=1.5))
+    detector.add_segment(NetworkSegmentMonitor("segment B-C",
+                                               threshold_mps_s=1.5))
+
+    print("Monitoring the network (leak opens in segment B-C at "
+          f"t = {LEAK_STARTS_AT} s) ...")
+    # Settle all meters at the working point first.
+    for meter, v in zip(meters, (LINE_SPEED_MPS,) * 3):
+        meter.measure(FlowConditions(speed_mps=v), 10.0)
+
+    detected = None
+    for t in range(SNAPSHOTS):
+        leaking = t >= LEAK_STARTS_AT
+        v_a = LINE_SPEED_MPS
+        v_b = LINE_SPEED_MPS
+        v_c = LINE_SPEED_MPS - (LEAK_LOSS_MPS if leaking else 0.0)
+        readings = []
+        for meter, v in zip(meters, (v_a, v_b, v_c)):
+            m = meter.measure(FlowConditions(speed_mps=v), 0.2)
+            readings.append(m.speed_mps)
+        events = detector.update({
+            "segment A-B": (readings[0], readings[1]),
+            "segment B-C": (readings[1], readings[2]),
+        }, dt_s=1.0)
+        if events and detected is None:
+            detected = (t, events[0])
+            break
+
+    if detected is None:
+        print("No leak detected (unexpected).")
+        return
+    t_detect, event = detected
+    print(f"\nLEAK ALARM at t = {t_detect} s "
+          f"({t_detect - LEAK_STARTS_AT} s after onset)")
+    print(f"  localised to : {event.segment}")
+    print(f"  estimated loss: {event.estimated_loss_mps * 100:.1f} cm/s "
+          f"(injected: {LEAK_LOSS_MPS * 100:.1f} cm/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Fleet-scale sensor health: catching fouling before it bites.
+
+§5 could verify the sensor surface by taking it out and looking; a
+diffused fleet (§6) cannot.  This example runs a monitoring point
+through months of accelerated service in hard water with a *bad*
+surface configuration (high overtemperature + bare-oxide adhesion, the
+fig. 8 regime), and shows the zero-flow drift monitor raising DEGRADED
+and then FAULT from night-window data alone — before the daytime flow
+readings silently drift out of spec.
+
+Run:  python examples/sensor_health_diagnostics.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.conditioning.diagnostics import HealthStatus, ZeroFlowDriftMonitor
+from repro.sensor.fouling import FoulingConfig, FoulingModel
+from repro.station.scenarios import build_calibrated_monitor
+
+WEEK_S = 7 * 86_400.0
+MONTHS = 6
+OVERTEMP_K = 30.0     # air-style setting: the fouling-prone regime
+BULK_K = 288.15
+SPEED_MPS = 0.3
+
+
+def main() -> None:
+    print("Calibrating the monitoring point ...")
+    setup = build_calibrated_monitor(seed=31, fast=True,
+                                     use_pulsed_drive=False)
+    cal = setup.calibration
+    monitor = ZeroFlowDriftMonitor(cal, ewma_alpha=0.3)
+
+    # Accelerated service: a fouling-prone surface in the fig. 8 regime.
+    fouling = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    area = setup.monitor.sensor.wetted_area_m2()
+
+    print(f"\nSimulating {MONTHS} months of service "
+          f"(ΔT={OVERTEMP_K:.0f} K, bare-oxide surface, hard water):\n")
+    rows = []
+    rng = np.random.default_rng(0)
+    from repro.physics.carbonate import TUSCAN_TAP_WATER
+    for week in range(MONTHS * 4):
+        fouling.step(WEEK_S, TUSCAN_TAP_WATER, BULK_K + OVERTEMP_K,
+                     BULK_K, SPEED_MPS)
+        # Nightly zero-flow check: the measured A coefficient through
+        # the (fouled) surface, with realistic measurement scatter.
+        g_zero = fouling.degrade_conductance(cal.law.coeff_a, area)
+        for _ in range(20):
+            monitor.update(g_zero * (1.0 + 0.005 * rng.normal()))
+        if week % 4 == 3:
+            rows.append((
+                f"month {week // 4 + 1}",
+                round(fouling.thickness_m * 1e6, 2),
+                round(monitor.drift_fraction() * 100.0, 2),
+                monitor.status().value,
+            ))
+    print(format_table(
+        ["service time", "deposit [µm]", "zero-flow drift [%]",
+         "diagnostic verdict"],
+        rows, title="Night-window drift diagnostics (fig. 8 regime)"))
+
+    final = monitor.status()
+    print(f"\nFinal verdict: {final.value.upper()}")
+    if final is not HealthStatus.HEALTHY:
+        print("The fleet management system would now schedule this head "
+              "for a purge cycle or replacement — without a site visit.")
+    print("\n(The paper's deployed configuration — PECVD passivation, "
+          "pulsed drive, ΔT=5 K — stays HEALTHY indefinitely; see bench E6.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline CI).
+
+`pip install -e .` uses pyproject.toml metadata; this file only enables
+the legacy `python setup.py develop` fallback.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""anemos -- reproduction of "Hot Wire Anemometric MEMS Sensor for Water
+Flow Monitoring" (DATE 2008).
+
+Layers (bottom up):
+
+* :mod:`repro.physics` -- water properties, convection/King's law,
+  thermal RC networks, turbulence, carbonate chemistry;
+* :mod:`repro.sensor` -- the MEMS MAF die: resistors, membrane, bridges,
+  bubbles, fouling, housing;
+* :mod:`repro.isif` -- the ISIF platform SoC: AFE, sigma-delta ADC,
+  DACs, fixed-point DSP IPs, scheduler, power model;
+* :mod:`repro.conditioning` -- the paper's contribution: constant-
+  temperature loop, pulsed drive, calibration, flow/direction
+  estimation, leak detection;
+* :mod:`repro.baselines` -- Promag 50 and turbine-wheel comparators;
+* :mod:`repro.station` -- the simulated Vinci test line and rig;
+* :mod:`repro.analysis` -- section-5 metrics and sweep/report helpers.
+
+Quick start::
+
+    from repro import build_calibrated_monitor, hold
+
+    setup = build_calibrated_monitor(seed=1)
+    record = setup.rig.run(hold(speed_cmps=120.0, duration_s=20.0))
+    print(record.measured_mps[-1] * 100.0, "cm/s")
+"""
+
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    CalibrationError,
+    SaturationError,
+    ConvergenceError,
+    RegisterError,
+    SensorFault,
+)
+from repro.physics.kings_law import KingsLaw, fit_kings_law
+from repro.sensor.maf import MAFSensor, MAFConfig, FlowConditions
+from repro.isif.platform import ISIFPlatform
+from repro.conditioning.cta import CTAController, CTAConfig
+from repro.conditioning.monitor import WaterFlowMonitor, FlowMeasurement, MonitorConfig
+from repro.conditioning.calibration import FlowCalibration
+from repro.conditioning.drive import ContinuousDrive, PulsedDrive
+from repro.conditioning.leak_detect import LeakDetector, NetworkSegmentMonitor
+from repro.baselines.promag import Promag50
+from repro.baselines.turbine import TurbineMeter
+from repro.station.scenarios import build_calibrated_monitor, CalibratedSetup, vinci_station
+from repro.station.profiles import hold, staircase, ramp, step, bidirectional_staircase, pressure_peaks
+from repro.station.rig import TestRig, run_calibration
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CalibrationError",
+    "SaturationError",
+    "ConvergenceError",
+    "RegisterError",
+    "SensorFault",
+    "KingsLaw",
+    "fit_kings_law",
+    "MAFSensor",
+    "MAFConfig",
+    "FlowConditions",
+    "ISIFPlatform",
+    "CTAController",
+    "CTAConfig",
+    "WaterFlowMonitor",
+    "FlowMeasurement",
+    "MonitorConfig",
+    "FlowCalibration",
+    "ContinuousDrive",
+    "PulsedDrive",
+    "LeakDetector",
+    "NetworkSegmentMonitor",
+    "Promag50",
+    "TurbineMeter",
+    "build_calibrated_monitor",
+    "CalibratedSetup",
+    "vinci_station",
+    "hold",
+    "staircase",
+    "ramp",
+    "step",
+    "bidirectional_staircase",
+    "pressure_peaks",
+    "TestRig",
+    "run_calibration",
+    "__version__",
+]

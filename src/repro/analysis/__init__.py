@@ -1,0 +1,42 @@
+"""Measurement analysis: the metrics the paper's §5 reports.
+
+Resolution (±3σ in cm/s and % of full scale), repeatability, accuracy
+against the reference, step response time, plus sweep and ASCII-table
+helpers used by the benches.
+"""
+
+from repro.analysis.metrics import (
+    resolution_3sigma,
+    resolution_pct_fs,
+    repeatability_pct_fs,
+    accuracy_rms,
+    settling_time_s,
+    FULL_SCALE_MPS,
+)
+from repro.analysis.sweep import sweep, SweepResult
+from repro.analysis.report import format_table
+from repro.analysis.adc_metrics import sine_test, SineTestResult
+from repro.analysis.uncertainty import fit_kings_law_with_covariance, speed_uncertainty, error_budget, FitCovariance
+from repro.analysis.psd import welch_psd, white_floor, flicker_corner_hz, PsdResult
+
+__all__ = [
+    "resolution_3sigma",
+    "resolution_pct_fs",
+    "repeatability_pct_fs",
+    "accuracy_rms",
+    "settling_time_s",
+    "FULL_SCALE_MPS",
+    "sweep",
+    "SweepResult",
+    "format_table",
+    "sine_test",
+    "SineTestResult",
+    "fit_kings_law_with_covariance",
+    "speed_uncertainty",
+    "error_budget",
+    "FitCovariance",
+    "welch_psd",
+    "white_floor",
+    "flicker_corner_hz",
+    "PsdResult",
+]

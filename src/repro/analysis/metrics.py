@@ -1,0 +1,98 @@
+"""Metric definitions matching §5 of the paper.
+
+The paper reports, over a 0-250 cm/s full scale:
+
+* resolution ±0.75 cm/s … ±4 cm/s (±0.35 % … ±1.76 % FS) — we read
+  "resolution" as the ±3σ band of the filtered output at steady flow;
+* repeatability ≈ ±1 % FS — the spread of steady-state means when the
+  same setpoint is approached repeatedly;
+* comparison accuracy against the Promag 50 reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FULL_SCALE_MPS",
+    "resolution_3sigma",
+    "resolution_pct_fs",
+    "repeatability_pct_fs",
+    "accuracy_rms",
+    "settling_time_s",
+]
+
+#: The paper's full scale: 250 cm/s.
+FULL_SCALE_MPS = 2.5
+
+
+def _require_samples(x: np.ndarray, minimum: int) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1 or arr.size < minimum:
+        raise ConfigurationError(f"need a 1-D array of >= {minimum} samples")
+    return arr
+
+
+def resolution_3sigma(readings_mps: np.ndarray) -> float:
+    """±3σ resolution [m/s] of a steady-state reading sequence."""
+    arr = _require_samples(readings_mps, 10)
+    return float(3.0 * np.std(arr))
+
+
+def resolution_pct_fs(readings_mps: np.ndarray,
+                      full_scale_mps: float = FULL_SCALE_MPS) -> float:
+    """±3σ resolution as percent of full scale (the paper's unit)."""
+    if full_scale_mps <= 0.0:
+        raise ConfigurationError("full scale must be positive")
+    return resolution_3sigma(readings_mps) / full_scale_mps * 100.0
+
+
+def repeatability_pct_fs(run_means_mps: np.ndarray,
+                         full_scale_mps: float = FULL_SCALE_MPS) -> float:
+    """Half-spread of repeated steady-state means, % FS.
+
+    ``run_means_mps`` holds the mean reading of each repeated approach
+    to the same setpoint; repeatability is ±(max-min)/2 over FS.
+    """
+    arr = _require_samples(run_means_mps, 2)
+    if full_scale_mps <= 0.0:
+        raise ConfigurationError("full scale must be positive")
+    return float((np.max(arr) - np.min(arr)) / 2.0 / full_scale_mps * 100.0)
+
+
+def accuracy_rms(measured_mps: np.ndarray, reference_mps: np.ndarray) -> float:
+    """RMS deviation of the sensor from the reference [m/s]."""
+    m = _require_samples(measured_mps, 2)
+    r = _require_samples(reference_mps, 2)
+    if m.shape != r.shape:
+        raise ConfigurationError("measured and reference must align")
+    return float(np.sqrt(np.mean((m - r) ** 2)))
+
+
+def settling_time_s(time_s: np.ndarray, readings: np.ndarray,
+                    final_value: float, band_fraction: float = 0.05) -> float:
+    """Time after which readings stay within ±band of the final value.
+
+    Raises
+    ------
+    ConfigurationError
+        If the signal never enters (and stays in) the band.
+    """
+    t = _require_samples(time_s, 2)
+    x = _require_samples(readings, 2)
+    if t.shape != x.shape:
+        raise ConfigurationError("time and readings must align")
+    if not 0.0 < band_fraction < 1.0:
+        raise ConfigurationError("band fraction must be in (0, 1)")
+    band = band_fraction * max(abs(final_value), 1e-12)
+    inside = np.abs(x - final_value) <= band
+    # Last sample outside the band defines settling.
+    outside_idx = np.nonzero(~inside)[0]
+    if outside_idx.size == 0:
+        return float(t[0])
+    last_outside = outside_idx[-1]
+    if last_outside == len(t) - 1:
+        raise ConfigurationError("signal has not settled within the record")
+    return float(t[last_outside + 1] - t[0])

@@ -1,0 +1,120 @@
+"""Power-spectral-density estimation and noise-corner identification.
+
+Thin, tested wrapper over Welch's method plus the two fits the analog
+validation actually needs:
+
+* the white-noise floor of a record (median of the high band, robust to
+  spurs);
+* the 1/f corner: where the low-frequency PSD crosses twice the floor.
+
+Used by the AFE/output-filter tests to verify the noise model produces
+the spectra it claims, and available to users for their own records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PsdResult", "welch_psd", "white_floor", "flicker_corner_hz"]
+
+
+@dataclass(frozen=True)
+class PsdResult:
+    """One-sided PSD estimate.
+
+    Attributes
+    ----------
+    frequencies_hz:
+        Bin centres.
+    psd:
+        Power spectral density [unit²/Hz].
+    """
+
+    frequencies_hz: np.ndarray
+    psd: np.ndarray
+
+    def band_power(self, f_lo: float, f_hi: float) -> float:
+        """Integrated power in [f_lo, f_hi] [unit²]."""
+        if not 0.0 <= f_lo < f_hi:
+            raise ConfigurationError("need 0 <= f_lo < f_hi")
+        mask = (self.frequencies_hz >= f_lo) & (self.frequencies_hz <= f_hi)
+        if not np.any(mask):
+            raise ConfigurationError("no PSD bins inside the band")
+        return float(np.trapezoid(self.psd[mask], self.frequencies_hz[mask]))
+
+
+def welch_psd(samples: np.ndarray, sample_rate_hz: float,
+              segments: int = 8) -> PsdResult:
+    """Welch PSD with Hann windows and 50 % overlap.
+
+    Raises
+    ------
+    ConfigurationError
+        For records too short to give ``segments`` segments.
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.ndim != 1 or x.size < 64:
+        raise ConfigurationError("need a 1-D record of >= 64 samples")
+    if sample_rate_hz <= 0.0 or segments < 1:
+        raise ConfigurationError("rate and segments must be positive")
+    nperseg = int(2 ** np.floor(np.log2(2 * x.size / (segments + 1))))
+    if nperseg < 16:
+        raise ConfigurationError("record too short for the segment count")
+    f, p = signal.welch(x - np.mean(x), fs=sample_rate_hz, nperseg=nperseg)
+    return PsdResult(frequencies_hz=f, psd=p)
+
+
+def white_floor(result: PsdResult, band_fraction: float = 0.5) -> float:
+    """White-noise floor [unit²/Hz]: median PSD of the top band.
+
+    The median is robust against isolated spurs (DDS images, idle
+    tones); ``band_fraction`` selects how much of the upper spectrum is
+    considered 'high band'.
+    """
+    if not 0.0 < band_fraction < 1.0:
+        raise ConfigurationError("band fraction must be in (0, 1)")
+    n = result.frequencies_hz.size
+    start = int(n * (1.0 - band_fraction))
+    return float(np.median(result.psd[start:]))
+
+
+def flicker_corner_hz(result: PsdResult, floor: float | None = None,
+                      smooth_bins: int = 9) -> float:
+    """Frequency where the (smoothed) PSD falls to 2x the white floor.
+
+    The raw Welch bins fluctuate by tens of percent, so the PSD is
+    median-smoothed first and the corner is the first frequency above
+    which the smoothed spectrum stays at the floor.  Returns 0.0 when
+    the record shows no low-frequency excess at all — a meaningful
+    outcome, not an error.
+    """
+    floor = white_floor(result) if floor is None else floor
+    if floor <= 0.0:
+        raise ConfigurationError("floor must be positive")
+    if smooth_bins < 1 or smooth_bins % 2 == 0:
+        raise ConfigurationError("smooth_bins must be odd and >= 1")
+    psd = result.psd
+    half = smooth_bins // 2
+    smoothed = np.array([
+        np.median(psd[max(i - half, 0):i + half + 1])
+        for i in range(psd.size)
+    ])
+    above = smoothed > 2.0 * floor
+    above[0] = False  # DC bin
+    idx = np.nonzero(above)[0]
+    if idx.size == 0:
+        return 0.0
+    # The corner is the end of the *contiguous* low-frequency excess,
+    # not a stray high-frequency fluctuation.
+    run_end = idx[0]
+    for i in idx[1:]:
+        if i == run_end + 1:
+            run_end = i
+        else:
+            break
+    return float(result.frequencies_hz[run_end])

@@ -1,0 +1,63 @@
+"""ASCII table formatting for bench output.
+
+Benches print the rows/series the paper reports; this keeps them
+uniform and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_table"]
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000.0 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row data; every row must match the header length.
+    title:
+        Optional caption printed above the table.
+    """
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match {len(headers)} headers")
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append("| " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append(sep)
+    for row in rendered:
+        lines.append("| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |")
+    lines.append(sep)
+    return "\n".join(lines)

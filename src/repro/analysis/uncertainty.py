@@ -1,0 +1,144 @@
+"""Analytic error budget of the flow measurement.
+
+E2 measures the resolution empirically; this module predicts it from
+first principles by propagating the two dominant error sources through
+the King's-law inversion with the delta method:
+
+* **conductance noise** sigma_G — loop/ADC/turbulence noise on the
+  measured G, band-limited by the output filter;
+* **calibration uncertainty** — the covariance of the fitted (A, B)
+  from the least-squares campaign.
+
+Since v = ((G - A)/B)^(1/n),
+
+    dv/dG =  1 / (n B x^(n-1)),      x = ((G-A)/B)^(1/n) = v
+    dv/dA = -dv/dG
+    dv/dB = -v / (n B)
+
+so  sigma_v^2 = (dv/dG)^2 sigma_G^2
+              + [dv/dA, dv/dB] C [dv/dA, dv/dB]^T.
+
+The 1/x^(n-1) factor *is* the King-law compression: with n = 0.5 the
+sensitivity dv/dG grows like sqrt(v), which is exactly why the paper's
+worst resolution (±4 cm/s) sits at the top of the range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.physics.kings_law import KingsLaw
+
+__all__ = ["FitCovariance", "fit_kings_law_with_covariance",
+           "speed_uncertainty", "error_budget"]
+
+
+@dataclass(frozen=True)
+class FitCovariance:
+    """A fitted King's law plus the (A, B) covariance of the fit.
+
+    Attributes
+    ----------
+    law:
+        The fitted model (exponent held fixed during the fit).
+    covariance:
+        2x2 covariance matrix of (A, B) from the least-squares normal
+        equations, scaled by the residual variance.
+    """
+
+    law: KingsLaw
+    covariance: np.ndarray
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.covariance, dtype=float)
+        if c.shape != (2, 2):
+            raise ConfigurationError("covariance must be 2x2")
+
+
+def fit_kings_law_with_covariance(
+        speeds_mps: np.ndarray,
+        conductances_w_per_k: np.ndarray,
+        exponent: float = 0.5) -> FitCovariance:
+    """Least-squares fit of (A, B) with its covariance.
+
+    Raises
+    ------
+    CalibrationError
+        On degenerate campaigns (as the plain fit) or non-physical
+        coefficients.
+    """
+    v = np.abs(np.asarray(speeds_mps, dtype=float))
+    g = np.asarray(conductances_w_per_k, dtype=float)
+    if v.shape != g.shape or v.size < 4:
+        raise CalibrationError("need >= 4 aligned calibration points")
+    basis = np.column_stack([np.ones_like(v), v**exponent])
+    coeffs, residual, rank, _ = np.linalg.lstsq(basis, g, rcond=None)
+    if rank < 2:
+        raise CalibrationError("degenerate calibration design matrix")
+    dof = v.size - 2
+    if residual.size:
+        s2 = float(residual[0]) / max(dof, 1)
+    else:
+        s2 = float(np.sum((basis @ coeffs - g) ** 2)) / max(dof, 1)
+    cov = s2 * np.linalg.inv(basis.T @ basis)
+    law = KingsLaw(float(coeffs[0]), float(coeffs[1]), exponent)
+    return FitCovariance(law=law, covariance=cov)
+
+
+def speed_uncertainty(fit: FitCovariance, speed_mps: float,
+                      conductance_noise_w_per_k: float) -> float:
+    """1σ speed uncertainty [m/s] at an operating point.
+
+    Parameters
+    ----------
+    fit:
+        Calibration with covariance.
+    speed_mps:
+        Operating point (used to evaluate the sensitivities).
+    conductance_noise_w_per_k:
+        1σ of the measured conductance in the output bandwidth.
+    """
+    if speed_mps < 0.0 or conductance_noise_w_per_k < 0.0:
+        raise ConfigurationError("speed and noise must be non-negative")
+    law = fit.law
+    n, b = law.exponent, law.coeff_b
+    v = max(speed_mps, 1e-4)
+    dv_dg = 1.0 / (n * b * v ** (n - 1.0))
+    dv_da = -dv_dg
+    dv_db = -v / (n * b)
+    grad = np.array([dv_da, dv_db])
+    var = (dv_dg * conductance_noise_w_per_k) ** 2 \
+        + float(grad @ fit.covariance @ grad)
+    return float(np.sqrt(var))
+
+
+def error_budget(fit: FitCovariance, speeds_mps: np.ndarray,
+                 conductance_noise_w_per_k: float,
+                 full_scale_mps: float = 2.5) -> list[dict[str, float]]:
+    """Per-setpoint error budget table (the analytic twin of E2).
+
+    Returns a list of dicts with the noise and calibration contributions
+    and the total ±3σ resolution, in cm/s and % of full scale.
+    """
+    if full_scale_mps <= 0.0:
+        raise ConfigurationError("full scale must be positive")
+    rows = []
+    law = fit.law
+    for v in np.asarray(speeds_mps, dtype=float):
+        v_eval = max(float(v), 1e-4)
+        dv_dg = 1.0 / (law.exponent * law.coeff_b
+                       * v_eval ** (law.exponent - 1.0))
+        noise_part = abs(dv_dg) * conductance_noise_w_per_k
+        total = speed_uncertainty(fit, float(v), conductance_noise_w_per_k)
+        cal_part = float(np.sqrt(max(total**2 - noise_part**2, 0.0)))
+        rows.append({
+            "speed_cmps": float(v) * 100.0,
+            "noise_3sigma_cmps": 3.0 * noise_part * 100.0,
+            "calibration_3sigma_cmps": 3.0 * cal_part * 100.0,
+            "total_3sigma_cmps": 3.0 * total * 100.0,
+            "total_pct_fs": 3.0 * total / full_scale_mps * 100.0,
+        })
+    return rows

@@ -1,0 +1,15 @@
+"""Comparator flow meters from the paper's results discussion.
+
+The Endress+Hauser Promag 50 magnetic meter (the calibration reference,
+"resolution lower than ±0.5% respect to full scale") and a turbine-wheel
+meter (the paper claims cost/reliability parity-or-better: "the same
+accuracy of the turbine wheel devices with cost reduction and improved
+reliability since no mechanical moving parts are exposed in water").
+"""
+
+from repro.baselines.base import FlowMeter, MeterTraits
+from repro.baselines.promag import Promag50
+from repro.baselines.turbine import TurbineMeter
+from repro.baselines.venturi import VenturiMeter
+
+__all__ = ["FlowMeter", "MeterTraits", "Promag50", "TurbineMeter", "VenturiMeter"]

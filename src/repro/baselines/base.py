@@ -1,0 +1,53 @@
+"""Common interface for comparator flow meters."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MeterTraits", "FlowMeter"]
+
+
+@dataclass(frozen=True)
+class MeterTraits:
+    """Deployment-relevant properties surfaced by the comparison bench.
+
+    Attributes
+    ----------
+    name:
+        Device name.
+    cost_eur:
+        Approximate unit cost (order-of-magnitude comparisons only —
+        the paper claims "more than one order of magnitude" reduction).
+    has_moving_parts:
+        Mechanical wear parts exposed to water.
+    intrusive:
+        Perturbs the flow / causes pressure loss.
+    hot_insertable:
+        Can be mounted without stopping the line.
+    """
+
+    name: str
+    cost_eur: float
+    has_moving_parts: bool
+    intrusive: bool
+    hot_insertable: bool
+
+    def __post_init__(self) -> None:
+        if self.cost_eur <= 0.0:
+            raise ConfigurationError("cost must be positive")
+
+
+class FlowMeter(ABC):
+    """A device that turns the true line speed into a reading."""
+
+    traits: MeterTraits
+
+    @abstractmethod
+    def read(self, true_speed_mps: float, dt_s: float) -> float:
+        """Advance internal dynamics by ``dt_s`` and return a reading [m/s]."""
+
+    def reset(self) -> None:
+        """Return to power-on state (default: nothing to do)."""

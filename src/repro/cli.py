@@ -1,0 +1,186 @@
+"""Command-line interface: drive the simulated instrument end to end.
+
+    python -m repro selftest
+    python -m repro calibrate --out cal.json [--seed N] [--fast]
+    python -m repro measure --cal cal.json --speed-cmps 120 [--duration 10]
+    python -m repro sweep --cal cal.json --levels 0,50,100,250
+
+The CLI mirrors how a bench operator would use the real instrument:
+power-on self-test, a calibration campaign against the reference meter
+(saved as a JSON EEPROM image), then measurements against the stored
+calibration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.conditioning.calibration import FlowCalibration
+from repro.conditioning.monitor import MonitorConfig, WaterFlowMonitor
+from repro.errors import ReproError
+from repro.isif.platform import ISIFPlatform
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+from repro.station.scenarios import build_calibrated_monitor
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hot-wire MEMS water-flow monitor (DATE 2008) simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("selftest", help="ISIF platform power-on self-test")
+
+    cal = sub.add_parser("calibrate",
+                         help="run the calibration campaign, save JSON image")
+    cal.add_argument("--out", type=Path, required=True,
+                     help="output JSON path")
+    cal.add_argument("--seed", type=int, default=42, help="die/noise seed")
+    cal.add_argument("--fast", action="store_true",
+                     help="short settle windows (demo quality)")
+
+    meas = sub.add_parser("measure",
+                          help="measure a steady line with a stored calibration")
+    meas.add_argument("--cal", type=Path, required=True,
+                      help="calibration JSON from 'calibrate'")
+    meas.add_argument("--speed-cmps", type=float, required=True,
+                      help="true line speed to simulate [cm/s]")
+    meas.add_argument("--duration", type=float, default=10.0,
+                      help="measurement duration [s]")
+    meas.add_argument("--seed", type=int, default=42, help="die/noise seed")
+
+    swp = sub.add_parser("sweep", help="measure a list of speed levels")
+    swp.add_argument("--cal", type=Path, required=True)
+    swp.add_argument("--levels", type=str, required=True,
+                     help="comma-separated speeds [cm/s]")
+    swp.add_argument("--dwell", type=float, default=8.0,
+                     help="seconds per level")
+    swp.add_argument("--seed", type=int, default=42)
+
+    rec = sub.add_parser("record",
+                         help="run a staircase campaign, save traces (.npz)")
+    rec.add_argument("--out", type=Path, required=True,
+                     help="output .npz path")
+    rec.add_argument("--levels", type=str, default="0,50,100,175,250",
+                     help="comma-separated speeds [cm/s]")
+    rec.add_argument("--dwell", type=float, default=8.0)
+    rec.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_selftest(_args: argparse.Namespace) -> int:
+    platform = ISIFPlatform.for_anemometer()
+    report = platform.self_test()
+    print(f"tone: {report['tone_hz']:.2f} Hz")
+    print(f"injected amplitude : {report['injected_amplitude_v'] * 1e3:.1f} mV")
+    print(f"measured amplitude : {report['measured_amplitude_v'] * 1e3:.1f} mV")
+    print(f"amplitude error    : {report['amplitude_error'] * 100:.2f} %")
+    ok = report["amplitude_error"] < 0.10
+    print("SELF-TEST " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    print(f"running the calibration campaign (seed {args.seed}) ...")
+    setup = build_calibrated_monitor(seed=args.seed, fast=args.fast,
+                                     use_pulsed_drive=False)
+    image = setup.calibration.to_dict()
+    args.out.write_text(json.dumps(image, indent=2))
+    print(f"calibration written to {args.out}")
+    print(f"  A = {image['coeff_a'] * 1e3:.4f} mW/K, "
+          f"B = {image['coeff_b'] * 1e3:.4f} mW/K (m/s)^-n, "
+          f"n = {image['exponent']:.3f}")
+    print(f"  residual {image['rms_residual_mps'] * 100:.2f} cm/s rms")
+    return 0
+
+
+def _load_monitor(cal_path: Path, seed: int) -> WaterFlowMonitor:
+    calibration = FlowCalibration.from_dict(json.loads(cal_path.read_text()))
+    sensor = MAFSensor(MAFConfig(seed=seed))
+    return WaterFlowMonitor(sensor, calibration,
+                            MonitorConfig(use_pulsed_drive=False))
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    monitor = _load_monitor(args.cal, args.seed)
+    conditions = FlowConditions(speed_mps=args.speed_cmps * 1e-2)
+    measurement = monitor.measure(conditions, args.duration)
+    print(f"true speed     : {args.speed_cmps:.2f} cm/s")
+    print(f"measured speed : {measurement.speed_cmps:.2f} cm/s")
+    print(f"direction      : "
+          f"{'forward' if measurement.direction >= 0 else 'reverse'}")
+    print(f"bubble coverage: {measurement.bubble_coverage * 100:.2f} %")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        levels = [float(x) for x in args.levels.split(",") if x.strip()]
+    except ValueError:
+        print("error: --levels must be comma-separated numbers",
+              file=sys.stderr)
+        return 2
+    if not levels:
+        print("error: no levels given", file=sys.stderr)
+        return 2
+    monitor = _load_monitor(args.cal, args.seed)
+    print(f"{'true [cm/s]':>12}  {'measured [cm/s]':>16}  {'error [cm/s]':>13}")
+    for level in levels:
+        m = monitor.measure(FlowConditions(speed_mps=level * 1e-2), args.dwell)
+        print(f"{level:12.1f}  {m.speed_cmps:16.2f}  "
+              f"{m.speed_cmps - level:13.2f}")
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    try:
+        levels = [float(x) for x in args.levels.split(",") if x.strip()]
+    except ValueError:
+        print("error: --levels must be comma-separated numbers",
+              file=sys.stderr)
+        return 2
+    if not levels:
+        print("error: no levels given", file=sys.stderr)
+        return 2
+    from repro.station.profiles import staircase
+    print(f"calibrating and running the staircase {levels} cm/s ...")
+    setup = build_calibrated_monitor(seed=args.seed, fast=True,
+                                     use_pulsed_drive=False)
+    record = setup.rig.run(staircase(levels, dwell_s=args.dwell),
+                           record_every_n=20)
+    record.save(args.out)
+    print(f"{len(record)} samples written to {args.out} "
+          f"(traces: {', '.join(record.FIELDS)})")
+    return 0
+
+
+_COMMANDS = {
+    "selftest": _cmd_selftest,
+    "calibrate": _cmd_calibrate,
+    "measure": _cmd_measure,
+    "sweep": _cmd_sweep,
+    "record": _cmd_record,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

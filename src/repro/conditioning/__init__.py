@@ -1,0 +1,72 @@
+"""The paper's core contribution: hot-wire conditioning firmware on ISIF.
+
+Constant-temperature closed loop (bridge → AFE → ΣΔ → decimate → LPF →
+reference subtraction → PI → DAC → bridge supply), pulsed-drive bubble
+mitigation, King's-law calibration against a reference meter, flow and
+direction estimation, and the water-network leak detection application
+sketched in the paper's conclusions.
+"""
+
+from repro.conditioning.drive import DriveScheme, ContinuousDrive, PulsedDrive
+from repro.conditioning.cta import CTAController, CTAConfig, LoopTelemetry
+from repro.conditioning.modes import (
+    OperatingMode,
+    ConstantTemperatureMode,
+    ConstantCurrentMode,
+    ConstantPowerMode,
+)
+from repro.conditioning.calibration import FlowCalibration, CalibrationProcedure
+from repro.conditioning.flow_estimator import FlowEstimator, EstimatorConfig
+from repro.conditioning.direction import DirectionDetector, DirectionConfig
+from repro.conditioning.monitor import WaterFlowMonitor, FlowMeasurement, MonitorConfig
+from repro.conditioning.leak_detect import LeakDetector, NetworkSegmentMonitor, LeakEvent
+from repro.conditioning.telemetry import TelemetryChannel, TelemetryFrame, encode_frame, decode_frame, FrameError
+from repro.conditioning.eeprom_image import store_calibration, load_calibration
+from repro.conditioning.field_node import FieldNode, FieldNodeConfig, CycleReport
+from repro.conditioning.diagnostics import HealthStatus, ZeroFlowDriftMonitor, LoopHealthMonitor
+from repro.conditioning.autotune import RelayAutotuner, RelayResult
+from repro.conditioning.purge import PurgeController, PurgeConfig
+from repro.conditioning.totaliser import VolumeTotaliser
+
+__all__ = [
+    "DriveScheme",
+    "ContinuousDrive",
+    "PulsedDrive",
+    "CTAController",
+    "CTAConfig",
+    "LoopTelemetry",
+    "OperatingMode",
+    "ConstantTemperatureMode",
+    "ConstantCurrentMode",
+    "ConstantPowerMode",
+    "FlowCalibration",
+    "CalibrationProcedure",
+    "FlowEstimator",
+    "EstimatorConfig",
+    "DirectionDetector",
+    "DirectionConfig",
+    "WaterFlowMonitor",
+    "FlowMeasurement",
+    "MonitorConfig",
+    "LeakDetector",
+    "NetworkSegmentMonitor",
+    "LeakEvent",
+    "TelemetryChannel",
+    "TelemetryFrame",
+    "encode_frame",
+    "decode_frame",
+    "FrameError",
+    "store_calibration",
+    "load_calibration",
+    "FieldNode",
+    "FieldNodeConfig",
+    "CycleReport",
+    "HealthStatus",
+    "ZeroFlowDriftMonitor",
+    "LoopHealthMonitor",
+    "RelayAutotuner",
+    "RelayResult",
+    "PurgeController",
+    "PurgeConfig",
+    "VolumeTotaliser",
+]

@@ -1,0 +1,151 @@
+"""Relay (Åström–Hägglund) auto-tuning of the CTA loop's PI gains.
+
+The paper's platform methodology is exactly this kind of bring-up
+automation: instead of hand-exploring PI gains per sensor variant (one
+axis of bench E14), the firmware can run a relay experiment — replace
+the PI with a bang-bang drive, measure the induced limit cycle, and
+derive the ultimate gain/period — then apply Ziegler–Nichols PI rules.
+
+The relay toggles the bridge supply between ``u0 ± h``; the bridge
+error oscillates at the loop's ultimate period P_u with amplitude a,
+giving K_u = 4h / (π a) and the classic (conservative) PI setting
+K_p = 0.4 K_u, K_i = 1.2 K_u / P_u.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.conditioning.cta import CTAConfig
+from repro.isif.platform import ISIFPlatform
+from repro.sensor.maf import FlowConditions, MAFSensor
+
+__all__ = ["RelayResult", "RelayAutotuner"]
+
+
+@dataclass(frozen=True)
+class RelayResult:
+    """Outcome of a relay experiment.
+
+    Attributes
+    ----------
+    ultimate_gain:
+        K_u = 4h / (pi a) [V of supply per V of bridge error].
+    ultimate_period_s:
+        Limit-cycle period P_u.
+    kp / ki:
+        Recommended PI gains (conservative Ziegler–Nichols).
+    oscillation_amplitude_v:
+        Measured bridge-error amplitude a.
+    cycles_used:
+        Limit cycles averaged for the estimate.
+    """
+
+    ultimate_gain: float
+    ultimate_period_s: float
+    kp: float
+    ki: float
+    oscillation_amplitude_v: float
+    cycles_used: int
+
+    def to_cta_config(self, base: CTAConfig | None = None) -> CTAConfig:
+        """Bake the recommendation into a loop configuration."""
+        from dataclasses import replace
+        return replace(base or CTAConfig(), kp=self.kp, ki=self.ki)
+
+
+class RelayAutotuner:
+    """Runs the relay experiment against a live (simulated) sensor.
+
+    Parameters
+    ----------
+    sensor / platform:
+        The die and the ISIF instance to tune on.
+    center_supply_v:
+        Operating-point bias u0 (choose near the expected mid-flow
+        supply so the plant gain is representative).
+    relay_amplitude_v:
+        Relay half-swing h.
+    overtemperature_k:
+        CT setpoint the bridges are trimmed to during the experiment.
+    """
+
+    def __init__(self, sensor: MAFSensor, platform: ISIFPlatform,
+                 center_supply_v: float = 2.2,
+                 relay_amplitude_v: float = 0.4,
+                 overtemperature_k: float = 5.0) -> None:
+        if relay_amplitude_v <= 0.0:
+            raise ConfigurationError("relay amplitude must be positive")
+        if not 0.0 < center_supply_v - relay_amplitude_v \
+                or center_supply_v + relay_amplitude_v > 5.0:
+            raise ConfigurationError("relay swing leaves the DAC range")
+        self.sensor = sensor
+        self.platform = platform
+        self.center_supply_v = center_supply_v
+        self.relay_amplitude_v = relay_amplitude_v
+        self.overtemperature_k = overtemperature_k
+
+    def run(self, conditions: FlowConditions, max_duration_s: float = 4.0,
+            settle_cycles: int = 3, measure_cycles: int = 5) -> RelayResult:
+        """Execute the experiment.
+
+        Raises
+        ------
+        ConvergenceError
+            If no stable limit cycle appears within the budget.
+        """
+        if measure_cycles < 2:
+            raise ConfigurationError("need at least 2 measured cycles")
+        self.sensor.set_overtemperature(self.overtemperature_k,
+                                        conditions.temperature_k)
+        dt = self.platform.dt_s
+        u = self.center_supply_v + self.relay_amplitude_v
+        sign = 1
+        crossings: list[float] = []
+        amplitudes: list[float] = []
+        peak = 0.0
+        steps = int(max_duration_s / dt)
+        for i in range(steps):
+            u_a, u_b = self.platform.drive_bridges(u, u)
+            readout = self.sensor.step(dt, u_a, u_b, conditions)
+            err, _ = self.platform.acquire_bridges(
+                readout.differential_a_v, readout.differential_b_v)
+            err = -err  # loop error convention
+            peak = max(peak, abs(err))
+            new_sign = 1 if err > 0.0 else -1
+            if new_sign != sign:
+                crossings.append(i * dt)
+                amplitudes.append(peak)
+                peak = 0.0
+                sign = new_sign
+            u = self.center_supply_v + sign * self.relay_amplitude_v
+            if len(crossings) >= 2 * (settle_cycles + measure_cycles) + 1:
+                break
+        else:
+            if len(crossings) < 2 * (settle_cycles + 2):
+                raise ConvergenceError(
+                    f"relay produced only {len(crossings) // 2} limit cycles "
+                    f"in {max_duration_s} s — plant too slow or relay too small")
+
+        # Discard the settling cycles; average the rest.
+        zc = np.array(crossings[2 * settle_cycles:])
+        amp = np.array(amplitudes[2 * settle_cycles:])
+        if zc.size < 4:
+            raise ConvergenceError("too few post-settle crossings")
+        half_periods = np.diff(zc)
+        period = 2.0 * float(np.mean(half_periods))
+        a = float(np.mean(amp))
+        if a <= 0.0 or period <= 0.0:
+            raise ConvergenceError("degenerate limit cycle")
+        ku = 4.0 * self.relay_amplitude_v / (np.pi * a)
+        return RelayResult(
+            ultimate_gain=ku,
+            ultimate_period_s=period,
+            kp=0.4 * ku,
+            ki=1.2 * ku / period,
+            oscillation_amplitude_v=a,
+            cycles_used=zc.size // 2,
+        )

@@ -1,0 +1,215 @@
+"""Calibration of the anemometer against a reference meter.
+
+§4: "The system ... also provides the monitoring of a commercial
+magnetic water flow sensor (Endress and Hauser Proline Promag 50) for
+comparing and calibrating the MAF sensor."
+
+The procedure steps the test line through a set of speeds, lets the CTA
+loop settle at each, records (reference speed, measured conductance),
+and fits King's law.  The resulting :class:`FlowCalibration` is a plain
+serialisable object the estimator inverts at run time — a direction
+zero-offset for the dual-heater differential is learned at the same
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.physics.kings_law import KingsLaw, fit_kings_law
+
+__all__ = ["FlowCalibration", "CalibrationProcedure"]
+
+
+@dataclass(frozen=True)
+class FlowCalibration:
+    """Fitted transfer model used by the flow estimator.
+
+    Attributes
+    ----------
+    law:
+        Fitted King's law G(v) = A + B v^n in firmware conductance units.
+    overtemperature_k:
+        CT setpoint at which the calibration holds.
+    direction_offset:
+        Zero-flow value of the normalised heater asymmetry, subtracted
+        before taking the direction sign.
+    fluid_temperature_k:
+        Water temperature during calibration (ambient-specific constants,
+        as the paper notes for eq. (2)).
+    rms_residual_mps:
+        RMS speed residual of the fit over the calibration points.
+    """
+
+    law: KingsLaw
+    overtemperature_k: float
+    direction_offset: float = 0.0
+    fluid_temperature_k: float = 288.15
+    rms_residual_mps: float = 0.0
+    #: Rt as read by the firmware during the campaign [Ω]; anchors the
+    #: fluid-temperature tracking (T = T_cal + (Rt/Rt_cal - 1)/alpha).
+    reference_resistance_ohm: float = 2000.0
+    #: Datasheet TCR of the Ti/TiN reference [1/K].
+    tcr_per_k: float = 3.5e-3
+
+    def fluid_temperature_from_rt(self, rt_ohm: float) -> float:
+        """Fluid temperature [K] implied by a firmware Rt reading."""
+        if rt_ohm <= 0.0:
+            raise CalibrationError("reference resistance must be positive")
+        ratio = rt_ohm / self.reference_resistance_ohm
+        return self.fluid_temperature_k + (ratio - 1.0) / self.tcr_per_k
+
+    def speed_from_conductance(self, conductance_w_per_k: float,
+                               fluid_temperature_k: float | None = None) -> float:
+        """Invert the fitted law: G → |v| [m/s].
+
+        When ``fluid_temperature_k`` is given, the King's-law constants
+        are first re-referenced from the calibration temperature to the
+        current water temperature (temperature compensation — see
+        :meth:`compensate_conductance`).
+        """
+        g = conductance_w_per_k
+        if fluid_temperature_k is not None:
+            g = self.compensate_conductance(g, fluid_temperature_k)
+        excess = max(g - self.law.coeff_a, 0.0)
+        return float((excess / self.law.coeff_b) ** (1.0 / self.law.exponent))
+
+    def compensate_conductance(self, conductance_w_per_k: float,
+                               fluid_temperature_k: float) -> float:
+        """Re-reference a measured conductance to calibration conditions.
+
+        Eq. (2)'s constants are "empirically determined and ambient
+        specific": water property drift moves A and B with temperature.
+        The firmware knows the property curves (they are tabulated in
+        EEPROM on the real device) and the fluid temperature from Rt, so
+        it can scale the measured G by the physics-derived A(T)/B(T)
+        ratios before inverting the stale calibration.  This removes
+        most of the CT mode's residual ambient sensitivity (bench E9).
+        """
+        from repro.physics.convection import WireGeometry, derive_kings_coefficients
+        t_cal = self.fluid_temperature_k + self.overtemperature_k / 2.0
+        t_now = fluid_temperature_k + self.overtemperature_k / 2.0
+        geometry = WireGeometry()  # nominal die geometry (datasheet)
+        a_cal, b_cal, _ = derive_kings_coefficients(geometry, t_cal)
+        a_now, b_now, _ = derive_kings_coefficients(geometry, t_now)
+        # Split the measured G into its conduction and forced parts using
+        # the *physical* A-share at the current temperature, then scale
+        # each part back to calibration conditions.
+        forced = max(conductance_w_per_k - self.law.coeff_a * a_now / a_cal, 0.0)
+        return self.law.coeff_a + forced * b_cal / b_now
+
+    def conductance_from_speed(self, speed_mps: float) -> float:
+        """Forward law (for residual checks and tests)."""
+        return float(self.law.conductance(speed_mps))
+
+    def to_dict(self) -> dict:
+        """Serialise (EEPROM image of the real device)."""
+        return {
+            "coeff_a": self.law.coeff_a,
+            "coeff_b": self.law.coeff_b,
+            "exponent": self.law.exponent,
+            "overtemperature_k": self.overtemperature_k,
+            "direction_offset": self.direction_offset,
+            "fluid_temperature_k": self.fluid_temperature_k,
+            "rms_residual_mps": self.rms_residual_mps,
+            "reference_resistance_ohm": self.reference_resistance_ohm,
+            "tcr_per_k": self.tcr_per_k,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlowCalibration":
+        """Restore from :meth:`to_dict` output."""
+        try:
+            law = KingsLaw(coeff_a=float(data["coeff_a"]),
+                           coeff_b=float(data["coeff_b"]),
+                           exponent=float(data["exponent"]))
+            return cls(
+                law=law,
+                overtemperature_k=float(data["overtemperature_k"]),
+                direction_offset=float(data.get("direction_offset", 0.0)),
+                fluid_temperature_k=float(data.get("fluid_temperature_k", 288.15)),
+                rms_residual_mps=float(data.get("rms_residual_mps", 0.0)),
+                reference_resistance_ohm=float(
+                    data.get("reference_resistance_ohm", 2000.0)),
+                tcr_per_k=float(data.get("tcr_per_k", 3.5e-3)),
+            )
+        except KeyError as exc:
+            raise CalibrationError(f"calibration image missing field {exc}") from exc
+
+
+@dataclass
+class CalibrationProcedure:
+    """Collects calibration points and produces a :class:`FlowCalibration`.
+
+    Use :meth:`add_point` while stepping the line (the test rig does
+    this), then :meth:`fit`.
+
+    Attributes
+    ----------
+    overtemperature_k:
+        CT setpoint in force during the campaign.
+    fluid_temperature_k:
+        Water temperature of the campaign.
+    """
+
+    overtemperature_k: float
+    fluid_temperature_k: float = 288.15
+    #: Firmware Rt reading during the campaign (temperature anchor).
+    reference_resistance_ohm: float = 2000.0
+    _speeds: list[float] = field(default_factory=list)
+    _conductances: list[float] = field(default_factory=list)
+    _asymmetries: list[float] = field(default_factory=list)
+
+    def add_point(self, reference_speed_mps: float, conductance_w_per_k: float,
+                  heater_asymmetry: float = 0.0) -> None:
+        """Record one settled operating point.
+
+        ``heater_asymmetry`` is the normalised supply difference
+        (u_a² − u_b²)/(u_a² + u_b²) used to learn the direction offset.
+        """
+        if conductance_w_per_k <= 0.0:
+            raise CalibrationError("conductance must be positive")
+        self._speeds.append(abs(float(reference_speed_mps)))
+        self._conductances.append(float(conductance_w_per_k))
+        self._asymmetries.append(float(heater_asymmetry))
+
+    @property
+    def points(self) -> int:
+        """Number of points recorded so far."""
+        return len(self._speeds)
+
+    def fit(self, exponent: float | None = None) -> FlowCalibration:
+        """Fit King's law and assemble the calibration object.
+
+        Raises
+        ------
+        CalibrationError
+            With fewer than 4 points or a degenerate/non-physical fit.
+        """
+        if self.points < 4:
+            raise CalibrationError(
+                f"need at least 4 calibration points, got {self.points}")
+        speeds = np.array(self._speeds)
+        conds = np.array(self._conductances)
+        law = fit_kings_law(speeds, conds, exponent=exponent)
+        # Direction offset: asymmetry observed at the lowest speeds.
+        order = np.argsort(speeds)
+        low = order[: max(1, self.points // 4)]
+        offset = float(np.mean(np.array(self._asymmetries)[low]))
+        # Residual in speed units.
+        predicted = np.array([
+            (max(g - law.coeff_a, 0.0) / law.coeff_b) ** (1.0 / law.exponent)
+            for g in conds
+        ])
+        rms = float(np.sqrt(np.mean((predicted - speeds) ** 2)))
+        return FlowCalibration(
+            law=law,
+            overtemperature_k=self.overtemperature_k,
+            direction_offset=offset,
+            fluid_temperature_k=self.fluid_temperature_k,
+            rms_residual_mps=rms,
+            reference_resistance_ohm=self.reference_resistance_ohm,
+        )

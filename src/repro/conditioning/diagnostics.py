@@ -1,0 +1,150 @@
+"""Online sensor-health diagnostics.
+
+§5 verifies by inspection that the deployed sensor shows "no corrosion
+or pollution on the surface after several months of test and no deposit
+of calcium carbonate".  A diffused fleet cannot be inspected, so the
+firmware must *infer* surface health from its own signals:
+
+* **zero-flow drift** — during night minimum-flow windows, the measured
+  conductance should sit on the calibration's A coefficient; a fouled
+  (or bubble-covered) surface reads low, a leaking package reads
+  biased.  A slow EWMA of the night readings against A is the fouling
+  gauge;
+* **loop health** — bridge error RMS and bubble coverage beyond bounds
+  flag an unstable or bubbling loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.conditioning.calibration import FlowCalibration
+from repro.conditioning.cta import LoopTelemetry
+
+__all__ = ["HealthStatus", "ZeroFlowDriftMonitor", "LoopHealthMonitor"]
+
+
+class HealthStatus(Enum):
+    """Tri-state diagnostic verdict."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAULT = "fault"
+
+
+class ZeroFlowDriftMonitor:
+    """Tracks conductance drift at (known) zero flow.
+
+    Feed :meth:`update` the firmware conductance during commanded or
+    detected night-minimum windows; the EWMA against the calibration's
+    zero-flow coefficient A yields a drift fraction:
+
+    * fouling adds series thermal resistance → conductance reads LOW;
+    * drift beyond ``degraded_fraction`` / ``fault_fraction`` trips the
+      corresponding status.
+    """
+
+    def __init__(self, calibration: FlowCalibration,
+                 ewma_alpha: float = 0.05,
+                 degraded_fraction: float = 0.05,
+                 fault_fraction: float = 0.15) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ConfigurationError("EWMA alpha must be in (0, 1]")
+        if not 0.0 < degraded_fraction < fault_fraction:
+            raise ConfigurationError(
+                "need 0 < degraded_fraction < fault_fraction")
+        self.calibration = calibration
+        self.ewma_alpha = ewma_alpha
+        self.degraded_fraction = degraded_fraction
+        self.fault_fraction = fault_fraction
+        self._ewma_g: float | None = None
+        self._samples = 0
+
+    @property
+    def samples(self) -> int:
+        """Night-window samples consumed so far."""
+        return self._samples
+
+    def update(self, conductance_w_per_k: float) -> None:
+        """Consume one zero-flow conductance sample."""
+        if conductance_w_per_k <= 0.0:
+            raise ConfigurationError("conductance must be positive")
+        if self._ewma_g is None:
+            self._ewma_g = conductance_w_per_k
+        else:
+            self._ewma_g += self.ewma_alpha * (conductance_w_per_k - self._ewma_g)
+        self._samples += 1
+
+    def drift_fraction(self) -> float:
+        """Relative deviation of the tracked G from the calibrated A.
+
+        Negative = conductance loss (fouling); positive = gain (leakage
+        current or a calibration problem).  0 before any samples.
+        """
+        if self._ewma_g is None:
+            return 0.0
+        a = self.calibration.law.coeff_a
+        return (self._ewma_g - a) / a
+
+    def status(self) -> HealthStatus:
+        """Current verdict (requires a minimally trained EWMA)."""
+        if self._samples < 10:
+            return HealthStatus.HEALTHY
+        drift = abs(self.drift_fraction())
+        if drift >= self.fault_fraction:
+            return HealthStatus.FAULT
+        if drift >= self.degraded_fraction:
+            return HealthStatus.DEGRADED
+        return HealthStatus.HEALTHY
+
+
+class LoopHealthMonitor:
+    """Windowed bridge-error and bubble-coverage supervision."""
+
+    def __init__(self, window: int = 500,
+                 error_rms_limit_v: float = 5e-3,
+                 coverage_limit: float = 0.05) -> None:
+        if window < 10:
+            raise ConfigurationError("window must be >= 10 samples")
+        if error_rms_limit_v <= 0.0 or not 0.0 < coverage_limit < 1.0:
+            raise ConfigurationError("limits must be positive (coverage < 1)")
+        self.window = window
+        self.error_rms_limit_v = error_rms_limit_v
+        self.coverage_limit = coverage_limit
+        self._errors: list[float] = []
+        self._worst_coverage = 0.0
+
+    def update(self, telemetry: LoopTelemetry) -> None:
+        """Consume one loop tick (valid samples only are meaningful)."""
+        if not telemetry.sample_valid:
+            return
+        self._errors.append(telemetry.error_a_v)
+        if len(self._errors) > self.window:
+            del self._errors[0]
+        self._worst_coverage = max(
+            self._worst_coverage,
+            telemetry.readout.bubble_coverage_a,
+            telemetry.readout.bubble_coverage_b)
+
+    def error_rms_v(self) -> float:
+        """Bridge-error RMS over the window."""
+        if not self._errors:
+            return 0.0
+        return float(np.sqrt(np.mean(np.square(self._errors))))
+
+    def status(self) -> HealthStatus:
+        """Loop verdict."""
+        if self._worst_coverage > 3.0 * self.coverage_limit:
+            return HealthStatus.FAULT
+        if (self._worst_coverage > self.coverage_limit
+                or self.error_rms_v() > self.error_rms_limit_v):
+            return HealthStatus.DEGRADED
+        return HealthStatus.HEALTHY
+
+    def reset_coverage(self) -> None:
+        """Acknowledge a bubble event (after a purge cycle)."""
+        self._worst_coverage = 0.0

@@ -1,0 +1,94 @@
+"""CRC-protected EEPROM layout of the calibration record.
+
+The deployed monitor boots, loads its calibration from EEPROM, verifies
+the CRC, and refuses to report flow with a corrupt image (a wrong
+calibration is worse than no measurement in a billing/leak context).
+
+Record layout (network byte order):
+
+    magic   u16     0xA5C3
+    version u16     1
+    payload f64 x 8 (coeff_a, coeff_b, exponent, overtemperature_k,
+                     direction_offset, fluid_temperature_k,
+                     reference_resistance_ohm, tcr_per_k)
+    crc     u16     CRC-16/CCITT over magic..payload
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CalibrationError
+from repro.conditioning.calibration import FlowCalibration
+from repro.isif.eeprom import Eeprom, crc16_ccitt
+
+__all__ = ["store_calibration", "load_calibration", "CALIBRATION_ADDRESS",
+           "RECORD_SIZE"]
+
+MAGIC = 0xA5C3
+VERSION = 1
+_HEADER = struct.Struct(">HH")
+_PAYLOAD = struct.Struct(">8d")
+_CRC = struct.Struct(">H")
+
+#: Default EEPROM address of the calibration record.
+CALIBRATION_ADDRESS = 0x0000
+
+#: Total record size in bytes.
+RECORD_SIZE = _HEADER.size + _PAYLOAD.size + _CRC.size
+
+
+def _encode(calibration: FlowCalibration) -> bytes:
+    body = _HEADER.pack(MAGIC, VERSION) + _PAYLOAD.pack(
+        calibration.law.coeff_a,
+        calibration.law.coeff_b,
+        calibration.law.exponent,
+        calibration.overtemperature_k,
+        calibration.direction_offset,
+        calibration.fluid_temperature_k,
+        calibration.reference_resistance_ohm,
+        calibration.tcr_per_k,
+    )
+    return body + _CRC.pack(crc16_ccitt(body))
+
+
+def store_calibration(eeprom: Eeprom, calibration: FlowCalibration,
+                      address: int = CALIBRATION_ADDRESS) -> None:
+    """Write the calibration record (one EEPROM transaction)."""
+    eeprom.write(address, _encode(calibration))
+
+
+def load_calibration(eeprom: Eeprom,
+                     address: int = CALIBRATION_ADDRESS) -> FlowCalibration:
+    """Read and verify the calibration record.
+
+    Raises
+    ------
+    CalibrationError
+        On bad magic, unsupported version or CRC mismatch (worn cell,
+        interrupted write) — the monitor must not run uncalibrated.
+    """
+    raw = eeprom.read(address, RECORD_SIZE)
+    body, crc_bytes = raw[:-_CRC.size], raw[-_CRC.size:]
+    (stored_crc,) = _CRC.unpack(crc_bytes)
+    if crc16_ccitt(body) != stored_crc:
+        raise CalibrationError(
+            "calibration image CRC mismatch — EEPROM corrupt or image "
+            "never written; recalibrate before measuring")
+    magic, version = _HEADER.unpack(body[:_HEADER.size])
+    if magic != MAGIC:
+        raise CalibrationError(f"bad calibration magic {magic:#x}")
+    if version != VERSION:
+        raise CalibrationError(f"unsupported calibration version {version}")
+    (coeff_a, coeff_b, exponent, overtemp, dir_offset, fluid_t,
+     rt_ref, tcr) = _PAYLOAD.unpack(body[_HEADER.size:])
+    return FlowCalibration.from_dict({
+        "coeff_a": coeff_a,
+        "coeff_b": coeff_b,
+        "exponent": exponent,
+        "overtemperature_k": overtemp,
+        "direction_offset": dir_offset,
+        "fluid_temperature_k": fluid_t,
+        "reference_resistance_ohm": rt_ref,
+        "tcr_per_k": tcr,
+    })

@@ -1,0 +1,202 @@
+"""A deployed monitoring node: the §6/§7 field device.
+
+Composes everything a diffused metering point needs around the core
+monitor:
+
+* boots its calibration from EEPROM (CRC-verified — a node with a
+  corrupt image refuses to measure);
+* wakes on a schedule, runs a measurement burst, ships a telemetry
+  frame over the UART link, then deep-sleeps (§7's battery story);
+* services a watchdog during the burst;
+* accounts battery charge so a fleet simulation can age nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.conditioning.eeprom_image import load_calibration
+from repro.conditioning.monitor import FlowMeasurement, MonitorConfig, WaterFlowMonitor
+from repro.conditioning.telemetry import TelemetryChannel, TelemetryFrame
+from repro.conditioning.totaliser import VolumeTotaliser
+from repro.isif.clock import ClockGenerator
+from repro.isif.eeprom import Eeprom
+from repro.isif.power import BatteryPack, PowerModel, PowerState
+from repro.isif.timers import Watchdog
+from repro.isif.uart import UartLink
+from repro.sensor.maf import FlowConditions, MAFSensor
+
+__all__ = ["FieldNodeConfig", "CycleReport", "FieldNode"]
+
+
+@dataclass(frozen=True)
+class FieldNodeConfig:
+    """Deployment parameters of one node.
+
+    Attributes
+    ----------
+    burst_s:
+        Measurement burst length per wake-up.
+    period_s:
+        Wake-up period (the §7 "typical sensor usage" cadence).
+    watchdog_timeout_s:
+        Liveness bound during a burst.
+    monitor:
+        Conditioning configuration for the burst.
+    """
+
+    burst_s: float = 2.0
+    period_s: float = 900.0
+    watchdog_timeout_s: float = 0.5
+    monitor: MonitorConfig = MonitorConfig(use_pulsed_drive=False)
+
+    def __post_init__(self) -> None:
+        if self.burst_s <= 0.0 or self.period_s <= self.burst_s:
+            raise ConfigurationError("period must exceed the burst length")
+        if self.watchdog_timeout_s <= 0.0:
+            raise ConfigurationError("watchdog timeout must be positive")
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Outcome of one wake-measure-transmit-sleep cycle.
+
+    Attributes
+    ----------
+    measurement:
+        The burst's final measurement.
+    frame:
+        The telemetry frame as received upstream (None if line noise
+        destroyed it — the node sleeps regardless).
+    charge_used_ah:
+        Battery charge consumed by the whole cycle.
+    battery_remaining_ah:
+        Pack state after the cycle.
+    """
+
+    measurement: FlowMeasurement
+    frame: TelemetryFrame | None
+    charge_used_ah: float
+    battery_remaining_ah: float
+
+
+class FieldNode:
+    """One autonomous monitoring point.
+
+    Parameters
+    ----------
+    sensor:
+        The installed die + housing.
+    eeprom:
+        Non-volatile memory holding the calibration image.
+    link:
+        Telemetry uplink.
+    config:
+        Deployment parameters.
+    power / battery:
+        Energy models (defaults: the §7 ASIC + 4xAA pack).
+    """
+
+    def __init__(self, sensor: MAFSensor, eeprom: Eeprom,
+                 link: UartLink | None = None,
+                 config: FieldNodeConfig | None = None,
+                 power: PowerModel | None = None,
+                 battery: BatteryPack | None = None,
+                 seed: int = 0) -> None:
+        self.config = config or FieldNodeConfig()
+        self._sensor = sensor
+        self._eeprom = eeprom
+        self.telemetry = TelemetryChannel(link)
+        self.power = power or PowerModel()
+        self.battery = battery or BatteryPack()
+        self.watchdog = Watchdog(self.config.watchdog_timeout_s)
+        self.clock = ClockGenerator(seed=seed)
+        # Billing register: each burst's reading is held for the whole
+        # period (sample-and-hold totalisation — the standard practice
+        # for duty-cycled meters; fast flow transients between bursts
+        # alias, which is why utilities bound the wake period).
+        self.totaliser = VolumeTotaliser(clock=self.clock)
+        self._charge_used_ah = 0.0
+        self._monitor: WaterFlowMonitor | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Load + verify the calibration and build the conditioning stack.
+
+        Raises
+        ------
+        CalibrationError
+            If the EEPROM image is corrupt — the node must not measure.
+        """
+        calibration = load_calibration(self._eeprom)
+        self._monitor = WaterFlowMonitor(self._sensor, calibration,
+                                         self.config.monitor)
+
+    @property
+    def booted(self) -> bool:
+        """Whether the node completed :meth:`boot`."""
+        return self._monitor is not None
+
+    @property
+    def battery_remaining_ah(self) -> float:
+        """Usable charge left in the pack."""
+        return max(self.battery.usable_capacity_ah - self._charge_used_ah, 0.0)
+
+    @property
+    def depleted(self) -> bool:
+        """True once the pack is exhausted."""
+        return self.battery_remaining_ah <= 0.0
+
+    # -- operation -----------------------------------------------------------------
+
+    def run_cycle(self, conditions: FlowConditions) -> CycleReport:
+        """One full wake → measure → transmit → sleep cycle.
+
+        Raises
+        ------
+        CalibrationError
+            If the node was never booted.
+        ConfigurationError
+            If the battery is already depleted.
+        """
+        if self._monitor is None:
+            raise CalibrationError("node not booted — no valid calibration")
+        if self.depleted:
+            raise ConfigurationError("battery depleted — node is dark")
+        cfg = self.config
+        dt = self._monitor.platform.dt_s
+        self.watchdog.enable(True)
+        self.watchdog.kick()
+        measurement: FlowMeasurement | None = None
+        steps = max(1, int(round(cfg.burst_s / dt)))
+        for _ in range(steps):
+            measurement = self._monitor.step(conditions)
+            self.watchdog.kick()
+            self.watchdog.advance(dt)
+        assert measurement is not None
+        self.totaliser.accumulate(measurement.speed_mps, cfg.period_s)
+        frame = self.telemetry.send(measurement)
+        self.watchdog.enable(False)  # deep sleep: watchdog gated
+
+        # Energy bookkeeping for the whole cycle.
+        avg_a = self.power.average_current_a([
+            (PowerState.MEASURE, cfg.burst_s),
+            (PowerState.IDLE, 0.05),
+            (PowerState.DEEP_SLEEP, cfg.period_s - cfg.burst_s - 0.05),
+        ])
+        used = avg_a * cfg.period_s / 3600.0
+        self._charge_used_ah += used
+        return CycleReport(
+            measurement=measurement,
+            frame=frame,
+            charge_used_ah=used,
+            battery_remaining_ah=self.battery_remaining_ah,
+        )
+
+    def projected_autonomy_years(self) -> float:
+        """Lifetime projection at the configured cadence."""
+        cfg = self.config
+        avg = self.power.duty_cycled_current_a(cfg.burst_s, cfg.period_s)
+        return self.battery.autonomy_years(avg)

@@ -1,0 +1,212 @@
+"""Anemometer operating modes: constant temperature / current / power.
+
+§2: "The anemometer principle features three main different operating
+modes: constant current, constant power, or constant temperature.  The
+former two operating modes feature simple circuit implementation while
+the latter one maintains a fixed value of the sensing resistor thus
+achieving more robustness respect to changes of the temperature of the
+fluid itself."
+
+Experiment E9 quantifies that claim: each mode measures the same flow
+while the water temperature drifts, and only CT stays calibrated.
+
+The CC/CP firmware estimates the wire temperature from its resistance
+(midpoint voltage digitised on a spare ISIF channel) but must *assume*
+a fluid temperature — that assumption is exactly their ambient
+sensitivity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.conditioning.cta import CTAConfig, CTAController
+from repro.isif.platform import ISIFPlatform
+from repro.sensor.maf import FlowConditions, MAFSensor
+
+__all__ = [
+    "ModeMeasurement",
+    "OperatingMode",
+    "ConstantTemperatureMode",
+    "ConstantCurrentMode",
+    "ConstantPowerMode",
+]
+
+
+@dataclass(frozen=True)
+class ModeMeasurement:
+    """What a mode's firmware extracts from one settled measurement.
+
+    Attributes
+    ----------
+    conductance_w_per_k:
+        The King's-law observable G = P / ΔT_est, as the firmware
+        believes it (including its ΔT estimation error).
+    heater_power_w:
+        Electrical power delivered to the heater (firmware estimate).
+    overtemperature_est_k:
+        ΔT as estimated by the firmware.
+    supply_v:
+        Bridge supply at equilibrium.
+    """
+
+    conductance_w_per_k: float
+    heater_power_w: float
+    overtemperature_est_k: float
+    supply_v: float
+
+
+class OperatingMode(ABC):
+    """Shared interface: settle under conditions, return the observable."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def measure(self, conditions: FlowConditions, settle_s: float = 0.5) -> ModeMeasurement:
+        """Run the mode's loop until settled and report the observable."""
+
+
+class ConstantTemperatureMode(OperatingMode):
+    """CT: the paper's choice — the CTA loop holds ΔT by construction.
+
+    The bridge's reference arm tracks the fluid temperature, so the
+    firmware's ΔT estimate equals the setpoint with no fluid-temperature
+    assumption at all.
+    """
+
+    name = "constant-temperature"
+
+    def __init__(self, sensor: MAFSensor, platform: ISIFPlatform,
+                 config: CTAConfig | None = None) -> None:
+        self.controller = CTAController(sensor, platform, config)
+
+    def measure(self, conditions: FlowConditions, settle_s: float = 0.5) -> ModeMeasurement:
+        tel = self.controller.settle(conditions, settle_s)
+        u = 0.5 * (tel.supply_a_v + tel.supply_b_v)
+        d_t = self.controller.config.overtemperature_k
+        p = self.controller.balance_heater_power_w(u)
+        return ModeMeasurement(
+            conductance_w_per_k=p / d_t,
+            heater_power_w=p,
+            overtemperature_est_k=d_t,
+            supply_v=u,
+        )
+
+
+class _ResistanceReadingMode(OperatingMode):
+    """Shared plumbing for CC/CP: drive bridge A, read Rh from the midpoint.
+
+    The heater midpoint is digitised on ISIF channel 3 (unity gain), so
+    the resistance estimate carries realistic ADC noise.  The fluid
+    temperature is *assumed* (``assumed_fluid_k``), which is the modes'
+    documented weakness.
+    """
+
+    def __init__(self, sensor: MAFSensor, platform: ISIFPlatform,
+                 assumed_fluid_k: float = 288.15) -> None:
+        self.sensor = sensor
+        self.platform = platform
+        self.assumed_fluid_k = assumed_fluid_k
+        self._u = 1.0
+        # The midpoint is a large (volt-level) signal: program channel 3
+        # to unity gain through its registers, as a driver would.
+        midpoint_channel = platform.channels[3]
+        midpoint_channel.registers.reg("CTRL").write_field("GAIN", 0)
+        midpoint_channel.apply_registers()
+
+    def _read_heater_ohm(self, supply_v: float, midpoint_v: float) -> float:
+        """Firmware Rh estimate from supply and digitised midpoint."""
+        if supply_v <= midpoint_v or midpoint_v <= 0.0:
+            return self.sensor.config.heater_nominal_ohm
+        r_s = self.sensor.bridge_a.r_series_ohm
+        return r_s * midpoint_v / (supply_v - midpoint_v)
+
+    def _wire_temperature_k(self, rh_ohm: float) -> float:
+        """Datasheet inversion of eq. (1) — nominal R0 and alpha."""
+        cfg = self.sensor.config
+        alpha = self.sensor.heater_a.material.tcr_per_k
+        r0 = cfg.heater_nominal_ohm
+        return self.sensor.heater_a.reference_temperature_k + (rh_ohm / r0 - 1.0) / alpha
+
+    def _settle(self, conditions: FlowConditions, settle_s: float,
+                update_supply) -> tuple[float, float]:
+        """Iterate the per-tick supply law; returns (u, rh_est)."""
+        if settle_s <= 0.0:
+            raise ConfigurationError("settle time must be positive")
+        dt = self.platform.dt_s
+        steps = max(1, int(round(settle_s / dt)))
+        rh_est = self.sensor.config.heater_nominal_ohm
+        # Relaxed update: the digitised midpoint lags the supply (channel
+        # LPF), so jumping straight to the algebraic target oscillates.
+        # A small gain makes the software loop unconditionally stable.
+        relax = 0.05
+        for _ in range(steps):
+            readout = self.sensor.step(dt, self._u, 0.0, conditions)
+            v_mid, _ = self.sensor.bridge_a.midpoint_voltages(
+                self._u, readout.heater_a_resistance_ohm,
+                readout.reference_resistance_ohm)
+            v_mid_dig = self.platform.channels[3].acquire(v_mid)
+            rh_est = self._read_heater_ohm(self._u, v_mid_dig)
+            target = float(np.clip(update_supply(rh_est), 0.0, 5.0))
+            self._u += relax * (target - self._u)
+        return self._u, rh_est
+
+    def _report(self, u: float, rh_est: float) -> ModeMeasurement:
+        r_s = self.sensor.bridge_a.r_series_ohm
+        i = u / (r_s + rh_est)
+        p = i * i * rh_est
+        d_t_est = max(self._wire_temperature_k(rh_est) - self.assumed_fluid_k, 0.05)
+        return ModeMeasurement(
+            conductance_w_per_k=p / d_t_est,
+            heater_power_w=p,
+            overtemperature_est_k=d_t_est,
+            supply_v=u,
+        )
+
+
+class ConstantCurrentMode(_ResistanceReadingMode):
+    """CC: hold the heater branch current; the wire temperature floats."""
+
+    name = "constant-current"
+
+    def __init__(self, sensor: MAFSensor, platform: ISIFPlatform,
+                 current_a: float = 0.020,
+                 assumed_fluid_k: float = 288.15) -> None:
+        super().__init__(sensor, platform, assumed_fluid_k)
+        if current_a <= 0.0:
+            raise ConfigurationError("drive current must be positive")
+        self.current_a = current_a
+
+    def measure(self, conditions: FlowConditions, settle_s: float = 0.5) -> ModeMeasurement:
+        r_s = self.sensor.bridge_a.r_series_ohm
+        u, rh = self._settle(
+            conditions, settle_s,
+            update_supply=lambda rh_est: self.current_a * (r_s + rh_est))
+        return self._report(u, rh)
+
+
+class ConstantPowerMode(_ResistanceReadingMode):
+    """CP: hold the heater dissipation; the wire temperature floats."""
+
+    name = "constant-power"
+
+    def __init__(self, sensor: MAFSensor, platform: ISIFPlatform,
+                 power_w: float = 0.030,
+                 assumed_fluid_k: float = 288.15) -> None:
+        super().__init__(sensor, platform, assumed_fluid_k)
+        if power_w <= 0.0:
+            raise ConfigurationError("drive power must be positive")
+        self.power_w = power_w
+
+    def measure(self, conditions: FlowConditions, settle_s: float = 0.5) -> ModeMeasurement:
+        r_s = self.sensor.bridge_a.r_series_ohm
+
+        def supply_for_power(rh_est: float) -> float:
+            return float(np.sqrt(self.power_w * (r_s + rh_est) ** 2 / max(rh_est, 1.0)))
+
+        u, rh = self._settle(conditions, settle_s, update_supply=supply_for_power)
+        return self._report(u, rh)

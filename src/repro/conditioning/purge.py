@@ -1,0 +1,137 @@
+"""Bubble purge cycles: acting on the diagnostics.
+
+The pulsed drive *prevents* bubble accumulation; but a deployed node
+that ever finds itself fouled (wrong configuration, extreme water, a
+stuck continuous-drive fallback) can actively recover: de-energise the
+heaters for a purge interval — stuck bubbles collapse and detach with
+no heat input — then re-arm and verify.  This module automates that
+recover-verify-escalate sequence around the loop health monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SensorFault
+from repro.conditioning.cta import CTAController
+from repro.conditioning.diagnostics import HealthStatus, LoopHealthMonitor
+from repro.sensor.maf import FlowConditions
+
+__all__ = ["PurgeConfig", "PurgeController"]
+
+
+@dataclass(frozen=True)
+class PurgeConfig:
+    """Purge sequencing parameters.
+
+    Attributes
+    ----------
+    off_time_s:
+        Heater-off interval per purge attempt (bubble collapse takes
+        a couple of seconds of idle detachment).
+    recheck_time_s:
+        Powered observation window after a purge before verdicting.
+    max_attempts:
+        Escalate to :class:`SensorFault` after this many failed purges
+        (the surface is fouled by something a purge cannot remove).
+    coverage_ok:
+        Residual coverage below which the purge counts as successful.
+    """
+
+    off_time_s: float = 4.0
+    recheck_time_s: float = 1.0
+    max_attempts: int = 3
+    coverage_ok: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.off_time_s <= 0.0 or self.recheck_time_s <= 0.0:
+            raise ConfigurationError("purge intervals must be positive")
+        if self.max_attempts < 1:
+            raise ConfigurationError("need at least one attempt")
+        if not 0.0 < self.coverage_ok < 1.0:
+            raise ConfigurationError("coverage_ok must be in (0, 1)")
+
+
+class PurgeController:
+    """Wraps a CTA loop with automatic bubble-purge recovery."""
+
+    def __init__(self, controller: CTAController,
+                 health: LoopHealthMonitor | None = None,
+                 config: PurgeConfig | None = None) -> None:
+        self.controller = controller
+        self.health = health or LoopHealthMonitor()
+        self.config = config or PurgeConfig()
+        self._purges = 0
+
+    @property
+    def purge_count(self) -> int:
+        """Purge cycles executed so far."""
+        return self._purges
+
+    def step(self, conditions: FlowConditions):
+        """One supervised loop tick (returns the loop telemetry)."""
+        tel = self.controller.step(conditions)
+        self.health.update(tel)
+        return tel
+
+    def worst_coverage(self) -> float:
+        """Worst bubble coverage currently on either heater."""
+        sensor = self.controller.sensor
+        return max(sensor.bubbles_a.coverage, sensor.bubbles_b.coverage)
+
+    def purge(self, conditions: FlowConditions) -> bool:
+        """Run one purge attempt; returns True when the surface is clean.
+
+        The bridge supplies are forced to zero for ``off_time_s`` (the
+        sensor still integrates — bubbles detach in the idle phase),
+        then the loop is re-armed and observed for ``recheck_time_s``.
+        """
+        cfg = self.config
+        dt = self.controller.platform.dt_s
+        sensor = self.controller.sensor
+        for _ in range(int(cfg.off_time_s / dt)):
+            sensor.step(dt, 0.0, 0.0, conditions)
+        # Verdict on the surface itself, before any re-heating: did the
+        # off-phase actually detach the coverage?
+        clean = self.worst_coverage() < cfg.coverage_ok
+        # Bumpless re-arm: preset the PIs so the loop restarts cleanly.
+        self.controller.pi_a.preset(self.controller.config.startup_supply_v)
+        self.controller.pi_b.preset(self.controller.config.startup_supply_v)
+        for _ in range(int(cfg.recheck_time_s / dt)):
+            self.controller.step(conditions)
+        self._purges += 1
+        return clean
+
+    def recover(self, conditions: FlowConditions,
+                safe_overtemperature_k: float | None = 5.0) -> int:
+        """Purge until clean or escalation, then fix the cause.
+
+        Bubbles grew because the operating point allowed them; cleaning
+        the surface without retrimming just regrows them (exactly the
+        paper's point about *reduced overtemperature in conjunction
+        with* pulsed drive).  The bridges are therefore retrimmed to
+        ``safe_overtemperature_k`` *before* purging (None keeps the
+        current setpoint, e.g. when the drive scheme was fixed instead),
+        so the post-purge recheck runs at the fixed operating point.
+
+        Returns
+        -------
+        int
+            Attempts used.
+
+        Raises
+        ------
+        SensorFault
+            After ``max_attempts`` failed purges — the degradation is
+            not bubbles (fouling, damage) and needs a site visit.
+        """
+        if safe_overtemperature_k is not None:
+            self.controller.sensor.set_overtemperature(
+                safe_overtemperature_k, conditions.temperature_k)
+        for attempt in range(1, self.config.max_attempts + 1):
+            if self.purge(conditions):
+                self.health.reset_coverage()
+                return attempt
+        raise SensorFault(
+            f"surface still degraded after {self.config.max_attempts} purge "
+            "cycles — not a bubble problem; flag for maintenance")

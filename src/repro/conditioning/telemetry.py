@@ -1,0 +1,148 @@
+"""Measurement telemetry framing over the UART link.
+
+The diffused monitoring points of §6 must report upstream.  A frame
+carries a timestamped flow measurement plus diagnostics; CRC-16
+protects it against the line noise the UART model can inject.
+
+Frame layout (network byte order):
+
+    sync     u16   0x55AA
+    seq      u16   rolling frame counter
+    time_cs  u32   monitor time in centiseconds
+    flow     i16   signed flow in mm/s (±32.7 m/s span, 1 mm/s LSB)
+    flags    u8    bit0 valid, bit1 reverse, bit2 bubble warning
+    coverage u8    bubble coverage, 1/255 steps
+    crc      u16   CRC-16/CCITT over sync..coverage
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ReproError
+from repro.conditioning.monitor import FlowMeasurement
+from repro.isif.eeprom import crc16_ccitt
+from repro.isif.uart import UartLink
+
+__all__ = ["TelemetryFrame", "encode_frame", "decode_frame", "FrameError",
+           "TelemetryChannel", "FRAME_SIZE"]
+
+SYNC = 0x55AA
+_STRUCT = struct.Struct(">HHIhBB")
+_CRC = struct.Struct(">H")
+
+#: Total frame size in bytes.
+FRAME_SIZE = _STRUCT.size + _CRC.size
+
+
+class FrameError(ReproError):
+    """A received frame failed validation (sync or CRC)."""
+
+
+@dataclass(frozen=True)
+class TelemetryFrame:
+    """Decoded telemetry frame.
+
+    Attributes
+    ----------
+    sequence:
+        Rolling 16-bit frame counter (gap detection upstream).
+    time_s:
+        Monitor timestamp, centisecond resolution.
+    flow_mps:
+        Signed flow, 1 mm/s resolution.
+    valid:
+        The sample was fresh (not a pulsed-drive hold).
+    bubble_warning:
+        Coverage above the diagnostic threshold.
+    bubble_coverage:
+        Quantised coverage in [0, 1].
+    """
+
+    sequence: int
+    time_s: float
+    flow_mps: float
+    valid: bool
+    bubble_warning: bool
+    bubble_coverage: float
+
+
+#: Coverage above which the frame carries the bubble-warning flag.
+BUBBLE_WARNING_THRESHOLD = 0.05
+
+
+def encode_frame(measurement: FlowMeasurement, sequence: int) -> bytes:
+    """Pack a measurement into a wire frame."""
+    if not 0 <= sequence <= 0xFFFF:
+        raise ConfigurationError("sequence must be 16-bit")
+    flow_mmps = int(round(measurement.speed_mps * 1000.0))
+    flow_mmps = max(-32768, min(32767, flow_mmps))
+    flags = (int(measurement.valid)
+             | (int(measurement.speed_mps < 0.0) << 1)
+             | (int(measurement.bubble_coverage > BUBBLE_WARNING_THRESHOLD) << 2))
+    coverage = max(0, min(255, int(round(measurement.bubble_coverage * 255.0))))
+    time_cs = int(round(measurement.time_s * 100.0)) & 0xFFFF_FFFF
+    body = _STRUCT.pack(SYNC, sequence, time_cs, flow_mmps, flags, coverage)
+    return body + _CRC.pack(crc16_ccitt(body))
+
+
+def decode_frame(raw: bytes) -> TelemetryFrame:
+    """Unpack and validate a wire frame.
+
+    Raises
+    ------
+    FrameError
+        On short input, bad sync word or CRC mismatch.
+    """
+    if len(raw) != FRAME_SIZE:
+        raise FrameError(f"frame must be {FRAME_SIZE} bytes, got {len(raw)}")
+    body, crc_bytes = raw[:-_CRC.size], raw[-_CRC.size:]
+    (stored,) = _CRC.unpack(crc_bytes)
+    if crc16_ccitt(body) != stored:
+        raise FrameError("frame CRC mismatch (line noise)")
+    sync, seq, time_cs, flow_mmps, flags, coverage = _STRUCT.unpack(body)
+    if sync != SYNC:
+        raise FrameError(f"bad sync word {sync:#x}")
+    return TelemetryFrame(
+        sequence=seq,
+        time_s=time_cs / 100.0,
+        flow_mps=flow_mmps / 1000.0,
+        valid=bool(flags & 0x01),
+        bubble_warning=bool(flags & 0x04),
+        bubble_coverage=coverage / 255.0,
+    )
+
+
+class TelemetryChannel:
+    """Frames measurements and moves them across a UART link.
+
+    Frames whose UART characters or CRC arrive damaged are counted and
+    dropped — the upstream consumer sees sequence gaps, never garbage.
+    """
+
+    def __init__(self, link: UartLink | None = None) -> None:
+        self.link = link or UartLink()
+        self._sequence = 0
+        self.frames_sent = 0
+        self.frames_dropped = 0
+
+    def send(self, measurement: FlowMeasurement) -> TelemetryFrame | None:
+        """Transmit one measurement; returns the decoded frame or None
+        if the line damaged it (dropped)."""
+        raw = encode_frame(measurement, self._sequence)
+        self._sequence = (self._sequence + 1) & 0xFFFF
+        self.frames_sent += 1
+        received, _char_errors = self.link.transfer(raw)
+        try:
+            return decode_frame(received)
+        except FrameError:
+            self.frames_dropped += 1
+            return None
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of frames lost to line noise so far."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.frames_dropped / self.frames_sent

@@ -1,0 +1,85 @@
+"""Volume totalisation — what a water utility actually bills.
+
+The monitor reads speed; the application needs accumulated volume.
+The totaliser integrates speed x pipe area over time, with one subtle
+systematic the flow calibration cannot see: the integration time base
+is the node's own oscillator (:mod:`repro.isif.clock`), so a 500 ppm
+clock error becomes a 500 ppm volume error forever.  The model carries
+that through, and reverse flow (§5: direction detection) is accumulated
+separately — backflow must never silently *reduce* the billed volume.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.isif.clock import ClockGenerator
+
+__all__ = ["VolumeTotaliser"]
+
+
+class VolumeTotaliser:
+    """Integrates signed flow speed into forward/reverse volumes.
+
+    Parameters
+    ----------
+    pipe_diameter_m:
+        Inner diameter used for the speed → volumetric conversion.
+    clock:
+        The node's time base; None uses an ideal clock.
+    """
+
+    def __init__(self, pipe_diameter_m: float = 0.05,
+                 clock: ClockGenerator | None = None) -> None:
+        if pipe_diameter_m <= 0.0:
+            raise ConfigurationError("pipe diameter must be positive")
+        self.pipe_area_m2 = math.pi * (pipe_diameter_m / 2.0) ** 2
+        self.clock = clock
+        self._forward_m3 = 0.0
+        self._reverse_m3 = 0.0
+
+    @property
+    def forward_m3(self) -> float:
+        """Accumulated forward volume [m^3]."""
+        return self._forward_m3
+
+    @property
+    def reverse_m3(self) -> float:
+        """Accumulated reverse volume [m^3] (positive number)."""
+        return self._reverse_m3
+
+    @property
+    def net_m3(self) -> float:
+        """Forward minus reverse [m^3]."""
+        return self._forward_m3 - self._reverse_m3
+
+    def _effective_dt(self, true_dt_s: float) -> float:
+        """The interval as the node's clock measures it."""
+        if self.clock is None:
+            return true_dt_s
+        return true_dt_s * (1.0 + self.clock.time_base_error_fraction())
+
+    def accumulate(self, speed_mps: float, true_dt_s: float) -> None:
+        """Add one measurement interval.
+
+        Parameters
+        ----------
+        speed_mps:
+            Signed mean speed over the interval.
+        true_dt_s:
+            Wall-clock interval length; the totaliser converts it
+            through its (possibly wrong) time base.
+        """
+        if true_dt_s <= 0.0:
+            raise ConfigurationError("dt must be positive")
+        dv = speed_mps * self.pipe_area_m2 * self._effective_dt(true_dt_s)
+        if dv >= 0.0:
+            self._forward_m3 += dv
+        else:
+            self._reverse_m3 += -dv
+
+    def reset(self) -> None:
+        """Zero both registers (meter exchange)."""
+        self._forward_m3 = 0.0
+        self._reverse_m3 = 0.0

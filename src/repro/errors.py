@@ -1,0 +1,50 @@
+"""Exception hierarchy for the anemos reproduction library.
+
+Every error raised on purpose by this package derives from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CalibrationError",
+    "SaturationError",
+    "ConvergenceError",
+    "RegisterError",
+    "SensorFault",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with physically or logically invalid values."""
+
+
+class CalibrationError(ReproError):
+    """Calibration could not be performed or produced an unusable model."""
+
+
+class SaturationError(ReproError):
+    """A signal exceeded the range of an analog or digital block.
+
+    Raised only when the block is configured with ``strict=True``;
+    by default blocks clip and flag instead, as real silicon does.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its budget."""
+
+
+class RegisterError(ReproError):
+    """Invalid access to the ISIF register file (bad address, width, field)."""
+
+
+class SensorFault(ReproError):
+    """The simulated sensor entered a failed state (e.g. membrane rupture)."""

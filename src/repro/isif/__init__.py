@@ -1,0 +1,85 @@
+"""ISIF (Intelligent Sensor InterFace) platform simulation.
+
+Behaviour-accurate model of the mixed-signal SoC of §3: programmable
+analog front-end, ΣΔ ADC (bit-true and behavioural), CIC/FIR decimation,
+thermometer DACs, fixed-point digital IPs (FIR, IIR, PI, sine) with
+bit-identical hardware/software execution, an APB-like register file, a
+LEON cycle-budget scheduler, and the power-state model of the §7 ASIC.
+"""
+
+from repro.isif.fixed_point import QFormat
+from repro.isif.registers import Register, RegisterFile, Field
+from repro.isif.afe import AnalogFrontEnd, ReadoutMode, AFEConfig
+from repro.isif.filters_analog import AntiAliasFilter
+from repro.isif.sigma_delta import BehavioralAdc, SigmaDeltaModulator, SigmaDeltaAdc
+from repro.isif.decimator import CICDecimator
+from repro.isif.dac import ThermometerDAC
+from repro.isif.fir import FirFilter, design_lowpass_fir
+from repro.isif.iir import IIRBiquad, OnePoleLowpass, design_lowpass_biquad
+from repro.isif.pi_controller import PIController, PIConfig
+from repro.isif.sine_gen import SineGenerator
+from repro.isif.scheduler import RealTimeScheduler, IPTask, CpuModel
+from repro.isif.channel import InputChannel, ChannelConfig
+from repro.isif.platform import ISIFPlatform
+from repro.isif.power import PowerState, PowerModel, BatteryPack
+from repro.isif.eeprom import Eeprom, crc16_ccitt
+from repro.isif.uart import UartLink, UartTransmitter, UartReceiver, Parity
+from repro.isif.spi import SpiMaster, SpiSlave, LoopbackSlave, RegisterSlave
+from repro.isif.timers import PeriodicTimer, Watchdog, WatchdogReset
+from repro.isif.demodulator import IQDemodulator
+from repro.isif.clock import ClockGenerator, ClockDivider
+from repro.isif.bus import AddressMap, Mapping
+from repro.isif.reference import BandgapReference, ratiometric_gain_error
+
+__all__ = [
+    "QFormat",
+    "Register",
+    "RegisterFile",
+    "Field",
+    "AnalogFrontEnd",
+    "ReadoutMode",
+    "AFEConfig",
+    "AntiAliasFilter",
+    "BehavioralAdc",
+    "SigmaDeltaModulator",
+    "SigmaDeltaAdc",
+    "CICDecimator",
+    "ThermometerDAC",
+    "FirFilter",
+    "design_lowpass_fir",
+    "IIRBiquad",
+    "OnePoleLowpass",
+    "design_lowpass_biquad",
+    "PIController",
+    "PIConfig",
+    "SineGenerator",
+    "RealTimeScheduler",
+    "IPTask",
+    "CpuModel",
+    "InputChannel",
+    "ChannelConfig",
+    "ISIFPlatform",
+    "PowerState",
+    "PowerModel",
+    "BatteryPack",
+    "Eeprom",
+    "crc16_ccitt",
+    "UartLink",
+    "UartTransmitter",
+    "UartReceiver",
+    "Parity",
+    "SpiMaster",
+    "SpiSlave",
+    "LoopbackSlave",
+    "RegisterSlave",
+    "PeriodicTimer",
+    "Watchdog",
+    "WatchdogReset",
+    "IQDemodulator",
+    "ClockGenerator",
+    "ClockDivider",
+    "AddressMap",
+    "Mapping",
+    "BandgapReference",
+    "ratiometric_gain_error",
+]

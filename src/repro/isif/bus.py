@@ -1,0 +1,98 @@
+"""APB address map: one bus view over all peripheral register files.
+
+§3: the digital section talks to its peripherals over "memories busses
+and peripherals for external communication (AMBA APB/AHB)".  The
+:class:`AddressMap` mounts each block's :class:`RegisterFile` at a base
+address and dispatches 32-bit reads/writes — the view a LEON device
+driver (or a debugger on the test bus) actually has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RegisterError
+from repro.isif.registers import RegisterFile
+
+__all__ = ["Mapping", "AddressMap"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One peripheral window in the map.
+
+    Attributes
+    ----------
+    base:
+        Base byte address (word aligned).
+    size:
+        Window size in bytes.
+    block:
+        The register file mounted there.
+    """
+
+    base: int
+    size: int
+    block: RegisterFile
+
+    def __post_init__(self) -> None:
+        if self.base % 4 != 0 or self.size % 4 != 0 or self.size <= 0:
+            raise RegisterError("mapping must be word aligned with positive size")
+
+    @property
+    def end(self) -> int:
+        """First address past the window."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether an address falls in this window."""
+        return self.base <= address < self.end
+
+
+class AddressMap:
+    """The SoC-level bus decoder."""
+
+    def __init__(self) -> None:
+        self._mappings: list[Mapping] = []
+
+    def mount(self, base: int, size: int, block: RegisterFile) -> Mapping:
+        """Mount a peripheral window; overlaps are rejected."""
+        new = Mapping(base, size, block)
+        for existing in self._mappings:
+            if new.base < existing.end and existing.base < new.end:
+                raise RegisterError(
+                    f"window [{new.base:#x}, {new.end:#x}) overlaps "
+                    f"{existing.block.name} at [{existing.base:#x}, "
+                    f"{existing.end:#x})")
+        self._mappings.append(new)
+        self._mappings.sort(key=lambda m: m.base)
+        return new
+
+    def _decode(self, address: int) -> tuple[RegisterFile, int]:
+        if address % 4 != 0:
+            raise RegisterError(f"unaligned bus access at {address:#x}")
+        for mapping in self._mappings:
+            if mapping.contains(address):
+                return mapping.block, address - mapping.base
+        raise RegisterError(f"bus error: no peripheral at {address:#x}")
+
+    def read(self, address: int) -> int:
+        """32-bit bus read."""
+        block, offset = self._decode(address)
+        return block.read(offset)
+
+    def write(self, address: int, value: int) -> None:
+        """32-bit bus write."""
+        block, offset = self._decode(address)
+        block.write(offset, value)
+
+    def windows(self) -> tuple[Mapping, ...]:
+        """All mounted windows in address order."""
+        return tuple(self._mappings)
+
+    def memory_map_listing(self) -> str:
+        """Human-readable map (the platform datasheet table)."""
+        lines = ["base        end         peripheral"]
+        for m in self._mappings:
+            lines.append(f"{m.base:#010x}  {m.end:#010x}  {m.block.name}")
+        return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Clock generation (§3: "service circuitries provide voltage/current
+references, and oscillation for clock generation").
+
+An on-chip RC/ring oscillator with a frequency tolerance (trimmed at
+production), temperature drift, and cycle-to-cycle jitter, plus a
+divider tree that derives the loop tick from the core clock.  The
+time-base error matters to a *flow totaliser*: a 1 % slow clock reads
+1 % low in accumulated volume even with a perfect flow reading — a
+systematic the tests quantify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ClockGenerator", "ClockDivider"]
+
+
+class ClockGenerator:
+    """Trimmed on-chip oscillator.
+
+    Parameters
+    ----------
+    nominal_hz:
+        Target frequency (ISIF core clock class: tens of MHz).
+    tolerance_ppm:
+        Post-trim frequency tolerance; the realised frequency of this
+        instance is drawn once inside it.
+    tempco_ppm_per_k:
+        Linear frequency drift with die temperature around 25 °C.
+    jitter_ppm_rms:
+        Cycle-to-cycle period jitter.
+    seed:
+        Instance draw / jitter seed.
+    """
+
+    def __init__(self, nominal_hz: float = 40.0e6,
+                 tolerance_ppm: float = 500.0,
+                 tempco_ppm_per_k: float = 30.0,
+                 jitter_ppm_rms: float = 50.0,
+                 seed: int = 0) -> None:
+        if nominal_hz <= 0.0:
+            raise ConfigurationError("nominal frequency must be positive")
+        if min(tolerance_ppm, tempco_ppm_per_k, jitter_ppm_rms) < 0.0:
+            raise ConfigurationError("ppm parameters must be non-negative")
+        self.nominal_hz = nominal_hz
+        self.tolerance_ppm = tolerance_ppm
+        self.tempco_ppm_per_k = tempco_ppm_per_k
+        self.jitter_ppm_rms = jitter_ppm_rms
+        self._rng = np.random.default_rng(seed)
+        self._trim_error_ppm = float(
+            self._rng.uniform(-tolerance_ppm, tolerance_ppm))
+        self.die_temperature_k = 298.15
+
+    def frequency_hz(self) -> float:
+        """Realised frequency at the current die temperature."""
+        drift_ppm = self.tempco_ppm_per_k * (self.die_temperature_k - 298.15)
+        return self.nominal_hz * (1.0 + (self._trim_error_ppm + drift_ppm) * 1e-6)
+
+    def period_s(self, jittered: bool = False) -> float:
+        """One clock period; optionally with cycle jitter applied."""
+        base = 1.0 / self.frequency_hz()
+        if not jittered or self.jitter_ppm_rms == 0.0:
+            return base
+        return base * (1.0 + self.jitter_ppm_rms * 1e-6
+                       * float(self._rng.normal()))
+
+    def time_base_error_fraction(self) -> float:
+        """Fractional error of any interval measured with this clock.
+
+        Positive = the clock runs fast = intervals read long.
+        """
+        return self.frequency_hz() / self.nominal_hz - 1.0
+
+
+class ClockDivider:
+    """Integer divider deriving a block clock from the core clock."""
+
+    def __init__(self, source: ClockGenerator, divide_by: int) -> None:
+        if divide_by < 1:
+            raise ConfigurationError("divider must be >= 1")
+        self.source = source
+        self.divide_by = divide_by
+
+    def frequency_hz(self) -> float:
+        """Divided output frequency."""
+        return self.source.frequency_hz() / self.divide_by
+
+    def ticks_for(self, duration_s: float) -> int:
+        """How many divided ticks this clock counts in a true duration.
+
+        The totaliser systematic: a ppm-fast clock counts extra ticks.
+        """
+        if duration_s < 0.0:
+            raise ConfigurationError("duration must be non-negative")
+        return int(duration_s * self.frequency_hz())

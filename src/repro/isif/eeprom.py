@@ -1,0 +1,108 @@
+"""On-chip EEPROM model (§3: "CACHE, ROM RAM and EEPROM memories").
+
+The deployed sensor keeps its calibration image (the fitted King's-law
+constants, trim settings, direction offset) in EEPROM.  The model
+implements page-organised storage with write-endurance wear, plus the
+CRC-protected calibration record layout the firmware uses
+(:mod:`repro.conditioning.eeprom_image`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SensorFault
+
+__all__ = ["Eeprom", "crc16_ccitt"]
+
+
+def crc16_ccitt(data: bytes, seed: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE — the checksum the firmware stores with the
+    calibration image (polynomial 0x1021)."""
+    crc = seed
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+class Eeprom:
+    """Page-organised EEPROM with endurance accounting.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    page_size:
+        Write granularity; a write touching a page costs one erase/write
+        cycle of that whole page.
+    endurance_cycles:
+        Cycles per page before wear-out; writes to a worn page corrupt
+        (deterministically flip a bit) instead of storing cleanly.
+    seed:
+        Seed for the wear-out corruption pattern.
+    """
+
+    def __init__(self, size_bytes: int = 2048, page_size: int = 32,
+                 endurance_cycles: int = 100_000, seed: int = 0) -> None:
+        if size_bytes <= 0 or page_size <= 0 or size_bytes % page_size != 0:
+            raise ConfigurationError(
+                "size must be a positive multiple of the page size")
+        if endurance_cycles <= 0:
+            raise ConfigurationError("endurance must be positive")
+        self.size_bytes = size_bytes
+        self.page_size = page_size
+        self.endurance_cycles = endurance_cycles
+        self._data = bytearray(b"\xff" * size_bytes)
+        self._page_cycles = [0] * (size_bytes // page_size)
+        self._rng = np.random.default_rng(seed)
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address``."""
+        self._check_range(address, length)
+        return bytes(self._data[address:address + length])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write bytes; accounts one cycle per touched page.
+
+        A page past its endurance corrupts one bit of the written data —
+        the failure the calibration CRC exists to catch.
+        """
+        self._check_range(address, len(data))
+        if not data:
+            return
+        first_page = address // self.page_size
+        last_page = (address + len(data) - 1) // self.page_size
+        payload = bytearray(data)
+        for page in range(first_page, last_page + 1):
+            self._page_cycles[page] += 1
+            if self._page_cycles[page] > self.endurance_cycles:
+                # Worn cell: flip one bit of the part landing in this page.
+                page_lo = max(page * self.page_size, address) - address
+                page_hi = min((page + 1) * self.page_size,
+                              address + len(data)) - address
+                idx = int(self._rng.integers(page_lo, page_hi))
+                payload[idx] ^= 1 << int(self._rng.integers(0, 8))
+        self._data[address:address + len(payload)] = payload
+
+    def page_cycles(self, page_index: int) -> int:
+        """Accumulated erase/write cycles of one page."""
+        if not 0 <= page_index < len(self._page_cycles):
+            raise ConfigurationError("page index out of range")
+        return self._page_cycles[page_index]
+
+    def wear_out_page(self, page_index: int) -> None:
+        """Test hook: age a page to its endurance limit."""
+        if not 0 <= page_index < len(self._page_cycles):
+            raise ConfigurationError("page index out of range")
+        self._page_cycles[page_index] = self.endurance_cycles
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self.size_bytes:
+            raise ConfigurationError(
+                f"access [{address}, {address + length}) outside "
+                f"{self.size_bytes}-byte EEPROM")

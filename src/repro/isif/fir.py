@@ -1,0 +1,103 @@
+"""FIR filter IP with a bit-exact fixed-point path.
+
+One of the dedicated DSP IPs of the digital section.  The float path is
+the design reference; when constructed with a :class:`QFormat`, the IP
+quantises coefficients once and computes on integer codes with a
+double-width accumulator — the exact arithmetic of the silicon block,
+so the software-peripheral twin (the same object stepped by the LEON
+scheduler) matches it bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.isif.fixed_point import QFormat
+
+__all__ = ["FirFilter", "design_lowpass_fir"]
+
+
+class FirFilter:
+    """Direct-form FIR.
+
+    Parameters
+    ----------
+    coefficients:
+        Tap weights (float design values).
+    qformat:
+        If given, coefficients and data are quantised to this format and
+        the filter computes on integer codes.
+    """
+
+    def __init__(self, coefficients: np.ndarray,
+                 qformat: QFormat | None = None) -> None:
+        coeffs = np.asarray(coefficients, dtype=float)
+        if coeffs.ndim != 1 or coeffs.size == 0:
+            raise ConfigurationError("coefficients must be a non-empty 1-D array")
+        self.coefficients = coeffs
+        self.qformat = qformat
+        if qformat is not None:
+            self._coeff_codes = [qformat.to_int(c) for c in coeffs]
+        self._delay_f = np.zeros(coeffs.size)
+        self._delay_i = [0] * coeffs.size
+
+    @property
+    def order(self) -> int:
+        """Filter order (taps - 1)."""
+        return self.coefficients.size - 1
+
+    def reset(self) -> None:
+        """Clear the delay line."""
+        self._delay_f[:] = 0.0
+        self._delay_i = [0] * self.coefficients.size
+
+    def step(self, x: float) -> float:
+        """Filter one sample (float in, float out; fixed-point inside
+        when a Q-format was configured)."""
+        if self.qformat is None:
+            self._delay_f = np.roll(self._delay_f, 1)
+            self._delay_f[0] = x
+            return float(self._delay_f @ self.coefficients)
+        return self.qformat.to_float(self.step_codes(self.qformat.to_int(x)))
+
+    def step_codes(self, x_code: int) -> int:
+        """Bit-exact integer step: code in, code out.
+
+        Accumulates exactly (Python ints), rounds once at the output —
+        the canonical single-rounding MAC datapath.
+        """
+        if self.qformat is None:
+            raise ConfigurationError("filter was built without a Q-format")
+        q = self.qformat
+        self._delay_i = [x_code] + self._delay_i[:-1]
+        acc = 0
+        for code, coeff in zip(self._delay_i, self._coeff_codes):
+            acc += code * coeff
+        shift = q.frac_bits
+        rounded = (acc + (1 << (shift - 1))) >> shift if shift > 0 else acc
+        return q.saturate(rounded)
+
+    def process(self, x: np.ndarray) -> np.ndarray:
+        """Filter a block (state carries over)."""
+        return np.array([self.step(float(v)) for v in np.asarray(x, dtype=float)])
+
+    def dc_gain(self) -> float:
+        """Gain at DC (sum of taps, quantised taps if fixed point)."""
+        if self.qformat is None:
+            return float(np.sum(self.coefficients))
+        return float(sum(self._coeff_codes)) / self.qformat.scale
+
+
+def design_lowpass_fir(cutoff_hz: float, sample_rate_hz: float,
+                       taps: int = 31) -> np.ndarray:
+    """Windowed-sinc (Hamming) low-pass design helper."""
+    if taps < 3 or taps % 2 == 0:
+        raise ConfigurationError("taps must be odd and >= 3")
+    if not 0.0 < cutoff_hz < sample_rate_hz / 2.0:
+        raise ConfigurationError("cutoff must be inside (0, Nyquist)")
+    fc = cutoff_hz / sample_rate_hz
+    n = np.arange(taps) - (taps - 1) / 2.0
+    h = 2.0 * fc * np.sinc(2.0 * fc * n)
+    h *= np.hamming(taps)
+    return h / np.sum(h)

@@ -1,0 +1,135 @@
+"""Q-format fixed-point arithmetic for the digital IPs.
+
+The ISIF property the paper leans on is *exact matching* between
+hardware IPs and their software-peripheral twins: an algorithm explored
+in software on the LEON can be swapped for the silicon IP "with low
+risks and costs".  To keep that property in simulation, every digital
+IP here computes on integers in a declared Q-format; the float path is
+only a design reference.
+
+Conventions: two's-complement signed values, saturating arithmetic
+(silicon DSP blocks saturate rather than wrap), round-half-up on
+quantisation and right shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["QFormat"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format Q<int_bits>.<frac_bits>.
+
+    ``int_bits`` counts magnitude bits left of the binary point
+    (excluding sign).  Total width = 1 + int_bits + frac_bits.
+
+    Examples
+    --------
+    >>> q = QFormat(3, 12)      # Q3.12, 16-bit word
+    >>> q.to_int(1.5)
+    6144
+    >>> q.to_float(q.to_int(1.5))
+    1.5
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise ConfigurationError("bit counts must be non-negative")
+        if self.width > 64:
+            raise ConfigurationError("formats wider than 64 bits are not supported")
+
+    @property
+    def width(self) -> int:
+        """Total word width in bits (sign included)."""
+        return 1 + self.int_bits + self.frac_bits
+
+    @property
+    def scale(self) -> int:
+        """LSB weight denominator: value = int / scale."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable integer code."""
+        return (1 << (self.int_bits + self.frac_bits)) - 1
+
+    @property
+    def min_int(self) -> int:
+        """Smallest (most negative) representable integer code."""
+        return -(1 << (self.int_bits + self.frac_bits))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_int / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable real value."""
+        return self.min_int / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Weight of one LSB."""
+        return 1.0 / self.scale
+
+    # -- conversions ------------------------------------------------------------
+
+    def to_int(self, value: float) -> int:
+        """Quantise a real value to an integer code (round, then saturate)."""
+        code = int(np.floor(float(value) * self.scale + 0.5))
+        return self.saturate(code)
+
+    def to_float(self, code: int) -> float:
+        """Real value of an integer code."""
+        return code / self.scale
+
+    def saturate(self, code: int) -> int:
+        """Clamp an integer code into the representable range."""
+        if code > self.max_int:
+            return self.max_int
+        if code < self.min_int:
+            return self.min_int
+        return code
+
+    def quantize(self, value: float) -> float:
+        """Round-trip a real value through the format."""
+        return self.to_float(self.to_int(value))
+
+    # -- arithmetic on codes -----------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Saturating addition of two codes in this format."""
+        return self.saturate(a + b)
+
+    def mul(self, a: int, b: int, other: "QFormat | None" = None) -> int:
+        """Saturating multiply: ``a`` (this format) times ``b`` (other format).
+
+        The double-width product is rescaled back into this format with
+        round-half-up, matching a DSP multiplier followed by a rounding
+        right-shift.
+        """
+        fmt_b = other or self
+        product = a * b  # exact in Python ints
+        shift = fmt_b.frac_bits
+        rounded = (product + (1 << (shift - 1))) >> shift if shift > 0 else product
+        return self.saturate(rounded)
+
+    def rescale(self, code: int, source: "QFormat") -> int:
+        """Convert a code from ``source`` format into this format."""
+        diff = self.frac_bits - source.frac_bits
+        if diff >= 0:
+            return self.saturate(code << diff)
+        shift = -diff
+        rounded = (code + (1 << (shift - 1))) >> shift
+        return self.saturate(rounded)

@@ -1,0 +1,149 @@
+"""Power-state model of the dedicated ASIC (§7 "Next steps").
+
+"The dedicated asic, currently in fab, features advanced low power
+techniques with deep sleep mode for a considerable power saving allowing
+the whole system to be supplied by rechargeable batteries (4 alkaline
+AA) that guarantees autonomy of one year for a typical sensor usage."
+
+Experiment E12 reproduces that budget: a duty-cycled schedule (short
+measurement bursts, deep sleep in between) against a 4xAA pack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerState", "PowerModel", "BatteryPack"]
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+class PowerState(Enum):
+    """Operating states of the ASIC + sensor system."""
+
+    MEASURE = "measure"          # loop closed, heater driven, CPU active
+    IDLE = "idle"                # electronics on, heater off
+    DEEP_SLEEP = "deep_sleep"    # RTC + wake logic only
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Current draw per state at the battery terminal.
+
+    Defaults are sized for a 0.35 µm BCD mixed-signal ASIC driving the
+    MAF bridge: measurement is dominated by the heater (tens of mW into
+    50 Ω) plus analog front-end and CPU; deep sleep is RTC-class.
+
+    Attributes
+    ----------
+    measure_current_a:
+        Draw while the CTA loop runs (heater + AFE + ADC + CPU).
+    idle_current_a:
+        Electronics awake, heater off.
+    deep_sleep_current_a:
+        Sleep mode (paper's "advanced low power techniques").
+    regulator_efficiency:
+        DC/DC efficiency from battery to rails.
+    """
+
+    measure_current_a: float = 25.0e-3
+    idle_current_a: float = 2.0e-3
+    deep_sleep_current_a: float = 8.0e-6
+    regulator_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        currents = (self.measure_current_a, self.idle_current_a,
+                    self.deep_sleep_current_a)
+        if any(c <= 0.0 for c in currents):
+            raise ConfigurationError("state currents must be positive")
+        if not (self.deep_sleep_current_a < self.idle_current_a
+                < self.measure_current_a):
+            raise ConfigurationError(
+                "expected deep_sleep < idle < measure current ordering")
+        if not 0.0 < self.regulator_efficiency <= 1.0:
+            raise ConfigurationError("regulator efficiency must be in (0, 1]")
+
+    def state_current_a(self, state: PowerState) -> float:
+        """Battery current in a state (regulator loss included)."""
+        raw = {
+            PowerState.MEASURE: self.measure_current_a,
+            PowerState.IDLE: self.idle_current_a,
+            PowerState.DEEP_SLEEP: self.deep_sleep_current_a,
+        }[state]
+        return raw / self.regulator_efficiency
+
+    def average_current_a(self, schedule: list[tuple[PowerState, float]]) -> float:
+        """Average current of a repeating schedule [(state, seconds), ...]."""
+        if not schedule:
+            raise ConfigurationError("schedule must not be empty")
+        total_t = 0.0
+        total_q = 0.0
+        for state, duration in schedule:
+            if duration < 0.0:
+                raise ConfigurationError("durations must be non-negative")
+            total_t += duration
+            total_q += self.state_current_a(state) * duration
+        if total_t <= 0.0:
+            raise ConfigurationError("schedule has zero total duration")
+        return total_q / total_t
+
+    def duty_cycled_current_a(self, measure_s: float, period_s: float,
+                              wake_s: float = 0.05) -> float:
+        """Average current of periodic measurement bursts.
+
+        A burst of ``measure_s`` (plus ``wake_s`` of idle warm-up for
+        references and filters to settle) every ``period_s``, deep sleep
+        in between — the paper's "typical sensor usage".
+        """
+        if period_s <= measure_s + wake_s:
+            raise ConfigurationError("period must exceed the burst length")
+        return self.average_current_a([
+            (PowerState.IDLE, wake_s),
+            (PowerState.MEASURE, measure_s),
+            (PowerState.DEEP_SLEEP, period_s - measure_s - wake_s),
+        ])
+
+
+@dataclass(frozen=True)
+class BatteryPack:
+    """Primary-cell pack (default: the paper's 4 alkaline AA).
+
+    Attributes
+    ----------
+    cells:
+        Series cell count.
+    cell_capacity_ah:
+        Usable capacity per cell at low drain.
+    usable_fraction:
+        Derating for self-discharge, temperature and end-of-life voltage.
+    """
+
+    cells: int = 4
+    cell_capacity_ah: float = 2.8
+    usable_fraction: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.cells < 1:
+            raise ConfigurationError("need at least one cell")
+        if self.cell_capacity_ah <= 0.0:
+            raise ConfigurationError("capacity must be positive")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ConfigurationError("usable fraction must be in (0, 1]")
+
+    @property
+    def usable_capacity_ah(self) -> float:
+        """Usable charge of the pack [Ah] (series cells share one charge)."""
+        return self.cell_capacity_ah * self.usable_fraction
+
+    def autonomy_s(self, average_current_a: float) -> float:
+        """Runtime [s] at a given average drain."""
+        if average_current_a <= 0.0:
+            raise ConfigurationError("average current must be positive")
+        return self.usable_capacity_ah * 3600.0 / average_current_a
+
+    def autonomy_years(self, average_current_a: float) -> float:
+        """Runtime in years — the unit of the paper's claim."""
+        return self.autonomy_s(average_current_a) / SECONDS_PER_YEAR

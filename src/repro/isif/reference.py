@@ -1,0 +1,85 @@
+"""Bandgap voltage reference (§3: "service circuitries provide
+voltage/current references").
+
+The reference sets the scale of both the ΣΔ ADC and the thermometer
+DACs.  Its two imperfections behave very differently at system level:
+
+* the *absolute* tolerance (±0.5 % class after trim) would be a direct
+  flow gain error — **if** the ADC and DAC used different references.
+  ISIF is ratiometric: both scale from the same bandgap, so the loop's
+  supply measurement and actuation errors cancel (a property
+  :func:`ratiometric_gain_error` makes explicit and the tests verify);
+* the temperature coefficient moves the scale between calibration and
+  service — small (25 ppm/K class) but a true drift term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BandgapReference", "ratiometric_gain_error"]
+
+
+class BandgapReference:
+    """Trimmed bandgap with tolerance, tempco and output noise.
+
+    Parameters
+    ----------
+    nominal_v:
+        Design output (2.5 V for the channel scale, 5 V buffered for
+        the DAC span).
+    tolerance:
+        Post-trim absolute tolerance (fraction); the instance's realised
+        value is drawn once.
+    tempco_ppm_per_k:
+        Linear drift around 25 °C (a trimmed curvature-corrected bandgap
+        is 10-50 ppm/K).
+    noise_uv_rms:
+        Broadband output noise.
+    seed:
+        Instance draw seed.
+    """
+
+    def __init__(self, nominal_v: float = 2.5, tolerance: float = 0.005,
+                 tempco_ppm_per_k: float = 25.0,
+                 noise_uv_rms: float = 30.0, seed: int = 0) -> None:
+        if nominal_v <= 0.0:
+            raise ConfigurationError("nominal voltage must be positive")
+        if not 0.0 <= tolerance < 0.1:
+            raise ConfigurationError("tolerance out of the trimmed-bandgap class")
+        if tempco_ppm_per_k < 0.0 or noise_uv_rms < 0.0:
+            raise ConfigurationError("tempco and noise must be non-negative")
+        self.nominal_v = nominal_v
+        self.tolerance = tolerance
+        self.tempco_ppm_per_k = tempco_ppm_per_k
+        self.noise_uv_rms = noise_uv_rms
+        self._rng = np.random.default_rng(seed)
+        self._trim_error = float(self._rng.uniform(-tolerance, tolerance))
+        self.die_temperature_k = 298.15
+
+    def value_v(self, noisy: bool = False) -> float:
+        """Output voltage at the current die temperature."""
+        drift = self.tempco_ppm_per_k * 1e-6 * (self.die_temperature_k - 298.15)
+        v = self.nominal_v * (1.0 + self._trim_error + drift)
+        if noisy and self.noise_uv_rms > 0.0:
+            v += self.noise_uv_rms * 1e-6 * float(self._rng.normal())
+        return v
+
+    def gain_error_fraction(self) -> float:
+        """Fractional scale error vs nominal at the current temperature."""
+        return self.value_v() / self.nominal_v - 1.0
+
+
+def ratiometric_gain_error(adc_reference: BandgapReference,
+                           dac_reference: BandgapReference) -> float:
+    """Net gain error of a measure-through-actuate loop.
+
+    The CTA loop *measures* the bridge with the ADC scale and *drives*
+    it with the DAC scale; the flow observable is their ratio.  With a
+    shared reference (same object) the error is exactly zero; with
+    independent references it is the mismatch of the two.
+    """
+    return (dac_reference.value_v() / dac_reference.nominal_v) \
+        / (adc_reference.value_v() / adc_reference.nominal_v) - 1.0

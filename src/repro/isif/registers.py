@@ -1,0 +1,173 @@
+"""Register file and APB-like configuration bus.
+
+The ISIF digital section configures its analog blocks through "a JLCC
+approach for handling the digital bits used for analog block
+configurations" and exposes its IPs on AMBA APB/AHB.  This module
+models the software-visible part: 32-bit registers with named bit
+fields, grouped into a :class:`RegisterFile` that peripherals attach to.
+
+The conditioning firmware (:mod:`repro.conditioning`) programs the
+platform exclusively through this interface, so every knob a real
+driver would touch has an address here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RegisterError
+
+__all__ = ["Field", "Register", "RegisterFile"]
+
+WORD_MASK = 0xFFFF_FFFF
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named bit field inside a register.
+
+    Attributes
+    ----------
+    name:
+        Field name, unique within its register.
+    lsb:
+        Bit position of the least-significant bit.
+    width:
+        Field width in bits.
+    """
+
+    name: str
+    lsb: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lsb <= 31:
+            raise RegisterError(f"field {self.name!r}: lsb out of a 32-bit word")
+        if self.width < 1 or self.lsb + self.width > 32:
+            raise RegisterError(f"field {self.name!r}: width {self.width} does not fit")
+
+    @property
+    def mask(self) -> int:
+        """In-place mask of the field within the word."""
+        return ((1 << self.width) - 1) << self.lsb
+
+    @property
+    def max_value(self) -> int:
+        """Largest value the field can hold."""
+        return (1 << self.width) - 1
+
+
+class Register:
+    """One 32-bit register with optional named fields."""
+
+    def __init__(self, name: str, offset: int, reset: int = 0,
+                 fields: tuple[Field, ...] = ()) -> None:
+        if offset % 4 != 0:
+            raise RegisterError(f"register {name!r}: offset {offset:#x} not word aligned")
+        if not 0 <= reset <= WORD_MASK:
+            raise RegisterError(f"register {name!r}: reset value out of 32 bits")
+        names = [f.name for f in fields]
+        if len(names) != len(set(names)):
+            raise RegisterError(f"register {name!r}: duplicate field names")
+        for a in fields:
+            for b in fields:
+                if a is not b and (a.mask & b.mask):
+                    raise RegisterError(
+                        f"register {name!r}: fields {a.name!r} and {b.name!r} overlap")
+        self.name = name
+        self.offset = offset
+        self.reset = reset
+        self.fields = {f.name: f for f in fields}
+        self.value = reset
+
+    def read(self) -> int:
+        """Read the full 32-bit word."""
+        return self.value
+
+    def write(self, value: int) -> None:
+        """Write the full 32-bit word."""
+        if not 0 <= value <= WORD_MASK:
+            raise RegisterError(f"{self.name}: write value {value:#x} out of 32 bits")
+        self.value = value
+
+    def read_field(self, field_name: str) -> int:
+        """Read one named field."""
+        f = self._field(field_name)
+        return (self.value & f.mask) >> f.lsb
+
+    def write_field(self, field_name: str, value: int) -> None:
+        """Read-modify-write one named field."""
+        f = self._field(field_name)
+        if not 0 <= value <= f.max_value:
+            raise RegisterError(
+                f"{self.name}.{field_name}: value {value} exceeds {f.width}-bit field")
+        self.value = (self.value & ~f.mask) | (value << f.lsb)
+
+    def _field(self, field_name: str) -> Field:
+        try:
+            return self.fields[field_name]
+        except KeyError:
+            raise RegisterError(f"{self.name}: no field {field_name!r}") from None
+
+
+class RegisterFile:
+    """Address-indexed collection of registers (one APB peripheral).
+
+    Peripheral models instantiate a file, declare their registers, and
+    read their configuration from it each step, so firmware and tests
+    interact with the block exactly the way a device driver would.
+    """
+
+    def __init__(self, name: str, base_address: int = 0) -> None:
+        self.name = name
+        self.base_address = base_address
+        self._by_offset: dict[int, Register] = {}
+        self._by_name: dict[str, Register] = {}
+
+    def add(self, register: Register) -> Register:
+        """Attach a register; offsets and names must be unique."""
+        if register.offset in self._by_offset:
+            raise RegisterError(
+                f"{self.name}: offset {register.offset:#x} already occupied")
+        if register.name in self._by_name:
+            raise RegisterError(f"{self.name}: duplicate register {register.name!r}")
+        self._by_offset[register.offset] = register
+        self._by_name[register.name] = register
+        return register
+
+    def reg(self, name: str) -> Register:
+        """Look a register up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise RegisterError(f"{self.name}: no register {name!r}") from None
+
+    def read(self, offset: int) -> int:
+        """Bus read at a byte offset."""
+        return self._at(offset).read()
+
+    def write(self, offset: int, value: int) -> None:
+        """Bus write at a byte offset."""
+        self._at(offset).write(value)
+
+    def reset_all(self) -> None:
+        """Return every register to its reset value."""
+        for r in self._by_offset.values():
+            r.value = r.reset
+
+    def dump(self) -> dict[str, int]:
+        """Snapshot of all register values keyed by name."""
+        return {r.name: r.value for r in self._by_offset.values()}
+
+    def _at(self, offset: int) -> Register:
+        try:
+            return self._by_offset[offset]
+        except KeyError:
+            raise RegisterError(
+                f"{self.name}: no register at offset {offset:#x}") from None
+
+    def __len__(self) -> int:
+        return len(self._by_offset)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

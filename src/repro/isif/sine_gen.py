@@ -1,0 +1,85 @@
+"""DDS sine-wave generator IP.
+
+Part of the ISIF digital section ("modulator and channel demodulators
+... and sine wave generator").  The anemometer does not excite its
+sensor with AC, but the IP is exercised by the platform self-test and
+by the design-space-exploration bench, so it is implemented faithfully:
+a phase accumulator addressing a quarter-wave LUT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SineGenerator"]
+
+
+class SineGenerator:
+    """Phase-accumulator DDS with quarter-wave compression.
+
+    Parameters
+    ----------
+    sample_rate_hz:
+        Clock of the IP.
+    phase_bits:
+        Accumulator width (frequency resolution = fs / 2**phase_bits).
+    lut_bits:
+        Address width of the quarter-wave LUT.
+    amplitude_bits:
+        Output word resolution (signed).
+    """
+
+    def __init__(self, sample_rate_hz: float, phase_bits: int = 24,
+                 lut_bits: int = 10, amplitude_bits: int = 12) -> None:
+        if sample_rate_hz <= 0.0:
+            raise ConfigurationError("sample rate must be positive")
+        if not 8 <= phase_bits <= 32:
+            raise ConfigurationError("phase_bits must be in [8, 32]")
+        if not 4 <= lut_bits <= phase_bits - 2:
+            raise ConfigurationError("lut_bits must be in [4, phase_bits-2]")
+        if not 4 <= amplitude_bits <= 16:
+            raise ConfigurationError("amplitude_bits must be in [4, 16]")
+        self.sample_rate_hz = sample_rate_hz
+        self.phase_bits = phase_bits
+        self.lut_bits = lut_bits
+        self.amplitude_bits = amplitude_bits
+        self._acc = 0
+        self._fcw = 0
+        amp = (1 << (amplitude_bits - 1)) - 1
+        idx = np.arange(1 << lut_bits)
+        self._lut = np.round(
+            amp * np.sin(np.pi / 2.0 * (idx + 0.5) / (1 << lut_bits))
+        ).astype(int)
+
+    @property
+    def frequency_resolution_hz(self) -> float:
+        """Smallest programmable frequency step."""
+        return self.sample_rate_hz / (1 << self.phase_bits)
+
+    def set_frequency(self, hz: float) -> float:
+        """Program the frequency; returns the actually realised value."""
+        if not 0.0 <= hz < self.sample_rate_hz / 2.0:
+            raise ConfigurationError("frequency must be in [0, Nyquist)")
+        self._fcw = int(round(hz / self.sample_rate_hz * (1 << self.phase_bits)))
+        return self._fcw * self.frequency_resolution_hz
+
+    def step(self) -> int:
+        """One clock: returns the signed LUT output code."""
+        self._acc = (self._acc + self._fcw) & ((1 << self.phase_bits) - 1)
+        quadrant = self._acc >> (self.phase_bits - 2)
+        index = (self._acc >> (self.phase_bits - 2 - self.lut_bits)) & ((1 << self.lut_bits) - 1)
+        if quadrant == 0:
+            return int(self._lut[index])
+        if quadrant == 1:
+            return int(self._lut[(1 << self.lut_bits) - 1 - index])
+        if quadrant == 2:
+            return -int(self._lut[index])
+        return -int(self._lut[(1 << self.lut_bits) - 1 - index])
+
+    def generate(self, n: int) -> np.ndarray:
+        """Run n clocks and return the sample block."""
+        if n < 0:
+            raise ConfigurationError("n must be non-negative")
+        return np.array([self.step() for _ in range(n)], dtype=int)

@@ -1,0 +1,120 @@
+"""SPI peripheral model (§3: "SPIs (Serial Peripheral Interface)").
+
+Full-duplex mode-configurable master/slave byte exchange.  On the real
+board the SPI talks to the external reference meter's totaliser and to
+host-side configuration tools; in the reproduction it is exercised by
+the platform tests and the telemetry example.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SpiMode", "SpiSlave", "SpiMaster", "LoopbackSlave", "RegisterSlave"]
+
+
+class SpiMode:
+    """Clock polarity/phase combinations (mode 0..3)."""
+
+    VALID = (0, 1, 2, 3)
+
+
+class SpiSlave:
+    """Interface for a device on the bus: one byte in, one byte out."""
+
+    def exchange_byte(self, mosi: int) -> int:
+        """Consume the master's byte, return the slave's byte."""
+        raise NotImplementedError
+
+    def select(self) -> None:
+        """Chip-select asserted (start of a transaction)."""
+
+    def deselect(self) -> None:
+        """Chip-select released (end of a transaction)."""
+
+
+class LoopbackSlave(SpiSlave):
+    """Echoes every byte back (test-bus loopback, §3's test bus)."""
+
+    def exchange_byte(self, mosi: int) -> int:
+        return mosi
+
+
+class RegisterSlave(SpiSlave):
+    """A register-file-backed slave: [addr][data...] write, addr|0x80 read.
+
+    Byte protocol: first byte of the transaction is the address (MSB set
+    for read); subsequent bytes write to / read from auto-incrementing
+    addresses.
+    """
+
+    def __init__(self, size: int = 64) -> None:
+        if size <= 0 or size > 128:
+            raise ConfigurationError("register slave size must be in (0, 128]")
+        self._regs = bytearray(size)
+        self._addr: int | None = None
+        self._reading = False
+
+    def select(self) -> None:
+        self._addr = None
+        self._reading = False
+
+    def exchange_byte(self, mosi: int) -> int:
+        if not 0 <= mosi <= 0xFF:
+            raise ConfigurationError("SPI bytes must be 8-bit")
+        if self._addr is None:
+            self._reading = bool(mosi & 0x80)
+            self._addr = mosi & 0x7F
+            if self._addr >= len(self._regs):
+                raise ConfigurationError(
+                    f"SPI register address {self._addr} out of range")
+            return 0x00
+        value = self._regs[self._addr]
+        if not self._reading:
+            self._regs[self._addr] = mosi
+        self._addr = (self._addr + 1) % len(self._regs)
+        return value
+
+    def peek(self, address: int) -> int:
+        """Direct register inspection for tests."""
+        return self._regs[address]
+
+
+class SpiMaster:
+    """Byte-granular SPI master.
+
+    Parameters
+    ----------
+    mode:
+        SPI mode 0..3 (modelled for configuration completeness; byte
+        semantics are mode-independent at this abstraction level).
+    clock_hz:
+        Bus clock, used to report transfer durations for the power and
+        scheduler models.
+    """
+
+    def __init__(self, mode: int = 0, clock_hz: float = 1.0e6) -> None:
+        if mode not in SpiMode.VALID:
+            raise ConfigurationError(f"SPI mode must be one of {SpiMode.VALID}")
+        if clock_hz <= 0.0:
+            raise ConfigurationError("clock must be positive")
+        self.mode = mode
+        self.clock_hz = clock_hz
+
+    def transfer(self, slave: SpiSlave, mosi: bytes) -> tuple[bytes, float]:
+        """One chip-select transaction.
+
+        Returns
+        -------
+        (miso, duration_s)
+            The slave's bytes and the bus time consumed.
+        """
+        slave.select()
+        miso = bytearray()
+        try:
+            for byte in mosi:
+                miso.append(slave.exchange_byte(byte))
+        finally:
+            slave.deselect()
+        duration = len(mosi) * 8.0 / self.clock_hz
+        return bytes(miso), duration

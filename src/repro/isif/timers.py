@@ -1,0 +1,118 @@
+"""Timer and watchdog peripherals (§3: "timers, watchdog").
+
+The watchdog is safety-relevant for an autonomous metering point: if
+the conditioning firmware hangs (e.g. stuck waiting on a dead ADC), the
+watchdog expires and forces a reset instead of silently reporting a
+frozen flow value — exactly the failure the leak-detection application
+cannot tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PeriodicTimer", "Watchdog", "WatchdogReset"]
+
+
+class WatchdogReset(Exception):
+    """Raised by the watchdog model when the timeout expires.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: a watchdog
+    reset is a system event the test harness must always see, never a
+    library error a broad handler should swallow.
+    """
+
+
+class PeriodicTimer:
+    """Down-counting auto-reload timer with an optional callback."""
+
+    def __init__(self, period_s: float,
+                 callback: Callable[[], None] | None = None) -> None:
+        if period_s <= 0.0:
+            raise ConfigurationError("timer period must be positive")
+        self.period_s = period_s
+        self.callback = callback
+        self._remaining = period_s
+        self._fired = 0
+
+    @property
+    def fire_count(self) -> int:
+        """Expirations so far."""
+        return self._fired
+
+    def advance(self, dt: float) -> int:
+        """Advance time; returns how many times the timer fired."""
+        if dt < 0.0:
+            raise ConfigurationError("dt must be non-negative")
+        fires = 0
+        self._remaining -= dt
+        while self._remaining <= 0.0:
+            self._remaining += self.period_s
+            fires += 1
+            self._fired += 1
+            if self.callback is not None:
+                self.callback()
+        return fires
+
+    def restart(self) -> None:
+        """Reload the full period."""
+        self._remaining = self.period_s
+
+
+class Watchdog:
+    """Window-less watchdog: kick it before ``timeout_s`` elapses.
+
+    Usage inside a control loop::
+
+        wd = Watchdog(timeout_s=0.5)
+        while True:
+            loop_body()
+            wd.kick()
+            wd.advance(dt)      # driven from the same time base
+    """
+
+    def __init__(self, timeout_s: float) -> None:
+        if timeout_s <= 0.0:
+            raise ConfigurationError("watchdog timeout must be positive")
+        self.timeout_s = timeout_s
+        self._since_kick = 0.0
+        self._resets = 0
+        self._enabled = True
+
+    @property
+    def reset_count(self) -> int:
+        """Resets forced so far."""
+        return self._resets
+
+    def enable(self, on: bool = True) -> None:
+        """Gate the watchdog (disabled during deep sleep)."""
+        self._enabled = on
+        if on:
+            self._since_kick = 0.0
+
+    def kick(self) -> None:
+        """Service the watchdog (the firmware's liveness proof)."""
+        self._since_kick = 0.0
+
+    def advance(self, dt: float) -> None:
+        """Advance time.
+
+        Raises
+        ------
+        WatchdogReset
+            When the timeout expires without a kick.  The counter is
+            cleared so the handler can resume after "reset".
+        """
+        if dt < 0.0:
+            raise ConfigurationError("dt must be non-negative")
+        if not self._enabled:
+            return
+        self._since_kick += dt
+        if self._since_kick >= self.timeout_s:
+            self._resets += 1
+            self._since_kick = 0.0
+            raise WatchdogReset(
+                f"watchdog expired after {self.timeout_s} s without service "
+                f"(reset #{self._resets})")

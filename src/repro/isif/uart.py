@@ -1,0 +1,130 @@
+"""UART peripheral model (§3: "standard IPs such as ... UARTs").
+
+Bit-level 8-N-1 (configurable parity) transmitter/receiver pair.  The
+deployed monitor streams measurement frames over this link
+(:mod:`repro.conditioning.telemetry`); the model is bit-accurate so the
+telemetry tests can inject line noise and verify the framing layer's
+error detection.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Parity", "UartTransmitter", "UartReceiver", "UartLink"]
+
+
+class Parity(Enum):
+    """Parity configuration."""
+
+    NONE = "none"
+    EVEN = "even"
+    ODD = "odd"
+
+
+def _parity_bit(byte: int, parity: Parity) -> int | None:
+    ones = bin(byte).count("1")
+    if parity is Parity.NONE:
+        return None
+    if parity is Parity.EVEN:
+        return ones & 1
+    return (ones & 1) ^ 1
+
+
+class UartTransmitter:
+    """Serialises bytes into line bits (idle-high convention)."""
+
+    def __init__(self, parity: Parity = Parity.NONE) -> None:
+        self.parity = parity
+
+    def serialise(self, data: bytes) -> np.ndarray:
+        """Bitstream (one entry per bit time): start, 8 data LSB-first,
+        optional parity, stop."""
+        bits: list[int] = []
+        for byte in data:
+            if not 0 <= byte <= 0xFF:
+                raise ConfigurationError("bytes must be 8-bit")
+            bits.append(0)  # start
+            bits.extend((byte >> i) & 1 for i in range(8))
+            p = _parity_bit(byte, self.parity)
+            if p is not None:
+                bits.append(p)
+            bits.append(1)  # stop
+        return np.array(bits, dtype=np.uint8)
+
+
+class UartReceiver:
+    """Deserialises line bits back into bytes with error flags."""
+
+    def __init__(self, parity: Parity = Parity.NONE) -> None:
+        self.parity = parity
+
+    def frame_bits(self) -> int:
+        """Bits per character frame."""
+        return 10 + (0 if self.parity is Parity.NONE else 1)
+
+    def deserialise(self, bits: np.ndarray) -> tuple[bytes, list[int]]:
+        """Decode a bitstream.
+
+        Returns
+        -------
+        (data, error_indices)
+            Decoded bytes and the character indices whose frame had a
+            framing or parity error (those bytes are still returned —
+            the upper layer's CRC decides what to drop).
+        """
+        frame = self.frame_bits()
+        stream = np.asarray(bits, dtype=np.uint8)
+        if stream.size % frame != 0:
+            raise ConfigurationError(
+                f"bitstream length {stream.size} is not a multiple of the "
+                f"{frame}-bit frame")
+        out = bytearray()
+        errors: list[int] = []
+        for i in range(stream.size // frame):
+            chunk = stream[i * frame:(i + 1) * frame]
+            start, payload = chunk[0], chunk[1:9]
+            byte = int(sum(int(b) << k for k, b in enumerate(payload)))
+            bad = start != 0 or chunk[-1] != 1
+            if self.parity is not Parity.NONE:
+                expected = _parity_bit(byte, self.parity)
+                bad = bad or int(chunk[9]) != expected
+            if bad:
+                errors.append(i)
+            out.append(byte)
+        return bytes(out), errors
+
+
+class UartLink:
+    """A TX → (noisy line) → RX pair.
+
+    Parameters
+    ----------
+    parity:
+        Shared parity configuration.
+    bit_error_rate:
+        Probability of each line bit flipping in transit.
+    seed:
+        Noise seed.
+    """
+
+    def __init__(self, parity: Parity = Parity.NONE,
+                 bit_error_rate: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= bit_error_rate < 0.5:
+            raise ConfigurationError("bit error rate must be in [0, 0.5)")
+        self.tx = UartTransmitter(parity)
+        self.rx = UartReceiver(parity)
+        self.bit_error_rate = bit_error_rate
+        self._rng = np.random.default_rng(seed)
+
+    def transfer(self, data: bytes) -> tuple[bytes, list[int]]:
+        """Send bytes through the (possibly noisy) line."""
+        bits = self.tx.serialise(data)
+        if self.bit_error_rate > 0.0 and bits.size:
+            flips = self._rng.random(bits.size) < self.bit_error_rate
+            bits = bits ^ flips.astype(np.uint8)
+        return self.rx.deserialise(bits)

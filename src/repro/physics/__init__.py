@@ -1,0 +1,41 @@
+"""Physical substrate: water properties, convection, King's law, thermal RC
+networks, turbulence noise and carbonate chemistry.
+
+These modules replace the physical testbed of the paper (a MEMS die in a
+potable-water line) with first-principles models, per the substitution
+table in ``DESIGN.md`` §2.
+"""
+
+from repro.physics.water import WaterProperties, water_properties, saturation_pressure, boiling_temperature
+from repro.physics.kings_law import KingsLaw, fit_kings_law
+from repro.physics.convection import (
+    WireGeometry,
+    reynolds_number,
+    nusselt_kramers,
+    film_conductance,
+    derive_kings_coefficients,
+)
+from repro.physics.thermal import ThermalNetwork, ThermalNode
+from repro.physics.turbulence import OrnsteinUhlenbeck, FlowNoise
+from repro.physics.carbonate import WaterChemistry, langelier_index, scaling_driving_force
+
+__all__ = [
+    "WaterProperties",
+    "water_properties",
+    "saturation_pressure",
+    "boiling_temperature",
+    "KingsLaw",
+    "fit_kings_law",
+    "WireGeometry",
+    "reynolds_number",
+    "nusselt_kramers",
+    "film_conductance",
+    "derive_kings_coefficients",
+    "ThermalNetwork",
+    "ThermalNode",
+    "OrnsteinUhlenbeck",
+    "FlowNoise",
+    "WaterChemistry",
+    "langelier_index",
+    "scaling_driving_force",
+]

@@ -1,0 +1,98 @@
+"""Thermophysical properties of dry air at 1 atm.
+
+The MAF die "was originally designed for automotive" mass-air-flow
+duty (§2); this module lets the same sensor/conditioning stack run in
+its native medium.  Correlations: ideal-gas density, Sutherland
+viscosity, and a standard conductivity fit — all better than 1 % over
+-20 … 150 °C, far beyond the envelope used here.
+
+The module exposes the same property interface as
+:mod:`repro.physics.water` (``film_properties_scalar`` plus the
+vectorised functions), so the convection layer can take either medium.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "density",
+    "specific_heat",
+    "thermal_conductivity",
+    "dynamic_viscosity",
+    "kinematic_viscosity",
+    "prandtl_number",
+    "film_properties_scalar",
+]
+
+#: Specific gas constant of dry air [J/(kg K)].
+R_AIR = 287.05
+
+#: Working pressure [Pa] — MAF ducts sit near ambient.
+PRESSURE_PA = 101_325.0
+
+_RANGE_K = (230.0, 430.0)
+
+
+def _check(temperature_k) -> np.ndarray:
+    t = np.asarray(temperature_k, dtype=float)
+    lo, hi = _RANGE_K
+    if np.any(t < lo) or np.any(t > hi):
+        raise ConfigurationError(
+            f"air temperature {t!r} K outside the correlation range "
+            f"[{lo}, {hi}] K")
+    return t
+
+
+def density(temperature_k) -> np.ndarray:
+    """Ideal-gas density [kg/m^3] at 1 atm."""
+    t = _check(temperature_k)
+    return PRESSURE_PA / (R_AIR * t)
+
+
+def specific_heat(temperature_k) -> np.ndarray:
+    """Isobaric cp [J/(kg K)] (weak quadratic around 1005)."""
+    t = _check(temperature_k)
+    return 1002.5 + 2.75e-4 * (t - 260.0) ** 2 * 1e-1
+
+
+def thermal_conductivity(temperature_k) -> np.ndarray:
+    """k [W/(m K)] — linearised kinetic-theory fit."""
+    t = _check(temperature_k)
+    return 0.0241 * (t / 273.15) ** 0.9
+
+
+def dynamic_viscosity(temperature_k) -> np.ndarray:
+    """Sutherland's law [Pa s]."""
+    t = _check(temperature_k)
+    mu0, t0, s = 1.716e-5, 273.15, 110.4
+    return mu0 * (t / t0) ** 1.5 * (t0 + s) / (t + s)
+
+
+def kinematic_viscosity(temperature_k) -> np.ndarray:
+    """nu [m^2/s]."""
+    return dynamic_viscosity(temperature_k) / density(temperature_k)
+
+
+def prandtl_number(temperature_k) -> np.ndarray:
+    """Pr — ~0.71 and nearly flat for air."""
+    t = _check(temperature_k)
+    return specific_heat(t) * dynamic_viscosity(t) / thermal_conductivity(t)
+
+
+def film_properties_scalar(temperature_k: float) -> tuple[float, float, float]:
+    """Fast scalar (k, nu, Pr) — the same contract as the water module."""
+    t = float(temperature_k)
+    lo, hi = _RANGE_K
+    if not lo < t < hi:
+        raise ConfigurationError(
+            f"air film temperature {t} K outside [{lo}, {hi}] K")
+    k = 0.0241 * (t / 273.15) ** 0.9
+    mu = 1.716e-5 * (t / 273.15) ** 1.5 * (273.15 + 110.4) / (t + 110.4)
+    rho = PRESSURE_PA / (R_AIR * t)
+    cp = 1002.5 + 2.75e-4 * (t - 260.0) ** 2 * 1e-1
+    return k, mu / rho, cp * mu / k

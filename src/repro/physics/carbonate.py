@@ -1,0 +1,128 @@
+"""Calcium-carbonate chemistry of potable water.
+
+The paper (fig. 8 and eq. (3)) identifies the thermally driven reaction
+
+    Ca(HCO3)2  ->  CaCO3 + CO2 + H2O
+
+as a failure mechanism: calcite solubility *decreases* with temperature,
+so the heated wire is exactly where scale precipitates.  We model the
+propensity to scale with the classical Langelier Saturation Index (LSI),
+evaluated at the hot-wall temperature, and expose a driving force that
+the fouling model (:mod:`repro.sensor.fouling`) integrates into deposit
+thickness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import CELSIUS_OFFSET
+
+__all__ = [
+    "WaterChemistry",
+    "langelier_index",
+    "saturation_ratio",
+    "scaling_driving_force",
+    "TUSCAN_TAP_WATER",
+]
+
+
+@dataclass(frozen=True)
+class WaterChemistry:
+    """Bulk chemistry of the water in the line.
+
+    Attributes
+    ----------
+    calcium_mg_per_l:
+        Calcium hardness expressed as mg/L of CaCO3.
+    alkalinity_mg_per_l:
+        Total alkalinity expressed as mg/L of CaCO3.
+    ph:
+        Bulk pH.
+    tds_mg_per_l:
+        Total dissolved solids [mg/L].
+    """
+
+    calcium_mg_per_l: float = 180.0
+    alkalinity_mg_per_l: float = 220.0
+    ph: float = 7.4
+    tds_mg_per_l: float = 450.0
+
+    def __post_init__(self) -> None:
+        if self.calcium_mg_per_l <= 0.0 or self.alkalinity_mg_per_l <= 0.0:
+            raise ConfigurationError("hardness and alkalinity must be positive")
+        if not 4.0 <= self.ph <= 11.0:
+            raise ConfigurationError(f"pH {self.ph} outside plausible potable range")
+        if self.tds_mg_per_l <= 0.0:
+            raise ConfigurationError("TDS must be positive")
+
+
+#: Hard Tuscan tap water — representative of the Vinci test station
+#: (Arno basin groundwater is notoriously calcareous).  The pH puts it
+#: just *below* calcite saturation at line temperature, so pipes stay
+#: clean but any heated surface crosses into the scaling regime — the
+#: paper's fig. 8 situation.
+TUSCAN_TAP_WATER = WaterChemistry(
+    calcium_mg_per_l=220.0,
+    alkalinity_mg_per_l=260.0,
+    ph=7.35,
+    tds_mg_per_l=520.0,
+)
+
+
+def _ph_of_saturation(chem: WaterChemistry, temperature_k) -> np.ndarray:
+    """Langelier pH of saturation pHs = 9.3 + A + B - C - D."""
+    t_k = np.asarray(temperature_k, dtype=float)
+    if np.any(t_k < CELSIUS_OFFSET) or np.any(t_k > CELSIUS_OFFSET + 150.0):
+        raise ConfigurationError("temperature outside liquid water range for LSI")
+    a = (np.log10(chem.tds_mg_per_l) - 1.0) / 10.0
+    b = -13.12 * np.log10(t_k) + 34.55
+    c = np.log10(chem.calcium_mg_per_l) - 0.4
+    d = np.log10(chem.alkalinity_mg_per_l)
+    return 9.3 + a + b - c - d
+
+
+def langelier_index(chem: WaterChemistry, temperature_k) -> np.ndarray:
+    """Langelier Saturation Index at the given (wall) temperature.
+
+    LSI > 0: water is supersaturated in CaCO3 and tends to scale;
+    LSI < 0: water is aggressive (dissolves scale).  Because the B term
+    falls with temperature, LSI *rises* on the heated wall — the paper's
+    core fouling mechanism.
+    """
+    return chem.ph - _ph_of_saturation(chem, temperature_k)
+
+
+def saturation_ratio(chem: WaterChemistry, temperature_k) -> np.ndarray:
+    """Supersaturation ratio S = 10**LSI (1 = equilibrium)."""
+    return 10.0 ** langelier_index(chem, temperature_k)
+
+
+def scaling_driving_force(
+    chem: WaterChemistry,
+    wall_temperature_k,
+    bulk_temperature_k,
+) -> np.ndarray:
+    """Dimensionless crystallisation driving force at the heated wall.
+
+    Follows the usual surface-crystallisation kinetics ~ (S - 1)^2 for
+    S > 1 and zero otherwise, evaluated at the wall temperature (the
+    locally relevant supersaturation) with an Arrhenius-like thermal
+    acceleration relative to the bulk.  The absolute scale is folded
+    into the fouling model's rate constant; only the *shape* (more
+    overtemperature => disproportionally faster scaling) matters for
+    reproducing fig. 8.
+    """
+    wall_t = np.asarray(wall_temperature_k, dtype=float)
+    bulk_t = np.asarray(bulk_temperature_k, dtype=float)
+    if np.any(wall_t < bulk_t - 1e-9):
+        raise ConfigurationError("wall temperature below bulk: no scaling regime")
+    s_wall = saturation_ratio(chem, wall_t)
+    base = np.maximum(s_wall - 1.0, 0.0) ** 2
+    # Arrhenius acceleration with Ea ~ 40 kJ/mol referenced to the bulk.
+    ea_over_r = 4811.0
+    accel = np.exp(ea_over_r * (1.0 / bulk_t - 1.0 / wall_t))
+    return base * accel

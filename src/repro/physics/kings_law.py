@@ -1,0 +1,145 @@
+"""King's law: the static transfer characteristic of a hot-wire anemometer.
+
+Equation (2) of the paper:
+
+    I^2 R_w = U^2 / R_w = (T_w - T_ref) (A + B v^n)
+
+This module provides the forward law (speed -> heater power for a given
+overtemperature), its inverse (measured power or bridge voltage -> speed)
+and a fitting routine used by the calibration firmware
+(:mod:`repro.conditioning.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import CalibrationError, ConfigurationError
+
+__all__ = ["KingsLaw", "fit_kings_law"]
+
+
+@dataclass(frozen=True)
+class KingsLaw:
+    """King's-law model ``G(v) = A + B |v|**n`` [W/K].
+
+    Attributes
+    ----------
+    coeff_a:
+        Zero-flow (conduction + natural convection) conductance [W/K].
+    coeff_b:
+        Forced-convection coefficient [W/(K (m/s)^n)].
+    exponent:
+        Empirical exponent n; 0.5 for the classical cross-flow cylinder.
+    """
+
+    coeff_a: float
+    coeff_b: float
+    exponent: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.coeff_a <= 0.0 or self.coeff_b <= 0.0:
+            raise ConfigurationError("King's-law coefficients must be positive")
+        if not 0.1 <= self.exponent <= 1.0:
+            raise ConfigurationError(
+                f"King's-law exponent {self.exponent} outside the physical range [0.1, 1]"
+            )
+
+    def conductance(self, speed_mps) -> np.ndarray:
+        """Film conductance G(v) [W/K]; even in v (direction-insensitive)."""
+        v = np.abs(np.asarray(speed_mps, dtype=float))
+        return self.coeff_a + self.coeff_b * v**self.exponent
+
+    def power(self, speed_mps, overtemperature_k) -> np.ndarray:
+        """Heater power [W] needed to hold ``overtemperature_k`` at ``v``."""
+        d_t = np.asarray(overtemperature_k, dtype=float)
+        if np.any(d_t < 0.0):
+            raise ConfigurationError("overtemperature must be non-negative")
+        return d_t * self.conductance(speed_mps)
+
+    def invert_power(self, power_w, overtemperature_k) -> np.ndarray:
+        """Speed magnitude [m/s] from heater power and overtemperature.
+
+        Powers below the zero-flow level map to 0 (the physical branch);
+        this clipping is what limits low-flow resolution in practice.
+        """
+        p = np.asarray(power_w, dtype=float)
+        d_t = np.asarray(overtemperature_k, dtype=float)
+        if np.any(d_t <= 0.0):
+            raise ConfigurationError("overtemperature must be positive to invert")
+        g = p / d_t
+        excess = np.maximum(g - self.coeff_a, 0.0)
+        return (excess / self.coeff_b) ** (1.0 / self.exponent)
+
+    def sensitivity(self, speed_mps, overtemperature_k) -> np.ndarray:
+        """dP/dv [W/(m/s)] — the local gain that sets resolution.
+
+        King-law compression: sensitivity falls as v^(n-1), which is why
+        the paper's worst-case resolution (±4 cm/s) occurs at high flow.
+        """
+        v = np.maximum(np.abs(np.asarray(speed_mps, dtype=float)), 1e-9)
+        d_t = np.asarray(overtemperature_k, dtype=float)
+        return d_t * self.coeff_b * self.exponent * v ** (self.exponent - 1.0)
+
+    def with_gain_drift(self, relative_drift: float) -> "KingsLaw":
+        """Return a copy whose B coefficient drifted by ``relative_drift``.
+
+        Used to represent fouling-induced gain error when assessing how a
+        stale calibration misreads a fouled sensor.
+        """
+        return replace(self, coeff_b=self.coeff_b * (1.0 + relative_drift))
+
+
+def fit_kings_law(
+    speeds_mps: np.ndarray,
+    conductances_w_per_k: np.ndarray,
+    exponent: float | None = None,
+) -> KingsLaw:
+    """Fit King's law to measured (speed, conductance) calibration points.
+
+    If ``exponent`` is given, A and B come from a linear least-squares fit
+    on ``v**n``; otherwise n is scanned over [0.30, 0.70] and the value
+    minimising the residual is kept, mirroring how the empirical constants
+    of eq. (2) are "ambient specific" and determined at calibration time.
+
+    Raises
+    ------
+    CalibrationError
+        If fewer than 3 points are supplied, points are degenerate, or
+        the fitted coefficients are non-physical.
+    """
+    v = np.abs(np.asarray(speeds_mps, dtype=float))
+    g = np.asarray(conductances_w_per_k, dtype=float)
+    if v.shape != g.shape or v.ndim != 1:
+        raise CalibrationError("speeds and conductances must be 1-D arrays of equal length")
+    if v.size < 3:
+        raise CalibrationError(f"need at least 3 calibration points, got {v.size}")
+    if np.ptp(v) <= 0.0:
+        raise CalibrationError("calibration speeds are all identical")
+
+    def _linear_fit(n: float) -> tuple[float, float, float]:
+        basis = np.column_stack([np.ones_like(v), v**n])
+        coeffs, residual, _, _ = np.linalg.lstsq(basis, g, rcond=None)
+        res = float(residual[0]) if residual.size else float(np.sum((basis @ coeffs - g) ** 2))
+        return float(coeffs[0]), float(coeffs[1]), res
+
+    if exponent is not None:
+        coeff_a, coeff_b, _ = _linear_fit(exponent)
+        best_n = exponent
+    else:
+        best = None
+        for n in np.linspace(0.30, 0.70, 41):
+            coeff_a, coeff_b, res = _linear_fit(float(n))
+            if best is None or res < best[3]:
+                best = (coeff_a, coeff_b, float(n), res)
+        assert best is not None
+        coeff_a, coeff_b, best_n, _ = best
+
+    if coeff_a <= 0.0 or coeff_b <= 0.0:
+        raise CalibrationError(
+            f"fit produced non-physical coefficients A={coeff_a:.3e}, B={coeff_b:.3e}; "
+            "check the calibration data for inverted or noisy points"
+        )
+    return KingsLaw(coeff_a=coeff_a, coeff_b=coeff_b, exponent=best_n)

@@ -1,0 +1,235 @@
+"""Lumped-element thermal RC networks.
+
+The MEMS die is modelled as a small network of thermal nodes (heater
+films, membrane, substrate) connected by conductances to each other and
+to ambient reservoirs (the water, the chip frame).  The network is
+linear in temperature for fixed conductances, so each time step is
+integrated with an unconditionally stable implicit-Euler solve — the
+membrane node time constants (sub-millisecond, the paper's "reasonably
+short response times") are stiff next to the control-loop period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ThermalNode", "ThermalNetwork"]
+
+
+@dataclass
+class ThermalNode:
+    """One lumped thermal node.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier used to address the node.
+    capacitance_j_per_k:
+        Heat capacity [J/K].
+    temperature_k:
+        Current temperature state [K].
+    """
+
+    name: str
+    capacitance_j_per_k: float
+    temperature_k: float = 293.15
+
+    def __post_init__(self) -> None:
+        if self.capacitance_j_per_k <= 0.0:
+            raise ConfigurationError(f"node {self.name!r}: capacitance must be positive")
+
+
+class ThermalNetwork:
+    """A network of thermal nodes with node-node and node-ambient couplings.
+
+    Usage::
+
+        net = ThermalNetwork()
+        net.add_node(ThermalNode("heater", 2e-9, 293.15))
+        net.add_node(ThermalNode("membrane", 5e-8, 293.15))
+        net.couple("heater", "membrane", 1e-4)
+        net.couple_ambient("heater", "water", 3e-3)
+        net.set_ambient("water", 288.15)
+        net.step(dt=1e-3, powers={"heater": 0.02})
+
+    Conductances to ambient may be updated every step (flow-dependent
+    film conductance) via :meth:`couple_ambient`; the solver rebuilds its
+    matrix lazily only when topology or values changed.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, ThermalNode] = {}
+        self._order: list[str] = []
+        self._internal: dict[tuple[str, str], float] = {}
+        self._ambient_couplings: dict[tuple[str, str], float] = {}
+        self._ambients: dict[str, float] = {}
+        self._dirty = True
+        self._g_matrix: np.ndarray | None = None
+        self._cap: np.ndarray | None = None
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: ThermalNode) -> None:
+        """Register a node; names must be unique."""
+        if node.name in self._nodes:
+            raise ConfigurationError(f"duplicate thermal node {node.name!r}")
+        self._nodes[node.name] = node
+        self._order.append(node.name)
+        self._dirty = True
+
+    def couple(self, node_a: str, node_b: str, conductance_w_per_k: float) -> None:
+        """Set the conductance [W/K] between two internal nodes."""
+        self._require(node_a)
+        self._require(node_b)
+        if node_a == node_b:
+            raise ConfigurationError("cannot couple a node to itself")
+        if conductance_w_per_k < 0.0:
+            raise ConfigurationError("conductance must be non-negative")
+        key = (min(node_a, node_b), max(node_a, node_b))
+        self._internal[key] = conductance_w_per_k
+        self._dirty = True
+
+    def couple_ambient(self, node: str, ambient: str, conductance_w_per_k: float) -> None:
+        """Set the conductance [W/K] from a node to an ambient reservoir.
+
+        May be called every step with a new value (e.g. flow-dependent
+        film conductance); the reservoir is created on first use with a
+        default temperature of 293.15 K.
+        """
+        self._require(node)
+        if conductance_w_per_k < 0.0:
+            raise ConfigurationError("conductance must be non-negative")
+        self._ambients.setdefault(ambient, 293.15)
+        self._ambient_couplings[(node, ambient)] = conductance_w_per_k
+        self._dirty = True
+
+    def set_ambient(self, ambient: str, temperature_k: float) -> None:
+        """Set the temperature [K] of an ambient reservoir."""
+        self._ambients[ambient] = float(temperature_k)
+
+    # -- inspection --------------------------------------------------------
+
+    def temperature(self, node: str) -> float:
+        """Current temperature [K] of a node."""
+        return self._require(node).temperature_k
+
+    def temperatures(self) -> dict[str, float]:
+        """All node temperatures keyed by node name."""
+        return {name: self._nodes[name].temperature_k for name in self._order}
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(self._order)
+
+    def set_temperature(self, node: str, temperature_k: float) -> None:
+        """Force a node's state (used for initialisation)."""
+        self._require(node).temperature_k = float(temperature_k)
+
+    def total_energy_j(self, reference_k: float = 0.0) -> float:
+        """Stored thermal energy relative to a reference temperature [J]."""
+        return sum(
+            n.capacitance_j_per_k * (n.temperature_k - reference_k)
+            for n in self._nodes.values()
+        )
+
+    # -- integration --------------------------------------------------------
+
+    def step(self, dt: float, powers: dict[str, float] | None = None) -> dict[str, float]:
+        """Advance all node temperatures by ``dt`` seconds.
+
+        Parameters
+        ----------
+        dt:
+            Time step [s]; must be positive.
+        powers:
+            Heat injected into nodes [W] during the step (e.g. Joule
+            heating of the heater films).  Missing nodes get 0.
+
+        Returns
+        -------
+        dict
+            New node temperatures keyed by name.
+
+        Notes
+        -----
+        Implicit Euler on ``C dT/dt = -G T + G_amb T_amb + P`` — stable
+        for any dt, first-order accurate; accurate enough because the
+        controller samples far faster than the thermal plant moves.
+        """
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        if not self._order:
+            raise ConfigurationError("thermal network has no nodes")
+        if self._dirty:
+            self._rebuild()
+        assert self._g_matrix is not None and self._cap is not None
+
+        n = len(self._order)
+        idx = {name: i for i, name in enumerate(self._order)}
+        t_old = np.array([self._nodes[name].temperature_k for name in self._order])
+        rhs = self._cap / dt * t_old
+        for (node, ambient), g in self._ambient_couplings.items():
+            rhs[idx[node]] += g * self._ambients[ambient]
+        if powers:
+            for name, p in powers.items():
+                rhs[idx[self._require(name).name]] += p
+
+        system = np.diag(self._cap / dt) + self._g_matrix
+        t_new = np.linalg.solve(system, rhs)
+        for i, name in enumerate(self._order):
+            self._nodes[name].temperature_k = float(t_new[i])
+        return self.temperatures()
+
+    def steady_state(self, powers: dict[str, float] | None = None) -> dict[str, float]:
+        """Solve the steady temperatures directly (dT/dt = 0).
+
+        Requires every node to have at least an indirect path to an
+        ambient reservoir, otherwise the conductance matrix is singular.
+        """
+        if self._dirty:
+            self._rebuild()
+        assert self._g_matrix is not None
+        idx = {name: i for i, name in enumerate(self._order)}
+        rhs = np.zeros(len(self._order))
+        for (node, ambient), g in self._ambient_couplings.items():
+            rhs[idx[node]] += g * self._ambients[ambient]
+        if powers:
+            for name, p in powers.items():
+                rhs[idx[self._require(name).name]] += p
+        try:
+            t = np.linalg.solve(self._g_matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ConfigurationError(
+                "steady state undefined: some node has no path to an ambient"
+            ) from exc
+        for i, name in enumerate(self._order):
+            self._nodes[name].temperature_k = float(t[i])
+        return self.temperatures()
+
+    # -- internals -----------------------------------------------------------
+
+    def _require(self, name: str) -> ThermalNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown thermal node {name!r}") from None
+
+    def _rebuild(self) -> None:
+        n = len(self._order)
+        idx = {name: i for i, name in enumerate(self._order)}
+        g = np.zeros((n, n))
+        for (a, b), cond in self._internal.items():
+            i, j = idx[a], idx[b]
+            g[i, i] += cond
+            g[j, j] += cond
+            g[i, j] -= cond
+            g[j, i] -= cond
+        for (node, _ambient), cond in self._ambient_couplings.items():
+            g[idx[node], idx[node]] += cond
+        self._g_matrix = g
+        self._cap = np.array([self._nodes[name].capacitance_j_per_k for name in self._order])
+        self._dirty = False

@@ -1,0 +1,42 @@
+"""MEMS MAF-sensor device models.
+
+Everything that lives on (or around) the die: Ti/TiN sensing resistors,
+the LPCVD membrane stack, the Wheatstone half-bridges, the two failure
+mechanisms the paper fights (bubble generation and CaCO3 fouling) and
+the stainless-steel housing.  The top-level device is
+:class:`repro.sensor.maf.MAFSensor`.
+"""
+
+from repro.sensor.materials import ResistorMaterial, MembraneLayer, TI_TIN, SI_NITRIDE_LPCVD, SI_OXIDE, SI_NITRIDE_PECVD
+from repro.sensor.resistor import SensingResistor
+from repro.sensor.membrane import Membrane, BacksideFill, ORGANIC_FILL, WATER_BACKSIDE
+from repro.sensor.bridge import WheatstoneBridge
+from repro.sensor.bubbles import BubbleModel, BubbleConfig
+from repro.sensor.fouling import FoulingModel, FoulingConfig
+from repro.sensor.packaging import SensorHousing, HousingQuality
+from repro.sensor.maf import MAFSensor, MAFConfig, FlowConditions, SensorReadout
+
+__all__ = [
+    "ResistorMaterial",
+    "MembraneLayer",
+    "TI_TIN",
+    "SI_NITRIDE_LPCVD",
+    "SI_OXIDE",
+    "SI_NITRIDE_PECVD",
+    "SensingResistor",
+    "Membrane",
+    "BacksideFill",
+    "ORGANIC_FILL",
+    "WATER_BACKSIDE",
+    "WheatstoneBridge",
+    "BubbleModel",
+    "BubbleConfig",
+    "FoulingModel",
+    "FoulingConfig",
+    "SensorHousing",
+    "HousingQuality",
+    "MAFSensor",
+    "MAFConfig",
+    "FlowConditions",
+    "SensorReadout",
+]

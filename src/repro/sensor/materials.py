@@ -1,0 +1,141 @@
+"""Material properties of the MAF die.
+
+The paper specifies Ti resistors capped with a TiN nanolayer ("no drift
+due to electrical or temperature stress") on a membrane stack of LPCVD
+Si3N4 / SiO2 / Si3N4 passivated with PECVD Si3N4.  These dataclasses
+carry the handful of constants the thermal and electrical models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ResistorMaterial",
+    "MembraneLayer",
+    "TI_TIN",
+    "SI_NITRIDE_LPCVD",
+    "SI_OXIDE",
+    "SI_NITRIDE_PECVD",
+]
+
+
+@dataclass(frozen=True)
+class ResistorMaterial:
+    """Electrical material of a thin-film sensing resistor.
+
+    Attributes
+    ----------
+    name:
+        Human-readable material name.
+    tcr_per_k:
+        Linear temperature coefficient of resistance alpha [1/K] around
+        the reference temperature (eq. (1) of the paper).
+    drift_per_kh:
+        Fractional resistance drift per 1000 h of powered operation.
+        The paper's Ti/TiN shows "no drift"; we keep the hook so the
+        ablation benches can model an inferior metallisation.
+    flicker_corner_hz:
+        1/f noise corner frequency [Hz] at the nominal bias; thin-film
+        metal resistors are quiet, so this is low.
+    """
+
+    name: str
+    tcr_per_k: float
+    drift_per_kh: float = 0.0
+    flicker_corner_hz: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.tcr_per_k <= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: hot-wire anemometry needs a positive TCR"
+            )
+        if self.drift_per_kh < 0.0:
+            raise ConfigurationError(f"{self.name}: drift rate must be non-negative")
+        if self.flicker_corner_hz < 0.0:
+            raise ConfigurationError(f"{self.name}: flicker corner must be non-negative")
+
+
+@dataclass(frozen=True)
+class MembraneLayer:
+    """One dielectric layer of the membrane stack.
+
+    Attributes
+    ----------
+    name:
+        Layer name (deposition process included for traceability).
+    thickness_m:
+        Layer thickness [m].
+    thermal_conductivity:
+        k [W/(m K)].
+    density:
+        rho [kg/m^3].
+    specific_heat:
+        cp [J/(kg K)].
+    tensile_strength_pa:
+        Fracture strength [Pa] used by the burst-pressure estimate.
+    """
+
+    name: str
+    thickness_m: float
+    thermal_conductivity: float
+    density: float
+    specific_heat: float
+    tensile_strength_pa: float
+
+    def __post_init__(self) -> None:
+        if min(
+            self.thickness_m,
+            self.thermal_conductivity,
+            self.density,
+            self.specific_heat,
+            self.tensile_strength_pa,
+        ) <= 0.0:
+            raise ConfigurationError(f"layer {self.name!r}: all properties must be positive")
+
+    @property
+    def areal_heat_capacity(self) -> float:
+        """Heat capacity per unit area [J/(K m^2)]."""
+        return self.density * self.specific_heat * self.thickness_m
+
+    @property
+    def sheet_conductance(self) -> float:
+        """In-plane conductance-thickness product k*t [W/K] per square."""
+        return self.thermal_conductivity * self.thickness_m
+
+
+#: Titanium film capped with a TiN nanolayer — the paper's resistor metal.
+#: Thin-film Ti TCR is ~3.5e-3 /K (bulk value, slightly reduced in films).
+TI_TIN = ResistorMaterial(name="Ti/TiN", tcr_per_k=3.5e-3, drift_per_kh=0.0)
+
+#: LPCVD stoichiometric silicon nitride (membrane structural layers).
+SI_NITRIDE_LPCVD = MembraneLayer(
+    name="Si3N4 (LPCVD)",
+    thickness_m=0.6e-6,
+    thermal_conductivity=3.2,
+    density=3100.0,
+    specific_heat=700.0,
+    tensile_strength_pa=6.0e9,
+)
+
+#: Thermal/LPCVD silicon dioxide (middle, stress-compensating layer).
+SI_OXIDE = MembraneLayer(
+    name="SiO2 (LPCVD)",
+    thickness_m=0.5e-6,
+    thermal_conductivity=1.4,
+    density=2200.0,
+    specific_heat=740.0,
+    tensile_strength_pa=1.0e9,
+)
+
+#: PECVD silicon nitride passivation (final, water-facing, biocompatible).
+SI_NITRIDE_PECVD = MembraneLayer(
+    name="Si3N4 (PECVD passivation)",
+    thickness_m=0.3e-6,
+    thermal_conductivity=1.8,
+    density=2800.0,
+    specific_heat=700.0,
+    tensile_strength_pa=4.0e9,
+)

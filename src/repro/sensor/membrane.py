@@ -1,0 +1,195 @@
+"""The thin dielectric membrane carrying the heater wires.
+
+Models the two roles the membrane plays in the paper:
+
+* thermally — it isolates the heaters from the chip frame (parasitic
+  lateral conductance) and sets the heater time constant ("due to the
+  extremely thin membrane technology (2 µm thickness including the
+  passivation layer) the response times are reasonably short, even in
+  water");
+* mechanically — it must survive line pressure (0–3 bar, peaks of
+  7 bar).  For water operation the backside cavity is filled with a
+  flexible organic material of low thermal conductivity, which both
+  stiffens the structure and prevents uncontrolled backside heat loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sensor.materials import (
+    SI_NITRIDE_LPCVD,
+    SI_NITRIDE_PECVD,
+    SI_OXIDE,
+    MembraneLayer,
+)
+
+__all__ = ["BacksideFill", "Membrane", "ORGANIC_FILL", "WATER_BACKSIDE", "default_stack"]
+
+
+@dataclass(frozen=True)
+class BacksideFill:
+    """What sits in the KOH-etched cavity behind the membrane.
+
+    Attributes
+    ----------
+    name:
+        Fill description.
+    thermal_conductivity:
+        k of the fill medium [W/(m K)].  The paper's organic fill has
+        "significant lower heat conduction as water" so the signal comes
+        explicitly from the front side.
+    stiffening_factor:
+        Multiplier on membrane burst pressure provided by the fill's
+        mechanical support (>= 1).
+    """
+
+    name: str
+    thermal_conductivity: float
+    stiffening_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_conductivity <= 0.0:
+            raise ConfigurationError("fill conductivity must be positive")
+        if self.stiffening_factor < 1.0:
+            raise ConfigurationError("fill cannot weaken the membrane")
+
+
+#: Flexible organic cavity fill (silicone-like), the paper's water solution.
+ORGANIC_FILL = BacksideFill(
+    name="flexible organic fill",
+    thermal_conductivity=0.20,
+    stiffening_factor=50.0,
+)
+
+#: No fill: the cavity floods with water (gas-sensor configuration used
+#: naively in water) — high backside loss and an unsupported membrane.
+WATER_BACKSIDE = BacksideFill(
+    name="water-flooded cavity",
+    thermal_conductivity=0.60,
+    stiffening_factor=1.0,
+)
+
+
+def default_stack() -> tuple[MembraneLayer, ...]:
+    """The paper's nitride/oxide/nitride stack plus PECVD passivation.
+
+    Total thickness 2.0 µm including passivation, as quoted in §4.
+    """
+    return (
+        SI_NITRIDE_LPCVD,
+        SI_OXIDE,
+        SI_NITRIDE_LPCVD,
+        SI_NITRIDE_PECVD,
+    )
+
+
+@dataclass
+class Membrane:
+    """Lumped thermal/mechanical model of the sensor membrane.
+
+    Parameters
+    ----------
+    stack:
+        Dielectric layers, front to back.
+    side_m:
+        Edge length of the (square) membrane window [m].
+    heater_fraction:
+        Fraction of the membrane area covered by the heater films; sets
+        the heater node's share of membrane heat capacity.
+    backside:
+        Cavity fill.
+    cavity_depth_m:
+        Depth of the KOH cavity [m] (backside conduction path length).
+    """
+
+    stack: tuple[MembraneLayer, ...] = field(default_factory=default_stack)
+    side_m: float = 1.0e-3
+    heater_fraction: float = 0.15
+    backside: BacksideFill = ORGANIC_FILL
+    cavity_depth_m: float = 380.0e-6
+
+    def __post_init__(self) -> None:
+        if not self.stack:
+            raise ConfigurationError("membrane needs at least one layer")
+        if self.side_m <= 0.0 or self.cavity_depth_m <= 0.0:
+            raise ConfigurationError("membrane dimensions must be positive")
+        if not 0.0 < self.heater_fraction < 1.0:
+            raise ConfigurationError("heater_fraction must be in (0, 1)")
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def thickness_m(self) -> float:
+        """Total stack thickness [m] (paper: 2 µm incl. passivation)."""
+        return sum(layer.thickness_m for layer in self.stack)
+
+    @property
+    def area_m2(self) -> float:
+        """Membrane window area [m^2]."""
+        return self.side_m**2
+
+    # -- thermal ------------------------------------------------------------
+
+    @property
+    def heater_region_capacity_j_per_k(self) -> float:
+        """Heat capacity of the membrane patch under the heaters [J/K]."""
+        areal = sum(layer.areal_heat_capacity for layer in self.stack)
+        return areal * self.area_m2 * self.heater_fraction
+
+    @property
+    def rim_region_capacity_j_per_k(self) -> float:
+        """Heat capacity of the remaining membrane annulus [J/K]."""
+        areal = sum(layer.areal_heat_capacity for layer in self.stack)
+        return areal * self.area_m2 * (1.0 - self.heater_fraction)
+
+    @property
+    def lateral_conductance_w_per_k(self) -> float:
+        """In-plane conductance from heater patch to the chip rim [W/K].
+
+        Sheet-conduction estimate: G = sum(k_i t_i) * perimeter / path.
+        This is the membrane's thermal-isolation figure — about two
+        orders of magnitude below the convective conductance to water,
+        which is what makes the device a good anemometer.
+        """
+        sheet = sum(layer.sheet_conductance for layer in self.stack)
+        heater_side = self.side_m * np.sqrt(self.heater_fraction)
+        path = 0.5 * (self.side_m - heater_side)
+        return sheet * 4.0 * heater_side / path
+
+    @property
+    def backside_conductance_w_per_k(self) -> float:
+        """Conductance from the heater patch through the cavity [W/K]."""
+        area = self.area_m2 * self.heater_fraction
+        return self.backside.thermal_conductivity * area / self.cavity_depth_m
+
+    # -- mechanical -----------------------------------------------------------
+
+    @property
+    def burst_pressure_pa(self) -> float:
+        """Differential pressure at which the membrane fractures [Pa].
+
+        Small-deflection plate estimate sigma_max ~ 0.31 p (a/t)^2 for a
+        clamped square plate, inverted for the weakest layer, then scaled
+        by the backside fill's stiffening factor.  With the organic fill
+        the rating comfortably exceeds the paper's 7 bar peaks.
+        """
+        half_side = self.side_m / 2.0
+        t = self.thickness_m
+        weakest = min(layer.tensile_strength_pa for layer in self.stack)
+        p_plate = weakest / 0.31 * (t / half_side) ** 2
+        return p_plate * self.backside.stiffening_factor
+
+    def deflection_m(self, pressure_pa: float) -> float:
+        """Centre deflection [m] under differential pressure (linear plate).
+
+        w0 = 0.0138 p a^4 / (E t^3), E taken as nitride-dominated 250 GPa,
+        reduced by the fill stiffening.
+        """
+        if pressure_pa < 0.0:
+            raise ConfigurationError("pressure must be non-negative")
+        e_eff = 250.0e9 * self.backside.stiffening_factor
+        return 0.0138 * pressure_pa * self.side_m**4 / (e_eff * self.thickness_m**3)

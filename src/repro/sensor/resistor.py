@@ -1,0 +1,106 @@
+"""Thin-film sensing resistor with linear TCR.
+
+Implements eq. (1) of the paper, R = R0 (1 + alpha (T - T_ref)), plus
+manufacturing tolerance, Johnson/flicker noise and long-term drift.
+Two instances make up each half-bridge: the 50.0 ± 0.5 Ω heater Rh and
+the 2000 ± 30 Ω ambient reference Rt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sensor.materials import TI_TIN, ResistorMaterial
+from repro.units import BOLTZMANN
+
+__all__ = ["SensingResistor"]
+
+
+class SensingResistor:
+    """A thin-film resistor whose value encodes its temperature.
+
+    Parameters
+    ----------
+    nominal_ohm:
+        Design resistance R0 at ``reference_temperature_k``.
+    tolerance_ohm:
+        Absolute manufacturing tolerance (±); the realised R0 is drawn
+        uniformly within it when ``rng`` is given, else it is nominal.
+    material:
+        Electrical material (TCR, drift, flicker corner).
+    reference_temperature_k:
+        Temperature at which R = R0 (the paper's T_ref, ambient).
+    rng:
+        Optional generator for the tolerance draw.
+    """
+
+    def __init__(
+        self,
+        nominal_ohm: float,
+        tolerance_ohm: float = 0.0,
+        material: ResistorMaterial = TI_TIN,
+        reference_temperature_k: float = 293.15,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if nominal_ohm <= 0.0:
+            raise ConfigurationError("nominal resistance must be positive")
+        if tolerance_ohm < 0.0:
+            raise ConfigurationError("tolerance must be non-negative")
+        if tolerance_ohm >= nominal_ohm:
+            raise ConfigurationError("tolerance larger than the nominal value")
+        self.nominal_ohm = nominal_ohm
+        self.tolerance_ohm = tolerance_ohm
+        self.material = material
+        self.reference_temperature_k = reference_temperature_k
+        offset = 0.0
+        if rng is not None and tolerance_ohm > 0.0:
+            offset = float(rng.uniform(-tolerance_ohm, tolerance_ohm))
+        self._r0 = nominal_ohm + offset
+        self._aging_factor = 1.0
+
+    @property
+    def r0_ohm(self) -> float:
+        """Realised (post-tolerance, post-aging) resistance at T_ref [Ω]."""
+        return self._r0 * self._aging_factor
+
+    def resistance(self, temperature_k) -> np.ndarray:
+        """R(T) = R0 (1 + alpha (T - T_ref)) — eq. (1) of the paper."""
+        t = np.asarray(temperature_k, dtype=float)
+        return self.r0_ohm * (1.0 + self.material.tcr_per_k * (t - self.reference_temperature_k))
+
+    def temperature_from_resistance(self, resistance_ohm) -> np.ndarray:
+        """Invert eq. (1): the temperature [K] a measured R implies."""
+        r = np.asarray(resistance_ohm, dtype=float)
+        if np.any(r <= 0.0):
+            raise ConfigurationError("measured resistance must be positive")
+        return self.reference_temperature_k + (r / self.r0_ohm - 1.0) / self.material.tcr_per_k
+
+    def target_resistance(self, overtemperature_k: float) -> float:
+        """Resistance corresponding to T_ref + overtemperature [Ω].
+
+        This is the constant-temperature setpoint: the CTA loop drives
+        the bridge so the heater sits at this resistance.
+        """
+        if overtemperature_k < 0.0:
+            raise ConfigurationError("overtemperature must be non-negative")
+        return float(self.resistance(self.reference_temperature_k + overtemperature_k))
+
+    def johnson_noise_vrms(self, temperature_k: float, bandwidth_hz: float) -> float:
+        """Thermal (Johnson-Nyquist) noise voltage [V rms] in a bandwidth."""
+        if bandwidth_hz < 0.0:
+            raise ConfigurationError("bandwidth must be non-negative")
+        r = float(self.resistance(temperature_k))
+        return float(np.sqrt(4.0 * BOLTZMANN * temperature_k * r * bandwidth_hz))
+
+    def age(self, powered_hours: float) -> None:
+        """Apply long-term powered drift (zero for the paper's Ti/TiN)."""
+        if powered_hours < 0.0:
+            raise ConfigurationError("powered_hours must be non-negative")
+        self._aging_factor *= 1.0 + self.material.drift_per_kh * powered_hours / 1000.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SensingResistor({self.r0_ohm:.2f} Ω @ {self.reference_temperature_k:.2f} K, "
+            f"alpha={self.material.tcr_per_k:.2e}/K, {self.material.name})"
+        )

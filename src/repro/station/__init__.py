@@ -1,0 +1,42 @@
+"""Simulated water test station (§5: the Vinci line).
+
+A dedicated measurement line "derived from conventional water lines, in
+which pressure and water speed could be fine tuned", with the reference
+Promag 50 and a transparent inspection section.  The rig orchestrates
+profiles, the line dynamics, the sensor-under-test and the reference
+meter, and records synchronous traces.
+"""
+
+from repro.station.line import WaterLine, LineConfig, LineState
+from repro.station.profiles import Profile, Segment, staircase, ramp, step, hold, bidirectional_staircase, pressure_peaks
+from repro.station.rig import TestRig, RigRecord, run_calibration
+from repro.station.scenarios import vinci_station, build_calibrated_monitor, CalibratedSetup
+from repro.station.network import PipeNetwork, PipeFlow
+from repro.station.demand import DiurnalDemand
+from repro.station.fleet import MonitoredNetwork, MeterCharacter, FleetReport
+
+__all__ = [
+    "WaterLine",
+    "LineConfig",
+    "LineState",
+    "Profile",
+    "Segment",
+    "staircase",
+    "ramp",
+    "step",
+    "hold",
+    "bidirectional_staircase",
+    "pressure_peaks",
+    "TestRig",
+    "RigRecord",
+    "run_calibration",
+    "vinci_station",
+    "build_calibrated_monitor",
+    "CalibratedSetup",
+    "PipeNetwork",
+    "PipeFlow",
+    "DiurnalDemand",
+    "MonitoredNetwork",
+    "MeterCharacter",
+    "FleetReport",
+]

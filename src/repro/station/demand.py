@@ -1,0 +1,121 @@
+"""Diurnal water-demand patterns.
+
+Distribution networks breathe: night minimum (when leak detection is
+most sensitive — the minimum-night-flow method), morning and evening
+peaks.  The generator produces a deterministic daily shape with
+optional weekend scaling and stochastic consumer noise; the fleet
+simulation drives :class:`~repro.station.network.PipeNetwork` demands
+with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DiurnalDemand"]
+
+
+@dataclass(frozen=True)
+class DiurnalDemandShape:
+    """Shape constants of the daily curve (fractions of the mean).
+
+    Attributes
+    ----------
+    night_floor:
+        Demand multiplier at the 03:00 minimum.
+    morning_peak / evening_peak:
+        Multipliers at the 07:30 and 19:30 peaks.
+    peak_width_h:
+        Gaussian width of each peak.
+    """
+
+    night_floor: float = 0.25
+    morning_peak: float = 1.65
+    evening_peak: float = 1.45
+    peak_width_h: float = 2.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.night_floor < 1.0:
+            raise ConfigurationError("night floor must be in [0, 1)")
+        if self.morning_peak <= 1.0 or self.evening_peak <= 1.0:
+            raise ConfigurationError("peaks must exceed the mean")
+        if self.peak_width_h <= 0.0:
+            raise ConfigurationError("peak width must be positive")
+
+
+class DiurnalDemand:
+    """Daily demand multiplier for one consumer node.
+
+    Parameters
+    ----------
+    mean_demand_m3_s:
+        Average demand the multiplier scales.
+    shape:
+        Daily curve constants.
+    weekend_factor:
+        Multiplier applied on days 5 and 6 of each week.
+    noise_fraction:
+        RMS consumer randomness on top of the deterministic curve.
+    seed:
+        Noise seed.
+    """
+
+    MORNING_H = 7.5
+    EVENING_H = 19.5
+    NIGHT_H = 3.0
+
+    def __init__(self, mean_demand_m3_s: float,
+                 shape: DiurnalDemandShape | None = None,
+                 weekend_factor: float = 1.1,
+                 noise_fraction: float = 0.05,
+                 seed: int = 0) -> None:
+        if mean_demand_m3_s < 0.0:
+            raise ConfigurationError("mean demand must be non-negative")
+        if weekend_factor <= 0.0:
+            raise ConfigurationError("weekend factor must be positive")
+        if not 0.0 <= noise_fraction < 1.0:
+            raise ConfigurationError("noise fraction must be in [0, 1)")
+        self.mean_demand_m3_s = mean_demand_m3_s
+        self.shape = shape or DiurnalDemandShape()
+        self.weekend_factor = weekend_factor
+        self.noise_fraction = noise_fraction
+        self._rng = np.random.default_rng(seed)
+
+    def multiplier(self, time_h: float) -> float:
+        """Deterministic daily multiplier at an absolute time [hours]."""
+        if time_h < 0.0:
+            raise ConfigurationError("time must be non-negative")
+        s = self.shape
+        hour = time_h % 24.0
+
+        def peak(centre: float, height: float) -> float:
+            # Wrapped Gaussian bump around the peak hour.
+            d = min(abs(hour - centre), 24.0 - abs(hour - centre))
+            return (height - s.night_floor) * math.exp(
+                -0.5 * (d / s.peak_width_h) ** 2)
+
+        value = s.night_floor
+        value += peak(self.MORNING_H, s.morning_peak)
+        value += peak(self.EVENING_H, s.evening_peak)
+        day = int(time_h // 24.0) % 7
+        if day >= 5:
+            value *= self.weekend_factor
+        return value
+
+    def demand_m3_s(self, time_h: float) -> float:
+        """Stochastic demand at an absolute time [hours]."""
+        base = self.mean_demand_m3_s * self.multiplier(time_h)
+        if self.noise_fraction == 0.0:
+            return base
+        return max(0.0, base * (1.0 + self.noise_fraction * float(self._rng.normal())))
+
+    def is_night_window(self, time_h: float, half_width_h: float = 1.5) -> bool:
+        """Whether the time falls in the minimum-night-flow window."""
+        hour = time_h % 24.0
+        return abs(hour - self.NIGHT_H) <= half_width_h

@@ -1,0 +1,194 @@
+"""Fleet simulation: a monitored distribution network over days.
+
+The §6 end-state: MAF monitoring points at both ends of every pipe of a
+distribution network, diurnal demands, and a supervisor running segment
+mass balance.  Simulating every node's full mixed-signal loop for days
+is wasteful — each monitor's behaviour at the fleet time scale is fully
+characterised by its calibration bias and resolution, both *measured*
+from the real simulated monitor (bench E2/E3).  The fleet model
+therefore wraps each meter as (bias, noise) drawn from those measured
+distributions, which keeps day-scale runs tractable while staying
+anchored to the detailed model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.conditioning.leak_detect import LeakDetector, LeakEvent, NetworkSegmentMonitor
+from repro.station.demand import DiurnalDemand
+from repro.station.network import PipeNetwork
+
+__all__ = ["MeterCharacter", "MonitoredNetwork", "FleetReport"]
+
+
+@dataclass(frozen=True)
+class MeterCharacter:
+    """Day-scale behavioural summary of one installed MAF monitor.
+
+    Attributes
+    ----------
+    bias_fraction:
+        Calibration bias as a fraction of reading (E1-class systematic).
+    noise_mps:
+        1σ reading noise at the reporting cadence (E2-class, at the
+        0.1 Hz output bandwidth).
+    """
+
+    bias_fraction: float = 0.0
+    noise_mps: float = 0.004
+
+    def __post_init__(self) -> None:
+        if abs(self.bias_fraction) > 0.2:
+            raise ConfigurationError("bias beyond any calibrated meter")
+        if self.noise_mps < 0.0:
+            raise ConfigurationError("noise must be non-negative")
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet run.
+
+    Attributes
+    ----------
+    events:
+        Leak alarms raised, in order.
+    snapshots:
+        Meter snapshots processed.
+    night_fraction:
+        Fraction of snapshots inside the night window (diagnostic
+        sensitivity budget).
+    """
+
+    events: list[LeakEvent] = field(default_factory=list)
+    snapshots: int = 0
+    night_fraction: float = 0.0
+
+
+class MonitoredNetwork:
+    """A pipe network with a meter pair per segment and a supervisor.
+
+    Parameters
+    ----------
+    network:
+        The hydraulic substrate (demands are overwritten by the
+        per-node diurnal generators each snapshot).
+    seed:
+        Seed for meter characters and noise.
+    meter_noise_mps:
+        1σ reading noise applied per meter per snapshot.
+    meter_bias_sigma:
+        1σ of the per-meter calibration bias draw.
+    """
+
+    def __init__(self, network: PipeNetwork, seed: int = 0,
+                 meter_noise_mps: float = 0.004,
+                 meter_bias_sigma: float = 0.003) -> None:
+        self.network = network
+        self._rng = np.random.default_rng(seed)
+        self._demands: dict[str, DiurnalDemand] = {}
+        self._meters: dict[tuple[str, str, str], MeterCharacter] = {}
+        for i, (up, down) in enumerate(network.pipes):
+            for j, position in enumerate(("inlet", "outlet")):
+                self._meters[(up, down, position)] = MeterCharacter(
+                    bias_fraction=float(
+                        self._rng.normal(0.0, meter_bias_sigma)),
+                    noise_mps=meter_noise_mps,
+                )
+        self.detector = LeakDetector()
+        for up, down in network.pipes:
+            # Drift: tolerate ~4 sigma of combined pair noise; threshold:
+            # ~10 min of a just-above-drift leak at the 60 s cadence.
+            self.detector.add_segment(NetworkSegmentMonitor(
+                f"{up}->{down}", drift_mps=4.0 * meter_noise_mps,
+                threshold_mps_s=1500.0 * meter_noise_mps))
+
+    def attach_demand(self, node: str, demand: DiurnalDemand) -> None:
+        """Drive a junction's demand with a diurnal generator."""
+        self._demands[node] = demand
+
+    def _reading(self, key: tuple[str, str, str], true_mps: float) -> float:
+        meter = self._meters[key]
+        return (true_mps * (1.0 + meter.bias_fraction)
+                + float(self._rng.normal(0.0, meter.noise_mps)))
+
+    def commission(self, hours: float = 2.0, snapshot_s: float = 60.0,
+                   start_h: float = 2.0) -> None:
+        """Learn each segment's standing meter-pair imbalance.
+
+        Run once at installation on a known-leak-free network (night
+        window by default, where flows are steadiest); the observed mean
+        imbalance becomes the segment baseline the CUSUM works against.
+        """
+        if hours <= 0.0 or snapshot_s <= 0.0:
+            raise ConfigurationError("hours and cadence must be positive")
+        imb: dict[str, float] = {name: 0.0 for name in self.detector.segments}
+        inlet: dict[str, float] = {name: 0.0 for name in self.detector.segments}
+        count = 0
+        steps = int(hours * 3600.0 / snapshot_s)
+        for k in range(steps):
+            t_h = start_h + k * snapshot_s / 3600.0
+            for node, demand in self._demands.items():
+                self.network.set_demand(node, demand.demand_m3_s(t_h))
+            flows = self.network.solve()
+            for (up, down), flow in flows.items():
+                v_in = self._reading((up, down, "inlet"), flow.inlet_speed_mps)
+                v_out = self._reading((up, down, "outlet"), flow.outlet_speed_mps)
+                imb[f"{up}->{down}"] += v_in - v_out
+                inlet[f"{up}->{down}"] += v_in
+            count += 1
+        for name in imb:
+            # Meter-pair gain mismatch scales with flow: store it as a
+            # ratio against the inlet reading so it cancels at any demand.
+            ratio = imb[name] / inlet[name] if inlet[name] > 0.0 else 0.0
+            self.detector.segment(name).set_baseline(baseline_ratio=ratio)
+
+    def run(self, hours: float, snapshot_s: float = 60.0,
+            leak: tuple[str, str, float] | None = None,
+            leak_at_h: float | None = None) -> FleetReport:
+        """Simulate the fleet for a duration.
+
+        Parameters
+        ----------
+        hours:
+            Simulated span.
+        snapshot_s:
+            Meter reporting cadence.
+        leak / leak_at_h:
+            Optional (upstream, downstream, m3/s) leak opened at the
+            given hour.
+
+        Returns
+        -------
+        FleetReport
+        """
+        if hours <= 0.0 or snapshot_s <= 0.0:
+            raise ConfigurationError("hours and cadence must be positive")
+        report = FleetReport()
+        night = 0
+        steps = int(hours * 3600.0 / snapshot_s)
+        probe = next(iter(self._demands.values()), None)
+        for k in range(steps):
+            t_h = k * snapshot_s / 3600.0
+            for node, demand in self._demands.items():
+                self.network.set_demand(node, demand.demand_m3_s(t_h))
+            if leak is not None and leak_at_h is not None and \
+                    t_h >= leak_at_h and k == int(leak_at_h * 3600.0 / snapshot_s):
+                self.network.inject_leak(leak[0], leak[1], leak[2])
+            flows = self.network.solve()
+            readings = {
+                f"{up}->{down}": (
+                    self._reading((up, down, "inlet"), flow.inlet_speed_mps),
+                    self._reading((up, down, "outlet"), flow.outlet_speed_mps),
+                )
+                for (up, down), flow in flows.items()
+            }
+            report.events.extend(self.detector.update(readings, snapshot_s))
+            report.snapshots += 1
+            if probe is not None and probe.is_night_window(t_h):
+                night += 1
+        report.night_fraction = night / max(report.snapshots, 1)
+        return report

@@ -1,0 +1,182 @@
+"""Setpoint profiles for the test line.
+
+A :class:`Profile` is a piecewise schedule of line setpoints (speed,
+pressure, temperature).  Helpers build the shapes the paper's campaign
+used: staircases over 0-250 cm/s, ramps, steps for response-time tests,
+bidirectional sequences for direction detection, and pressure peaks up
+to 7 bar.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import bar_to_pa, celsius_to_kelvin, cmps_to_mps
+
+__all__ = [
+    "Segment",
+    "Profile",
+    "staircase",
+    "ramp",
+    "step",
+    "hold",
+    "bidirectional_staircase",
+    "pressure_peaks",
+]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One schedule entry.
+
+    Attributes
+    ----------
+    duration_s:
+        Segment length.
+    speed_mps:
+        Line speed setpoint at the segment *end* (linearly interpolated
+        from the previous segment's end when ``interpolate``).
+    pressure_pa:
+        Gauge pressure setpoint.
+    temperature_k:
+        Water temperature setpoint.
+    interpolate:
+        Ramp from the previous value (True) or step (False).
+    """
+
+    duration_s: float
+    speed_mps: float
+    pressure_pa: float = 2.0e5
+    temperature_k: float = 288.15
+    interpolate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0.0:
+            raise ConfigurationError("segment duration must be positive")
+        if self.pressure_pa < 0.0:
+            raise ConfigurationError("pressure must be non-negative")
+
+
+@dataclass
+class Profile:
+    """Piecewise setpoint schedule with O(log n) time lookup."""
+
+    segments: list[Segment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._ends = list(np.cumsum([s.duration_s for s in self.segments]))
+
+    def append(self, segment: Segment) -> None:
+        """Add a segment at the end."""
+        self.segments.append(segment)
+        self._rebuild()
+
+    @property
+    def duration_s(self) -> float:
+        """Total schedule length."""
+        return self._ends[-1] if self._ends else 0.0
+
+    def setpoints(self, t_s: float) -> tuple[float, float, float]:
+        """(speed, pressure, temperature) setpoints at time ``t_s``.
+
+        Times beyond the end hold the last segment's values.
+        """
+        if not self.segments:
+            raise ConfigurationError("profile has no segments")
+        if t_s < 0.0:
+            raise ConfigurationError("time must be non-negative")
+        i = min(bisect_right(self._ends, t_s), len(self.segments) - 1)
+        seg = self.segments[i]
+        if not seg.interpolate or i == 0:
+            return seg.speed_mps, seg.pressure_pa, seg.temperature_k
+        prev = self.segments[i - 1]
+        start = self._ends[i - 1]
+        frac = float(np.clip((t_s - start) / seg.duration_s, 0.0, 1.0))
+        return (
+            prev.speed_mps + frac * (seg.speed_mps - prev.speed_mps),
+            prev.pressure_pa + frac * (seg.pressure_pa - prev.pressure_pa),
+            prev.temperature_k + frac * (seg.temperature_k - prev.temperature_k),
+        )
+
+
+def hold(speed_cmps: float, duration_s: float, pressure_bar: float = 2.0,
+         temperature_c: float = 15.0) -> Profile:
+    """A single steady segment (paper units at the boundary)."""
+    return Profile([Segment(
+        duration_s=duration_s,
+        speed_mps=float(cmps_to_mps(speed_cmps)),
+        pressure_pa=float(bar_to_pa(pressure_bar)),
+        temperature_k=float(celsius_to_kelvin(temperature_c)),
+    )])
+
+
+def staircase(levels_cmps: list[float], dwell_s: float,
+              pressure_bar: float = 2.0, temperature_c: float = 15.0) -> Profile:
+    """Step through speed levels, dwelling at each — the E1/E2 workload."""
+    if not levels_cmps:
+        raise ConfigurationError("need at least one level")
+    return Profile([
+        Segment(
+            duration_s=dwell_s,
+            speed_mps=float(cmps_to_mps(level)),
+            pressure_pa=float(bar_to_pa(pressure_bar)),
+            temperature_k=float(celsius_to_kelvin(temperature_c)),
+        )
+        for level in levels_cmps
+    ])
+
+
+def ramp(start_cmps: float, end_cmps: float, duration_s: float,
+         pressure_bar: float = 2.0, temperature_c: float = 15.0) -> Profile:
+    """Linear speed ramp."""
+    p = float(bar_to_pa(pressure_bar))
+    t = float(celsius_to_kelvin(temperature_c))
+    return Profile([
+        Segment(0.001, float(cmps_to_mps(start_cmps)), p, t),
+        Segment(duration_s, float(cmps_to_mps(end_cmps)), p, t, interpolate=True),
+    ])
+
+
+def step(from_cmps: float, to_cmps: float, pre_s: float, post_s: float,
+         pressure_bar: float = 2.0, temperature_c: float = 15.0) -> Profile:
+    """A flow step for response-time measurements (E11)."""
+    p = float(bar_to_pa(pressure_bar))
+    t = float(celsius_to_kelvin(temperature_c))
+    return Profile([
+        Segment(pre_s, float(cmps_to_mps(from_cmps)), p, t),
+        Segment(post_s, float(cmps_to_mps(to_cmps)), p, t),
+    ])
+
+
+def bidirectional_staircase(levels_cmps: list[float], dwell_s: float,
+                            pressure_bar: float = 2.0,
+                            temperature_c: float = 15.0) -> Profile:
+    """Forward levels, then the same levels reversed in sign (E4)."""
+    if not levels_cmps:
+        raise ConfigurationError("need at least one level")
+    forward = list(levels_cmps)
+    reverse = [-level for level in levels_cmps]
+    return staircase(forward + reverse, dwell_s, pressure_bar, temperature_c)
+
+
+def pressure_peaks(speed_cmps: float, base_bar: float, peak_bar: float,
+                   dwell_s: float, peaks: int = 3,
+                   temperature_c: float = 15.0) -> Profile:
+    """Alternate base pressure and short peaks (§5: 0-3 bar, 7 bar peaks)."""
+    if peaks < 1:
+        raise ConfigurationError("need at least one peak")
+    v = float(cmps_to_mps(speed_cmps))
+    t = float(celsius_to_kelvin(temperature_c))
+    segments = []
+    for _ in range(peaks):
+        segments.append(Segment(dwell_s, v, float(bar_to_pa(base_bar)), t))
+        segments.append(Segment(dwell_s / 4.0, v, float(bar_to_pa(peak_bar)), t))
+    segments.append(Segment(dwell_s, v, float(bar_to_pa(base_bar)), t))
+    return Profile(segments)

@@ -1,0 +1,195 @@
+"""Test-rig orchestration: profile → line → sensor-under-test + reference.
+
+Runs a :class:`~repro.station.profiles.Profile` through the
+:class:`~repro.station.line.WaterLine`, steps the monitor-under-test and
+the Promag 50 reference synchronously, and records decimated traces.
+Also hosts :func:`run_calibration` — the §4 procedure that produced the
+paper's calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.baselines.base import FlowMeter
+from repro.baselines.promag import Promag50
+from repro.conditioning.calibration import CalibrationProcedure, FlowCalibration
+from repro.conditioning.cta import CTAController
+from repro.conditioning.direction import DirectionDetector
+from repro.conditioning.monitor import WaterFlowMonitor
+from repro.station.line import WaterLine
+from repro.station.profiles import Profile
+
+__all__ = ["RigRecord", "TestRig", "run_calibration"]
+
+
+@dataclass
+class RigRecord:
+    """Synchronous decimated traces from one rig run (numpy arrays)."""
+
+    time_s: np.ndarray
+    true_speed_mps: np.ndarray
+    reference_mps: np.ndarray
+    measured_mps: np.ndarray
+    direction: np.ndarray
+    pressure_pa: np.ndarray
+    temperature_k: np.ndarray
+    bubble_coverage: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.time_s)
+
+    FIELDS = ("time_s", "true_speed_mps", "reference_mps", "measured_mps",
+              "direction", "pressure_pa", "temperature_k", "bubble_coverage")
+
+    def steady_window(self, t_from_s: float, t_to_s: float) -> "RigRecord":
+        """Slice the record to a time window (for per-dwell statistics)."""
+        mask = (self.time_s >= t_from_s) & (self.time_s < t_to_s)
+        return RigRecord(**{
+            name: getattr(self, name)[mask] for name in self.FIELDS
+        })
+
+    def save(self, path) -> None:
+        """Persist the traces to an ``.npz`` archive."""
+        np.savez_compressed(path, **{
+            name: getattr(self, name) for name in self.FIELDS
+        })
+
+    @classmethod
+    def load(cls, path) -> "RigRecord":
+        """Restore traces written by :meth:`save`.
+
+        Raises
+        ------
+        ConfigurationError
+            If the archive is missing any expected trace.
+        """
+        with np.load(path) as data:
+            missing = [name for name in cls.FIELDS if name not in data]
+            if missing:
+                raise ConfigurationError(
+                    f"record archive missing traces {missing}")
+            return cls(**{name: data[name] for name in cls.FIELDS})
+
+
+class TestRig:
+    """One measurement line with a monitor-under-test and a reference."""
+
+    def __init__(self, monitor: WaterFlowMonitor, line: WaterLine | None = None,
+                 reference: FlowMeter | None = None) -> None:
+        self.monitor = monitor
+        self.line = line or WaterLine(
+            turbulence_multiplier=monitor.sensor.housing.turbulence_multiplier())
+        self.reference = reference or Promag50()
+
+    def run(self, profile: Profile, record_every_n: int = 20) -> RigRecord:
+        """Execute a profile; returns decimated synchronous traces.
+
+        Raises
+        ------
+        ConfigurationError
+            On an empty profile or non-positive decimation.
+        """
+        if record_every_n < 1:
+            raise ConfigurationError("record_every_n must be >= 1")
+        dt = self.monitor.platform.dt_s
+        steps = int(round(profile.duration_s / dt))
+        if steps < 1:
+            raise ConfigurationError("profile shorter than one loop tick")
+        t_buf, v_true, v_ref, v_meas = [], [], [], []
+        direction, pressure, temperature, coverage = [], [], [], []
+        for i in range(steps):
+            t = i * dt
+            v_set, p_set, t_set = profile.setpoints(t)
+            state = self.line.step(dt, v_set, p_set, t_set)
+            conditions = self.line.conditions(state)
+            measurement = self.monitor.step(conditions)
+            ref_reading = self.reference.read(state.bulk_speed_mps, dt)
+            if i % record_every_n == 0:
+                t_buf.append(state.time_s)
+                v_true.append(state.bulk_speed_mps)
+                v_ref.append(ref_reading)
+                v_meas.append(measurement.speed_mps)
+                direction.append(measurement.direction)
+                pressure.append(state.pressure_pa)
+                temperature.append(state.temperature_k)
+                coverage.append(measurement.bubble_coverage)
+        return RigRecord(
+            time_s=np.array(t_buf),
+            true_speed_mps=np.array(v_true),
+            reference_mps=np.array(v_ref),
+            measured_mps=np.array(v_meas),
+            direction=np.array(direction),
+            pressure_pa=np.array(pressure),
+            temperature_k=np.array(temperature),
+            bubble_coverage=np.array(coverage),
+        )
+
+
+def run_calibration(controller: CTAController,
+                    speeds_cmps: list[float],
+                    line: WaterLine | None = None,
+                    reference: FlowMeter | None = None,
+                    settle_s: float = 1.0,
+                    average_s: float = 0.5) -> FlowCalibration:
+    """The §4 calibration campaign against the reference meter.
+
+    For each setpoint: the line is jumped to steady state, the CTA loop
+    settles, then supplies and the reference reading are averaged and a
+    calibration point is recorded.  Returns the fitted
+    :class:`FlowCalibration`.
+
+    Raises
+    ------
+    CalibrationError
+        From the underlying fit when the campaign is too sparse.
+    """
+    if len(speeds_cmps) < 4:
+        raise CalibrationError("calibration campaign needs at least 4 speeds")
+    line = line or WaterLine()
+    reference = reference or Promag50()
+    dt = controller.platform.dt_s
+    procedure = CalibrationProcedure(
+        overtemperature_k=controller.config.overtemperature_k)
+    rt_readings: list[float] = []
+    for v_cmps in speeds_cmps:
+        v_target = abs(v_cmps) * 1e-2
+        line.jump_to(v_target)
+        settle_steps = int(round(settle_s / dt))
+        for _ in range(settle_steps):
+            state = line.step(dt, v_target)
+            controller.step(line.conditions(state))
+            reference.read(state.bulk_speed_mps, dt)
+        avg_steps = max(1, int(round(average_s / dt)))
+        u_a_acc = u_b_acc = ref_acc = 0.0
+        valid = 0
+        for i in range(avg_steps):
+            state = line.step(dt, v_target)
+            tel = controller.step(line.conditions(state))
+            ref_acc += reference.read(state.bulk_speed_mps, dt)
+            if tel.sample_valid:
+                u_a_acc += tel.supply_a_v
+                u_b_acc += tel.supply_b_v
+                valid += 1
+                if i % 50 == 0:  # temperature anchor for compensation
+                    rt = controller.read_reference_resistance(tel)
+                    if rt is not None:
+                        rt_readings.append(rt)
+        if valid == 0:
+            raise CalibrationError(
+                "no valid samples during averaging (pulsed drive duty too low "
+                "for the chosen average_s)")
+        u_a = u_a_acc / valid
+        u_b = u_b_acc / valid
+        g = controller.conductance_from_supplies(u_a, u_b)
+        procedure.add_point(
+            reference_speed_mps=ref_acc / avg_steps,
+            conductance_w_per_k=g,
+            heater_asymmetry=DirectionDetector.asymmetry(u_a, u_b),
+        )
+    if rt_readings:
+        procedure.reference_resistance_ohm = float(np.mean(rt_readings))
+    return procedure.fit()

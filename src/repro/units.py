@@ -1,0 +1,90 @@
+"""Unit conversions and physical constants.
+
+The library works in SI units internally (m, s, K, Pa, Ω, V, W).  The
+paper quotes flow speed in cm/s, pressure in bar and temperature in °C;
+these helpers convert at the public-API boundary so that conversions are
+explicit and greppable instead of scattered magic factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CELSIUS_OFFSET",
+    "STANDARD_ATMOSPHERE_PA",
+    "GRAVITY",
+    "BOLTZMANN",
+    "cmps_to_mps",
+    "mps_to_cmps",
+    "bar_to_pa",
+    "pa_to_bar",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "lpm_to_mps",
+    "mps_to_lpm",
+]
+
+#: Offset between the Celsius and Kelvin scales.
+CELSIUS_OFFSET = 273.15
+
+#: Standard atmospheric pressure [Pa].
+STANDARD_ATMOSPHERE_PA = 101_325.0
+
+#: Standard gravitational acceleration [m/s^2].
+GRAVITY = 9.80665
+
+#: Boltzmann constant [J/K] — used for Johnson noise of the sensing resistors.
+BOLTZMANN = 1.380649e-23
+
+
+def cmps_to_mps(v_cmps):
+    """Convert flow speed from cm/s (paper unit) to m/s (internal unit)."""
+    return np.asarray(v_cmps, dtype=float) * 1e-2
+
+
+def mps_to_cmps(v_mps):
+    """Convert flow speed from m/s (internal unit) to cm/s (paper unit)."""
+    return np.asarray(v_mps, dtype=float) * 1e2
+
+
+def bar_to_pa(p_bar):
+    """Convert gauge/absolute pressure from bar to Pa."""
+    return np.asarray(p_bar, dtype=float) * 1e5
+
+
+def pa_to_bar(p_pa):
+    """Convert gauge/absolute pressure from Pa to bar."""
+    return np.asarray(p_pa, dtype=float) * 1e-5
+
+
+def celsius_to_kelvin(t_c):
+    """Convert a temperature from °C to K."""
+    return np.asarray(t_c, dtype=float) + CELSIUS_OFFSET
+
+
+def kelvin_to_celsius(t_k):
+    """Convert a temperature from K to °C."""
+    return np.asarray(t_k, dtype=float) - CELSIUS_OFFSET
+
+
+def lpm_to_mps(q_lpm, pipe_diameter_m: float):
+    """Convert a volumetric flow [liters/minute] to mean speed [m/s].
+
+    Parameters
+    ----------
+    q_lpm:
+        Volumetric flow rate in liters per minute.
+    pipe_diameter_m:
+        Inner diameter of the pipe in meters.
+    """
+    area = np.pi * (pipe_diameter_m / 2.0) ** 2
+    q_m3s = np.asarray(q_lpm, dtype=float) * 1e-3 / 60.0
+    return q_m3s / area
+
+
+def mps_to_lpm(v_mps, pipe_diameter_m: float):
+    """Convert a mean pipe speed [m/s] to volumetric flow [liters/minute]."""
+    area = np.pi * (pipe_diameter_m / 2.0) ** 2
+    q_m3s = np.asarray(v_mps, dtype=float) * area
+    return q_m3s * 60.0 * 1e3

@@ -1,0 +1,25 @@
+"""Shared fixtures.
+
+The calibrated end-to-end setup is expensive (a full §4 calibration
+campaign), so integration tests share one session-scoped instance built
+in fast mode.  Tests that mutate sensor state build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.station.scenarios import CalibratedSetup, build_calibrated_monitor
+
+
+@pytest.fixture(scope="session")
+def shared_setup() -> CalibratedSetup:
+    """One calibrated monitor shared by read-mostly integration tests."""
+    return build_calibrated_monitor(seed=42, fast=True, use_pulsed_drive=False)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for unit tests."""
+    return np.random.default_rng(123)

@@ -1,0 +1,106 @@
+"""Unit tests for the programmable analog front-end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SaturationError
+from repro.isif.afe import GAIN_STEPS, AFEConfig, AnalogFrontEnd, ReadoutMode
+
+DT = 1e-3
+
+
+def quiet(mode=ReadoutMode.INSTRUMENT, **kw):
+    defaults = dict(mode=mode, offset_v=0.0, noise_density_v_per_rthz=0.0,
+                    flicker_corner_hz=0.0)
+    defaults.update(kw)
+    return AFEConfig(**defaults)
+
+
+def settle(afe, x, n=200):
+    out = 0.0
+    for _ in range(n):
+        out = afe.process(x, DT)
+    return out
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        AFEConfig(gain_index=99)
+    with pytest.raises(ConfigurationError):
+        AFEConfig(rail_v=-1.0)
+    with pytest.raises(ConfigurationError):
+        AFEConfig(noise_density_v_per_rthz=-1.0)
+
+
+def test_instrument_gain():
+    for idx in (0, 3, 5):
+        afe = AnalogFrontEnd(quiet(gain_index=idx))
+        out = settle(afe, 0.01)
+        assert out == pytest.approx(0.01 * GAIN_STEPS[idx], rel=1e-6)
+
+
+def test_offset_and_trim():
+    afe = AnalogFrontEnd(quiet(offset_v=1e-3, gain_index=2))
+    biased = settle(afe, 0.0)
+    assert biased == pytest.approx(1e-3 * GAIN_STEPS[2], rel=1e-6)
+    afe.retrim(1e-3)
+    trimmed = settle(afe, 0.0)
+    assert abs(trimmed) < 1e-9
+
+
+def test_rail_clipping_flag():
+    afe = AnalogFrontEnd(quiet(gain_index=7, rail_v=2.5))
+    out = settle(afe, 0.1)  # 0.1 * 200 = 20 V >> rail
+    assert out == pytest.approx(2.5)
+    assert afe.clipped
+    assert not afe.clipped  # sticky flag cleared on read
+
+
+def test_strict_mode_raises():
+    afe = AnalogFrontEnd(quiet(gain_index=7, rail_v=2.5, strict=True))
+    with pytest.raises(SaturationError):
+        settle(afe, 0.1)
+
+
+def test_transresistive_mode():
+    afe = AnalogFrontEnd(quiet(mode=ReadoutMode.TRANSRESISTIVE,
+                               feedback_resistance_ohm=1e5))
+    out = settle(afe, 1e-6)  # 1 uA through 100k -> 0.1 V
+    assert out == pytest.approx(0.1, rel=1e-6)
+
+
+def test_charge_mode():
+    afe = AnalogFrontEnd(quiet(mode=ReadoutMode.CHARGE,
+                               feedback_capacitance_f=10e-12))
+    out = settle(afe, 1e-12)  # 1 pC on 10 pF -> 0.1 V
+    assert out == pytest.approx(0.1, rel=1e-6)
+
+
+def test_bandwidth_attenuates_fast_signal():
+    afe = AnalogFrontEnd(quiet(gain_index=0, bandwidth_hz=50.0))
+    # 400 Hz square-ish excitation: output swing far below input swing.
+    outs = [afe.process(0.5 if (i // 1) % 2 else -0.5, 1 / 800.0)
+            for i in range(400)]
+    assert np.ptp(np.array(outs[100:])) < 0.6  # heavily low-passed vs 1.0 swing
+
+
+def test_noise_scales_with_gain():
+    lo = AnalogFrontEnd(AFEConfig(gain_index=0, offset_v=0.0),
+                        rng=np.random.default_rng(1))
+    hi = AnalogFrontEnd(AFEConfig(gain_index=6, offset_v=0.0),
+                        rng=np.random.default_rng(1))
+    out_lo = np.array([lo.process(0.0, DT) for _ in range(2000)])
+    out_hi = np.array([hi.process(0.0, DT) for _ in range(2000)])
+    assert np.std(out_hi) > 10.0 * np.std(out_lo)
+
+
+def test_invalid_dt():
+    with pytest.raises(ConfigurationError):
+        AnalogFrontEnd().process(0.0, 0.0)
+
+
+def test_noise_deterministic_per_seed():
+    a = AnalogFrontEnd(rng=np.random.default_rng(3))
+    b = AnalogFrontEnd(rng=np.random.default_rng(3))
+    for _ in range(50):
+        assert a.process(1e-3, DT) == b.process(1e-3, DT)

@@ -1,0 +1,93 @@
+"""Tests for air-medium operation (the die's original automotive duty)."""
+
+import numpy as np
+import pytest
+
+from repro.conditioning.cta import CTAConfig, CTAController
+from repro.errors import ConfigurationError
+from repro.isif.platform import ISIFPlatform
+from repro.physics import air
+from repro.physics.convection import WireGeometry, derive_kings_coefficients, film_conductance
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+
+AIR_COND = FlowConditions(speed_mps=5.0, temperature_k=293.15,
+                          pressure_pa=0.0)
+
+
+def test_air_property_values():
+    """Spot-check against standard 300 K air tables."""
+    assert float(air.density(300.0)) == pytest.approx(1.177, rel=0.01)
+    assert float(air.dynamic_viscosity(300.0)) == pytest.approx(1.846e-5, rel=0.01)
+    assert float(air.thermal_conductivity(300.0)) == pytest.approx(0.0263, rel=0.02)
+    assert float(air.prandtl_number(300.0)) == pytest.approx(0.707, rel=0.02)
+
+
+def test_air_range_guard():
+    with pytest.raises(ConfigurationError):
+        air.density(100.0)
+    with pytest.raises(ConfigurationError):
+        air.film_properties_scalar(500.0)
+
+
+def test_air_scalar_matches_vectorised():
+    k, nu, pr = air.film_properties_scalar(310.0)
+    assert k == pytest.approx(float(air.thermal_conductivity(310.0)))
+    assert nu == pytest.approx(float(air.kinematic_viscosity(310.0)))
+    assert pr == pytest.approx(float(air.prandtl_number(310.0)))
+
+
+def test_air_conductance_far_below_water():
+    """Water cools ~40x harder than air — the quantitative reason the
+    paper reduces the overtemperature in water."""
+    g = WireGeometry()
+    g_air = float(film_conductance(1.0, g, 303.15, 293.15, medium=air))
+    g_water = float(film_conductance(1.0, g, 303.15, 293.15))
+    assert 30.0 < g_water / g_air < 300.0
+
+
+def test_air_kings_coefficients_physical():
+    a, b, n = derive_kings_coefficients(WireGeometry(), 303.15, medium=air)
+    assert n == 0.5
+    assert 0.0 < a < 1e-3   # tens of µW/K class
+    assert 0.0 < b < 1e-3
+
+
+def test_invalid_medium_rejected():
+    with pytest.raises(ConfigurationError):
+        MAFConfig(medium="oil")
+
+
+def test_air_mode_loop_regulates_at_automotive_overtemperature():
+    """The same die + platform + firmware close the loop in air at the
+    classic MAF ΔT of 40 K (impossible in water without bubbles)."""
+    sensor = MAFSensor(MAFConfig(seed=90, medium="air"))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=90),
+                               CTAConfig(overtemperature_k=40.0))
+    tel = controller.settle(AIR_COND, 2.0)
+    d_t = tel.readout.heater_a_temperature_k - AIR_COND.temperature_k
+    assert d_t == pytest.approx(40.0, abs=4.0)
+    # No bubbles in a gas, by construction.
+    assert tel.readout.bubble_coverage_a == 0.0
+
+
+def test_air_mode_supply_rises_with_airflow():
+    sensor = MAFSensor(MAFConfig(seed=91, medium="air"))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=91),
+                               CTAConfig(overtemperature_k=40.0))
+    supplies = []
+    for v in [1.0, 5.0, 15.0]:
+        tel = controller.settle(
+            FlowConditions(speed_mps=v, temperature_k=293.15,
+                           pressure_pa=0.0), 1.5)
+        supplies.append(tel.supply_a_v)
+    assert supplies[0] < supplies[1] < supplies[2]
+
+
+def test_air_mode_power_levels_automotive_class():
+    """~40 K in moderate airflow costs a few mW — the automotive MAF
+    operating regime, an order below the water drive levels."""
+    sensor = MAFSensor(MAFConfig(seed=92, medium="air"))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=92),
+                               CTAConfig(overtemperature_k=40.0))
+    tel = controller.settle(AIR_COND, 2.0)
+    assert 0.5e-3 < tel.readout.heater_a_power_w < 20e-3

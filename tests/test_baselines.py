@@ -1,0 +1,119 @@
+"""Unit tests for the Promag 50 and turbine-wheel comparator models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.promag import Promag50
+from repro.baselines.turbine import TurbineMeter
+from repro.errors import ConfigurationError
+
+DT = 1e-3
+
+
+def run_steady(meter, v, seconds=3.0, dt=DT):
+    readings = [meter.read(v, dt) for _ in range(int(seconds / dt))]
+    return np.array(readings[len(readings) // 2:])
+
+
+def test_promag_validation():
+    with pytest.raises(ConfigurationError):
+        Promag50(full_scale_mps=-1.0)
+    with pytest.raises(ConfigurationError):
+        Promag50(accuracy_of_reading=0.5)
+    with pytest.raises(ConfigurationError):
+        Promag50().read(1.0, 0.0)
+
+
+def test_promag_accuracy_class():
+    """Gain error within the ±0.5 % of-reading class."""
+    for seed in range(10):
+        m = Promag50(seed=seed)
+        mean = float(np.mean(run_steady(m, 2.0)))
+        assert mean == pytest.approx(2.0, rel=0.005)
+
+
+def test_promag_resolution_is_high():
+    """§5: 'resolution lower than ±0.5 % respect to full scale' — we
+    model ~0.05 % FS single-reading noise."""
+    m = Promag50()
+    noise_3s = 3.0 * np.std(run_steady(m, 1.0))
+    assert noise_3s < 0.005 * m.full_scale_mps
+
+
+def test_promag_bidirectional():
+    m = Promag50()
+    assert float(np.mean(run_steady(m, -1.5))) == pytest.approx(-1.5, rel=0.01)
+
+
+def test_promag_response_time():
+    m = Promag50(response_time_s=0.1)
+    m.read(0.0, DT)
+    readings = [m.read(1.0, DT) for _ in range(1000)]
+    # One time constant in: ~63 %.
+    assert readings[99] == pytest.approx(0.63, abs=0.05)
+    assert readings[-1] == pytest.approx(1.0, abs=0.02)
+
+
+def test_promag_traits():
+    t = Promag50().traits
+    assert not t.has_moving_parts
+    assert not t.hot_insertable
+    assert t.cost_eur > 1000.0
+
+
+def test_turbine_validation():
+    with pytest.raises(ConfigurationError):
+        TurbineMeter(rotor_time_constant_s=0.0)
+    with pytest.raises(ConfigurationError):
+        TurbineMeter().read(1.0, -1.0)
+
+
+def test_turbine_reads_mid_range_accurately():
+    m = TurbineMeter()
+    mean = float(np.mean(run_steady(m, 1.0, seconds=6.0)))
+    assert mean == pytest.approx(1.0, rel=0.02)
+
+
+def test_turbine_stalls_at_low_flow():
+    """Bearing friction: reads zero below the stall speed — the MAF has
+    no such dead zone (no moving parts)."""
+    m = TurbineMeter(stall_speed_mps=0.05)
+    readings = run_steady(m, 0.02, seconds=6.0)
+    assert np.all(readings < 0.01)
+
+
+def test_turbine_lags_steps():
+    m = TurbineMeter(rotor_time_constant_s=0.5)
+    m.read(0.0, DT)
+    out = [m.read(1.0, DT) for _ in range(200)]
+    assert out[-1] < 0.5  # still spinning up after 0.2 s
+
+
+def test_turbine_quantisation():
+    """Pulse counting produces visibly discrete output levels."""
+    m = TurbineMeter(pulses_per_meter=400.0, gate_time_s=1.0)
+    readings = run_steady(m, 1.0, seconds=6.0)
+    levels = np.unique(np.round(readings, 9))
+    spacing = np.diff(levels)
+    assert np.min(spacing) == pytest.approx(1.0 / 400.0, rel=1e-6)
+
+
+def test_turbine_wear_underreads():
+    fresh = TurbineMeter(seed=1)
+    worn = TurbineMeter(seed=1)
+    worn.age(20_000.0)  # ~2.3 years of service
+    v_fresh = float(np.mean(run_steady(fresh, 1.5, seconds=6.0)))
+    v_worn = float(np.mean(run_steady(worn, 1.5, seconds=6.0)))
+    assert v_worn < v_fresh * 0.98
+
+
+def test_turbine_reads_speed_magnitude():
+    """A simple turbine totaliser cannot sign the flow."""
+    m = TurbineMeter()
+    assert float(np.mean(run_steady(m, -1.0, seconds=6.0))) > 0.5
+
+
+def test_turbine_traits():
+    t = TurbineMeter().traits
+    assert t.has_moving_parts
+    assert t.intrusive

@@ -1,0 +1,121 @@
+"""Unit tests for the Wheatstone half-bridge model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sensor.bridge import WheatstoneBridge
+from repro.sensor.resistor import SensingResistor
+
+
+@pytest.fixture
+def bridge():
+    return WheatstoneBridge(SensingResistor(50.0), SensingResistor(2000.0))
+
+
+def test_validation(bridge):
+    with pytest.raises(ConfigurationError):
+        WheatstoneBridge(SensingResistor(50.0), SensingResistor(2000.0),
+                         r_series_ohm=-1.0)
+    with pytest.raises(ConfigurationError):
+        bridge.differential_v(-1.0, 50.0, 2000.0)
+    with pytest.raises(ConfigurationError):
+        bridge.differential_v(1.0, -50.0, 2000.0)
+
+
+def test_balance_condition(bridge):
+    """At Rh = Rs*Rt/Rtrim the differential must null exactly."""
+    rt = 2000.0
+    rh_bal = bridge.balance_resistance(rt)
+    assert bridge.differential_v(3.0, rh_bal, rt) == pytest.approx(0.0, abs=1e-15)
+
+
+def test_differential_sign_convention(bridge):
+    """Hotter-than-setpoint heater (larger Rh) gives positive output."""
+    rt = 2000.0
+    rh_bal = bridge.balance_resistance(rt)
+    assert bridge.differential_v(3.0, rh_bal * 1.02, rt) > 0.0
+    assert bridge.differential_v(3.0, rh_bal * 0.98, rt) < 0.0
+
+
+def test_trim_for_overtemperature(bridge):
+    """After trimming, balance Rh equals the heater's target resistance."""
+    d_t = 5.0
+    bridge.trim_for_overtemperature(d_t)
+    ambient = bridge.reference.reference_temperature_k
+    rt_amb = float(bridge.reference.resistance(ambient))
+    rh_bal = bridge.balance_resistance(rt_amb)
+    assert rh_bal == pytest.approx(bridge.heater.target_resistance(d_t), rel=1e-12)
+
+
+def test_balance_tracks_ambient():
+    """CT property: when the fluid warms, the balance Rh rises so the
+    overtemperature stays ~constant (same-TCR arms)."""
+    heater = SensingResistor(50.0)
+    ref = SensingResistor(2000.0)
+    b = WheatstoneBridge(heater, ref)
+    b.trim_for_overtemperature(5.0, ambient_k=288.15)
+    rh_cold = b.balance_resistance(float(ref.resistance(288.15)))
+    rh_warm = b.balance_resistance(float(ref.resistance(298.15)))
+    t_cold = float(heater.temperature_from_resistance(rh_cold))
+    t_warm = float(heater.temperature_from_resistance(rh_warm))
+    dt_cold = t_cold - 288.15
+    dt_warm = t_warm - 298.15
+    assert dt_cold == pytest.approx(5.0, abs=0.05)
+    assert dt_warm == pytest.approx(dt_cold, abs=0.25)  # small tracking error ok
+
+
+def test_heater_power(bridge):
+    u, rh = 3.0, 52.0
+    i = u / (bridge.r_series_ohm + rh)
+    assert bridge.heater_power_w(u, rh) == pytest.approx(i * i * rh)
+
+
+def test_reference_self_heating_negligible(bridge):
+    """The 2 kΩ arm must dissipate far less than the heater (its
+    self-heating would corrupt the ambient reading)."""
+    u = 3.0
+    p_ref = bridge.reference_power_w(u, 2000.0)
+    p_heat = bridge.heater_power_w(u, 52.0)
+    assert p_ref < 0.1 * p_heat
+    assert p_ref < 2e-3
+
+
+def test_supply_current_sums_branches(bridge):
+    u, rh, rt = 3.0, 52.0, 2000.0
+    expected = u / (bridge.r_series_ohm + rh) + u / (bridge.r_trim_ohm + rt)
+    assert bridge.total_supply_current_a(u, rh, rt) == pytest.approx(expected)
+
+
+def test_leakage_shifts_balance(bridge):
+    """A wet-packaging leakage path unbalances a previously nulled bridge."""
+    rt = 2000.0
+    rh_bal = bridge.balance_resistance(rt)
+    clean = bridge.differential_v(3.0, rh_bal, rt)
+    bridge.leakage_conductance_s = 1e-3  # 1 kOhm leak
+    leaky = bridge.differential_v(3.0, rh_bal, rt)
+    assert abs(leaky - clean) > 1e-3
+
+
+def test_leakage_reduces_heater_current_share(bridge):
+    bridge.leakage_conductance_s = 1e-3
+    i_leaky = bridge.heater_current_a(3.0, 50.0)
+    bridge.leakage_conductance_s = 0.0
+    i_clean = bridge.heater_current_a(3.0, 50.0)
+    assert i_leaky < i_clean
+
+
+def test_zero_supply_gives_zero_everything(bridge):
+    assert bridge.differential_v(0.0, 52.0, 2000.0) == 0.0
+    assert bridge.heater_power_w(0.0, 52.0) == 0.0
+
+
+@settings(max_examples=30)
+@given(st.floats(min_value=0.1, max_value=5.0),
+       st.floats(min_value=40.0, max_value=70.0))
+def test_power_quadratic_in_supply(u, rh):
+    b = WheatstoneBridge(SensingResistor(50.0), SensingResistor(2000.0))
+    p1 = b.heater_power_w(u, rh)
+    p2 = b.heater_power_w(2.0 * u, rh)
+    assert p2 == pytest.approx(4.0 * p1, rel=1e-9)

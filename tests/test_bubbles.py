@@ -1,0 +1,99 @@
+"""Unit tests for the bubble-generation model (fig. 7 mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensor.bubbles import BubbleConfig, BubbleModel
+
+BULK = 288.15
+P_LINE = 3.0e5  # 2 bar gauge absolute-ish
+
+
+def run(model, seconds, wall_t, powered=True, v=0.5, dt=0.01, pressure=P_LINE):
+    for _ in range(int(seconds / dt)):
+        model.step(dt, wall_t, BULK, pressure, v, powered)
+    return model.coverage
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        BubbleConfig(nucleation_superheat_k=-1.0)
+    with pytest.raises(ConfigurationError):
+        BubbleConfig(vapor_conductance_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        BubbleConfig(noise_fraction=2.0)
+
+
+def test_no_bubbles_below_nucleation_threshold():
+    """Reduced overtemperature (the paper's water setting) stays clean."""
+    m = BubbleModel()
+    cov = run(m, 60.0, BULK + 5.0)
+    assert cov == 0.0
+
+
+def test_bubbles_grow_above_threshold():
+    """Air-style high overtemperature under continuous drive fouls."""
+    m = BubbleModel()
+    cov = run(m, 60.0, BULK + 40.0)
+    assert cov > 0.3
+
+
+def test_boiling_accelerates_growth_at_low_pressure():
+    m_low = BubbleModel()
+    m_high = BubbleModel()
+    wall = 385.0  # above 1 atm boiling, below 4 bar boiling
+    bulk = 350.0  # superheat 35 K: past nucleation onset in both cases
+    for _ in range(200):
+        m_low.step(0.01, wall, bulk, 1.0e5, 0.5, True)
+        m_high.step(0.01, wall, bulk, 4.0e5, 0.5, True)
+    assert m_low.coverage > m_high.coverage
+
+
+def test_unpowered_phase_detaches_bubbles():
+    m = BubbleModel()
+    run(m, 60.0, BULK + 40.0)
+    grown = m.coverage
+    run(m, 5.0, BULK, powered=False)
+    assert m.coverage < 0.2 * grown
+
+
+def test_shear_limits_coverage():
+    slow = BubbleModel()
+    fast = BubbleModel()
+    run(slow, 60.0, BULK + 40.0, v=0.05)
+    run(fast, 60.0, BULK + 40.0, v=2.0)
+    assert fast.coverage < slow.coverage
+
+
+def test_coverage_bounded():
+    m = BubbleModel()
+    cov = run(m, 600.0, BULK + 80.0, v=0.0, pressure=1.0e5)
+    assert 0.0 <= cov < 1.0
+
+
+def test_conductance_factor_clean_is_unity():
+    m = BubbleModel()
+    assert m.conductance_factor() == 1.0
+    assert m.conductance_noise(1e-3) == 1.0
+
+
+def test_conductance_factor_degrades_with_coverage():
+    m = BubbleModel()
+    run(m, 120.0, BULK + 45.0, v=0.05)
+    assert m.conductance_factor() < 0.7
+    # Noise becomes non-trivial too.
+    samples = [m.conductance_noise(1e-3) for _ in range(200)]
+    assert np.std(samples) > 0.01
+
+
+def test_reset():
+    m = BubbleModel()
+    run(m, 60.0, BULK + 40.0)
+    m.reset()
+    assert m.coverage == 0.0
+
+
+def test_invalid_dt():
+    with pytest.raises(ConfigurationError):
+        BubbleModel().step(0.0, 300.0, 290.0, 1e5, 0.1, True)

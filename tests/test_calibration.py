@@ -1,0 +1,80 @@
+"""Unit tests for calibration procedure and object."""
+
+import numpy as np
+import pytest
+
+from repro.conditioning.calibration import CalibrationProcedure, FlowCalibration
+from repro.errors import CalibrationError
+from repro.physics.kings_law import KingsLaw
+
+LAW = KingsLaw(coeff_a=1.2e-3, coeff_b=4.4e-3, exponent=0.5)
+
+
+def make_calibration(**kw):
+    defaults = dict(law=LAW, overtemperature_k=5.0)
+    defaults.update(kw)
+    return FlowCalibration(**defaults)
+
+
+def test_speed_inversion_roundtrip():
+    cal = make_calibration()
+    for v in [0.0, 0.1, 1.0, 2.5]:
+        g = cal.conductance_from_speed(v)
+        assert cal.speed_from_conductance(g) == pytest.approx(v, abs=1e-9)
+
+
+def test_speed_clips_below_zero_flow():
+    cal = make_calibration()
+    assert cal.speed_from_conductance(LAW.coeff_a * 0.5) == 0.0
+
+
+def test_serialisation_roundtrip():
+    cal = make_calibration(direction_offset=0.01, rms_residual_mps=0.02)
+    restored = FlowCalibration.from_dict(cal.to_dict())
+    assert restored.law.coeff_a == cal.law.coeff_a
+    assert restored.law.coeff_b == cal.law.coeff_b
+    assert restored.direction_offset == cal.direction_offset
+    assert restored.overtemperature_k == cal.overtemperature_k
+
+
+def test_deserialisation_missing_field():
+    with pytest.raises(CalibrationError):
+        FlowCalibration.from_dict({"coeff_a": 1.0})
+
+
+def test_procedure_requires_enough_points():
+    proc = CalibrationProcedure(overtemperature_k=5.0)
+    proc.add_point(0.5, 3e-3)
+    with pytest.raises(CalibrationError):
+        proc.fit()
+
+
+def test_procedure_rejects_bad_point():
+    proc = CalibrationProcedure(overtemperature_k=5.0)
+    with pytest.raises(CalibrationError):
+        proc.add_point(1.0, -1e-3)
+
+
+def test_procedure_fits_synthetic_campaign():
+    proc = CalibrationProcedure(overtemperature_k=5.0)
+    speeds = [0.0, 0.2, 0.5, 1.0, 1.5, 2.0, 2.5]
+    rng = np.random.default_rng(0)
+    for v in speeds:
+        g = float(LAW.conductance(v)) * (1.0 + 1e-3 * rng.normal())
+        proc.add_point(v, g, heater_asymmetry=0.01 if v == 0.0 else 0.02)
+    cal = proc.fit(exponent=0.5)
+    assert cal.law.coeff_a == pytest.approx(LAW.coeff_a, rel=0.05)
+    assert cal.law.coeff_b == pytest.approx(LAW.coeff_b, rel=0.02)
+    assert cal.rms_residual_mps < 0.02
+    # Direction offset learned from the lowest-speed quartile.
+    assert cal.direction_offset == pytest.approx(0.01, abs=0.011)
+
+
+def test_procedure_residual_reported():
+    proc = CalibrationProcedure(overtemperature_k=5.0)
+    rng = np.random.default_rng(1)
+    for v in np.linspace(0.0, 2.5, 8):
+        g = float(LAW.conductance(v)) * (1.0 + 0.02 * rng.normal())
+        proc.add_point(float(v), g)
+    cal = proc.fit(exponent=0.5)
+    assert cal.rms_residual_mps > 0.0

@@ -1,0 +1,83 @@
+"""Unit tests for the carbonate scaling chemistry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.physics.carbonate import (
+    TUSCAN_TAP_WATER,
+    WaterChemistry,
+    langelier_index,
+    saturation_ratio,
+    scaling_driving_force,
+)
+
+
+def test_chemistry_validation():
+    with pytest.raises(ConfigurationError):
+        WaterChemistry(calcium_mg_per_l=-1.0)
+    with pytest.raises(ConfigurationError):
+        WaterChemistry(ph=2.0)
+    with pytest.raises(ConfigurationError):
+        WaterChemistry(tds_mg_per_l=0.0)
+
+
+def test_lsi_rises_with_temperature():
+    """Inverse solubility: the heated wall is more supersaturated."""
+    cold = float(langelier_index(TUSCAN_TAP_WATER, 288.15))
+    hot = float(langelier_index(TUSCAN_TAP_WATER, 318.15))
+    assert hot > cold
+
+
+def test_lsi_rises_with_hardness():
+    soft = WaterChemistry(calcium_mg_per_l=40.0, alkalinity_mg_per_l=50.0,
+                          ph=7.4, tds_mg_per_l=150.0)
+    assert float(langelier_index(TUSCAN_TAP_WATER, 298.15)) > \
+        float(langelier_index(soft, 298.15))
+
+
+def test_saturation_ratio_is_power_of_lsi():
+    lsi = float(langelier_index(TUSCAN_TAP_WATER, 298.15))
+    assert float(saturation_ratio(TUSCAN_TAP_WATER, 298.15)) == pytest.approx(10**lsi)
+
+
+def test_driving_force_zero_for_undersaturated_water():
+    aggressive = WaterChemistry(calcium_mg_per_l=20.0, alkalinity_mg_per_l=30.0,
+                                ph=6.5, tds_mg_per_l=100.0)
+    force = float(scaling_driving_force(aggressive, 300.0, 288.15))
+    assert force == 0.0
+
+
+def test_driving_force_grows_superlinearly_with_overtemperature():
+    bulk = 288.15
+    f5 = float(scaling_driving_force(TUSCAN_TAP_WATER, bulk + 5.0, bulk))
+    f30 = float(scaling_driving_force(TUSCAN_TAP_WATER, bulk + 30.0, bulk))
+    assert f30 > 6.0 * f5  # disproportionate: the paper's hot-wall mechanism
+
+
+def test_driving_force_zero_at_equal_temperatures_or_small():
+    bulk = 288.15
+    force_eq = float(scaling_driving_force(TUSCAN_TAP_WATER, bulk, bulk))
+    force_hot = float(scaling_driving_force(TUSCAN_TAP_WATER, bulk + 20.0, bulk))
+    assert force_hot > force_eq
+
+
+def test_wall_below_bulk_rejected():
+    with pytest.raises(ConfigurationError):
+        scaling_driving_force(TUSCAN_TAP_WATER, 280.0, 290.0)
+
+
+def test_temperature_range_guard():
+    with pytest.raises(ConfigurationError):
+        langelier_index(TUSCAN_TAP_WATER, 250.0)
+
+
+@settings(max_examples=25)
+@given(st.floats(min_value=0.0, max_value=40.0))
+def test_driving_force_monotone_in_overtemperature(d_t):
+    bulk = 288.15
+    f_lo = float(scaling_driving_force(TUSCAN_TAP_WATER, bulk + d_t, bulk))
+    f_hi = float(scaling_driving_force(TUSCAN_TAP_WATER, bulk + d_t + 5.0, bulk))
+    assert f_hi >= f_lo
+    assert np.isfinite(f_hi)

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def cal_file(tmp_path_factory):
+    """A real (fast) calibration image produced by the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "cal.json"
+    assert main(["calibrate", "--out", str(path), "--fast",
+                 "--seed", "5"]) == 0
+    return path
+
+
+def test_selftest_passes(capsys):
+    assert main(["selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "SELF-TEST PASS" in out
+
+
+def test_calibrate_writes_valid_image(cal_file):
+    image = json.loads(cal_file.read_text())
+    assert image["coeff_a"] > 0.0
+    assert image["coeff_b"] > 0.0
+    assert 0.3 <= image["exponent"] <= 0.7
+
+
+def test_measure_against_stored_calibration(cal_file, capsys):
+    code = main(["measure", "--cal", str(cal_file),
+                 "--speed-cmps", "100", "--duration", "8",
+                 "--seed", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    measured = float([line for line in out.splitlines()
+                      if "measured speed" in line][0].split(":")[1]
+                     .replace("cm/s", ""))
+    assert measured == pytest.approx(100.0, rel=0.2)
+
+
+def test_sweep_prints_all_levels(cal_file, capsys):
+    code = main(["sweep", "--cal", str(cal_file),
+                 "--levels", "20,120", "--dwell", "5", "--seed", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "20.0" in out
+    assert "120.0" in out
+
+
+def test_sweep_rejects_bad_levels(cal_file, capsys):
+    assert main(["sweep", "--cal", str(cal_file),
+                 "--levels", "abc"]) == 2
+    assert main(["sweep", "--cal", str(cal_file), "--levels", ""]) == 2
+
+
+def test_measure_missing_calibration_file(tmp_path):
+    code = main(["measure", "--cal", str(tmp_path / "nope.json"),
+                 "--speed-cmps", "50"])
+    assert code == 1
+
+
+def test_measure_corrupt_calibration(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"coeff_a": 1.0}))
+    code = main(["measure", "--cal", str(bad), "--speed-cmps", "50"])
+    assert code == 1
+
+
+def test_record_writes_loadable_archive(tmp_path):
+    from repro.station.rig import RigRecord
+    out = tmp_path / "traces.npz"
+    code = main(["record", "--out", str(out), "--levels", "20,80",
+                 "--dwell", "3", "--seed", "5"])
+    assert code == 0
+    record = RigRecord.load(out)
+    assert len(record) > 100
+    assert record.true_speed_mps.max() > 0.5
+
+
+def test_record_rejects_bad_levels(tmp_path):
+    assert main(["record", "--out", str(tmp_path / "x.npz"),
+                 "--levels", "nope"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

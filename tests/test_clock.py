@@ -1,0 +1,59 @@
+"""Tests for the clock generator / divider."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.clock import ClockDivider, ClockGenerator
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ClockGenerator(nominal_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        ClockGenerator(tolerance_ppm=-1.0)
+    with pytest.raises(ConfigurationError):
+        ClockDivider(ClockGenerator(), 0)
+
+
+def test_trim_error_within_tolerance():
+    for seed in range(20):
+        clk = ClockGenerator(tolerance_ppm=500.0, seed=seed)
+        err = clk.time_base_error_fraction()
+        assert abs(err) <= 500e-6 + 1e-12
+
+
+def test_temperature_drift():
+    clk = ClockGenerator(tempco_ppm_per_k=30.0, seed=1)
+    f_cold = clk.frequency_hz()
+    clk.die_temperature_k = 298.15 + 40.0  # hot enclosure in summer
+    f_hot = clk.frequency_hz()
+    # Relative drift, slightly skewed by the instance's trim error.
+    assert (f_hot - f_cold) / f_cold == pytest.approx(40 * 30e-6, rel=1e-3)
+
+
+def test_jitter_statistics():
+    clk = ClockGenerator(jitter_ppm_rms=100.0, seed=2)
+    base = clk.period_s()
+    periods = np.array([clk.period_s(jittered=True) for _ in range(20000)])
+    assert np.std(periods) / base == pytest.approx(100e-6, rel=0.05)
+    assert np.mean(periods) == pytest.approx(base, rel=1e-5)
+
+
+def test_divider_frequency_and_ticks():
+    clk = ClockGenerator(nominal_hz=40e6, tolerance_ppm=0.0, seed=3)
+    div = ClockDivider(clk, 40_000)  # 1 kHz loop tick
+    assert div.frequency_hz() == pytest.approx(1000.0)
+    assert div.ticks_for(10.0) == 10_000
+
+
+def test_totaliser_systematic():
+    """A clock 500 ppm fast accumulates 500 ppm extra ticks — a direct
+    volume-totalising error no flow calibration can see."""
+    fast = ClockGenerator(tolerance_ppm=500.0, seed=7)
+    fast._trim_error_ppm = 500.0  # pin the worst case
+    div = ClockDivider(fast, 40_000)
+    ticks = div.ticks_for(3600.0)  # one hour
+    assert ticks == pytest.approx(3600 * 1000 * (1 + 500e-6), abs=2)
+    with pytest.raises(ConfigurationError):
+        div.ticks_for(-1.0)

@@ -1,0 +1,112 @@
+"""Unit tests for the convection model and King's-law derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.physics.convection import (
+    NATURAL_CONVECTION_FLOOR,
+    WireGeometry,
+    derive_kings_coefficients,
+    film_conductance,
+    nusselt_kramers,
+    reynolds_number,
+)
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigurationError):
+        WireGeometry(length_m=-1.0)
+    with pytest.raises(ConfigurationError):
+        WireGeometry(length_m=1e-6, diameter_m=1e-3)  # d > L
+
+
+def test_surface_area():
+    g = WireGeometry(length_m=1e-3, diameter_m=6e-6)
+    assert g.surface_area_m2 == pytest.approx(np.pi * 6e-6 * 1e-3)
+
+
+def test_reynolds_scales_linearly_with_speed():
+    g = WireGeometry()
+    re1 = reynolds_number(0.5, g, 293.15)
+    re2 = reynolds_number(1.0, g, 293.15)
+    assert re2 == pytest.approx(2.0 * re1)
+
+
+def test_reynolds_uses_speed_magnitude():
+    g = WireGeometry()
+    assert reynolds_number(-1.0, g, 293.15) == pytest.approx(
+        reynolds_number(1.0, g, 293.15))
+
+
+def test_nusselt_grows_with_sqrt_re():
+    n1 = nusselt_kramers(1.0, 7.0)
+    n4 = nusselt_kramers(4.0, 7.0)
+    # Forced part doubles when Re quadruples.
+    forced1 = n1 - 0.42 * 7.0**0.2
+    forced4 = n4 - 0.42 * 7.0**0.2
+    assert forced4 == pytest.approx(2.0 * forced1)
+
+
+def test_nusselt_rejects_negative_re():
+    with pytest.raises(ConfigurationError):
+        nusselt_kramers(-1.0, 7.0)
+
+
+def test_film_conductance_monotone_in_speed():
+    g = WireGeometry()
+    speeds = [0.0, 0.1, 0.5, 1.0, 2.0, 2.5]
+    values = [float(film_conductance(v, g, 298.15, 288.15)) for v in speeds]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+def test_film_conductance_even_in_speed():
+    g = WireGeometry()
+    forward = float(film_conductance(1.2, g, 298.15, 288.15))
+    reverse = float(film_conductance(-1.2, g, 298.15, 288.15))
+    assert forward == pytest.approx(reverse)
+
+
+def test_film_conductance_floor_at_rest():
+    g = WireGeometry()
+    at_rest = float(film_conductance(0.0, g, 298.15, 288.15))
+    at_floor = float(film_conductance(NATURAL_CONVECTION_FLOOR, g, 298.15, 288.15))
+    assert at_rest == pytest.approx(at_floor)
+    assert at_rest > 0.0
+
+
+def test_scalar_fast_path_matches_array_path():
+    g = WireGeometry()
+    for v in [0.0, 0.03, 0.7, 2.5]:
+        scalar = film_conductance(v, g, 299.0, 289.0)
+        vector = film_conductance(np.array([v]), g, np.array([299.0]), np.array([289.0]))
+        assert float(scalar) == pytest.approx(float(vector[0]), rel=1e-12)
+
+
+def test_derived_kings_coefficients_reproduce_conductance():
+    g = WireGeometry()
+    film_t = 293.15
+    a, b, n = derive_kings_coefficients(g, film_t)
+    assert n == 0.5
+    for v in [0.05, 0.5, 2.0]:
+        expected = a + b * v**0.5
+        # Evaluate the full model at matched film temperature.
+        actual = float(film_conductance(v, g, film_t, film_t))
+        assert actual == pytest.approx(expected, rel=1e-9)
+
+
+def test_conductance_magnitude_physical():
+    # A micro hot film in water: a few mW/K, not W/K, not uW/K.
+    g = WireGeometry()
+    value = float(film_conductance(1.0, g, 298.15, 288.15))
+    assert 1e-3 < value < 50e-3
+
+
+@given(st.floats(min_value=0.0, max_value=3.0),
+       st.floats(min_value=276.0, max_value=320.0))
+def test_conductance_positive_and_finite(speed, bulk_t):
+    g = WireGeometry()
+    value = float(film_conductance(speed, g, bulk_t + 8.0, bulk_t))
+    assert np.isfinite(value)
+    assert value > 0.0

@@ -1,0 +1,135 @@
+"""Integration tests for the constant-temperature loop."""
+
+import numpy as np
+import pytest
+
+from repro.conditioning.cta import CTAConfig, CTAController
+from repro.conditioning.drive import PulsedDrive
+from repro.errors import ConfigurationError
+from repro.isif.platform import ISIFPlatform
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+
+COND = FlowConditions(speed_mps=1.0)
+
+
+def make_controller(overtemperature_k=5.0, drive=None, seed=11, **cta_kw):
+    sensor = MAFSensor(MAFConfig(seed=seed, enable_bubbles=False,
+                                 enable_fouling=False))
+    platform = ISIFPlatform.for_anemometer(seed=seed)
+    cfg = CTAConfig(overtemperature_k=overtemperature_k, **cta_kw)
+    return CTAController(sensor, platform, cfg, drive=drive)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        CTAConfig(overtemperature_k=-1.0)
+    with pytest.raises(ConfigurationError):
+        CTAConfig(startup_supply_v=99.0)
+
+
+def test_loop_holds_overtemperature():
+    """The defining CT property: wire sits ~setpoint above the water."""
+    c = make_controller(overtemperature_k=5.0)
+    tel = c.settle(COND, 1.0)
+    d_t = tel.readout.heater_a_temperature_k - COND.temperature_k
+    assert d_t == pytest.approx(5.0, abs=0.6)
+    assert abs(tel.error_a_v) < 2e-3  # bridge essentially nulled
+
+
+def test_loop_holds_setpoint_across_flows():
+    c = make_controller()
+    d_ts = []
+    for v in [0.1, 0.8, 2.0]:
+        tel = c.settle(FlowConditions(speed_mps=v), 0.8)
+        d_ts.append(tel.readout.heater_a_temperature_k - COND.temperature_k)
+    assert np.ptp(d_ts) < 0.5  # constant temperature across the range
+
+
+def test_supply_rises_with_flow():
+    """'the voltage supplied to the two bridges is proportional to the
+    water flow' — monotone, King-compressed."""
+    c = make_controller()
+    supplies = [c.settle(FlowConditions(speed_mps=v), 0.8).supply_a_v
+                for v in [0.0, 0.5, 1.0, 2.0, 2.5]]
+    assert all(b > a for a, b in zip(supplies, supplies[1:]))
+    # Compression: the last 0.5 m/s adds less than the first 0.5 m/s.
+    assert supplies[1] - supplies[0] > supplies[4] - supplies[3]
+
+
+def test_supply_stays_within_dac_range():
+    c = make_controller()
+    tel = c.settle(FlowConditions(speed_mps=2.5), 1.0)
+    assert 0.0 <= tel.supply_a_v <= 5.0
+
+
+def test_conductance_tracks_physical_model():
+    """Firmware G = P/ΔT must agree with the physical film conductance."""
+    from repro.physics.convection import film_conductance
+    c = make_controller()
+    v = 1.0
+    tel = c.settle(FlowConditions(speed_mps=v), 1.5)
+    g_fw = c.conductance_from_supplies(tel.supply_a_v, tel.supply_b_v)
+    t_wall = tel.readout.heater_a_temperature_k
+    g_phys = float(film_conductance(v, c.sensor.config.geometry,
+                                    t_wall, COND.temperature_k))
+    # Within ~15 %: parasitics (membrane, backside) are part of G_fw.
+    assert g_fw == pytest.approx(g_phys, rel=0.15)
+
+
+def test_loop_recovers_from_flow_step():
+    c = make_controller()
+    c.settle(FlowConditions(speed_mps=0.3), 0.8)
+    tel = c.settle(FlowConditions(speed_mps=2.0), 0.5)
+    d_t = tel.readout.heater_a_temperature_k - COND.temperature_k
+    assert d_t == pytest.approx(5.0, abs=0.6)
+
+
+def test_pulsed_drive_deenergises_bridge():
+    c = make_controller(drive=PulsedDrive(period_s=0.2, duty=0.5,
+                                          blanking_s=0.02))
+    powers = []
+    for _ in range(400):
+        tel = c.step(COND)
+        powers.append(tel.readout.heater_a_power_w)
+    powers = np.array(powers)
+    assert np.sum(powers < 1e-6) > 150  # off phases actually off
+    assert np.sum(powers > 1e-3) > 150  # on phases actually on
+
+
+def test_pulsed_reheat_within_blanking():
+    """After each off-phase the wire must be back at setpoint before the
+    blanking window ends — otherwise the paper's scheme cannot work."""
+    drive = PulsedDrive(period_s=0.2, duty=0.5, blanking_s=0.03)
+    c = make_controller(drive=drive)
+    for _ in range(2000):  # let everything converge over several periods
+        c.step(COND)
+    errors = []
+    for _ in range(400):
+        tel = c.step(COND)
+        if tel.sample_valid:
+            d_t = tel.readout.heater_a_temperature_k - COND.temperature_k
+            errors.append(abs(d_t - 5.0))
+    assert np.median(errors) < 0.7
+
+
+def test_fixed_point_loop_equals_float_loop_closely():
+    fx = make_controller()
+    fl = make_controller(qformat=None)
+    tel_fx = fx.settle(COND, 1.0)
+    tel_fl = fl.settle(COND, 1.0)
+    assert tel_fx.supply_a_v == pytest.approx(tel_fl.supply_a_v, abs=0.02)
+
+
+def test_run_validation():
+    c = make_controller()
+    with pytest.raises(ConfigurationError):
+        c.run(COND, 0.0)
+
+
+def test_software_ips_registered():
+    c = make_controller()
+    names = c.platform.scheduler.task_names()
+    assert "pi_controller_a" in names
+    assert "reference_subtract_b" in names
+    c.settle(COND, 0.1)
+    assert c.platform.scheduler.utilization() < 0.05

@@ -1,0 +1,92 @@
+"""Unit tests for the thermometer DACs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.dac import ThermometerDAC
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ThermometerDAC(bits=2)
+    with pytest.raises(ConfigurationError):
+        ThermometerDAC(bits=16)
+    with pytest.raises(ConfigurationError):
+        ThermometerDAC(vref_v=-1.0)
+
+
+def test_endpoints():
+    dac = ThermometerDAC(bits=12, vref_v=5.0)
+    assert dac.ideal_output(0) == 0.0
+    assert dac.ideal_output(dac.max_code) == pytest.approx(5.0)
+
+
+def test_code_range_enforced():
+    dac = ThermometerDAC(bits=10)
+    with pytest.raises(ConfigurationError):
+        dac.ideal_output(-1)
+    with pytest.raises(ConfigurationError):
+        dac.ideal_output(1024)
+
+
+def test_monotonicity_guaranteed_by_thermometer_coding():
+    """The structural property the CTA loop relies on: every step is
+    positive no matter the element mismatch."""
+    dac = ThermometerDAC(bits=12, mismatch_sigma=0.02, seed=5)
+    levels = np.array([dac.ideal_output(c) for c in range(0, 4096, 7)])
+    assert np.all(np.diff(levels) > 0.0)
+
+
+def test_dnl_bounded_and_nonmissing():
+    dac = ThermometerDAC(bits=12, mismatch_sigma=1e-3)
+    dnl = dac.dnl_lsb()
+    assert np.all(dnl > -1.0)  # no missing codes
+    assert np.max(np.abs(dnl)) < 0.1
+
+
+def test_inl_scales_with_mismatch():
+    tight = ThermometerDAC(bits=12, mismatch_sigma=1e-4, seed=3)
+    loose = ThermometerDAC(bits=12, mismatch_sigma=1e-2, seed=3)
+    assert np.max(np.abs(loose.inl_lsb())) > 5.0 * np.max(np.abs(tight.inl_lsb()))
+
+
+def test_inl_endpoint_fit_zero_at_ends():
+    dac = ThermometerDAC(bits=10, mismatch_sigma=5e-3)
+    inl = dac.inl_lsb()
+    assert inl[0] == pytest.approx(0.0, abs=1e-9)
+    assert inl[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_code_for_voltage_roundtrip():
+    dac = ThermometerDAC(bits=12, vref_v=5.0, mismatch_sigma=0.0)
+    for v in [0.0, 1.234, 2.5, 5.0]:
+        code = dac.code_for_voltage(v)
+        assert dac.ideal_output(code) == pytest.approx(v, abs=dac.lsb_v)
+
+
+def test_code_for_voltage_clamps():
+    dac = ThermometerDAC(bits=12, vref_v=5.0)
+    assert dac.code_for_voltage(-3.0) == 0
+    assert dac.code_for_voltage(9.0) == dac.max_code
+
+
+def test_settling_dynamics():
+    dac = ThermometerDAC(bits=12, vref_v=5.0, mismatch_sigma=0.0,
+                         settling_time_s=1e-3)
+    out = dac.update(4095, dt=1e-3)
+    assert 0.0 < out < 5.0  # one time constant: ~63 %
+    for _ in range(20):
+        out = dac.update(4095, dt=1e-3)
+    assert out == pytest.approx(5.0, abs=0.01)
+
+
+def test_instant_update_without_settling():
+    dac = ThermometerDAC(bits=12, vref_v=5.0, mismatch_sigma=0.0)
+    assert dac.update(2048) == pytest.approx(2048 / 4095 * 5.0)
+
+
+def test_per_seed_mismatch_reproducible():
+    a = ThermometerDAC(bits=10, seed=9)
+    b = ThermometerDAC(bits=10, seed=9)
+    assert a.ideal_output(511) == b.ideal_output(511)

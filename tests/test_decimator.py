@@ -1,0 +1,88 @@
+"""Unit tests for the CIC decimator and droop compensation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.decimator import CICDecimator, droop_compensation_fir
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        CICDecimator(order=0)
+    with pytest.raises(ConfigurationError):
+        CICDecimator(order=7)
+    with pytest.raises(ConfigurationError):
+        CICDecimator(rate=1)
+
+
+def test_dc_gain():
+    cic = CICDecimator(order=3, rate=16)
+    assert cic.gain == 16**3
+    out = cic.decimate(np.ones(16 * 10, dtype=np.int64))
+    # After the pipeline fills, each output equals the DC gain.
+    assert out[-1] == cic.gain
+
+
+def test_output_rate():
+    cic = CICDecimator(order=2, rate=8)
+    out = cic.decimate(np.ones(80, dtype=np.int64))
+    assert len(out) == 10
+
+
+def test_streaming_phase_persistence():
+    """Feeding sample-by-sample must equal feeding one block."""
+    block = np.arange(1, 65, dtype=np.int64)
+    whole = CICDecimator(order=3, rate=8).decimate(block)
+    stream = CICDecimator(order=3, rate=8)
+    collected = []
+    for s in block:
+        collected.extend(stream.decimate(np.array([s])))
+    assert np.array_equal(whole, np.array(collected))
+
+
+def test_integer_exactness():
+    """CIC on a bitstream is exact integer arithmetic: re-running the
+    same input must give identical outputs."""
+    rng = np.random.default_rng(0)
+    bits = rng.choice([-1, 1], size=512).astype(np.int64)
+    a = CICDecimator(order=3, rate=32).decimate(bits)
+    b = CICDecimator(order=3, rate=32).decimate(bits)
+    assert np.array_equal(a, b)
+
+
+def test_alternating_input_rejected():
+    """A Nyquist-rate tone (worst-case shaped noise) must be crushed."""
+    n, r = 640, 32
+    alternating = np.resize(np.array([1, -1], dtype=np.int64), n)
+    out = CICDecimator(order=3, rate=r).decimate(alternating)
+    assert np.all(np.abs(out[2:]) <= 4)  # ~0 vs DC gain 32768
+
+
+def test_reset():
+    cic = CICDecimator(order=2, rate=4)
+    cic.decimate(np.ones(10, dtype=np.int64))
+    cic.reset()
+    out = cic.decimate(np.ones(40, dtype=np.int64))
+    assert out[-1] == cic.gain
+
+
+def test_droop_compensation_validation():
+    with pytest.raises(ConfigurationError):
+        droop_compensation_fir(3, 64, taps=4)
+
+
+def test_droop_compensation_shape():
+    fir = droop_compensation_fir(order=3, rate=64, taps=15)
+    assert len(fir) == 15
+    assert np.allclose(fir, fir[::-1])  # linear phase
+
+
+def test_droop_compensation_boosts_band_edge():
+    """The compensator must have gain > 1 at the band edge where the
+    CIC droops, and ~1 at DC."""
+    fir = droop_compensation_fir(order=3, rate=16, taps=15)
+    w = np.linspace(0, np.pi / 2, 256)
+    h = np.abs(np.array([np.sum(fir * np.exp(-1j * wk * np.arange(15))) for wk in w]))
+    assert h[0] == pytest.approx(1.0, abs=0.05)
+    assert h[-1] > h[0]

@@ -1,0 +1,62 @@
+"""Unit tests for the diurnal demand generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.station.demand import DiurnalDemand, DiurnalDemandShape
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        DiurnalDemandShape(night_floor=1.5)
+    with pytest.raises(ConfigurationError):
+        DiurnalDemandShape(morning_peak=0.5)
+    with pytest.raises(ConfigurationError):
+        DiurnalDemand(-1.0)
+    with pytest.raises(ConfigurationError):
+        DiurnalDemand(1.0).multiplier(-1.0)
+
+
+def test_night_minimum_and_peaks():
+    d = DiurnalDemand(1.0e-3, noise_fraction=0.0)
+    night = d.multiplier(DiurnalDemand.NIGHT_H)
+    morning = d.multiplier(DiurnalDemand.MORNING_H)
+    evening = d.multiplier(DiurnalDemand.EVENING_H)
+    assert night < 0.5  # the morning-peak tail adds a little at 03:00
+    assert morning > 1.4
+    assert evening > 1.2
+    assert morning > evening  # shape default
+
+
+def test_curve_is_24h_periodic():
+    d = DiurnalDemand(1.0e-3, noise_fraction=0.0, weekend_factor=1.0)
+    for h in [0.0, 5.5, 12.0, 21.25]:
+        assert d.multiplier(h) == pytest.approx(d.multiplier(h + 24.0))
+
+
+def test_weekend_scaling():
+    d = DiurnalDemand(1.0e-3, noise_fraction=0.0, weekend_factor=1.2)
+    weekday = d.multiplier(2 * 24.0 + 12.0)   # Wednesday noon
+    weekend = d.multiplier(5 * 24.0 + 12.0)   # Saturday noon
+    assert weekend == pytest.approx(1.2 * weekday)
+
+
+def test_demand_scales_mean_and_stays_positive():
+    d = DiurnalDemand(2.0e-3, noise_fraction=0.3, seed=1)
+    values = [d.demand_m3_s(h) for h in np.linspace(0, 48, 500)]
+    assert all(v >= 0.0 for v in values)
+    assert 0.5e-3 < np.mean(values) < 4.0e-3
+
+
+def test_deterministic_without_noise():
+    a = DiurnalDemand(1.0e-3, noise_fraction=0.0)
+    b = DiurnalDemand(1.0e-3, noise_fraction=0.0)
+    assert a.demand_m3_s(13.7) == b.demand_m3_s(13.7)
+
+
+def test_night_window_detection():
+    d = DiurnalDemand(1.0e-3)
+    assert d.is_night_window(3.0)
+    assert d.is_night_window(27.2)
+    assert not d.is_night_window(12.0)

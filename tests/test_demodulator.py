@@ -1,0 +1,63 @@
+"""Unit tests for the IQ demodulator IP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.demodulator import IQDemodulator
+
+FS = 10_000.0
+
+
+def tone(freq, amp, phase, n, fs=FS):
+    t = np.arange(n) / fs
+    return amp * np.sin(2 * np.pi * freq * t + phase)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        IQDemodulator(-1.0, 100.0)
+    with pytest.raises(ConfigurationError):
+        IQDemodulator(FS, 6000.0)  # above Nyquist
+    with pytest.raises(ConfigurationError):
+        IQDemodulator(FS, 100.0, bandwidth_hz=80.0)  # > f/2
+
+
+def test_amplitude_recovery():
+    demod = IQDemodulator(FS, 500.0, bandwidth_hz=5.0)
+    demod.process(tone(500.0, 0.8, 0.3, 40_000))
+    assert demod.amplitude == pytest.approx(0.8, rel=0.02)
+
+
+def test_rejects_off_frequency_tone():
+    demod = IQDemodulator(FS, 500.0, bandwidth_hz=5.0)
+    demod.process(tone(800.0, 1.0, 0.0, 40_000))
+    assert demod.amplitude < 0.05
+
+
+def test_amplitude_in_noise():
+    """Lock-in advantage: a buried tone is still measured accurately."""
+    rng = np.random.default_rng(0)
+    signal = tone(500.0, 0.1, 1.0, 80_000) + rng.normal(0.0, 0.5, 80_000)
+    demod = IQDemodulator(FS, 500.0, bandwidth_hz=1.0)
+    demod.process(signal)
+    # SNR in: -14 dB; the 1 Hz ENBW recovers the tone within ~15 %.
+    assert demod.amplitude == pytest.approx(0.1, rel=0.2)
+
+
+def test_phase_recovery():
+    for phase in [-1.0, 0.0, 0.7]:
+        demod = IQDemodulator(FS, 500.0, bandwidth_hz=5.0)
+        demod.process(tone(500.0, 1.0, phase, 40_000))
+        # sin(wt + p) referenced against cos(wt): measured = p - pi/2.
+        expected = phase - np.pi / 2.0
+        measured = demod.phase_rad
+        diff = np.angle(np.exp(1j * (measured - expected)))
+        assert abs(diff) < 0.05
+
+
+def test_reset():
+    demod = IQDemodulator(FS, 500.0)
+    demod.process(tone(500.0, 1.0, 0.0, 5000))
+    demod.reset()
+    assert demod.amplitude == 0.0

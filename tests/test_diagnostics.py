@@ -1,0 +1,98 @@
+"""Tests for the online health diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.conditioning.calibration import FlowCalibration
+from repro.conditioning.cta import CTAConfig, CTAController
+from repro.conditioning.diagnostics import (
+    HealthStatus,
+    LoopHealthMonitor,
+    ZeroFlowDriftMonitor,
+)
+from repro.errors import ConfigurationError
+from repro.isif.platform import ISIFPlatform
+from repro.physics.kings_law import KingsLaw
+from repro.sensor.bubbles import BubbleConfig
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+
+CAL = FlowCalibration(law=KingsLaw(1.2e-3, 4.4e-3, 0.5), overtemperature_k=5.0)
+
+
+def test_drift_monitor_validation():
+    with pytest.raises(ConfigurationError):
+        ZeroFlowDriftMonitor(CAL, ewma_alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        ZeroFlowDriftMonitor(CAL, degraded_fraction=0.2, fault_fraction=0.1)
+    with pytest.raises(ConfigurationError):
+        ZeroFlowDriftMonitor(CAL).update(-1.0)
+
+
+def test_drift_monitor_healthy_on_calibrated_readings(rng):
+    mon = ZeroFlowDriftMonitor(CAL)
+    for _ in range(100):
+        mon.update(CAL.law.coeff_a * (1.0 + 0.005 * rng.normal()))
+    assert abs(mon.drift_fraction()) < 0.02
+    assert mon.status() is HealthStatus.HEALTHY
+
+
+def test_drift_monitor_flags_fouling(rng):
+    """Fouling lowers the zero-flow conductance: −8 % → DEGRADED,
+    −20 % → FAULT."""
+    degraded = ZeroFlowDriftMonitor(CAL)
+    for _ in range(100):
+        degraded.update(CAL.law.coeff_a * 0.92)
+    assert degraded.status() is HealthStatus.DEGRADED
+    assert degraded.drift_fraction() < 0.0  # loss, as fouling causes
+
+    fouled = ZeroFlowDriftMonitor(CAL)
+    for _ in range(100):
+        fouled.update(CAL.law.coeff_a * 0.80)
+    assert fouled.status() is HealthStatus.FAULT
+
+
+def test_drift_monitor_needs_training():
+    mon = ZeroFlowDriftMonitor(CAL)
+    mon.update(CAL.law.coeff_a * 0.5)  # single wild sample
+    assert mon.status() is HealthStatus.HEALTHY  # not enough evidence yet
+
+
+def test_loop_monitor_healthy_loop():
+    sensor = MAFSensor(MAFConfig(seed=41, enable_bubbles=False,
+                                 enable_fouling=False))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=41))
+    mon = LoopHealthMonitor()
+    controller.settle(FlowConditions(speed_mps=1.0), 0.3)
+    for _ in range(600):
+        mon.update(controller.step(FlowConditions(speed_mps=1.0)))
+    assert mon.status() is HealthStatus.HEALTHY
+    assert mon.error_rms_v() < 2e-3
+
+
+def test_loop_monitor_flags_bubbling_loop():
+    """An air-style overtemperature in stagnant water bubbles up; the
+    monitor must catch it."""
+    sensor = MAFSensor(MAFConfig(seed=42))
+    controller = CTAController(
+        sensor, ISIFPlatform.for_anemometer(seed=42),
+        CTAConfig(overtemperature_k=40.0))
+    mon = LoopHealthMonitor()
+    cond = FlowConditions(speed_mps=0.03, pressure_pa=1.0e5)
+    for _ in range(20_000):
+        mon.update(controller.step(cond))
+    assert mon.status() is not HealthStatus.HEALTHY
+
+
+def test_loop_monitor_coverage_ack():
+    mon = LoopHealthMonitor()
+    mon._worst_coverage = 0.5  # simulate a past bubble event
+    assert mon.status() is HealthStatus.FAULT
+    mon.reset_coverage()
+    assert mon.status() is HealthStatus.HEALTHY
+
+
+def test_loop_monitor_validation():
+    with pytest.raises(ConfigurationError):
+        LoopHealthMonitor(window=5)
+    with pytest.raises(ConfigurationError):
+        LoopHealthMonitor(coverage_limit=2.0)

@@ -1,0 +1,73 @@
+"""Unit tests for the direction detector."""
+
+import pytest
+
+from repro.conditioning.direction import DirectionConfig, DirectionDetector
+from repro.errors import ConfigurationError
+
+
+def feed(det, u_a, u_b, n=3000):
+    out = 0
+    for _ in range(n):
+        out = det.update(u_a, u_b)
+    return out
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        DirectionConfig(threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        DirectionConfig(hysteresis=-1.0)
+
+
+def test_asymmetry_formula():
+    assert DirectionDetector.asymmetry(2.0, 2.0) == 0.0
+    assert DirectionDetector.asymmetry(2.0, 0.0) == 1.0
+    assert DirectionDetector.asymmetry(0.0, 2.0) == -1.0
+    assert DirectionDetector.asymmetry(0.0, 0.0) == 0.0
+
+
+def test_forward_flow_detected():
+    det = DirectionDetector()
+    # A works harder (upstream): u_a > u_b.
+    assert feed(det, 2.50, 2.45) == 1
+
+
+def test_reverse_flow_detected():
+    det = DirectionDetector()
+    assert feed(det, 2.45, 2.50) == -1
+
+
+def test_balanced_supplies_undecided():
+    det = DirectionDetector()
+    assert feed(det, 2.50, 2.50) == 0
+
+
+def test_offset_compensation():
+    """Heater mismatch looks like flow; the calibration offset fixes it."""
+    mismatch = 0.02
+    naive = DirectionDetector()
+    assert feed(naive, 2.5 * (1 + mismatch), 2.5) == 1  # false forward
+    corrected = DirectionDetector(DirectionConfig(
+        offset=DirectionDetector.asymmetry(2.5 * (1 + mismatch), 2.5)))
+    assert feed(corrected, 2.5 * (1 + mismatch), 2.5) == 0
+
+
+def test_hysteresis_prevents_chatter():
+    cfg = DirectionConfig(threshold=0.004, hysteresis=0.004)
+    det = DirectionDetector(cfg)
+    feed(det, 2.52, 2.48)  # claim forward
+    assert det.direction == 1
+    # A small reverse excursion below the flip threshold must not flip.
+    feed(det, 2.495, 2.505, n=3000)
+    assert det.direction == 1
+    # A strong reverse must flip.
+    feed(det, 2.40, 2.60, n=3000)
+    assert det.direction == -1
+
+
+def test_reset():
+    det = DirectionDetector()
+    feed(det, 2.6, 2.4)
+    det.reset()
+    assert det.direction == 0

@@ -1,0 +1,88 @@
+"""Unit tests for the drive schemes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.conditioning.drive import ContinuousDrive, PulsedDrive
+
+
+def test_continuous_always_on():
+    d = ContinuousDrive()
+    for _ in range(10):
+        decision = d.tick(1e-3)
+        assert decision.energise
+        assert decision.control_active
+        assert decision.sample_valid
+    assert d.duty_cycle == 1.0
+
+
+def test_continuous_rejects_bad_dt():
+    with pytest.raises(ConfigurationError):
+        ContinuousDrive().tick(0.0)
+
+
+def test_pulsed_validation():
+    with pytest.raises(ConfigurationError):
+        PulsedDrive(period_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        PulsedDrive(duty=1.5)
+    with pytest.raises(ConfigurationError):
+        PulsedDrive(period_s=1.0, duty=0.1, blanking_s=0.2)  # > on-phase
+
+
+def test_pulsed_timing():
+    d = PulsedDrive(period_s=1.0, duty=0.3, blanking_s=0.05)
+    dt = 1e-3
+    decisions = [d.tick(dt) for _ in range(1000)]  # one full period
+    on = [x.energise for x in decisions]
+    valid = [x.sample_valid for x in decisions]
+    assert sum(on) == pytest.approx(300, abs=2)
+    assert sum(valid) == pytest.approx(250, abs=2)  # 300 - 50 blanking
+    # Off-phase: no control, no validity.
+    assert not decisions[500].control_active
+    assert not decisions[500].sample_valid
+    # Early on-phase is blanked but controlled.
+    assert decisions[10].control_active
+    assert not decisions[10].sample_valid
+
+
+def test_pulsed_periodicity():
+    d = PulsedDrive(period_s=0.5, duty=0.4, blanking_s=0.02)
+    dt = 1e-3
+    first = [d.tick(dt).energise for _ in range(500)]
+    second = [d.tick(dt).energise for _ in range(500)]
+    assert first == second
+
+
+def test_pulsed_reset():
+    d = PulsedDrive(period_s=1.0, duty=0.3)
+    for _ in range(700):
+        d.tick(1e-3)
+    assert not d.tick(1e-3).energise  # in the off phase
+    d.reset()
+    assert d.tick(1e-3).energise  # back at the start
+
+
+def test_effective_sample_fraction():
+    d = PulsedDrive(period_s=1.0, duty=0.3, blanking_s=0.05)
+    assert d.effective_sample_fraction == pytest.approx(0.25)
+    assert d.duty_cycle == 0.3
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=30)
+@given(st.floats(min_value=0.1, max_value=2.0),
+       st.floats(min_value=0.05, max_value=0.95))
+def test_pulsed_timing_sums_property(period, duty):
+    """Over whole periods, on-time fraction equals the duty for any
+    (period, duty) combination, and validity never exceeds energising."""
+    blanking = min(0.02, duty * period * 0.5)
+    d = PulsedDrive(period_s=period, duty=duty, blanking_s=blanking)
+    dt = period / 500.0
+    decisions = [d.tick(dt) for _ in range(3 * 500)]  # 3 whole periods
+    on_fraction = sum(x.energise for x in decisions) / len(decisions)
+    assert on_fraction == pytest.approx(duty, abs=0.01)
+    assert all(x.energise or not x.sample_valid for x in decisions)
+    assert all(x.energise == x.control_active for x in decisions)

@@ -1,0 +1,105 @@
+"""Unit tests for the EEPROM model and the calibration image layout."""
+
+import pytest
+
+from repro.conditioning.calibration import FlowCalibration
+from repro.conditioning.eeprom_image import (
+    CALIBRATION_ADDRESS,
+    RECORD_SIZE,
+    load_calibration,
+    store_calibration,
+)
+from repro.errors import CalibrationError, ConfigurationError
+from repro.isif.eeprom import Eeprom, crc16_ccitt
+from repro.physics.kings_law import KingsLaw
+
+
+def sample_calibration():
+    return FlowCalibration(
+        law=KingsLaw(1.2e-3, 4.4e-3, 0.52),
+        overtemperature_k=5.0,
+        direction_offset=0.0123,
+        fluid_temperature_k=288.9,
+        reference_resistance_ohm=2012.5,
+    )
+
+
+def test_crc16_known_vector():
+    # CRC-16/CCITT-FALSE("123456789") = 0x29B1 — standard check value.
+    assert crc16_ccitt(b"123456789") == 0x29B1
+    assert crc16_ccitt(b"") == 0xFFFF
+
+
+def test_eeprom_validation():
+    with pytest.raises(ConfigurationError):
+        Eeprom(size_bytes=100, page_size=32)  # not a multiple
+    with pytest.raises(ConfigurationError):
+        Eeprom(endurance_cycles=0)
+
+
+def test_eeprom_erased_state_and_roundtrip():
+    e = Eeprom()
+    assert e.read(0, 4) == b"\xff\xff\xff\xff"
+    e.write(10, b"hello")
+    assert e.read(10, 5) == b"hello"
+
+
+def test_eeprom_bounds():
+    e = Eeprom(size_bytes=64, page_size=32)
+    with pytest.raises(ConfigurationError):
+        e.read(60, 8)
+    with pytest.raises(ConfigurationError):
+        e.write(-1, b"x")
+
+
+def test_eeprom_wear_accounting():
+    e = Eeprom(size_bytes=64, page_size=32)
+    e.write(0, b"a")          # page 0
+    e.write(30, b"abcd")      # spans pages 0 and 1
+    assert e.page_cycles(0) == 2
+    assert e.page_cycles(1) == 1
+
+
+def test_eeprom_worn_page_corrupts():
+    e = Eeprom(size_bytes=64, page_size=32, seed=1)
+    e.wear_out_page(0)
+    payload = bytes(range(16))
+    e.write(0, payload)
+    assert e.read(0, 16) != payload  # exactly the failure CRC catches
+
+
+def test_calibration_image_roundtrip():
+    e = Eeprom()
+    cal = sample_calibration()
+    store_calibration(e, cal)
+    restored = load_calibration(e)
+    assert restored.law.coeff_a == pytest.approx(cal.law.coeff_a)
+    assert restored.law.coeff_b == pytest.approx(cal.law.coeff_b)
+    assert restored.law.exponent == pytest.approx(cal.law.exponent)
+    assert restored.direction_offset == pytest.approx(cal.direction_offset)
+    assert restored.reference_resistance_ohm == pytest.approx(2012.5)
+
+
+def test_blank_eeprom_rejected():
+    with pytest.raises(CalibrationError):
+        load_calibration(Eeprom())
+
+
+def test_corrupt_image_rejected():
+    e = Eeprom()
+    store_calibration(e, sample_calibration())
+    # Flip one bit in the stored payload.
+    raw = bytearray(e.read(CALIBRATION_ADDRESS, RECORD_SIZE))
+    raw[8] ^= 0x10
+    e.write(CALIBRATION_ADDRESS, bytes(raw))
+    with pytest.raises(CalibrationError):
+        load_calibration(e)
+
+
+def test_worn_eeprom_write_is_caught_by_crc():
+    e = Eeprom(seed=3)
+    for page in range(RECORD_SIZE // e.page_size + 1):
+        e.wear_out_page(page)
+    store_calibration(e, sample_calibration())
+    with pytest.raises(CalibrationError):
+        load_calibration(e)

@@ -1,0 +1,73 @@
+"""System-level integration tests exercising the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SensorFault
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+from repro.sensor.membrane import WATER_BACKSIDE, Membrane
+from repro.station.profiles import bidirectional_staircase, hold, pressure_peaks
+from repro.station.scenarios import build_calibrated_monitor
+
+
+def test_full_chain_tracks_reference(shared_setup):
+    """The E1 shape in miniature: measured follows the Promag closely."""
+    record = shared_setup.rig.run(hold(speed_cmps=150.0, duration_s=15.0),
+                                  record_every_n=100)
+    tail = record.steady_window(10.0, 15.0)
+    err = np.abs(np.mean(tail.measured_mps) - np.mean(tail.reference_mps))
+    assert err < 0.15  # within ~6 % FS even with a fast calibration
+
+
+def test_direction_detected_both_ways():
+    setup = build_calibrated_monitor(seed=7, fast=True, use_pulsed_drive=False)
+    record = setup.rig.run(
+        bidirectional_staircase([60.0], dwell_s=8.0), record_every_n=100)
+    first_half = record.direction[len(record) // 4: len(record) // 2]
+    second_half = record.direction[-len(record) // 4:]
+    assert np.median(first_half) == 1
+    assert np.median(second_half) == -1
+
+
+def test_pressure_peaks_survived(shared_setup):
+    """§5: 7 bar peaks must not kill the prototype sensor."""
+    record = shared_setup.rig.run(
+        pressure_peaks(speed_cmps=100.0, base_bar=2.0, peak_bar=6.8,
+                       dwell_s=4.0, peaks=1), record_every_n=100)
+    assert shared_setup.monitor.sensor.failed is None
+    assert np.max(record.pressure_pa) > 6.0e5
+
+
+def test_unfilled_membrane_dies_under_pressure():
+    sensor_cfg = MAFConfig(seed=3, membrane=Membrane(backside=WATER_BACKSIDE))
+    sensor = MAFSensor(sensor_cfg)
+    with pytest.raises(SensorFault):
+        sensor.step(1e-3, 1.0, 1.0,
+                    FlowConditions(speed_mps=1.0, pressure_pa=6.8e5))
+
+
+def test_bit_true_setup_builds_and_measures():
+    """Slow path smoke test: the bit-true ΣΔ chain closes the loop too."""
+    setup = build_calibrated_monitor(
+        seed=5, fast=True, bit_true_adc=True, use_pulsed_drive=False,
+        calibration_speeds_cmps=[0.0, 40.0, 120.0, 250.0])
+    m = setup.monitor.measure(FlowConditions(speed_mps=1.0), 3.0)
+    assert m.speed_mps == pytest.approx(1.0, rel=0.35)
+
+
+def test_monitor_reading_deterministic_for_same_seed():
+    a = build_calibrated_monitor(seed=9, fast=True, use_pulsed_drive=False,
+                                 calibration_speeds_cmps=[0.0, 40.0, 120.0, 250.0])
+    b = build_calibrated_monitor(seed=9, fast=True, use_pulsed_drive=False,
+                                 calibration_speeds_cmps=[0.0, 40.0, 120.0, 250.0])
+    cond = FlowConditions(speed_mps=0.8)
+    ma = a.monitor.measure(cond, 1.0)
+    mb = b.monitor.measure(cond, 1.0)
+    assert ma.speed_mps == mb.speed_mps
+
+
+def test_scheduler_utilisation_reported(shared_setup):
+    sched = shared_setup.monitor.platform.scheduler
+    assert sched.ticks > 0
+    assert 0.0 < sched.utilization() < 0.05
+    assert not sched.overrun

@@ -1,0 +1,39 @@
+"""Smoke guard: every example stays importable.
+
+Importing executes the module top level (imports + definitions) without
+running ``main()`` — catching API drift between the library and the
+examples without paying their runtime.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), \
+        f"{path.name} must expose a main() entry point"
+
+
+def test_expected_example_set_present():
+    names = {p.stem for p in EXAMPLES}
+    required = {
+        "quickstart",
+        "water_station_monitoring",
+        "bubble_mitigation_study",
+        "leak_detection_network",
+        "design_space_exploration",
+        "deployed_field_node",
+        "sensor_health_diagnostics",
+        "automotive_air_heritage",
+    }
+    assert required <= names

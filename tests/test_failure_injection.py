@@ -1,0 +1,137 @@
+"""Failure-injection integration tests.
+
+A deployed metering point must fail loudly, never silently: these tests
+inject the faults the models support and assert the system surfaces
+them the right way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conditioning.cta import CTAConfig, CTAController
+from repro.conditioning.drive import PulsedDrive
+from repro.errors import CalibrationError, SaturationError, SensorFault
+from repro.isif.afe import AFEConfig
+from repro.isif.eeprom import Eeprom
+from repro.isif.platform import ISIFPlatform
+from repro.isif.scheduler import IPTask
+from repro.isif.timers import Watchdog, WatchdogReset
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+from repro.sensor.membrane import WATER_BACKSIDE, Membrane
+from repro.sensor.packaging import HousingQuality, SensorHousing
+
+COND = FlowConditions(speed_mps=1.0)
+
+
+def test_membrane_burst_propagates_to_the_loop():
+    """A pressure transient beyond the rating kills the die; the loop
+    surfaces SensorFault instead of reporting stale flow."""
+    sensor = MAFSensor(MAFConfig(seed=1, membrane=Membrane(backside=WATER_BACKSIDE)))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=1))
+    controller.settle(FlowConditions(speed_mps=1.0, pressure_pa=0.2e5), 0.1)
+    surge = FlowConditions(speed_mps=1.0, pressure_pa=6.0e5)
+    with pytest.raises(SensorFault):
+        for _ in range(100):
+            controller.step(surge)
+    # Every subsequent access keeps failing — no zombie readings.
+    with pytest.raises(SensorFault):
+        controller.step(COND)
+
+
+def test_bare_housing_leakage_biases_the_reading():
+    """Moisture ingress in a bad assembly shifts the bridge balance —
+    the §4 'leakage current' problem."""
+    def settled_supply(housing):
+        sensor = MAFSensor(MAFConfig(seed=2), housing=housing)
+        controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=2))
+        return controller.settle(COND, 0.8).supply_a_v
+
+    good = settled_supply(SensorHousing())
+    bad_housing = SensorHousing(quality=HousingQuality.BARE)
+    bad_housing.immerse(1500.0)  # soaked but not yet corroded open
+    bad = settled_supply(bad_housing)
+    assert abs(bad - good) > 0.01  # visible measurement bias
+
+
+def test_bare_housing_eventually_corrodes_open():
+    housing = SensorHousing(quality=HousingQuality.BARE)
+    with pytest.raises(SensorFault):
+        for _month in range(12):
+            housing.immerse(30 * 24.0)
+
+
+def test_afe_strict_mode_flags_overdrive():
+    """A gain too high for the operating point clips; strict mode makes
+    the event impossible to miss during bring-up."""
+    sensor = MAFSensor(MAFConfig(seed=3))
+    platform = ISIFPlatform.for_anemometer(gain_index=7, seed=3)
+    from dataclasses import replace
+    ch = platform.channels[0]
+    ch.config = replace(ch.config, afe=replace(ch.config.afe, strict=True))
+    ch._rebuild()
+    controller = CTAController(sensor, platform,
+                               CTAConfig(startup_supply_v=4.0))
+    with pytest.raises(SaturationError):
+        for _ in range(500):
+            controller.step(COND)
+
+
+def test_watchdog_catches_hung_measurement_loop():
+    """The firmware pattern: kick per completed loop iteration; a stuck
+    ADC wait means no kicks and a forced reset."""
+    sensor = MAFSensor(MAFConfig(seed=4))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=4))
+    wd = Watchdog(timeout_s=0.05)
+    dt = controller.platform.dt_s
+    # Healthy phase: loop runs and services the dog.
+    for _ in range(200):
+        controller.step(COND)
+        wd.kick()
+        wd.advance(dt)
+    assert wd.reset_count == 0
+    # Hang: the loop stops executing; only time advances.
+    with pytest.raises(WatchdogReset):
+        for _ in range(200):
+            wd.advance(dt)
+
+
+def test_corrupt_eeprom_blocks_boot():
+    """A monitor must refuse to measure with a damaged calibration."""
+    from repro.conditioning.eeprom_image import load_calibration, store_calibration
+    from repro.physics.kings_law import KingsLaw
+    from repro.conditioning.calibration import FlowCalibration
+
+    eeprom = Eeprom(seed=5)
+    store_calibration(eeprom, FlowCalibration(
+        law=KingsLaw(1e-3, 4e-3, 0.5), overtemperature_k=5.0))
+    raw = bytearray(eeprom.read(0, 16))
+    raw[10] ^= 0x40
+    eeprom.write(0, bytes(raw))
+    with pytest.raises(CalibrationError):
+        load_calibration(eeprom)
+
+
+def test_scheduler_flags_infeasible_partition():
+    """Loading the LEON past its budget is a *reported* condition the
+    DSE bench uses to reject partitions, not a crash."""
+    sensor = MAFSensor(MAFConfig(seed=6))
+    platform = ISIFPlatform.for_anemometer(seed=6)
+    platform.scheduler.register(IPTask("software_fft", lambda: None,
+                                       cycles=200_000))
+    controller = CTAController(sensor, platform)
+    controller.settle(COND, 0.05)
+    assert platform.scheduler.overrun
+    assert platform.scheduler.worst_case_utilization() > 1.0
+
+
+def test_pulsed_drive_survives_mid_cycle_flow_reversal():
+    """Direction flip during an off-phase must not destabilise the loop."""
+    sensor = MAFSensor(MAFConfig(seed=7))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=7),
+                               drive=PulsedDrive(period_s=0.2, duty=0.5))
+    controller.settle(FlowConditions(speed_mps=1.0), 1.0)
+    tel = controller.settle(FlowConditions(speed_mps=-1.0), 1.0)
+    d_t = tel.readout.heater_a_temperature_k - 288.15
+    assert 0.0 <= tel.supply_a_v <= 5.0
+    if tel.energised:
+        assert d_t == pytest.approx(5.0, abs=1.0)

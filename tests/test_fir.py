@@ -1,0 +1,101 @@
+"""Unit tests for the FIR IP and its fixed-point bit-exactness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.fir import FirFilter, design_lowpass_fir
+from repro.isif.fixed_point import QFormat
+
+Q = QFormat(1, 14)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        FirFilter(np.array([]))
+    with pytest.raises(ConfigurationError):
+        design_lowpass_fir(100.0, 1000.0, taps=10)  # even
+    with pytest.raises(ConfigurationError):
+        design_lowpass_fir(600.0, 1000.0)  # above Nyquist
+
+
+def test_impulse_response_is_coefficients():
+    coeffs = np.array([0.5, 0.3, 0.2])
+    f = FirFilter(coeffs)
+    impulse = [1.0, 0.0, 0.0, 0.0]
+    out = [f.step(x) for x in impulse]
+    assert out[:3] == pytest.approx(list(coeffs))
+    assert out[3] == 0.0
+
+
+def test_dc_gain():
+    f = FirFilter(design_lowpass_fir(50.0, 1000.0, taps=31))
+    assert f.dc_gain() == pytest.approx(1.0)
+    out = 0.0
+    for _ in range(100):
+        out = f.step(1.0)
+    assert out == pytest.approx(1.0, abs=1e-9)
+
+
+def test_lowpass_rejects_stopband():
+    fs = 1000.0
+    f = FirFilter(design_lowpass_fir(50.0, fs, taps=63))
+    t = np.arange(1000) / fs
+    tone = np.sin(2 * np.pi * 300.0 * t)
+    out = f.process(tone)[200:]
+    assert np.std(out) < 0.01
+
+
+def test_fixed_point_step_matches_step_codes():
+    """The float wrapper and the integer core must agree exactly."""
+    coeffs = design_lowpass_fir(100.0, 1000.0, taps=15)
+    f1 = FirFilter(coeffs, qformat=Q)
+    f2 = FirFilter(coeffs, qformat=Q)
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        x = float(rng.uniform(-0.9, 0.9))
+        a = f1.step(x)
+        b = Q.to_float(f2.step_codes(Q.to_int(x)))
+        assert a == b
+
+
+def test_fixed_point_close_to_float():
+    coeffs = design_lowpass_fir(100.0, 1000.0, taps=15)
+    fx = FirFilter(coeffs, qformat=Q)
+    fl = FirFilter(coeffs)
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-0.9, 0.9, 300)
+    err = fx.process(x) - fl.process(x)
+    assert np.max(np.abs(err)) < 20 * Q.resolution
+
+
+def test_hw_sw_bit_exact_twins():
+    """Two instances with the same coefficients and inputs produce the
+    identical code stream — the ISIF hw/sw matching property."""
+    coeffs = design_lowpass_fir(80.0, 1000.0, taps=21)
+    hw = FirFilter(coeffs, qformat=Q)
+    sw = FirFilter(coeffs, qformat=Q)
+    rng = np.random.default_rng(2)
+    for _ in range(500):
+        code = Q.to_int(float(rng.uniform(-1.0, 1.0)))
+        assert hw.step_codes(code) == sw.step_codes(code)
+
+
+def test_step_codes_without_qformat_rejected():
+    with pytest.raises(ConfigurationError):
+        FirFilter(np.array([1.0])).step_codes(1)
+
+
+def test_reset():
+    f = FirFilter(np.array([0.5, 0.5]))
+    f.step(1.0)
+    f.reset()
+    assert f.step(0.0) == 0.0
+
+
+def test_saturation_in_fixed_point():
+    f = FirFilter(np.array([1.0, 1.0, 1.0]), qformat=Q)
+    # Sum of three full-scale samples saturates instead of wrapping.
+    for _ in range(3):
+        out = f.step_codes(Q.max_int)
+    assert out == Q.max_int

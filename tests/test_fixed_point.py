@@ -1,0 +1,90 @@
+"""Unit and property tests for Q-format fixed-point arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.isif.fixed_point import QFormat
+
+Q3_12 = QFormat(3, 12)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        QFormat(-1, 4)
+    with pytest.raises(ConfigurationError):
+        QFormat(40, 40)
+
+
+def test_width_and_ranges():
+    assert Q3_12.width == 16
+    assert Q3_12.max_int == 2**15 - 1
+    assert Q3_12.min_int == -(2**15)
+    assert Q3_12.max_value == pytest.approx((2**15 - 1) / 4096)
+    assert Q3_12.resolution == pytest.approx(1 / 4096)
+
+
+def test_roundtrip_exact_values():
+    for v in [0.0, 1.0, -1.0, 1.5, -2.25, 0.000244140625]:
+        assert Q3_12.to_float(Q3_12.to_int(v)) == v
+
+
+def test_rounding_half_up():
+    # 0.5 LSB rounds away from... half-up convention: +0.5 LSB -> +1 code.
+    half_lsb = Q3_12.resolution / 2.0
+    assert Q3_12.to_int(half_lsb) == 1
+    assert Q3_12.to_int(half_lsb * 0.99) == 0
+
+
+def test_saturation():
+    assert Q3_12.to_int(1000.0) == Q3_12.max_int
+    assert Q3_12.to_int(-1000.0) == Q3_12.min_int
+    assert Q3_12.saturate(Q3_12.max_int + 5) == Q3_12.max_int
+
+
+def test_add_saturates():
+    assert Q3_12.add(Q3_12.max_int, 10) == Q3_12.max_int
+    assert Q3_12.add(100, 200) == 300
+
+
+def test_mul_matches_float_within_lsb():
+    a, b = 1.25, 2.5
+    code = Q3_12.mul(Q3_12.to_int(a), Q3_12.to_int(b))
+    assert Q3_12.to_float(code) == pytest.approx(a * b, abs=Q3_12.resolution)
+
+
+def test_mul_mixed_formats():
+    q_coeff = QFormat(0, 15)
+    x = Q3_12.to_int(2.0)
+    c = q_coeff.to_int(0.5)
+    result = Q3_12.mul(x, c, other=q_coeff)
+    assert Q3_12.to_float(result) == pytest.approx(1.0, abs=Q3_12.resolution)
+
+
+def test_rescale_up_down():
+    q_wide = QFormat(3, 20)
+    code = Q3_12.to_int(1.5)
+    wide = q_wide.rescale(code, Q3_12)
+    assert q_wide.to_float(wide) == 1.5
+    back = Q3_12.rescale(wide, q_wide)
+    assert back == code
+
+
+@given(st.floats(min_value=-7.9, max_value=7.9))
+def test_quantize_error_bounded(v):
+    assert abs(Q3_12.quantize(v) - v) <= Q3_12.resolution / 2.0 + 1e-12
+
+
+@given(st.integers(min_value=-(2**15), max_value=2**15 - 1),
+       st.integers(min_value=-(2**15), max_value=2**15 - 1))
+def test_add_never_overflows_range(a, b):
+    out = Q3_12.add(a, b)
+    assert Q3_12.min_int <= out <= Q3_12.max_int
+
+
+@given(st.floats(min_value=-2.0, max_value=2.0),
+       st.floats(min_value=-2.0, max_value=2.0))
+def test_mul_error_bounded(a, b):
+    code = Q3_12.mul(Q3_12.to_int(a), Q3_12.to_int(b))
+    # Two quantisations + one rounding: error < ~3 LSB of inputs scaled.
+    assert abs(Q3_12.to_float(code) - a * b) < 4.0 * Q3_12.resolution

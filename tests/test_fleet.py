@@ -1,0 +1,79 @@
+"""Integration tests for the fleet-scale monitored network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.station.demand import DiurnalDemand
+from repro.station.fleet import MeterCharacter, MonitoredNetwork
+from repro.station.network import PipeNetwork
+
+
+def build_fleet(seed=0):
+    net = PipeNetwork()
+    net.add_pipe("reservoir", "A")
+    net.add_pipe("A", "B", demand_m3_s=0.8e-3)
+    net.add_pipe("A", "C", demand_m3_s=0.6e-3)
+    fleet = MonitoredNetwork(net, seed=seed)
+    fleet.attach_demand("B", DiurnalDemand(0.8e-3, seed=seed + 1))
+    fleet.attach_demand("C", DiurnalDemand(0.6e-3, seed=seed + 2))
+    # Commissioning over a representative half-day learns the meter-pair
+    # baselines (standing bias imbalance) before live monitoring.
+    fleet.commission(hours=12.0, snapshot_s=300.0, start_h=0.0)
+    return net, fleet
+
+
+def test_meter_character_validation():
+    with pytest.raises(ConfigurationError):
+        MeterCharacter(bias_fraction=0.5)
+    with pytest.raises(ConfigurationError):
+        MeterCharacter(noise_mps=-1.0)
+
+
+def test_run_validation():
+    _, fleet = build_fleet()
+    with pytest.raises(ConfigurationError):
+        fleet.run(hours=-1.0)
+
+
+def test_healthy_day_no_alarms():
+    """A full diurnal cycle with noisy, biased meters: zero false alarms."""
+    _, fleet = build_fleet(seed=3)
+    report = fleet.run(hours=24.0, snapshot_s=60.0)
+    assert report.events == []
+    assert report.snapshots == 24 * 60
+    assert 0.08 < report.night_fraction < 0.16  # 3h window of 24h
+
+
+def test_night_leak_detected_and_localised():
+    """A 02:00 leak in A->B is caught within the night window."""
+    _, fleet = build_fleet(seed=4)
+    area = np.pi * 0.025**2  # DN50
+    leak_q = 0.05 * area  # 5 cm/s-equivalent loss
+    report = fleet.run(hours=6.0, snapshot_s=60.0,
+                       leak=("A", "B", leak_q), leak_at_h=2.0)
+    assert report.events
+    first = report.events[0]
+    assert first.segment == "A->B"
+    assert first.time_s / 3600.0 < 3.5  # found within ~1.5 h of onset
+    # The first alarm fires with mostly pre-leak samples in its window;
+    # the re-armed follow-ups estimate the loss accurately.
+    losses = [e.estimated_loss_mps for e in report.events[:4]]
+    assert max(losses) == pytest.approx(0.05, rel=0.4)
+
+
+def test_daytime_leak_detected_despite_demand_swings():
+    _, fleet = build_fleet(seed=5)
+    area = np.pi * 0.025**2
+    report = fleet.run(hours=12.0, snapshot_s=60.0,
+                       leak=("A", "C", 0.08 * area), leak_at_h=8.0)
+    assert any(e.segment == "A->C" for e in report.events)
+
+
+def test_determinism_per_seed():
+    _, fleet_a = build_fleet(seed=9)
+    _, fleet_b = build_fleet(seed=9)
+    ra = fleet_a.run(hours=3.0, snapshot_s=120.0)
+    rb = fleet_b.run(hours=3.0, snapshot_s=120.0)
+    assert ra.snapshots == rb.snapshots
+    assert [e.segment for e in ra.events] == [e.segment for e in rb.events]

@@ -1,0 +1,96 @@
+"""Unit tests for the CaCO3 fouling model (fig. 8 mechanism)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.carbonate import TUSCAN_TAP_WATER, WaterChemistry
+from repro.sensor.fouling import FoulingConfig, FoulingModel
+
+BULK = 288.15
+DAY = 86_400.0
+
+
+def grow(model, days, wall_excess_k=30.0, v=0.5, chem=TUSCAN_TAP_WATER):
+    for _ in range(int(days)):
+        model.step(DAY, chem, BULK + wall_excess_k, BULK, v)
+    return model.thickness_m
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        FoulingConfig(rate_constant_m_per_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        FoulingConfig(adhesion_factor=1.5)
+
+
+def test_scale_grows_on_hot_wall_in_hard_water():
+    m = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    thickness = grow(m, 30)
+    assert thickness > 100e-9  # visible deposit in a month, bare surface
+
+
+def test_passivation_slows_growth():
+    """'the right choice of a passivation layer results in a better
+    protection against deposits'."""
+    bare = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    passivated = FoulingModel(FoulingConfig(adhesion_factor=0.1))
+    t_bare = grow(bare, 60)
+    t_pass = grow(passivated, 60)
+    assert t_pass < 0.3 * t_bare
+
+
+def test_cool_wall_does_not_scale():
+    m = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    thickness = grow(m, 90, wall_excess_k=0.5)
+    assert thickness < 10e-9
+
+
+def test_soft_water_does_not_scale():
+    soft = WaterChemistry(calcium_mg_per_l=25.0, alkalinity_mg_per_l=30.0,
+                          ph=6.8, tds_mg_per_l=120.0)
+    m = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    thickness = grow(m, 90, chem=soft)
+    assert thickness < 5e-9
+
+
+def test_erosion_limits_thickness_at_high_flow():
+    slow = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    fast = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    grow(slow, 120, v=0.05)
+    grow(fast, 120, v=2.5)
+    assert fast.thickness_m < slow.thickness_m
+
+
+def test_thermal_resistance_scales_with_thickness():
+    m = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    area = 2e-8
+    assert m.thermal_resistance_k_per_w(area) == 0.0
+    grow(m, 60)
+    r1 = m.thermal_resistance_k_per_w(area)
+    grow(m, 60)
+    assert m.thermal_resistance_k_per_w(area) > r1
+    with pytest.raises(ConfigurationError):
+        m.thermal_resistance_k_per_w(0.0)
+
+
+def test_degrade_conductance_series_model():
+    m = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    grow(m, 120)
+    g_clean = 5e-3
+    area = 2e-8
+    g_fouled = m.degrade_conductance(g_clean, area)
+    expected = 1.0 / (1.0 / g_clean + m.thermal_resistance_k_per_w(area))
+    assert g_fouled == pytest.approx(expected)
+    assert g_fouled < g_clean
+
+
+def test_reset():
+    m = FoulingModel(FoulingConfig(adhesion_factor=1.0))
+    grow(m, 30)
+    m.reset()
+    assert m.thickness_m == 0.0
+
+
+def test_invalid_dt():
+    with pytest.raises(ConfigurationError):
+        FoulingModel().step(0.0, TUSCAN_TAP_WATER, 300.0, 290.0, 0.5)

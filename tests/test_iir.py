@@ -1,0 +1,150 @@
+"""Unit tests for the IIR IPs (one-pole and biquad)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.fixed_point import QFormat
+from repro.isif.iir import IIRBiquad, OnePoleLowpass, design_lowpass_biquad
+
+Q = QFormat(3, 16)
+
+
+def test_onepole_validation():
+    with pytest.raises(ConfigurationError):
+        OnePoleLowpass(0.0, 1000.0)
+    with pytest.raises(ConfigurationError):
+        OnePoleLowpass(600.0, 1000.0)
+
+
+def test_onepole_dc_tracking():
+    f = OnePoleLowpass(10.0, 1000.0)
+    out = 0.0
+    for _ in range(2000):
+        out = f.step(1.0)
+    assert out == pytest.approx(1.0, abs=1e-6)
+
+
+def test_onepole_alpha_formula():
+    f = OnePoleLowpass(100.0, 1000.0)
+    assert f.alpha == pytest.approx(1.0 - np.exp(-2 * np.pi * 0.1))
+
+
+def test_onepole_settling_time():
+    """The paper's 0.1 Hz filter: 1% settling in ~7.3 s."""
+    f = OnePoleLowpass(0.1, 1000.0)
+    assert f.settling_time_s(0.01) == pytest.approx(7.33, abs=0.1)
+
+
+def test_onepole_attenuates_above_corner():
+    fs, fc = 1000.0, 1.0
+    f = OnePoleLowpass(fc, fs)
+    t = np.arange(5000) / fs
+    tone = np.sin(2 * np.pi * 50.0 * t)
+    out = f.process(tone)[1000:]
+    assert np.std(out) < 0.05 * np.std(tone)
+
+
+def test_onepole_reset_preset():
+    f = OnePoleLowpass(0.1, 1000.0)
+    f.reset(2.0)
+    assert f.step(2.0) == pytest.approx(2.0, abs=1e-9)
+
+
+def test_onepole_fixed_point_matches_wrapper():
+    f1 = OnePoleLowpass(5.0, 1000.0, qformat=Q)
+    f2 = OnePoleLowpass(5.0, 1000.0, qformat=Q)
+    rng = np.random.default_rng(0)
+    for _ in range(300):
+        x = float(rng.uniform(-2.0, 2.0))
+        assert f1.step(x) == Q.to_float(f2.step_codes(Q.to_int(x)))
+
+
+def test_onepole_shift_alpha_mode():
+    """Power-of-two alpha (barrel shifter IP): alpha = 2^-k."""
+    f = OnePoleLowpass(5.0, 1000.0, qformat=Q, shift_alpha=True)
+    assert f.shift_bits is not None
+    assert f.alpha == 2.0 ** (-f.shift_bits)
+    out = 0.0
+    for _ in range(5000):
+        out = f.step(1.0)
+    assert out == pytest.approx(1.0, abs=1e-3)
+
+
+def test_onepole_fixed_point_dc_error_bounded():
+    f = OnePoleLowpass(1.0, 1000.0, qformat=Q)
+    out = 0.0
+    for _ in range(20000):
+        out = f.step(1.5)
+    # Integer deadband: error bounded by alpha quantisation effects.
+    assert out == pytest.approx(1.5, abs=0.01)
+
+
+def test_biquad_validation():
+    with pytest.raises(ConfigurationError):
+        IIRBiquad(np.array([1.0, 0.0]), np.array([0.0, 0.0]))
+    with pytest.raises(ConfigurationError):
+        IIRBiquad(np.array([1.0, 0.0, 0.0]), np.array([-2.5, 1.0]))  # unstable
+
+
+def test_biquad_design_dc_gain_unity():
+    b, a = design_lowpass_biquad(50.0, 1000.0)
+    f = IIRBiquad(b, a)
+    assert f.dc_gain() == pytest.approx(1.0, abs=1e-9)
+    out = 0.0
+    for _ in range(1000):
+        out = f.step(1.0)
+    assert out == pytest.approx(1.0, abs=1e-6)
+
+
+def test_biquad_stopband():
+    fs = 1000.0
+    b, a = design_lowpass_biquad(20.0, fs)
+    f = IIRBiquad(b, a)
+    t = np.arange(4000) / fs
+    tone = np.sin(2 * np.pi * 300.0 * t)
+    out = f.process(tone)[1000:]
+    assert np.std(out) < 0.01 * np.std(tone)
+
+
+def test_biquad_a0_normalisation():
+    b = np.array([0.5, 1.0, 0.5])
+    a3 = np.array([2.0, -1.0, 0.5])
+    f = IIRBiquad(b, a3)
+    assert f.a == pytest.approx([-0.5, 0.25])
+    assert f.b == pytest.approx([0.25, 0.5, 0.25])
+
+
+def test_biquad_fixed_point_bit_exact_twins():
+    b, a = design_lowpass_biquad(100.0, 1000.0)
+    hw = IIRBiquad(b, a, qformat=Q)
+    sw = IIRBiquad(b, a, qformat=Q)
+    rng = np.random.default_rng(3)
+    for _ in range(500):
+        code = Q.to_int(float(rng.uniform(-2.0, 2.0)))
+        assert hw.step_codes(code) == sw.step_codes(code)
+
+
+def test_biquad_fixed_point_tracks_float():
+    b, a = design_lowpass_biquad(100.0, 1000.0)
+    fx = IIRBiquad(b, a, qformat=Q)
+    fl = IIRBiquad(b, a)
+    rng = np.random.default_rng(4)
+    x = rng.uniform(-1.0, 1.0, 500)
+    err = fx.process(x) - fl.process(x)
+    assert np.max(np.abs(err)) < 100 * Q.resolution
+
+
+def test_biquad_reset():
+    b, a = design_lowpass_biquad(100.0, 1000.0)
+    f = IIRBiquad(b, a)
+    f.step(1.0)
+    f.reset()
+    assert f.step(0.0) == 0.0
+
+
+def test_design_validation():
+    with pytest.raises(ConfigurationError):
+        design_lowpass_biquad(600.0, 1000.0)
+    with pytest.raises(ConfigurationError):
+        design_lowpass_biquad(100.0, 1000.0, q_factor=0.0)

@@ -1,0 +1,128 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These are the contracts the system design silently leans on; each is a
+hypothesis sweep over the relevant input space rather than a point
+check.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conditioning.direction import DirectionDetector
+from repro.conditioning.telemetry import decode_frame, encode_frame
+from repro.conditioning.monitor import FlowMeasurement
+from repro.isif.dac import ThermometerDAC
+from repro.isif.decimator import CICDecimator
+from repro.isif.eeprom import crc16_ccitt
+from repro.isif.fixed_point import QFormat
+from repro.physics.convection import WireGeometry, film_conductance
+from repro.physics.kings_law import KingsLaw
+from repro.sensor.bridge import WheatstoneBridge
+from repro.sensor.resistor import SensingResistor
+
+
+@settings(max_examples=50)
+@given(st.floats(min_value=0.0, max_value=2.5),
+       st.floats(min_value=0.5, max_value=30.0),
+       st.floats(min_value=278.15, max_value=308.15))
+def test_cta_equilibrium_supply_unique(v, overtemp, t_fluid):
+    """For any operating point, the required bridge supply is a single
+    positive finite value — no ambiguity the PI could hunt between."""
+    geometry = WireGeometry()
+    g = float(film_conductance(v, geometry, t_fluid + overtemp, t_fluid))
+    p = g * overtemp
+    rh = 50.0 * (1.0 + 3.5e-3 * (t_fluid + overtemp - 293.15))
+    u = np.sqrt(p * (50.0 + rh) ** 2 / rh)
+    assert np.isfinite(u) and 0.0 < u < 20.0
+
+
+@settings(max_examples=50)
+@given(st.floats(min_value=1e-4, max_value=1e-2),
+       st.floats(min_value=1e-3, max_value=1e-2),
+       st.floats(min_value=0.35, max_value=0.65),
+       st.floats(min_value=0.0, max_value=2.5),
+       st.floats(min_value=1.0, max_value=20.0))
+def test_kings_law_power_inversion_consistent(a, b, n, v, dt):
+    law = KingsLaw(a, b, n)
+    p = float(law.power(v, dt))
+    assert float(law.invert_power(p, dt)) == pytest.approx(v, abs=1e-9)
+
+
+@settings(max_examples=30)
+@given(st.floats(min_value=0.1, max_value=5.0),
+       st.floats(min_value=1800.0, max_value=2200.0))
+def test_bridge_null_exactly_at_balance(supply, rt):
+    """differential(U, Rh_balance(Rt), Rt) == 0 for any supply and Rt."""
+    bridge = WheatstoneBridge(SensingResistor(50.0), SensingResistor(2000.0))
+    rh_bal = bridge.balance_resistance(rt)
+    assert bridge.differential_v(supply, rh_bal, rt) == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=4094))
+def test_thermometer_dac_monotone_everywhere(code):
+    dac = ThermometerDAC(bits=12, mismatch_sigma=5e-3, seed=13)
+    assert dac.ideal_output(code + 1) > dac.ideal_output(code)
+
+
+@settings(max_examples=20)
+@given(st.lists(st.sampled_from([-1, 1]), min_size=64, max_size=256))
+def test_cic_streaming_equals_block(bits):
+    """Phase persistence: arbitrary chunking never changes the output."""
+    arr = np.array(bits, dtype=np.int64)
+    block = CICDecimator(order=3, rate=16).decimate(arr)
+    stream = CICDecimator(order=3, rate=16)
+    collected = []
+    i = 0
+    rng = np.random.default_rng(len(bits))
+    while i < len(arr):
+        step = int(rng.integers(1, 12))
+        collected.extend(stream.decimate(arr[i:i + step]))
+        i += step
+    assert np.array_equal(block, np.array(collected, dtype=np.int64))
+
+
+@settings(max_examples=40)
+@given(st.floats(min_value=-30.0, max_value=30.0),
+       st.floats(min_value=0.0, max_value=0.999),
+       st.booleans(),
+       st.floats(min_value=0.0, max_value=650.0))
+def test_telemetry_roundtrip_any_measurement(speed, coverage, valid, t):
+    m = FlowMeasurement(time_s=t, speed_mps=speed,
+                        direction=int(np.sign(speed)),
+                        bubble_coverage=coverage, valid=valid)
+    frame = decode_frame(encode_frame(m, sequence=5))
+    assert frame.flow_mps == pytest.approx(speed, abs=6e-4)
+    assert frame.valid == valid
+    assert frame.bubble_coverage == pytest.approx(coverage, abs=3e-3)
+
+
+@settings(max_examples=40)
+@given(st.binary(min_size=0, max_size=64))
+def test_crc_detects_any_single_bit_flip(data):
+    if not data:
+        return
+    crc = crc16_ccitt(data)
+    corrupted = bytearray(data)
+    corrupted[len(data) // 2] ^= 0x08
+    assert crc16_ccitt(bytes(corrupted)) != crc
+
+
+@settings(max_examples=40)
+@given(st.floats(min_value=0.0, max_value=5.0),
+       st.floats(min_value=0.0, max_value=5.0))
+def test_direction_asymmetry_bounded_and_antisymmetric(u_a, u_b):
+    d = DirectionDetector.asymmetry(u_a, u_b)
+    assert -1.0 <= d <= 1.0
+    assert DirectionDetector.asymmetry(u_b, u_a) == pytest.approx(-d)
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=0, max_value=6),
+       st.integers(min_value=1, max_value=24),
+       st.floats(min_value=-100.0, max_value=100.0))
+def test_qformat_quantize_idempotent(int_bits, frac_bits, value):
+    q = QFormat(int_bits, frac_bits)
+    once = q.quantize(value)
+    assert q.quantize(once) == once  # fixed point of the quantiser

@@ -1,0 +1,122 @@
+"""Unit and property tests for the King's-law model and fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.physics.kings_law import KingsLaw, fit_kings_law
+
+LAW = KingsLaw(coeff_a=1.2e-3, coeff_b=4.5e-3, exponent=0.5)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        KingsLaw(coeff_a=-1.0, coeff_b=1.0)
+    with pytest.raises(ConfigurationError):
+        KingsLaw(coeff_a=1.0, coeff_b=1.0, exponent=2.0)
+
+
+def test_power_at_zero_flow_is_conduction_only():
+    assert float(LAW.power(0.0, 10.0)) == pytest.approx(10.0 * LAW.coeff_a)
+
+
+def test_power_even_in_speed():
+    assert float(LAW.power(1.5, 8.0)) == pytest.approx(float(LAW.power(-1.5, 8.0)))
+
+
+def test_power_scales_with_overtemperature():
+    assert float(LAW.power(1.0, 10.0)) == pytest.approx(2.0 * float(LAW.power(1.0, 5.0)))
+
+
+def test_negative_overtemperature_rejected():
+    with pytest.raises(ConfigurationError):
+        LAW.power(1.0, -1.0)
+
+
+def test_invert_power_roundtrip():
+    for v in [0.0, 0.01, 0.3, 1.0, 2.5]:
+        p = float(LAW.power(v, 10.0))
+        assert float(LAW.invert_power(p, 10.0)) == pytest.approx(v, abs=1e-12)
+
+
+def test_invert_clips_below_zero_flow():
+    p_zero = float(LAW.power(0.0, 10.0))
+    assert float(LAW.invert_power(p_zero * 0.5, 10.0)) == 0.0
+
+
+def test_invert_requires_positive_overtemperature():
+    with pytest.raises(ConfigurationError):
+        LAW.invert_power(0.01, 0.0)
+
+
+def test_sensitivity_falls_with_speed():
+    s_low = float(LAW.sensitivity(0.1, 10.0))
+    s_high = float(LAW.sensitivity(2.5, 10.0))
+    assert s_low > s_high  # King-law compression: worst resolution at high flow
+
+
+def test_sensitivity_is_derivative():
+    v, dv = 1.0, 1e-6
+    numeric = (float(LAW.power(v + dv, 10.0)) - float(LAW.power(v, 10.0))) / dv
+    assert float(LAW.sensitivity(v, 10.0)) == pytest.approx(numeric, rel=1e-4)
+
+
+def test_gain_drift_copy():
+    drifted = LAW.with_gain_drift(-0.10)
+    assert drifted.coeff_b == pytest.approx(LAW.coeff_b * 0.9)
+    assert drifted.coeff_a == LAW.coeff_a
+
+
+def test_fit_recovers_exact_coefficients():
+    v = np.array([0.0, 0.1, 0.3, 0.6, 1.0, 1.8, 2.5])
+    g = LAW.conductance(v)
+    fitted = fit_kings_law(v, g, exponent=0.5)
+    assert fitted.coeff_a == pytest.approx(LAW.coeff_a, rel=1e-9)
+    assert fitted.coeff_b == pytest.approx(LAW.coeff_b, rel=1e-9)
+
+
+def test_fit_scans_exponent():
+    true = KingsLaw(coeff_a=1e-3, coeff_b=5e-3, exponent=0.45)
+    v = np.linspace(0.05, 2.5, 20)
+    fitted = fit_kings_law(v, true.conductance(v))
+    assert fitted.exponent == pytest.approx(0.45, abs=0.011)
+
+
+def test_fit_rejects_too_few_points():
+    with pytest.raises(CalibrationError):
+        fit_kings_law(np.array([0.0, 1.0]), np.array([1e-3, 2e-3]))
+
+
+def test_fit_rejects_degenerate_speeds():
+    with pytest.raises(CalibrationError):
+        fit_kings_law(np.ones(5), np.linspace(1e-3, 2e-3, 5))
+
+
+def test_fit_rejects_nonphysical_data():
+    # Conductance *decreasing* with speed cannot fit a positive B.
+    v = np.linspace(0.1, 2.0, 8)
+    g = 5e-3 - 1e-3 * np.sqrt(v)
+    with pytest.raises(CalibrationError):
+        fit_kings_law(v, g, exponent=0.5)
+
+
+@settings(max_examples=30)
+@given(
+    st.floats(min_value=1e-4, max_value=1e-2),
+    st.floats(min_value=1e-3, max_value=1e-2),
+    st.floats(min_value=0.35, max_value=0.65),
+)
+def test_fit_roundtrip_property(a, b, n):
+    law = KingsLaw(a, b, n)
+    v = np.linspace(0.02, 2.5, 15)
+    fitted = fit_kings_law(v, law.conductance(v), exponent=n)
+    assert fitted.coeff_a == pytest.approx(a, rel=1e-6)
+    assert fitted.coeff_b == pytest.approx(b, rel=1e-6)
+
+
+@given(st.floats(min_value=0.0, max_value=2.5),
+       st.floats(min_value=0.0, max_value=2.5))
+def test_conductance_monotone_property(v1, v2):
+    lo, hi = sorted([v1, v2])
+    assert float(LAW.conductance(hi)) >= float(LAW.conductance(lo))

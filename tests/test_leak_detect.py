@@ -1,0 +1,127 @@
+"""Unit tests for the leak-detection application."""
+
+import numpy as np
+import pytest
+
+from repro.conditioning.leak_detect import (
+    CusumDetector,
+    LeakDetector,
+    NetworkSegmentMonitor,
+)
+from repro.errors import ConfigurationError
+
+
+def test_cusum_validation():
+    with pytest.raises(ConfigurationError):
+        CusumDetector(drift=-1.0, threshold=1.0)
+    with pytest.raises(ConfigurationError):
+        CusumDetector(drift=0.0, threshold=0.0)
+
+
+def test_cusum_ignores_zero_mean_noise():
+    det = CusumDetector(drift=0.05, threshold=5.0)
+    rng = np.random.default_rng(0)
+    fired = any(det.update(float(rng.normal(0.0, 0.03))) for _ in range(20000))
+    assert not fired
+
+
+def test_cusum_detects_persistent_shift():
+    det = CusumDetector(drift=0.05, threshold=5.0)
+    rng = np.random.default_rng(1)
+    steps = 0
+    for _ in range(10000):
+        steps += 1
+        if det.update(0.2 + float(rng.normal(0.0, 0.03))):
+            break
+    assert steps < 100
+
+
+def test_cusum_reset():
+    det = CusumDetector(drift=0.0, threshold=1.0)
+    det.update(0.9)
+    det.reset()
+    assert det.statistic == 0.0
+
+
+def test_segment_balance_clean():
+    seg = NetworkSegmentMonitor("seg1")
+    rng = np.random.default_rng(2)
+    dt = 1.0
+    fired = any(
+        seg.update(1.0 + rng.normal(0, 0.005), 1.0 + rng.normal(0, 0.005), dt)
+        for _ in range(5000))
+    assert not fired
+    assert abs(seg.mean_imbalance_mps()) < 0.01
+
+
+def test_segment_detects_leak():
+    seg = NetworkSegmentMonitor("seg1", drift_mps=0.01, threshold_mps_s=2.0)
+    rng = np.random.default_rng(3)
+    dt = 1.0
+    t_detect = None
+    for i in range(5000):
+        leak = 0.06  # 6 cm/s lost in the segment
+        if seg.update(1.0 + rng.normal(0, 0.005),
+                      1.0 - leak + rng.normal(0, 0.005), dt):
+            t_detect = i
+            break
+    assert t_detect is not None and t_detect < 120
+    assert seg.mean_imbalance_mps() == pytest.approx(0.06, abs=0.01)
+
+
+def test_segment_area_scaling():
+    """A reducer (outlet pipe half the area) doubles the outlet speed —
+    the balance must account for that, not flag a leak."""
+    seg = NetworkSegmentMonitor("reducer", area_ratio=0.5)
+    fired = any(seg.update(1.0, 2.0, 1.0) for _ in range(2000))
+    assert not fired
+
+
+def test_detector_topology():
+    det = LeakDetector()
+    det.add_segment(NetworkSegmentMonitor("a"))
+    det.add_segment(NetworkSegmentMonitor("b"))
+    assert det.segments == ("a", "b")
+    with pytest.raises(ConfigurationError):
+        det.add_segment(NetworkSegmentMonitor("a"))
+    with pytest.raises(ConfigurationError):
+        det.update({"ghost": (1.0, 1.0)}, 1.0)
+
+
+def test_detector_localises_the_leaking_segment():
+    det = LeakDetector()
+    det.add_segment(NetworkSegmentMonitor("up", threshold_mps_s=2.0))
+    det.add_segment(NetworkSegmentMonitor("down", threshold_mps_s=2.0))
+    rng = np.random.default_rng(4)
+    events = []
+    for _ in range(2000):
+        noise = lambda: float(rng.normal(0, 0.004))
+        readings = {
+            "up": (1.0 + noise(), 1.0 + noise()),           # healthy
+            "down": (1.0 + noise(), 0.93 + noise()),        # leaking
+        }
+        events.extend(det.update(readings, 1.0))
+        if events:
+            break
+    assert events
+    assert events[0].segment == "down"
+    assert events[0].estimated_loss_mps == pytest.approx(0.07, abs=0.02)
+    assert det.events == tuple(events)
+
+
+def test_detector_rearms_after_event():
+    det = LeakDetector()
+    det.add_segment(NetworkSegmentMonitor("s", threshold_mps_s=0.5))
+    first = []
+    for _ in range(100):
+        first.extend(det.update({"s": (1.0, 0.8)}, 1.0))
+        if first:
+            break
+    assert first
+    # Continues monitoring and can fire again.
+    second = []
+    for _ in range(100):
+        second.extend(det.update({"s": (1.0, 0.8)}, 1.0))
+        if second:
+            break
+    assert second

@@ -1,0 +1,95 @@
+"""Unit tests for the water-line plant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.station.line import LineConfig, WaterLine
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        LineConfig(pipe_diameter_m=0.0)
+    with pytest.raises(ConfigurationError):
+        LineConfig(speed_tau_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        WaterLine(turbulence_multiplier=0.0)
+    with pytest.raises(ConfigurationError):
+        WaterLine().step(0.0, 1.0)
+
+
+def test_speed_approaches_target_with_lag():
+    line = WaterLine(LineConfig(speed_tau_s=1.5))
+    dt = 1e-2
+    state = None
+    for _ in range(int(1.5 / dt)):  # one time constant
+        state = line.step(dt, 1.0)
+    assert state.bulk_speed_mps == pytest.approx(0.63, abs=0.05)
+    for _ in range(int(10.0 / dt)):
+        state = line.step(dt, 1.0)
+    assert state.bulk_speed_mps == pytest.approx(1.0, abs=0.01)
+
+
+def test_pressure_faster_than_speed():
+    line = WaterLine()
+    dt = 1e-2
+    for _ in range(60):  # 0.6 s
+        state = line.step(dt, 1.0, pressure_target_pa=5e5)
+    p_progress = (state.pressure_pa - 2e5) / 3e5
+    v_progress = state.bulk_speed_mps / 1.0
+    assert p_progress > v_progress
+
+
+def test_temperature_is_slowest():
+    line = WaterLine()
+    state = line.step(1.0, 0.0, temperature_target_k=298.15)
+    assert state.temperature_k < 290.0  # barely moved after 1 s
+
+
+def test_local_speed_fluctuates_around_bulk():
+    line = WaterLine()
+    line.jump_to(1.0)
+    dt = 1e-3
+    locals_, bulks = [], []
+    for _ in range(20000):
+        s = line.step(dt, 1.0)
+        locals_.append(s.local_speed_mps)
+        bulks.append(s.bulk_speed_mps)
+    locals_ = np.array(locals_)
+    assert np.mean(locals_) == pytest.approx(1.0, abs=0.02)
+    assert np.std(locals_) > 0.01  # turbulence present
+    assert np.std(np.array(bulks)) < np.std(locals_)
+
+
+def test_turbulence_multiplier_scales_noise():
+    smooth = WaterLine(LineConfig(seed=1), turbulence_multiplier=1.0)
+    rough = WaterLine(LineConfig(seed=1), turbulence_multiplier=2.5)
+    smooth.jump_to(1.0)
+    rough.jump_to(1.0)
+    dt = 1e-3
+    s_dev = np.std([smooth.step(dt, 1.0).local_speed_mps for _ in range(10000)])
+    r_dev = np.std([rough.step(dt, 1.0).local_speed_mps for _ in range(10000)])
+    assert r_dev > 1.5 * s_dev
+
+
+def test_jump_to_fast_forwards():
+    line = WaterLine()
+    line.jump_to(2.0, 3e5, 290.0)
+    state = line.step(1e-3, 2.0, 3e5, 290.0)
+    assert state.bulk_speed_mps == pytest.approx(2.0, abs=1e-3)
+
+
+def test_conditions_packaging():
+    line = WaterLine()
+    state = line.step(1e-3, 1.0)
+    cond = line.conditions(state)
+    assert cond.speed_mps == state.local_speed_mps
+    assert cond.pressure_pa == state.pressure_pa
+    assert cond.chemistry is line.config.chemistry
+
+
+def test_time_advances():
+    line = WaterLine()
+    for _ in range(10):
+        line.step(0.1, 0.0)
+    assert line.time_s == pytest.approx(1.0)

@@ -1,0 +1,168 @@
+"""Unit tests for the assembled MAF sensor model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SensorFault
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+from repro.sensor.membrane import WATER_BACKSIDE, Membrane
+
+COND = FlowConditions(speed_mps=1.0)
+
+
+def settle(sensor, supply, cond=COND, seconds=2.0, dt=1e-3):
+    r = None
+    for _ in range(int(seconds / dt)):
+        r = sensor.step(dt, supply, supply, cond)
+    return r
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        MAFConfig(heater_nominal_ohm=-1.0)
+    with pytest.raises(ConfigurationError):
+        MAFConfig(wake_peak_coupling=1.5)
+
+
+def test_paper_resistor_values():
+    """Rh = 50.0 ± 0.5 Ω, Rt = 2000 ± 30 Ω (§2)."""
+    s = MAFSensor()
+    assert 49.5 <= s.heater_a.r0_ohm <= 50.5
+    assert 49.5 <= s.heater_b.r0_ohm <= 50.5
+    assert 1970.0 <= s.reference.r0_ohm <= 2030.0
+
+
+def test_interdigitated_reference_shared():
+    """Both half-bridges must see the *same* reference resistor."""
+    s = MAFSensor()
+    assert s.bridge_a.reference is s.bridge_b.reference
+
+
+def test_unpowered_sensor_sits_at_fluid_temperature():
+    s = MAFSensor()
+    r = settle(s, 0.0, seconds=1.0)
+    assert r.heater_a_temperature_k == pytest.approx(COND.temperature_k, abs=0.01)
+    assert r.heater_a_power_w == 0.0
+
+
+def test_heater_heats_with_supply():
+    s = MAFSensor()
+    r = settle(s, 2.5)
+    assert r.heater_a_temperature_k > COND.temperature_k + 1.0
+    assert r.heater_a_power_w > 1e-3
+
+
+def test_faster_flow_cools_harder():
+    """Same drive, more flow → lower equilibrium temperature."""
+    slow = settle(MAFSensor(), 2.5, FlowConditions(speed_mps=0.2))
+    fast = settle(MAFSensor(), 2.5, FlowConditions(speed_mps=2.0))
+    assert fast.heater_a_temperature_k < slow.heater_a_temperature_k
+
+
+def test_downstream_heater_runs_hotter():
+    """The wake preheats the downstream element (direction mechanism)."""
+    s = MAFSensor()
+    r = settle(s, 2.5, FlowConditions(speed_mps=0.3))
+    assert r.heater_b_temperature_k > r.heater_a_temperature_k
+    # Reversed flow swaps the roles.
+    s2 = MAFSensor()
+    r2 = settle(s2, 2.5, FlowConditions(speed_mps=-0.3))
+    assert r2.heater_a_temperature_k > r2.heater_b_temperature_k
+
+
+def test_reference_tracks_fluid_temperature():
+    s = MAFSensor()
+    warm = FlowConditions(speed_mps=0.5, temperature_k=298.15)
+    r = settle(s, 1.0, warm, seconds=3.0)
+    t_ref = s.reference.temperature_from_resistance(r.reference_resistance_ohm)
+    assert float(t_ref) == pytest.approx(298.15, abs=0.3)
+
+
+def test_membrane_burst_on_overpressure():
+    cfg = MAFConfig(membrane=Membrane(backside=WATER_BACKSIDE))
+    s = MAFSensor(cfg)
+    highp = FlowConditions(speed_mps=0.5, pressure_pa=7.0e5)
+    with pytest.raises(SensorFault):
+        s.step(1e-3, 1.0, 1.0, highp)
+    assert s.failed is not None
+    # Dead die stays dead.
+    with pytest.raises(SensorFault):
+        s.step(1e-3, 1.0, 1.0, COND)
+
+
+def test_filled_membrane_survives_7bar():
+    s = MAFSensor()
+    peak = FlowConditions(speed_mps=0.5, pressure_pa=7.0e5)
+    r = settle(s, 2.0, peak, seconds=0.5)
+    assert s.failed is None
+    assert r.heater_a_power_w > 0.0
+
+
+def test_set_overtemperature_trims_both_bridges():
+    s = MAFSensor()
+    s.set_overtemperature(5.0, 288.15)
+    rt = float(s.reference.resistance(288.15))
+    bal_a = s.bridge_a.balance_resistance(rt)
+    bal_b = s.bridge_b.balance_resistance(rt)
+    t_bal_a = float(s.heater_a.temperature_from_resistance(bal_a))
+    t_bal_b = float(s.heater_b.temperature_from_resistance(bal_b))
+    assert t_bal_a == pytest.approx(288.15 + 5.0, abs=0.05)
+    assert t_bal_b == pytest.approx(288.15 + 5.0, abs=0.05)
+
+
+def test_step_rejects_bad_dt():
+    with pytest.raises(ConfigurationError):
+        MAFSensor().step(0.0, 1.0, 1.0, COND)
+
+
+def test_determinism_per_seed():
+    a = MAFSensor(MAFConfig(seed=5))
+    b = MAFSensor(MAFConfig(seed=5))
+    for _ in range(100):
+        ra = a.step(1e-3, 2.0, 2.0, COND)
+        rb = b.step(1e-3, 2.0, 2.0, COND)
+    assert ra.differential_a_v == rb.differential_a_v
+    assert ra.heater_a_temperature_k == rb.heater_a_temperature_k
+
+
+def test_different_seeds_differ():
+    a = MAFSensor(MAFConfig(seed=5))
+    b = MAFSensor(MAFConfig(seed=6))
+    assert a.heater_a.r0_ohm != b.heater_a.r0_ohm
+
+
+def test_equilibrium_power_follows_kings_law_shape():
+    """Power at fixed wall overtemperature must grow sub-linearly in v
+    (concave King curve)."""
+    powers = []
+    for v in [0.25, 1.0, 2.25]:
+        s = MAFSensor(MAFConfig(enable_bubbles=False, enable_fouling=False))
+        # Drive to hold roughly constant dT by adjusting supply per v.
+        r = settle(s, 2.5, FlowConditions(speed_mps=v))
+        d_t = r.heater_a_temperature_k - COND.temperature_k
+        powers.append(r.heater_a_power_w / d_t)  # = G(v)
+    g1, g2, g3 = powers
+    # sqrt-like growth: increments shrink.
+    assert g2 - g1 > g3 - g2
+    assert g3 > g2 > g1
+
+
+def test_fouling_accumulates_via_step_fouling():
+    s = MAFSensor()
+    settle(s, 2.5, seconds=0.5)
+    chem_cond = FlowConditions(speed_mps=0.3)
+    s.step_fouling(30 * 86400.0, chem_cond, duty_cycle=1.0)
+    assert s.fouling_a.thickness_m > 0.0
+    with pytest.raises(ConfigurationError):
+        s.step_fouling(1.0, chem_cond, duty_cycle=2.0)
+
+
+def test_pulsed_duty_slows_fouling():
+    cont = MAFSensor(MAFConfig(seed=1))
+    puls = MAFSensor(MAFConfig(seed=1))
+    for s in (cont, puls):
+        settle(s, 2.5, seconds=0.5)
+    cond = FlowConditions(speed_mps=0.3)
+    cont.step_fouling(60 * 86400.0, cond, duty_cycle=1.0)
+    puls.step_fouling(60 * 86400.0, cond, duty_cycle=0.3)
+    assert puls.fouling_a.thickness_m < cont.fouling_a.thickness_m

@@ -1,0 +1,99 @@
+"""Unit tests for the membrane thermal/mechanical model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensor.materials import SI_NITRIDE_LPCVD, MembraneLayer
+from repro.sensor.membrane import (
+    ORGANIC_FILL,
+    WATER_BACKSIDE,
+    BacksideFill,
+    Membrane,
+    default_stack,
+)
+
+
+def test_default_stack_is_2um_total():
+    """§4: '2 µm thickness including the passivation layer'."""
+    m = Membrane()
+    assert m.thickness_m == pytest.approx(2.0e-6, rel=1e-6)
+
+
+def test_layer_validation():
+    with pytest.raises(ConfigurationError):
+        MembraneLayer("bad", -1e-6, 1.0, 1.0, 1.0, 1.0)
+
+
+def test_fill_validation():
+    with pytest.raises(ConfigurationError):
+        BacksideFill("bad", thermal_conductivity=0.0)
+    with pytest.raises(ConfigurationError):
+        BacksideFill("bad", thermal_conductivity=0.1, stiffening_factor=0.5)
+
+
+def test_membrane_validation():
+    with pytest.raises(ConfigurationError):
+        Membrane(stack=())
+    with pytest.raises(ConfigurationError):
+        Membrane(heater_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        Membrane(side_m=-1.0)
+
+
+def test_thermal_isolation_property():
+    """Membrane lateral conductance must be far below the water film
+    conductance (a few mW/K) — that is the whole point of the membrane."""
+    m = Membrane()
+    assert m.lateral_conductance_w_per_k < 1e-4
+
+
+def test_organic_fill_reduces_backside_loss():
+    filled = Membrane(backside=ORGANIC_FILL)
+    flooded = Membrane(backside=WATER_BACKSIDE)
+    assert filled.backside_conductance_w_per_k < flooded.backside_conductance_w_per_k
+
+
+def test_organic_fill_survives_7bar_peaks():
+    """§5: pressure up to 3 bar with 7 bar peaks — the filled membrane
+    must be rated above that, the unfilled one must not be."""
+    filled = Membrane(backside=ORGANIC_FILL)
+    flooded = Membrane(backside=WATER_BACKSIDE)
+    assert filled.burst_pressure_pa > 7.0e5
+    assert flooded.burst_pressure_pa < 7.0e5
+
+
+def test_heat_capacities_partition():
+    m = Membrane()
+    total = m.heater_region_capacity_j_per_k + m.rim_region_capacity_j_per_k
+    areal = sum(layer.areal_heat_capacity for layer in m.stack)
+    assert total == pytest.approx(areal * m.area_m2)
+
+
+def test_heater_time_constant_is_sub_ms():
+    """'the response times are reasonably short, even in water' — the
+    heater patch over a typical water film conductance settles in well
+    under a millisecond."""
+    m = Membrane()
+    c = m.heater_region_capacity_j_per_k / 2.0  # one heater
+    g_film = 5e-3  # typical mW/K in water
+    tau = c / g_film
+    assert tau < 1e-3
+
+
+def test_deflection_linear_in_pressure():
+    m = Membrane()
+    w1 = m.deflection_m(1e5)
+    w2 = m.deflection_m(2e5)
+    assert w2 == pytest.approx(2.0 * w1)
+    with pytest.raises(ConfigurationError):
+        m.deflection_m(-1.0)
+
+
+def test_thicker_stack_is_stronger():
+    thick_nitride = MembraneLayer(
+        name="Si3N4 thick", thickness_m=1.2e-6,
+        thermal_conductivity=3.2, density=3100.0, specific_heat=700.0,
+        tensile_strength_pa=6.0e9)
+    thick = Membrane(stack=(thick_nitride,) * 3)
+    thin = Membrane()
+    assert thick.burst_pressure_pa > thin.burst_pressure_pa

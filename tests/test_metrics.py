@@ -1,0 +1,67 @@
+"""Unit tests for the §5 metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    FULL_SCALE_MPS,
+    accuracy_rms,
+    repeatability_pct_fs,
+    resolution_3sigma,
+    resolution_pct_fs,
+    settling_time_s,
+)
+from repro.errors import ConfigurationError
+
+
+def test_resolution_definition():
+    rng = np.random.default_rng(0)
+    readings = 1.0 + 0.01 * rng.normal(size=5000)
+    assert resolution_3sigma(readings) == pytest.approx(0.03, rel=0.05)
+
+
+def test_resolution_pct_fs():
+    rng = np.random.default_rng(1)
+    readings = 1.0 + 0.01 * rng.normal(size=5000)
+    # 3 sigma = 0.03 m/s over 2.5 m/s FS = 1.2 %.
+    assert resolution_pct_fs(readings) == pytest.approx(1.2, rel=0.05)
+    assert FULL_SCALE_MPS == 2.5
+
+
+def test_resolution_needs_samples():
+    with pytest.raises(ConfigurationError):
+        resolution_3sigma(np.array([1.0, 2.0]))
+
+
+def test_repeatability_half_spread():
+    means = np.array([1.00, 1.02, 0.99, 1.01])
+    # (1.02 - 0.99)/2 / 2.5 * 100 = 0.6 %.
+    assert repeatability_pct_fs(means) == pytest.approx(0.6)
+
+
+def test_accuracy_rms():
+    m = np.array([1.0, 1.1, 0.9])
+    r = np.array([1.0, 1.0, 1.0])
+    assert accuracy_rms(m, r) == pytest.approx(np.sqrt(0.02 / 3))
+    with pytest.raises(ConfigurationError):
+        accuracy_rms(m, r[:2])
+
+
+def test_settling_time():
+    t = np.linspace(0.0, 10.0, 1001)
+    x = 1.0 - np.exp(-t / 1.0)
+    # 5 % band entered at t = -ln(0.05) ~ 3.0 s.
+    assert settling_time_s(t, x, 1.0, 0.05) == pytest.approx(3.0, abs=0.05)
+
+
+def test_settling_time_never_settles():
+    t = np.linspace(0.0, 10.0, 101)
+    x = np.sin(t)  # oscillates around 0 with amplitude 1
+    with pytest.raises(ConfigurationError):
+        settling_time_s(t, x, 1.0, 0.05)
+
+
+def test_settling_time_immediate():
+    t = np.linspace(0.0, 1.0, 11)
+    x = np.ones(11)
+    assert settling_time_s(t, x, 1.0) == 0.0

@@ -1,0 +1,96 @@
+"""Tests for the CT/CC/CP operating modes (E9 substrate)."""
+
+import pytest
+
+from repro.conditioning.modes import (
+    ConstantCurrentMode,
+    ConstantPowerMode,
+    ConstantTemperatureMode,
+)
+from repro.errors import ConfigurationError
+from repro.isif.platform import ISIFPlatform
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+
+
+def fresh(seed=31):
+    sensor = MAFSensor(MAFConfig(seed=seed, enable_bubbles=False,
+                                 enable_fouling=False))
+    platform = ISIFPlatform.for_anemometer(seed=seed)
+    return sensor, platform
+
+
+def test_mode_validation():
+    s, p = fresh()
+    with pytest.raises(ConfigurationError):
+        ConstantCurrentMode(s, p, current_a=-1.0)
+    with pytest.raises(ConfigurationError):
+        ConstantPowerMode(s, p, power_w=0.0)
+
+
+def test_ct_mode_overtemperature_is_setpoint():
+    s, p = fresh()
+    mode = ConstantTemperatureMode(s, p)
+    m = mode.measure(FlowConditions(speed_mps=1.0), settle_s=0.8)
+    assert m.overtemperature_est_k == pytest.approx(5.0)
+    assert m.heater_power_w > 1e-3
+
+
+def test_cc_mode_holds_current():
+    s, p = fresh()
+    i0 = 0.020
+    mode = ConstantCurrentMode(s, p, current_a=i0)
+    m = mode.measure(FlowConditions(speed_mps=1.0), settle_s=0.8)
+    r_total = s.bridge_a.r_series_ohm + 50.0
+    assert m.supply_v == pytest.approx(i0 * r_total, rel=0.05)
+
+
+def test_cp_mode_holds_power():
+    s, p = fresh()
+    p0 = 0.030
+    mode = ConstantPowerMode(s, p, power_w=p0)
+    m = mode.measure(FlowConditions(speed_mps=1.0), settle_s=0.8)
+    assert m.heater_power_w == pytest.approx(p0, rel=0.05)
+
+
+def test_cc_wire_temperature_falls_with_flow():
+    """In CC mode the wire temperature floats down as flow cools it."""
+    s, p = fresh()
+    mode = ConstantCurrentMode(s, p, current_a=0.025)
+    slow = mode.measure(FlowConditions(speed_mps=0.2), settle_s=0.8)
+    fast = mode.measure(FlowConditions(speed_mps=2.0), settle_s=0.8)
+    assert fast.overtemperature_est_k < slow.overtemperature_est_k
+
+
+def test_all_modes_conductance_rises_with_flow():
+    for factory in (
+        lambda s, p: ConstantTemperatureMode(s, p),
+        lambda s, p: ConstantCurrentMode(s, p, current_a=0.025),
+        lambda s, p: ConstantPowerMode(s, p, power_w=0.030),
+    ):
+        s, p = fresh()
+        mode = factory(s, p)
+        g_slow = mode.measure(FlowConditions(speed_mps=0.3), 0.8).conductance_w_per_k
+        g_fast = mode.measure(FlowConditions(speed_mps=2.0), 0.8).conductance_w_per_k
+        assert g_fast > g_slow, mode.name
+
+
+def test_ct_robust_to_fluid_temperature_cc_cp_not():
+    """The paper's §2 claim, quantified: fluid warms 10 K and only CT's
+    conductance observable stays put."""
+    v = 1.0
+    cold = FlowConditions(speed_mps=v, temperature_k=288.15)
+    warm = FlowConditions(speed_mps=v, temperature_k=298.15)
+
+    def drift_of(factory):
+        s, p = fresh()
+        mode = factory(s, p)
+        g_cold = mode.measure(cold, 1.0).conductance_w_per_k
+        g_warm = mode.measure(warm, 1.5).conductance_w_per_k
+        return abs(g_warm - g_cold) / g_cold
+
+    ct = drift_of(lambda s, p: ConstantTemperatureMode(s, p))
+    cc = drift_of(lambda s, p: ConstantCurrentMode(s, p, current_a=0.025))
+    cp = drift_of(lambda s, p: ConstantPowerMode(s, p, power_w=0.030))
+    assert ct < 0.1
+    assert cc > 3.0 * ct
+    assert cp > 3.0 * ct

@@ -1,0 +1,99 @@
+"""Unit tests for the pipe-network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.station.network import PipeNetwork
+
+DN50_AREA = np.pi * 0.025**2
+
+
+def simple_network():
+    """reservoir -> A -> B, with a spur A -> C."""
+    net = PipeNetwork()
+    net.add_pipe("reservoir", "A", demand_m3_s=0.0)
+    net.add_pipe("A", "B", demand_m3_s=1.0e-3)
+    net.add_pipe("A", "C", demand_m3_s=0.5e-3)
+    return net
+
+
+def test_construction_validation():
+    net = PipeNetwork()
+    with pytest.raises(ConfigurationError):
+        net.add_pipe("ghost", "A")
+    net.add_pipe("reservoir", "A")
+    with pytest.raises(ConfigurationError):
+        net.add_pipe("reservoir", "A")  # duplicate node
+    with pytest.raises(ConfigurationError):
+        net.add_pipe("A", "B", diameter_m=-1.0)
+
+
+def test_mass_balance_no_leak():
+    net = simple_network()
+    flows = net.solve()
+    trunk = flows[("reservoir", "A")]
+    # Trunk carries both demands; no leak -> inlet == outlet.
+    assert trunk.inlet_speed_mps == pytest.approx(1.5e-3 / DN50_AREA)
+    assert trunk.outlet_speed_mps == pytest.approx(trunk.inlet_speed_mps)
+    assert flows[("A", "B")].outlet_speed_mps == pytest.approx(
+        1.0e-3 / DN50_AREA)
+
+
+def test_leak_shows_as_segment_imbalance():
+    net = simple_network()
+    net.inject_leak("A", "B", 0.2e-3)
+    flows = net.solve()
+    leaky = flows[("A", "B")]
+    assert leaky.inlet_speed_mps > leaky.outlet_speed_mps
+    imbalance_q = (leaky.inlet_speed_mps - leaky.outlet_speed_mps) * DN50_AREA
+    assert imbalance_q == pytest.approx(0.2e-3)
+    # Upstream of the leak, the trunk carries the extra water...
+    assert flows[("reservoir", "A")].inlet_speed_mps == pytest.approx(
+        1.7e-3 / DN50_AREA)
+    # ...but the healthy spur is untouched.
+    clean = flows[("A", "C")]
+    assert clean.inlet_speed_mps == pytest.approx(clean.outlet_speed_mps)
+
+
+def test_leak_can_be_closed():
+    net = simple_network()
+    net.inject_leak("A", "B", 0.2e-3)
+    net.inject_leak("A", "B", 0.0)
+    flows = net.solve()
+    seg = flows[("A", "B")]
+    assert seg.inlet_speed_mps == pytest.approx(seg.outlet_speed_mps)
+
+
+def test_demand_update():
+    net = simple_network()
+    net.set_demand("B", 2.0e-3)
+    flows = net.solve()
+    assert flows[("A", "B")].outlet_speed_mps == pytest.approx(
+        2.0e-3 / DN50_AREA)
+    with pytest.raises(ConfigurationError):
+        net.set_demand("reservoir", 1.0)
+    with pytest.raises(ConfigurationError):
+        net.set_demand("B", -1.0)
+
+
+def test_total_supply_includes_leaks():
+    net = simple_network()
+    base = net.total_supply_m3_s()
+    net.inject_leak("A", "C", 0.3e-3)
+    assert net.total_supply_m3_s() == pytest.approx(base + 0.3e-3)
+
+
+def test_leak_validation():
+    net = simple_network()
+    with pytest.raises(ConfigurationError):
+        net.inject_leak("B", "A", 1.0)  # no such pipe direction
+    with pytest.raises(ConfigurationError):
+        net.inject_leak("A", "B", -1.0)
+
+
+def test_pipes_listing_topological():
+    net = simple_network()
+    pipes = net.pipes
+    assert pipes[0] == ("reservoir", "A")
+    assert set(pipes[1:]) == {("A", "B"), ("A", "C")}

@@ -1,0 +1,81 @@
+"""Property-based tests of the pipe-network solver (hypothesis).
+
+Mass conservation must hold on *every* tree the builder can produce,
+for any demand/leak assignment — the invariant the whole leak-detection
+application rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.station.network import PipeNetwork
+
+
+@st.composite
+def random_tree(draw):
+    """A random tree network with random demands and leaks."""
+    n_nodes = draw(st.integers(min_value=1, max_value=8))
+    demands = draw(st.lists(
+        st.floats(min_value=0.0, max_value=2e-3),
+        min_size=n_nodes, max_size=n_nodes))
+    parents = [draw(st.integers(min_value=0, max_value=i))
+               for i in range(n_nodes)]
+    net = PipeNetwork()
+    names = ["reservoir"]
+    for i in range(n_nodes):
+        parent = names[parents[i]]
+        name = f"n{i}"
+        net.add_pipe(parent, name, demand_m3_s=demands[i])
+        names.append(name)
+    n_leaks = draw(st.integers(min_value=0, max_value=min(3, n_nodes)))
+    pipes = net.pipes
+    for k in range(n_leaks):
+        idx = draw(st.integers(min_value=0, max_value=len(pipes) - 1))
+        net.inject_leak(*pipes[idx],
+                        draw(st.floats(min_value=0.0, max_value=5e-4)))
+    return net, demands
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_tree())
+def test_mass_conservation_everywhere(tree):
+    """At every junction: inflow == demand + sum of child inflows."""
+    net, demands = tree
+    flows = net.solve()
+    area = {e: np.pi * (net._graph.edges[e]["diameter_m"] / 2.0) ** 2
+            for e in net._graph.edges}
+    # Volumetric flow into each node.
+    q_in = {down: flows[(up, down)].outlet_speed_mps * area[(up, down)]
+            for up, down in net._graph.edges}
+    for node in net._graph.nodes:
+        if node == net.source:
+            continue
+        demand = net._graph.nodes[node]["demand_m3_s"]
+        children_q = sum(
+            flows[(node, child)].inlet_speed_mps * area[(node, child)]
+            + 0.0
+            for _, child in net._graph.out_edges(node))
+        assert q_in[node] == pytest.approx(demand + children_q, abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_tree())
+def test_leaks_only_raise_upstream_flows(tree):
+    """Every pipe's inlet >= outlet, difference exactly its leak."""
+    net, _ = tree
+    flows = net.solve()
+    for (up, down), flow in flows.items():
+        assert flow.inlet_speed_mps >= flow.outlet_speed_mps - 1e-15
+        area = np.pi * (net._graph.edges[(up, down)]["diameter_m"] / 2.0) ** 2
+        assert (flow.inlet_speed_mps - flow.outlet_speed_mps) * area == \
+            pytest.approx(flow.leak_m3_s, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_tree())
+def test_total_supply_equals_demands_plus_leaks(tree):
+    net, demands = tree
+    total_leaks = sum(net._leaks.values())
+    assert net.total_supply_m3_s() == pytest.approx(
+        sum(demands) + total_leaks, abs=1e-12)

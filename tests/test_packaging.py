@@ -1,0 +1,72 @@
+"""Unit tests for the sensor housing / assembly model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SensorFault
+from repro.sensor.packaging import HousingQuality, SensorHousing
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SensorHousing(profile_smoothing=1.5)
+    with pytest.raises(ConfigurationError):
+        SensorHousing(pressure_rating_pa=0.0)
+
+
+def test_prototype_leakage_negligible():
+    """The glob-top + coated prototype: nS-range leakage forever."""
+    h = SensorHousing()
+    h.immerse(5000.0)
+    assert h.leakage_conductance_s() < 1e-8
+
+
+def test_bare_assembly_develops_leakage():
+    h = SensorHousing(quality=HousingQuality.BARE)
+    early = h.leakage_conductance_s()
+    h.immerse(500.0)
+    later = h.leakage_conductance_s()
+    assert later > 10.0 * early
+    assert later > 1e-4
+
+
+def test_bare_assembly_corrodes_open():
+    h = SensorHousing(quality=HousingQuality.BARE)
+    with pytest.raises(SensorFault):
+        h.immerse(2500.0)
+    # Once corroded, any further immersion keeps failing.
+    with pytest.raises(SensorFault):
+        h.immerse(1.0)
+
+
+def test_prototype_survives_long_immersion():
+    """§5: 'no corrosion or pollution on the surface after several
+    months of test'."""
+    h = SensorHousing()
+    h.immerse(6 * 30 * 24.0)  # six months
+    assert h.immersion_hours == pytest.approx(4320.0)
+
+
+def test_pressure_rating():
+    h = SensorHousing()
+    h.check_pressure(7.0e5)  # the paper's peaks: fine
+    with pytest.raises(SensorFault):
+        h.check_pressure(12.0e5)
+    with pytest.raises(ConfigurationError):
+        h.check_pressure(-1.0)
+
+
+def test_smoothed_profile_perturbs_less():
+    """'its profile has been smoothed to introduce low perturbations'."""
+    smooth = SensorHousing(profile_smoothing=0.9)
+    rough = SensorHousing(profile_smoothing=0.1)
+    assert smooth.turbulence_multiplier() < rough.turbulence_multiplier()
+    assert smooth.turbulence_multiplier() >= 1.0
+
+
+def test_negative_immersion_rejected():
+    with pytest.raises(ConfigurationError):
+        SensorHousing().immerse(-1.0)
+
+
+def test_hot_insertion_flag():
+    assert SensorHousing().supports_hot_insertion

@@ -1,0 +1,123 @@
+"""Unit tests for the PI controller IP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.fixed_point import QFormat
+from repro.isif.pi_controller import PIConfig, PIController
+
+Q = QFormat(3, 20)
+
+
+def make(kp=2.0, ki=100.0, dt=1e-3, qformat=None, out_max=5.0):
+    return PIController(PIConfig(kp=kp, ki=ki, dt_s=dt, out_min=0.0,
+                                 out_max=out_max, qformat=qformat))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        PIConfig(kp=-1.0, ki=1.0, dt_s=1e-3)
+    with pytest.raises(ConfigurationError):
+        PIConfig(kp=0.0, ki=0.0, dt_s=1e-3)
+    with pytest.raises(ConfigurationError):
+        PIConfig(kp=1.0, ki=1.0, dt_s=1e-3, out_min=5.0, out_max=1.0)
+
+
+def test_proportional_action():
+    pi = make(kp=2.0, ki=0.0)
+    pi.preset(1.0)
+    assert pi.step(0.5) == pytest.approx(1.0 + 2.0 * 0.5)
+
+
+def test_integral_accumulates():
+    pi = make(kp=0.0, ki=100.0, dt=1e-3)
+    out = 0.0
+    for _ in range(100):
+        out = pi.step(0.1)
+    # 100 steps * ki*dt*e = 100 * 0.1 * 0.1 = 1.0
+    assert out == pytest.approx(1.0, rel=1e-9)
+
+
+def test_output_clamped():
+    pi = make(kp=100.0, ki=0.0)
+    assert pi.step(10.0) == 5.0
+    assert pi.step(-10.0) == 0.0
+
+
+def test_anti_windup_recovery_is_fast():
+    """After deep saturation the integrator must not need to 'unwind'."""
+    pi = make(kp=1.0, ki=1000.0, dt=1e-3)
+    for _ in range(5000):
+        pi.step(1.0)  # drive hard into the top rail
+    # Error flips: output must leave the rail almost immediately.
+    steps_at_rail = 0
+    for _ in range(50):
+        if pi.step(-0.5) >= 5.0:
+            steps_at_rail += 1
+    assert steps_at_rail < 5
+
+
+def test_preset_bumpless():
+    pi = make(kp=1.0, ki=100.0)
+    pi.preset(2.5)
+    assert pi.step(0.0) == pytest.approx(2.5)
+
+
+def test_preset_clamps_to_range():
+    pi = make()
+    pi.preset(99.0)
+    assert pi.step(0.0) <= 5.0
+
+
+def test_reset():
+    pi = make()
+    pi.step(1.0)
+    pi.reset()
+    assert pi.integral == pytest.approx(0.0)
+
+
+def test_fixed_point_path_matches_wrapper():
+    pi_a = make(qformat=Q)
+    pi_b = make(qformat=Q)
+    rng = np.random.default_rng(0)
+    for _ in range(300):
+        e = float(rng.uniform(-0.1, 0.1))
+        assert pi_a.step(e) == Q.to_float(pi_b.step_codes(Q.to_int(e)))
+
+
+def test_fixed_point_twins_bit_exact():
+    """Two instances = hardware IP and software peripheral: identical."""
+    hw = make(qformat=Q)
+    sw = make(qformat=Q)
+    rng = np.random.default_rng(1)
+    for _ in range(1000):
+        code = Q.to_int(float(rng.uniform(-0.05, 0.05)))
+        assert hw.step_codes(code) == sw.step_codes(code)
+
+
+def test_fixed_point_tracks_float_closed_form():
+    fx = make(kp=0.0, ki=100.0, qformat=Q)
+    fl = make(kp=0.0, ki=100.0)
+    out_fx = out_fl = 0.0
+    for _ in range(500):
+        out_fx = fx.step(0.07)
+        out_fl = fl.step(0.07)
+    assert out_fx == pytest.approx(out_fl, abs=0.005)
+
+
+def test_step_codes_without_qformat_rejected():
+    with pytest.raises(ConfigurationError):
+        make().step_codes(1)
+
+
+def test_closed_loop_first_order_plant_converges():
+    """PI around y' = (u - y)/tau must regulate y to the setpoint."""
+    pi = make(kp=0.5, ki=50.0, dt=1e-3)
+    y = 0.0
+    tau = 0.02
+    setpoint = 2.0
+    for _ in range(4000):
+        u = pi.step(setpoint - y)
+        y += 1e-3 / tau * (u - y)
+    assert y == pytest.approx(setpoint, abs=1e-3)

@@ -1,0 +1,78 @@
+"""Unit tests for the power-state / battery model (E12 substrate)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.power import SECONDS_PER_YEAR, BatteryPack, PowerModel, PowerState
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        PowerModel(measure_current_a=-1.0)
+    with pytest.raises(ConfigurationError):
+        PowerModel(deep_sleep_current_a=1.0)  # ordering violated
+    with pytest.raises(ConfigurationError):
+        PowerModel(regulator_efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        BatteryPack(cells=0)
+
+
+def test_state_currents_include_regulator_loss():
+    pm = PowerModel(regulator_efficiency=0.5)
+    assert pm.state_current_a(PowerState.MEASURE) == pytest.approx(
+        pm.measure_current_a / 0.5)
+
+
+def test_average_current_weighted():
+    pm = PowerModel(regulator_efficiency=1.0)
+    avg = pm.average_current_a([
+        (PowerState.MEASURE, 1.0),
+        (PowerState.DEEP_SLEEP, 9.0),
+    ])
+    expected = (pm.measure_current_a + 9 * pm.deep_sleep_current_a) / 10.0
+    assert avg == pytest.approx(expected)
+
+
+def test_average_current_validation():
+    pm = PowerModel()
+    with pytest.raises(ConfigurationError):
+        pm.average_current_a([])
+    with pytest.raises(ConfigurationError):
+        pm.average_current_a([(PowerState.IDLE, -1.0)])
+
+
+def test_duty_cycled_schedule():
+    pm = PowerModel()
+    avg = pm.duty_cycled_current_a(measure_s=2.0, period_s=600.0)
+    # Sparse duty: average far below measure current, above sleep floor.
+    assert avg < 0.01 * pm.state_current_a(PowerState.MEASURE)
+    assert avg > pm.state_current_a(PowerState.DEEP_SLEEP)
+    with pytest.raises(ConfigurationError):
+        pm.duty_cycled_current_a(measure_s=10.0, period_s=5.0)
+
+
+def test_battery_autonomy_math():
+    pack = BatteryPack(cells=4, cell_capacity_ah=2.8, usable_fraction=1.0)
+    # 2.8 Ah at 1 mA -> 2800 h.
+    assert pack.autonomy_s(1e-3) == pytest.approx(2800 * 3600.0)
+
+
+def test_paper_one_year_claim_reachable():
+    """§7: 4 alkaline AA give one year at a typical duty cycle."""
+    pm = PowerModel()
+    pack = BatteryPack()
+    avg = pm.duty_cycled_current_a(measure_s=2.0, period_s=900.0)
+    years = pack.autonomy_years(avg)
+    assert years > 1.0
+
+
+def test_continuous_measurement_kills_the_battery_fast():
+    pm = PowerModel()
+    pack = BatteryPack()
+    always_on = pm.average_current_a([(PowerState.MEASURE, 1.0)])
+    assert pack.autonomy_years(always_on) < 0.05  # weeks, not a year
+
+
+def test_autonomy_validation():
+    with pytest.raises(ConfigurationError):
+        BatteryPack().autonomy_s(0.0)

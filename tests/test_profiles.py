@@ -1,0 +1,98 @@
+"""Unit tests for the line setpoint profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.station.profiles import (
+    Profile,
+    Segment,
+    bidirectional_staircase,
+    hold,
+    pressure_peaks,
+    ramp,
+    staircase,
+    step,
+)
+
+
+def test_segment_validation():
+    with pytest.raises(ConfigurationError):
+        Segment(duration_s=0.0, speed_mps=1.0)
+    with pytest.raises(ConfigurationError):
+        Segment(duration_s=1.0, speed_mps=1.0, pressure_pa=-1.0)
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(ConfigurationError):
+        Profile([]).setpoints(0.0)
+
+
+def test_hold_units():
+    p = hold(speed_cmps=120.0, duration_s=10.0, pressure_bar=2.0,
+             temperature_c=15.0)
+    v, pr, t = p.setpoints(5.0)
+    assert v == pytest.approx(1.2)
+    assert pr == pytest.approx(2e5)
+    assert t == pytest.approx(288.15)
+    assert p.duration_s == 10.0
+
+
+def test_staircase_levels_and_duration():
+    p = staircase([0.0, 100.0, 250.0], dwell_s=5.0)
+    assert p.duration_s == 15.0
+    assert p.setpoints(2.0)[0] == 0.0
+    assert p.setpoints(7.0)[0] == pytest.approx(1.0)
+    assert p.setpoints(12.0)[0] == pytest.approx(2.5)
+
+
+def test_profile_holds_last_value_beyond_end():
+    p = staircase([50.0, 100.0], dwell_s=1.0)
+    assert p.setpoints(99.0)[0] == pytest.approx(1.0)
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ConfigurationError):
+        hold(10.0, 1.0).setpoints(-1.0)
+
+
+def test_ramp_interpolates():
+    p = ramp(0.0, 250.0, duration_s=10.0)
+    v_mid = p.setpoints(0.001 + 5.0)[0]
+    assert v_mid == pytest.approx(1.25, abs=0.01)
+    assert p.setpoints(10.001)[0] == pytest.approx(2.5)
+
+
+def test_step_profile():
+    p = step(from_cmps=20.0, to_cmps=200.0, pre_s=2.0, post_s=3.0)
+    assert p.setpoints(1.0)[0] == pytest.approx(0.2)
+    assert p.setpoints(2.5)[0] == pytest.approx(2.0)
+    assert p.duration_s == 5.0
+
+
+def test_bidirectional_staircase_signs():
+    p = bidirectional_staircase([50.0, 100.0], dwell_s=1.0)
+    assert p.setpoints(0.5)[0] > 0
+    assert p.setpoints(2.5)[0] < 0
+    assert p.duration_s == 4.0
+
+
+def test_bidirectional_requires_levels():
+    with pytest.raises(ConfigurationError):
+        bidirectional_staircase([], dwell_s=1.0)
+
+
+def test_pressure_peaks_shape():
+    p = pressure_peaks(speed_cmps=100.0, base_bar=2.0, peak_bar=7.0,
+                       dwell_s=4.0, peaks=2)
+    # Base segment then peak segment.
+    assert p.setpoints(1.0)[1] == pytest.approx(2e5)
+    assert p.setpoints(4.5)[1] == pytest.approx(7e5)
+    # Speed constant throughout.
+    assert p.setpoints(4.5)[0] == pytest.approx(1.0)
+
+
+def test_append_rebuilds_index():
+    p = hold(10.0, 1.0)
+    p.append(Segment(duration_s=1.0, speed_mps=2.0))
+    assert p.duration_s == 2.0
+    assert p.setpoints(1.5)[0] == 2.0

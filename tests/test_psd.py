@@ -1,0 +1,87 @@
+"""Tests for the PSD estimator and its use on the analog models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.psd import flicker_corner_hz, welch_psd, white_floor
+from repro.errors import ConfigurationError
+from repro.isif.afe import AFEConfig, AnalogFrontEnd
+
+FS = 1000.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        welch_psd(np.zeros(10), FS)
+    with pytest.raises(ConfigurationError):
+        welch_psd(np.zeros(1000), -1.0)
+    r = welch_psd(np.random.default_rng(0).normal(size=4096), FS)
+    with pytest.raises(ConfigurationError):
+        r.band_power(10.0, 5.0)
+
+
+def test_white_noise_psd_level():
+    """White noise of variance sigma^2 has PSD = sigma^2 / (fs/2)."""
+    rng = np.random.default_rng(1)
+    sigma = 0.5
+    x = rng.normal(0.0, sigma, 1 << 16)
+    result = welch_psd(x, FS)
+    expected = sigma**2 / (FS / 2.0)
+    assert white_floor(result) == pytest.approx(expected, rel=0.1)
+    # Parseval: total band power equals the variance.
+    assert result.band_power(0.0, FS / 2.0) == pytest.approx(sigma**2,
+                                                             rel=0.1)
+
+
+def test_tone_shows_as_band_power():
+    t = np.arange(1 << 14) / FS
+    x = np.sin(2 * np.pi * 100.0 * t) + \
+        np.random.default_rng(2).normal(0.0, 0.01, t.size)
+    result = welch_psd(x, FS)
+    in_band = result.band_power(90.0, 110.0)
+    out_band = result.band_power(200.0, 400.0)
+    assert in_band == pytest.approx(0.5, rel=0.1)  # sine power A^2/2
+    assert in_band > 100.0 * out_band
+
+
+def test_flicker_corner_of_synthetic_pink_plus_white():
+    """1/f + white with a known crossover is recovered within ~2x."""
+    rng = np.random.default_rng(3)
+    n = 1 << 16
+    white = rng.normal(0.0, 1.0, n)
+    # Shape 1/f in the frequency domain.
+    spectrum = np.fft.rfft(rng.normal(0.0, 1.0, n))
+    f = np.fft.rfftfreq(n, 1.0 / FS)
+    f[0] = f[1]
+    corner = 20.0
+    pink = np.fft.irfft(spectrum * np.sqrt(corner / f), n)
+    pink *= 1.0 / np.std(pink)
+    x = white + pink
+    result = welch_psd(x, FS)
+    measured = flicker_corner_hz(result)
+    assert 5.0 < measured < 80.0
+
+
+def test_pure_white_has_no_corner():
+    x = np.random.default_rng(4).normal(size=1 << 14)
+    result = welch_psd(x, FS)
+    assert flicker_corner_hz(result) < 2.0  # essentially none
+
+
+def test_afe_noise_spectrum_matches_model():
+    """The AFE's output noise: white floor set by the density x gain,
+    plus a visible 1/f rise below the configured corner."""
+    cfg = AFEConfig(gain_index=4, offset_v=0.0,
+                    noise_density_v_per_rthz=20e-9,
+                    flicker_corner_hz=10.0)
+    afe = AnalogFrontEnd(cfg, rng=np.random.default_rng(5))
+    dt = 1.0 / FS
+    x = np.array([afe.process(0.0, dt) for _ in range(1 << 15)])
+    result = welch_psd(x, FS)
+    floor = white_floor(result)
+    expected_density = (20e-9 * cfg.gain) ** 2  # V^2/Hz at the output
+    assert floor == pytest.approx(expected_density, rel=0.5)
+    # Low-frequency excess exists (the 1/f component).
+    low = float(np.mean(result.psd[(result.frequencies_hz > 0.5)
+                                   & (result.frequencies_hz < 5.0)]))
+    assert low > 1.5 * floor

@@ -1,0 +1,79 @@
+"""Tests for the bubble purge controller."""
+
+import pytest
+
+from repro.conditioning.cta import CTAConfig, CTAController
+from repro.conditioning.diagnostics import HealthStatus
+from repro.conditioning.purge import PurgeConfig, PurgeController
+from repro.errors import ConfigurationError, SensorFault
+from repro.isif.platform import ISIFPlatform
+from repro.sensor.fouling import FoulingConfig
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+
+# Worst case for bubbles: near-stagnant, 1 bar, air-style overtemperature.
+COND = FlowConditions(speed_mps=0.03, pressure_pa=1.0e5)
+
+
+def bubbled_controller(seed=61):
+    """A loop driven into visible bubble coverage."""
+    sensor = MAFSensor(MAFConfig(seed=seed))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=seed),
+                               CTAConfig(overtemperature_k=40.0))
+    supervisor = PurgeController(controller)
+    for _ in range(30_000):  # 30 s of continuous hot drive
+        supervisor.step(COND)
+    return supervisor
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        PurgeConfig(off_time_s=0.0)
+    with pytest.raises(ConfigurationError):
+        PurgeConfig(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        PurgeConfig(coverage_ok=1.5)
+
+
+def test_bubbles_grow_and_health_degrades():
+    supervisor = bubbled_controller()
+    assert supervisor.worst_coverage() > 0.3
+    assert supervisor.health.status() is not HealthStatus.HEALTHY
+
+
+def test_purge_clears_bubbles():
+    supervisor = bubbled_controller(seed=62)
+    attempts = supervisor.recover(COND)
+    assert attempts <= supervisor.config.max_attempts
+    assert supervisor.worst_coverage() < supervisor.config.coverage_ok
+    assert supervisor.purge_count == attempts
+    assert supervisor.health.status() is HealthStatus.HEALTHY
+
+
+def test_loop_operational_after_purge_at_safe_setpoint():
+    """recover() retrims to the paper's reduced overtemperature so the
+    bubbles do not simply regrow."""
+    supervisor = bubbled_controller(seed=63)
+    supervisor.recover(COND, safe_overtemperature_k=5.0)
+    tel = supervisor.controller.settle(COND, 1.0)
+    d_t = tel.readout.heater_a_temperature_k - COND.temperature_k
+    assert d_t == pytest.approx(5.0, abs=1.0)  # re-regulating, safely
+    assert supervisor.worst_coverage() < 0.05  # and staying clean
+
+
+def test_non_bubble_degradation_escalates():
+    """A fouled (not bubbled) surface does not respond to purging: the
+    controller must escalate instead of purging forever."""
+    sensor = MAFSensor(MAFConfig(
+        seed=64, fouling_config=FoulingConfig(adhesion_factor=1.0)))
+    controller = CTAController(sensor, ISIFPlatform.for_anemometer(seed=64))
+    supervisor = PurgeController(
+        controller, config=PurgeConfig(coverage_ok=1e-9, max_attempts=2))
+    # Force an artificial "dirty" verdict: coverage_ok is unreachable
+    # because even a clean surface has coverage 0.0 — use a tiny bubble
+    # residue instead by growing some first.
+    sensor.bubbles_a._coverage = 0.5  # stuck deposit masquerading as bubbles
+    sensor.bubbles_a.config = sensor.bubbles_a.config.__class__(
+        idle_detach_per_s=0.0, base_detach_per_s=0.0)
+    with pytest.raises(SensorFault):
+        supervisor.recover(COND)
+    assert supervisor.purge_count == 2

@@ -1,0 +1,47 @@
+"""Tests for RigRecord persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.station.rig import RigRecord
+
+
+def sample_record(n=50):
+    rng = np.random.default_rng(0)
+    return RigRecord(
+        time_s=np.arange(n, dtype=float) * 0.02,
+        true_speed_mps=rng.uniform(0.0, 2.5, n),
+        reference_mps=rng.uniform(0.0, 2.5, n),
+        measured_mps=rng.uniform(0.0, 2.5, n),
+        direction=rng.choice([-1, 0, 1], n).astype(float),
+        pressure_pa=rng.uniform(1e5, 3e5, n),
+        temperature_k=rng.uniform(285.0, 295.0, n),
+        bubble_coverage=rng.uniform(0.0, 0.1, n),
+    )
+
+
+def test_roundtrip(tmp_path):
+    record = sample_record()
+    path = tmp_path / "run.npz"
+    record.save(path)
+    restored = RigRecord.load(path)
+    for name in RigRecord.FIELDS:
+        assert np.array_equal(getattr(restored, name), getattr(record, name))
+    assert len(restored) == len(record)
+
+
+def test_load_rejects_incomplete_archive(tmp_path):
+    path = tmp_path / "partial.npz"
+    np.savez(path, time_s=np.arange(3.0))
+    with pytest.raises(ConfigurationError):
+        RigRecord.load(path)
+
+
+def test_window_after_reload(tmp_path):
+    record = sample_record()
+    path = tmp_path / "run.npz"
+    record.save(path)
+    window = RigRecord.load(path).steady_window(0.2, 0.6)
+    assert len(window) > 0
+    assert np.all(window.time_s >= 0.2)

@@ -1,0 +1,63 @@
+"""Tests for the bandgap reference and the ratiometric property."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.reference import BandgapReference, ratiometric_gain_error
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        BandgapReference(nominal_v=0.0)
+    with pytest.raises(ConfigurationError):
+        BandgapReference(tolerance=0.5)
+
+
+def test_trim_error_within_tolerance():
+    for seed in range(20):
+        ref = BandgapReference(tolerance=0.005, seed=seed)
+        assert abs(ref.gain_error_fraction()) <= 0.005 + 1e-12
+
+
+def test_tempco_drift():
+    ref = BandgapReference(tempco_ppm_per_k=25.0, seed=1)
+    e_cold = ref.gain_error_fraction()
+    ref.die_temperature_k = 298.15 + 20.0
+    e_hot = ref.gain_error_fraction()
+    assert e_hot - e_cold == pytest.approx(20 * 25e-6, rel=1e-6)
+
+
+def test_noise_statistics():
+    ref = BandgapReference(noise_uv_rms=30.0, seed=2)
+    samples = np.array([ref.value_v(noisy=True) for _ in range(20000)])
+    assert np.std(samples) == pytest.approx(30e-6, rel=0.05)
+
+
+def test_shared_reference_cancels_exactly():
+    """Ratiometric design: one bandgap feeding ADC and DAC scales means
+    zero net gain error regardless of its absolute error."""
+    ref = BandgapReference(tolerance=0.005, seed=3)
+    assert ratiometric_gain_error(ref, ref) == pytest.approx(0.0, abs=1e-15)
+    # Even when the die heats: both scales move together.
+    ref.die_temperature_k = 330.0
+    assert ratiometric_gain_error(ref, ref) == pytest.approx(0.0, abs=1e-15)
+
+
+def test_independent_references_leave_mismatch():
+    adc_ref = BandgapReference(tolerance=0.005, seed=4)
+    dac_ref = BandgapReference(tolerance=0.005, seed=5)
+    err = ratiometric_gain_error(adc_ref, dac_ref)
+    assert abs(err) > 1e-4     # two independent draws rarely match
+    assert abs(err) < 0.011    # bounded by the sum of tolerances
+
+
+def test_temperature_gradient_breaks_ratiometry_gently():
+    """Same design reference but different die temperatures (analog vs
+    digital corners of the floorplan): only the *tempco mismatch* of
+    the gradient survives — tiny, but nonzero."""
+    adc_ref = BandgapReference(seed=6)
+    dac_ref = BandgapReference(seed=6)  # identical trim (same design draw)
+    dac_ref.die_temperature_k = adc_ref.die_temperature_k + 5.0
+    err = ratiometric_gain_error(adc_ref, dac_ref)
+    assert abs(err) == pytest.approx(5 * 25e-6, rel=0.01)

@@ -1,0 +1,102 @@
+"""Unit tests for the register file / APB model."""
+
+import pytest
+
+from repro.errors import RegisterError
+from repro.isif.registers import Field, Register, RegisterFile
+
+
+def make_reg():
+    return Register("CTRL", 0x00, reset=0x5, fields=(
+        Field("EN", 0, 1),
+        Field("MODE", 1, 2),
+        Field("GAIN", 4, 3),
+    ))
+
+
+def test_field_validation():
+    with pytest.raises(RegisterError):
+        Field("bad", 33, 1)
+    with pytest.raises(RegisterError):
+        Field("bad", 30, 4)  # spills past bit 31
+
+
+def test_register_validation():
+    with pytest.raises(RegisterError):
+        Register("bad", 0x3)  # unaligned
+    with pytest.raises(RegisterError):
+        Register("bad", 0x0, reset=2**33)
+    with pytest.raises(RegisterError):
+        Register("bad", 0x0, fields=(Field("A", 0, 2), Field("B", 1, 2)))  # overlap
+    with pytest.raises(RegisterError):
+        Register("bad", 0x0, fields=(Field("A", 0, 1), Field("A", 1, 1)))  # dup name
+
+
+def test_reset_value():
+    r = make_reg()
+    assert r.read() == 0x5
+    assert r.read_field("EN") == 1
+    assert r.read_field("MODE") == 0b10
+
+
+def test_field_read_modify_write():
+    r = make_reg()
+    r.write_field("GAIN", 5)
+    assert r.read_field("GAIN") == 5
+    assert r.read_field("EN") == 1  # untouched
+    assert r.read() == 0x5 | (5 << 4)
+
+
+def test_field_overflow_rejected():
+    r = make_reg()
+    with pytest.raises(RegisterError):
+        r.write_field("MODE", 4)
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(RegisterError):
+        make_reg().read_field("NOPE")
+
+
+def test_word_write_bounds():
+    r = make_reg()
+    r.write(0xFFFF_FFFF)
+    assert r.read() == 0xFFFF_FFFF
+    with pytest.raises(RegisterError):
+        r.write(-1)
+
+
+def test_register_file_addressing():
+    rf = RegisterFile("blk")
+    rf.add(make_reg())
+    rf.add(Register("STAT", 0x04))
+    assert rf.read(0x00) == 0x5
+    rf.write(0x04, 0xAB)
+    assert rf.reg("STAT").read() == 0xAB
+    assert len(rf) == 2
+    assert "CTRL" in rf
+
+
+def test_register_file_duplicates_rejected():
+    rf = RegisterFile("blk")
+    rf.add(make_reg())
+    with pytest.raises(RegisterError):
+        rf.add(Register("OTHER", 0x00))
+    with pytest.raises(RegisterError):
+        rf.add(Register("CTRL", 0x08))
+
+
+def test_register_file_bad_access():
+    rf = RegisterFile("blk")
+    with pytest.raises(RegisterError):
+        rf.read(0x40)
+    with pytest.raises(RegisterError):
+        rf.reg("GHOST")
+
+
+def test_reset_all_and_dump():
+    rf = RegisterFile("blk")
+    rf.add(make_reg())
+    rf.write(0x00, 0xFF)
+    rf.reset_all()
+    assert rf.dump() == {"CTRL": 0x5}

@@ -1,0 +1,105 @@
+"""Unit tests for the sensing resistors and materials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sensor.materials import TI_TIN, ResistorMaterial
+from repro.sensor.resistor import SensingResistor
+
+
+def test_material_validation():
+    with pytest.raises(ConfigurationError):
+        ResistorMaterial(name="bad", tcr_per_k=-1e-3)
+    with pytest.raises(ConfigurationError):
+        ResistorMaterial(name="bad", tcr_per_k=1e-3, drift_per_kh=-1.0)
+
+
+def test_resistor_validation():
+    with pytest.raises(ConfigurationError):
+        SensingResistor(-50.0)
+    with pytest.raises(ConfigurationError):
+        SensingResistor(50.0, tolerance_ohm=-1.0)
+    with pytest.raises(ConfigurationError):
+        SensingResistor(50.0, tolerance_ohm=60.0)
+
+
+def test_eq1_of_paper():
+    """R = R0 (1 + alpha (T - Tref)) exactly."""
+    r = SensingResistor(50.0)
+    t_ref = r.reference_temperature_k
+    assert float(r.resistance(t_ref)) == pytest.approx(50.0)
+    assert float(r.resistance(t_ref + 10.0)) == pytest.approx(
+        50.0 * (1.0 + TI_TIN.tcr_per_k * 10.0))
+
+
+def test_temperature_inversion_roundtrip():
+    r = SensingResistor(2000.0)
+    for t in [280.0, 293.15, 330.0]:
+        res = float(r.resistance(t))
+        assert float(r.temperature_from_resistance(res)) == pytest.approx(t)
+
+
+def test_inversion_rejects_nonpositive():
+    r = SensingResistor(50.0)
+    with pytest.raises(ConfigurationError):
+        r.temperature_from_resistance(0.0)
+
+
+def test_tolerance_draw_within_bounds():
+    for seed in range(20):
+        r = SensingResistor(50.0, tolerance_ohm=0.5,
+                            rng=np.random.default_rng(seed))
+        assert 49.5 <= r.r0_ohm <= 50.5
+
+
+def test_tolerance_deterministic_per_seed():
+    a = SensingResistor(50.0, 0.5, rng=np.random.default_rng(7))
+    b = SensingResistor(50.0, 0.5, rng=np.random.default_rng(7))
+    assert a.r0_ohm == b.r0_ohm
+
+
+def test_target_resistance():
+    r = SensingResistor(50.0)
+    target = r.target_resistance(5.0)
+    assert target == pytest.approx(50.0 * (1.0 + TI_TIN.tcr_per_k * 5.0))
+    with pytest.raises(ConfigurationError):
+        r.target_resistance(-1.0)
+
+
+def test_johnson_noise_magnitude():
+    """50 Ohm at 293 K over 500 Hz: ~0.64 nV rms."""
+    r = SensingResistor(50.0)
+    vn = r.johnson_noise_vrms(293.15, 500.0)
+    assert vn == pytest.approx(np.sqrt(4 * 1.380649e-23 * 293.15 * 50.0 * 500.0), rel=1e-2)
+    with pytest.raises(ConfigurationError):
+        r.johnson_noise_vrms(293.15, -1.0)
+
+
+def test_ti_tin_does_not_age():
+    """The paper: Ti/TiN shows no drift under electrical/thermal stress."""
+    r = SensingResistor(50.0)
+    r0 = r.r0_ohm
+    r.age(5000.0)
+    assert r.r0_ohm == r0
+
+
+def test_inferior_material_ages():
+    lossy = ResistorMaterial(name="poly", tcr_per_k=1e-3, drift_per_kh=0.01)
+    r = SensingResistor(50.0, material=lossy)
+    r.age(1000.0)
+    assert r.r0_ohm == pytest.approx(50.5)
+
+
+def test_age_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        SensingResistor(50.0).age(-1.0)
+
+
+@settings(max_examples=30)
+@given(st.floats(min_value=273.15, max_value=373.15))
+def test_resistance_positive_and_monotone(t):
+    r = SensingResistor(50.0)
+    assert float(r.resistance(t)) > 0.0
+    assert float(r.resistance(t + 1.0)) > float(r.resistance(t))

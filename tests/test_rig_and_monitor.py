@@ -1,0 +1,79 @@
+"""Integration tests: rig, calibration campaign, monitor (shared setup)."""
+
+import numpy as np
+import pytest
+
+from repro.conditioning.monitor import MonitorConfig
+from repro.errors import CalibrationError, ConfigurationError
+from repro.sensor.maf import FlowConditions
+from repro.station.profiles import hold, staircase
+from repro.station.rig import run_calibration
+
+
+def test_calibration_object_sane(shared_setup):
+    cal = shared_setup.calibration
+    assert cal.law.coeff_a > 0.0
+    assert cal.law.coeff_b > 0.0
+    assert 0.3 <= cal.law.exponent <= 0.7
+    assert cal.rms_residual_mps < 0.15  # fast-mode campaign, still decent
+
+
+def test_calibration_inverts_over_full_range(shared_setup):
+    cal = shared_setup.calibration
+    for v in [0.1, 0.5, 1.0, 2.0, 2.5]:
+        g = cal.conductance_from_speed(v)
+        assert cal.speed_from_conductance(g) == pytest.approx(v, rel=1e-9)
+
+
+def test_monitor_steady_reading(shared_setup):
+    monitor = shared_setup.monitor
+    cond = FlowConditions(speed_mps=1.2)
+    m = monitor.measure(cond, 12.0)
+    assert m.speed_mps == pytest.approx(1.2, rel=0.15)
+    assert m.direction in (0, 1)
+    assert m.bubble_coverage == pytest.approx(0.0, abs=0.01)
+    assert m.speed_cmps == pytest.approx(m.speed_mps * 100.0)
+
+
+def test_monitor_record_decimation(shared_setup):
+    monitor = shared_setup.monitor
+    records = monitor.record(FlowConditions(speed_mps=0.5), 0.1, every_n=10)
+    assert len(records) == 10
+    with pytest.raises(ConfigurationError):
+        monitor.record(FlowConditions(speed_mps=0.5), 0.1, every_n=0)
+    with pytest.raises(ConfigurationError):
+        monitor.measure(FlowConditions(speed_mps=0.5), 0.0)
+
+
+def test_rig_run_produces_aligned_traces(shared_setup):
+    rig = shared_setup.rig
+    record = rig.run(hold(speed_cmps=80.0, duration_s=3.0), record_every_n=50)
+    n = len(record)
+    assert n == 60
+    for name in ("true_speed_mps", "reference_mps", "measured_mps",
+                 "direction", "pressure_pa", "temperature_k"):
+        assert len(getattr(record, name)) == n
+    # Reference meter tracks the line closely by the end.
+    assert record.reference_mps[-1] == pytest.approx(record.true_speed_mps[-1],
+                                                     rel=0.02)
+
+
+def test_rig_steady_window_slicing(shared_setup):
+    rig = shared_setup.rig
+    record = rig.run(staircase([40.0, 120.0], dwell_s=2.0), record_every_n=50)
+    # Line time is cumulative across runs: slice relative to this record.
+    t0 = record.time_s[0]
+    window = record.steady_window(t0 + 2.5, t0 + 4.0)
+    assert len(window) > 0
+    assert np.all(window.time_s >= t0 + 2.5)
+    assert np.all(window.time_s < t0 + 4.0)
+
+
+def test_rig_validation(shared_setup):
+    with pytest.raises(ConfigurationError):
+        shared_setup.rig.run(hold(50.0, 1.0), record_every_n=0)
+
+
+def test_run_calibration_requires_enough_speeds(shared_setup):
+    with pytest.raises(CalibrationError):
+        run_calibration(shared_setup.monitor.controller, [0.0, 50.0])

@@ -1,0 +1,72 @@
+"""Tests for the canned scenario builders."""
+
+import pytest
+
+from repro.conditioning.drive import ContinuousDrive, PulsedDrive
+from repro.sensor.maf import MAFConfig
+from repro.sensor.packaging import HousingQuality, SensorHousing
+from repro.station.scenarios import (
+    DEFAULT_CALIBRATION_SPEEDS_CMPS,
+    build_calibrated_monitor,
+    vinci_station,
+)
+
+
+def test_vinci_station_parameters():
+    line = vinci_station()
+    assert line.config.pipe_diameter_m == pytest.approx(0.05)
+    # Hard Tuscan water chemistry attached.
+    assert line.config.chemistry.calcium_mg_per_l > 150.0
+
+
+def test_default_campaign_covers_the_paper_range():
+    speeds = DEFAULT_CALIBRATION_SPEEDS_CMPS
+    assert speeds[0] == 0.0          # zero point for A and direction offset
+    assert max(speeds) == 250.0      # the paper's full scale
+    assert len(speeds) >= 6
+
+
+def test_build_with_pulsed_drive_default():
+    setup = build_calibrated_monitor(seed=70, fast=True)
+    drive = setup.monitor.controller.drive
+    assert isinstance(drive, PulsedDrive)
+
+
+def test_build_with_continuous_drive():
+    setup = build_calibrated_monitor(seed=70, fast=True,
+                                     use_pulsed_drive=False)
+    assert isinstance(setup.monitor.controller.drive, ContinuousDrive)
+
+
+def test_build_with_custom_housing_scales_turbulence():
+    rough = SensorHousing(profile_smoothing=0.1)
+    setup = build_calibrated_monitor(seed=71, fast=True, housing=rough,
+                                     use_pulsed_drive=False)
+    assert setup.monitor.sensor.housing is rough
+    # The rig's line inherited the rougher insert's turbulence.
+    smooth_setup = build_calibrated_monitor(seed=71, fast=True,
+                                            use_pulsed_drive=False)
+    rough_noise = setup.rig.line._noise.config.intensity
+    smooth_noise = smooth_setup.rig.line._noise.config.intensity
+    assert rough_noise > smooth_noise
+
+
+def test_build_with_custom_sensor_config():
+    cfg = MAFConfig(seed=72, wake_peak_coupling=0.10)
+    setup = build_calibrated_monitor(seed=72, fast=True, sensor_config=cfg,
+                                     use_pulsed_drive=False)
+    assert setup.monitor.sensor.config.wake_peak_coupling == 0.10
+
+
+def test_custom_calibration_speeds():
+    setup = build_calibrated_monitor(
+        seed=73, fast=True, use_pulsed_drive=False,
+        calibration_speeds_cmps=[0.0, 60.0, 150.0, 250.0])
+    assert setup.calibration.law.coeff_b > 0.0
+
+
+def test_monitor_and_calibration_share_the_sensor_instance():
+    setup = build_calibrated_monitor(seed=74, fast=True,
+                                     use_pulsed_drive=False)
+    # The monitor operates the very die that was calibrated.
+    assert setup.monitor.sensor is setup.monitor.controller.sensor

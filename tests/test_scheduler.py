@@ -1,0 +1,87 @@
+"""Unit tests for the LEON real-time scheduler model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.scheduler import DEFAULT_CYCLE_COSTS, CpuModel, IPTask, RealTimeScheduler
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RealTimeScheduler(0.0)
+    with pytest.raises(ConfigurationError):
+        CpuModel(clock_hz=-1.0)
+    with pytest.raises(ConfigurationError):
+        IPTask("t", lambda: None, cycles=-1)
+    with pytest.raises(ConfigurationError):
+        IPTask("t", lambda: None, cycles=1, divider=0)
+
+
+def test_tasks_execute_in_order():
+    sched = RealTimeScheduler(1000.0)
+    trace = []
+    sched.register(IPTask("a", lambda: trace.append("a"), cycles=10))
+    sched.register(IPTask("b", lambda: trace.append("b"), cycles=10))
+    sched.tick()
+    assert trace == ["a", "b"]
+    assert sched.task_names() == ("a", "b")
+
+
+def test_duplicate_names_rejected():
+    sched = RealTimeScheduler(1000.0)
+    sched.register(IPTask("a", lambda: None, cycles=1))
+    with pytest.raises(ConfigurationError):
+        sched.register(IPTask("a", lambda: None, cycles=1))
+
+
+def test_divider_decimates_execution():
+    sched = RealTimeScheduler(1000.0)
+    count = []
+    sched.register(IPTask("slow", lambda: count.append(1), cycles=1, divider=10))
+    for _ in range(100):
+        sched.tick()
+    assert len(count) == 10
+
+
+def test_utilization_accounting():
+    cpu = CpuModel(clock_hz=1e6, interrupt_overhead_cycles=0)
+    sched = RealTimeScheduler(1000.0, cpu)  # budget: 1000 cycles/tick
+    sched.register(IPTask("work", lambda: None, cycles=500))
+    for _ in range(10):
+        sched.tick()
+    assert sched.utilization() == pytest.approx(0.5)
+    assert not sched.overrun
+
+
+def test_overrun_flag():
+    cpu = CpuModel(clock_hz=1e6, interrupt_overhead_cycles=0)
+    sched = RealTimeScheduler(1000.0, cpu)
+    sched.register(IPTask("heavy", lambda: None, cycles=1500))
+    sched.tick()
+    assert sched.overrun
+    assert sched.worst_case_utilization() > 1.0
+
+
+def test_interrupt_overhead_counted():
+    cpu = CpuModel(clock_hz=1e6, interrupt_overhead_cycles=100)
+    sched = RealTimeScheduler(1000.0, cpu)
+    sched.tick()  # no tasks: still pays overhead
+    assert sched.utilization() == pytest.approx(0.1)
+
+
+def test_anemometer_partition_fits_the_leon():
+    """The paper's software partition (2x ref-subtract + 2x PI at 1 kHz)
+    must be tiny on a 40 MHz LEON — otherwise the platform story breaks."""
+    sched = RealTimeScheduler(1000.0)
+    for name in ("reference_subtract", "pi_controller"):
+        for suffix in ("_a", "_b"):
+            sched.register(IPTask(name + suffix, lambda: None,
+                                  cycles=DEFAULT_CYCLE_COSTS[name]))
+    for _ in range(100):
+        sched.tick()
+    assert sched.utilization() < 0.02
+    assert not sched.overrun
+
+
+def test_zero_ticks_utilization():
+    assert RealTimeScheduler(1000.0).utilization() == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for the behavioural and bit-true sigma-delta ADCs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.sigma_delta import BehavioralAdc, SigmaDeltaAdc, SigmaDeltaModulator
+
+
+def test_behavioral_validation():
+    with pytest.raises(ConfigurationError):
+        BehavioralAdc(vref_v=-1.0)
+    with pytest.raises(ConfigurationError):
+        BehavioralAdc(bits=30)
+    with pytest.raises(ConfigurationError):
+        BehavioralAdc(bits=16, enob=20.0)
+
+
+def test_behavioral_transfer():
+    adc = BehavioralAdc(vref_v=2.5, rng=np.random.default_rng(0))
+    codes = [adc.convert(1.0) for _ in range(500)]
+    mean_v = adc.to_volts(int(np.mean(codes)))
+    assert mean_v == pytest.approx(1.0, abs=3 * adc.lsb_v)
+
+
+def test_behavioral_clips_at_full_scale():
+    adc = BehavioralAdc(vref_v=2.5)
+    assert adc.convert(10.0) == 2**15 - 1
+    assert adc.convert(-10.0) == -(2**15)
+
+
+def test_behavioral_noise_matches_enob():
+    enob = 14.0
+    adc = BehavioralAdc(vref_v=2.5, enob=enob, rng=np.random.default_rng(1))
+    codes = np.array([adc.convert(0.3) for _ in range(5000)])
+    noise_v = np.std(codes) * adc.lsb_v
+    expected = (2 * 2.5 / 2**16) / np.sqrt(12) * 2 ** (16 - enob)
+    assert noise_v == pytest.approx(expected, rel=0.15)
+
+
+def test_modulator_bitstream_mean_tracks_input():
+    mod = SigmaDeltaModulator(vref_v=2.5)
+    for target in [-0.5, 0.0, 0.7]:
+        bits = mod.run(np.full(4000, target * 2.5))
+        assert np.mean(bits[500:]) == pytest.approx(target, abs=0.02)
+
+
+def test_modulator_output_is_plus_minus_one():
+    mod = SigmaDeltaModulator()
+    bits = mod.run(np.full(100, 0.5))
+    assert set(np.unique(bits)).issubset({-1, 1})
+
+
+def test_modulator_survives_overload():
+    mod = SigmaDeltaModulator(vref_v=2.5)
+    mod.run(np.full(1000, 10.0))  # hard overload
+    mod.reset()
+    bits = mod.run(np.full(4000, 0.25 * 2.5))
+    assert np.mean(bits[500:]) == pytest.approx(0.25, abs=0.03)
+
+
+def test_bit_true_adc_converges_to_input():
+    adc = SigmaDeltaAdc(vref_v=2.5, osr=64, thermal_noise_v=0.0,
+                        rng=np.random.default_rng(0))
+    codes = [adc.convert(0.7) for _ in range(20)]
+    settled = codes[5:]
+    mean_v = np.mean(settled) * adc.lsb_v
+    assert mean_v == pytest.approx(0.7, rel=0.01)
+
+
+def test_bit_true_negative_input():
+    adc = SigmaDeltaAdc(vref_v=2.5, osr=64, thermal_noise_v=0.0)
+    codes = [adc.convert(-1.1) for _ in range(20)]
+    mean_v = np.mean(codes[5:]) * adc.lsb_v
+    assert mean_v == pytest.approx(-1.1, rel=0.01)
+
+
+def test_bit_true_resolution_improves_with_osr():
+    def noise_at(osr):
+        adc = SigmaDeltaAdc(vref_v=2.5, osr=osr, thermal_noise_v=0.0,
+                            rng=np.random.default_rng(2))
+        codes = np.array([adc.convert(0.31) for _ in range(120)])
+        return np.std(codes[20:])
+
+    assert noise_at(128) < noise_at(16)
+
+
+def test_bit_true_validation():
+    with pytest.raises(ConfigurationError):
+        SigmaDeltaAdc(osr=4)
+
+
+def test_behavioral_and_bit_true_agree_on_dc():
+    """E13 property: both ADC models report the same DC value."""
+    beh = BehavioralAdc(vref_v=2.5, rng=np.random.default_rng(3))
+    bt = SigmaDeltaAdc(vref_v=2.5, osr=128, rng=np.random.default_rng(4))
+    x = 0.42
+    v_beh = np.mean([beh.to_volts(beh.convert(x)) for _ in range(200)])
+    v_bt = np.mean([bt.to_volts(bt.convert(x)) for _ in range(60)][10:])
+    assert v_beh == pytest.approx(x, abs=1e-3)
+    assert v_bt == pytest.approx(x, abs=1e-2)

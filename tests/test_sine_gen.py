@@ -1,0 +1,71 @@
+"""Unit tests for the DDS sine generator IP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.sine_gen import SineGenerator
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SineGenerator(-1.0)
+    with pytest.raises(ConfigurationError):
+        SineGenerator(1000.0, phase_bits=40)
+    with pytest.raises(ConfigurationError):
+        SineGenerator(1000.0, lut_bits=30)
+
+
+def test_frequency_programming():
+    gen = SineGenerator(1000.0, phase_bits=24)
+    realised = gen.set_frequency(50.0)
+    assert realised == pytest.approx(50.0, abs=gen.frequency_resolution_hz)
+    with pytest.raises(ConfigurationError):
+        gen.set_frequency(600.0)
+
+
+def test_amplitude_full_scale():
+    gen = SineGenerator(1000.0, amplitude_bits=12)
+    gen.set_frequency(10.0)
+    samples = gen.generate(2000)
+    amp = (1 << 11) - 1
+    assert samples.max() <= amp
+    assert samples.min() >= -amp
+    assert samples.max() > 0.98 * amp  # reaches near full scale
+
+
+def test_output_is_a_clean_tone():
+    fs = 1000.0
+    gen = SineGenerator(fs)
+    f0 = gen.set_frequency(125.0)
+    n = 4096
+    x = gen.generate(n).astype(float)
+    spectrum = np.abs(np.fft.rfft(x * np.hanning(n)))
+    peak_bin = np.argmax(spectrum)
+    assert peak_bin == pytest.approx(f0 / fs * n, abs=2)
+    # Spurs at least 40 dB below the carrier (10-bit quarter LUT).
+    spurs = spectrum.copy()
+    lo, hi = max(0, peak_bin - 4), peak_bin + 5
+    spurs[lo:hi] = 0.0
+    assert np.max(spurs) < 0.01 * spectrum[peak_bin]
+
+
+def test_mean_is_zero():
+    gen = SineGenerator(1000.0)
+    gen.set_frequency(100.0)
+    x = gen.generate(10000).astype(float)
+    assert abs(np.mean(x)) < 5.0
+
+
+def test_quadrant_symmetry():
+    """One full period of an exactly divisible frequency is antisymmetric."""
+    gen = SineGenerator(1024.0, phase_bits=12)
+    gen.set_frequency(32.0)  # period = 32 samples exactly
+    x = gen.generate(32).astype(int)
+    assert np.array_equal(x[:16], -x[16:])
+
+
+def test_generate_validation():
+    gen = SineGenerator(1000.0)
+    with pytest.raises(ConfigurationError):
+        gen.generate(-1)

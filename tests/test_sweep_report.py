@@ -1,0 +1,63 @@
+"""Unit tests for the sweep harness and table formatter."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep
+from repro.errors import ConfigurationError
+
+
+def test_sweep_cartesian_order():
+    seen = []
+
+    def evaluate(a, b):
+        seen.append((a, b))
+        return {"score": a * 10 + b}
+
+    results = sweep({"a": [1, 2], "b": [3, 4]}, evaluate)
+    assert [r.params for r in results] == [
+        {"a": 1, "b": 3}, {"a": 1, "b": 4}, {"a": 2, "b": 3}, {"a": 2, "b": 4}]
+    assert results[0].metrics == {"score": 13}
+    assert seen == [(1, 3), (1, 4), (2, 3), (2, 4)]
+
+
+def test_sweep_validation():
+    with pytest.raises(ConfigurationError):
+        sweep({}, lambda: {})
+    with pytest.raises(ConfigurationError):
+        sweep({"a": []}, lambda a: {})
+    with pytest.raises(ConfigurationError):
+        sweep({"a": [1]}, lambda a: 42)  # not a dict
+
+
+def test_sweep_exceptions_propagate():
+    def broken(a):
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError):
+        sweep({"a": [1]}, broken)
+
+
+def test_format_table_basic():
+    out = format_table(["name", "value"], [["x", 1.5], ["y", 0.25]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2]
+    assert any("1.5" in line for line in lines)
+    # All rows share the same width.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_format_table_validation():
+    with pytest.raises(ConfigurationError):
+        format_table([], [])
+    with pytest.raises(ConfigurationError):
+        format_table(["a"], [["x", "y"]])
+
+
+def test_format_table_number_rendering():
+    out = format_table(["v"], [[1234567.0], [0.0000123], [0.0]])
+    assert "1.235e+06" in out
+    assert "1.230e-05" in out

@@ -1,0 +1,137 @@
+"""Unit tests for the lumped thermal network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.physics.thermal import ThermalNetwork, ThermalNode
+
+
+def simple_net(c=1.0, g=0.5, t_amb=300.0):
+    net = ThermalNetwork()
+    net.add_node(ThermalNode("n", c, 290.0))
+    net.couple_ambient("n", "amb", g)
+    net.set_ambient("amb", t_amb)
+    return net
+
+
+def test_node_validation():
+    with pytest.raises(ConfigurationError):
+        ThermalNode("bad", -1.0)
+
+
+def test_duplicate_node_rejected():
+    net = ThermalNetwork()
+    net.add_node(ThermalNode("a", 1.0))
+    with pytest.raises(ConfigurationError):
+        net.add_node(ThermalNode("a", 1.0))
+
+
+def test_self_coupling_rejected():
+    net = ThermalNetwork()
+    net.add_node(ThermalNode("a", 1.0))
+    with pytest.raises(ConfigurationError):
+        net.couple("a", "a", 1.0)
+
+
+def test_unknown_node_rejected():
+    net = simple_net()
+    with pytest.raises(ConfigurationError):
+        net.temperature("ghost")
+    with pytest.raises(ConfigurationError):
+        net.step(0.1, powers={"ghost": 1.0})
+
+
+def test_relaxation_to_ambient():
+    net = simple_net(c=1.0, g=0.5, t_amb=300.0)
+    for _ in range(4000):
+        net.step(0.01)  # 20 time constants
+    assert net.temperature("n") == pytest.approx(300.0, abs=1e-3)
+
+
+def test_steady_state_with_power():
+    net = simple_net(c=1.0, g=0.5, t_amb=300.0)
+    temps = net.steady_state(powers={"n": 1.0})
+    # T = T_amb + P/G
+    assert temps["n"] == pytest.approx(302.0)
+
+
+def test_transient_matches_analytic_single_pole():
+    c, g, t_amb = 2.0, 0.5, 300.0
+    net = simple_net(c=c, g=g, t_amb=t_amb)
+    net.set_temperature("n", 290.0)
+    dt = 1e-3  # small vs tau = 4 s: implicit Euler error negligible
+    for _ in range(1000):
+        net.step(dt)
+    t_sim = net.temperature("n")
+    t_exact = t_amb + (290.0 - t_amb) * np.exp(-1.0 * g / c)
+    assert t_sim == pytest.approx(t_exact, abs=0.01)
+
+
+def test_two_node_heat_flows_downhill():
+    net = ThermalNetwork()
+    net.add_node(ThermalNode("hot", 1.0, 350.0))
+    net.add_node(ThermalNode("cold", 1.0, 290.0))
+    net.couple("hot", "cold", 1.0)
+    net.couple_ambient("cold", "amb", 0.1)
+    net.set_ambient("amb", 290.0)
+    net.step(0.1)
+    assert net.temperature("hot") < 350.0
+    assert net.temperature("cold") > 290.0
+
+
+def test_energy_conservation_isolated_pair():
+    """With no ambient coupling, total energy is conserved by the solve."""
+    net = ThermalNetwork()
+    net.add_node(ThermalNode("a", 2.0, 350.0))
+    net.add_node(ThermalNode("b", 3.0, 290.0))
+    net.couple("a", "b", 0.7)
+    e0 = net.total_energy_j()
+    for _ in range(100):
+        net.step(0.05)
+    assert net.total_energy_j() == pytest.approx(e0, rel=1e-9)
+    # And both approach the capacity-weighted mean.
+    t_mean = (2.0 * 350.0 + 3.0 * 290.0) / 5.0
+    for _ in range(10000):
+        net.step(0.05)
+    assert net.temperature("a") == pytest.approx(t_mean, abs=1e-6)
+
+
+def test_steady_state_singular_without_ambient():
+    net = ThermalNetwork()
+    net.add_node(ThermalNode("a", 1.0))
+    net.add_node(ThermalNode("b", 1.0))
+    net.couple("a", "b", 1.0)
+    with pytest.raises(ConfigurationError):
+        net.steady_state(powers={"a": 1.0})
+
+
+def test_stability_with_huge_dt():
+    """Implicit Euler must not blow up at dt >> tau."""
+    net = simple_net(c=1e-6, g=1.0, t_amb=300.0)  # tau = 1 us
+    net.step(10.0, powers={"n": 0.5})
+    assert net.temperature("n") == pytest.approx(300.5, abs=1e-3)
+
+
+def test_invalid_dt():
+    net = simple_net()
+    with pytest.raises(ConfigurationError):
+        net.step(0.0)
+
+
+def test_negative_conductance_rejected():
+    net = ThermalNetwork()
+    net.add_node(ThermalNode("a", 1.0))
+    with pytest.raises(ConfigurationError):
+        net.couple_ambient("a", "amb", -1.0)
+
+
+@settings(max_examples=25)
+@given(st.floats(min_value=0.1, max_value=10.0),
+       st.floats(min_value=0.01, max_value=5.0),
+       st.floats(min_value=0.0, max_value=2.0))
+def test_steady_state_formula_property(c, g, p):
+    net = simple_net(c=c, g=g, t_amb=310.0)
+    temps = net.steady_state(powers={"n": p})
+    assert temps["n"] == pytest.approx(310.0 + p / g, rel=1e-9)

@@ -1,0 +1,102 @@
+"""Cross-check: the MAF's hand-rolled exponential thermal updates
+against the generic implicit-Euler ThermalNetwork.
+
+The sensor model integrates its heater nodes with a closed-form
+exponential step (fast path); the generic network solves the same ODEs
+implicitly.  Both must agree on the transient and the equilibrium of an
+equivalent single-heater problem — a strong guard against sign or
+coupling mistakes in either implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.physics.convection import WireGeometry, film_conductance
+from repro.physics.thermal import ThermalNetwork, ThermalNode
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+from repro.sensor.membrane import Membrane
+
+T_FLUID = 288.15
+V = 1.0
+SUPPLY = 2.0
+
+
+def equivalent_network(sensor, g_film):
+    """Build the heater-A + membrane-rim network the MAF integrates."""
+    cfg = sensor.config
+    membrane = cfg.membrane
+    net = ThermalNetwork()
+    net.add_node(ThermalNode(
+        "heater", membrane.heater_region_capacity_j_per_k / 2.0, T_FLUID))
+    net.add_node(ThermalNode(
+        "rim", membrane.rim_region_capacity_j_per_k, T_FLUID))
+    g_lat = membrane.lateral_conductance_w_per_k / 2.0
+    net.couple("heater", "rim", g_lat)
+    net.couple_ambient("heater", "water", g_film)
+    net.couple_ambient("heater", "frame",
+                       membrane.backside_conductance_w_per_k / 2.0)
+    # The rim also loses to the frame through the full lateral path and
+    # couples to the *other* heater; with symmetric drive the other
+    # heater mirrors this one, so model it as an equal heat input.
+    net.couple_ambient("rim", "frame", membrane.lateral_conductance_w_per_k)
+    net.set_ambient("water", T_FLUID)
+    net.set_ambient("frame", T_FLUID)
+    return net, g_lat
+
+
+def test_equilibrium_temperatures_agree():
+    sensor = MAFSensor(MAFConfig(seed=8, enable_bubbles=False,
+                                 enable_fouling=False))
+    cond = FlowConditions(speed_mps=V, temperature_k=T_FLUID)
+    # Drive the full sensor to equilibrium at fixed supply.
+    readout = None
+    for _ in range(4000):
+        readout = sensor.step(1e-3, SUPPLY, SUPPLY, cond)
+    t_heater_sensor = readout.heater_a_temperature_k
+
+    # The equivalent network, with the film conductance evaluated at the
+    # sensor's own equilibrium wall temperature and the same power.
+    g_film = float(film_conductance(V, sensor.config.geometry,
+                                    t_heater_sensor, T_FLUID))
+    net, g_lat = equivalent_network(sensor, g_film)
+    p = readout.heater_a_power_w
+    # The rim receives the mirrored second heater's leak: inject it as
+    # a source equal to this heater's lateral outflow.
+    mirrored_leak_w = g_lat * max(t_heater_sensor - T_FLUID, 0.0)
+    t_eq = net.steady_state(powers={"heater": p, "rim": mirrored_leak_w})
+    assert t_eq["heater"] == pytest.approx(t_heater_sensor, abs=0.15)
+
+
+def test_transient_time_constant_agrees():
+    """Step the power on in both models: 63 % times within 20 %."""
+    sensor = MAFSensor(MAFConfig(seed=9, enable_bubbles=False,
+                                 enable_fouling=False))
+    cond = FlowConditions(speed_mps=V, temperature_k=T_FLUID)
+    dt = 2e-6
+    # Sensor path: fixed supply from cold.
+    temps_sensor = []
+    for _ in range(40_000):
+        r = sensor.step(dt, SUPPLY, SUPPLY, cond)
+        temps_sensor.append(r.heater_a_temperature_k)
+    temps_sensor = np.array(temps_sensor)
+    final_s = temps_sensor[-1]
+    rise_s = T_FLUID + 0.632 * (final_s - T_FLUID)
+    tau_sensor = float(np.argmax(temps_sensor >= rise_s)) * dt
+
+    # Network path with matched conductance and constant power.
+    g_film = float(film_conductance(V, sensor.config.geometry,
+                                    final_s, T_FLUID))
+    net, g_lat = equivalent_network(sensor, g_film)
+    # The nominal bridge power at this fixed drive (Rh ~ 50 Ω in 100 Ω).
+    p = SUPPLY**2 * 50.0 / (100.0**2)
+    temps_net = []
+    for _ in range(40_000):
+        t = net.step(dt, powers={"heater": p})
+        temps_net.append(t["heater"])
+    temps_net = np.array(temps_net)
+    final_n = temps_net[-1]
+    rise_n = T_FLUID + 0.632 * (final_n - T_FLUID)
+    tau_net = float(np.argmax(temps_net >= rise_n)) * dt
+
+    assert tau_sensor == pytest.approx(tau_net, rel=0.25)
+    assert 1e-5 < tau_sensor < 5e-4  # both in the sub-ms regime

@@ -1,0 +1,82 @@
+"""Unit tests for the timer and watchdog peripherals."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.timers import PeriodicTimer, Watchdog, WatchdogReset
+
+
+def test_timer_validation():
+    with pytest.raises(ConfigurationError):
+        PeriodicTimer(0.0)
+    with pytest.raises(ConfigurationError):
+        PeriodicTimer(1.0).advance(-1.0)
+
+
+def test_timer_fires_on_schedule():
+    t = PeriodicTimer(0.1)
+    assert t.advance(0.05) == 0
+    assert t.advance(0.05) == 1
+    assert t.fire_count == 1
+
+
+def test_timer_multiple_fires_in_one_advance():
+    t = PeriodicTimer(0.1)
+    assert t.advance(0.35) == 3
+
+
+def test_timer_callback():
+    calls = []
+    t = PeriodicTimer(0.1, callback=lambda: calls.append(1))
+    t.advance(0.25)
+    assert len(calls) == 2
+
+
+def test_timer_restart():
+    t = PeriodicTimer(0.1)
+    t.advance(0.09)
+    t.restart()
+    assert t.advance(0.09) == 0  # full period reloaded
+
+
+def test_watchdog_serviced_loop_never_resets():
+    wd = Watchdog(timeout_s=0.5)
+    for _ in range(100):
+        wd.kick()
+        wd.advance(0.1)
+    assert wd.reset_count == 0
+
+
+def test_watchdog_expires_on_hang():
+    wd = Watchdog(timeout_s=0.5)
+    wd.kick()
+    with pytest.raises(WatchdogReset):
+        for _ in range(10):
+            wd.advance(0.1)  # firmware hung: no kicks
+    assert wd.reset_count == 1
+
+
+def test_watchdog_recovers_after_reset():
+    wd = Watchdog(timeout_s=0.2)
+    with pytest.raises(WatchdogReset):
+        wd.advance(0.3)
+    # After "reset" the system reboots and services again.
+    wd.kick()
+    wd.advance(0.1)
+    assert wd.reset_count == 1
+
+
+def test_watchdog_disabled_in_deep_sleep():
+    wd = Watchdog(timeout_s=0.1)
+    wd.enable(False)
+    wd.advance(10.0)  # deep sleep: no reset
+    wd.enable(True)
+    with pytest.raises(WatchdogReset):
+        wd.advance(0.2)
+
+
+def test_watchdog_validation():
+    with pytest.raises(ConfigurationError):
+        Watchdog(0.0)
+    with pytest.raises(ConfigurationError):
+        Watchdog(1.0).advance(-1.0)

@@ -1,0 +1,77 @@
+"""Tests for the volume totaliser."""
+
+import numpy as np
+import pytest
+
+from repro.conditioning.totaliser import VolumeTotaliser
+from repro.errors import ConfigurationError
+from repro.isif.clock import ClockGenerator
+
+DN50_AREA = np.pi * 0.025**2
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        VolumeTotaliser(pipe_diameter_m=0.0)
+    with pytest.raises(ConfigurationError):
+        VolumeTotaliser().accumulate(1.0, 0.0)
+
+
+def test_steady_flow_volume():
+    t = VolumeTotaliser()
+    for _ in range(3600):
+        t.accumulate(1.0, 1.0)  # one hour at 1 m/s
+    expected = 1.0 * DN50_AREA * 3600.0
+    assert t.forward_m3 == pytest.approx(expected)
+    assert t.reverse_m3 == 0.0
+    assert t.net_m3 == pytest.approx(expected)
+
+
+def test_reverse_flow_separated():
+    """Backflow goes to its own register — it must never reduce the
+    billed forward volume."""
+    t = VolumeTotaliser()
+    t.accumulate(1.0, 100.0)
+    forward_before = t.forward_m3
+    t.accumulate(-0.5, 100.0)
+    assert t.forward_m3 == forward_before  # untouched
+    assert t.reverse_m3 == pytest.approx(0.5 * DN50_AREA * 100.0)
+    assert t.net_m3 < forward_before
+
+
+def test_clock_systematic_propagates():
+    """A 500 ppm fast clock over-bills by exactly 500 ppm."""
+    fast = ClockGenerator(tolerance_ppm=500.0, seed=7)
+    fast._trim_error_ppm = 500.0
+    ideal = VolumeTotaliser()
+    skewed = VolumeTotaliser(clock=fast)
+    for _ in range(1000):
+        ideal.accumulate(1.0, 1.0)
+        skewed.accumulate(1.0, 1.0)
+    ratio = skewed.forward_m3 / ideal.forward_m3
+    assert ratio == pytest.approx(1.0 + 500e-6, abs=1e-8)
+
+
+def test_reset():
+    t = VolumeTotaliser()
+    t.accumulate(1.0, 10.0)
+    t.reset()
+    assert t.forward_m3 == 0.0
+    assert t.reverse_m3 == 0.0
+
+
+def test_integrates_monitor_output(shared_setup):
+    """End to end: totalise the calibrated monitor's readings and land
+    within the calibration accuracy of the true volume."""
+    from repro.sensor.maf import FlowConditions
+    monitor = shared_setup.monitor
+    t = VolumeTotaliser()
+    cond = FlowConditions(speed_mps=1.0)
+    monitor.measure(cond, 8.0)  # settle the output filter
+    dt = monitor.platform.dt_s
+    seconds = 5.0
+    for _ in range(int(seconds / dt)):
+        m = monitor.step(cond)
+        t.accumulate(m.speed_mps, dt)
+    true_volume = 1.0 * DN50_AREA * seconds
+    assert t.net_m3 == pytest.approx(true_volume, rel=0.1)

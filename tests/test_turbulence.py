@@ -1,0 +1,92 @@
+"""Unit tests for the turbulence / OU noise models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.physics.turbulence import FlowNoise, FlowNoiseConfig, OrnsteinUhlenbeck
+
+
+def test_ou_validation(rng):
+    with pytest.raises(ConfigurationError):
+        OrnsteinUhlenbeck(tau_s=0.0, sigma=1.0, rng=rng)
+    with pytest.raises(ConfigurationError):
+        OrnsteinUhlenbeck(tau_s=1.0, sigma=-1.0, rng=rng)
+
+
+def test_ou_zero_sigma_stays_zero(rng):
+    ou = OrnsteinUhlenbeck(tau_s=1.0, sigma=0.0, rng=rng)
+    assert all(ou.step(0.01) == 0.0 for _ in range(10))
+
+
+def test_ou_stationary_std(rng):
+    ou = OrnsteinUhlenbeck(tau_s=0.05, sigma=2.0, rng=rng)
+    samples = np.array([ou.step(0.01) for _ in range(20000)])
+    assert np.std(samples) == pytest.approx(2.0, rel=0.1)
+    assert abs(np.mean(samples)) < 0.15
+
+
+def test_ou_correlation_time(rng):
+    tau = 0.1
+    dt = 0.01
+    ou = OrnsteinUhlenbeck(tau_s=tau, sigma=1.0, rng=rng)
+    x = np.array([ou.step(dt) for _ in range(50000)])
+    # Lag-1 autocorrelation should be exp(-dt/tau).
+    r1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+    assert r1 == pytest.approx(np.exp(-dt / tau), abs=0.03)
+
+
+def test_ou_long_dt_statistics_still_correct(rng):
+    """Exact discretisation: even dt >> tau keeps the stationary std."""
+    ou = OrnsteinUhlenbeck(tau_s=0.001, sigma=1.5, rng=rng)
+    samples = np.array([ou.step(1.0) for _ in range(5000)])
+    assert np.std(samples) == pytest.approx(1.5, rel=0.1)
+
+
+def test_ou_retune_validation(rng):
+    ou = OrnsteinUhlenbeck(tau_s=1.0, sigma=1.0, rng=rng)
+    with pytest.raises(ConfigurationError):
+        ou.retune(tau_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        ou.retune(sigma=-1.0)
+
+
+def test_flow_noise_intensity_scales_with_speed(rng):
+    noise = FlowNoise(rng)
+    dt = 1e-3
+    lo = np.array([noise.perturb(0.2, dt) - 0.2 for _ in range(20000)])
+    hi = np.array([noise.perturb(2.0, dt) - 2.0 for _ in range(20000)])
+    assert np.std(hi) > 3.0 * np.std(lo)
+
+
+def test_flow_noise_floor_at_rest(rng):
+    noise = FlowNoise(rng, FlowNoiseConfig(floor_mps=5e-3))
+    samples = np.array([noise.perturb(0.0, 1e-3) for _ in range(20000)])
+    assert np.std(samples) == pytest.approx(5e-3, rel=0.2)
+
+
+def test_flow_noise_preserves_mean(rng):
+    noise = FlowNoise(rng)
+    samples = np.array([noise.perturb(1.0, 1e-3) for _ in range(30000)])
+    assert np.mean(samples) == pytest.approx(1.0, abs=0.02)
+
+
+def test_flow_noise_invalid_intensity(rng):
+    with pytest.raises(ConfigurationError):
+        FlowNoise(rng, FlowNoiseConfig(intensity=1.5))
+
+
+def test_deterministic_given_seed():
+    a = FlowNoise(np.random.default_rng(9))
+    b = FlowNoise(np.random.default_rng(9))
+    for _ in range(100):
+        assert a.perturb(1.0, 1e-3) == b.perturb(1.0, 1e-3)
+
+
+@settings(max_examples=20)
+@given(st.floats(min_value=-2.5, max_value=2.5))
+def test_flow_noise_finite_for_any_speed(v):
+    noise = FlowNoise(np.random.default_rng(1))
+    for _ in range(50):
+        assert np.isfinite(noise.perturb(v, 1e-3))

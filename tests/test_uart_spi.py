@@ -1,0 +1,123 @@
+"""Unit tests for the UART and SPI peripheral models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isif.spi import LoopbackSlave, RegisterSlave, SpiMaster
+from repro.isif.uart import Parity, UartLink, UartReceiver, UartTransmitter
+
+
+# -- UART ---------------------------------------------------------------------
+
+def test_uart_roundtrip_clean_line():
+    for parity in Parity:
+        link = UartLink(parity=parity)
+        data, errors = link.transfer(b"ISIF anemometer \x00\xff")
+        assert data == b"ISIF anemometer \x00\xff"
+        assert errors == []
+
+
+def test_uart_frame_structure():
+    tx = UartTransmitter()
+    bits = tx.serialise(b"\x55")
+    # start(0) + 0x55 LSB-first (1,0,1,0,1,0,1,0) + stop(1)
+    assert list(bits) == [0, 1, 0, 1, 0, 1, 0, 1, 0, 1]
+
+
+def test_uart_parity_bit_value():
+    tx_even = UartTransmitter(Parity.EVEN)
+    bits = tx_even.serialise(b"\x03")  # two ones -> even parity bit 0
+    assert bits[9] == 0
+    tx_odd = UartTransmitter(Parity.ODD)
+    assert tx_odd.serialise(b"\x03")[9] == 1
+
+
+def test_uart_parity_detects_single_bit_flip():
+    tx = UartTransmitter(Parity.EVEN)
+    rx = UartReceiver(Parity.EVEN)
+    bits = tx.serialise(b"\xa7")
+    bits[3] ^= 1  # flip a data bit
+    data, errors = rx.deserialise(bits)
+    assert errors == [0]
+
+
+def test_uart_framing_error_detection():
+    rx = UartReceiver()
+    bits = UartTransmitter().serialise(b"\x42")
+    bits[-1] = 0  # broken stop bit
+    _, errors = rx.deserialise(bits)
+    assert errors == [0]
+
+
+def test_uart_misaligned_stream_rejected():
+    rx = UartReceiver()
+    with pytest.raises(ConfigurationError):
+        rx.deserialise(np.array([0, 1, 1], dtype=np.uint8))
+
+
+def test_uart_noisy_line_statistics():
+    link = UartLink(parity=Parity.EVEN, bit_error_rate=0.01, seed=5)
+    total_chars = 0
+    flagged = 0
+    for _ in range(50):
+        payload = bytes(range(32))
+        data, errors = link.transfer(payload)
+        total_chars += len(payload)
+        flagged += len(errors)
+    # With 1 % BER and 11-bit frames, ~10 % of characters get hit; the
+    # parity catches the (dominant) single-flip cases.
+    assert 0.02 < flagged / total_chars < 0.25
+
+
+def test_uart_invalid_ber():
+    with pytest.raises(ConfigurationError):
+        UartLink(bit_error_rate=0.7)
+
+
+# -- SPI ----------------------------------------------------------------------
+
+def test_spi_loopback():
+    master = SpiMaster()
+    miso, duration = master.transfer(LoopbackSlave(), b"\x01\x02\x03")
+    assert miso == b"\x01\x02\x03"
+    assert duration == pytest.approx(24 / 1e6)
+
+
+def test_spi_mode_validation():
+    with pytest.raises(ConfigurationError):
+        SpiMaster(mode=4)
+    with pytest.raises(ConfigurationError):
+        SpiMaster(clock_hz=0.0)
+
+
+def test_spi_register_slave_write_then_read():
+    master = SpiMaster()
+    slave = RegisterSlave()
+    # Write 0xAA, 0xBB at address 4.
+    master.transfer(slave, bytes([0x04, 0xAA, 0xBB]))
+    assert slave.peek(4) == 0xAA
+    assert slave.peek(5) == 0xBB
+    # Read them back: address 4 with MSB set, two dummy clock bytes.
+    miso, _ = master.transfer(slave, bytes([0x84, 0x00, 0x00]))
+    assert miso[1:] == b"\xaa\xbb"
+
+
+def test_spi_register_slave_address_wrap_and_bounds():
+    slave = RegisterSlave(size=4)
+    master = SpiMaster()
+    master.transfer(slave, bytes([0x02, 1, 2, 3]))  # wraps 2,3,0
+    assert slave.peek(2) == 1
+    assert slave.peek(3) == 2
+    assert slave.peek(0) == 3
+    with pytest.raises(ConfigurationError):
+        master.transfer(slave, bytes([0x7F]))  # address out of range
+
+
+def test_spi_transaction_resets_slave_state():
+    slave = RegisterSlave()
+    master = SpiMaster()
+    master.transfer(slave, bytes([0x00, 0x11]))
+    master.transfer(slave, bytes([0x01, 0x22]))  # new transaction, new addr
+    assert slave.peek(0) == 0x11
+    assert slave.peek(1) == 0x22

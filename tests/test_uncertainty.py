@@ -1,0 +1,98 @@
+"""Tests for the analytic error budget (delta-method propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uncertainty import (
+    FitCovariance,
+    error_budget,
+    fit_kings_law_with_covariance,
+    speed_uncertainty,
+)
+from repro.errors import CalibrationError, ConfigurationError
+from repro.physics.kings_law import KingsLaw
+
+TRUE = KingsLaw(1.2e-3, 4.4e-3, 0.5)
+
+
+def campaign(noise=1e-5, n_points=8, seed=0):
+    rng = np.random.default_rng(seed)
+    v = np.linspace(0.05, 2.5, n_points)
+    g = TRUE.conductance(v) + rng.normal(0.0, noise, n_points)
+    return v, g
+
+
+def test_fit_recovers_and_covariance_positive():
+    v, g = campaign()
+    fit = fit_kings_law_with_covariance(v, g)
+    assert fit.law.coeff_a == pytest.approx(TRUE.coeff_a, rel=0.05)
+    assert fit.law.coeff_b == pytest.approx(TRUE.coeff_b, rel=0.02)
+    assert fit.covariance[0, 0] > 0.0
+    assert fit.covariance[1, 1] > 0.0
+    # Symmetric and PSD.
+    assert fit.covariance[0, 1] == pytest.approx(fit.covariance[1, 0])
+    assert np.all(np.linalg.eigvalsh(fit.covariance) >= -1e-20)
+
+
+def test_fit_validation():
+    with pytest.raises(CalibrationError):
+        fit_kings_law_with_covariance(np.array([1.0, 2.0]),
+                                      np.array([1.0, 2.0]))
+
+
+def test_covariance_shrinks_with_more_points():
+    _, _ = campaign()
+    few = fit_kings_law_with_covariance(*campaign(n_points=6, seed=1))
+    many = fit_kings_law_with_covariance(*campaign(n_points=48, seed=1))
+    assert many.covariance[1, 1] < few.covariance[1, 1]
+
+
+def test_uncertainty_monte_carlo_agreement():
+    """The delta-method sigma must match a Monte-Carlo inversion."""
+    v, g = campaign(noise=2e-5, seed=3)
+    fit = fit_kings_law_with_covariance(v, g)
+    sigma_g = 3e-6
+    v0 = 1.2
+    analytic = speed_uncertainty(fit, v0, sigma_g)
+    rng = np.random.default_rng(4)
+    g0 = float(fit.law.conductance(v0))
+    draws = g0 + rng.normal(0.0, sigma_g, 20000)
+    v_draws = ((np.maximum(draws - fit.law.coeff_a, 0.0) / fit.law.coeff_b)
+               ** (1.0 / fit.law.exponent))
+    mc_noise_only = float(np.std(v_draws))
+    # Analytic includes the calibration part too, so it must be >= the
+    # noise-only MC but agree once that part is removed.
+    dv_dg = 1.0 / (0.5 * fit.law.coeff_b * v0 ** (-0.5))
+    assert mc_noise_only == pytest.approx(abs(dv_dg) * sigma_g, rel=0.05)
+    assert analytic >= mc_noise_only * 0.99
+
+
+def test_resolution_grows_with_speed_kings_compression():
+    """The analytic budget reproduces E2's defining shape."""
+    fit = fit_kings_law_with_covariance(*campaign(seed=5))
+    sigma_g = 5e-6
+    rows = error_budget(fit, np.array([0.05, 0.5, 1.25, 2.5]), sigma_g)
+    totals = [r["total_3sigma_cmps"] for r in rows]
+    assert all(b > a for a, b in zip(totals, totals[1:]))
+    # And the magnitudes land in the paper's band for plausible noise.
+    assert 0.05 < totals[0] < 2.0
+    assert 0.5 < totals[-1] < 10.0
+
+
+def test_budget_splits_noise_and_calibration():
+    fit = fit_kings_law_with_covariance(*campaign(seed=6))
+    rows = error_budget(fit, np.array([1.0]), 5e-6)
+    row = rows[0]
+    assert row["total_3sigma_cmps"] == pytest.approx(
+        np.hypot(row["noise_3sigma_cmps"], row["calibration_3sigma_cmps"]),
+        rel=1e-6)
+
+
+def test_validation():
+    fit = fit_kings_law_with_covariance(*campaign())
+    with pytest.raises(ConfigurationError):
+        speed_uncertainty(fit, -1.0, 1e-6)
+    with pytest.raises(ConfigurationError):
+        error_budget(fit, np.array([1.0]), 1e-6, full_scale_mps=0.0)
+    with pytest.raises(ConfigurationError):
+        FitCovariance(law=TRUE, covariance=np.zeros((3, 3)))

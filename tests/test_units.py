@@ -1,0 +1,36 @@
+"""Unit tests for unit conversions."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def test_speed_roundtrip():
+    assert float(units.mps_to_cmps(units.cmps_to_mps(250.0))) == pytest.approx(250.0)
+    assert float(units.cmps_to_mps(100.0)) == pytest.approx(1.0)
+
+
+def test_pressure_roundtrip():
+    assert float(units.pa_to_bar(units.bar_to_pa(3.0))) == pytest.approx(3.0)
+    assert float(units.bar_to_pa(1.0)) == pytest.approx(1e5)
+
+
+def test_temperature_roundtrip():
+    assert float(units.kelvin_to_celsius(units.celsius_to_kelvin(15.0))) == pytest.approx(15.0)
+    assert float(units.celsius_to_kelvin(0.0)) == pytest.approx(273.15)
+
+
+def test_volumetric_conversion_dn50():
+    d = 0.05
+    # 1 m/s in a DN50 pipe: A = pi*0.025^2 = 1.9635e-3 m^2 -> 117.8 L/min.
+    q = float(units.mps_to_lpm(1.0, d))
+    assert q == pytest.approx(117.81, rel=1e-3)
+    assert float(units.lpm_to_mps(q, d)) == pytest.approx(1.0)
+
+
+def test_array_inputs():
+    v = np.array([0.0, 1.0, 2.5])
+    out = units.mps_to_cmps(v)
+    assert out.shape == v.shape
+    assert out[2] == pytest.approx(250.0)

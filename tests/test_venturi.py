@@ -1,0 +1,70 @@
+"""Unit tests for the venturi dP meter model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.venturi import VenturiMeter
+from repro.errors import ConfigurationError
+
+
+def readings(meter, v, n=5000, dt=1e-3):
+    return np.array([meter.read(v, dt) for _ in range(n)])
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        VenturiMeter(beta=0.9)
+    with pytest.raises(ConfigurationError):
+        VenturiMeter(discharge_coefficient=0.5)
+    with pytest.raises(ConfigurationError):
+        VenturiMeter().read(1.0, 0.0)
+
+
+def test_accurate_at_high_flow():
+    m = VenturiMeter(seed=1)
+    assert float(np.mean(readings(m, 2.0))) == pytest.approx(2.0, rel=0.01)
+
+
+def test_square_law_turndown_kills_low_flow():
+    """dp ~ v^2: at 5 cm/s the dp is microscopic against the transducer
+    noise floor — the intrusive meter cannot see the paper's low range."""
+    m = VenturiMeter(seed=2)
+    low = readings(m, 0.05)
+    high = readings(m, 2.0)
+    # Relative noise explodes at low flow (reading ~ rectified noise)...
+    assert np.std(low) / np.mean(low) > 0.3
+    # ...while the same instrument is clean at high flow.
+    assert np.std(high) / np.mean(high) < 0.02
+
+
+def test_resolution_improves_with_flow():
+    """Square-law gain: absolute noise shrinks as v grows (opposite of
+    the hot wire, whose worst point is high flow)."""
+    m1, m2 = VenturiMeter(seed=3), VenturiMeter(seed=3)
+    assert np.std(readings(m2, 2.0)) < np.std(readings(m1, 0.3))
+
+
+def test_cannot_sign_flow():
+    m = VenturiMeter(seed=4)
+    assert float(np.mean(readings(m, -1.5))) > 1.0  # magnitude only
+
+
+def test_dp_clips_at_transducer_span():
+    m = VenturiMeter(dp_full_scale_pa=5000.0, seed=5)
+    v_big = float(np.mean(readings(m, 3.0, n=200)))
+    v_huge = float(np.mean(readings(m, 6.0, n=200)))
+    assert v_huge == pytest.approx(v_big, rel=0.01)  # saturated
+
+
+def test_permanent_pressure_loss_positive_and_quadratic():
+    m = VenturiMeter()
+    loss1 = m.permanent_pressure_loss_pa(1.0)
+    loss2 = m.permanent_pressure_loss_pa(2.0)
+    assert loss1 > 0.0
+    assert loss2 == pytest.approx(4.0 * loss1, rel=1e-9)
+
+
+def test_traits_intrusive():
+    t = VenturiMeter().traits
+    assert t.intrusive
+    assert not t.has_moving_parts

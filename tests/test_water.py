@@ -1,0 +1,93 @@
+"""Unit tests for the water property correlations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.physics import water
+
+# Reference values (IAPWS / CRC tables) at 20 °C and 80 °C.
+REFERENCE = {
+    293.15: dict(rho=998.2, cp=4182.0, k=0.598, mu=1.002e-3, pr=7.0),
+    353.15: dict(rho=971.8, cp=4197.0, k=0.670, mu=0.355e-3, pr=2.2),
+}
+
+
+@pytest.mark.parametrize("t_k, expected", REFERENCE.items())
+def test_reference_values(t_k, expected):
+    assert water.density(t_k) == pytest.approx(expected["rho"], rel=5e-3)
+    assert water.specific_heat(t_k) == pytest.approx(expected["cp"], rel=5e-3)
+    assert water.thermal_conductivity(t_k) == pytest.approx(expected["k"], rel=2e-2)
+    assert water.dynamic_viscosity(t_k) == pytest.approx(expected["mu"], rel=3e-2)
+    assert water.prandtl_number(t_k) == pytest.approx(expected["pr"], rel=5e-2)
+
+
+def test_density_peaks_near_4c():
+    t = np.linspace(273.15, 283.15, 101)
+    rho = water.density(t)
+    t_peak = t[np.argmax(rho)]
+    assert 276.0 < t_peak < 278.5  # max density at ~3.98 C
+
+
+def test_viscosity_monotone_decreasing():
+    t = np.linspace(275.0, 370.0, 50)
+    mu = water.dynamic_viscosity(t)
+    assert np.all(np.diff(mu) < 0.0)
+
+
+def test_conductivity_increases_over_potable_range():
+    assert water.thermal_conductivity(350.0) > water.thermal_conductivity(280.0)
+
+
+def test_saturation_pressure_at_100c_is_one_atm():
+    assert water.saturation_pressure(373.15) == pytest.approx(101_325.0, rel=5e-3)
+
+
+def test_boiling_temperature_roundtrip():
+    for t in [300.0, 330.0, 370.0]:
+        p = float(water.saturation_pressure(t))
+        assert float(water.boiling_temperature(p)) == pytest.approx(t, abs=0.1)
+
+
+def test_boiling_temperature_rises_with_pressure():
+    assert water.boiling_temperature(3e5) > water.boiling_temperature(1e5)
+
+
+def test_celsius_passed_as_kelvin_rejected():
+    with pytest.raises(ConfigurationError):
+        water.density(20.0)  # 20 K is not liquid water
+
+
+def test_negative_pressure_rejected():
+    with pytest.raises(ConfigurationError):
+        water.boiling_temperature(-1.0)
+
+
+def test_water_properties_bundle_consistent():
+    props = water.water_properties(293.15)
+    assert props.nu == pytest.approx(props.mu / props.rho)
+    assert props.pr == pytest.approx(props.cp * props.mu / props.k)
+
+
+def test_vectorised_matches_scalar():
+    t = np.array([280.0, 300.0, 340.0])
+    rho_vec = water.density(t)
+    for i, ti in enumerate(t):
+        assert rho_vec[i] == pytest.approx(float(water.density(float(ti))))
+
+
+@given(st.floats(min_value=274.0, max_value=372.0))
+def test_film_properties_scalar_matches_vectorised(t_k):
+    k, nu, pr = water.film_properties_scalar(t_k)
+    assert k == pytest.approx(float(water.thermal_conductivity(t_k)), rel=1e-9)
+    assert nu == pytest.approx(float(water.kinematic_viscosity(t_k)), rel=1e-9)
+    assert pr == pytest.approx(float(water.prandtl_number(t_k)), rel=1e-9)
+
+
+@given(st.floats(min_value=274.0, max_value=372.0))
+def test_properties_positive_everywhere(t_k):
+    assert water.density(t_k) > 0
+    assert water.specific_heat(t_k) > 0
+    assert water.thermal_conductivity(t_k) > 0
+    assert water.dynamic_viscosity(t_k) > 0
