@@ -6,17 +6,27 @@ pytest-benchmark timing of the hot paths a user actually pays for:
   ADC — the default system-simulation cost;
 * the same tick with the bit-true ΣΔ + CIC chain (OSR 64) — the price
   of structural ADC fidelity (the E13 trade);
-* one raw sensor step (physics only).
+* one raw sensor step (physics only);
+* the fleet-scale comparison: scalar reference loop vs the vectorized
+  batch engine at N=16, with the samples/sec figures persisted to
+  ``BENCH_throughput.json`` at the repo root.
 
 These keep performance regressions visible: the E1-E12 benches assume
-thousands of ticks per wall-second.
+thousands of ticks per wall-second, and the fleet benches assume the
+batch engine's ≥5x advantage.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.conditioning.cta import CTAController
 from repro.isif.platform import ISIFPlatform
+from repro.runtime import Session
 from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+from repro.station.profiles import hold
 
 COND = FlowConditions(speed_mps=1.0)
 
@@ -47,3 +57,33 @@ def test_x00_sensor_step_physics_only(benchmark):
     sensor = MAFSensor(MAFConfig(seed=98))
     benchmark(lambda: sensor.step(1e-3, 2.0, 2.0, COND))
     assert benchmark.stats["mean"] < 2e-4
+
+
+def test_x00_batch_engine_speedup():
+    """Scalar vs batched fleet run at N=16; persists BENCH_throughput.json.
+
+    The batch engine's reason to exist is fleet-scale throughput: the
+    acceptance bar is ≥5x over the scalar reference path at N=16.
+    """
+    n_monitors, duration_s = 16, 5.0
+    profile = hold(50.0, duration_s)
+    with Session(n_monitors=n_monitors, seed=7,
+                 fast_calibration=True) as session:
+        session.calibrate()
+        t0 = time.perf_counter()
+        session.run(profile, engine="batch")
+        batch_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        session.run(profile, engine="scalar")
+        scalar_s = time.perf_counter() - t0
+    samples = n_monitors * int(round(duration_s * 1000.0))
+    payload = {
+        "n_monitors": n_monitors,
+        "samples": samples,
+        "scalar_samples_per_s": samples / scalar_s,
+        "batched_samples_per_s": samples / batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert payload["speedup"] >= 5.0, payload

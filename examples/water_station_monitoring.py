@@ -8,8 +8,6 @@ synchronously, followed by a per-level summary table.
 Run:  python examples/water_station_monitoring.py
 """
 
-import numpy as np
-
 from repro import build_calibrated_monitor, staircase
 from repro.analysis.report import format_table
 
@@ -32,8 +30,9 @@ def main() -> None:
     for i, level in enumerate(LEVELS_CMPS):
         window = record.steady_window(t0 + i * DWELL_S + 0.6 * DWELL_S,
                                       t0 + (i + 1) * DWELL_S)
-        ref = float(np.mean(window.reference_mps)) * 100.0
-        maf = float(np.mean(window.measured_mps)) * 100.0
+        stats = window.summary()
+        ref = stats["reference_mps"]["mean"] * 100.0
+        maf = stats["measured_mps"]["mean"] * 100.0
         rows.append((level, round(ref, 2), round(maf, 2),
                      round(maf - ref, 2)))
     print()

@@ -14,15 +14,26 @@ Layers (bottom up):
   estimation, leak detection;
 * :mod:`repro.baselines` -- Promag 50 and turbine-wheel comparators;
 * :mod:`repro.station` -- the simulated Vinci test line and rig;
-* :mod:`repro.analysis` -- section-5 metrics and sweep/report helpers.
+* :mod:`repro.analysis` -- section-5 metrics and sweep/report helpers;
+* :mod:`repro.runtime` -- fleet-scale sessions over the vectorized
+  batch engine.
 
-Quick start::
+Quick start (one monitor)::
 
     from repro import build_calibrated_monitor, hold
 
     setup = build_calibrated_monitor(seed=1)
     record = setup.rig.run(hold(speed_cmps=120.0, duration_s=20.0))
     print(record.measured_mps[-1] * 100.0, "cm/s")
+
+Quick start (a fleet)::
+
+    from repro import Session, staircase
+
+    with Session(n_monitors=16, seed=1) as session:
+        session.calibrate()
+        result = session.run(staircase([0.0, 50.0, 120.0], dwell_s=10.0))
+    print(result.summary(monitor=0))
 """
 
 from repro.errors import (
@@ -33,6 +44,7 @@ from repro.errors import (
     ConvergenceError,
     RegisterError,
     SensorFault,
+    SessionError,
 )
 from repro.physics.kings_law import KingsLaw, fit_kings_law
 from repro.sensor.maf import MAFSensor, MAFConfig, FlowConditions
@@ -47,6 +59,7 @@ from repro.baselines.turbine import TurbineMeter
 from repro.station.scenarios import build_calibrated_monitor, CalibratedSetup, vinci_station
 from repro.station.profiles import hold, staircase, ramp, step, bidirectional_staircase, pressure_peaks
 from repro.station.rig import TestRig, run_calibration
+from repro.runtime import BatchEngine, MonitorHandle, RunResult, Session, run_batch
 
 __version__ = "1.0.0"
 
@@ -87,5 +100,11 @@ __all__ = [
     "pressure_peaks",
     "TestRig",
     "run_calibration",
+    "SessionError",
+    "Session",
+    "MonitorHandle",
+    "BatchEngine",
+    "RunResult",
+    "run_batch",
     "__version__",
 ]

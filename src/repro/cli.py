@@ -18,11 +18,10 @@ import json
 import sys
 from pathlib import Path
 
-from repro.conditioning.calibration import FlowCalibration
-from repro.conditioning.monitor import MonitorConfig, WaterFlowMonitor
+from repro.conditioning.monitor import WaterFlowMonitor
 from repro.errors import ReproError
 from repro.isif.platform import ISIFPlatform
-from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
+from repro.sensor.maf import FlowConditions
 from repro.station.scenarios import build_calibrated_monitor
 
 __all__ = ["main", "build_parser"]
@@ -90,7 +89,12 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     print(f"running the calibration campaign (seed {args.seed}) ...")
     setup = build_calibrated_monitor(seed=args.seed, fast=args.fast,
                                      use_pulsed_drive=False)
-    image = setup.calibration.to_dict()
+    image = {
+        "format": "anemos-cal/2",
+        **setup.calibration.to_dict(),
+        "monitor": setup.monitor.config.to_dict(),
+        "sensor": setup.monitor.sensor.config.to_dict(),
+    }
     args.out.write_text(json.dumps(image, indent=2))
     print(f"calibration written to {args.out}")
     print(f"  A = {image['coeff_a'] * 1e3:.4f} mW/K, "
@@ -101,10 +105,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def _load_monitor(cal_path: Path, seed: int) -> WaterFlowMonitor:
-    calibration = FlowCalibration.from_dict(json.loads(cal_path.read_text()))
-    sensor = MAFSensor(MAFConfig(seed=seed))
-    return WaterFlowMonitor(sensor, calibration,
-                            MonitorConfig(use_pulsed_drive=False))
+    return WaterFlowMonitor.from_calibration_file(cal_path, seed=seed)
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:

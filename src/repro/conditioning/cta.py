@@ -73,6 +73,45 @@ class CTAConfig:
         if not self.supply_min_v <= self.startup_supply_v <= self.supply_max_v:
             raise ConfigurationError("startup supply outside the DAC range")
 
+    def to_dict(self) -> dict:
+        """Serialise to a plain dict (JSON-safe)."""
+        return {
+            "overtemperature_k": self.overtemperature_k,
+            "kp": self.kp,
+            "ki": self.ki,
+            "supply_max_v": self.supply_max_v,
+            "supply_min_v": self.supply_min_v,
+            "startup_supply_v": self.startup_supply_v,
+            "qformat": None if self.qformat is None else
+            {"int_bits": self.qformat.int_bits,
+             "frac_bits": self.qformat.frac_bits},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CTAConfig":
+        """Restore from :meth:`to_dict` output.
+
+        Raises
+        ------
+        ConfigurationError
+            On missing or malformed fields.
+        """
+        try:
+            qf = data["qformat"]
+            return cls(
+                overtemperature_k=float(data["overtemperature_k"]),
+                kp=float(data["kp"]),
+                ki=float(data["ki"]),
+                supply_max_v=float(data["supply_max_v"]),
+                supply_min_v=float(data["supply_min_v"]),
+                startup_supply_v=float(data["startup_supply_v"]),
+                qformat=None if qf is None else
+                QFormat(int(qf["int_bits"]), int(qf["frac_bits"])),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"malformed CTAConfig image: {exc}") from exc
+
 
 @dataclass(frozen=True)
 class LoopTelemetry:

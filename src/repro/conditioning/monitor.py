@@ -9,17 +9,20 @@ all over the water distribution channels".
 
 from __future__ import annotations
 
+import json
+import sys
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CalibrationError, ConfigurationError
 from repro.conditioning.calibration import FlowCalibration
 from repro.conditioning.cta import CTAConfig, CTAController
 from repro.conditioning.drive import DriveScheme, PulsedDrive
 from repro.conditioning.flow_estimator import EstimatorConfig, FlowEstimator
 from repro.isif.platform import ISIFPlatform
-from repro.sensor.maf import FlowConditions, MAFSensor
+from repro.sensor.maf import FlowConditions, MAFConfig, MAFSensor
 
 __all__ = ["MonitorConfig", "FlowMeasurement", "WaterFlowMonitor"]
 
@@ -56,6 +59,42 @@ class MonitorConfig:
     def __post_init__(self) -> None:
         if self.loop_rate_hz <= 0.0:
             raise ConfigurationError("loop rate must be positive")
+
+    def to_dict(self) -> dict:
+        """Serialise to a plain nested dict (JSON-safe)."""
+        return {
+            "loop_rate_hz": self.loop_rate_hz,
+            "cta": self.cta.to_dict(),
+            "output_bandwidth_hz": self.output_bandwidth_hz,
+            "use_pulsed_drive": self.use_pulsed_drive,
+            "pulse_period_s": self.pulse_period_s,
+            "pulse_duty": self.pulse_duty,
+            "temperature_compensation": self.temperature_compensation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MonitorConfig":
+        """Restore from :meth:`to_dict` output.
+
+        Raises
+        ------
+        ConfigurationError
+            On missing or malformed fields.
+        """
+        try:
+            return cls(
+                loop_rate_hz=float(data["loop_rate_hz"]),
+                cta=CTAConfig.from_dict(data["cta"]),
+                output_bandwidth_hz=float(data["output_bandwidth_hz"]),
+                use_pulsed_drive=bool(data["use_pulsed_drive"]),
+                pulse_period_s=float(data["pulse_period_s"]),
+                pulse_duty=float(data["pulse_duty"]),
+                temperature_compensation=bool(
+                    data["temperature_compensation"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"malformed MonitorConfig image: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -111,6 +150,54 @@ class WaterFlowMonitor:
                 output_bandwidth_hz=self.config.output_bandwidth_hz,
                 sample_rate_hz=self.config.loop_rate_hz,
                 temperature_compensation=self.config.temperature_compensation))
+
+    @classmethod
+    def from_calibration_file(cls, path: Path | str,
+                              seed: int = 42) -> "WaterFlowMonitor":
+        """Rebuild a monitoring point from a stored calibration image.
+
+        Understands both image layouts:
+
+        * ``anemos-cal/2`` (current): the flat calibration fields plus
+          a ``format`` marker and nested ``monitor`` / ``sensor``
+          config sections, so the rebuilt monitor matches the one that
+          was calibrated (including the die seed).
+        * legacy flat images (pre-``format``): only the calibration
+          fields; the monitor falls back to a default continuous-drive
+          configuration and a die seeded with ``seed``.  A deprecation
+          note is printed to stderr.
+
+        Raises
+        ------
+        CalibrationError
+            If the file is not valid JSON, declares an unknown format,
+            or is missing required fields.
+        """
+        try:
+            image = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise CalibrationError(
+                f"calibration image is not valid JSON: {exc}") from exc
+        if not isinstance(image, dict):
+            raise CalibrationError("calibration image must be a JSON object")
+        fmt = image.get("format")
+        if fmt == "anemos-cal/2":
+            try:
+                config = MonitorConfig.from_dict(image["monitor"])
+                sensor_cfg = MAFConfig.from_dict(image["sensor"])
+            except KeyError as exc:
+                raise CalibrationError(
+                    f"anemos-cal/2 image missing section {exc}") from exc
+        elif fmt is None:
+            print("note: legacy flat calibration image (pre anemos-cal/2); "
+                  "re-run 'calibrate' to refresh it", file=sys.stderr)
+            config = MonitorConfig(use_pulsed_drive=False)
+            sensor_cfg = MAFConfig(seed=seed)
+        else:
+            raise CalibrationError(
+                f"unsupported calibration image format {fmt!r}")
+        calibration = FlowCalibration.from_dict(image)
+        return cls(MAFSensor(sensor_cfg), calibration, config)
 
     @property
     def sensor(self) -> MAFSensor:

@@ -15,6 +15,7 @@ __all__ = [
     "ConvergenceError",
     "RegisterError",
     "SensorFault",
+    "SessionError",
 ]
 
 
@@ -48,3 +49,11 @@ class RegisterError(ReproError):
 
 class SensorFault(ReproError):
     """The simulated sensor entered a failed state (e.g. membrane rupture)."""
+
+
+class SessionError(ReproError):
+    """A :class:`repro.runtime.Session` was used outside its lifecycle.
+
+    The session API enforces ``open() -> calibrate() -> run() -> close()``;
+    calling a stage out of order (or after ``close()``) raises this.
+    """

@@ -129,6 +129,39 @@ class RealTimeScheduler:
         if self._worst_tick_cycles > budget:
             self.overrun = True
 
+    def bulk_tick(self, n: int) -> None:
+        """Advance the scheduler accounting by ``n`` ticks at once.
+
+        Fast path for the batch runtime: when every registered task runs
+        at the base rate (divider 1), the per-tick cycle cost is a
+        constant and ``n`` ticks can be accounted in closed form without
+        executing the task bodies.  This is exact for pure
+        cycle-accounting stubs (the CTA loop's software IPs are no-ops
+        whose arithmetic runs inside the controller); tasks with real
+        side effects or dividers > 1 fall back to looping :meth:`tick`,
+        which preserves full semantics.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``n`` is negative.
+        """
+        if n < 0:
+            raise ConfigurationError("bulk_tick count must be non-negative")
+        if n == 0:
+            return
+        if any(t.divider != 1 for t in self._tasks):
+            for _ in range(n):
+                self.tick()
+            return
+        cycles = self.cpu.interrupt_overhead_cycles + sum(
+            t.cycles for t in self._tasks)
+        self._tick_count += n
+        self._cycles_accumulated += cycles * n
+        self._worst_tick_cycles = max(self._worst_tick_cycles, cycles)
+        if self._worst_tick_cycles > self.cpu.clock_hz / self.tick_rate_hz:
+            self.overrun = True
+
     @property
     def ticks(self) -> int:
         """Ticks executed so far."""

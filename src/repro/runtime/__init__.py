@@ -1,0 +1,24 @@
+"""Batched fleet runtime: vectorized engine + session lifecycle.
+
+``repro.runtime`` is the fleet-scale front door of the reproduction:
+
+- :class:`Session` / :class:`MonitorHandle` — the
+  ``open() -> calibrate() -> run(profile) -> close()`` lifecycle that
+  owns N calibrated monitoring points,
+- :class:`BatchEngine` / :func:`run_batch` — the chunk-vectorized
+  engine advancing N monitors x K samples per call, bit-identical to
+  the scalar loops it replaces,
+- :class:`RunResult` — stacked ``(N, M)`` traces with scalar
+  ``RigRecord`` rehydration.
+
+The scalar classes (`TestRig`, `CTAController`, ...) remain the
+reference implementation; the parity tests hold the two paths to
+bit-identical outputs on shared seeds.
+"""
+
+from repro.runtime.batch import BatchEngine, run_batch
+from repro.runtime.result import RunResult
+from repro.runtime.session import MonitorHandle, Session
+
+__all__ = ["BatchEngine", "run_batch", "RunResult", "Session",
+           "MonitorHandle"]

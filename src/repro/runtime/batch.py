@@ -1,0 +1,855 @@
+"""Chunk-vectorized batch engine: N monitors × K samples per call.
+
+This is the fleet-scale hot path.  It advances N structurally identical
+:class:`~repro.station.rig.TestRig` instances in lock-step with numpy
+array math, replacing the per-sample Python loops of
+``conditioning/cta.py`` / ``conditioning/monitor.py`` /
+``station/rig.py`` while reproducing their arithmetic *bit for bit*:
+
+- Elementary float64 operations (+, -, *, /, sqrt, clip) are IEEE-754
+  identical between numpy arrays and Python scalars when the association
+  order of the scalar code is mirrored, so every expression here copies
+  the source association exactly.
+- Transcendentals whose argument varies per step (the heater exponential
+  update, the film-property correlations, King's-law inversion) are
+  evaluated elementwise with ``math``/python-float arithmetic — numpy's
+  SIMD ``exp``/``pow`` may differ from libm in the last ulp on arrays.
+  Constants hoisted out of the loop reuse the original source expression
+  (including whether it used ``math.exp`` or ``np.exp``).
+- Random draws are pre-drawn per chunk from the *live* generators of the
+  rigs' components.  ``Generator.standard_normal(k)`` produces the same
+  stream as ``k`` sequential ``normal()`` calls, and interleaved
+  consumers of one generator (the AFE's flicker+white pair) deinterleave
+  a ``2k`` block.  Data-dependent draws (bubble churn noise) stay lazy
+  scalar draws from each bubble model's own generator.
+
+The engine *consumes* the rigs passed to it: their RNG streams advance,
+the first rig's drive scheme is ticked, and every platform scheduler is
+bulk-advanced.  Treat the rigs as spent after :meth:`BatchEngine.run`;
+for repeatable runs build fresh rigs (see :class:`repro.runtime.Session`).
+
+Fleets must be *structurally homogeneous* (same configs modulo seeds);
+per-monitor diversity enters only through realized component values
+(resistor tolerances, DAC mismatch, calibration constants, housing
+state, noise streams).  Heterogeneous fleets are refused with
+:class:`~repro.errors.ConfigurationError` rather than silently
+mis-simulated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SensorFault
+from repro.baselines.promag import Promag50
+from repro.conditioning.drive import ContinuousDrive, PulsedDrive
+from repro.isif.sigma_delta import BehavioralAdc, SigmaDeltaAdc
+from repro.physics.convection import NATURAL_CONVECTION_FLOOR
+from repro.physics.water import boiling_temperature, film_properties_scalar
+from repro.runtime.result import RunResult
+from repro.station.profiles import Profile
+from repro.station.rig import TestRig
+
+__all__ = ["BatchEngine", "run_batch"]
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise ConfigurationError with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def _vexp(arg: np.ndarray) -> np.ndarray:
+    """Elementwise ``math.exp`` (libm), bit-identical to the scalar path."""
+    flat = arg.ravel()
+    out = np.array([math.exp(x) for x in flat.tolist()])
+    return out.reshape(arg.shape)
+
+
+class BatchEngine:
+    """Vectorized lock-step executor for a homogeneous fleet of rigs.
+
+    Parameters
+    ----------
+    rigs:
+        Structurally identical test rigs (same configs modulo seeds).
+        They are consumed: RNG streams, the lead rig's drive phase and
+        all schedulers advance as the engine runs.
+    chunk_size:
+        Samples per noise pre-draw block (memory/locality trade-off).
+
+    Raises
+    ------
+    ConfigurationError
+        If the fleet is empty, heterogeneous, or uses a feature the
+        vectorized path does not reproduce bit-exactly (bit-true ΣΔ ADC,
+        strict AFE, non-zero DAC settling, temperature compensation,
+        fixed-point output IIR, non-water medium, zero turbulence floor,
+        or a non-Promag50 reference meter).
+    SensorFault
+        If any sensor is already failed.
+    """
+
+    def __init__(self, rigs: list[TestRig], chunk_size: int = 1024) -> None:
+        _require(len(rigs) > 0, "batch engine needs at least one rig")
+        _require(chunk_size >= 1, "chunk_size must be >= 1")
+        self._rigs = list(rigs)
+        self._chunk = int(chunk_size)
+        self._n = len(self._rigs)
+        self._validate()
+        self._extract()
+
+    # -- fleet homogeneity ---------------------------------------------------
+
+    def _validate(self) -> None:
+        """Refuse fleets the vectorized path cannot reproduce bit-exactly."""
+        rigs = self._rigs
+        mon0 = rigs[0].monitor
+        sen0 = mon0.sensor
+        cfg0 = replace(sen0.config, seed=0)
+        _require(sen0.config.medium == "water",
+                 "batch engine supports medium='water' only")
+        _require(not mon0.config.temperature_compensation,
+                 "temperature compensation is not vectorized; use the scalar path")
+        for rig in rigs:
+            mon = rig.monitor
+            sen = mon.sensor
+            if sen.failed is not None:
+                raise SensorFault(sen.failed)
+            _require(replace(sen.config, seed=0) == cfg0,
+                     "fleet sensors must share one MAFConfig (modulo seed)")
+            _require(mon.config == mon0.config,
+                     "fleet monitors must share one MonitorConfig")
+            _require(mon.controller.config == mon0.controller.config,
+                     "fleet controllers must share one CTAConfig")
+            _require(mon.platform.loop_rate_hz == mon0.platform.loop_rate_hz,
+                     "fleet platforms must share one loop rate")
+            est = mon.estimator
+            _require(not est.config.temperature_compensation,
+                     "temperature compensation is not vectorized")
+            _require(est.config.use_direction == mon0.estimator.config.use_direction,
+                     "fleet estimators must agree on use_direction")
+            _require(est._primed == mon0.estimator._primed,
+                     "fleet estimators must share priming state")
+        # Drive schemes: one shared phase, realized by ticking rig 0's.
+        drive0 = mon0.controller.drive
+        for rig in rigs[1:]:
+            drive = rig.monitor.controller.drive
+            _require(type(drive) is type(drive0),
+                     "fleet drives must share one scheme")
+            if isinstance(drive0, PulsedDrive):
+                _require((drive.period_s, drive.duty, drive.blanking_s, drive._t)
+                         == (drive0.period_s, drive0.duty, drive0.blanking_s,
+                             drive0._t),
+                         "fleet pulsed drives must share timing and phase")
+            else:
+                _require(isinstance(drive0, ContinuousDrive),
+                         "unknown drive scheme")
+        # Platform channels and DACs.
+        ch0 = mon0.platform.channels[0]
+        afe_cfg0 = ch0.config.afe
+        _require(afe_cfg0.mode.name == "INSTRUMENT",
+                 "batch engine supports INSTRUMENT readout only")
+        _require(not afe_cfg0.strict, "strict AFE mode is not vectorized")
+        coeffs0 = ch0.anti_alias._coeffs
+        for rig in rigs:
+            plat = rig.monitor.platform
+            for ch in plat.channels[:2]:
+                _require(ch.config.afe == afe_cfg0,
+                         "fleet channels must share one AFEConfig")
+                _require(not ch.config.bit_true_adc
+                         and isinstance(ch.adc, BehavioralAdc)
+                         and not isinstance(ch.adc, SigmaDeltaAdc),
+                         "bit-true sigma-delta ADC is not vectorized")
+                _require(ch.anti_alias._coeffs == coeffs0,
+                         "fleet anti-alias filters must share coefficients")
+                _require(ch.digital_lpf.qformat is None,
+                         "fixed-point digital LPF is not vectorized")
+                _require(ch.digital_lpf.alpha
+                         == mon0.platform.channels[0].digital_lpf.alpha,
+                         "fleet digital LPFs must share alpha")
+                adc0 = mon0.platform.channels[0].adc
+                _require((ch.adc._thermal_rms_v, ch.adc._lsb_v,
+                          ch.adc._min_code, ch.adc._max_code)
+                         == (adc0._thermal_rms_v, adc0._lsb_v,
+                             adc0._min_code, adc0._max_code),
+                         "fleet ADCs must share noise and scale")
+            for dac in (plat.supply_dac_a, plat.supply_dac_b):
+                _require(not dac.settling_time_s,
+                         "DAC settling dynamics are not vectorized")
+                _require(dac.lsb_v == mon0.platform.supply_dac_a.lsb_v
+                         and dac.max_code == mon0.platform.supply_dac_a.max_code,
+                         "fleet supply DACs must share scale")
+        # PI controllers.
+        pi0 = mon0.controller.pi_a
+        for rig in rigs:
+            for pi in (rig.monitor.controller.pi_a, rig.monitor.controller.pi_b):
+                _require(pi.config == pi0.config,
+                         "fleet PI controllers must share one PIConfig")
+        # Water line: shared bulk plant, per-monitor turbulence stream.
+        line0 = rigs[0].line
+        lcfg0 = replace(line0.config, seed=0)
+        ncfg0 = line0._noise.config
+        for rig in rigs:
+            line = rig.line
+            _require(replace(line.config, seed=0) == lcfg0,
+                     "fleet lines must share one LineConfig (modulo seed)")
+            ncfg = line._noise.config
+            _require((ncfg.floor_mps, ncfg.integral_length_m, ncfg.min_speed_mps)
+                     == (ncfg0.floor_mps, ncfg0.integral_length_m,
+                         ncfg0.min_speed_mps),
+                     "fleet turbulence must share floor/length/min-speed")
+            _require(ncfg.floor_mps > 0.0,
+                     "turbulence floor must be positive (the OU stream must "
+                     "draw every step for lock-step batching)")
+            _require((line._speed, line._pressure, line._temperature,
+                      line._time_s)
+                     == (line0._speed, line0._pressure, line0._temperature,
+                         line0._time_s),
+                     "fleet lines must start from one shared bulk state")
+        # Reference meters.
+        ref0 = rigs[0].reference
+        for rig in rigs:
+            ref = rig.reference
+            _require(type(ref) is Promag50,
+                     "batch engine supports the Promag50 reference only")
+            _require((ref.full_scale_mps, ref.accuracy_of_reading,
+                      ref.resolution_fraction_fs, ref.response_time_s)
+                     == (ref0.full_scale_mps, ref0.accuracy_of_reading,
+                         ref0.resolution_fraction_fs, ref0.response_time_s),
+                     "fleet reference meters must share parameters")
+        # Resistor materials / bridge series resistance.
+        h0 = sen0.heater_a
+        r0 = sen0.reference
+        for rig in rigs:
+            sen = rig.monitor.sensor
+            for heater in (sen.heater_a, sen.heater_b):
+                _require((heater.material.tcr_per_k,
+                          heater.reference_temperature_k)
+                         == (h0.material.tcr_per_k, h0.reference_temperature_k),
+                         "fleet heaters must share material and T_ref")
+            _require((sen.reference.material.tcr_per_k,
+                      sen.reference.reference_temperature_k,
+                      sen.reference.nominal_ohm)
+                     == (r0.material.tcr_per_k, r0.reference_temperature_k,
+                         r0.nominal_ohm),
+                     "fleet references must share material, T_ref and nominal")
+            _require(sen.bridge_a.r_series_ohm == sen0.bridge_a.r_series_ohm
+                     and sen.bridge_b.r_series_ohm == sen0.bridge_a.r_series_ohm,
+                     "fleet bridges must share the series resistance")
+
+    # -- state extraction ----------------------------------------------------
+
+    def _extract(self) -> None:
+        """Copy fleet state into (2, N)/(N,) arrays and hoist constants."""
+        rigs = self._rigs
+        n = self._n
+        mon0 = rigs[0].monitor
+        sen0 = mon0.sensor
+        cfg = sen0.config
+        dt = mon0.platform.dt_s
+        self._dt = dt
+        self._drive = mon0.controller.drive
+
+        def per_rig(fn):
+            return np.array([fn(r) for r in rigs])
+
+        def per_bridge(fn_a, fn_b):
+            return np.array([[fn_a(r) for r in rigs], [fn_b(r) for r in rigs]])
+
+        # Water line (shared bulk plant, per-monitor OU fluctuation).
+        line0 = rigs[0].line
+        lcfg = line0.config
+        self._bulk_speed = np.float64(line0._speed)
+        self._bulk_pressure = np.float64(line0._pressure)
+        self._bulk_temp = np.float64(line0._temperature)
+        self._line_time = float(line0._time_s)
+        self._a_speed = 1.0 - np.exp(-dt / lcfg.speed_tau_s)
+        self._a_press = 1.0 - np.exp(-dt / lcfg.pressure_tau_s)
+        self._a_temp = 1.0 - np.exp(-dt / lcfg.temperature_tau_s)
+        self._turb_intensity = per_rig(lambda r: r.line._noise.config.intensity)
+        self._turb_floor = line0._noise.config.floor_mps
+        self._turb_length = line0._noise.config.integral_length_m
+        self._turb_min_speed = line0._noise.config.min_speed_mps
+        self._x_ou = per_rig(lambda r: float(r.line._noise._ou._x))
+        self._line_rngs = [r.line._noise._ou._rng for r in rigs]
+
+        # Supply DACs: code quantization + per-instance mismatch tables.
+        dac0 = mon0.platform.supply_dac_a
+        self._dac_lsb = dac0.lsb_v
+        self._dac_max_code = dac0.max_code
+        self._lev_a = np.stack(
+            [r.monitor.platform.supply_dac_a._levels_v for r in rigs])
+        self._lev_b = np.stack(
+            [r.monitor.platform.supply_dac_b._levels_v for r in rigs])
+        self._iota = np.arange(n)
+
+        # Sensor: thermal state, realized resistances, degradation.
+        self._t_h = per_bridge(lambda r: float(r.monitor.sensor._t_a),
+                               lambda r: float(r.monitor.sensor._t_b))
+        self._t_mem = per_rig(lambda r: float(r.monitor.sensor._t_membrane))
+        self._t_ref = per_rig(lambda r: float(r.monitor.sensor._t_reference))
+        self._h_r0 = per_bridge(lambda r: r.monitor.sensor.heater_a.r0_ohm,
+                                lambda r: r.monitor.sensor.heater_b.r0_ohm)
+        self._ref_r0 = per_rig(lambda r: r.monitor.sensor.reference.r0_ohm)
+        self._tcr_h = sen0.heater_a.material.tcr_per_k
+        self._tref_h = sen0.heater_a.reference_temperature_k
+        self._tcr_ref = sen0.reference.material.tcr_per_k
+        self._tref_ref = sen0.reference.reference_temperature_k
+        self._r_trim = per_bridge(lambda r: r.monitor.sensor.bridge_a.r_trim_ohm,
+                                  lambda r: r.monitor.sensor.bridge_b.r_trim_ohm)
+        self._r_series = sen0.bridge_a.r_series_ohm
+        self._leak = per_rig(
+            lambda r: r.monitor.sensor.housing.leakage_conductance_s())
+        self._min_rating = min(
+            r.monitor.sensor.housing.pressure_rating_pa for r in rigs)
+        self._burst_pressure = cfg.membrane.burst_pressure_pa
+        self._alpha_ref = 1.0 - math.exp(-dt / cfg.reference_lag_s)
+        self._geom_d = cfg.geometry.diameter_m
+        self._geom_L = cfg.geometry.length_m
+        self._wake2 = cfg.wake_peak_coupling * 2.0
+        self._wake_peak_speed = cfg.wake_peak_speed_mps
+        # Membrane-derived thermal constants (per monitor, config-equal).
+        self._g_lat = per_rig(lambda r: r.monitor.sensor._g_lateral)
+        self._g_back_half = per_rig(lambda r: r.monitor.sensor._g_backside)
+        self._heater_cap = per_rig(lambda r: r.monitor.sensor._heater_capacity)
+        mem_cap = per_rig(lambda r: r.monitor.sensor._membrane_capacity)
+        self._lat_total = cfg.membrane.lateral_conductance_w_per_k
+        self._g_rim_total = 2.0 * self._g_lat + self._lat_total
+        self._rho_m = np.array([
+            math.exp(-dt * g_rim / c)
+            for g_rim, c in zip(self._g_rim_total.tolist(), mem_cap.tolist())])
+        # Degradation models.
+        self._enable_fouling = cfg.enable_fouling
+        self._enable_bubbles = cfg.enable_bubbles
+        self._r_foul = per_bridge(
+            lambda r: r.monitor.sensor.fouling_a.thermal_resistance_k_per_w(
+                r.monitor.sensor.wetted_area_m2()),
+            lambda r: r.monitor.sensor.fouling_b.thermal_resistance_k_per_w(
+                r.monitor.sensor.wetted_area_m2()))
+        bub = cfg.bubble_config
+        self._bub_nucleation = bub.nucleation_superheat_k
+        self._bub_growth = bub.growth_rate_per_k_s
+        self._bub_base_detach = bub.base_detach_per_s
+        self._bub_shear_detach = bub.shear_detach_per_mps_s
+        self._bub_idle_detach = bub.idle_detach_per_s
+        self._bub_vapor_frac = bub.vapor_conductance_fraction
+        self._bub_noise_frac = bub.noise_fraction
+        self._sqrt_dtc = math.sqrt(min(1.0, 0.01 / dt))
+        self._cov = per_bridge(lambda r: r.monitor.sensor.bubbles_a._coverage,
+                               lambda r: r.monitor.sensor.bubbles_b._coverage)
+        self._bubble_rngs = [[r.monitor.sensor.bubbles_a._rng for r in rigs],
+                             [r.monitor.sensor.bubbles_b._rng for r in rigs]]
+        # Backside OU (flooded cavity only; organic fill never draws).
+        bs0 = sen0._backside_noise
+        self._bs_sigma = bs0.sigma
+        self._bs_rho = math.exp(-dt / bs0.tau_s)
+        self._bs_scale = bs0.sigma * math.sqrt(1.0 - self._bs_rho * self._bs_rho)
+        self._x_bs = per_rig(lambda r: float(r.monitor.sensor._backside_noise._x))
+        self._bs_rngs = [r.monitor.sensor._backside_noise._rng for r in rigs]
+
+        # Acquisition chain (channels 0/1 = bridges A/B).
+        ch0 = mon0.platform.channels[0]
+        afe_cfg = ch0.config.afe
+        self._gain = afe_cfg.gain
+        self._rail = afe_cfg.rail_v
+        self._residual_offset = afe_cfg.offset_v - afe_cfg.offset_trim_v
+        self._alpha_bw = 1.0 - math.exp(-2.0 * math.pi * afe_cfg.bandwidth_hz * dt)
+        nyquist = 0.5 / dt
+        self._white_rms = afe_cfg.noise_density_v_per_rthz * math.sqrt(nyquist)
+        self._afe_leak = math.exp(
+            -2.0 * math.pi * afe_cfg.flicker_corner_hz * dt * 0.1)
+        flicker_rms = afe_cfg.noise_density_v_per_rthz * math.sqrt(
+            max(math.log(max(afe_cfg.flicker_corner_hz, 1e-3) / 1e-3), 0.0))
+        self._flicker_scale = flicker_rms * math.sqrt(
+            max(1.0 - self._afe_leak * self._afe_leak, 0.0))
+        self._afe_state = per_bridge(
+            lambda r: r.monitor.platform.channels[0].afe._state_v,
+            lambda r: r.monitor.platform.channels[1].afe._state_v)
+        self._flick = per_bridge(
+            lambda r: r.monitor.platform.channels[0].afe._flicker_v,
+            lambda r: r.monitor.platform.channels[1].afe._flicker_v)
+        self._afe_rngs = [[r.monitor.platform.channels[0].afe._rng for r in rigs],
+                          [r.monitor.platform.channels[1].afe._rng for r in rigs]]
+        self._aa_coeffs = list(ch0.anti_alias._coeffs)
+        self._aa_state = [
+            [per_bridge(
+                lambda r, s=si, j=sj: r.monitor.platform.channels[0]
+                .anti_alias._state[s][j],
+                lambda r, s=si, j=sj: r.monitor.platform.channels[1]
+                .anti_alias._state[s][j])
+             for sj in (0, 1)]
+            for si in range(len(self._aa_coeffs))]
+        adc0 = ch0.adc
+        self._adc_thermal = adc0._thermal_rms_v
+        self._adc_lsb = adc0._lsb_v
+        self._adc_min = adc0._min_code
+        self._adc_max = adc0._max_code
+        self._adc_rngs = [[r.monitor.platform.channels[0].adc._rng for r in rigs],
+                          [r.monitor.platform.channels[1].adc._rng for r in rigs]]
+        self._alpha_lpf = ch0.digital_lpf.alpha
+        self._y_lpf = per_bridge(
+            lambda r: r.monitor.platform.channels[0].digital_lpf._y_f,
+            lambda r: r.monitor.platform.channels[1].digital_lpf._y_f)
+
+        # PI controllers (fixed-point codes or float, per shared PIConfig).
+        pi0 = mon0.controller.pi_a
+        pic = pi0.config
+        self._qformat = pic.qformat
+        if self._qformat is not None:
+            q = self._qformat
+            self._q_scale = q.scale
+            self._q_min_int = q.min_int
+            self._q_max_int = q.max_int
+            self._q_half = 1 << (q.frac_bits - 1)
+            self._q_shift = q.frac_bits
+            self._kp_code = pi0._kp_code
+            self._ki_dt_code = pi0._ki_dt_code
+            self._pi_min_code = pi0._min_code
+            self._pi_max_code = pi0._max_code
+            for rig in rigs:
+                for pi in (rig.monitor.controller.pi_a,
+                           rig.monitor.controller.pi_b):
+                    _require((pi._kp_code, pi._ki_dt_code, pi._min_code,
+                              pi._max_code)
+                             == (self._kp_code, self._ki_dt_code,
+                                 self._pi_min_code, self._pi_max_code),
+                             "fleet PI code tables must agree")
+            self._pi_int = per_bridge(
+                lambda r: r.monitor.controller.pi_a._int_code,
+                lambda r: r.monitor.controller.pi_b._int_code).astype(np.int64)
+        else:
+            self._pi_kp = pic.kp
+            self._pi_ki = pic.ki
+            self._pi_dt = pic.dt_s
+            self._pi_out_min = pic.out_min
+            self._pi_out_max = pic.out_max
+            self._pi_int_f = per_bridge(
+                lambda r: r.monitor.controller.pi_a._integral,
+                lambda r: r.monitor.controller.pi_b._integral)
+        self._pi_sat = per_bridge(
+            lambda r: r.monitor.controller.pi_a._saturated_sign,
+            lambda r: r.monitor.controller.pi_b._saturated_sign).astype(np.int64)
+        self._u = per_bridge(lambda r: r.monitor.controller._u_a,
+                             lambda r: r.monitor.controller._u_b)
+
+        # Estimator: King's-law inversion + output IIR + direction logic.
+        est0 = mon0.estimator
+        nominal = sen0.reference.nominal_ohm
+        # Firmware quirk preserved: balance power uses bridge A's trim and
+        # the *nominal* reference resistance for both supplies.
+        self._rh_star = np.array([
+            (self._r_series * nominal) / rt for rt in self._r_trim[0].tolist()])
+        self._bp_denom = (self._r_series + self._rh_star) ** 2
+        self._overtemp = mon0.controller.config.overtemperature_k
+        self._coeff_a = per_rig(lambda r: r.monitor.estimator.calibration.law.coeff_a)
+        self._coeff_b = per_rig(lambda r: r.monitor.estimator.calibration.law.coeff_b)
+        self._inv_exp = per_rig(
+            lambda r: 1.0 / r.monitor.estimator.calibration.law.exponent)
+        self._alpha_iir = est0._iir.alpha
+        self._y_iir = per_rig(lambda r: r.monitor.estimator._iir._y_f)
+        self._primed = est0._primed
+        self._last_output = per_rig(lambda r: float(r.monitor.estimator._last_output))
+        self._use_direction = est0.config.use_direction
+        self._dir_offset = per_rig(
+            lambda r: r.monitor.estimator.direction.config.offset)
+        self._dir_threshold = est0.direction.config.threshold
+        self._dir_hysteresis = est0.direction.config.hysteresis
+        self._alpha_dir = est0.direction._filter.alpha
+        self._y_dir = per_rig(lambda r: r.monitor.estimator.direction._filter._y_f)
+        self._dir = per_rig(
+            lambda r: r.monitor.estimator.direction._direction).astype(np.int64)
+
+        # Promag 50 reference meters.
+        ref0 = rigs[0].reference
+        self._pm_alpha = 1.0 - np.exp(-dt / ref0.response_time_s)
+        self._pm_noise = ref0.resolution_fraction_fs * ref0.full_scale_mps
+        self._pm_gain = per_rig(lambda r: r.reference._gain)
+        self._pm_state = per_rig(lambda r: r.reference._state)
+        self._pm_rngs = [r.reference._rng for r in rigs]
+
+    # -- per-step kernels ----------------------------------------------------
+
+    def _film_conductance(self, v_eff: np.ndarray, film_t: np.ndarray) -> np.ndarray:
+        """Clean-film conductance (2, N), elementwise scalar correlations."""
+        d = self._geom_d
+        length = self._geom_L
+        v_flat = np.broadcast_to(v_eff, film_t.shape).ravel().tolist()
+        t_flat = film_t.ravel().tolist()
+        out = np.empty(len(t_flat))
+        for j, (v, t) in enumerate(zip(v_flat, t_flat)):
+            k, nu_visc, pr = film_properties_scalar(t)
+            re = v * d / nu_visc
+            nusselt = 0.42 * pr**0.20 + 0.57 * pr**0.33 * math.sqrt(re)
+            out[j] = nusselt * k * math.pi * length
+        return out.reshape(film_t.shape)
+
+    def _qmul(self, code: int, arr: np.ndarray) -> np.ndarray:
+        """Vector Q-format saturating multiply (round-half-up shift)."""
+        product = code * arr
+        rounded = (product + self._q_half) >> self._q_shift
+        return np.clip(rounded, self._q_min_int, self._q_max_int)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, profile: Profile, record_every_n: int = 20) -> RunResult:
+        """Execute a profile over the whole fleet; decimated traces out.
+
+        Mirrors :meth:`repro.station.rig.TestRig.run` sample for sample;
+        with identical seeds the returned traces are bit-identical to N
+        scalar rig runs.
+
+        Raises
+        ------
+        ConfigurationError
+            On an empty profile or non-positive decimation.
+        SensorFault
+            On membrane burst or housing overpressure (any monitor —
+            the fleet shares the line, so all see the event together).
+        """
+        if record_every_n < 1:
+            raise ConfigurationError("record_every_n must be >= 1")
+        dt = self._dt
+        steps = int(round(profile.duration_s / dt))
+        if steps < 1:
+            raise ConfigurationError("profile shorter than one loop tick")
+        n = self._n
+        t_buf: list[float] = []
+        v_true: list[np.ndarray] = []
+        v_ref: list[np.ndarray] = []
+        v_meas: list[np.ndarray] = []
+        direction: list[np.ndarray] = []
+        pressure: list[np.ndarray] = []
+        temperature: list[np.ndarray] = []
+        coverage: list[np.ndarray] = []
+
+        for start in range(0, steps, self._chunk):
+            c = min(self._chunk, steps - start)
+            # Pre-draw this chunk's gaussian blocks from the live streams.
+            xi_line = np.stack([rng.standard_normal(c) for rng in self._line_rngs])
+            if self._bs_sigma > 0.0:
+                xi_bs = np.stack([rng.standard_normal(c) for rng in self._bs_rngs])
+            afe_blocks = [np.stack([rng.standard_normal(2 * c) for rng in row])
+                          for row in self._afe_rngs]
+            xi_flick = np.stack([blk[:, 0::2] for blk in afe_blocks])
+            xi_white = np.stack([blk[:, 1::2] for blk in afe_blocks])
+            xi_adc = np.stack([np.stack([rng.standard_normal(c) for rng in row])
+                               for row in self._adc_rngs])
+            xi_pm = np.stack([rng.standard_normal(c) for rng in self._pm_rngs])
+
+            for k in range(c):
+                i = start + k
+                v_set, p_set, t_set = profile.setpoints(i * dt)
+
+                # Water line: shared first-order plant + per-monitor OU.
+                self._bulk_speed = self._bulk_speed + self._a_speed * (
+                    v_set - self._bulk_speed)
+                self._bulk_pressure = self._bulk_pressure + self._a_press * (
+                    p_set - self._bulk_pressure)
+                self._bulk_temp = self._bulk_temp + self._a_temp * (
+                    t_set - self._bulk_temp)
+                v_mag = abs(self._bulk_speed)
+                sigma_ou = self._turb_intensity * v_mag + self._turb_floor
+                tau_ou = self._turb_length / max(v_mag, self._turb_min_speed)
+                rho_ou = math.exp(-dt / tau_ou)
+                self._x_ou = self._x_ou * rho_ou + (
+                    sigma_ou * math.sqrt(1.0 - rho_ou * rho_ou)) * xi_line[:, k]
+                v_local = self._bulk_speed + self._x_ou
+                self._line_time += dt
+                p_line = self._bulk_pressure
+                t_fluid = self._bulk_temp
+
+                # Drive decision (one shared scheme, realized on rig 0's).
+                dec = self._drive.tick(dt)
+                u_cmd = self._u if dec.energise else np.zeros((2, n))
+
+                # Supply DACs: quantize, then per-instance mismatch table.
+                codes = np.clip(np.floor(u_cmd / self._dac_lsb + 0.5),
+                                0, self._dac_max_code).astype(np.int64)
+                ua = np.empty((2, n))
+                ua[0] = self._lev_a[self._iota, codes[0]]
+                ua[1] = self._lev_b[self._iota, codes[1]]
+
+                # Sensor guards (shared line pressure).
+                if p_line > self._burst_pressure:
+                    raise SensorFault(
+                        f"membrane burst at {float(p_line) / 1e5:.2f} bar "
+                        f"(rating {self._burst_pressure / 1e5:.2f} bar)")
+                if p_line < 0.0:
+                    raise ConfigurationError("pressure must be non-negative")
+                if p_line > self._min_rating:
+                    raise SensorFault(
+                        f"housing rated {self._min_rating / 1e5:.1f} bar "
+                        f"failed at {float(p_line) / 1e5:.1f} bar")
+
+                # Reference resistor: lagged tracking + self-heating bias.
+                rt_old = self._ref_r0 * (1.0 + self._tcr_ref * (
+                    self._t_ref - self._tref_ref))
+                i_ra = ua[0] / (self._r_trim[0] + rt_old)
+                i_rb = ua[1] / (self._r_trim[1] + rt_old)
+                p_ref = i_ra * i_ra * rt_old + i_rb * i_rb * rt_old
+                t_ref_target = t_fluid + 30.0 * p_ref
+                self._t_ref = self._t_ref + self._alpha_ref * (
+                    t_ref_target - self._t_ref)
+                rt_new = self._ref_r0 * (1.0 + self._tcr_ref * (
+                    self._t_ref - self._tref_ref))
+
+                # Wake coupling → inlet temperatures (old heater temps).
+                absv = np.abs(v_local)
+                x_wake = absv / self._wake_peak_speed
+                coupling = self._wake2 * x_wake / (1.0 + x_wake * x_wake)
+                fwd = v_local >= 0.0
+                warm_from_a = coupling * np.maximum(self._t_h[0] - t_fluid, 0.0)
+                warm_from_b = coupling * np.maximum(self._t_h[1] - t_fluid, 0.0)
+                t_in = np.empty((2, n))
+                t_in[0] = np.where(fwd, t_fluid, t_fluid + warm_from_b)
+                t_in[1] = np.where(fwd, t_fluid + warm_from_a, t_fluid)
+
+                # Clean film conductance at the film temperature.
+                film_t = 0.5 * (self._t_h + t_fluid)
+                v_eff = np.maximum(absv, NATURAL_CONVECTION_FLOOR)
+                g = self._film_conductance(v_eff, film_t)
+
+                # Fouling: deposit resistance in series with the film.
+                if self._enable_fouling:
+                    g = 1.0 / (1.0 / g + self._r_foul)
+
+                # Bubbles: coverage dynamics + multiplicative churn noise.
+                if self._enable_bubbles:
+                    superheat = self._t_h - t_fluid
+                    powered = superheat > 1.0
+                    active = powered & (superheat > self._bub_nucleation)
+                    growth = np.where(
+                        active,
+                        self._bub_growth * (superheat - self._bub_nucleation),
+                        0.0)
+                    if active.any():
+                        p_abs = p_line + 101_325.0
+                        t_boil = float(boiling_temperature(
+                            max(float(p_abs), 5_000.0)))
+                        growth = growth + np.where(
+                            active & (self._t_h >= t_boil),
+                            10.0 * self._bub_growth * (self._t_h - t_boil + 1.0),
+                            0.0)
+                    detach = self._bub_base_detach + self._bub_shear_detach * absv
+                    detach = np.where(powered, detach,
+                                      detach + self._bub_idle_detach)
+                    dc = growth * (1.0 - self._cov) - detach * self._cov
+                    self._cov = np.minimum(
+                        np.maximum(self._cov + dc * dt, 0.0), 0.999)
+                    factor = 1.0 - self._cov * (1.0 - self._bub_vapor_frac)
+                    noise = np.ones((2, n))
+                    if np.any(self._cov > 0.0):
+                        for h in (0, 1):
+                            row = self._cov[h]
+                            for m in range(n):
+                                cvg = float(row[m])
+                                if cvg > 0.0:
+                                    sig = self._bub_noise_frac * cvg
+                                    noise[h, m] = 1.0 + sig * float(
+                                        self._bubble_rngs[h][m].normal()
+                                    ) * self._sqrt_dtc
+                    g = g * (factor * noise)
+                g = np.maximum(g, 1e-6)
+
+                # Backside conductance fluctuation (flooded cavity only).
+                if self._bs_sigma > 0.0:
+                    self._x_bs = self._x_bs * self._bs_rho + (
+                        self._bs_scale * xi_bs[:, k])
+                    backside_factor = 1.0 + self._x_bs
+                    g_back = self._g_back_half * np.maximum(backside_factor, 0.1)
+                else:
+                    g_back = self._g_back_half * 1.0
+
+                # Heater powers at the pre-step operating point.
+                rh_old = self._h_r0 * (1.0 + self._tcr_h * (
+                    self._t_h - self._tref_h))
+                rh_eff = np.where(self._leak == 0.0, rh_old,
+                                  1.0 / (1.0 / rh_old + self._leak))
+                branch_i = ua / (self._r_series + rh_eff)
+                i_h = np.where(self._leak == 0.0, branch_i,
+                               branch_i * rh_eff / rh_old)
+                p_h = i_h * i_h * rh_old
+
+                # Exact exponential heater update (old membrane temp).
+                g_total = g + self._g_lat + g_back
+                t_inf = (p_h + g * t_in + self._g_lat * self._t_mem
+                         + g_back * t_fluid) / g_total
+                rho_h = _vexp(-dt * g_total / self._heater_cap)
+                self._t_h = t_inf + (self._t_h - t_inf) * rho_h
+
+                # Membrane rim update (new heater temps).
+                t_rim_inf = (self._g_lat * (self._t_h[0] + self._t_h[1])
+                             + self._lat_total * t_fluid) / self._g_rim_total
+                self._t_mem = t_rim_inf + (self._t_mem - t_rim_inf) * self._rho_m
+
+                # Bridge readout at the post-step operating point.
+                rh_new = self._h_r0 * (1.0 + self._tcr_h * (
+                    self._t_h - self._tref_h))
+                rh_eff_new = np.where(self._leak == 0.0, rh_new,
+                                      1.0 / (1.0 / rh_new + self._leak))
+                v_meas_mid = ua * rh_eff_new / (self._r_series + rh_eff_new)
+                v_ref_mid = ua * rt_new / (self._r_trim + rt_new)
+                diff = v_meas_mid - v_ref_mid
+
+                # AFE: gain + offset, 1/f + white noise, bandwidth, rails.
+                ideal = (diff + self._residual_offset) * self._gain
+                self._flick = self._flick * self._afe_leak + (
+                    self._flicker_scale * xi_flick[:, :, k])
+                sample_noise = self._white_rms * xi_white[:, :, k] + self._flick
+                noisy = ideal + sample_noise * self._gain
+                self._afe_state = self._afe_state + self._alpha_bw * (
+                    noisy - self._afe_state)
+                self._afe_state = np.clip(self._afe_state, -self._rail, self._rail)
+
+                # Anti-alias biquads (direct-form II transposed).
+                y = self._afe_state
+                for (b0, b1, b2, _a0, a1, a2), st in zip(self._aa_coeffs,
+                                                         self._aa_state):
+                    out = b0 * y + st[0]
+                    st[0] = b1 * y - a1 * out + st[1]
+                    st[1] = b2 * y - a2 * out
+                    y = out
+
+                # Behavioural ADC: thermal noise, round-to-nearest, clamp.
+                noisy_adc = y + self._adc_thermal * xi_adc[:, :, k]
+                q_codes = np.clip(
+                    np.trunc(noisy_adc / self._adc_lsb
+                             + np.where(noisy_adc >= 0.0, 0.5, -0.5)),
+                    self._adc_min, self._adc_max)
+                volts = q_codes * self._adc_lsb
+
+                # Digital one-pole LPF, then input-referred error.
+                self._y_lpf = self._y_lpf + self._alpha_lpf * (volts - self._y_lpf)
+                err = -(self._y_lpf / self._gain)
+
+                # PI control (gated by the drive scheme).
+                if dec.control_active:
+                    if self._qformat is not None:
+                        err_code = np.clip(
+                            np.floor(err * self._q_scale + 0.5),
+                            self._q_min_int, self._q_max_int).astype(np.int64)
+                        err_sign = np.sign(err_code)
+                        cond = (self._pi_sat == 0) | (err_sign != self._pi_sat)
+                        inc = self._qmul(self._ki_dt_code, err_code)
+                        int_new = np.where(
+                            cond,
+                            np.clip(self._pi_int + inc,
+                                    self._q_min_int, self._q_max_int),
+                            self._pi_int)
+                        p_term = self._qmul(self._kp_code, err_code)
+                        raw = int_new + p_term
+                        out_code = np.clip(raw, self._pi_min_code,
+                                           self._pi_max_code)
+                        self._pi_sat = np.where(
+                            raw > self._pi_max_code, 1,
+                            np.where(raw < self._pi_min_code, -1, 0))
+                        abs_p = np.abs(p_term)
+                        self._pi_int = np.minimum(
+                            np.maximum(int_new, self._pi_min_code - abs_p),
+                            self._pi_max_code + abs_p)
+                        self._u = out_code / self._q_scale
+                    else:
+                        cond = (self._pi_sat == 0) | (
+                            np.sign(err) != self._pi_sat)
+                        self._pi_int_f = np.where(
+                            cond,
+                            self._pi_int_f + self._pi_ki * err * self._pi_dt,
+                            self._pi_int_f)
+                        raw = self._pi_kp * err + self._pi_int_f
+                        self._u = np.clip(raw, self._pi_out_min, self._pi_out_max)
+                        self._pi_sat = np.where(
+                            raw > self._pi_out_max, 1,
+                            np.where(raw < self._pi_out_min, -1, 0))
+                        self._pi_int_f = np.clip(
+                            self._pi_int_f,
+                            self._pi_out_min - self._pi_kp * np.abs(err),
+                            self._pi_out_max + self._pi_kp * np.abs(err))
+
+                # Flow estimator (valid samples only; otherwise hold).
+                if dec.sample_valid:
+                    bp_a = self._u[0] ** 2 * self._rh_star / self._bp_denom
+                    bp_b = self._u[1] ** 2 * self._rh_star / self._bp_denom
+                    g_cond = 0.5 * (bp_a + bp_b) / self._overtemp
+                    excess = np.maximum(g_cond - self._coeff_a, 0.0)
+                    speed = np.array([
+                        (e / b) ** p for e, b, p in zip(
+                            excess.tolist(), self._coeff_b.tolist(),
+                            self._inv_exp.tolist())])
+                    if not self._primed:
+                        self._y_iir = speed.copy()
+                        self._primed = True
+                    self._y_iir = self._y_iir + self._alpha_iir * (
+                        speed - self._y_iir)
+                    if self._use_direction:
+                        pa = self._u[0] * self._u[0]
+                        pb = self._u[1] * self._u[1]
+                        total = pa + pb
+                        asym = np.where(
+                            total <= 0.0, 0.0,
+                            (pa - pb) / np.where(total <= 0.0, 1.0, total))
+                        x_dir = asym - self._dir_offset
+                        self._y_dir = self._y_dir + self._alpha_dir * (
+                            x_dir - self._y_dir)
+                        d = self._y_dir
+                        thr = self._dir_threshold
+                        hyst = self._dir_hysteresis
+                        dirs = self._dir
+                        self._dir = np.where(
+                            (dirs == 0) & (d > thr), 1,
+                            np.where(
+                                (dirs == 0) & (d < -thr), -1,
+                                np.where(
+                                    (dirs == 1) & (d < -(thr + hyst)), -1,
+                                    np.where(
+                                        (dirs == -1) & (d > thr + hyst), 1,
+                                        dirs))))
+                        sign = np.where(self._dir != 0,
+                                        self._dir.astype(float), 1.0)
+                    else:
+                        sign = 1.0
+                    self._last_output = sign * self._y_iir
+
+                # Promag 50 reference (reads the bulk speed).
+                self._pm_state = self._pm_state + self._pm_alpha * (
+                    self._bulk_speed * self._pm_gain - self._pm_state)
+                pm_reading = self._pm_state + self._pm_noise * xi_pm[:, k]
+
+                if i % record_every_n == 0:
+                    t_buf.append(self._line_time)
+                    v_true.append(np.full(n, float(self._bulk_speed)))
+                    v_ref.append(pm_reading.copy())
+                    v_meas.append(self._last_output.copy())
+                    direction.append(self._dir.copy())
+                    pressure.append(np.full(n, float(self._bulk_pressure)))
+                    temperature.append(np.full(n, float(self._bulk_temp)))
+                    coverage.append(np.maximum(self._cov[0], self._cov[1]))
+
+        for rig in self._rigs:
+            rig.monitor.platform.scheduler.bulk_tick(steps)
+
+        return RunResult(
+            time_s=np.array(t_buf),
+            true_speed_mps=np.stack(v_true, axis=1),
+            reference_mps=np.stack(v_ref, axis=1),
+            measured_mps=np.stack(v_meas, axis=1),
+            direction=np.stack(direction, axis=1),
+            pressure_pa=np.stack(pressure, axis=1),
+            temperature_k=np.stack(temperature, axis=1),
+            bubble_coverage=np.stack(coverage, axis=1),
+        )
+
+
+def run_batch(rigs: list[TestRig], profile: Profile,
+              record_every_n: int = 20, chunk_size: int = 1024) -> RunResult:
+    """One-shot convenience: build a :class:`BatchEngine` and run it.
+
+    The rigs are consumed (see the module docstring); build fresh rigs
+    for repeat runs or use :class:`repro.runtime.Session`, which
+    re-materializes monitors from cached calibrations.
+    """
+    return BatchEngine(rigs, chunk_size=chunk_size).run(
+        profile, record_every_n=record_every_n)

@@ -1,0 +1,159 @@
+"""Batched run results: the fleet-wide counterpart of ``RigRecord``.
+
+A :class:`RunResult` holds the decimated traces of N monitors advanced
+in lock-step by the batch engine (or assembled from N scalar rig runs).
+Time is shared across the fleet — every monitor sees the same line
+profile — while the per-monitor traces are stacked ``(N, M)`` arrays.
+``trace(i)`` rehydrates a plain :class:`~repro.station.rig.RigRecord`
+so all existing single-monitor analysis keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.station.rig import RigRecord
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Decimated traces for a fleet of N monitors over M record ticks.
+
+    ``time_s`` is a shared ``(M,)`` vector; every other trace is an
+    ``(N, M)`` array whose row ``i`` belongs to monitor ``i``.
+    """
+
+    time_s: np.ndarray
+    true_speed_mps: np.ndarray
+    reference_mps: np.ndarray
+    measured_mps: np.ndarray
+    direction: np.ndarray
+    pressure_pa: np.ndarray
+    temperature_k: np.ndarray
+    bubble_coverage: np.ndarray
+
+    #: Stacked per-monitor traces, in RigRecord field order.
+    STACKED_FIELDS = ("true_speed_mps", "reference_mps", "measured_mps",
+                      "direction", "pressure_pa", "temperature_k",
+                      "bubble_coverage")
+
+    def __post_init__(self) -> None:
+        """Validate that the stacked traces agree in shape."""
+        m = len(self.time_s)
+        for name in self.STACKED_FIELDS:
+            arr = getattr(self, name)
+            if arr.ndim != 2 or arr.shape[1] != m:
+                raise ConfigurationError(
+                    f"trace {name!r} must be (N, {m}), got {arr.shape}")
+
+    def __len__(self) -> int:
+        return int(self.time_s.shape[0])
+
+    @property
+    def n_monitors(self) -> int:
+        """Number of monitors (rows) in the result."""
+        return int(self.measured_mps.shape[0])
+
+    def trace(self, index: int) -> RigRecord:
+        """Extract monitor ``index`` as a scalar-compatible RigRecord."""
+        if not 0 <= index < self.n_monitors:
+            raise ConfigurationError(
+                f"monitor index {index} out of range [0, {self.n_monitors})")
+        return RigRecord(
+            time_s=self.time_s.copy(),
+            **{name: getattr(self, name)[index].copy()
+               for name in self.STACKED_FIELDS},
+        )
+
+    def records(self) -> list[RigRecord]:
+        """All monitors as a list of RigRecords (convenience)."""
+        return [self.trace(i) for i in range(self.n_monitors)]
+
+    def summary(self, monitor: int | None = None) -> dict:
+        """Per-trace mean/std/min/max statistics.
+
+        With ``monitor`` given, statistics for that monitor's traces
+        (identical to ``trace(monitor).summary()``); otherwise the
+        statistics are pooled across the whole fleet.
+        """
+        if monitor is not None:
+            return self.trace(monitor).summary()
+        out: dict[str, dict[str, float]] = {}
+        for name in ("time_s",) + self.STACKED_FIELDS:
+            arr = np.asarray(getattr(self, name), dtype=float)
+            if arr.size == 0:
+                stats = {k: float("nan") for k in ("mean", "std", "min", "max")}
+            else:
+                stats = {
+                    "mean": float(arr.mean()),
+                    "std": float(arr.std()),
+                    "min": float(arr.min()),
+                    "max": float(arr.max()),
+                }
+            out[name] = stats
+        return out
+
+    def to_csv(self, path) -> None:
+        """Export as CSV: ``time_s`` plus ``<field>_m<i>`` columns."""
+        names = ["time_s"]
+        cols = [np.asarray(self.time_s, dtype=float)]
+        for name in self.STACKED_FIELDS:
+            arr = np.asarray(getattr(self, name), dtype=float)
+            for i in range(self.n_monitors):
+                names.append(f"{name}_m{i}")
+                cols.append(arr[i])
+        np.savetxt(path, np.column_stack(cols), delimiter=",",
+                   header=",".join(names), comments="")
+
+    def save(self, path) -> None:
+        """Persist all traces to an ``.npz`` archive."""
+        np.savez_compressed(path, **{
+            name: getattr(self, name)
+            for name in ("time_s",) + self.STACKED_FIELDS
+        })
+
+    @classmethod
+    def load(cls, path) -> "RunResult":
+        """Restore a result written by :meth:`save`.
+
+        Raises
+        ------
+        ConfigurationError
+            If the archive is missing any expected trace.
+        """
+        fields = ("time_s",) + cls.STACKED_FIELDS
+        with np.load(path) as data:
+            missing = [name for name in fields if name not in data]
+            if missing:
+                raise ConfigurationError(
+                    f"run archive missing traces {missing}")
+            return cls(**{name: data[name] for name in fields})
+
+    @classmethod
+    def from_records(cls, records: list[RigRecord]) -> "RunResult":
+        """Stack N scalar RigRecords (identical time bases) into a result.
+
+        Raises
+        ------
+        ConfigurationError
+            If the list is empty or the time vectors disagree.
+        """
+        if not records:
+            raise ConfigurationError("need at least one record to stack")
+        time_s = np.asarray(records[0].time_s)
+        for rec in records[1:]:
+            if len(rec) != len(records[0]) or not np.array_equal(
+                    np.asarray(rec.time_s), time_s):
+                raise ConfigurationError(
+                    "records must share an identical time base")
+        return cls(
+            time_s=time_s.copy(),
+            **{name: np.stack([np.asarray(getattr(r, name))
+                               for r in records])
+               for name in cls.STACKED_FIELDS},
+        )

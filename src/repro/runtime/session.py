@@ -1,0 +1,193 @@
+"""Session lifecycle for fleet-scale monitor simulation.
+
+A :class:`Session` owns N calibrated monitoring points and runs line
+profiles over all of them at once, through either the vectorized batch
+engine (default) or the scalar reference path.  The lifecycle is
+explicit::
+
+    with Session(n_monitors=16, seed=2024) as session:   # -> open()
+        session.calibrate()
+        result = session.run(staircase([0, 50, 100], dwell_s=4.0))
+    # leaving the block -> close()
+
+``run`` may be called any number of times: each call re-materializes
+the rigs from the per-monitor seeds (cheap after the first build thanks
+to the calibration cache in :mod:`repro.station.scenarios`), so every
+run starts from the same freshly-built state and a batch run is
+bit-identical to the scalar run with the same seeds.  Calling a stage
+out of order raises :class:`~repro.errors.SessionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SessionError
+from repro.conditioning.calibration import FlowCalibration
+from repro.conditioning.monitor import WaterFlowMonitor
+from repro.runtime.batch import BatchEngine
+from repro.runtime.result import RunResult
+from repro.station.profiles import Profile
+from repro.station.rig import TestRig
+from repro.station.scenarios import build_calibrated_monitor
+
+__all__ = ["Session", "MonitorHandle"]
+
+
+@dataclass
+class MonitorHandle:
+    """One monitoring point owned by a session.
+
+    Attributes
+    ----------
+    index:
+        Position in the fleet (row index in every RunResult).
+    seed:
+        Instance seed spawned from the session seed; determines die
+        tolerances, calibration and every noise stream.
+    monitor / rig / calibration:
+        The most recently materialized monitor, its rig, and the fitted
+        calibration.  Re-materialized (same seed, same values) on every
+        :meth:`Session.run`.
+    """
+
+    index: int
+    seed: int
+    monitor: WaterFlowMonitor
+    rig: TestRig
+    calibration: FlowCalibration
+
+
+class Session:
+    """N calibrated monitors with an open/calibrate/run/close lifecycle.
+
+    Parameters
+    ----------
+    n_monitors:
+        Fleet size.
+    seed:
+        Session seed; per-monitor seeds are spawned from it with
+        :class:`numpy.random.SeedSequence`, so fleets with different
+        sizes share the leading monitors' realizations.
+    loop_rate_hz / overtemperature_k / output_bandwidth_hz /
+    use_pulsed_drive / calibration_speeds_cmps / fast_calibration:
+        Forwarded to :func:`repro.station.scenarios.build_calibrated_monitor`.
+    use_cache:
+        Reuse cached calibrations for repeat builds (default True).
+    chunk_size:
+        Batch-engine noise pre-draw block length.
+    """
+
+    def __init__(self, n_monitors: int = 1, seed: int = 42, *,
+                 loop_rate_hz: float = 1000.0,
+                 overtemperature_k: float = 5.0,
+                 output_bandwidth_hz: float = 0.1,
+                 use_pulsed_drive: bool = True,
+                 calibration_speeds_cmps: list[float] | None = None,
+                 fast_calibration: bool = False,
+                 use_cache: bool = True,
+                 chunk_size: int = 1024) -> None:
+        if n_monitors < 1:
+            raise ConfigurationError("session needs at least one monitor")
+        self.n_monitors = int(n_monitors)
+        self.seed = int(seed)
+        self._build_kwargs = dict(
+            loop_rate_hz=loop_rate_hz,
+            overtemperature_k=overtemperature_k,
+            output_bandwidth_hz=output_bandwidth_hz,
+            use_pulsed_drive=use_pulsed_drive,
+            calibration_speeds_cmps=calibration_speeds_cmps,
+            fast=fast_calibration,
+            use_cache=use_cache,
+        )
+        self._chunk = int(chunk_size)
+        self._state = "new"
+        self._seeds: list[int] = []
+        self._handles: list[MonitorHandle] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Lifecycle stage: ``new``, ``open``, ``calibrated`` or ``closed``."""
+        return self._state
+
+    def _expect(self, *states: str) -> None:
+        if self._state not in states:
+            raise SessionError(
+                f"session is {self._state!r}; this call requires "
+                f"{' or '.join(repr(s) for s in states)}")
+
+    def open(self) -> "Session":
+        """Spawn the per-monitor seed stream; must be called first."""
+        self._expect("new")
+        children = np.random.SeedSequence(self.seed).spawn(self.n_monitors)
+        self._seeds = [int(child.generate_state(1)[0]) for child in children]
+        self._state = "open"
+        return self
+
+    def calibrate(self) -> list[MonitorHandle]:
+        """Build and calibrate every monitor; returns the fleet handles.
+
+        The first calibration per seed runs the full §4 campaign; repeat
+        materializations hit the calibration cache.
+        """
+        self._expect("open")
+        self._handles = self._materialize()
+        self._state = "calibrated"
+        return self._handles
+
+    def run(self, profile: Profile, engine: str = "batch",
+            record_every_n: int = 20) -> RunResult:
+        """Run a line profile over the fleet; decimated traces out.
+
+        ``engine="batch"`` uses the vectorized :class:`BatchEngine`;
+        ``engine="scalar"`` runs each rig through the per-sample
+        reference path and stacks the records.  Both start from freshly
+        materialized rigs, so with the same seeds the two engines return
+        bit-identical traces.
+        """
+        self._expect("calibrated")
+        if engine not in ("batch", "scalar"):
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; use 'batch' or 'scalar'")
+        self._handles = self._materialize()
+        rigs = [handle.rig for handle in self._handles]
+        if engine == "batch":
+            return BatchEngine(rigs, chunk_size=self._chunk).run(
+                profile, record_every_n=record_every_n)
+        return RunResult.from_records(
+            [rig.run(profile, record_every_n=record_every_n) for rig in rigs])
+
+    def close(self) -> None:
+        """End the session; any further stage call raises SessionError."""
+        self._state = "closed"
+        self._handles = []
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def monitors(self) -> list[MonitorHandle]:
+        """The fleet handles (valid after :meth:`calibrate`)."""
+        self._expect("calibrated")
+        return list(self._handles)
+
+    def __enter__(self) -> "Session":
+        if self._state == "new":
+            self.open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _materialize(self) -> list[MonitorHandle]:
+        return [
+            MonitorHandle(index=i, seed=s,
+                          monitor=setup.monitor, rig=setup.rig,
+                          calibration=setup.calibration)
+            for i, s in enumerate(self._seeds)
+            for setup in (build_calibrated_monitor(seed=s,
+                                                   **self._build_kwargs),)
+        ]

@@ -21,7 +21,7 @@ the ISIF front-end can see.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -131,6 +131,61 @@ class MAFConfig:
             raise ConfigurationError("wake peak speed must be positive")
         if self.medium not in ("water", "air"):
             raise ConfigurationError(f"unknown medium {self.medium!r}")
+
+    def to_dict(self) -> dict:
+        """Serialise to a plain nested dict (JSON-safe)."""
+        return {
+            "geometry": asdict(self.geometry),
+            "membrane": self.membrane.to_dict(),
+            "heater_nominal_ohm": self.heater_nominal_ohm,
+            "heater_tolerance_ohm": self.heater_tolerance_ohm,
+            "reference_nominal_ohm": self.reference_nominal_ohm,
+            "reference_tolerance_ohm": self.reference_tolerance_ohm,
+            "r_series_ohm": self.r_series_ohm,
+            "reference_lag_s": self.reference_lag_s,
+            "wake_peak_coupling": self.wake_peak_coupling,
+            "wake_peak_speed_mps": self.wake_peak_speed_mps,
+            "bubble_config": asdict(self.bubble_config),
+            "fouling_config": asdict(self.fouling_config),
+            "enable_bubbles": self.enable_bubbles,
+            "enable_fouling": self.enable_fouling,
+            "medium": self.medium,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MAFConfig":
+        """Restore from :meth:`to_dict` output.
+
+        Raises
+        ------
+        ConfigurationError
+            On missing or malformed fields (the dataclass validators
+            run on construction, so out-of-range values fail too).
+        """
+        from repro.sensor.membrane import Membrane
+        try:
+            return cls(
+                geometry=WireGeometry(**data["geometry"]),
+                membrane=Membrane.from_dict(data["membrane"]),
+                heater_nominal_ohm=float(data["heater_nominal_ohm"]),
+                heater_tolerance_ohm=float(data["heater_tolerance_ohm"]),
+                reference_nominal_ohm=float(data["reference_nominal_ohm"]),
+                reference_tolerance_ohm=float(data["reference_tolerance_ohm"]),
+                r_series_ohm=float(data["r_series_ohm"]),
+                reference_lag_s=float(data["reference_lag_s"]),
+                wake_peak_coupling=float(data["wake_peak_coupling"]),
+                wake_peak_speed_mps=float(data["wake_peak_speed_mps"]),
+                bubble_config=BubbleConfig(**data["bubble_config"]),
+                fouling_config=FoulingConfig(**data["fouling_config"]),
+                enable_bubbles=bool(data["enable_bubbles"]),
+                enable_fouling=bool(data["enable_fouling"]),
+                medium=str(data["medium"]),
+                seed=int(data["seed"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"malformed MAFConfig image: {exc}") from exc
 
 
 @dataclass(frozen=True)

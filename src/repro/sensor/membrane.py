@@ -15,7 +15,7 @@ Models the two roles the membrane plays in the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -56,6 +56,26 @@ class BacksideFill:
             raise ConfigurationError("fill conductivity must be positive")
         if self.stiffening_factor < 1.0:
             raise ConfigurationError("fill cannot weaken the membrane")
+
+    def to_dict(self) -> dict:
+        """Serialise to a plain dict (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BacksideFill":
+        """Restore from :meth:`to_dict` output.
+
+        Images matching one of the canonical fills return the canonical
+        *instance* (the sensor model distinguishes the water-flooded
+        cavity by identity, not just by value).
+        """
+        fill = cls(name=str(data["name"]),
+                   thermal_conductivity=float(data["thermal_conductivity"]),
+                   stiffening_factor=float(data.get("stiffening_factor", 1.0)))
+        for canonical in (ORGANIC_FILL, WATER_BACKSIDE):
+            if fill == canonical:
+                return canonical
+        return fill
 
 
 #: Flexible organic cavity fill (silicone-like), the paper's water solution.
@@ -119,6 +139,28 @@ class Membrane:
             raise ConfigurationError("membrane dimensions must be positive")
         if not 0.0 < self.heater_fraction < 1.0:
             raise ConfigurationError("heater_fraction must be in (0, 1)")
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialise the full stack + cavity description (JSON-safe)."""
+        return {
+            "stack": [asdict(layer) for layer in self.stack],
+            "side_m": self.side_m,
+            "heater_fraction": self.heater_fraction,
+            "backside": self.backside.to_dict(),
+            "cavity_depth_m": self.cavity_depth_m,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Membrane":
+        """Restore from :meth:`to_dict` output (validates on construction)."""
+        stack = tuple(MembraneLayer(**layer) for layer in data["stack"])
+        return cls(stack=stack,
+                   side_m=float(data["side_m"]),
+                   heater_fraction=float(data["heater_fraction"]),
+                   backside=BacksideFill.from_dict(data["backside"]),
+                   cavity_depth_m=float(data["cavity_depth_m"]))
 
     # -- geometry -----------------------------------------------------------
 

@@ -22,7 +22,65 @@ from repro.conditioning.leak_detect import LeakDetector, LeakEvent, NetworkSegme
 from repro.station.demand import DiurnalDemand
 from repro.station.network import PipeNetwork
 
-__all__ = ["MeterCharacter", "MonitoredNetwork", "FleetReport"]
+__all__ = ["MeterCharacter", "MonitoredNetwork", "FleetReport",
+           "characterize_meter_pool"]
+
+
+def characterize_meter_pool(n_meters: int, seed: int = 0, *,
+                            speed_cmps: float = 100.0,
+                            duration_s: float = 20.0,
+                            settle_s: float = 8.0,
+                            fast_calibration: bool = True) -> list["MeterCharacter"]:
+    """Measure meter characters from full monitor simulations.
+
+    Builds and calibrates ``n_meters`` complete monitoring points
+    through the batched runtime (:class:`repro.runtime.Session`), holds
+    them at a steady line speed, and condenses each monitor's steady
+    window into the (bias, noise) pair the fleet model consumes — the
+    E2/E3 anchoring described in the module docstring, automated.
+
+    Parameters
+    ----------
+    n_meters:
+        Fleet size to characterize.
+    seed:
+        Session seed (per-meter seeds are spawned from it).
+    speed_cmps:
+        Steady characterization speed [cm/s].
+    duration_s / settle_s:
+        Hold duration and the initial transient to discard.
+    fast_calibration:
+        Short calibration windows (keep True except for final benches).
+
+    Returns
+    -------
+    list[MeterCharacter]
+        One character per monitor, in fleet index order.
+    """
+    from repro.runtime import Session  # local: avoid a station->runtime cycle
+    from repro.station.profiles import hold
+
+    if n_meters < 1:
+        raise ConfigurationError("need at least one meter")
+    if not 0.0 <= settle_s < duration_s:
+        raise ConfigurationError("settle window must fit inside the hold")
+    true_mps = speed_cmps * 1e-2
+    with Session(n_monitors=n_meters, seed=seed,
+                 use_pulsed_drive=False,
+                 fast_calibration=fast_calibration) as session:
+        session.calibrate()
+        result = session.run(hold(speed_cmps, duration_s))
+    characters = []
+    for i in range(n_meters):
+        window = result.trace(i).steady_window(settle_s, duration_s)
+        measured = np.asarray(window.measured_mps, dtype=float)
+        bias = (float(measured.mean()) - true_mps) / true_mps \
+            if true_mps > 0.0 else 0.0
+        characters.append(MeterCharacter(
+            bias_fraction=float(np.clip(bias, -0.2, 0.2)),
+            noise_mps=float(measured.std()),
+        ))
+    return characters
 
 
 @dataclass(frozen=True)
@@ -82,22 +140,37 @@ class MonitoredNetwork:
         1σ reading noise applied per meter per snapshot.
     meter_bias_sigma:
         1σ of the per-meter calibration bias draw.
+    characters:
+        Optional measured characters keyed by ``(up, down, position)``
+        with position ``"inlet"`` or ``"outlet"``; keys present here
+        override the synthetic draw (use
+        :func:`characterize_meter_pool` to obtain characters anchored
+        to the full monitor simulation).  Keys not covered fall back to
+        the drawn character, and the noise stream is unaffected.
     """
 
     def __init__(self, network: PipeNetwork, seed: int = 0,
                  meter_noise_mps: float = 0.004,
-                 meter_bias_sigma: float = 0.003) -> None:
+                 meter_bias_sigma: float = 0.003,
+                 characters: dict[tuple[str, str, str],
+                                 MeterCharacter] | None = None) -> None:
         self.network = network
         self._rng = np.random.default_rng(seed)
         self._demands: dict[str, DiurnalDemand] = {}
         self._meters: dict[tuple[str, str, str], MeterCharacter] = {}
         for i, (up, down) in enumerate(network.pipes):
             for j, position in enumerate(("inlet", "outlet")):
-                self._meters[(up, down, position)] = MeterCharacter(
+                # Always draw, so the RNG stream (and the per-snapshot
+                # noise that follows it) is the same with or without
+                # measured characters.
+                drawn = MeterCharacter(
                     bias_fraction=float(
                         self._rng.normal(0.0, meter_bias_sigma)),
                     noise_mps=meter_noise_mps,
                 )
+                key = (up, down, position)
+                self._meters[key] = (
+                    characters.get(key, drawn) if characters else drawn)
         self.detector = LeakDetector()
         for up, down in network.pipes:
             # Drift: tolerate ~4 sigma of combined pair noise; threshold:

@@ -52,6 +52,36 @@ class RigRecord:
             name: getattr(self, name)[mask] for name in self.FIELDS
         })
 
+    def summary(self) -> dict:
+        """Per-trace statistics: ``{field: {mean, std, min, max}}``.
+
+        Empty records yield NaN statistics rather than raising, so the
+        method is safe on freshly sliced windows.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for name in self.FIELDS:
+            arr = np.asarray(getattr(self, name), dtype=float)
+            if arr.size == 0:
+                stats = {k: float("nan") for k in ("mean", "std", "min", "max")}
+            else:
+                stats = {
+                    "mean": float(arr.mean()),
+                    "std": float(arr.std()),
+                    "min": float(arr.min()),
+                    "max": float(arr.max()),
+                }
+            out[name] = stats
+        return out
+
+    def to_csv(self, path) -> None:
+        """Export the traces as a CSV file with one column per field."""
+        header = ",".join(self.FIELDS)
+        data = np.column_stack([
+            np.asarray(getattr(self, name), dtype=float)
+            for name in self.FIELDS
+        ])
+        np.savetxt(path, data, delimiter=",", header=header, comments="")
+
     def save(self, path) -> None:
         """Persist the traces to an ``.npz`` archive."""
         np.savez_compressed(path, **{

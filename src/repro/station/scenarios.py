@@ -5,12 +5,29 @@
 examples and every system bench: it builds a die, a platform and a CTA
 loop, runs the §4 calibration campaign against the Promag 50, and
 returns a ready :class:`~repro.conditioning.monitor.WaterFlowMonitor`.
+
+Seeds are plumbed through :class:`numpy.random.SeedSequence`: the single
+``seed`` argument spawns independent child streams for the die, the
+calibration bench, and the returned rig, so no two components share (or
+collide on) a raw integer seed.
+
+Repeat builds are cheap: the fitted calibration and the sensor's
+post-campaign state are memoized in a small LRU keyed by everything that
+determines them, so fleet-scale callers (``repro.runtime.Session``) pay
+for one campaign per distinct configuration.  Builds with a caller-owned
+``housing`` bypass the cache — the assembly carries mutable state the
+cache must not alias.
 """
 
 from __future__ import annotations
 
+import copy
+from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.baselines.promag import Promag50
 from repro.conditioning.calibration import FlowCalibration
 from repro.conditioning.cta import CTAConfig, CTAController
 from repro.conditioning.monitor import MonitorConfig, WaterFlowMonitor
@@ -21,16 +38,22 @@ from repro.station.line import LineConfig, WaterLine
 from repro.station.rig import TestRig, run_calibration
 
 __all__ = ["CalibratedSetup", "vinci_station", "build_calibrated_monitor",
-           "DEFAULT_CALIBRATION_SPEEDS_CMPS"]
+           "clear_calibration_cache", "DEFAULT_CALIBRATION_SPEEDS_CMPS"]
 
 #: Default calibration campaign: zero (direction offset + King A) plus a
 #: geometric ladder over the paper's 0-250 cm/s range.
 DEFAULT_CALIBRATION_SPEEDS_CMPS = [0.0, 10.0, 25.0, 50.0, 90.0, 140.0, 200.0, 250.0]
 
 
+def _child_seed(sequence: np.random.SeedSequence) -> int:
+    """Collapse a spawned SeedSequence into one plain integer seed."""
+    return int(sequence.generate_state(1)[0])
+
+
 def vinci_station(seed: int = 2024) -> WaterLine:
     """The Tuscan test line: DN50, hard Arno-basin water, 15 °C."""
-    return WaterLine(LineConfig(seed=seed))
+    child = np.random.SeedSequence(seed).spawn(1)[0]
+    return WaterLine(LineConfig(seed=_child_seed(child)))
 
 
 @dataclass
@@ -52,6 +75,70 @@ class CalibratedSetup:
     calibration: FlowCalibration
 
 
+#: LRU of (calibration, sensor-state snapshot) keyed by every input that
+#: determines the campaign outcome.
+_CALIBRATION_CACHE: "OrderedDict[tuple, tuple[FlowCalibration, dict]]" = OrderedDict()
+_CALIBRATION_CACHE_MAX = 32
+
+
+def clear_calibration_cache() -> None:
+    """Drop all memoized calibrations (test isolation / memory)."""
+    _CALIBRATION_CACHE.clear()
+
+
+def _snapshot_sensor(sensor: MAFSensor) -> dict:
+    """Capture every sensor field the calibration campaign mutates."""
+    return {
+        "t_a": copy.deepcopy(sensor._t_a),
+        "t_b": copy.deepcopy(sensor._t_b),
+        "t_membrane": copy.deepcopy(sensor._t_membrane),
+        "t_reference": copy.deepcopy(sensor._t_reference),
+        "failed": sensor._failed,
+        "cov_a": sensor.bubbles_a._coverage,
+        "cov_b": sensor.bubbles_b._coverage,
+        "bub_rng_a": copy.deepcopy(sensor.bubbles_a._rng.bit_generator.state),
+        "bub_rng_b": copy.deepcopy(sensor.bubbles_b._rng.bit_generator.state),
+        "backside_x": sensor._backside_noise._x,
+        "backside_rng": copy.deepcopy(
+            sensor._backside_noise._rng.bit_generator.state),
+        "foul_a": sensor.fouling_a._thickness_m,
+        "foul_b": sensor.fouling_b._thickness_m,
+        "r_trim_a": sensor.bridge_a.r_trim_ohm,
+        "r_trim_b": sensor.bridge_b.r_trim_ohm,
+        "leak_a": sensor.bridge_a.leakage_conductance_s,
+        "leak_b": sensor.bridge_b.leakage_conductance_s,
+    }
+
+
+def _restore_sensor(sensor: MAFSensor, snapshot: dict) -> None:
+    """Put a freshly built sensor into the snapshotted post-campaign state.
+
+    The fresh sensor was constructed from the same config and seed, so
+    its realized tolerances already match; only the mutable state the
+    campaign advanced needs to be written back.
+    """
+    sensor._t_a = copy.deepcopy(snapshot["t_a"])
+    sensor._t_b = copy.deepcopy(snapshot["t_b"])
+    sensor._t_membrane = copy.deepcopy(snapshot["t_membrane"])
+    sensor._t_reference = copy.deepcopy(snapshot["t_reference"])
+    sensor._failed = snapshot["failed"]
+    sensor.bubbles_a._coverage = snapshot["cov_a"]
+    sensor.bubbles_b._coverage = snapshot["cov_b"]
+    sensor.bubbles_a._rng.bit_generator.state = copy.deepcopy(
+        snapshot["bub_rng_a"])
+    sensor.bubbles_b._rng.bit_generator.state = copy.deepcopy(
+        snapshot["bub_rng_b"])
+    sensor._backside_noise._x = snapshot["backside_x"]
+    sensor._backside_noise._rng.bit_generator.state = copy.deepcopy(
+        snapshot["backside_rng"])
+    sensor.fouling_a._thickness_m = snapshot["foul_a"]
+    sensor.fouling_b._thickness_m = snapshot["foul_b"]
+    sensor.bridge_a.r_trim_ohm = snapshot["r_trim_a"]
+    sensor.bridge_b.r_trim_ohm = snapshot["r_trim_b"]
+    sensor.bridge_a.leakage_conductance_s = snapshot["leak_a"]
+    sensor.bridge_b.leakage_conductance_s = snapshot["leak_b"]
+
+
 def build_calibrated_monitor(
     seed: int = 42,
     loop_rate_hz: float = 1000.0,
@@ -63,13 +150,15 @@ def build_calibrated_monitor(
     fast: bool = False,
     sensor_config: MAFConfig | None = None,
     housing: SensorHousing | None = None,
+    use_cache: bool = True,
 ) -> CalibratedSetup:
     """Build, calibrate and wrap a complete monitoring point.
 
     Parameters
     ----------
     seed:
-        Instance seed (die tolerances, noise, turbulence).
+        Instance seed; spawned into independent child streams (die
+        tolerances, calibration bench, runtime rig) via SeedSequence.
     loop_rate_hz / overtemperature_k / output_bandwidth_hz:
         Loop and estimator settings (paper defaults).
     use_pulsed_drive:
@@ -82,20 +171,44 @@ def build_calibrated_monitor(
         Shorter settle/average windows — for unit tests, not benches.
     sensor_config / housing:
         Override the die or the assembly under test.
+    use_cache:
+        Memoize the campaign per distinct configuration (default).
+        Builds with a caller-owned ``housing`` always bypass the cache.
     """
-    sensor = MAFSensor(sensor_config or MAFConfig(seed=seed),
-                       housing=housing)
-    cal_platform = ISIFPlatform.for_anemometer(
-        loop_rate_hz=loop_rate_hz, bit_true_adc=bit_true_adc, seed=seed)
+    (die_ss, cal_platform_ss, cal_line_ss, cal_reference_ss,
+     run_platform_ss, rig_line_ss, rig_reference_ss) = \
+        np.random.SeedSequence(seed).spawn(7)
+    sensor_cfg = sensor_config or MAFConfig(seed=_child_seed(die_ss))
+    speeds = list(calibration_speeds_cmps or DEFAULT_CALIBRATION_SPEEDS_CMPS)
     cta_cfg = CTAConfig(overtemperature_k=overtemperature_k)
-    cal_controller = CTAController(sensor, cal_platform, cta_cfg)
-    line = vinci_station(seed=seed + 1)
     settle_s = 0.3 if fast else 1.0
     average_s = 0.2 if fast else 0.5
-    speeds = calibration_speeds_cmps or DEFAULT_CALIBRATION_SPEEDS_CMPS
-    calibration = run_calibration(
-        cal_controller, speeds, line=line,
-        settle_s=settle_s, average_s=average_s)
+
+    sensor = MAFSensor(sensor_cfg, housing=housing)
+    cacheable = use_cache and housing is None
+    cache_key = (repr(sensor_cfg), seed, loop_rate_hz, overtemperature_k,
+                 output_bandwidth_hz, use_pulsed_drive, bit_true_adc,
+                 tuple(speeds), fast)
+    cached = _CALIBRATION_CACHE.get(cache_key) if cacheable else None
+    if cached is not None:
+        calibration, snapshot = cached
+        _CALIBRATION_CACHE.move_to_end(cache_key)
+        _restore_sensor(sensor, snapshot)
+    else:
+        cal_platform = ISIFPlatform.for_anemometer(
+            loop_rate_hz=loop_rate_hz, bit_true_adc=bit_true_adc,
+            seed=_child_seed(cal_platform_ss))
+        cal_controller = CTAController(sensor, cal_platform, cta_cfg)
+        line = WaterLine(LineConfig(seed=_child_seed(cal_line_ss)))
+        calibration = run_calibration(
+            cal_controller, speeds, line=line,
+            reference=Promag50(seed=_child_seed(cal_reference_ss)),
+            settle_s=settle_s, average_s=average_s)
+        if cacheable:
+            _CALIBRATION_CACHE[cache_key] = (calibration,
+                                             _snapshot_sensor(sensor))
+            while len(_CALIBRATION_CACHE) > _CALIBRATION_CACHE_MAX:
+                _CALIBRATION_CACHE.popitem(last=False)
 
     monitor_cfg = MonitorConfig(
         loop_rate_hz=loop_rate_hz,
@@ -104,9 +217,13 @@ def build_calibrated_monitor(
         use_pulsed_drive=use_pulsed_drive,
     )
     run_platform = ISIFPlatform.for_anemometer(
-        loop_rate_hz=loop_rate_hz, bit_true_adc=bit_true_adc, seed=seed + 7)
+        loop_rate_hz=loop_rate_hz, bit_true_adc=bit_true_adc,
+        seed=_child_seed(run_platform_ss))
     monitor = WaterFlowMonitor(sensor, calibration, monitor_cfg,
                                platform=run_platform)
-    rig = TestRig(monitor, line=WaterLine(LineConfig(seed=seed + 2),
-                                          turbulence_multiplier=sensor.housing.turbulence_multiplier()))
+    rig = TestRig(
+        monitor,
+        line=WaterLine(LineConfig(seed=_child_seed(rig_line_ss)),
+                       turbulence_multiplier=sensor.housing.turbulence_multiplier()),
+        reference=Promag50(seed=_child_seed(rig_reference_ss)))
     return CalibratedSetup(monitor=monitor, rig=rig, calibration=calibration)

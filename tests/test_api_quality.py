@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.station",
     "repro.analysis",
+    "repro.runtime",
 ]
 
 
