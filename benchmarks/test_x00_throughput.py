@@ -63,8 +63,14 @@ def test_x00_batch_engine_speedup():
     """Scalar vs batched fleet run at N=16; persists BENCH_throughput.json.
 
     The batch engine's reason to exist is fleet-scale throughput: the
-    acceptance bar is ≥5x over the scalar reference path at N=16.
+    acceptance bar is ≥5x over the scalar reference path at N=16.  The
+    timed runs execute with observability *disabled* (the default), so
+    the headline numbers measure the uninstrumented hot path; a final
+    instrumented run then records the per-stage breakdown under
+    ``"stages"``.
     """
+    from repro.observability import observed
+
     n_monitors, duration_s = 16, 5.0
     profile = hold(50.0, duration_s)
     with Session(n_monitors=n_monitors, seed=7,
@@ -76,14 +82,31 @@ def test_x00_batch_engine_speedup():
         t0 = time.perf_counter()
         session.run(profile, engine="scalar")
         scalar_s = time.perf_counter() - t0
+        # Per-stage breakdown from one instrumented batch run.
+        with observed() as registry:
+            session.run(profile, engine="batch")
+            snapshot = registry.snapshot()
     samples = n_monitors * int(round(duration_s * 1000.0))
+    stage_names = (
+        "span.session.run.s",
+        "runtime.batch.chunk_s",
+        "runtime.batch.samples",
+        "runtime.batch.chunks",
+        "runtime.batch.samples_per_s",
+        "isif.scheduler.bulk_ticks",
+        "station.calibration_cache.hits",
+        "station.calibration_cache.misses",
+    )
     payload = {
         "n_monitors": n_monitors,
         "samples": samples,
         "scalar_samples_per_s": samples / scalar_s,
         "batched_samples_per_s": samples / batch_s,
         "speedup": scalar_s / batch_s,
+        "stages": {name: snapshot[name]
+                   for name in stage_names if name in snapshot},
     }
     out = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
     assert payload["speedup"] >= 5.0, payload
+    assert payload["stages"], "instrumented run produced no stage metrics"

@@ -36,16 +36,11 @@ Quick start (a fleet)::
     print(result.summary(monitor=0))
 """
 
-from repro.errors import (
-    ReproError,
-    ConfigurationError,
-    CalibrationError,
-    SaturationError,
-    ConvergenceError,
-    RegisterError,
-    SensorFault,
-    SessionError,
-)
+# The exception hierarchy is re-exported wholesale: repro.errors.__all__
+# is the single source of truth, so a class added there is automatically
+# part of the top-level API (asserted by tests/test_api_quality.py).
+from repro import errors as errors
+from repro.errors import *  # noqa: F401,F403
 from repro.physics.kings_law import KingsLaw, fit_kings_law
 from repro.sensor.maf import MAFSensor, MAFConfig, FlowConditions
 from repro.isif.platform import ISIFPlatform
@@ -64,13 +59,7 @@ from repro.runtime import BatchEngine, MonitorHandle, RunResult, Session, run_ba
 __version__ = "1.0.0"
 
 __all__ = [
-    "ReproError",
-    "ConfigurationError",
-    "CalibrationError",
-    "SaturationError",
-    "ConvergenceError",
-    "RegisterError",
-    "SensorFault",
+    *errors.__all__,
     "KingsLaw",
     "fit_kings_law",
     "MAFSensor",
@@ -100,7 +89,6 @@ __all__ = [
     "pressure_peaks",
     "TestRig",
     "run_calibration",
-    "SessionError",
     "Session",
     "MonitorHandle",
     "BatchEngine",

@@ -21,6 +21,9 @@ from pathlib import Path
 from repro.conditioning.monitor import WaterFlowMonitor
 from repro.errors import ReproError
 from repro.isif.platform import ISIFPlatform
+from repro.observability import (enable as _enable_observability,
+                                 export_jsonl, export_prometheus,
+                                 get_registry)
 from repro.sensor.maf import FlowConditions
 from repro.station.scenarios import build_calibrated_monitor
 
@@ -32,6 +35,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hot-wire MEMS water-flow monitor (DATE 2008) simulator")
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="PATH",
+        help="enable observability and write the metrics snapshot here "
+             "after the command (.prom -> Prometheus text format, "
+             "anything else -> JSON lines)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("selftest", help="ISIF platform power-on self-test")
@@ -170,17 +178,31 @@ _COMMANDS = {
 }
 
 
+def _write_metrics(path: Path) -> None:
+    registry = get_registry()
+    if path.suffix == ".prom":
+        path.write_text(export_prometheus(registry))
+    else:
+        path.write_text(export_jsonl(registry))
+    print(f"metrics written to {path} ({len(registry.names())} series)")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.metrics_out is not None:
+        _enable_observability()
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

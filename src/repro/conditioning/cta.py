@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.observability import get_registry
 from repro.conditioning.drive import ContinuousDrive, DriveScheme
 from repro.isif.fixed_point import QFormat
 from repro.isif.pi_controller import PIConfig, PIController
@@ -191,6 +192,12 @@ class CTAController:
         if decision.control_active:
             self._u_a = self.pi_a.step(err_a)
             self._u_b = self.pi_b.step(err_b)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("conditioning.cta.ticks").inc()
+            if (self.pi_a._saturated_sign != 0
+                    or self.pi_b._saturated_sign != 0):
+                registry.counter("conditioning.cta.pi_saturated_ticks").inc()
         self.platform.scheduler.tick()
 
         self._time_s += dt
@@ -214,7 +221,12 @@ class CTAController:
 
     def settle(self, conditions: FlowConditions, duration_s: float = 0.2) -> LoopTelemetry:
         """Run until (nominally) settled; returns the last telemetry."""
-        return self.run(conditions, duration_s)[-1]
+        telemetry = self.run(conditions, duration_s)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("conditioning.cta.settle_ticks").inc(
+                len(telemetry))
+        return telemetry[-1]
 
     # -- measurement-side helpers ---------------------------------------------------
 

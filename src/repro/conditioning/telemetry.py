@@ -20,10 +20,11 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, FrameError
 from repro.conditioning.monitor import FlowMeasurement
 from repro.isif.eeprom import crc16_ccitt
 from repro.isif.uart import UartLink
+from repro.observability import get_registry
 
 __all__ = ["TelemetryFrame", "encode_frame", "decode_frame", "FrameError",
            "TelemetryChannel", "FRAME_SIZE"]
@@ -34,10 +35,6 @@ _CRC = struct.Struct(">H")
 
 #: Total frame size in bytes.
 FRAME_SIZE = _STRUCT.size + _CRC.size
-
-
-class FrameError(ReproError):
-    """A received frame failed validation (sync or CRC)."""
 
 
 @dataclass(frozen=True)
@@ -96,14 +93,15 @@ def decode_frame(raw: bytes) -> TelemetryFrame:
         On short input, bad sync word or CRC mismatch.
     """
     if len(raw) != FRAME_SIZE:
-        raise FrameError(f"frame must be {FRAME_SIZE} bytes, got {len(raw)}")
+        raise FrameError(f"frame must be {FRAME_SIZE} bytes, got {len(raw)}",
+                         reason="length")
     body, crc_bytes = raw[:-_CRC.size], raw[-_CRC.size:]
     (stored,) = _CRC.unpack(crc_bytes)
     if crc16_ccitt(body) != stored:
-        raise FrameError("frame CRC mismatch (line noise)")
+        raise FrameError("frame CRC mismatch (line noise)", reason="crc")
     sync, seq, time_cs, flow_mmps, flags, coverage = _STRUCT.unpack(body)
     if sync != SYNC:
-        raise FrameError(f"bad sync word {sync:#x}")
+        raise FrameError(f"bad sync word {sync:#x}", reason="sync")
     return TelemetryFrame(
         sequence=seq,
         time_s=time_cs / 100.0,
@@ -119,6 +117,10 @@ class TelemetryChannel:
 
     Frames whose UART characters or CRC arrive damaged are counted and
     dropped — the upstream consumer sees sequence gaps, never garbage.
+    Per-channel tallies (``frames_sent`` / ``frames_dropped`` /
+    ``crc_failures``) are always kept; with observability enabled the
+    same tallies also feed the ``conditioning.telemetry.*`` counters of
+    the process-wide metrics registry.
     """
 
     def __init__(self, link: UartLink | None = None) -> None:
@@ -126,6 +128,7 @@ class TelemetryChannel:
         self._sequence = 0
         self.frames_sent = 0
         self.frames_dropped = 0
+        self.crc_failures = 0
 
     def send(self, measurement: FlowMeasurement) -> TelemetryFrame | None:
         """Transmit one measurement; returns the decoded frame or None
@@ -133,11 +136,22 @@ class TelemetryChannel:
         raw = encode_frame(measurement, self._sequence)
         self._sequence = (self._sequence + 1) & 0xFFFF
         self.frames_sent += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("conditioning.telemetry.frames_sent").inc()
         received, _char_errors = self.link.transfer(raw)
         try:
             return decode_frame(received)
-        except FrameError:
+        except FrameError as exc:
             self.frames_dropped += 1
+            if exc.reason == "crc":
+                self.crc_failures += 1
+            if registry.enabled:
+                registry.counter(
+                    "conditioning.telemetry.frames_dropped").inc()
+                if exc.reason == "crc":
+                    registry.counter(
+                        "conditioning.telemetry.crc_failures").inc()
             return None
 
     @property

@@ -16,6 +16,7 @@ __all__ = [
     "RegisterError",
     "SensorFault",
     "SessionError",
+    "FrameError",
 ]
 
 
@@ -57,3 +58,16 @@ class SessionError(ReproError):
     The session API enforces ``open() -> calibrate() -> run() -> close()``;
     calling a stage out of order (or after ``close()``) raises this.
     """
+
+
+class FrameError(ReproError):
+    """A received telemetry frame failed validation.
+
+    ``reason`` is machine-readable for drop accounting:
+    ``"length"`` (short/long input), ``"crc"`` (CRC-16 mismatch, the
+    line-noise case) or ``"sync"`` (bad sync word).
+    """
+
+    def __init__(self, message: str, reason: str = "frame") -> None:
+        super().__init__(message)
+        self.reason = reason

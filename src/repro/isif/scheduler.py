@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.observability import get_registry
 
 __all__ = ["CpuModel", "IPTask", "RealTimeScheduler"]
 
@@ -150,6 +151,10 @@ class RealTimeScheduler:
             raise ConfigurationError("bulk_tick count must be non-negative")
         if n == 0:
             return
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("isif.scheduler.bulk_calls").inc()
+            registry.counter("isif.scheduler.bulk_ticks").inc(n)
         if any(t.divider != 1 for t in self._tasks):
             for _ in range(n):
                 self.tick()

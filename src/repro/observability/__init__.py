@@ -1,0 +1,117 @@
+"""Fleet observability: metrics, tracing and structured events.
+
+The paper's §6 field deployment only worked because the ISIF platform
+exposed its internal loop state for months of unattended evaluation;
+this package gives the reproduction the same property.  Three
+primitives, all dependency-free and all **opt-in**:
+
+- :class:`MetricsRegistry` (:mod:`repro.observability.metrics`) —
+  counters, gauges and bounded-reservoir histograms;
+- :class:`Tracer` (:mod:`repro.observability.tracer`) — context-manager
+  spans over lifecycle stages, feeding ``span.<name>.s`` histograms;
+- :class:`EventLog` (:mod:`repro.observability.events`) — structured
+  discrete occurrences.
+
+Plus two exporters (:mod:`repro.observability.export`): JSON-lines
+snapshots and Prometheus text format, both with round-trip parsers.
+
+Everything hangs off process-wide defaults that start **disabled**; a
+disabled instrument call is one attribute check.  Turn the layer on
+with::
+
+    from repro import observability
+
+    observability.enable()
+    ...  # run sessions, fleets, benches
+    print(observability.export_prometheus(observability.get_registry()))
+
+or scoped::
+
+    with observability.observed() as registry:
+        session.run(profile)
+    print(registry.snapshot())
+
+Instrumented hot paths: batch-engine chunk advance, session lifecycle
+stages, the calibration LRU, the scalar CTA loop, the LEON scheduler's
+bulk accounting, telemetry framing, and fleet characterization — see
+``docs/observability.md`` for the metric name catalogue.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.observability.events import (Event, EventLog, get_event_log,
+                                        set_event_log)
+from repro.observability.export import (export_jsonl, export_prometheus,
+                                        parse_jsonl, parse_prometheus,
+                                        prometheus_name)
+from repro.observability.metrics import (Counter, Gauge, Histogram,
+                                         MetricsRegistry, get_registry,
+                                         set_registry)
+from repro.observability.tracer import (Span, SpanRecord, Tracer, get_tracer,
+                                        set_tracer)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "Event",
+    "EventLog",
+    "get_event_log",
+    "set_event_log",
+    "export_jsonl",
+    "parse_jsonl",
+    "export_prometheus",
+    "parse_prometheus",
+    "prometheus_name",
+    "enable",
+    "disable",
+    "enabled",
+    "observed",
+]
+
+
+def enable() -> None:
+    """Turn on the default registry, tracer and event log."""
+    get_registry().enabled = True
+    get_tracer().enabled = True
+    get_event_log().enabled = True
+
+
+def disable() -> None:
+    """Turn the default observability sinks back off (the start state)."""
+    get_registry().enabled = False
+    get_tracer().enabled = False
+    get_event_log().enabled = False
+
+
+def enabled() -> bool:
+    """Whether the default metrics registry is currently collecting."""
+    return get_registry().enabled
+
+
+@contextmanager
+def observed():
+    """Enable observability for a block; yields the default registry.
+
+    Restores the previous enabled/disabled state on exit, so tests and
+    benches can instrument a run without leaking global state.
+    """
+    registry = get_registry()
+    tracer = get_tracer()
+    log = get_event_log()
+    before = (registry.enabled, tracer.enabled, log.enabled)
+    enable()
+    try:
+        yield registry
+    finally:
+        registry.enabled, tracer.enabled, log.enabled = before

@@ -1,0 +1,121 @@
+"""Structured event log: discrete, typed occurrences with fields.
+
+Counters say *how often*, histograms say *how long*; the event log says
+*what happened* — a session changed lifecycle state, a fleet
+characterization started, a leak alarm fired.  Events are plain frozen
+records (name + wall-clock time + JSON-safe fields) in a bounded deque,
+exportable as JSON lines for the same unattended-evaluation workflow
+the paper's §6 field deployment relied on.
+
+Like the rest of :mod:`repro.observability`, the default log starts
+disabled and :meth:`EventLog.emit` is a cheap no-op until the process
+opts in.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Event", "EventLog", "get_event_log", "set_event_log"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence.
+
+    Attributes
+    ----------
+    name:
+        Dotted event name (``session.state``, ``fleet.characterize``).
+    time_s:
+        Wall-clock time (``time.time``) at emission.
+    fields:
+        JSON-safe payload.
+    """
+
+    name: str
+    time_s: float
+    fields: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """One JSON object (a single JSONL line, no newline)."""
+        return json.dumps({"name": self.name, "time_s": self.time_s,
+                           **self.fields}, sort_keys=True)
+
+
+class EventLog:
+    """Bounded, append-only log of :class:`Event` records."""
+
+    def __init__(self, max_events: int = 4096, enabled: bool = True) -> None:
+        if max_events < 1:
+            raise ConfigurationError("max_events must be >= 1")
+        self.enabled = bool(enabled)
+        self._events: deque[Event] = deque(maxlen=int(max_events))
+
+    def emit(self, name: str, **fields) -> Event | None:
+        """Append an event; returns it, or None while disabled."""
+        if not self.enabled:
+            return None
+        event = Event(name=name, time_s=time.time(), fields=fields)
+        self._events.append(event)
+        return event
+
+    def events(self, name: str | None = None) -> list[Event]:
+        """Retained events, optionally filtered by name."""
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e.name == name]
+
+    def to_jsonl(self) -> str:
+        """All retained events as JSON lines (newline-terminated)."""
+        return "".join(e.to_json() + "\n" for e in self._events)
+
+    @staticmethod
+    def from_jsonl(text: str) -> list[Event]:
+        """Parse JSON lines produced by :meth:`to_jsonl`.
+
+        Raises
+        ------
+        ConfigurationError
+            On a line that is not a JSON object with name/time_s.
+        """
+        events = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+                name = data.pop("name")
+                time_s = float(data.pop("time_s"))
+            except (ValueError, KeyError, TypeError, AttributeError) as exc:
+                raise ConfigurationError(
+                    f"bad event line {lineno}: {exc}") from exc
+            events.append(Event(name=name, time_s=time_s, fields=data))
+        return events
+
+    def reset(self) -> None:
+        """Drop all retained events (test isolation)."""
+        self._events.clear()
+
+
+#: Process-wide default event log; disabled until the caller opts in.
+_DEFAULT = EventLog(enabled=False)
+
+
+def get_event_log() -> EventLog:
+    """The process-wide default event log used by all instrumentation."""
+    return _DEFAULT
+
+
+def set_event_log(log: EventLog) -> EventLog:
+    """Swap the default event log (returns it, for chaining)."""
+    global _DEFAULT
+    if not isinstance(log, EventLog):
+        raise ConfigurationError("set_event_log needs an EventLog")
+    _DEFAULT = log
+    return log

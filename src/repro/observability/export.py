@@ -1,0 +1,174 @@
+"""Exporters for metrics snapshots: JSON lines and Prometheus text.
+
+Both exporters consume the single interchange format produced by
+:meth:`repro.observability.MetricsRegistry.snapshot` and both
+round-trip: the module also ships the matching parsers, so tests (and
+downstream scrapers) can verify that what went out equals what is in
+the registry.
+
+JSON lines — one object per metric, ``name`` plus the snapshot state::
+
+    {"name": "runtime.batch.samples", "type": "counter", "value": 81920}
+
+Prometheus text format — dotted names are sanitized to underscores with
+a ``repro_`` prefix; the original dotted name rides in the ``# HELP``
+line so :func:`parse_prometheus` can restore it.  Histograms are
+rendered as Prometheus *summaries* (quantile series plus ``_sum`` and
+``_count``), which is the faithful mapping for reservoir-quantile
+instruments.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["export_jsonl", "parse_jsonl", "export_prometheus",
+           "parse_prometheus", "prometheus_name"]
+
+_UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _snapshot(source: MetricsRegistry | dict) -> dict:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    if isinstance(source, dict):
+        return source
+    raise ConfigurationError(
+        "exporters take a MetricsRegistry or a snapshot dict")
+
+
+def export_jsonl(source: MetricsRegistry | dict) -> str:
+    """Render a registry (or snapshot) as JSON lines, one metric each."""
+    lines = []
+    for name, state in _snapshot(source).items():
+        lines.append(json.dumps({"name": name, **state}, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_jsonl(text: str) -> dict[str, dict]:
+    """Parse :func:`export_jsonl` output back into a snapshot dict.
+
+    Raises
+    ------
+    ConfigurationError
+        On a malformed line or a duplicate metric name.
+    """
+    snapshot: dict[str, dict] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+            name = data.pop("name")
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"bad metrics line {lineno}: {exc}") from exc
+        if name in snapshot:
+            raise ConfigurationError(f"duplicate metric {name!r}")
+        snapshot[name] = data
+    return snapshot
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted metric name for Prometheus (``repro_`` prefix)."""
+    return "repro_" + _UNSAFE.sub("_", name)
+
+
+def export_prometheus(source: MetricsRegistry | dict) -> str:
+    """Render a registry (or snapshot) in Prometheus text format."""
+    out: list[str] = []
+    for name, state in _snapshot(source).items():
+        pname = prometheus_name(name)
+        out.append(f"# HELP {pname} {name}")
+        kind = state["type"]
+        if kind in ("counter", "gauge"):
+            out.append(f"# TYPE {pname} {kind}")
+            out.append(f"{pname} {_fmt(state['value'])}")
+        elif kind == "histogram":
+            out.append(f"# TYPE {pname} summary")
+            for q_label, key in _QUANTILES:
+                value = state.get(key)
+                if value is not None:
+                    out.append(
+                        f'{pname}{{quantile="{q_label}"}} {_fmt(value)}')
+            out.append(f"{pname}_sum {_fmt(state['sum'])}")
+            out.append(f"{pname}_count {_fmt(state['count'])}")
+        else:
+            raise ConfigurationError(f"unknown metric type {kind!r}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def _fmt(value: float | int) -> str:
+    """Prometheus sample value: repr keeps float64 exactness."""
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse :func:`export_prometheus` output back into per-metric state.
+
+    Returns ``{dotted_name: state}`` with the original dotted names
+    (recovered from the HELP lines).  Histograms come back with the
+    summary-visible fields only: ``count``, ``sum`` and the exported
+    quantiles.
+
+    Raises
+    ------
+    ConfigurationError
+        On samples whose name was never introduced by a HELP line, or
+        unparsable lines.
+    """
+    dotted: dict[str, str] = {}
+    types: dict[str, str] = {}
+    parsed: dict[str, dict] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            pname, _, original = rest.partition(" ")
+            dotted[pname] = original
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            pname, _, kind = rest.partition(" ")
+            types[pname] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = re.match(
+            r'^([a-zA-Z0-9_]+)(\{quantile="([^"]+)"\})?\s+(\S+)$', line)
+        if match is None:
+            raise ConfigurationError(f"bad prometheus line {lineno}: {line!r}")
+        sample, _, quantile, raw = match.groups()
+        value = float(raw)
+        base = sample
+        suffix = None
+        for cand in ("_sum", "_count"):
+            if sample.endswith(cand) and sample[:-len(cand)] in dotted:
+                base, suffix = sample[:-len(cand)], cand[1:]
+                break
+        if base not in dotted:
+            raise ConfigurationError(
+                f"prometheus sample {sample!r} has no HELP line")
+        name = dotted[base]
+        kind = types.get(base, "gauge")
+        if kind in ("counter", "gauge"):
+            value = int(value) if kind == "counter" and value.is_integer() \
+                else value
+            parsed[name] = {"type": kind, "value": value}
+        else:
+            state = parsed.setdefault(name, {"type": "histogram"})
+            if suffix == "count":
+                state["count"] = int(value)
+            elif suffix == "sum":
+                state["sum"] = value
+            elif quantile is not None:
+                key = {q: k for q, k in _QUANTILES}.get(quantile)
+                state[key if key else f"q{quantile}"] = value
+    return parsed

@@ -1,0 +1,244 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the numerical backbone of the observability layer
+(:mod:`repro.observability`): every instrumented hot path — batch-engine
+chunks, session lifecycle stages, the calibration LRU, the scalar CTA
+loop, telemetry framing — publishes into one
+:class:`MetricsRegistry`.  Three instrument kinds cover the needs of the
+reproduction:
+
+- :class:`Counter` — monotone event counts (samples advanced, cache
+  hits, dropped frames);
+- :class:`Gauge` — last-written values (fleet size, hit rate);
+- :class:`Histogram` — distributions with *bounded* memory: running
+  count/sum/min/max plus a fixed-size ring reservoir of the most recent
+  observations, from which quantiles are estimated.
+
+Overhead discipline: instruments are created through the registry
+(get-or-create by name) and every mutation first checks the registry's
+``enabled`` flag — a single attribute load and branch — so a disabled
+registry costs nanoseconds per call site and allocates nothing.  The
+default registry starts **disabled**; observability is strictly opt-in
+(see :func:`repro.observability.enable`).
+
+Metric names are dotted lowercase paths with a unit suffix where
+meaningful (``runtime.batch.chunk_s``, ``station.calibration_cache.hits``),
+mirrored by the Prometheus exporter as underscore-separated names.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "get_registry", "set_registry"]
+
+
+class Counter:
+    """Monotonically increasing event count.
+
+    Mutations are gated by the owning registry's ``enabled`` flag; a
+    disabled registry makes :meth:`inc` a two-instruction no-op.
+    """
+
+    __slots__ = ("name", "description", "_registry", "value")
+
+    def __init__(self, name: str, description: str = "",
+                 registry: "MetricsRegistry | None" = None) -> None:
+        self.name = name
+        self.description = description
+        self._registry = registry
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (default 1); negative increments are refused."""
+        if self._registry is not None and not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-safe state: ``{"type", "value"}``."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (fleet size, utilisation, hit rate)."""
+
+    __slots__ = ("name", "description", "_registry", "value")
+
+    def __init__(self, name: str, description: str = "",
+                 registry: "MetricsRegistry | None" = None) -> None:
+        self.name = name
+        self.description = description
+        self._registry = registry
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        if self._registry is not None and not self._registry.enabled:
+            return
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        """JSON-safe state: ``{"type", "value"}``."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Distribution with running stats and a bounded ring reservoir.
+
+    ``count``/``sum``/``min``/``max`` are exact over every observation;
+    quantiles are estimated from the last ``reservoir_size``
+    observations (a sliding window — recent behaviour is what a monitor
+    operator cares about), so memory stays bounded no matter how long a
+    fleet run lasts.
+    """
+
+    __slots__ = ("name", "description", "_registry", "count", "sum",
+                 "min", "max", "_ring", "_pos", "_size")
+
+    def __init__(self, name: str, description: str = "",
+                 registry: "MetricsRegistry | None" = None,
+                 reservoir_size: int = 256) -> None:
+        if reservoir_size < 1:
+            raise ConfigurationError("reservoir_size must be >= 1")
+        self.name = name
+        self.description = description
+        self._registry = registry
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._ring: list[float] = []
+        self._pos = 0
+        self._size = int(reservoir_size)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if self._registry is not None and not self._registry.enabled:
+            return
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._ring) < self._size:
+            self._ring.append(value)
+        else:
+            self._ring[self._pos] = value
+            self._pos = (self._pos + 1) % self._size
+
+
+    def quantile(self, q: float) -> float:
+        """Reservoir quantile (nearest-rank); NaN while empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must be in [0, 1]")
+        if not self._ring:
+            return float("nan")
+        ordered = sorted(self._ring)
+        rank = min(len(ordered) - 1, int(math.ceil(q * len(ordered))) - 1)
+        return ordered[max(rank, 0)]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean over every observation; NaN while empty."""
+        return self.sum / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict:
+        """JSON-safe state with count/sum/min/max/mean and quantiles."""
+        empty = self.count == 0
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+            "mean": None if empty else self.mean,
+            "p50": None if empty else self.quantile(0.50),
+            "p90": None if empty else self.quantile(0.90),
+            "p99": None if empty else self.quantile(0.99),
+            "reservoir_size": self._size,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of instruments with one master ``enabled`` flag.
+
+    Instruments are get-or-create by dotted name; asking for an existing
+    name with a different instrument kind raises
+    :class:`~repro.errors.ConfigurationError` (silent type morphing
+    would corrupt exports).  ``snapshot()`` returns a plain JSON-safe
+    dict, the single interchange format both exporters consume.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind) -> object:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            if not name or name != name.strip():
+                raise ConfigurationError(f"bad metric name {name!r}")
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get-or-create a counter."""
+        return self._get_or_create(
+            name, lambda: Counter(name, description, self), Counter)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """Get-or-create a gauge."""
+        return self._get_or_create(
+            name, lambda: Gauge(name, description, self), Gauge)
+
+    def histogram(self, name: str, description: str = "",
+                  reservoir_size: int = 256) -> Histogram:
+        """Get-or-create a histogram."""
+        return self._get_or_create(
+            name, lambda: Histogram(name, description, self, reservoir_size),
+            Histogram)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered metric names, sorted."""
+        return tuple(sorted(self._instruments))
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as ``{name: state}``, sorted by name."""
+        return {name: self._instruments[name].snapshot()
+                for name in self.names()}
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        self._instruments.clear()
+
+
+#: Process-wide default registry; disabled until the caller opts in.
+_DEFAULT = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry used by all instrumentation."""
+    return _DEFAULT
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (returns it, for chaining)."""
+    global _DEFAULT
+    if not isinstance(registry, MetricsRegistry):
+        raise ConfigurationError("set_registry needs a MetricsRegistry")
+    _DEFAULT = registry
+    return registry

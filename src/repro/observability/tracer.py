@@ -1,0 +1,171 @@
+"""Lightweight span tracer with a context-manager API.
+
+A *span* wraps one timed stage — a session calibration, a batch-engine
+run, a fleet characterization — and records its wall-clock duration,
+its parent (spans nest through a stack), and free-form tags.  Finished
+spans land in a bounded deque and, when a metrics registry is attached,
+also feed a ``span.<name>.s`` histogram so exporters see stage timings
+without a separate pipeline.
+
+Usage::
+
+    tracer = get_tracer()
+    with tracer.span("session.calibrate", n_monitors=16):
+        ...
+
+Disabled tracers hand out a shared no-op span, so an un-opted-in
+process pays one attribute check per ``span()`` call and nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+__all__ = ["SpanRecord", "Span", "Tracer", "get_tracer", "set_tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes
+    ----------
+    name:
+        Dotted stage name (``session.run``, ``batch.run``).
+    start_s / duration_s:
+        ``time.perf_counter`` timestamps (relative origin, monotonic).
+    parent:
+        Enclosing span's name, or None at top level.
+    tags:
+        Free-form labels given at ``span()`` time.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    parent: str | None = None
+    tags: dict = field(default_factory=dict)
+
+
+class Span:
+    """A live span; use as a context manager (or call finish())."""
+
+    __slots__ = ("name", "tags", "_tracer", "_start", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict) -> None:
+        self.name = name
+        self.tags = tags
+        self._tracer = tracer
+        self._start = 0.0
+        self._done = False
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        self._tracer._stack.append(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    def finish(self) -> None:
+        """Close the span (idempotent); records duration and parent."""
+        if self._done:
+            return
+        self._done = True
+        duration = time.perf_counter() - self._start
+        stack = self._tracer._stack
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        parent = stack[-1] if stack else None
+        self._tracer._record(SpanRecord(
+            name=self.name, start_s=self._start, duration_s=duration,
+            parent=parent, tags=self.tags))
+
+
+class _NullSpan:
+    """Shared no-op span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def finish(self) -> None:
+        """No-op."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces spans and retains the most recent ``max_spans`` records.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry that receives ``span.<name>.s`` histograms;
+        None uses the process default at finish time.
+    max_spans:
+        Bound on retained :class:`SpanRecord` history.
+    enabled:
+        Disabled tracers return a shared no-op span.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 max_spans: int = 1024, enabled: bool = True) -> None:
+        if max_spans < 1:
+            raise ConfigurationError("max_spans must be >= 1")
+        self.enabled = bool(enabled)
+        self._registry = registry
+        self._records: deque[SpanRecord] = deque(maxlen=int(max_spans))
+        self._stack: list[str] = []
+
+    def span(self, name: str, **tags) -> Span | _NullSpan:
+        """Open a span; use ``with tracer.span("stage"): ...``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, tags)
+
+    def _record(self, record: SpanRecord) -> None:
+        self._records.append(record)
+        registry = self._registry or get_registry()
+        if registry.enabled:
+            registry.histogram(f"span.{record.name}.s").observe(
+                record.duration_s)
+
+    def records(self, name: str | None = None) -> list[SpanRecord]:
+        """Finished spans, optionally filtered by name."""
+        if name is None:
+            return list(self._records)
+        return [r for r in self._records if r.name == name]
+
+    def reset(self) -> None:
+        """Drop retained spans and any dangling stack state."""
+        self._records.clear()
+        self._stack.clear()
+
+
+#: Process-wide default tracer; disabled until the caller opts in.
+_DEFAULT = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer used by all instrumentation."""
+    return _DEFAULT
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the default tracer (returns it, for chaining)."""
+    global _DEFAULT
+    if not isinstance(tracer, Tracer):
+        raise ConfigurationError("set_tracer needs a Tracer")
+    _DEFAULT = tracer
+    return tracer

@@ -39,11 +39,13 @@ mis-simulated.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import replace
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SensorFault
+from repro.observability import get_registry, get_tracer
 from repro.baselines.promag import Promag50
 from repro.conditioning.drive import ContinuousDrive, PulsedDrive
 from repro.isif.sigma_delta import BehavioralAdc, SigmaDeltaAdc
@@ -516,7 +518,27 @@ class BatchEngine:
         steps = int(round(profile.duration_s / dt))
         if steps < 1:
             raise ConfigurationError("profile shorter than one loop tick")
+        with get_tracer().span("batch.run", n_monitors=self._n, steps=steps):
+            return self._run(profile, steps, record_every_n)
+
+    def _run(self, profile: Profile, steps: int,
+             record_every_n: int) -> RunResult:
+        """The instrumented main loop behind :meth:`run`."""
+        dt = self._dt
         n = self._n
+        # Per-chunk instrumentation: one branch when disabled, one
+        # perf_counter pair + histogram/counter update per chunk (never
+        # per sample) when enabled.
+        registry = get_registry()
+        observing = registry.enabled
+        if observing:
+            registry.gauge("runtime.batch.fleet_size").set(n)
+            chunk_hist = registry.histogram(
+                "runtime.batch.chunk_s", "per-chunk advance latency")
+            samples_counter = registry.counter(
+                "runtime.batch.samples", "monitor-samples advanced")
+            chunks_counter = registry.counter("runtime.batch.chunks")
+            run_start = time.perf_counter()
         t_buf: list[float] = []
         v_true: list[np.ndarray] = []
         v_ref: list[np.ndarray] = []
@@ -528,6 +550,8 @@ class BatchEngine:
 
         for start in range(0, steps, self._chunk):
             c = min(self._chunk, steps - start)
+            if observing:
+                chunk_start = time.perf_counter()
             # Pre-draw this chunk's gaussian blocks from the live streams.
             xi_line = np.stack([rng.standard_normal(c) for rng in self._line_rngs])
             if self._bs_sigma > 0.0:
@@ -827,6 +851,17 @@ class BatchEngine:
                     pressure.append(np.full(n, float(self._bulk_pressure)))
                     temperature.append(np.full(n, float(self._bulk_temp)))
                     coverage.append(np.maximum(self._cov[0], self._cov[1]))
+
+            if observing:
+                chunk_hist.observe(time.perf_counter() - chunk_start)
+                samples_counter.inc(c * n)
+                chunks_counter.inc()
+
+        if observing:
+            elapsed = time.perf_counter() - run_start
+            if elapsed > 0.0:
+                registry.gauge("runtime.batch.samples_per_s").set(
+                    steps * n / elapsed)
 
         for rig in self._rigs:
             rig.monitor.platform.scheduler.bulk_tick(steps)

@@ -10,6 +10,7 @@ so all existing single-monitor analysis keeps working.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,7 +18,40 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.station.rig import RigRecord
 
-__all__ = ["RunResult"]
+__all__ = ["RunResult", "SummaryDict"]
+
+#: Namespace prefix aligning summary keys with the metrics registry
+#: (``run.measured_mps`` matches the ``run.measured_mps.mean`` gauge the
+#: session publishes after an instrumented run).
+_SUMMARY_PREFIX = "run."
+
+
+class SummaryDict(dict):
+    """Summary statistics keyed by registry metric names (``run.<field>``).
+
+    Legacy bare-field keys (``"measured_mps"``) still resolve — with a
+    :class:`DeprecationWarning` — so existing analysis code keeps
+    working while it migrates to the namespaced keys.
+    """
+
+    def __missing__(self, key):
+        alias = _SUMMARY_PREFIX + str(key)
+        if dict.__contains__(self, alias):
+            warnings.warn(
+                f"summary key {key!r} is deprecated; use {alias!r}",
+                DeprecationWarning, stacklevel=2)
+            return dict.__getitem__(self, alias)
+        raise KeyError(key)
+
+    def __contains__(self, key):
+        return (dict.__contains__(self, key)
+                or dict.__contains__(self, _SUMMARY_PREFIX + str(key)))
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
 
 
 @dataclass
@@ -74,16 +108,22 @@ class RunResult:
         """All monitors as a list of RigRecords (convenience)."""
         return [self.trace(i) for i in range(self.n_monitors)]
 
-    def summary(self, monitor: int | None = None) -> dict:
+    def summary(self, monitor: int | None = None) -> SummaryDict:
         """Per-trace mean/std/min/max statistics.
 
-        With ``monitor`` given, statistics for that monitor's traces
-        (identical to ``trace(monitor).summary()``); otherwise the
-        statistics are pooled across the whole fleet.
+        Keys are registry metric names (``run.<field>``); the legacy
+        bare-field keys keep resolving through :class:`SummaryDict`
+        with a :class:`DeprecationWarning`.  With ``monitor`` given,
+        statistics for that monitor's traces (the values of
+        ``trace(monitor).summary()``); otherwise the statistics are
+        pooled across the whole fleet.
         """
         if monitor is not None:
-            return self.trace(monitor).summary()
-        out: dict[str, dict[str, float]] = {}
+            return SummaryDict({
+                _SUMMARY_PREFIX + name: stats
+                for name, stats in self.trace(monitor).summary().items()
+            })
+        out = SummaryDict()
         for name in ("time_s",) + self.STACKED_FIELDS:
             arr = np.asarray(getattr(self, name), dtype=float)
             if arr.size == 0:
@@ -95,7 +135,7 @@ class RunResult:
                     "min": float(arr.min()),
                     "max": float(arr.max()),
                 }
-            out[name] = stats
+            out[_SUMMARY_PREFIX + name] = stats
         return out
 
     def to_csv(self, path) -> None:

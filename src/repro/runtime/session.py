@@ -20,20 +20,50 @@ out of order raises :class:`~repro.errors.SessionError`.
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SessionError
+from repro.observability import get_event_log, get_registry, get_tracer
 from repro.conditioning.calibration import FlowCalibration
 from repro.conditioning.monitor import WaterFlowMonitor
 from repro.runtime.batch import BatchEngine
 from repro.runtime.result import RunResult
 from repro.station.profiles import Profile
 from repro.station.rig import TestRig
-from repro.station.scenarios import build_calibrated_monitor
+from repro.station.scenarios import build_calibrated_monitor, \
+    calibration_cache_stats
 
-__all__ = ["Session", "MonitorHandle"]
+__all__ = ["Session", "MonitorHandle", "resolve_record_every_n"]
+
+
+def resolve_record_every_n(dt_s: float, snapshot_s: float | None,
+                           record_every_n: int | None,
+                           default: int = 20) -> int:
+    """Resolve the unified ``snapshot_s`` cadence to a decimation count.
+
+    ``snapshot_s`` (seconds between recorded points) and the legacy
+    ``record_every_n`` (loop ticks between recorded points) are two
+    spellings of one knob; passing both is ambiguous and refused.
+
+    Raises
+    ------
+    ConfigurationError
+        If both are given, or ``snapshot_s`` is not positive.
+    """
+    if snapshot_s is not None and record_every_n is not None:
+        raise ConfigurationError(
+            "pass snapshot_s or record_every_n, not both")
+    if snapshot_s is not None:
+        if snapshot_s <= 0.0:
+            raise ConfigurationError("snapshot_s must be positive")
+        return max(1, int(round(snapshot_s / dt_s)))
+    if record_every_n is not None:
+        return int(record_every_n)
+    return default
 
 
 @dataclass
@@ -106,6 +136,9 @@ class Session:
         self._state = "new"
         self._seeds: list[int] = []
         self._handles: list[MonitorHandle] = []
+        self._dt = 1.0 / float(loop_rate_hz)
+        self._timings: dict[str, float] = {}
+        self._runs = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -123,9 +156,15 @@ class Session:
     def open(self) -> "Session":
         """Spawn the per-monitor seed stream; must be called first."""
         self._expect("new")
-        children = np.random.SeedSequence(self.seed).spawn(self.n_monitors)
-        self._seeds = [int(child.generate_state(1)[0]) for child in children]
-        self._state = "open"
+        t0 = time.perf_counter()
+        with get_tracer().span("session.open", n_monitors=self.n_monitors):
+            children = np.random.SeedSequence(self.seed).spawn(self.n_monitors)
+            self._seeds = [int(child.generate_state(1)[0])
+                           for child in children]
+            self._state = "open"
+        self._timings["open_s"] = time.perf_counter() - t0
+        get_event_log().emit("session.state", state="open",
+                             n_monitors=self.n_monitors, seed=self.seed)
         return self
 
     def calibrate(self) -> list[MonitorHandle]:
@@ -135,36 +174,124 @@ class Session:
         materializations hit the calibration cache.
         """
         self._expect("open")
-        self._handles = self._materialize()
-        self._state = "calibrated"
+        t0 = time.perf_counter()
+        with get_tracer().span("session.calibrate",
+                               n_monitors=self.n_monitors):
+            self._handles = self._materialize()
+            self._state = "calibrated"
+        self._timings["calibrate_s"] = time.perf_counter() - t0
+        get_event_log().emit("session.state", state="calibrated",
+                             n_monitors=self.n_monitors)
         return self._handles
 
-    def run(self, profile: Profile, engine: str = "batch",
-            record_every_n: int = 20) -> RunResult:
+    def run(self, profile: Profile, *args,
+            snapshot_s: float | None = None,
+            collect: str = "result",
+            engine: str = "batch",
+            record_every_n: int | None = None) -> RunResult | dict:
         """Run a line profile over the fleet; decimated traces out.
 
-        ``engine="batch"`` uses the vectorized :class:`BatchEngine`;
-        ``engine="scalar"`` runs each rig through the per-sample
-        reference path and stacks the records.  Both start from freshly
-        materialized rigs, so with the same seeds the two engines return
-        bit-identical traces.
+        This is the unified run surface (shared with
+        :meth:`repro.station.rig.TestRig.run` and
+        :meth:`repro.station.fleet.MonitoredNetwork.run`): everything
+        after ``profile`` is keyword-only.
+
+        Parameters
+        ----------
+        profile:
+            Line profile to execute.
+        snapshot_s:
+            Seconds between recorded points (the unified cadence knob).
+            Mutually exclusive with the legacy ``record_every_n``
+            (loop ticks between points, default 20).
+        collect:
+            ``"result"`` returns the :class:`RunResult`; ``"summary"``
+            returns ``RunResult.summary()`` (pooled statistics keyed by
+            registry metric names).
+        engine:
+            ``"batch"`` uses the vectorized :class:`BatchEngine`;
+            ``"scalar"`` runs each rig through the per-sample reference
+            path and stacks the records.  Both start from freshly
+            materialized rigs, so with the same seeds the two engines
+            return bit-identical traces.
+
+        .. deprecated:: 1.1
+            Positional ``engine`` / ``record_every_n`` still work but
+            emit :class:`DeprecationWarning`; pass them by keyword.
         """
+        if args:
+            warnings.warn(
+                "positional engine/record_every_n are deprecated; "
+                "Session.run is keyword-only after profile",
+                DeprecationWarning, stacklevel=2)
+            if len(args) > 2:
+                raise ConfigurationError(
+                    f"Session.run takes at most profile, engine, "
+                    f"record_every_n positionally (got {1 + len(args)})")
+            engine = args[0]
+            if len(args) == 2:
+                record_every_n = args[1]
         self._expect("calibrated")
         if engine not in ("batch", "scalar"):
             raise ConfigurationError(
                 f"unknown engine {engine!r}; use 'batch' or 'scalar'")
-        self._handles = self._materialize()
-        rigs = [handle.rig for handle in self._handles]
-        if engine == "batch":
-            return BatchEngine(rigs, chunk_size=self._chunk).run(
-                profile, record_every_n=record_every_n)
-        return RunResult.from_records(
-            [rig.run(profile, record_every_n=record_every_n) for rig in rigs])
+        if collect not in ("result", "summary"):
+            raise ConfigurationError(
+                f"unknown collect {collect!r}; use 'result' or 'summary'")
+        every = resolve_record_every_n(self._dt, snapshot_s, record_every_n)
+        if every < 1:
+            raise ConfigurationError("record_every_n must be >= 1")
+        t0 = time.perf_counter()
+        with get_tracer().span("session.run", engine=engine,
+                               n_monitors=self.n_monitors):
+            self._handles = self._materialize()
+            rigs = [handle.rig for handle in self._handles]
+            if engine == "batch":
+                result = BatchEngine(rigs, chunk_size=self._chunk).run(
+                    profile, record_every_n=every)
+            else:
+                result = RunResult.from_records(
+                    [rig.run(profile, record_every_n=every) for rig in rigs])
+        elapsed = time.perf_counter() - t0
+        self._timings["run_s"] = elapsed
+        self._runs += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("runtime.session.runs").inc()
+            registry.histogram("runtime.session.run_s").observe(elapsed)
+            for name, stats in result.summary().items():
+                registry.gauge(f"{name}.mean").set(stats["mean"])
+        get_event_log().emit("session.run", engine=engine,
+                             n_monitors=self.n_monitors,
+                             duration_s=profile.duration_s)
+        if collect == "summary":
+            return result.summary()
+        return result
+
+    def stats(self) -> dict:
+        """Session-level observability snapshot (always available).
+
+        Returns lifecycle timings measured by the session itself, the
+        calibration-LRU statistics, and — when observability is enabled
+        — the process-wide metrics snapshot under ``"metrics"``.
+        """
+        registry = get_registry()
+        return {
+            "state": self._state,
+            "n_monitors": self.n_monitors,
+            "seed": self.seed,
+            "runs": self._runs,
+            "timings_s": dict(self._timings),
+            "calibration_cache": calibration_cache_stats(),
+            "metrics": registry.snapshot() if registry.enabled else {},
+        }
 
     def close(self) -> None:
         """End the session; any further stage call raises SessionError."""
         self._state = "closed"
         self._handles = []
+        get_event_log().emit("session.state", state="closed",
+                             n_monitors=self.n_monitors)
 
     # -- conveniences --------------------------------------------------------
 

@@ -13,14 +13,17 @@ anchored to the detailed model.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.observability import get_event_log, get_registry, get_tracer
 from repro.conditioning.leak_detect import LeakDetector, LeakEvent, NetworkSegmentMonitor
 from repro.station.demand import DiurnalDemand
 from repro.station.network import PipeNetwork
+from repro.station.profiles import Profile
 
 __all__ = ["MeterCharacter", "MonitoredNetwork", "FleetReport",
            "characterize_meter_pool"]
@@ -65,11 +68,16 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
     if not 0.0 <= settle_s < duration_s:
         raise ConfigurationError("settle window must fit inside the hold")
     true_mps = speed_cmps * 1e-2
-    with Session(n_monitors=n_meters, seed=seed,
-                 use_pulsed_drive=False,
-                 fast_calibration=fast_calibration) as session:
-        session.calibrate()
-        result = session.run(hold(speed_cmps, duration_s))
+    with get_tracer().span("fleet.characterize_meter_pool",
+                           n_meters=n_meters, seed=seed):
+        with Session(n_monitors=n_meters, seed=seed,
+                     use_pulsed_drive=False,
+                     fast_calibration=fast_calibration) as session:
+            session.calibrate()
+            result = session.run(hold(speed_cmps, duration_s))
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("station.fleet.meters_characterized").inc(n_meters)
     characters = []
     for i in range(n_meters):
         window = result.trace(i).steady_window(settle_s, duration_s)
@@ -219,27 +227,104 @@ class MonitoredNetwork:
             ratio = imb[name] / inlet[name] if inlet[name] > 0.0 else 0.0
             self.detector.segment(name).set_baseline(baseline_ratio=ratio)
 
-    def run(self, hours: float, snapshot_s: float = 60.0,
+    def run(self, profile: Profile | float | None = None, *args,
+            snapshot_s: float | None = None,
+            collect: str = "result",
             leak: tuple[str, str, float] | None = None,
-            leak_at_h: float | None = None) -> FleetReport:
+            leak_at_h: float | None = None,
+            hours: float | None = None) -> FleetReport | dict:
         """Simulate the fleet for a duration.
+
+        This is the unified run surface (shared with
+        :meth:`repro.runtime.session.Session.run` and
+        :meth:`repro.station.rig.TestRig.run`): a profile (or a plain
+        duration in hours) first, everything else keyword-only.
 
         Parameters
         ----------
-        hours:
-            Simulated span.
+        profile:
+            Simulated span — either a
+            :class:`~repro.station.profiles.Profile` (its
+            ``duration_s`` sets the span; the fleet abstraction does
+            not track the profile's speed setpoints) or a plain number
+            of hours.
         snapshot_s:
-            Meter reporting cadence.
+            Meter reporting cadence (default 60 s).
+        collect:
+            ``"result"`` returns the :class:`FleetReport`;
+            ``"summary"`` returns a JSON-safe dict of the report.
         leak / leak_at_h:
             Optional (upstream, downstream, m3/s) leak opened at the
             given hour.
 
         Returns
         -------
-        FleetReport
+        FleetReport | dict
+
+        .. deprecated:: 1.1
+            The ``hours=`` keyword and positional ``snapshot_s`` still
+            work but emit :class:`DeprecationWarning`; pass the span as
+            ``profile`` and the cadence by keyword.
         """
-        if hours <= 0.0 or snapshot_s <= 0.0:
+        if args:
+            warnings.warn(
+                "positional snapshot_s is deprecated; "
+                "MonitoredNetwork.run is keyword-only after the duration",
+                DeprecationWarning, stacklevel=2)
+            if len(args) > 1:
+                raise ConfigurationError(
+                    f"MonitoredNetwork.run takes at most the duration and "
+                    f"snapshot_s positionally (got {1 + len(args)})")
+            if snapshot_s is not None:
+                raise ConfigurationError(
+                    "snapshot_s given both positionally and by keyword")
+            snapshot_s = args[0]
+        if hours is not None:
+            warnings.warn(
+                "hours= is deprecated; pass the duration (hours or a "
+                "Profile) as the first argument",
+                DeprecationWarning, stacklevel=2)
+            if profile is not None:
+                raise ConfigurationError(
+                    "pass the duration as profile or hours=, not both")
+            profile = hours
+        if profile is None:
+            raise ConfigurationError("a duration (hours or Profile) is required")
+        if collect not in ("result", "summary"):
+            raise ConfigurationError(
+                f"unknown collect {collect!r}; use 'result' or 'summary'")
+        span_h = (profile.duration_s / 3600.0
+                  if isinstance(profile, Profile) else float(profile))
+        if snapshot_s is None:
+            snapshot_s = 60.0
+        if span_h <= 0.0 or snapshot_s <= 0.0:
             raise ConfigurationError("hours and cadence must be positive")
+        with get_tracer().span("fleet.run", hours=span_h,
+                               segments=len(self.detector.segments)):
+            report = self._run(span_h, float(snapshot_s), leak, leak_at_h)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("station.fleet.snapshots").inc(report.snapshots)
+            registry.counter("station.fleet.leak_events").inc(
+                len(report.events))
+        get_event_log().emit("fleet.run", hours=span_h,
+                             snapshots=report.snapshots,
+                             leak_events=len(report.events))
+        if collect == "summary":
+            return {
+                "snapshots": report.snapshots,
+                "night_fraction": report.night_fraction,
+                "leak_events": [
+                    {"segment": e.segment, "time_s": e.time_s,
+                     "estimated_loss_mps": e.estimated_loss_mps}
+                    for e in report.events
+                ],
+            }
+        return report
+
+    def _run(self, hours: float, snapshot_s: float,
+             leak: tuple[str, str, float] | None,
+             leak_at_h: float | None) -> FleetReport:
         report = FleetReport()
         night = 0
         steps = int(hours * 3600.0 / snapshot_s)

@@ -9,11 +9,13 @@ paper's calibration.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import CalibrationError, ConfigurationError
+from repro.observability import get_tracer
 from repro.baselines.base import FlowMeter
 from repro.baselines.promag import Promag50
 from repro.conditioning.calibration import CalibrationProcedure, FlowCalibration
@@ -115,17 +117,69 @@ class TestRig:
             turbulence_multiplier=monitor.sensor.housing.turbulence_multiplier())
         self.reference = reference or Promag50()
 
-    def run(self, profile: Profile, record_every_n: int = 20) -> RigRecord:
+    def run(self, profile: Profile, *args,
+            snapshot_s: float | None = None,
+            collect: str = "result",
+            record_every_n: int | None = None) -> RigRecord | dict:
         """Execute a profile; returns decimated synchronous traces.
+
+        This is the unified run surface (shared with
+        :meth:`repro.runtime.session.Session.run` and
+        :meth:`repro.station.fleet.MonitoredNetwork.run`): everything
+        after ``profile`` is keyword-only.
+
+        Parameters
+        ----------
+        profile:
+            Line profile to execute.
+        snapshot_s:
+            Seconds between recorded points.  Mutually exclusive with
+            the legacy ``record_every_n`` (loop ticks between points,
+            default 20).
+        collect:
+            ``"result"`` returns the :class:`RigRecord`; ``"summary"``
+            returns :meth:`RigRecord.summary`.
 
         Raises
         ------
         ConfigurationError
             On an empty profile or non-positive decimation.
+
+        .. deprecated:: 1.1
+            Positional ``record_every_n`` still works but emits
+            :class:`DeprecationWarning`; pass it by keyword.
         """
+        # Local import: repro.runtime.session imports this module.
+        from repro.runtime.session import resolve_record_every_n
+
+        if args:
+            warnings.warn(
+                "positional record_every_n is deprecated; "
+                "TestRig.run is keyword-only after profile",
+                DeprecationWarning, stacklevel=2)
+            if len(args) > 1:
+                raise ConfigurationError(
+                    f"TestRig.run takes at most profile and record_every_n "
+                    f"positionally (got {1 + len(args)})")
+            if record_every_n is not None:
+                raise ConfigurationError(
+                    "record_every_n given both positionally and by keyword")
+            record_every_n = args[0]
+        if collect not in ("result", "summary"):
+            raise ConfigurationError(
+                f"unknown collect {collect!r}; use 'result' or 'summary'")
+        dt = self.monitor.platform.dt_s
+        record_every_n = resolve_record_every_n(dt, snapshot_s, record_every_n)
         if record_every_n < 1:
             raise ConfigurationError("record_every_n must be >= 1")
-        dt = self.monitor.platform.dt_s
+        with get_tracer().span("rig.run", duration_s=profile.duration_s):
+            record = self._run(profile, record_every_n, dt)
+        if collect == "summary":
+            return record.summary()
+        return record
+
+    def _run(self, profile: Profile, record_every_n: int,
+             dt: float) -> RigRecord:
         steps = int(round(profile.duration_s / dt))
         if steps < 1:
             raise ConfigurationError("profile shorter than one loop tick")

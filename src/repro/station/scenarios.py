@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.promag import Promag50
+from repro.observability import get_registry, get_tracer
 from repro.conditioning.calibration import FlowCalibration
 from repro.conditioning.cta import CTAConfig, CTAController
 from repro.conditioning.monitor import MonitorConfig, WaterFlowMonitor
@@ -38,7 +39,8 @@ from repro.station.line import LineConfig, WaterLine
 from repro.station.rig import TestRig, run_calibration
 
 __all__ = ["CalibratedSetup", "vinci_station", "build_calibrated_monitor",
-           "clear_calibration_cache", "DEFAULT_CALIBRATION_SPEEDS_CMPS"]
+           "clear_calibration_cache", "calibration_cache_stats",
+           "DEFAULT_CALIBRATION_SPEEDS_CMPS"]
 
 #: Default calibration campaign: zero (direction offset + King A) plus a
 #: geometric ladder over the paper's 0-250 cm/s range.
@@ -79,11 +81,34 @@ class CalibratedSetup:
 #: determines the campaign outcome.
 _CALIBRATION_CACHE: "OrderedDict[tuple, tuple[FlowCalibration, dict]]" = OrderedDict()
 _CALIBRATION_CACHE_MAX = 32
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
 
 
 def clear_calibration_cache() -> None:
     """Drop all memoized calibrations (test isolation / memory)."""
+    global _CACHE_HITS, _CACHE_MISSES
     _CALIBRATION_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+def calibration_cache_stats() -> dict:
+    """Lifetime LRU statistics: size, hits, misses and the hit rate.
+
+    The hit/miss tallies are process-lifetime (reset by
+    :func:`clear_calibration_cache`); uncacheable builds (caller-owned
+    housing, ``use_cache=False``) count as misses — they paid for a
+    full campaign.
+    """
+    lookups = _CACHE_HITS + _CACHE_MISSES
+    return {
+        "size": len(_CALIBRATION_CACHE),
+        "max_size": _CALIBRATION_CACHE_MAX,
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+        "hit_rate": _CACHE_HITS / lookups if lookups else 0.0,
+    }
 
 
 def _snapshot_sensor(sensor: MAFSensor) -> dict:
@@ -190,20 +215,29 @@ def build_calibrated_monitor(
                  output_bandwidth_hz, use_pulsed_drive, bit_true_adc,
                  tuple(speeds), fast)
     cached = _CALIBRATION_CACHE.get(cache_key) if cacheable else None
+    global _CACHE_HITS, _CACHE_MISSES
+    registry = get_registry()
     if cached is not None:
+        _CACHE_HITS += 1
+        if registry.enabled:
+            registry.counter("station.calibration_cache.hits").inc()
         calibration, snapshot = cached
         _CALIBRATION_CACHE.move_to_end(cache_key)
         _restore_sensor(sensor, snapshot)
     else:
-        cal_platform = ISIFPlatform.for_anemometer(
-            loop_rate_hz=loop_rate_hz, bit_true_adc=bit_true_adc,
-            seed=_child_seed(cal_platform_ss))
-        cal_controller = CTAController(sensor, cal_platform, cta_cfg)
-        line = WaterLine(LineConfig(seed=_child_seed(cal_line_ss)))
-        calibration = run_calibration(
-            cal_controller, speeds, line=line,
-            reference=Promag50(seed=_child_seed(cal_reference_ss)),
-            settle_s=settle_s, average_s=average_s)
+        _CACHE_MISSES += 1
+        if registry.enabled:
+            registry.counter("station.calibration_cache.misses").inc()
+        with get_tracer().span("scenarios.calibration_campaign", seed=seed):
+            cal_platform = ISIFPlatform.for_anemometer(
+                loop_rate_hz=loop_rate_hz, bit_true_adc=bit_true_adc,
+                seed=_child_seed(cal_platform_ss))
+            cal_controller = CTAController(sensor, cal_platform, cta_cfg)
+            line = WaterLine(LineConfig(seed=_child_seed(cal_line_ss)))
+            calibration = run_calibration(
+                cal_controller, speeds, line=line,
+                reference=Promag50(seed=_child_seed(cal_reference_ss)),
+                settle_s=settle_s, average_s=average_s)
         if cacheable:
             _CALIBRATION_CACHE[cache_key] = (calibration,
                                              _snapshot_sensor(sensor))

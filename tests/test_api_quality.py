@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.station",
     "repro.analysis",
     "repro.runtime",
+    "repro.observability",
 ]
 
 
@@ -77,3 +78,37 @@ def test_all_exports_resolve(pkg_name):
 
 def test_version_string():
     assert repro.__version__ == "1.0.0"
+
+
+def test_error_hierarchy_single_source():
+    """``repro.errors.__all__`` is the one list of library exceptions.
+
+    Every ``ReproError`` subclass defined anywhere in the package must
+    live in :mod:`repro.errors` and be listed in its ``__all__`` — no
+    module may grow a private exception class on the side.
+    """
+    from repro.errors import ReproError
+
+    errors = importlib.import_module("repro.errors")
+    listed = set(errors.__all__)
+    for module in iter_modules():
+        for name, obj in vars(module).items():
+            if inspect.isclass(obj) and issubclass(obj, ReproError):
+                assert obj.__module__ == "repro.errors", (
+                    f"{module.__name__}.{name} defines an exception "
+                    f"outside repro.errors")
+                assert obj.__name__ in listed, (
+                    f"{obj.__name__} missing from repro.errors.__all__")
+
+
+def test_errors_reexported_from_top_level():
+    """The full exception hierarchy is importable from ``repro`` itself,
+    by identity, and listed in ``repro.__all__``."""
+    errors = importlib.import_module("repro.errors")
+    for name in errors.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+        assert getattr(repro, name) is getattr(errors, name), (
+            f"repro.{name} is not the repro.errors class")
+        assert name in repro.__all__, f"{name} not in repro.__all__"
+    assert len(repro.__all__) == len(set(repro.__all__)), (
+        "repro.__all__ contains duplicates")

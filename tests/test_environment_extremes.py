@@ -51,6 +51,7 @@ def test_zero_flow_long_dwell_remains_stable():
     assert np.mean(tail) > loop.config.supply_min_v + 0.05
 
 
+@pytest.mark.slow
 def test_soak_regulation_over_a_minute():
     """Medium-length soak: no slow divergence, windup or limit cycling
     in the loop over 60 s of mixed conditions."""

@@ -33,13 +33,13 @@ def test_meter_character_validation():
 def test_run_validation():
     _, fleet = build_fleet()
     with pytest.raises(ConfigurationError):
-        fleet.run(hours=-1.0)
+        fleet.run(-1.0)
 
 
 def test_healthy_day_no_alarms():
     """A full diurnal cycle with noisy, biased meters: zero false alarms."""
     _, fleet = build_fleet(seed=3)
-    report = fleet.run(hours=24.0, snapshot_s=60.0)
+    report = fleet.run(24.0, snapshot_s=60.0)
     assert report.events == []
     assert report.snapshots == 24 * 60
     assert 0.08 < report.night_fraction < 0.16  # 3h window of 24h
@@ -50,7 +50,7 @@ def test_night_leak_detected_and_localised():
     _, fleet = build_fleet(seed=4)
     area = np.pi * 0.025**2  # DN50
     leak_q = 0.05 * area  # 5 cm/s-equivalent loss
-    report = fleet.run(hours=6.0, snapshot_s=60.0,
+    report = fleet.run(6.0, snapshot_s=60.0,
                        leak=("A", "B", leak_q), leak_at_h=2.0)
     assert report.events
     first = report.events[0]
@@ -65,7 +65,7 @@ def test_night_leak_detected_and_localised():
 def test_daytime_leak_detected_despite_demand_swings():
     _, fleet = build_fleet(seed=5)
     area = np.pi * 0.025**2
-    report = fleet.run(hours=12.0, snapshot_s=60.0,
+    report = fleet.run(12.0, snapshot_s=60.0,
                        leak=("A", "C", 0.08 * area), leak_at_h=8.0)
     assert any(e.segment == "A->C" for e in report.events)
 
@@ -73,7 +73,7 @@ def test_daytime_leak_detected_despite_demand_swings():
 def test_determinism_per_seed():
     _, fleet_a = build_fleet(seed=9)
     _, fleet_b = build_fleet(seed=9)
-    ra = fleet_a.run(hours=3.0, snapshot_s=120.0)
-    rb = fleet_b.run(hours=3.0, snapshot_s=120.0)
+    ra = fleet_a.run(3.0, snapshot_s=120.0)
+    rb = fleet_b.run(3.0, snapshot_s=120.0)
     assert ra.snapshots == rb.snapshots
     assert [e.segment for e in ra.events] == [e.segment for e in rb.events]

@@ -111,4 +111,4 @@ def test_run_result_trace_roundtrip():
     record = result.trace(1)
     assert np.array_equal(record.measured_mps, result.measured_mps[1])
     summary = result.summary(monitor=0)
-    assert np.isfinite(summary["measured_mps"]["mean"])
+    assert np.isfinite(summary["run.measured_mps"]["mean"])

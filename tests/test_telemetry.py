@@ -56,6 +56,15 @@ def test_decode_rejects_truncated():
         decode_frame(b"\x55\xaa\x00")
 
 
+@pytest.mark.parametrize("length", [0, 1, FRAME_SIZE - 1, FRAME_SIZE + 1,
+                                    2 * FRAME_SIZE])
+def test_decode_rejects_every_wrong_length(length):
+    raw = (encode_frame(measurement(), 5) * 2)[:length]
+    with pytest.raises(FrameError) as exc_info:
+        decode_frame(raw)
+    assert exc_info.value.reason == "length"
+
+
 def test_decode_rejects_bit_flip():
     raw = bytearray(encode_frame(measurement(), 3))
     raw[6] ^= 0x01
@@ -63,11 +72,60 @@ def test_decode_rejects_bit_flip():
         decode_frame(bytes(raw))
 
 
+def test_decode_rejects_every_single_bit_flip():
+    """CRC-16 guarantees detection of any single-bit error; prove it
+    exhaustively over every bit of the frame (payload and CRC alike)."""
+    pristine = encode_frame(measurement(speed=1.5, coverage=0.1), 42)
+    for byte_index in range(FRAME_SIZE):
+        for bit in range(8):
+            raw = bytearray(pristine)
+            raw[byte_index] ^= 1 << bit
+            with pytest.raises(FrameError) as exc_info:
+                decode_frame(bytes(raw))
+            assert exc_info.value.reason in ("crc", "sync")
+
+
 def test_decode_rejects_bad_sync():
     raw = bytearray(encode_frame(measurement(), 3))
     raw[0] = 0x00  # breaks sync (and CRC, but sync path also guarded)
     with pytest.raises(FrameError):
         decode_frame(bytes(raw))
+
+
+def test_decode_rejects_bad_sync_with_valid_crc():
+    """A frame whose CRC is consistent but whose sync word is wrong is
+    not a frame at all — the sync check must fire even when the CRC
+    passes (e.g. a resynchronisation slip onto foreign data)."""
+    from repro.isif.eeprom import crc16_ccitt
+
+    raw = bytearray(encode_frame(measurement(), 3))
+    raw[0], raw[1] = 0xDE, 0xAD
+    body = bytes(raw[:-2])
+    raw[-2:] = crc16_ccitt(body).to_bytes(2, "big")
+    with pytest.raises(FrameError) as exc_info:
+        decode_frame(bytes(raw))
+    assert exc_info.value.reason == "sync"
+
+
+def test_frame_error_reason_attribute():
+    """FrameError carries a machine-readable reason and is importable
+    from the top-level package (it is part of the exception hierarchy)."""
+    import repro
+
+    assert repro.FrameError is FrameError
+    with pytest.raises(FrameError) as exc_info:
+        decode_frame(b"")
+    assert exc_info.value.reason == "length"
+    assert isinstance(exc_info.value, repro.ReproError)
+
+
+def test_channel_counts_crc_failures():
+    ch = TelemetryChannel(UartLink(bit_error_rate=0.01, seed=11))
+    for i in range(200):
+        ch.send(measurement(t=float(i)))
+    assert ch.frames_sent == 200
+    assert ch.frames_dropped > 0
+    assert 0 < ch.crc_failures <= ch.frames_dropped
 
 
 def test_channel_clean_link_delivers_everything():
