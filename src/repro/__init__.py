@@ -16,7 +16,7 @@ Layers (bottom up):
 * :mod:`repro.station` -- the simulated Vinci test line and rig;
 * :mod:`repro.analysis` -- section-5 metrics and sweep/report helpers;
 * :mod:`repro.runtime` -- fleet-scale sessions over the vectorized
-  batch engine.
+  batch engine and the process-parallel sharded engine.
 
 Quick start (one monitor)::
 
@@ -54,7 +54,8 @@ from repro.baselines.turbine import TurbineMeter
 from repro.station.scenarios import build_calibrated_monitor, CalibratedSetup, vinci_station
 from repro.station.profiles import hold, staircase, ramp, step, bidirectional_staircase, pressure_peaks
 from repro.station.rig import TestRig, run_calibration
-from repro.runtime import BatchEngine, MonitorHandle, RunResult, Session, run_batch
+from repro.runtime import BatchEngine, MonitorHandle, RunResult, Session, \
+    ShardedEngine, run_batch
 
 __version__ = "1.0.0"
 
@@ -92,6 +93,7 @@ __all__ = [
     "Session",
     "MonitorHandle",
     "BatchEngine",
+    "ShardedEngine",
     "RunResult",
     "run_batch",
     "__version__",

@@ -4,11 +4,14 @@
     python -m repro calibrate --out cal.json [--seed N] [--fast]
     python -m repro measure --cal cal.json --speed-cmps 120 [--duration 10]
     python -m repro sweep --cal cal.json --levels 0,50,100,250
+    python -m repro fleet --n-monitors 8 --workers 4 [--out traces.npz]
 
 The CLI mirrors how a bench operator would use the real instrument:
 power-on self-test, a calibration campaign against the reference meter
 (saved as a JSON EEPROM image), then measurements against the stored
-calibration.
+calibration.  ``fleet`` runs a whole fleet of monitors at once through
+the batched runtime, optionally sharded across worker processes
+(``--workers``); the traces are bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -78,6 +81,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated speeds [cm/s]")
     rec.add_argument("--dwell", type=float, default=8.0)
     rec.add_argument("--seed", type=int, default=42)
+
+    flt = sub.add_parser(
+        "fleet",
+        help="run a fleet through the batched runtime, optionally sharded")
+    flt.add_argument("--n-monitors", type=int, default=4,
+                     help="fleet size (default 4)")
+    flt.add_argument("--workers", type=int, default=1,
+                     help="worker processes; >1 shards the fleet across a "
+                          "process pool with bit-identical results "
+                          "(default 1 = serial)")
+    flt.add_argument("--levels", type=str, default="0,50,120",
+                     help="comma-separated staircase speeds [cm/s]")
+    flt.add_argument("--dwell", type=float, default=4.0,
+                     help="seconds per staircase level")
+    flt.add_argument("--seed", type=int, default=42, help="session seed")
+    flt.add_argument("--out", type=Path, default=None,
+                     help="optional .npz path for the fleet traces")
     return parser
 
 
@@ -169,12 +189,56 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    try:
+        levels = [float(x) for x in args.levels.split(",") if x.strip()]
+    except ValueError:
+        print("error: --levels must be comma-separated numbers",
+              file=sys.stderr)
+        return 2
+    if not levels:
+        print("error: no levels given", file=sys.stderr)
+        return 2
+    if args.n_monitors < 1:
+        print("error: --n-monitors must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    import time
+
+    from repro.runtime import Session
+    from repro.station.profiles import staircase
+    profile = staircase(levels, dwell_s=args.dwell)
+    print(f"fleet of {args.n_monitors} monitors, {args.workers} worker(s), "
+          f"staircase {levels} cm/s ...")
+    with Session(n_monitors=args.n_monitors, seed=args.seed,
+                 use_pulsed_drive=False, fast_calibration=True) as session:
+        session.calibrate()
+        t0 = time.perf_counter()
+        result = session.run(profile, workers=args.workers)
+        elapsed = time.perf_counter() - t0
+    samples = int(profile.duration_s * 1000.0) * args.n_monitors
+    print(f"ran {profile.duration_s:.1f} s x {result.n_monitors} monitors "
+          f"in {elapsed:.2f} s wall "
+          f"({samples / max(elapsed, 1e-9) / 1e3:.0f} ksamples/s)")
+    final = result.measured_mps[:, -1] * 100.0
+    print(f"final measured speeds: "
+          + ", ".join(f"{v:.1f}" for v in final.tolist()) + " cm/s")
+    if args.out is not None:
+        result.save(args.out)
+        print(f"{len(result)} ticks x {result.n_monitors} monitors "
+              f"written to {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "selftest": _cmd_selftest,
     "calibrate": _cmd_calibrate,
     "measure": _cmd_measure,
     "sweep": _cmd_sweep,
     "record": _cmd_record,
+    "fleet": _cmd_fleet,
 }
 
 

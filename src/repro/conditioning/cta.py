@@ -34,6 +34,15 @@ from repro.sensor.maf import FlowConditions, MAFSensor, SensorReadout
 __all__ = ["CTAConfig", "LoopTelemetry", "CTAController"]
 
 
+def _noop_ip_step() -> None:
+    """Cost-model placeholder body for the software IP tasks.
+
+    A module-level function (not a lambda) so controllers — and the
+    rigs that own them — stay picklable for the process-parallel
+    sharded runtime.
+    """
+
+
 @dataclass(frozen=True)
 class CTAConfig:
     """Loop configuration.
@@ -167,7 +176,7 @@ class CTAController:
         costs = DEFAULT_CYCLE_COSTS
         for name in ("reference_subtract", "pi_controller"):
             for suffix in ("_a", "_b"):
-                sched.register(IPTask(name=name + suffix, step=lambda: None,
+                sched.register(IPTask(name=name + suffix, step=_noop_ip_step,
                                       cycles=costs[name]))
 
     # -- loop ---------------------------------------------------------------------

@@ -8,17 +8,24 @@
 - :class:`BatchEngine` / :func:`run_batch` — the chunk-vectorized
   engine advancing N monitors x K samples per call, bit-identical to
   the scalar loops it replaces,
+- :class:`ShardedEngine` (:mod:`repro.runtime.parallel`) — the same
+  fleet partitioned across worker processes, bit-identical to the
+  serial engine for any shard count, with bounded retry and serial
+  fallback on worker failure,
 - :class:`RunResult` — stacked ``(N, M)`` traces with scalar
-  ``RigRecord`` rehydration.
+  ``RigRecord`` rehydration and shard-block concatenation.
 
 The scalar classes (`TestRig`, `CTAController`, ...) remain the
-reference implementation; the parity tests hold the two paths to
+reference implementation; the parity tests hold all three paths to
 bit-identical outputs on shared seeds.
 """
 
 from repro.runtime.batch import BatchEngine, run_batch
+from repro.runtime.parallel import (ShardedEngine, partition_monitors,
+                                    resolve_workers, spawn_monitor_seeds)
 from repro.runtime.result import RunResult
 from repro.runtime.session import MonitorHandle, Session
 
 __all__ = ["BatchEngine", "run_batch", "RunResult", "Session",
-           "MonitorHandle"]
+           "MonitorHandle", "ShardedEngine", "partition_monitors",
+           "resolve_workers", "spawn_monitor_seeds"]

@@ -879,12 +879,24 @@ class BatchEngine:
 
 
 def run_batch(rigs: list[TestRig], profile: Profile,
-              record_every_n: int = 20, chunk_size: int = 1024) -> RunResult:
-    """One-shot convenience: build a :class:`BatchEngine` and run it.
+              record_every_n: int = 20, chunk_size: int = 1024,
+              workers: int | None = None) -> RunResult:
+    """One-shot convenience: build an engine and run it.
+
+    With ``workers`` left at None (or 1) this builds a serial
+    :class:`BatchEngine`; with ``workers > 1`` the fleet is partitioned
+    across worker processes by :class:`repro.runtime.parallel.ShardedEngine`,
+    whose merged result is bit-identical to the serial path.
 
     The rigs are consumed (see the module docstring); build fresh rigs
     for repeat runs or use :class:`repro.runtime.Session`, which
     re-materializes monitors from cached calibrations.
     """
+    if workers is not None and workers != 1:
+        # Imported lazily: parallel.py itself imports this module.
+        from repro.runtime.parallel import ShardedEngine
+        return ShardedEngine(rigs, workers=workers,
+                             chunk_size=chunk_size).run(
+            profile, record_every_n=record_every_n)
     return BatchEngine(rigs, chunk_size=chunk_size).run(
         profile, record_every_n=record_every_n)

@@ -1,0 +1,374 @@
+"""Process-parallel sharded fleet execution with deterministic parity.
+
+The batch engine (:mod:`repro.runtime.batch`) vectorizes within one
+process; this module shards a fleet **across** worker processes while
+keeping the result bit-identical to the serial path:
+
+- The fleet is partitioned into contiguous shards
+  (:func:`partition_monitors`).  Per-monitor randomness lives entirely
+  inside each rig (its seeds were spawned with
+  ``numpy.random.SeedSequence.spawn`` at build time — see
+  :func:`spawn_monitor_seeds` and ``Session.open``), so moving a rig to
+  another process moves its noise streams with it, untouched.
+- The shared line plant is deterministic given the profile (no fleet
+  RNG), and the batch engine validates that every rig starts from the
+  same bulk state, so each shard re-derives the identical line
+  trajectory independently.
+- Each shard runs in its own single-process
+  ``concurrent.futures.ProcessPoolExecutor`` worker, which builds a
+  :class:`~repro.runtime.batch.BatchEngine` over its pickled rigs and
+  sends back the shard's ``(N_shard, M)`` trace block.
+- Blocks are merged in shard order with :meth:`RunResult.concat`;
+  worker scheduling order cannot reorder rows.
+
+The parity contract is therefore *exact*: for any shard count and any
+worker interleaving, ``ShardedEngine.run`` returns the same bits as
+``BatchEngine.run`` on the whole fleet (``tests/test_parallel_parity.py``
+asserts this for shard counts 1, 2, 3 and N).
+
+Failure semantics: a worker crash, an unpicklable payload or a hung
+worker triggers a bounded re-submission of just that shard on a fresh
+worker (``max_retries`` times), then a serial in-process fallback, so a
+sharded run degrades to the serial engine rather than failing.
+Deterministic simulation errors (:class:`~repro.errors.ReproError`,
+e.g. a membrane burst) are re-raised immediately — retrying cannot
+change physics.  ``shard.retries`` / ``shard.fallbacks`` counters and
+per-shard wall-time histograms flow through the opt-in
+:mod:`repro.observability` registry.
+
+A fault hook for tests: set ``REPRO_SHARD_FAULT`` to
+``crash:<shard>``, ``hang:<shard>``, ``raise:<shard>`` or
+``crash-once:<shard>:<marker-dir>`` to make that shard's worker die,
+hang, raise, or die exactly once (the marker directory persists the
+"already tripped" bit across retried worker processes).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.observability import get_registry, get_tracer
+from repro.runtime.batch import BatchEngine
+from repro.runtime.result import RunResult
+from repro.station.profiles import Profile
+from repro.station.rig import TestRig
+
+__all__ = ["ShardedEngine", "partition_monitors", "spawn_monitor_seeds",
+           "resolve_workers", "FAULT_ENV"]
+
+#: Environment variable consulted by the worker entrypoint to inject
+#: faults (test hook): ``crash:<i>``, ``hang:<i>``, ``raise:<i>`` or
+#: ``crash-once:<i>:<marker-dir>``.
+FAULT_ENV = "REPRO_SHARD_FAULT"
+
+
+def resolve_workers(workers: int | None, n_monitors: int) -> int:
+    """Resolve a ``workers=`` knob to an effective worker count.
+
+    ``None`` means "use the machine": ``os.cpu_count()``.  The result is
+    always clamped to the fleet size — a shard needs at least one rig.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``workers`` is given and not a positive integer.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 1:
+        raise ConfigurationError("workers must be a positive integer")
+    return min(workers, int(n_monitors))
+
+
+def partition_monitors(n_monitors: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous balanced partition of ``range(n_monitors)``.
+
+    Returns ``[(start, stop), ...]`` half-open slices, one per shard, in
+    fleet order.  Sizes differ by at most one (larger shards first), the
+    slices are disjoint and cover every index exactly once, and the
+    partition depends only on ``(n_monitors, n_shards)`` — never on
+    scheduling — so the merged result layout is deterministic.
+
+    Raises
+    ------
+    ConfigurationError
+        On a non-positive fleet size or shard count, or more shards
+        than monitors.
+    """
+    if n_monitors < 1:
+        raise ConfigurationError("need at least one monitor to partition")
+    if not 1 <= n_shards <= n_monitors:
+        raise ConfigurationError(
+            f"shard count must be in 1..{n_monitors}, got {n_shards}")
+    base, extra = divmod(n_monitors, n_shards)
+    bounds = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def spawn_monitor_seeds(seed: int, n_monitors: int) -> list[int]:
+    """Per-monitor seeds spawned from one session seed.
+
+    The same ``SeedSequence.spawn`` derivation ``Session.open`` uses:
+    child streams are statistically independent, and the list depends
+    only on ``(seed, n_monitors)`` — *not* on how the fleet is later
+    sharded — which is what makes shard-count-invariant runs possible.
+    """
+    children = np.random.SeedSequence(int(seed)).spawn(int(n_monitors))
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def _maybe_inject_fault(shard_index: int) -> None:
+    """Honour the ``REPRO_SHARD_FAULT`` test hook in a worker process."""
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    parts = spec.split(":")
+    mode, target = parts[0], int(parts[1])
+    if target != shard_index:
+        return
+    if mode == "crash":
+        os._exit(3)  # hard death: the parent sees a broken pool
+    elif mode == "hang":
+        time.sleep(3600.0)
+    elif mode == "raise":
+        raise RuntimeError(f"injected worker fault on shard {shard_index}")
+    elif mode == "crash-once":
+        marker = Path(parts[2]) / f"shard{shard_index}.tripped"
+        if not marker.exists():
+            marker.touch()
+            os._exit(3)
+
+
+def _run_shard(shard_index: int, rigs: list[TestRig], profile: Profile,
+               record_every_n: int, chunk_size: int) -> tuple[int, RunResult]:
+    """Worker entrypoint: advance one shard and return its trace block.
+
+    Runs in a worker process on *pickled copies* of the shard's rigs,
+    builds a fresh :class:`BatchEngine` over them, and returns the
+    ``(N_shard, M)`` block tagged with the shard index so the parent
+    can merge blocks in fleet order regardless of completion order.
+    """
+    _maybe_inject_fault(shard_index)
+    engine = BatchEngine(rigs, chunk_size=chunk_size)
+    return shard_index, engine.run(profile, record_every_n=record_every_n)
+
+
+def _terminate(executor: ProcessPoolExecutor) -> None:
+    """Tear an executor down hard (its worker may be hung or dead)."""
+    processes = list(getattr(executor, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        except Exception:
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+class ShardedEngine:
+    """Run a homogeneous fleet sharded across worker processes.
+
+    Parameters
+    ----------
+    rigs:
+        Structurally identical test rigs (the :class:`BatchEngine`
+        homogeneity rules apply; they are validated up front in the
+        parent).  Treat them as spent after :meth:`run`, exactly like
+        rigs handed to a :class:`BatchEngine`.
+    workers:
+        Worker process count; ``None`` uses ``os.cpu_count()``.  The
+        effective shard count is ``min(workers, len(rigs))``; a resolved
+        count of 1 runs serially in-process (no executor at all).
+    chunk_size:
+        Per-worker batch-engine noise pre-draw block length.
+    max_retries:
+        Re-submissions allowed per shard after an infrastructure
+        failure (crash / hang / pickling error) before that shard falls
+        back to the serial in-process engine.
+    timeout_s:
+        Per-shard wall-clock budget measured from submission; ``None``
+        disables the watchdog.  A timed-out worker is killed, not
+        abandoned.
+
+    Raises
+    ------
+    ConfigurationError
+        From the fleet homogeneity validation, or on invalid knobs.
+    """
+
+    def __init__(self, rigs: list[TestRig], workers: int | None = None,
+                 chunk_size: int = 1024, max_retries: int = 1,
+                 timeout_s: float | None = None) -> None:
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if timeout_s is not None and timeout_s <= 0.0:
+            raise ConfigurationError("timeout_s must be positive")
+        self._rigs = list(rigs)
+        # Validate homogeneity (and every BatchEngine precondition) in
+        # the parent, before any process is spawned: construction only
+        # reads rig state, it does not consume the rigs.
+        BatchEngine(self._rigs, chunk_size=chunk_size)
+        self._chunk = int(chunk_size)
+        self._workers = resolve_workers(workers, len(self._rigs))
+        self._max_retries = int(max_retries)
+        self._timeout_s = timeout_s
+
+    @property
+    def workers(self) -> int:
+        """Resolved worker/shard count (``min(workers, len(rigs))``)."""
+        return self._workers
+
+    def run(self, profile: Profile, record_every_n: int = 20) -> RunResult:
+        """Execute a profile over the sharded fleet; merged traces out.
+
+        Bit-identical to ``BatchEngine(rigs).run(profile, ...)`` for any
+        shard count and any worker completion order.  Worker failures
+        degrade through retry to a serial in-process fallback; the run
+        only raises for deterministic simulation errors (or if the
+        serial fallback itself fails).
+
+        Raises
+        ------
+        ConfigurationError
+            On an empty profile or non-positive decimation.
+        SensorFault
+            On membrane burst or housing overpressure, exactly as the
+            serial engine would.
+        """
+        if record_every_n < 1:
+            raise ConfigurationError("record_every_n must be >= 1")
+        steps = int(round(profile.duration_s /
+                          self._rigs[0].monitor.platform.dt_s))
+        if steps < 1:
+            raise ConfigurationError("profile shorter than one loop tick")
+        if self._workers == 1:
+            # One shard: the serial engine *is* the sharded run.
+            return BatchEngine(self._rigs, chunk_size=self._chunk).run(
+                profile, record_every_n=record_every_n)
+        with get_tracer().span("shard.run", n_monitors=len(self._rigs),
+                               workers=self._workers):
+            result, fell_back = self._run_sharded(profile, record_every_n)
+        # Mirror the serial engine's scheduler accounting on the parent
+        # rigs (worker-side copies advanced their own, then died).
+        # Fallback shards already ran in-process on the parent rigs.
+        ticked_serially = {id(rig) for start, stop in fell_back
+                           for rig in self._rigs[start:stop]}
+        for rig in self._rigs:
+            if id(rig) not in ticked_serially:
+                rig.monitor.platform.scheduler.bulk_tick(steps)
+        return result
+
+    def _run_sharded(
+            self, profile: Profile, record_every_n: int,
+    ) -> tuple[RunResult, list[tuple[int, int]]]:
+        """Submit shards, collect blocks, retry/fallback, merge.
+
+        Returns the merged result plus the ``(start, stop)`` bounds of
+        every shard that degraded to the in-process fallback (those
+        parent rigs were consumed — and scheduler-ticked — serially).
+        """
+        registry = get_registry()
+        observing = registry.enabled
+        bounds = partition_monitors(len(self._rigs), self._workers)
+        if observing:
+            registry.gauge("shard.workers").set(self._workers)
+            registry.counter("shard.runs").inc()
+            worker_hist = registry.histogram(
+                "shard.worker_s", "per-shard worker wall time")
+
+        executors: dict[int, ProcessPoolExecutor] = {}
+        futures: dict[int, object] = {}
+        deadlines: dict[int, float | None] = {}
+        started: dict[int, float] = {}
+        attempts = {i: 0 for i in range(len(bounds))}
+        results: dict[int, RunResult] = {}
+        fallback: list[int] = []
+
+        def launch(i: int) -> None:
+            # One single-process executor per shard: a crashed or hung
+            # worker cannot contaminate its siblings' futures.
+            start, stop = bounds[i]
+            executors[i] = ProcessPoolExecutor(max_workers=1)
+            futures[i] = executors[i].submit(
+                _run_shard, i, self._rigs[start:stop], profile,
+                record_every_n, self._chunk)
+            started[i] = time.perf_counter()
+            deadlines[i] = (None if self._timeout_s is None
+                            else started[i] + self._timeout_s)
+
+        try:
+            queue = list(range(len(bounds)))
+            for i in queue:
+                launch(i)
+            cursor = 0
+            while cursor < len(queue):
+                i = queue[cursor]
+                cursor += 1
+                deadline = deadlines[i]
+                timeout = (None if deadline is None
+                           else max(0.0, deadline - time.perf_counter()))
+                try:
+                    index, block = futures[i].result(timeout=timeout)
+                    results[index] = block
+                    if observing:
+                        worker_hist.observe(
+                            time.perf_counter() - started[i])
+                    # The worker already returned; reap it promptly so
+                    # no executor lingers into interpreter shutdown.
+                    executors.pop(i).shutdown(wait=True)
+                except ReproError:
+                    # Deterministic simulation outcome (membrane burst,
+                    # bad profile, ...): identical on every retry.
+                    raise
+                except Exception:
+                    # Infrastructure failure: timeout, dead worker
+                    # (BrokenProcessPool), pickling error, injected
+                    # fault — retry on a fresh worker, then fall back.
+                    _terminate(executors.pop(i))
+                    attempts[i] += 1
+                    if attempts[i] <= self._max_retries:
+                        if observing:
+                            registry.counter(
+                                "shard.retries",
+                                "shard re-submissions after worker "
+                                "failure").inc()
+                        launch(i)
+                        queue.append(i)
+                    else:
+                        fallback.append(i)
+        finally:
+            for executor in executors.values():
+                _terminate(executor)
+
+        for i in fallback:
+            if observing:
+                registry.counter(
+                    "shard.fallbacks",
+                    "shards degraded to the serial in-process "
+                    "engine").inc()
+            start, stop = bounds[i]
+            results[i] = BatchEngine(
+                self._rigs[start:stop], chunk_size=self._chunk).run(
+                profile, record_every_n=record_every_n)
+
+        merged = RunResult.concat([results[i] for i in range(len(bounds))])
+        return merged, [bounds[i] for i in fallback]

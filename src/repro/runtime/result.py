@@ -175,6 +175,35 @@ class RunResult:
             return cls(**{name: data[name] for name in fields})
 
     @classmethod
+    def concat(cls, parts: list["RunResult"]) -> "RunResult":
+        """Stack fleet blocks row-wise (monitor axis 0), in list order.
+
+        This is the merge step of the sharded runtime: each worker
+        returns the ``(N_shard, M)`` block for its contiguous slice of
+        the fleet, and concatenating the blocks in shard order restores
+        the serial fleet layout exactly.
+
+        Raises
+        ------
+        ConfigurationError
+            If the list is empty or the parts' time bases are not
+            bit-identical (shards of one run share the profile clock).
+        """
+        if not parts:
+            raise ConfigurationError("need at least one block to concatenate")
+        time_s = np.asarray(parts[0].time_s)
+        for part in parts[1:]:
+            if not np.array_equal(np.asarray(part.time_s), time_s):
+                raise ConfigurationError(
+                    "blocks must share an identical time base")
+        return cls(
+            time_s=time_s.copy(),
+            **{name: np.concatenate(
+                [np.asarray(getattr(p, name)) for p in parts], axis=0)
+               for name in cls.STACKED_FIELDS},
+        )
+
+    @classmethod
     def from_records(cls, records: list[RigRecord]) -> "RunResult":
         """Stack N scalar RigRecords (identical time bases) into a result.
 

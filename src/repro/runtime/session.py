@@ -188,6 +188,7 @@ class Session:
             snapshot_s: float | None = None,
             collect: str = "result",
             engine: str = "batch",
+            workers: int | None = None,
             record_every_n: int | None = None) -> RunResult | dict:
         """Run a line profile over the fleet; decimated traces out.
 
@@ -214,6 +215,13 @@ class Session:
             path and stacks the records.  Both start from freshly
             materialized rigs, so with the same seeds the two engines
             return bit-identical traces.
+        workers:
+            With ``engine="batch"`` and ``workers > 1`` the fleet is
+            partitioned across that many worker processes by
+            :class:`repro.runtime.parallel.ShardedEngine`; the merged
+            result is bit-identical to the serial batch path for any
+            worker count.  ``None`` (default) and 1 stay serial and
+            in-process.  Refused for ``engine="scalar"``.
 
         .. deprecated:: 1.1
             Positional ``engine`` / ``record_every_n`` still work but
@@ -238,6 +246,10 @@ class Session:
         if collect not in ("result", "summary"):
             raise ConfigurationError(
                 f"unknown collect {collect!r}; use 'result' or 'summary'")
+        if workers is not None and workers != 1 and engine != "batch":
+            raise ConfigurationError(
+                "workers > 1 requires engine='batch' (the scalar "
+                "reference path is serial by construction)")
         every = resolve_record_every_n(self._dt, snapshot_s, record_every_n)
         if every < 1:
             raise ConfigurationError("record_every_n must be >= 1")
@@ -246,7 +258,12 @@ class Session:
                                n_monitors=self.n_monitors):
             self._handles = self._materialize()
             rigs = [handle.rig for handle in self._handles]
-            if engine == "batch":
+            if engine == "batch" and workers is not None and workers != 1:
+                from repro.runtime.parallel import ShardedEngine
+                result = ShardedEngine(
+                    rigs, workers=workers, chunk_size=self._chunk).run(
+                    profile, record_every_n=every)
+            elif engine == "batch":
                 result = BatchEngine(rigs, chunk_size=self._chunk).run(
                     profile, record_every_n=every)
             else:

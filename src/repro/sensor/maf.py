@@ -214,6 +214,15 @@ class SensorReadout:
     supply_current_a: float
 
 
+def _resolve_medium(name: str):
+    """Map a config medium name to its property module (air or water)."""
+    if name == "air":
+        from repro.physics import air as _air
+        return _air
+    from repro.physics import water as _water
+    return _water
+
+
 class MAFSensor:
     """Stateful simulation of one MAF die + housing in the water line.
 
@@ -227,12 +236,7 @@ class MAFSensor:
         self.housing = housing or SensorHousing()
         rng = np.random.default_rng(self.config.seed)
         cfg = self.config
-        if cfg.medium == "air":
-            from repro.physics import air as _air
-            self._medium = _air
-        else:
-            from repro.physics import water as _water
-            self._medium = _water
+        self._medium = _resolve_medium(cfg.medium)
 
         self.heater_a = SensingResistor(
             cfg.heater_nominal_ohm, cfg.heater_tolerance_ohm, rng=rng)
@@ -273,6 +277,19 @@ class MAFSensor:
         self._membrane_capacity = cfg.membrane.rim_region_capacity_j_per_k
         self._g_lateral = cfg.membrane.lateral_conductance_w_per_k / 2.0
         self._g_backside = cfg.membrane.backside_conductance_w_per_k / 2.0
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Swap the medium module for its name (modules don't pickle)."""
+        state = self.__dict__.copy()
+        state["_medium"] = self.config.medium
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Re-resolve the medium module from the pickled name."""
+        self.__dict__.update(state)
+        self._medium = _resolve_medium(self.config.medium)
 
     # -- configuration passthroughs ------------------------------------------
 

@@ -33,7 +33,8 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
                             speed_cmps: float = 100.0,
                             duration_s: float = 20.0,
                             settle_s: float = 8.0,
-                            fast_calibration: bool = True) -> list["MeterCharacter"]:
+                            fast_calibration: bool = True,
+                            workers: int | None = None) -> list["MeterCharacter"]:
     """Measure meter characters from full monitor simulations.
 
     Builds and calibrates ``n_meters`` complete monitoring points
@@ -54,6 +55,11 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
         Hold duration and the initial transient to discard.
     fast_calibration:
         Short calibration windows (keep True except for final benches).
+    workers:
+        Forwarded to :meth:`repro.runtime.Session.run`; with
+        ``workers > 1`` the characterization hold runs through the
+        process-parallel sharded engine (bit-identical traces, so the
+        measured characters do not depend on the worker count).
 
     Returns
     -------
@@ -74,7 +80,8 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
                      use_pulsed_drive=False,
                      fast_calibration=fast_calibration) as session:
             session.calibrate()
-            result = session.run(hold(speed_cmps, duration_s))
+            result = session.run(hold(speed_cmps, duration_s),
+                                 workers=workers)
     registry = get_registry()
     if registry.enabled:
         registry.counter("station.fleet.meters_characterized").inc(n_meters)
@@ -232,6 +239,7 @@ class MonitoredNetwork:
             collect: str = "result",
             leak: tuple[str, str, float] | None = None,
             leak_at_h: float | None = None,
+            workers: int | None = None,
             hours: float | None = None) -> FleetReport | dict:
         """Simulate the fleet for a duration.
 
@@ -256,6 +264,14 @@ class MonitoredNetwork:
         leak / leak_at_h:
             Optional (upstream, downstream, m3/s) leak opened at the
             given hour.
+        workers:
+            Accepted for surface uniformity with the other run methods
+            and validated (``>= 1``), but the day-scale fleet model
+            always executes serially: every meter reading is drawn from
+            one shared RNG stream, so sharding it across processes
+            would change the realized noise.  The heavy lifting that
+            *does* parallelize — characterizing the meter pool — goes
+            through :func:`characterize_meter_pool`'s ``workers``.
 
         Returns
         -------
@@ -293,6 +309,8 @@ class MonitoredNetwork:
         if collect not in ("result", "summary"):
             raise ConfigurationError(
                 f"unknown collect {collect!r}; use 'result' or 'summary'")
+        if workers is not None and workers < 1:
+            raise ConfigurationError("workers must be >= 1")
         span_h = (profile.duration_s / 3600.0
                   if isinstance(profile, Profile) else float(profile))
         if snapshot_s is None:

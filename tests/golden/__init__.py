@@ -1,0 +1,7 @@
+"""Golden-trace regression fixtures for the anemometer runtime.
+
+``regen.py`` (re)generates the checked-in ``*.npz`` archives at fixed
+seeds; ``tests/test_golden_traces.py`` asserts the live code still
+reproduces them byte for byte.  See ``docs/parallel.md`` for the regen
+workflow.
+"""

@@ -1,0 +1,98 @@
+"""(Re)generate the golden-trace archives at fixed seeds.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+Three archives pin the three execution paths of the same physics:
+
+- ``scalar_cta.npz`` — one rig through the per-sample scalar reference
+  loop (``TestRig.run``, i.e. the CTA loop ticked in Python);
+- ``batch_engine.npz`` — a three-rig fleet through the vectorized
+  :class:`~repro.runtime.batch.BatchEngine`;
+- ``sharded_engine.npz`` — the same fleet through the process-parallel
+  :class:`~repro.runtime.parallel.ShardedEngine` (two workers).
+
+Every case is a pure function of its hard-coded seeds, so regenerating
+on the same code produces byte-identical archives.  A diff against the
+checked-in files therefore means the simulation's numerics changed —
+commit regenerated archives only for *intentional* physics changes, and
+say so in the commit message.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.runtime import BatchEngine, RunResult, ShardedEngine, \
+    spawn_monitor_seeds
+from repro.station.profiles import staircase
+from repro.station.rig import RigRecord
+from repro.station.scenarios import build_calibrated_monitor
+
+__all__ = ["GOLDEN_DIR", "CASES", "scalar_cta_case", "batch_engine_case",
+           "sharded_engine_case", "main"]
+
+#: Directory holding the checked-in archives (this package).
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+_SCALAR_SEED = 20080310  # DATE 2008 week, scalar case
+_FLEET_SEED = 777
+_FLEET_N = 3
+_PROFILE = staircase([0.0, 60.0, 140.0], dwell_s=0.5)
+_RECORD_EVERY_N = 20
+
+
+def _fleet_rigs():
+    return [build_calibrated_monitor(seed=s, fast=True).rig
+            for s in spawn_monitor_seeds(_FLEET_SEED, _FLEET_N)]
+
+
+def scalar_cta_case() -> dict[str, np.ndarray]:
+    """One rig through the scalar CTA reference loop; RigRecord traces."""
+    rig = build_calibrated_monitor(seed=_SCALAR_SEED, fast=True).rig
+    record = rig.run(_PROFILE, record_every_n=_RECORD_EVERY_N)
+    return {name: np.asarray(getattr(record, name))
+            for name in RigRecord.FIELDS}
+
+
+def batch_engine_case() -> dict[str, np.ndarray]:
+    """Three rigs through the vectorized batch engine; RunResult traces."""
+    result = BatchEngine(_fleet_rigs()).run(
+        _PROFILE, record_every_n=_RECORD_EVERY_N)
+    return {name: np.asarray(getattr(result, name))
+            for name in ("time_s",) + RunResult.STACKED_FIELDS}
+
+
+def sharded_engine_case() -> dict[str, np.ndarray]:
+    """The same fleet through the sharded engine (two workers)."""
+    result = ShardedEngine(_fleet_rigs(), workers=2).run(
+        _PROFILE, record_every_n=_RECORD_EVERY_N)
+    return {name: np.asarray(getattr(result, name))
+            for name in ("time_s",) + RunResult.STACKED_FIELDS}
+
+
+#: Archive stem -> case function; the single source of truth shared by
+#: this regenerator and ``tests/test_golden_traces.py``.
+CASES = {
+    "scalar_cta": scalar_cta_case,
+    "batch_engine": batch_engine_case,
+    "sharded_engine": sharded_engine_case,
+}
+
+
+def main() -> int:
+    """Regenerate every archive in :data:`GOLDEN_DIR`; returns 0."""
+    for stem, case in CASES.items():
+        path = GOLDEN_DIR / f"{stem}.npz"
+        np.savez_compressed(path, **case())
+        with np.load(path) as data:
+            shapes = {k: data[k].shape for k in data.files}
+        print(f"wrote {path.name}: {shapes}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -88,3 +88,43 @@ def test_record_rejects_bad_levels(tmp_path):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_fleet_serial_writes_archive(tmp_path, capsys):
+    import numpy as np
+
+    from repro.runtime import RunResult
+    out = tmp_path / "fleet.npz"
+    code = main(["fleet", "--n-monitors", "2", "--workers", "1",
+                 "--levels", "0,60", "--dwell", "0.5", "--seed", "9",
+                 "--out", str(out)])
+    assert code == 0
+    result = RunResult.load(out)
+    assert result.n_monitors == 2
+    assert np.isfinite(np.asarray(result.measured_mps)).all()
+    assert "2 monitors" in capsys.readouterr().out
+
+
+@pytest.mark.parallel
+def test_fleet_sharded_archive_matches_serial(tmp_path):
+    import numpy as np
+
+    from repro.runtime import RunResult
+    base = ["fleet", "--n-monitors", "2", "--levels", "0,60",
+            "--dwell", "0.5", "--seed", "9"]
+    serial_out = tmp_path / "serial.npz"
+    sharded_out = tmp_path / "sharded.npz"
+    assert main(base + ["--workers", "1", "--out", str(serial_out)]) == 0
+    assert main(base + ["--workers", "2", "--out", str(sharded_out)]) == 0
+    serial = RunResult.load(serial_out)
+    sharded = RunResult.load(sharded_out)
+    for name in ("time_s",) + RunResult.STACKED_FIELDS:
+        assert np.array_equal(np.asarray(getattr(sharded, name)),
+                              np.asarray(getattr(serial, name))), name
+
+
+def test_fleet_rejects_bad_knobs():
+    assert main(["fleet", "--workers", "0"]) == 2
+    assert main(["fleet", "--n-monitors", "0"]) == 2
+    assert main(["fleet", "--levels", "nope"]) == 2
+    assert main(["fleet", "--levels", ""]) == 2

@@ -1,0 +1,40 @@
+"""Golden-trace regression: the numerics must not drift — at all.
+
+Each checked-in archive under ``tests/golden/`` was produced by
+``tests/golden/regen.py`` at fixed seeds.  The tests re-run the same
+case functions and compare byte for byte (dtype, shape and raw buffer),
+which is strictly stronger than any numeric tolerance: a single ulp of
+drift anywhere in the physics, the DSP chain, the RNG consumption order
+or the merge logic fails the suite.
+
+If a change *intends* to alter the numerics, regenerate with::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+and commit the new archives together with the change that explains them.
+"""
+
+import numpy as np
+import pytest
+
+from tests.golden.regen import CASES, GOLDEN_DIR
+
+
+@pytest.mark.parametrize("stem", sorted(CASES))
+def test_golden_archive_exists(stem):
+    assert (GOLDEN_DIR / f"{stem}.npz").exists(), \
+        f"missing golden archive {stem}.npz; run tests/golden/regen.py"
+
+
+@pytest.mark.parametrize("stem", sorted(CASES))
+def test_traces_match_golden_bytes(stem):
+    live = CASES[stem]()
+    with np.load(GOLDEN_DIR / f"{stem}.npz") as archive:
+        assert sorted(archive.files) == sorted(live), stem
+        for name in archive.files:
+            stored = archive[name]
+            fresh = np.ascontiguousarray(live[name])
+            assert fresh.dtype == stored.dtype, f"{stem}/{name} dtype"
+            assert fresh.shape == stored.shape, f"{stem}/{name} shape"
+            assert fresh.tobytes() == stored.tobytes(), \
+                f"{stem}/{name}: traces drifted from the golden bytes"
