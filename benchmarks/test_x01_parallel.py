@@ -8,9 +8,10 @@ bench), and appends the numbers as the ``"parallel"`` stage of
 figures persist alongside.
 
 The ≥1.8x speedup bar only applies where it is physically attainable:
-on hosts with fewer than 4 CPUs (CI smoke runners, this container) the
-numbers are still recorded, but sharding overhead without spare cores
-cannot beat the serial engine and the bar is waived.
+on hosts with fewer than 4 CPUs (CI smoke runners, this container)
+sharding overhead without spare cores cannot beat the serial engine, so
+the stage is recorded as ``{"skipped": true}`` — no misleading speedup
+figure — and the test skips.
 """
 
 import json
@@ -41,6 +42,22 @@ def _fleet():
 
 def test_x01_sharded_engine_throughput():
     """Serial vs 4-way sharded run at N=64; appends the parallel stage."""
+    cpus = os.cpu_count() or 1
+    out = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+    if cpus < WORKERS:
+        # Without spare cores a speedup figure would be noise, not
+        # signal: record the stage as skipped and bail out.
+        payload = json.loads(out.read_text()) if out.exists() else {}
+        payload["parallel"] = {
+            "n_monitors": N_MONITORS,
+            "workers": WORKERS,
+            "cpu_count": cpus,
+            "skipped": True,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        pytest.skip(f"{cpus} CPU(s) < {WORKERS} workers: sharded speedup "
+                    f"is not measurable on this host")
+
     profile = hold(50.0, DURATION_S)
     serial_rigs = _fleet()  # first build pays calibration; later are cached
     t0 = time.perf_counter()
@@ -58,7 +75,6 @@ def test_x01_sharded_engine_throughput():
                               np.asarray(getattr(serial, name))), name
 
     samples = N_MONITORS * int(round(DURATION_S * 1000.0))
-    cpus = os.cpu_count() or 1
     stage = {
         "n_monitors": N_MONITORS,
         "workers": WORKERS,
@@ -69,11 +85,9 @@ def test_x01_sharded_engine_throughput():
         "speedup": serial_s / sharded_s,
         "bit_identical": True,
     }
-    out = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
     payload = json.loads(out.read_text()) if out.exists() else {}
     payload["parallel"] = stage
     out.write_text(json.dumps(payload, indent=2) + "\n")
-    if cpus >= WORKERS:
-        # With real cores to spread over, sharding must pay for itself.
-        assert stage["speedup"] >= 1.8, stage
+    # With real cores to spread over, sharding must pay for itself.
+    assert stage["speedup"] >= 1.8, stage
     assert stage["sharded_samples_per_s"] > 0.0

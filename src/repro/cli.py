@@ -4,7 +4,8 @@
     python -m repro calibrate --out cal.json [--seed N] [--fast]
     python -m repro measure --cal cal.json --speed-cmps 120 [--duration 10]
     python -m repro sweep --cal cal.json --levels 0,50,100,250
-    python -m repro fleet --n-monitors 8 --workers 4 [--out traces.npz]
+    python -m repro fleet --n-monitors 8 --workers 4 [--numerics fast]
+                          [--out traces.npz]
 
 The CLI mirrors how a bench operator would use the real instrument:
 power-on self-test, a calibration campaign against the reference meter
@@ -27,6 +28,7 @@ from repro.isif.platform import ISIFPlatform
 from repro.observability import (enable as _enable_observability,
                                  export_jsonl, export_prometheus,
                                  get_registry)
+from repro.runtime.kernels import NUMERICS_MODES
 from repro.sensor.maf import FlowConditions
 from repro.station.scenarios import build_calibrated_monitor
 
@@ -96,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--dwell", type=float, default=4.0,
                      help="seconds per staircase level")
     flt.add_argument("--seed", type=int, default=42, help="session seed")
+    flt.add_argument("--numerics", choices=list(NUMERICS_MODES),
+                     default="exact",
+                     help="kernel numerics mode: 'exact' is bit-identical "
+                          "to the scalar reference path, 'fast' uses "
+                          "vectorized transcendentals (<=1e-9 relative "
+                          "error; default exact)")
     flt.add_argument("--out", type=Path, default=None,
                      help="optional .npz path for the fleet traces")
     return parser
@@ -211,12 +219,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.station.profiles import staircase
     profile = staircase(levels, dwell_s=args.dwell)
     print(f"fleet of {args.n_monitors} monitors, {args.workers} worker(s), "
-          f"staircase {levels} cm/s ...")
+          f"staircase {levels} cm/s, numerics={args.numerics} ...")
     with Session(n_monitors=args.n_monitors, seed=args.seed,
                  use_pulsed_drive=False, fast_calibration=True) as session:
         session.calibrate()
         t0 = time.perf_counter()
-        result = session.run(profile, workers=args.workers)
+        result = session.run(profile, workers=args.workers,
+                             numerics=args.numerics)
         elapsed = time.perf_counter() - t0
     samples = int(profile.duration_s * 1000.0) * args.n_monitors
     print(f"ran {profile.duration_s:.1f} s x {result.n_monitors} monitors "

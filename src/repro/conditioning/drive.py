@@ -47,6 +47,26 @@ class DriveScheme:
         """Advance scheme time by ``dt`` and return this tick's decision."""
         raise NotImplementedError
 
+    def tick_block(self, dt: float, count: int
+                   ) -> tuple[list, list, list]:
+        """Advance ``count`` ticks at once; returns the three decision
+        channels as lists (``energise``, ``control_active``,
+        ``sample_valid``).
+
+        The default delegates to :meth:`tick` so custom schemes stay
+        correct; the built-in schemes override it with loops that skip
+        the per-tick :class:`DriveDecision` allocation (bit-identical
+        phase accounting, one validation per block since ``dt`` is
+        shared).
+        """
+        energise, control, valid = [], [], []
+        for _ in range(count):
+            dec = self.tick(dt)
+            energise.append(dec.energise)
+            control.append(dec.control_active)
+            valid.append(dec.sample_valid)
+        return energise, control, valid
+
     def reset(self) -> None:
         """Restart the scheme's phase."""
         raise NotImplementedError
@@ -64,6 +84,13 @@ class ContinuousDrive(DriveScheme):
         if dt <= 0.0:
             raise ConfigurationError("dt must be positive")
         return DriveDecision(energise=True, control_active=True, sample_valid=True)
+
+    def tick_block(self, dt: float, count: int
+                   ) -> tuple[list, list, list]:
+        if dt <= 0.0:
+            raise ConfigurationError("dt must be positive")
+        on = [True] * count
+        return on, on, on
 
     def reset(self) -> None:
         """Stateless — nothing to do."""
@@ -109,6 +136,33 @@ class PulsedDrive(DriveScheme):
         on = phase < self.duty * self.period_s
         valid = on and phase >= self.blanking_s
         return DriveDecision(energise=on, control_active=on, sample_valid=valid)
+
+    def tick_block(self, dt: float, count: int
+                   ) -> tuple[list, list, list]:
+        # Same phase arithmetic as ``count`` calls to :meth:`tick`
+        # (``duty * period_s`` is loop-invariant, so hoisting it keeps
+        # the comparison bits), minus the per-tick DriveDecision.
+        if dt <= 0.0:
+            raise ConfigurationError("dt must be positive")
+        t = self._t
+        period = self.period_s
+        on_len = self.duty * period
+        blank = self.blanking_s
+        energise: list[bool] = []
+        valid: list[bool] = []
+        on_append = energise.append
+        valid_append = valid.append
+        for _ in range(count):
+            phase = t % period
+            t += dt
+            on = phase < on_len
+            on_append(on)
+            valid_append(on and phase >= blank)
+        self._t = t
+        # ``control_active`` mirrors ``energise`` for this scheme; the
+        # shared list is safe because callers treat the channels as
+        # read-only.
+        return energise, energise, valid
 
     def reset(self) -> None:
         self._t = 0.0

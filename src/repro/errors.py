@@ -25,7 +25,16 @@ class ReproError(Exception):
 
 
 class ConfigurationError(ReproError):
-    """A component was configured with physically or logically invalid values."""
+    """A component was configured with physically or logically invalid values.
+
+    ``reason`` is a machine-readable slug for programmatic handling:
+    ``"config"`` (the default catch-all) or a knob-specific tag such as
+    ``"numerics"`` for an invalid numerics-mode selection.
+    """
+
+    def __init__(self, message: str, reason: str = "config") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class CalibrationError(ReproError):

@@ -13,7 +13,10 @@
   serial engine for any shard count, with bounded retry and serial
   fallback on worker failure,
 - :class:`RunResult` — stacked ``(N, M)`` traces with scalar
-  ``RigRecord`` rehydration and shard-block concatenation.
+  ``RigRecord`` rehydration and shard-block concatenation,
+- :class:`Numerics` (:mod:`repro.runtime.kernels`) — the numerics
+  policy behind the unified ``numerics="exact" | "fast"`` knob every
+  run surface accepts (see ``docs/performance.md``).
 
 The scalar classes (`TestRig`, `CTAController`, ...) remain the
 reference implementation; the parity tests hold all three paths to
@@ -21,6 +24,7 @@ bit-identical outputs on shared seeds.
 """
 
 from repro.runtime.batch import BatchEngine, run_batch
+from repro.runtime.kernels import NUMERICS_MODES, Numerics, resolve_numerics
 from repro.runtime.parallel import (ShardedEngine, partition_monitors,
                                     resolve_workers, spawn_monitor_seeds)
 from repro.runtime.result import RunResult
@@ -28,4 +32,5 @@ from repro.runtime.session import MonitorHandle, Session
 
 __all__ = ["BatchEngine", "run_batch", "RunResult", "Session",
            "MonitorHandle", "ShardedEngine", "partition_monitors",
-           "resolve_workers", "spawn_monitor_seeds"]
+           "resolve_workers", "spawn_monitor_seeds",
+           "NUMERICS_MODES", "Numerics", "resolve_numerics"]

@@ -22,6 +22,13 @@ array math, replacing the per-sample Python loops of
   consumers of one generator (the AFE's flicker+white pair) deinterleave
   a ``2k`` block.  Data-dependent draws (bubble churn noise) stay lazy
   scalar draws from each bubble model's own generator.
+- The per-sample loop itself only runs the genuinely recurrent chain:
+  :mod:`repro.runtime.kernels` precomputes each chunk's time axis
+  (profile setpoints, shared-line plant, drive schedule) and runs every
+  feed-forward stochastic trajectory (turbulence OU, AFE flicker,
+  backside OU, Promag lag) as a time-blocked kernel.  ``numerics="fast"``
+  additionally swaps the libm transcendentals for numpy's vectorized
+  ``exp``/``power`` (within 1e-9 relative error, identical RNG streams).
 
 The engine *consumes* the rigs passed to it: their RNG streams advance,
 the first rig's drive scheme is ticked, and every platform scheduler is
@@ -50,7 +57,10 @@ from repro.baselines.promag import Promag50
 from repro.conditioning.drive import ContinuousDrive, PulsedDrive
 from repro.isif.sigma_delta import BehavioralAdc, SigmaDeltaAdc
 from repro.physics.convection import NATURAL_CONVECTION_FLOOR
-from repro.physics.water import boiling_temperature, film_properties_scalar
+from repro.physics.water import boiling_temperature
+from repro.runtime.kernels import (ar1_block, exp_exact, film_conductance,
+                                   plan_chunk, pow_exact, relax_block,
+                                   resolve_numerics)
 from repro.runtime.result import RunResult
 from repro.station.profiles import Profile
 from repro.station.rig import TestRig
@@ -64,11 +74,9 @@ def _require(condition: bool, message: str) -> None:
         raise ConfigurationError(message)
 
 
-def _vexp(arg: np.ndarray) -> np.ndarray:
-    """Elementwise ``math.exp`` (libm), bit-identical to the scalar path."""
-    flat = arg.ravel()
-    out = np.array([math.exp(x) for x in flat.tolist()])
-    return out.reshape(arg.shape)
+#: Back-compat alias: the exact-mode elementwise exponential now lives in
+#: :mod:`repro.runtime.kernels`.
+_vexp = exp_exact
 
 
 class BatchEngine:
@@ -82,6 +90,13 @@ class BatchEngine:
         all schedulers advance as the engine runs.
     chunk_size:
         Samples per noise pre-draw block (memory/locality trade-off).
+    numerics:
+        ``"exact"`` (default) keeps every transcendental on the libm
+        scalar path and stays bit-identical to the scalar rigs;
+        ``"fast"`` switches the chunk kernels to numpy's vectorized
+        ``exp``/``power`` (within 1e-9 relative error of exact, same
+        RNG streams).  A :class:`repro.runtime.kernels.Numerics`
+        policy is also accepted.
 
     Raises
     ------
@@ -90,19 +105,28 @@ class BatchEngine:
         vectorized path does not reproduce bit-exactly (bit-true ΣΔ ADC,
         strict AFE, non-zero DAC settling, temperature compensation,
         fixed-point output IIR, non-water medium, zero turbulence floor,
-        or a non-Promag50 reference meter).
+        or a non-Promag50 reference meter); with ``reason="numerics"``
+        for an unknown numerics mode.
     SensorFault
         If any sensor is already failed.
     """
 
-    def __init__(self, rigs: list[TestRig], chunk_size: int = 1024) -> None:
+    def __init__(self, rigs: list[TestRig], chunk_size: int = 1024,
+                 numerics: str = "exact") -> None:
         _require(len(rigs) > 0, "batch engine needs at least one rig")
         _require(chunk_size >= 1, "chunk_size must be >= 1")
         self._rigs = list(rigs)
         self._chunk = int(chunk_size)
         self._n = len(self._rigs)
+        self._numerics = resolve_numerics(numerics)
+        self._fast = self._numerics == "fast"
         self._validate()
         self._extract()
+
+    @property
+    def numerics(self) -> str:
+        """The resolved numerics mode (``"exact"`` or ``"fast"``)."""
+        return self._numerics
 
     # -- fleet homogeneity ---------------------------------------------------
 
@@ -288,6 +312,10 @@ class BatchEngine:
         self._lev_b = np.stack(
             [r.monitor.platform.supply_dac_b._levels_v for r in rigs])
         self._iota = np.arange(n)
+        # On a non-energised drive tick every command is 0 V, which
+        # quantizes to code 0 on every DAC — the supply pair is this
+        # precomputed column, no quantization work needed.
+        self._ua_off = np.stack([self._lev_a[:, 0], self._lev_b[:, 0]])
 
         # Sensor: thermal state, realized resistances, degradation.
         self._t_h = per_bridge(lambda r: float(r.monitor.sensor._t_a),
@@ -306,6 +334,8 @@ class BatchEngine:
         self._r_series = sen0.bridge_a.r_series_ohm
         self._leak = per_rig(
             lambda r: r.monitor.sensor.housing.leakage_conductance_s())
+        self._leak_mask = self._leak == 0.0
+        self._leak_zero = bool(self._leak_mask.all())
         self._min_rating = min(
             r.monitor.sensor.housing.pressure_rating_pa for r in rigs)
         self._burst_pressure = cfg.membrane.burst_pressure_pa
@@ -340,6 +370,11 @@ class BatchEngine:
         self._bub_idle_detach = bub.idle_detach_per_s
         self._bub_vapor_frac = bub.vapor_conductance_fraction
         self._bub_noise_frac = bub.noise_fraction
+        # Gate threshold: ``active = (s > 1) & (s > nucleation)`` is
+        # elementwise ``s > max(1, nucleation)``, so one comparison
+        # against this decides whether the bubble section can have any
+        # effect at all (given zero coverage).
+        self._bub_thresh = max(1.0, self._bub_nucleation)
         self._sqrt_dtc = math.sqrt(min(1.0, 0.01 / dt))
         self._cov = per_bridge(lambda r: r.monitor.sensor.bubbles_a._coverage,
                                lambda r: r.monitor.sensor.bubbles_b._coverage)
@@ -476,24 +511,22 @@ class BatchEngine:
     # -- per-step kernels ----------------------------------------------------
 
     def _film_conductance(self, v_eff: np.ndarray, film_t: np.ndarray) -> np.ndarray:
-        """Clean-film conductance (2, N), elementwise scalar correlations."""
-        d = self._geom_d
-        length = self._geom_L
-        v_flat = np.broadcast_to(v_eff, film_t.shape).ravel().tolist()
-        t_flat = film_t.ravel().tolist()
-        out = np.empty(len(t_flat))
-        for j, (v, t) in enumerate(zip(v_flat, t_flat)):
-            k, nu_visc, pr = film_properties_scalar(t)
-            re = v * d / nu_visc
-            nusselt = 0.42 * pr**0.20 + 0.57 * pr**0.33 * math.sqrt(re)
-            out[j] = nusselt * k * math.pi * length
-        return out.reshape(film_t.shape)
+        """Clean-film conductance (2, N) via the film kernel.
+
+        Delegates to :func:`repro.runtime.kernels.film_conductance`,
+        which vectorizes the polynomial correlations and keeps the
+        transcendentals on libm in exact mode (bit-identical to the old
+        per-element loop over ``film_properties_scalar``).
+        """
+        return film_conductance(v_eff, film_t, self._geom_d, self._geom_L,
+                                fast=self._fast)
 
     def _qmul(self, code: int, arr: np.ndarray) -> np.ndarray:
         """Vector Q-format saturating multiply (round-half-up shift)."""
         product = code * arr
         rounded = (product + self._q_half) >> self._q_shift
-        return np.clip(rounded, self._q_min_int, self._q_max_int)
+        return np.minimum(np.maximum(rounded, self._q_min_int),
+                          self._q_max_int)
 
     # -- main loop -----------------------------------------------------------
 
@@ -523,18 +556,40 @@ class BatchEngine:
 
     def _run(self, profile: Profile, steps: int,
              record_every_n: int) -> RunResult:
-        """The instrumented main loop behind :meth:`run`."""
+        """The instrumented main loop behind :meth:`run`.
+
+        Each chunk is advanced in three phases: :func:`plan_chunk`
+        precomputes the time axis (setpoints, shared-line plant, drive
+        schedule, OU coefficients), the time-blocked kernels run every
+        feed-forward trajectory (line OU, AFE flicker, backside OU,
+        Promag lag) and per-sample noise array for the whole chunk, and
+        only the genuinely recurrent chain (reference/heater/membrane
+        thermals, AFE state, filters, PI, estimator) stays in the
+        per-sample loop.
+        """
         dt = self._dt
         n = self._n
+        fast = self._fast
         # Per-chunk instrumentation: one branch when disabled, one
         # perf_counter pair + histogram/counter update per chunk (never
         # per sample) when enabled.
         registry = get_registry()
+        tracer = get_tracer()
         observing = registry.enabled
         if observing:
             registry.gauge("runtime.batch.fleet_size").set(n)
+            registry.gauge("runtime.kernel.fast").set(1.0 if fast else 0.0)
             chunk_hist = registry.histogram(
                 "runtime.batch.chunk_s", "per-chunk advance latency")
+            plan_hist = registry.histogram(
+                "runtime.kernel.plan_s",
+                "per-chunk planning + trajectory-kernel latency")
+            loop_hist = registry.histogram(
+                "runtime.kernel.loop_s",
+                "per-chunk recurrent-loop latency")
+            planned_counter = registry.counter(
+                "runtime.kernel.planned_samples",
+                "samples whose time axis was precomputed")
             samples_counter = registry.counter(
                 "runtime.batch.samples", "monitor-samples advanced")
             chunks_counter = registry.counter("runtime.batch.chunks")
@@ -548,102 +603,322 @@ class BatchEngine:
         temperature: list[np.ndarray] = []
         coverage: list[np.ndarray] = []
 
+        # Read-only constants hoisted out of the hot loop.  Scalar
+        # constants that feed ufuncs become 0-d arrays: a 0-d operand
+        # skips the per-call Python-float boxing (~0.2 us per dispatch
+        # at fleet size) and the ufunc sees the identical float64
+        # value, so results stay bitwise.  Values consumed by Python
+        # branches (guards, flags) stay native scalars.
+        as0 = np.asarray
+        lev_a, lev_b, iota = self._lev_a, self._lev_b, self._iota
+        dac_lsb, dac_max = as0(self._dac_lsb), as0(self._dac_max_code)
+        burst_p, min_rating = self._burst_pressure, self._min_rating
+        ref_r0, tcr_ref = as0(self._ref_r0), as0(self._tcr_ref)
+        tref_ref = as0(self._tref_ref)
+        r_trim, r_series = self._r_trim, as0(self._r_series)
+        alpha_ref = as0(self._alpha_ref)
+        h_r0, tcr_h = as0(self._h_r0), as0(self._tcr_h)
+        tref_h = as0(self._tref_h)
+        g_lat, rho_m = as0(self._g_lat), as0(self._rho_m)
+        g_rim, lat_total = as0(self._g_rim_total), self._lat_total
+        heater_cap = as0(self._heater_cap)
+        ndt = as0(-dt)
+        leak, leak_mask = self._leak, self._leak_mask
+        leak_zero = self._leak_zero
+        gain = as0(self._gain)
+        residual_offset = as0(self._residual_offset)
+        alpha_bw, rail = as0(self._alpha_bw), as0(self._rail)
+        neg_rail = as0(-self._rail)
+        aa_coeffs, aa_state = self._aa_coeffs, self._aa_state
+        adc_lsb = as0(self._adc_lsb)
+        adc_min, adc_max = as0(self._adc_min), as0(self._adc_max)
+        alpha_lpf = as0(self._alpha_lpf)
+        geom_d, geom_L = as0(self._geom_d), as0(self._geom_L)
+        enable_fouling, r_foul = self._enable_fouling, as0(self._r_foul)
+        enable_bubbles = self._enable_bubbles
+        bub_thresh = as0(self._bub_thresh)
+        bs_on = self._bs_sigma > 0.0
+        ua_off = self._ua_off
+        # Shared literal constants of the loop body, pre-boxed once.
+        f_zero, f_one, f_half = as0(0.0), as0(1.0), as0(0.5)
+        f_thirty, g_floor = as0(30.0), as0(1e-6)
+        i_zero, i_one, i_neg = as0(0), as0(1), as0(-1)
+        # Off-duty ticks with an exactly-zero DAC column drive no power
+        # anywhere: every ``ua``-proportional term collapses to +0.0,
+        # which is absorbed bitwise by the finite positive terms it is
+        # added to.  ``off_zero`` gates the algebraic shortcuts below.
+        off_zero = not ua_off.any()
+        # ``(diff + residual_offset) * gain`` with diff == +0.0, kept in
+        # the original association so -0.0 offsets flush to +0.0 exactly
+        # as the live expression does.
+        ro_gain = (0.0 + self._residual_offset) * self._gain
+        pi_quant = self._qformat is not None
+        if pi_quant:
+            q_scale = as0(self._q_scale)
+            q_min_int, q_max_int = as0(self._q_min_int), as0(self._q_max_int)
+            kp_code, ki_dt_code = self._kp_code, self._ki_dt_code
+            pi_min_code = as0(self._pi_min_code)
+            pi_max_code = as0(self._pi_max_code)
+            qmul = self._qmul
+        else:
+            pi_kp, pi_ki = as0(self._pi_kp), as0(self._pi_ki)
+            pi_dt = as0(self._pi_dt)
+            pi_out_min = as0(self._pi_out_min)
+            pi_out_max = as0(self._pi_out_max)
+        rh_star, bp_denom = self._rh_star, self._bp_denom
+        overtemp = as0(self._overtemp)
+        coeff_a, coeff_b, inv_exp = self._coeff_a, self._coeff_b, self._inv_exp
+        alpha_iir = as0(self._alpha_iir)
+        use_direction = self._use_direction
+        dir_offset, alpha_dir = self._dir_offset, as0(self._alpha_dir)
+        # The hysteresis thresholds of the direction comparator, in all
+        # four signed forms the loop compares against (same additions
+        # and exact negations as the inline expressions).
+        dir_thr = as0(self._dir_threshold)
+        neg_thr = as0(-self._dir_threshold)
+        thr_hi = as0(self._dir_threshold + self._dir_hysteresis)
+        neg_thr_hi = as0(-(self._dir_threshold + self._dir_hysteresis))
+        pm_noise = self._pm_noise
+        # Single anti-alias stage is the common configuration; unpack it
+        # once so the hot loop skips the zip machinery.
+        single_stage = len(aa_coeffs) == 1
+        if single_stage:
+            aab0, aab1, aab2, _aa0, aaa1, aaa2 = (
+                as0(v) for v in aa_coeffs[0])
+            aast = aa_state[0]
+        # Hot-loop callables bound to locals (skips the global/attr
+        # lookups per dispatch); the numerics mode picks the
+        # transcendental kernels once instead of branching per step.
+        np_min, np_max, np_where = np.minimum, np.maximum, np.where
+        np_add, np_abs, np_sign = np.add, np.abs, np.sign
+        np_trunc, np_copysign = np.trunc, np.copysign
+        np_floor, np_int64 = np.floor, np.int64
+        vexp = np.exp if fast else exp_exact
+        vpow = np.power if fast else pow_exact
+        film = film_conductance
+
+        # Recurrent state mirrored into locals for the loop and written
+        # back after the chunk loop.  The fault paths (guard raises)
+        # leave the attribute mirrors stale, which is safe: a raised run
+        # spends the engine, so they are never re-read.
+        u = self._u
+        t_ref, t_h, t_mem = self._t_ref, self._t_h, self._t_mem
+        cov = self._cov
+        afe_state, y_lpf = self._afe_state, self._y_lpf
+        pi_sat = self._pi_sat
+        if pi_quant:
+            pi_int = self._pi_int
+        else:
+            pi_int_f = self._pi_int_f
+        y_iir, primed = self._y_iir, self._primed
+        y_dir, dir_state = self._y_dir, self._dir
+        last_output = self._last_output
+
+        # Scratch buffers reused every step: each is fully overwritten
+        # before use and never stored across steps.  ``t_f0`` is the
+        # 0-d box for the per-step fluid temperature — refilled each
+        # tick, read by several ufuncs, never aliased into results.
+        ua_buf = np.empty((2, n))
+        t_in_buf = np.empty((2, n))
+        t_f0 = np.empty(())
+
+        # Operating-point resistances carried across steps: step k's
+        # post-step values are bitwise step k+1's pre-step values (same
+        # formula, same state), so each is computed once, not twice.
+        rt = ref_r0 * (1.0 + tcr_ref * (t_ref - tref_ref))
+        rh = h_r0 * (1.0 + tcr_h * (t_h - tref_h))
+        rh_eff = rh if leak_zero else np.where(
+            leak_mask, rh, 1.0 / (1.0 / rh + leak))
+        if not bs_on:
+            g_back = self._g_back_half * 1.0
+        cov_nonzero = bool((cov > 0.0).any())
+
         for start in range(0, steps, self._chunk):
             c = min(self._chunk, steps - start)
             if observing:
                 chunk_start = time.perf_counter()
-            # Pre-draw this chunk's gaussian blocks from the live streams.
-            xi_line = np.stack([rng.standard_normal(c) for rng in self._line_rngs])
-            if self._bs_sigma > 0.0:
-                xi_bs = np.stack([rng.standard_normal(c) for rng in self._bs_rngs])
-            afe_blocks = [np.stack([rng.standard_normal(2 * c) for rng in row])
-                          for row in self._afe_rngs]
-            xi_flick = np.stack([blk[:, 0::2] for blk in afe_blocks])
-            xi_white = np.stack([blk[:, 1::2] for blk in afe_blocks])
-            xi_adc = np.stack([np.stack([rng.standard_normal(c) for rng in row])
-                               for row in self._adc_rngs])
-            xi_pm = np.stack([rng.standard_normal(c) for rng in self._pm_rngs])
+            with tracer.span("kernel.plan", samples=c, fast=fast):
+                # Time axis: setpoints, shared plant, drive schedule, OU
+                # coefficients — everything loop-invariant per step.
+                plan = plan_chunk(
+                    profile, self._drive, dt, start, c,
+                    speed=float(self._bulk_speed),
+                    pressure=float(self._bulk_pressure),
+                    temperature=float(self._bulk_temp),
+                    time_s=float(self._line_time),
+                    a_speed=float(self._a_speed),
+                    a_press=float(self._a_press),
+                    a_temp=float(self._a_temp),
+                    turb_length=self._turb_length,
+                    turb_min_speed=self._turb_min_speed,
+                    fast=fast)
+                bulk_v = plan.bulk_speed
+
+                # Pre-draw this chunk's gaussian blocks from the live
+                # streams (identical consumption in both numerics modes).
+                xi_line = np.stack(
+                    [rng.standard_normal(c) for rng in self._line_rngs])
+                if bs_on:
+                    xi_bs = np.stack(
+                        [rng.standard_normal(c) for rng in self._bs_rngs])
+                afe_blocks = [
+                    np.stack([rng.standard_normal(2 * c) for rng in row])
+                    for row in self._afe_rngs]
+                xi_flick = np.stack([blk[:, 0::2] for blk in afe_blocks])
+                xi_white = np.stack([blk[:, 1::2] for blk in afe_blocks])
+                xi_adc = np.stack(
+                    [np.stack([rng.standard_normal(c) for rng in row])
+                     for row in self._adc_rngs])
+                xi_pm = np.stack(
+                    [rng.standard_normal(c) for rng in self._pm_rngs])
+
+                # Time-blocked trajectory kernels: every feed-forward
+                # stochastic process runs for the whole chunk at once.
+                sigma_ou = (self._turb_intensity * plan.v_mag[:, None]
+                            + self._turb_floor)
+                x_ou_traj, self._x_ou = ar1_block(
+                    self._x_ou, plan.rho_ou,
+                    (sigma_ou * plan.ou_sqrt[:, None]) * xi_line.T)
+                v_local_all = bulk_v[:, None] + x_ou_traj
+                absv_all = np.abs(v_local_all)
+                x_wake = absv_all / self._wake_peak_speed
+                coupling_all = self._wake2 * x_wake / (1.0 + x_wake * x_wake)
+                fwd_all = v_local_all >= 0.0
+                # One reduction per chunk buys a branch-free inlet-
+                # temperature path for fully-forward chunks (the common
+                # case away from zero crossings).
+                fwd_chunk = bool(fwd_all.all())
+                v_eff_all = np.maximum(absv_all, NATURAL_CONVECTION_FLOOR)
+                if enable_bubbles:
+                    detach_all = (self._bub_base_detach
+                                  + self._bub_shear_detach * absv_all)
+                flick_traj, self._flick = ar1_block(
+                    self._flick, self._afe_leak,
+                    self._flicker_scale * np.moveaxis(xi_flick, 2, 0))
+                noise_gain_all = (self._white_rms * np.moveaxis(xi_white, 2, 0)
+                                  + flick_traj) * gain
+                if bs_on:
+                    bs_traj, self._x_bs = ar1_block(
+                        self._x_bs, self._bs_rho, self._bs_scale * xi_bs.T)
+                    g_back_all = self._g_back_half * np.maximum(
+                        1.0 + bs_traj, 0.1)
+                adc_noise_all = self._adc_thermal * np.moveaxis(xi_adc, 2, 0)
+                pm_traj, self._pm_state = relax_block(
+                    self._pm_state, self._pm_alpha,
+                    bulk_v[:, None] * self._pm_gain)
+                if not bs_on:
+                    # With a constant backside conductance the
+                    # ``g_back * t_fluid`` term of the heater ambient is
+                    # a per-chunk outer product (same elementwise mul).
+                    gbtf_all = np.array(plan.bulk_temp)[:, None] * g_back
+            if observing:
+                plan_end = time.perf_counter()
+                plan_hist.observe(plan_end - chunk_start)
+                planned_counter.inc(c)
+
+            energise = plan.energise
+            control_active = plan.control_active
+            sample_valid = plan.sample_valid
+            bulk_p = plan.bulk_pressure
+            bulk_t = plan.bulk_temp
+            line_t = plan.line_time
 
             for k in range(c):
                 i = start + k
-                v_set, p_set, t_set = profile.setpoints(i * dt)
+                p_line = bulk_p[k]
+                t_fluid = bulk_t[k]
+                t_f0[()] = t_fluid
 
-                # Water line: shared first-order plant + per-monitor OU.
-                self._bulk_speed = self._bulk_speed + self._a_speed * (
-                    v_set - self._bulk_speed)
-                self._bulk_pressure = self._bulk_pressure + self._a_press * (
-                    p_set - self._bulk_pressure)
-                self._bulk_temp = self._bulk_temp + self._a_temp * (
-                    t_set - self._bulk_temp)
-                v_mag = abs(self._bulk_speed)
-                sigma_ou = self._turb_intensity * v_mag + self._turb_floor
-                tau_ou = self._turb_length / max(v_mag, self._turb_min_speed)
-                rho_ou = math.exp(-dt / tau_ou)
-                self._x_ou = self._x_ou * rho_ou + (
-                    sigma_ou * math.sqrt(1.0 - rho_ou * rho_ou)) * xi_line[:, k]
-                v_local = self._bulk_speed + self._x_ou
-                self._line_time += dt
-                p_line = self._bulk_pressure
-                t_fluid = self._bulk_temp
-
-                # Drive decision (one shared scheme, realized on rig 0's).
-                dec = self._drive.tick(dt)
-                u_cmd = self._u if dec.energise else np.zeros((2, n))
-
-                # Supply DACs: quantize, then per-instance mismatch table.
-                codes = np.clip(np.floor(u_cmd / self._dac_lsb + 0.5),
-                                0, self._dac_max_code).astype(np.int64)
-                ua = np.empty((2, n))
-                ua[0] = self._lev_a[self._iota, codes[0]]
-                ua[1] = self._lev_b[self._iota, codes[1]]
+                # Supply DACs: quantize + mismatch table — but only when
+                # the drive energises the bridges; on off ticks every
+                # command quantizes to code 0 and the pair is the
+                # precomputed column-0 levels.
+                on = energise[k]
+                live = on or not off_zero
+                if on:
+                    # floor-then-clamp equals clamp-then-int-truncate
+                    # for this non-negative, integral-bounds clamp, so
+                    # the explicit floor dispatch is dropped.
+                    codes = np_min(
+                        np_max(u / dac_lsb + f_half, f_zero),
+                        dac_max).astype(np_int64)
+                    ua = ua_buf
+                    ua[0] = lev_a[iota, codes[0]]
+                    ua[1] = lev_b[iota, codes[1]]
+                else:
+                    ua = ua_off
 
                 # Sensor guards (shared line pressure).
-                if p_line > self._burst_pressure:
+                if p_line > burst_p:
                     raise SensorFault(
                         f"membrane burst at {float(p_line) / 1e5:.2f} bar "
-                        f"(rating {self._burst_pressure / 1e5:.2f} bar)")
+                        f"(rating {burst_p / 1e5:.2f} bar)")
                 if p_line < 0.0:
                     raise ConfigurationError("pressure must be non-negative")
-                if p_line > self._min_rating:
+                if p_line > min_rating:
                     raise SensorFault(
-                        f"housing rated {self._min_rating / 1e5:.1f} bar "
+                        f"housing rated {min_rating / 1e5:.1f} bar "
                         f"failed at {float(p_line) / 1e5:.1f} bar")
 
-                # Reference resistor: lagged tracking + self-heating bias.
-                rt_old = self._ref_r0 * (1.0 + self._tcr_ref * (
-                    self._t_ref - self._tref_ref))
-                i_ra = ua[0] / (self._r_trim[0] + rt_old)
-                i_rb = ua[1] / (self._r_trim[1] + rt_old)
-                p_ref = i_ra * i_ra * rt_old + i_rb * i_rb * rt_old
-                t_ref_target = t_fluid + 30.0 * p_ref
-                self._t_ref = self._t_ref + self._alpha_ref * (
-                    t_ref_target - self._t_ref)
-                rt_new = self._ref_r0 * (1.0 + self._tcr_ref * (
-                    self._t_ref - self._tref_ref))
+                # Reference resistor: lagged tracking + self-heating
+                # bias (``rt`` carries the pre-step resistance).  The
+                # two bridge branches are computed rows-joint — the
+                # elementwise values, and the a-then-b order of the
+                # power sum, match the per-row form exactly.  With a
+                # zero supply the reference power is exactly +0.0 and
+                # the target collapses to the fluid temperature.
+                if live:
+                    i_r = ua / (r_trim + rt)
+                    p_r = i_r * i_r * rt
+                    p_ref = p_r[0] + p_r[1]
+                    t_ref_target = t_f0 + f_thirty * p_ref
+                    t_ref = t_ref + alpha_ref * (t_ref_target - t_ref)
+                else:
+                    t_ref = t_ref + alpha_ref * (t_f0 - t_ref)
+                rt = ref_r0 * (f_one + tcr_ref * (t_ref - tref_ref))
 
                 # Wake coupling → inlet temperatures (old heater temps).
-                absv = np.abs(v_local)
-                x_wake = absv / self._wake_peak_speed
-                coupling = self._wake2 * x_wake / (1.0 + x_wake * x_wake)
-                fwd = v_local >= 0.0
-                warm_from_a = coupling * np.maximum(self._t_h[0] - t_fluid, 0.0)
-                warm_from_b = coupling * np.maximum(self._t_h[1] - t_fluid, 0.0)
-                t_in = np.empty((2, n))
-                t_in[0] = np.where(fwd, t_fluid, t_fluid + warm_from_b)
-                t_in[1] = np.where(fwd, t_fluid + warm_from_a, t_fluid)
+                # ``warm`` is the rows-joint form of the per-row
+                # coupling * max(t_h - t_fluid, 0) products (elementwise
+                # identical); when the whole chunk flows forward the
+                # wheres collapse to a fill and a single add.
+                coupling = coupling_all[k]
+                dth = t_h - t_f0
+                t_in = t_in_buf
+                if fwd_chunk:
+                    # Only the upstream wake row is consumed; the add
+                    # lands straight in the buffer row (same ufunc).
+                    t_in[0] = t_fluid
+                    np_add(t_f0,
+                           coupling * np_max(dth[0], f_zero),
+                           out=t_in[1])
+                else:
+                    warm = coupling * np_max(dth, f_zero)
+                    fwd = fwd_all[k]
+                    t_in[0] = np_where(fwd, t_fluid, t_fluid + warm[1])
+                    t_in[1] = np_where(fwd, t_fluid + warm[0], t_fluid)
 
                 # Clean film conductance at the film temperature.
-                film_t = 0.5 * (self._t_h + t_fluid)
-                v_eff = np.maximum(absv, NATURAL_CONVECTION_FLOOR)
-                g = self._film_conductance(v_eff, film_t)
+                film_t = f_half * (t_h + t_f0)
+                g = film(v_eff_all[k], film_t,
+                         geom_d, geom_L, fast=fast)
 
                 # Fouling: deposit resistance in series with the film.
-                if self._enable_fouling:
-                    g = 1.0 / (1.0 / g + self._r_foul)
+                if enable_fouling:
+                    g = f_one / (f_one / g + r_foul)
 
                 # Bubbles: coverage dynamics + multiplicative churn noise.
-                if self._enable_bubbles:
-                    superheat = self._t_h - t_fluid
+                # With zero coverage and no element past the nucleation
+                # gate the whole section is the identity (growth and dc
+                # are exactly 0.0, factor and noise exactly 1.0, and
+                # ``g * 1.0`` is bitwise ``g``), so it is skipped; the
+                # gate comparison reproduces ``active.any()`` exactly
+                # because ``(s > 1) & (s > nuc)`` is ``s > max(1, nuc)``
+                # elementwise.  No RNG draw is skipped: churn noise only
+                # draws where coverage is already positive.
+                if enable_bubbles and (
+                        cov_nonzero or (dth > bub_thresh).any()):
+                    superheat = dth
                     powered = superheat > 1.0
                     active = powered & (superheat > self._bub_nucleation)
                     growth = np.where(
@@ -655,20 +930,19 @@ class BatchEngine:
                         t_boil = float(boiling_temperature(
                             max(float(p_abs), 5_000.0)))
                         growth = growth + np.where(
-                            active & (self._t_h >= t_boil),
-                            10.0 * self._bub_growth * (self._t_h - t_boil + 1.0),
+                            active & (t_h >= t_boil),
+                            10.0 * self._bub_growth * (t_h - t_boil + 1.0),
                             0.0)
-                    detach = self._bub_base_detach + self._bub_shear_detach * absv
-                    detach = np.where(powered, detach,
-                                      detach + self._bub_idle_detach)
-                    dc = growth * (1.0 - self._cov) - detach * self._cov
-                    self._cov = np.minimum(
-                        np.maximum(self._cov + dc * dt, 0.0), 0.999)
-                    factor = 1.0 - self._cov * (1.0 - self._bub_vapor_frac)
+                    detach = np.where(powered, detach_all[k],
+                                      detach_all[k] + self._bub_idle_detach)
+                    dc = growth * (1.0 - cov) - detach * cov
+                    cov = np.minimum(
+                        np.maximum(cov + dc * dt, 0.0), 0.999)
+                    factor = 1.0 - cov * (1.0 - self._bub_vapor_frac)
                     noise = np.ones((2, n))
-                    if np.any(self._cov > 0.0):
+                    if np.any(cov > 0.0):
                         for h in (0, 1):
-                            row = self._cov[h]
+                            row = cov[h]
                             for m in range(n):
                                 cvg = float(row[m])
                                 if cvg > 0.0:
@@ -677,185 +951,220 @@ class BatchEngine:
                                         self._bubble_rngs[h][m].normal()
                                     ) * self._sqrt_dtc
                     g = g * (factor * noise)
-                g = np.maximum(g, 1e-6)
+                    cov_nonzero = bool((cov > 0.0).any())
+                g = np_max(g, g_floor)
 
-                # Backside conductance fluctuation (flooded cavity only).
-                if self._bs_sigma > 0.0:
-                    self._x_bs = self._x_bs * self._bs_rho + (
-                        self._bs_scale * xi_bs[:, k])
-                    backside_factor = 1.0 + self._x_bs
-                    g_back = self._g_back_half * np.maximum(backside_factor, 0.1)
+                # Backside conductance fluctuation (flooded cavity only;
+                # the OU trajectory is precomputed per chunk).
+                if bs_on:
+                    g_back = g_back_all[k]
+                    gbtf = g_back * t_fluid
                 else:
-                    g_back = self._g_back_half * 1.0
+                    gbtf = gbtf_all[k]
 
-                # Heater powers at the pre-step operating point.
-                rh_old = self._h_r0 * (1.0 + self._tcr_h * (
-                    self._t_h - self._tref_h))
-                rh_eff = np.where(self._leak == 0.0, rh_old,
-                                  1.0 / (1.0 / rh_old + self._leak))
-                branch_i = ua / (self._r_series + rh_eff)
-                i_h = np.where(self._leak == 0.0, branch_i,
-                               branch_i * rh_eff / rh_old)
-                p_h = i_h * i_h * rh_old
-
-                # Exact exponential heater update (old membrane temp).
-                g_total = g + self._g_lat + g_back
-                t_inf = (p_h + g * t_in + self._g_lat * self._t_mem
-                         + g_back * t_fluid) / g_total
-                rho_h = _vexp(-dt * g_total / self._heater_cap)
-                self._t_h = t_inf + (self._t_h - t_inf) * rho_h
+                # Heater powers at the pre-step operating point (``rh``
+                # and ``rh_eff`` carry the pre-step resistances).  A
+                # zero supply dissipates exactly +0.0, which the finite
+                # positive conduction terms absorb bitwise.
+                rh_old = rh
+                g_total = g + g_lat + g_back
+                if live:
+                    branch_i = ua / (r_series + rh_eff)
+                    if leak_zero:
+                        i_h = branch_i
+                    else:
+                        i_h = np_where(leak_mask, branch_i,
+                                       branch_i * rh_eff / rh_old)
+                    p_h = i_h * i_h * rh_old
+                    t_inf = (p_h + g * t_in + g_lat * t_mem
+                             + gbtf) / g_total
+                else:
+                    t_inf = (g * t_in + g_lat * t_mem + gbtf) / g_total
+                arg = ndt * g_total / heater_cap
+                rho_h = vexp(arg)
+                t_h = t_inf + (t_h - t_inf) * rho_h
 
                 # Membrane rim update (new heater temps).
-                t_rim_inf = (self._g_lat * (self._t_h[0] + self._t_h[1])
-                             + self._lat_total * t_fluid) / self._g_rim_total
-                self._t_mem = t_rim_inf + (self._t_mem - t_rim_inf) * self._rho_m
+                t_rim_inf = (g_lat * (t_h[0] + t_h[1])
+                             + lat_total * t_fluid) / g_rim
+                t_mem = t_rim_inf + (t_mem - t_rim_inf) * rho_m
 
                 # Bridge readout at the post-step operating point.
-                rh_new = self._h_r0 * (1.0 + self._tcr_h * (
-                    self._t_h - self._tref_h))
-                rh_eff_new = np.where(self._leak == 0.0, rh_new,
-                                      1.0 / (1.0 / rh_new + self._leak))
-                v_meas_mid = ua * rh_eff_new / (self._r_series + rh_eff_new)
-                v_ref_mid = ua * rt_new / (self._r_trim + rt_new)
-                diff = v_meas_mid - v_ref_mid
-
-                # AFE: gain + offset, 1/f + white noise, bandwidth, rails.
-                ideal = (diff + self._residual_offset) * self._gain
-                self._flick = self._flick * self._afe_leak + (
-                    self._flicker_scale * xi_flick[:, :, k])
-                sample_noise = self._white_rms * xi_white[:, :, k] + self._flick
-                noisy = ideal + sample_noise * self._gain
-                self._afe_state = self._afe_state + self._alpha_bw * (
-                    noisy - self._afe_state)
-                self._afe_state = np.clip(self._afe_state, -self._rail, self._rail)
+                rh = h_r0 * (f_one + tcr_h * (t_h - tref_h))
+                if leak_zero:
+                    rh_eff = rh
+                else:
+                    rh_eff = np_where(leak_mask, rh,
+                                      f_one / (f_one / rh + leak))
+                # AFE: gain + offset, precomputed 1/f + white noise,
+                # bandwidth, rails.  With a zero supply both bridge
+                # mid-points read exactly +0.0, so the offset-and-gain
+                # term is the precomputed ``ro_gain``.
+                if live:
+                    v_meas_mid = ua * rh_eff / (r_series + rh_eff)
+                    v_ref_mid = ua * rt / (r_trim + rt)
+                    diff = v_meas_mid - v_ref_mid
+                    noisy = (diff + residual_offset) * gain \
+                        + noise_gain_all[k]
+                else:
+                    noisy = ro_gain + noise_gain_all[k]
+                afe_state = afe_state + alpha_bw * (noisy - afe_state)
+                afe_state = np_min(np_max(afe_state, neg_rail), rail)
 
                 # Anti-alias biquads (direct-form II transposed).
-                y = self._afe_state
-                for (b0, b1, b2, _a0, a1, a2), st in zip(self._aa_coeffs,
-                                                         self._aa_state):
-                    out = b0 * y + st[0]
-                    st[0] = b1 * y - a1 * out + st[1]
-                    st[1] = b2 * y - a2 * out
+                y = afe_state
+                if single_stage:
+                    out = aab0 * y + aast[0]
+                    aast[0] = aab1 * y - aaa1 * out + aast[1]
+                    aast[1] = aab2 * y - aaa2 * out
                     y = out
+                else:
+                    for (b0, b1, b2, _a0, a1, a2), st in zip(
+                            aa_coeffs, aa_state):
+                        out = b0 * y + st[0]
+                        st[0] = b1 * y - a1 * out + st[1]
+                        st[1] = b2 * y - a2 * out
+                        y = out
 
                 # Behavioural ADC: thermal noise, round-to-nearest, clamp.
-                noisy_adc = y + self._adc_thermal * xi_adc[:, :, k]
-                q_codes = np.clip(
-                    np.trunc(noisy_adc / self._adc_lsb
-                             + np.where(noisy_adc >= 0.0, 0.5, -0.5)),
-                    self._adc_min, self._adc_max)
-                volts = q_codes * self._adc_lsb
+                noisy_adc = y + adc_noise_all[k]
+                # copysign(0.5, x) equals where(x >= 0, 0.5, -0.5) up
+                # to the sign of a zero input, and a ±0.0 code washes
+                # out of the LPF identically, so the quantized output
+                # is unchanged with one dispatch fewer.
+                q_codes = np_min(np_max(
+                    np_trunc(noisy_adc / adc_lsb
+                             + np_copysign(f_half, noisy_adc)),
+                    adc_min), adc_max)
+                volts = q_codes * adc_lsb
 
                 # Digital one-pole LPF, then input-referred error.
-                self._y_lpf = self._y_lpf + self._alpha_lpf * (volts - self._y_lpf)
-                err = -(self._y_lpf / self._gain)
+                y_lpf = y_lpf + alpha_lpf * (volts - y_lpf)
+                err = -(y_lpf / gain)
 
                 # PI control (gated by the drive scheme).
-                if dec.control_active:
-                    if self._qformat is not None:
-                        err_code = np.clip(
-                            np.floor(err * self._q_scale + 0.5),
-                            self._q_min_int, self._q_max_int).astype(np.int64)
-                        err_sign = np.sign(err_code)
-                        cond = (self._pi_sat == 0) | (err_sign != self._pi_sat)
-                        inc = self._qmul(self._ki_dt_code, err_code)
-                        int_new = np.where(
+                if control_active[k]:
+                    if pi_quant:
+                        err_code = np_min(np_max(
+                            np_floor(err * q_scale + f_half),
+                            q_min_int), q_max_int).astype(np_int64)
+                        err_sign = np_sign(err_code)
+                        cond = (pi_sat == i_zero) | (err_sign != pi_sat)
+                        inc = qmul(ki_dt_code, err_code)
+                        int_new = np_where(
                             cond,
-                            np.clip(self._pi_int + inc,
-                                    self._q_min_int, self._q_max_int),
-                            self._pi_int)
-                        p_term = self._qmul(self._kp_code, err_code)
+                            np_min(np_max(pi_int + inc, q_min_int),
+                                   q_max_int),
+                            pi_int)
+                        p_term = qmul(kp_code, err_code)
                         raw = int_new + p_term
-                        out_code = np.clip(raw, self._pi_min_code,
-                                           self._pi_max_code)
-                        self._pi_sat = np.where(
-                            raw > self._pi_max_code, 1,
-                            np.where(raw < self._pi_min_code, -1, 0))
-                        abs_p = np.abs(p_term)
-                        self._pi_int = np.minimum(
-                            np.maximum(int_new, self._pi_min_code - abs_p),
-                            self._pi_max_code + abs_p)
-                        self._u = out_code / self._q_scale
+                        out_code = np_min(np_max(
+                            raw, pi_min_code), pi_max_code)
+                        pi_sat = np_where(
+                            raw > pi_max_code, i_one,
+                            np_where(raw < pi_min_code, i_neg, i_zero))
+                        abs_p = np_abs(p_term)
+                        pi_int = np_min(
+                            np_max(int_new, pi_min_code - abs_p),
+                            pi_max_code + abs_p)
+                        u = out_code / q_scale
                     else:
-                        cond = (self._pi_sat == 0) | (
-                            np.sign(err) != self._pi_sat)
-                        self._pi_int_f = np.where(
+                        cond = (pi_sat == i_zero) | (np_sign(err) != pi_sat)
+                        pi_int_f = np_where(
                             cond,
-                            self._pi_int_f + self._pi_ki * err * self._pi_dt,
-                            self._pi_int_f)
-                        raw = self._pi_kp * err + self._pi_int_f
-                        self._u = np.clip(raw, self._pi_out_min, self._pi_out_max)
-                        self._pi_sat = np.where(
-                            raw > self._pi_out_max, 1,
-                            np.where(raw < self._pi_out_min, -1, 0))
-                        self._pi_int_f = np.clip(
-                            self._pi_int_f,
-                            self._pi_out_min - self._pi_kp * np.abs(err),
-                            self._pi_out_max + self._pi_kp * np.abs(err))
+                            pi_int_f + pi_ki * err * pi_dt,
+                            pi_int_f)
+                        raw = pi_kp * err + pi_int_f
+                        u = np_min(np_max(
+                            raw, pi_out_min), pi_out_max)
+                        pi_sat = np_where(
+                            raw > pi_out_max, i_one,
+                            np_where(raw < pi_out_min, i_neg, i_zero))
+                        pi_int_f = np_min(np_max(
+                            pi_int_f,
+                            pi_out_min - pi_kp * np_abs(err)),
+                            pi_out_max + pi_kp * np_abs(err))
 
                 # Flow estimator (valid samples only; otherwise hold).
-                if dec.sample_valid:
-                    bp_a = self._u[0] ** 2 * self._rh_star / self._bp_denom
-                    bp_b = self._u[1] ** 2 * self._rh_star / self._bp_denom
-                    g_cond = 0.5 * (bp_a + bp_b) / self._overtemp
-                    excess = np.maximum(g_cond - self._coeff_a, 0.0)
-                    speed = np.array([
-                        (e / b) ** p for e, b, p in zip(
-                            excess.tolist(), self._coeff_b.tolist(),
-                            self._inv_exp.tolist())])
-                    if not self._primed:
-                        self._y_iir = speed.copy()
-                        self._primed = True
-                    self._y_iir = self._y_iir + self._alpha_iir * (
-                        speed - self._y_iir)
-                    if self._use_direction:
-                        pa = self._u[0] * self._u[0]
-                        pb = self._u[1] * self._u[1]
+                if sample_valid[k]:
+                    bp_a = u[0] ** 2 * rh_star / bp_denom
+                    bp_b = u[1] ** 2 * rh_star / bp_denom
+                    g_cond = f_half * (bp_a + bp_b) / overtemp
+                    excess = np_max(g_cond - coeff_a, f_zero)
+                    base = excess / coeff_b
+                    speed = vpow(base, inv_exp)
+                    if not primed:
+                        y_iir = speed.copy()
+                        primed = True
+                    y_iir = y_iir + alpha_iir * (speed - y_iir)
+                    if use_direction:
+                        pa = u[0] * u[0]
+                        pb = u[1] * u[1]
                         total = pa + pb
-                        asym = np.where(
-                            total <= 0.0, 0.0,
-                            (pa - pb) / np.where(total <= 0.0, 1.0, total))
-                        x_dir = asym - self._dir_offset
-                        self._y_dir = self._y_dir + self._alpha_dir * (
-                            x_dir - self._y_dir)
-                        d = self._y_dir
-                        thr = self._dir_threshold
-                        hyst = self._dir_hysteresis
-                        dirs = self._dir
-                        self._dir = np.where(
-                            (dirs == 0) & (d > thr), 1,
-                            np.where(
-                                (dirs == 0) & (d < -thr), -1,
-                                np.where(
-                                    (dirs == 1) & (d < -(thr + hyst)), -1,
-                                    np.where(
-                                        (dirs == -1) & (d > thr + hyst), 1,
+                        tz = total <= f_zero
+                        asym = np_where(
+                            tz, f_zero,
+                            (pa - pb) / np_where(tz, f_one, total))
+                        x_dir = asym - dir_offset
+                        y_dir = y_dir + alpha_dir * (x_dir - y_dir)
+                        d = y_dir
+                        dirs = dir_state
+                        dir_state = np_where(
+                            (dirs == i_zero) & (d > dir_thr), i_one,
+                            np_where(
+                                (dirs == i_zero) & (d < neg_thr), i_neg,
+                                np_where(
+                                    (dirs == i_one)
+                                    & (d < neg_thr_hi), i_neg,
+                                    np_where(
+                                        (dirs == i_neg)
+                                        & (d > thr_hi), i_one,
                                         dirs))))
-                        sign = np.where(self._dir != 0,
-                                        self._dir.astype(float), 1.0)
+                        sign = np_where(dir_state != i_zero,
+                                        dir_state.astype(float), f_one)
                     else:
                         sign = 1.0
-                    self._last_output = sign * self._y_iir
-
-                # Promag 50 reference (reads the bulk speed).
-                self._pm_state = self._pm_state + self._pm_alpha * (
-                    self._bulk_speed * self._pm_gain - self._pm_state)
-                pm_reading = self._pm_state + self._pm_noise * xi_pm[:, k]
+                    last_output = sign * y_iir
 
                 if i % record_every_n == 0:
-                    t_buf.append(self._line_time)
-                    v_true.append(np.full(n, float(self._bulk_speed)))
-                    v_ref.append(pm_reading.copy())
-                    v_meas.append(self._last_output.copy())
-                    direction.append(self._dir.copy())
-                    pressure.append(np.full(n, float(self._bulk_pressure)))
-                    temperature.append(np.full(n, float(self._bulk_temp)))
-                    coverage.append(np.maximum(self._cov[0], self._cov[1]))
+                    # The Promag 50 trajectory was precomputed by the
+                    # relaxation kernel; the reading (state + resolution
+                    # noise) only exists at recorded ticks.
+                    t_buf.append(line_t[k])
+                    v_true.append(np.full(n, float(bulk_v[k])))
+                    v_ref.append(pm_traj[k] + pm_noise * xi_pm[:, k])
+                    v_meas.append(last_output.copy())
+                    direction.append(dir_state.copy())
+                    pressure.append(np.full(n, float(p_line)))
+                    temperature.append(np.full(n, float(t_fluid)))
+                    coverage.append(np.maximum(cov[0], cov[1]))
+
+            # Carry the shared-line plant into the next chunk's plan.
+            self._bulk_speed = float(bulk_v[c - 1])
+            self._bulk_pressure = bulk_p[c - 1]
+            self._bulk_temp = bulk_t[c - 1]
+            self._line_time = line_t[c - 1]
 
             if observing:
-                chunk_hist.observe(time.perf_counter() - chunk_start)
+                now = time.perf_counter()
+                loop_hist.observe(now - plan_end)
+                chunk_hist.observe(now - chunk_start)
                 samples_counter.inc(c * n)
                 chunks_counter.inc()
+
+        # Publish the local state mirrors back to the engine attributes.
+        self._u = u
+        self._t_ref, self._t_h, self._t_mem = t_ref, t_h, t_mem
+        self._cov = cov
+        self._afe_state, self._y_lpf = afe_state, y_lpf
+        self._pi_sat = pi_sat
+        if pi_quant:
+            self._pi_int = pi_int
+        else:
+            self._pi_int_f = pi_int_f
+        self._y_iir, self._primed = y_iir, primed
+        self._y_dir, self._dir = y_dir, dir_state
+        self._last_output = last_output
 
         if observing:
             elapsed = time.perf_counter() - run_start
@@ -880,13 +1189,16 @@ class BatchEngine:
 
 def run_batch(rigs: list[TestRig], profile: Profile,
               record_every_n: int = 20, chunk_size: int = 1024,
-              workers: int | None = None) -> RunResult:
+              workers: int | None = None,
+              numerics: str = "exact") -> RunResult:
     """One-shot convenience: build an engine and run it.
 
     With ``workers`` left at None (or 1) this builds a serial
     :class:`BatchEngine`; with ``workers > 1`` the fleet is partitioned
     across worker processes by :class:`repro.runtime.parallel.ShardedEngine`,
     whose merged result is bit-identical to the serial path.
+    ``numerics`` selects the kernel mode (``"exact"`` — the default,
+    bit-identical — or ``"fast"``) on whichever engine runs.
 
     The rigs are consumed (see the module docstring); build fresh rigs
     for repeat runs or use :class:`repro.runtime.Session`, which
@@ -895,8 +1207,8 @@ def run_batch(rigs: list[TestRig], profile: Profile,
     if workers is not None and workers != 1:
         # Imported lazily: parallel.py itself imports this module.
         from repro.runtime.parallel import ShardedEngine
-        return ShardedEngine(rigs, workers=workers,
-                             chunk_size=chunk_size).run(
+        return ShardedEngine(rigs, workers=workers, chunk_size=chunk_size,
+                             numerics=numerics).run(
             profile, record_every_n=record_every_n)
-    return BatchEngine(rigs, chunk_size=chunk_size).run(
+    return BatchEngine(rigs, chunk_size=chunk_size, numerics=numerics).run(
         profile, record_every_n=record_every_n)

@@ -55,6 +55,7 @@ import numpy as np
 from repro.errors import ConfigurationError, ReproError
 from repro.observability import get_registry, get_tracer
 from repro.runtime.batch import BatchEngine
+from repro.runtime.kernels import resolve_numerics
 from repro.runtime.result import RunResult
 from repro.station.profiles import Profile
 from repro.station.rig import TestRig
@@ -152,16 +153,18 @@ def _maybe_inject_fault(shard_index: int) -> None:
 
 
 def _run_shard(shard_index: int, rigs: list[TestRig], profile: Profile,
-               record_every_n: int, chunk_size: int) -> tuple[int, RunResult]:
+               record_every_n: int, chunk_size: int,
+               numerics: str = "exact") -> tuple[int, RunResult]:
     """Worker entrypoint: advance one shard and return its trace block.
 
     Runs in a worker process on *pickled copies* of the shard's rigs,
-    builds a fresh :class:`BatchEngine` over them, and returns the
-    ``(N_shard, M)`` block tagged with the shard index so the parent
-    can merge blocks in fleet order regardless of completion order.
+    builds a fresh :class:`BatchEngine` over them (in the parent's
+    numerics mode), and returns the ``(N_shard, M)`` block tagged with
+    the shard index so the parent can merge blocks in fleet order
+    regardless of completion order.
     """
     _maybe_inject_fault(shard_index)
-    engine = BatchEngine(rigs, chunk_size=chunk_size)
+    engine = BatchEngine(rigs, chunk_size=chunk_size, numerics=numerics)
     return shard_index, engine.run(profile, record_every_n=record_every_n)
 
 
@@ -208,25 +211,34 @@ class ShardedEngine:
         Per-shard wall-clock budget measured from submission; ``None``
         disables the watchdog.  A timed-out worker is killed, not
         abandoned.
+    numerics:
+        Kernel numerics mode for every shard engine (``"exact"``, the
+        default, or ``"fast"``); a :class:`~repro.runtime.kernels.Numerics`
+        policy is accepted too.  Shard-count invariance holds per mode:
+        every worker runs the same kernels the serial engine would.
 
     Raises
     ------
     ConfigurationError
-        From the fleet homogeneity validation, or on invalid knobs.
+        From the fleet homogeneity validation, or on invalid knobs
+        (``reason="numerics"`` for an unknown numerics mode).
     """
 
     def __init__(self, rigs: list[TestRig], workers: int | None = None,
                  chunk_size: int = 1024, max_retries: int = 1,
-                 timeout_s: float | None = None) -> None:
+                 timeout_s: float | None = None,
+                 numerics: str = "exact") -> None:
         if max_retries < 0:
             raise ConfigurationError("max_retries must be non-negative")
         if timeout_s is not None and timeout_s <= 0.0:
             raise ConfigurationError("timeout_s must be positive")
         self._rigs = list(rigs)
+        self._numerics = resolve_numerics(numerics)
         # Validate homogeneity (and every BatchEngine precondition) in
         # the parent, before any process is spawned: construction only
         # reads rig state, it does not consume the rigs.
-        BatchEngine(self._rigs, chunk_size=chunk_size)
+        BatchEngine(self._rigs, chunk_size=chunk_size,
+                    numerics=self._numerics)
         self._chunk = int(chunk_size)
         self._workers = resolve_workers(workers, len(self._rigs))
         self._max_retries = int(max_retries)
@@ -236,6 +248,11 @@ class ShardedEngine:
     def workers(self) -> int:
         """Resolved worker/shard count (``min(workers, len(rigs))``)."""
         return self._workers
+
+    @property
+    def numerics(self) -> str:
+        """The resolved numerics mode shared by every shard engine."""
+        return self._numerics
 
     def run(self, profile: Profile, record_every_n: int = 20) -> RunResult:
         """Execute a profile over the sharded fleet; merged traces out.
@@ -262,7 +279,8 @@ class ShardedEngine:
             raise ConfigurationError("profile shorter than one loop tick")
         if self._workers == 1:
             # One shard: the serial engine *is* the sharded run.
-            return BatchEngine(self._rigs, chunk_size=self._chunk).run(
+            return BatchEngine(self._rigs, chunk_size=self._chunk,
+                               numerics=self._numerics).run(
                 profile, record_every_n=record_every_n)
         with get_tracer().span("shard.run", n_monitors=len(self._rigs),
                                workers=self._workers):
@@ -310,7 +328,7 @@ class ShardedEngine:
             executors[i] = ProcessPoolExecutor(max_workers=1)
             futures[i] = executors[i].submit(
                 _run_shard, i, self._rigs[start:stop], profile,
-                record_every_n, self._chunk)
+                record_every_n, self._chunk, self._numerics)
             started[i] = time.perf_counter()
             deadlines[i] = (None if self._timeout_s is None
                             else started[i] + self._timeout_s)
@@ -367,7 +385,8 @@ class ShardedEngine:
                     "engine").inc()
             start, stop = bounds[i]
             results[i] = BatchEngine(
-                self._rigs[start:stop], chunk_size=self._chunk).run(
+                self._rigs[start:stop], chunk_size=self._chunk,
+                numerics=self._numerics).run(
                 profile, record_every_n=record_every_n)
 
         merged = RunResult.concat([results[i] for i in range(len(bounds))])

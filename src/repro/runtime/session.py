@@ -31,6 +31,7 @@ from repro.observability import get_event_log, get_registry, get_tracer
 from repro.conditioning.calibration import FlowCalibration
 from repro.conditioning.monitor import WaterFlowMonitor
 from repro.runtime.batch import BatchEngine
+from repro.runtime.kernels import resolve_numerics
 from repro.runtime.result import RunResult
 from repro.station.profiles import Profile
 from repro.station.rig import TestRig
@@ -189,6 +190,7 @@ class Session:
             collect: str = "result",
             engine: str = "batch",
             workers: int | None = None,
+            numerics: str = "exact",
             record_every_n: int | None = None) -> RunResult | dict:
         """Run a line profile over the fleet; decimated traces out.
 
@@ -222,6 +224,15 @@ class Session:
             result is bit-identical to the serial batch path for any
             worker count.  ``None`` (default) and 1 stay serial and
             in-process.  Refused for ``engine="scalar"``.
+        numerics:
+            Kernel numerics mode for the batch engines: ``"exact"``
+            (default, bit-identical to the scalar reference path) or
+            ``"fast"`` (vectorized transcendentals, ≤1e-9 relative
+            error; see :mod:`repro.runtime.kernels`).  A
+            :class:`~repro.runtime.kernels.Numerics` policy is accepted
+            too.  Refused (``reason="numerics"``) for
+            ``engine="scalar"`` with ``"fast"`` — the scalar reference
+            path *is* the exact contract and has no fast kernels.
 
         .. deprecated:: 1.1
             Positional ``engine`` / ``record_every_n`` still work but
@@ -250,21 +261,30 @@ class Session:
             raise ConfigurationError(
                 "workers > 1 requires engine='batch' (the scalar "
                 "reference path is serial by construction)")
+        mode = resolve_numerics(numerics)
+        if mode != "exact" and engine != "batch":
+            raise ConfigurationError(
+                "numerics='fast' requires engine='batch' (the scalar "
+                "reference path is the exact contract itself)",
+                reason="numerics")
         every = resolve_record_every_n(self._dt, snapshot_s, record_every_n)
         if every < 1:
             raise ConfigurationError("record_every_n must be >= 1")
         t0 = time.perf_counter()
         with get_tracer().span("session.run", engine=engine,
+                               numerics=mode,
                                n_monitors=self.n_monitors):
             self._handles = self._materialize()
             rigs = [handle.rig for handle in self._handles]
             if engine == "batch" and workers is not None and workers != 1:
                 from repro.runtime.parallel import ShardedEngine
                 result = ShardedEngine(
-                    rigs, workers=workers, chunk_size=self._chunk).run(
+                    rigs, workers=workers, chunk_size=self._chunk,
+                    numerics=mode).run(
                     profile, record_every_n=every)
             elif engine == "batch":
-                result = BatchEngine(rigs, chunk_size=self._chunk).run(
+                result = BatchEngine(rigs, chunk_size=self._chunk,
+                                     numerics=mode).run(
                     profile, record_every_n=every)
             else:
                 result = RunResult.from_records(

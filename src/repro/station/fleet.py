@@ -34,7 +34,8 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
                             duration_s: float = 20.0,
                             settle_s: float = 8.0,
                             fast_calibration: bool = True,
-                            workers: int | None = None) -> list["MeterCharacter"]:
+                            workers: int | None = None,
+                            numerics: str = "exact") -> list["MeterCharacter"]:
     """Measure meter characters from full monitor simulations.
 
     Builds and calibrates ``n_meters`` complete monitoring points
@@ -60,6 +61,11 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
         ``workers > 1`` the characterization hold runs through the
         process-parallel sharded engine (bit-identical traces, so the
         measured characters do not depend on the worker count).
+    numerics:
+        Kernel numerics mode for the characterization hold, forwarded
+        to :meth:`repro.runtime.Session.run`: ``"exact"`` (default) or
+        ``"fast"`` (≤1e-9 relative error on the traces, far below the
+        bias/noise statistics condensed here).
 
     Returns
     -------
@@ -81,7 +87,7 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
                      fast_calibration=fast_calibration) as session:
             session.calibrate()
             result = session.run(hold(speed_cmps, duration_s),
-                                 workers=workers)
+                                 workers=workers, numerics=numerics)
     registry = get_registry()
     if registry.enabled:
         registry.counter("station.fleet.meters_characterized").inc(n_meters)

@@ -4,17 +4,23 @@ Run from the repository root::
 
     PYTHONPATH=src python -m tests.golden.regen
 
-Three archives pin the three execution paths of the same physics:
+Four archives pin the execution paths of the same physics:
 
 - ``scalar_cta.npz`` — one rig through the per-sample scalar reference
   loop (``TestRig.run``, i.e. the CTA loop ticked in Python);
 - ``batch_engine.npz`` — a three-rig fleet through the vectorized
   :class:`~repro.runtime.batch.BatchEngine`;
 - ``sharded_engine.npz`` — the same fleet through the process-parallel
-  :class:`~repro.runtime.parallel.ShardedEngine` (two workers).
+  :class:`~repro.runtime.parallel.ShardedEngine` (two workers);
+- ``fast_engine.npz`` — the same fleet through the batch engine with
+  ``numerics="fast"`` (vectorized transcendentals).
 
-Every case is a pure function of its hard-coded seeds, so regenerating
-on the same code produces byte-identical archives.  A diff against the
+The exact-mode cases are pure functions of their hard-coded seeds, so
+regenerating on the same code produces byte-identical archives; the
+test suite compares them byte for byte.  The fast case is additionally
+subject to numpy's SIMD transcendentals, whose last-ulp rounding may
+differ across builds, so ``tests/test_golden_traces.py`` holds it to a
+1e-9 relative tolerance instead of bytes.  A diff against the
 checked-in files therefore means the simulation's numerics changed —
 commit regenerated archives only for *intentional* physics changes, and
 say so in the commit message.
@@ -32,8 +38,9 @@ from repro.station.profiles import staircase
 from repro.station.rig import RigRecord
 from repro.station.scenarios import build_calibrated_monitor
 
-__all__ = ["GOLDEN_DIR", "CASES", "scalar_cta_case", "batch_engine_case",
-           "sharded_engine_case", "main"]
+__all__ = ["GOLDEN_DIR", "CASES", "TOLERANT_CASES", "scalar_cta_case",
+           "batch_engine_case", "sharded_engine_case", "fast_engine_case",
+           "main"]
 
 #: Directory holding the checked-in archives (this package).
 GOLDEN_DIR = Path(__file__).resolve().parent
@@ -74,13 +81,27 @@ def sharded_engine_case() -> dict[str, np.ndarray]:
             for name in ("time_s",) + RunResult.STACKED_FIELDS}
 
 
+def fast_engine_case() -> dict[str, np.ndarray]:
+    """The same fleet through the batch engine in fast numerics mode."""
+    result = BatchEngine(_fleet_rigs(), numerics="fast").run(
+        _PROFILE, record_every_n=_RECORD_EVERY_N)
+    return {name: np.asarray(getattr(result, name))
+            for name in ("time_s",) + RunResult.STACKED_FIELDS}
+
+
 #: Archive stem -> case function; the single source of truth shared by
 #: this regenerator and ``tests/test_golden_traces.py``.
 CASES = {
     "scalar_cta": scalar_cta_case,
     "batch_engine": batch_engine_case,
     "sharded_engine": sharded_engine_case,
+    "fast_engine": fast_engine_case,
 }
+
+#: Stems whose archives are compared with a tolerance rather than byte
+#: for byte (numpy's vectorized transcendentals are build-dependent in
+#: the last ulp).
+TOLERANT_CASES = frozenset({"fast_engine"})
 
 
 def main() -> int:
