@@ -178,3 +178,64 @@ def test_x00_kernel_throughput():
     # loaded host flags real regressions without flaking on noise.
     assert rates["exact"] >= 1.6 * _PRE_KERNEL_SAMPLES_PER_S, stage
     assert rates["fast"] >= rates["exact"] * 0.9, stage
+
+
+def test_x00_observability_overhead():
+    """Engine throughput with observability off vs fully on.
+
+    The disabled path is the headline contract (<2% tax: one attribute
+    check per instrumented call site), measured implicitly by every
+    other stage running with the defaults disabled.  This stage records
+    the price of opting *in* — registry + tracer + events + per-stage
+    profiler all enabled — as the ``"observability_overhead"`` entry of
+    ``BENCH_throughput.json``.  The in-test floor is deliberately loose
+    (shared runners): it exists to flag an accidental per-sample
+    instrument in the hot loop, not to pin a speed bar.
+    """
+    import gc
+
+    from repro.observability import observed
+    from repro.runtime import BatchEngine
+
+    repeats = 4
+    n_monitors, duration_s = 16, 5.0
+    profile = hold(50.0, duration_s)
+    samples = n_monitors * int(round(duration_s * 1000.0))
+    with Session(n_monitors=n_monitors, seed=7,
+                 fast_calibration=True) as session:
+        session.calibrate()
+        rates = {}
+        for label, profile_flag in (("disabled", None), ("enabled", True)):
+            rigs = [handle.rig for handle in session._materialize()]
+            engine = BatchEngine(rigs)
+            best_s = float("inf")
+            gc.disable()
+            try:
+                for _ in range(repeats):
+                    if profile_flag:
+                        with observed(profile=True):
+                            t0 = time.perf_counter()
+                            engine.run(profile)
+                            best_s = min(best_s,
+                                         time.perf_counter() - t0)
+                    else:
+                        t0 = time.perf_counter()
+                        engine.run(profile)
+                        best_s = min(best_s, time.perf_counter() - t0)
+            finally:
+                gc.enable()
+            rates[label] = samples / best_s
+    stage = {
+        "n_monitors": n_monitors,
+        "samples": samples,
+        "repeats": repeats,
+        "disabled_samples_per_s": rates["disabled"],
+        "enabled_samples_per_s": rates["enabled"],
+        "enabled_overhead_fraction":
+            1.0 - rates["enabled"] / rates["disabled"],
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+    payload = json.loads(out.read_text()) if out.exists() else {}
+    payload["observability_overhead"] = stage
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert rates["enabled"] >= 0.5 * rates["disabled"], stage

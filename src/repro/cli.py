@@ -27,7 +27,7 @@ from repro.errors import ReproError
 from repro.isif.platform import ISIFPlatform
 from repro.observability import (enable as _enable_observability,
                                  export_jsonl, export_prometheus,
-                                 get_registry)
+                                 get_profiler, get_registry)
 from repro.runtime.kernels import NUMERICS_MODES
 from repro.sensor.maf import FlowConditions
 from repro.station.scenarios import build_calibrated_monitor
@@ -45,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable observability and write the metrics snapshot here "
              "after the command (.prom -> Prometheus text format, "
              "anything else -> JSON lines)")
+    parser.add_argument(
+        "--profile-out", type=Path, default=None, metavar="PATH",
+        help="enable the per-stage kernel profiler and write its JSON "
+             "report here after the command (stages: kernel.plan, "
+             "kernel.ar1_block, kernel.film, kernel.chunk_loop; merged "
+             "across workers for sharded fleet runs)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("selftest", help="ISIF platform power-on self-test")
@@ -260,11 +266,20 @@ def _write_metrics(path: Path) -> None:
     print(f"metrics written to {path} ({len(registry.names())} series)")
 
 
+def _write_profile(path: Path) -> None:
+    report = get_profiler().report()
+    path.write_text(json.dumps({"stages": report}, indent=2) + "\n")
+    print(f"profile written to {path} ({len(report)} stages)")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.metrics_out is not None:
         _enable_observability()
+    profiling = args.profile_out is not None
+    if profiling:
+        get_profiler().enabled = True
     try:
         code = _COMMANDS[args.command](args)
     except ReproError as exc:
@@ -273,8 +288,15 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if profiling:
+            # Back to the opt-in default so in-process callers (tests,
+            # notebooks) do not keep paying the timing hooks.
+            get_profiler().enabled = False
     if args.metrics_out is not None:
         _write_metrics(args.metrics_out)
+    if profiling:
+        _write_profile(args.profile_out)
     return code
 
 

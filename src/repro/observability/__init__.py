@@ -1,19 +1,26 @@
-"""Fleet observability: metrics, tracing and structured events.
+"""Fleet observability: metrics, tracing, events and profiling.
 
 The paper's §6 field deployment only worked because the ISIF platform
 exposed its internal loop state for months of unattended evaluation;
-this package gives the reproduction the same property.  Three
+this package gives the reproduction the same property.  Four
 primitives, all dependency-free and all **opt-in**:
 
 - :class:`MetricsRegistry` (:mod:`repro.observability.metrics`) —
   counters, gauges and bounded-reservoir histograms;
 - :class:`Tracer` (:mod:`repro.observability.tracer`) — context-manager
-  spans over lifecycle stages, feeding ``span.<name>.s`` histograms;
+  spans over lifecycle stages, feeding ``span.<name>.s`` histograms,
+  with propagatable :class:`TraceContext` identity;
 - :class:`EventLog` (:mod:`repro.observability.events`) — structured
-  discrete occurrences.
+  discrete occurrences;
+- :class:`Profiler` (:mod:`repro.observability.profile`) — per-stage
+  wall/CPU attribution for the kernel layer.
 
-Plus two exporters (:mod:`repro.observability.export`): JSON-lines
-snapshots and Prometheus text format, both with round-trip parsers.
+Plus the exporters (:mod:`repro.observability.export`): JSON-lines and
+Prometheus metrics snapshots and JSON-lines span records, all with
+round-trip parsers, and the cross-process layer
+(:mod:`repro.observability.remote`): worker runs snapshot their sinks
+into a picklable :class:`TelemetryHarvest` that the sharded runtime
+ships home and :func:`merge_harvest` folds into the parent's view.
 
 Everything hangs off process-wide defaults that start **disabled**; a
 disabled instrument call is one attribute check.  Turn the layer on
@@ -21,7 +28,7 @@ with::
 
     from repro import observability
 
-    observability.enable()
+    observability.enable()            # enable(profile=True) adds timing
     ...  # run sessions, fleets, benches
     print(observability.export_prometheus(observability.get_registry()))
 
@@ -31,9 +38,10 @@ or scoped::
         session.run(profile)
     print(registry.snapshot())
 
-Instrumented hot paths: batch-engine chunk advance, session lifecycle
-stages, the calibration LRU, the scalar CTA loop, the LEON scheduler's
-bulk accounting, telemetry framing, and fleet characterization — see
+Instrumented hot paths: batch-engine chunk advance (plus the kernel
+profiling stages), session lifecycle stages, the calibration LRU, the
+scalar CTA loop, the LEON scheduler's bulk accounting, telemetry
+framing, sharded-run workers, and fleet characterization — see
 ``docs/observability.md`` for the metric name catalogue.
 """
 
@@ -44,35 +52,57 @@ from contextlib import contextmanager
 from repro.observability.events import (Event, EventLog, get_event_log,
                                         set_event_log)
 from repro.observability.export import (export_jsonl, export_prometheus,
-                                        parse_jsonl, parse_prometheus,
+                                        export_spans_jsonl, parse_jsonl,
+                                        parse_prometheus, parse_spans_jsonl,
                                         prometheus_name)
 from repro.observability.metrics import (Counter, Gauge, Histogram,
                                          MetricsRegistry, get_registry,
-                                         set_registry)
-from repro.observability.tracer import (Span, SpanRecord, Tracer, get_tracer,
-                                        set_tracer)
+                                         merge_states, set_registry)
+from repro.observability.profile import Profiler, get_profiler, set_profiler
+from repro.observability.remote import (MetricsSnapshot, TelemetryHarvest,
+                                        TelemetryRequest,
+                                        harvest_worker_telemetry,
+                                        install_worker_telemetry,
+                                        merge_harvest)
+from repro.observability.tracer import (Span, SpanRecord, TraceContext,
+                                        Tracer, get_tracer, set_tracer,
+                                        span_tree)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_states",
     "get_registry",
     "set_registry",
     "Span",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
+    "span_tree",
     "get_tracer",
     "set_tracer",
     "Event",
     "EventLog",
     "get_event_log",
     "set_event_log",
+    "Profiler",
+    "get_profiler",
+    "set_profiler",
+    "MetricsSnapshot",
+    "TelemetryRequest",
+    "TelemetryHarvest",
+    "install_worker_telemetry",
+    "harvest_worker_telemetry",
+    "merge_harvest",
     "export_jsonl",
     "parse_jsonl",
     "export_prometheus",
     "parse_prometheus",
     "prometheus_name",
+    "export_spans_jsonl",
+    "parse_spans_jsonl",
     "enable",
     "disable",
     "enabled",
@@ -80,18 +110,26 @@ __all__ = [
 ]
 
 
-def enable() -> None:
-    """Turn on the default registry, tracer and event log."""
+def enable(profile: bool = False) -> None:
+    """Turn on the default registry, tracer and event log.
+
+    ``profile=True`` additionally enables the default
+    :class:`Profiler` (off by default: the timing hooks cost real
+    ``perf_counter``/``process_time`` calls in the kernel loop).
+    """
     get_registry().enabled = True
     get_tracer().enabled = True
     get_event_log().enabled = True
+    if profile:
+        get_profiler().enabled = True
 
 
 def disable() -> None:
-    """Turn the default observability sinks back off (the start state)."""
+    """Turn every default observability sink back off (the start state)."""
     get_registry().enabled = False
     get_tracer().enabled = False
     get_event_log().enabled = False
+    get_profiler().enabled = False
 
 
 def enabled() -> bool:
@@ -100,18 +138,22 @@ def enabled() -> bool:
 
 
 @contextmanager
-def observed():
+def observed(profile: bool = False):
     """Enable observability for a block; yields the default registry.
 
     Restores the previous enabled/disabled state on exit, so tests and
     benches can instrument a run without leaking global state.
+    ``profile=True`` also turns the default profiler on for the block.
     """
     registry = get_registry()
     tracer = get_tracer()
     log = get_event_log()
-    before = (registry.enabled, tracer.enabled, log.enabled)
-    enable()
+    profiler = get_profiler()
+    before = (registry.enabled, tracer.enabled, log.enabled,
+              profiler.enabled)
+    enable(profile=profile)
     try:
         yield registry
     finally:
-        registry.enabled, tracer.enabled, log.enabled = before
+        (registry.enabled, tracer.enabled, log.enabled,
+         profiler.enabled) = before

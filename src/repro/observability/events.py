@@ -65,6 +65,17 @@ class EventLog:
         self._events.append(event)
         return event
 
+    def absorb(self, events) -> None:
+        """Append harvested remote events (no-op while disabled).
+
+        Events carry wall-clock ``time_s``, which *is* comparable
+        across processes, so absorbed events interleave meaningfully
+        with local ones on export.
+        """
+        if not self.enabled:
+            return
+        self._events.extend(events)
+
     def events(self, name: str | None = None) -> list[Event]:
         """Retained events, optionally filtered by name."""
         if name is None:

@@ -25,12 +25,17 @@ import re
 
 from repro.errors import ConfigurationError
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import SpanRecord
 
 __all__ = ["export_jsonl", "parse_jsonl", "export_prometheus",
-           "parse_prometheus", "prometheus_name"]
+           "parse_prometheus", "prometheus_name", "export_spans_jsonl",
+           "parse_spans_jsonl"]
 
 _UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
 _QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+#: A sample rendered by ``_fmt`` from an int (floats always carry a
+#: ``.``/exponent through ``repr``), so int-ness survives the round trip.
+_INT_SAMPLE = re.compile(r"[+-]?[0-9]+$")
 
 
 def _snapshot(source: MetricsRegistry | dict) -> dict:
@@ -159,9 +164,13 @@ def parse_prometheus(text: str) -> dict[str, dict]:
         name = dotted[base]
         kind = types.get(base, "gauge")
         if kind in ("counter", "gauge"):
-            value = int(value) if kind == "counter" and value.is_integer() \
-                else value
-            parsed[name] = {"type": kind, "value": value}
+            # Recover int-ness from the sample *text*: ``_fmt`` renders
+            # int 4 as "4" but float 4.0 as "4.0", so value.is_integer()
+            # would wrongly coerce integer-valued float counters.
+            parsed[name] = {
+                "type": kind,
+                "value": int(raw) if _INT_SAMPLE.match(raw) else value,
+            }
         else:
             state = parsed.setdefault(name, {"type": "histogram"})
             if suffix == "count":
@@ -172,3 +181,59 @@ def parse_prometheus(text: str) -> dict[str, dict]:
                 key = {q: k for q, k in _QUANTILES}.get(quantile)
                 state[key if key else f"q{quantile}"] = value
     return parsed
+
+
+def export_spans_jsonl(records) -> str:
+    """Render span records as JSON lines, one span per line.
+
+    Takes any iterable of
+    :class:`~repro.observability.tracer.SpanRecord` (e.g.
+    ``get_tracer().records()``, including absorbed worker spans); the
+    full tree identity (``trace_id``/``span_id``/``parent_id``) rides
+    along, so :func:`parse_spans_jsonl` plus
+    :func:`~repro.observability.tracer.span_tree` reassemble the forest
+    exactly.
+    """
+    lines = []
+    for record in records:
+        lines.append(json.dumps({
+            "name": record.name,
+            "start_s": record.start_s,
+            "duration_s": record.duration_s,
+            "parent": record.parent,
+            "tags": record.tags,
+            "trace_id": record.trace_id,
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+        }, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_spans_jsonl(text: str) -> list[SpanRecord]:
+    """Parse :func:`export_spans_jsonl` output back into records.
+
+    Raises
+    ------
+    ConfigurationError
+        On a line that is not a JSON object with the span fields.
+    """
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+            records.append(SpanRecord(
+                name=data["name"],
+                start_s=float(data["start_s"]),
+                duration_s=float(data["duration_s"]),
+                parent=data.get("parent"),
+                tags=dict(data.get("tags") or {}),
+                trace_id=str(data.get("trace_id", "")),
+                span_id=str(data.get("span_id", "")),
+                parent_id=data.get("parent_id"),
+            ))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"bad span line {lineno}: {exc}") from exc
+    return records

@@ -24,16 +24,29 @@ default registry starts **disabled**; observability is strictly opt-in
 Metric names are dotted lowercase paths with a unit suffix where
 meaningful (``runtime.batch.chunk_s``, ``station.calibration_cache.hits``),
 mirrored by the Prometheus exporter as underscore-separated names.
+
+Cross-process aggregation: every instrument serializes its *full* state
+through ``dump()`` / ``restore()`` (unlike ``snapshot()``, which is the
+exporter-facing view), two dumped states combine through
+:func:`merge_states`, and :meth:`MetricsRegistry.merge` folds a whole
+dumped registry (e.g. a worker's
+:class:`~repro.observability.remote.MetricsSnapshot`) into this one.
+The merge is deterministic and associative: counters sum, gauges are
+last-write-wins on their ``updated_s`` timestamp (right operand wins
+ties), histogram running stats combine exactly and their reservoirs
+concatenate chronologically, keeping the most recent
+``reservoir_size`` observations.
 """
 
 from __future__ import annotations
 
 import math
+import time
 
 from repro.errors import ConfigurationError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "get_registry", "set_registry"]
+           "merge_states", "get_registry", "set_registry"]
 
 
 class Counter:
@@ -65,11 +78,24 @@ class Counter:
         """JSON-safe state: ``{"type", "value"}``."""
         return {"type": "counter", "value": self.value}
 
+    def dump(self) -> dict:
+        """Full merge-grade state (same as the snapshot for counters)."""
+        return {"type": "counter", "value": self.value}
+
+    def restore(self, state: dict) -> None:
+        """Adopt a state produced by :meth:`dump` (or a merge of them)."""
+        self.value = state["value"]
+
 
 class Gauge:
-    """Last-written value (fleet size, utilisation, hit rate)."""
+    """Last-written value (fleet size, utilisation, hit rate).
 
-    __slots__ = ("name", "description", "_registry", "value")
+    Each write stamps ``updated_s`` (wall clock), which is what makes
+    cross-process merges well-defined: the *latest* write wins, no
+    matter which process made it.
+    """
+
+    __slots__ = ("name", "description", "_registry", "value", "updated_s")
 
     def __init__(self, name: str, description: str = "",
                  registry: "MetricsRegistry | None" = None) -> None:
@@ -77,16 +103,28 @@ class Gauge:
         self.description = description
         self._registry = registry
         self.value = 0.0
+        self.updated_s = 0.0
 
     def set(self, value: float) -> None:
-        """Overwrite the gauge."""
+        """Overwrite the gauge (and its last-write timestamp)."""
         if self._registry is not None and not self._registry.enabled:
             return
         self.value = float(value)
+        self.updated_s = time.time()
 
     def snapshot(self) -> dict:
-        """JSON-safe state: ``{"type", "value"}``."""
+        """JSON-safe state: ``{"type", "value"}`` (exporter view)."""
         return {"type": "gauge", "value": self.value}
+
+    def dump(self) -> dict:
+        """Full merge-grade state: value plus last-write timestamp."""
+        return {"type": "gauge", "value": self.value,
+                "updated_s": self.updated_s}
+
+    def restore(self, state: dict) -> None:
+        """Adopt a state produced by :meth:`dump` (or a merge of them)."""
+        self.value = float(state["value"])
+        self.updated_s = float(state.get("updated_s", 0.0))
 
 
 class Histogram:
@@ -167,6 +205,105 @@ class Histogram:
             "reservoir_size": self._size,
         }
 
+    def dump(self) -> dict:
+        """Full merge-grade state, reservoir in chronological order.
+
+        When the ring has wrapped, ``_pos`` points at the oldest slot,
+        so the chronological view is ``ring[pos:] + ring[:pos]``; an
+        unwrapped ring is already oldest-first.
+        """
+        if len(self._ring) < self._size:
+            reservoir = list(self._ring)
+        else:
+            reservoir = self._ring[self._pos:] + self._ring[:self._pos]
+        empty = self.count == 0
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+            "reservoir": reservoir,
+            "reservoir_size": self._size,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a state produced by :meth:`dump` (or a merge of them).
+
+        The reservoir comes back oldest-first with ``_pos`` reset to 0,
+        which preserves ring semantics: once full, the next observation
+        overwrites the oldest entry.
+        """
+        self.count = int(state["count"])
+        self.sum = float(state["sum"])
+        self.min = math.inf if state["min"] is None else float(state["min"])
+        self.max = -math.inf if state["max"] is None else float(state["max"])
+        size = int(state.get("reservoir_size", self._size))
+        if size < 1:
+            raise ConfigurationError("reservoir_size must be >= 1")
+        self._size = size
+        self._ring = [float(v) for v in state.get("reservoir", [])][-size:]
+        self._pos = 0
+
+
+def _merged_extreme(reduce_fn, a, b):
+    """None-aware min/max over two optional extremes."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return reduce_fn(a, b)
+
+
+def merge_states(a: dict | None, b: dict | None) -> dict | None:
+    """Combine two instrument states from :meth:`dump` (``a`` then ``b``).
+
+    The operation is associative with the empty state (``None``) as
+    identity, so any fold order over any shard partition produces the
+    same merged registry:
+
+    - counters add;
+    - gauges keep the later ``updated_s`` write (``b`` wins exact ties,
+      which is what keeps ties associative);
+    - histograms add count/sum, combine min/max, and concatenate the
+      chronological reservoirs keeping the most recent
+      ``max(reservoir_size)`` observations — last-K truncation composes,
+      so the result is partition-invariant.
+
+    Raises
+    ------
+    ConfigurationError
+        On mismatched or unknown instrument types.
+    """
+    if a is None:
+        return dict(b) if b is not None else None
+    if b is None:
+        return dict(a)
+    kind = a.get("type")
+    if kind != b.get("type"):
+        raise ConfigurationError(
+            f"cannot merge metric states of type {a.get('type')!r} "
+            f"and {b.get('type')!r}")
+    if kind == "counter":
+        return {"type": "counter", "value": a["value"] + b["value"]}
+    if kind == "gauge":
+        keep = b if b.get("updated_s", 0.0) >= a.get("updated_s", 0.0) else a
+        return {"type": "gauge", "value": keep["value"],
+                "updated_s": keep.get("updated_s", 0.0)}
+    if kind == "histogram":
+        size = max(int(a["reservoir_size"]), int(b["reservoir_size"]))
+        reservoir = (list(a["reservoir"]) + list(b["reservoir"]))[-size:]
+        return {
+            "type": "histogram",
+            "count": a["count"] + b["count"],
+            "sum": a["sum"] + b["sum"],
+            "min": _merged_extreme(min, a["min"], b["min"]),
+            "max": _merged_extreme(max, a["max"], b["max"]),
+            "reservoir": reservoir,
+            "reservoir_size": size,
+        }
+    raise ConfigurationError(f"unknown metric type {kind!r}")
+
 
 class MetricsRegistry:
     """Name-keyed store of instruments with one master ``enabled`` flag.
@@ -220,6 +357,52 @@ class MetricsRegistry:
         """All instruments as ``{name: state}``, sorted by name."""
         return {name: self._instruments[name].snapshot()
                 for name in self.names()}
+
+    def dump(self) -> dict[str, dict]:
+        """Full merge-grade states as ``{name: state}``, sorted by name.
+
+        Unlike :meth:`snapshot` (the exporter view), the dump carries
+        everything :meth:`merge` needs: gauge timestamps and the full
+        chronological histogram reservoirs.
+        """
+        return {name: self._instruments[name].dump()
+                for name in self.names()}
+
+    def merge(self, states) -> None:
+        """Fold dumped states (``{name: state}``) into this registry.
+
+        Accepts a plain mapping or anything exposing it as a
+        ``metrics`` attribute (e.g.
+        :class:`~repro.observability.remote.MetricsSnapshot`).  Missing
+        instruments are created; existing ones combine through
+        :func:`merge_states`.  Names are processed in sorted order, so
+        the operation is deterministic, and it is an explicit
+        aggregation step — it applies even while the registry is
+        disabled (the harvested worker data already exists; dropping it
+        silently would corrupt fleet totals).
+
+        Raises
+        ------
+        ConfigurationError
+            On a name already registered with a different instrument
+            kind, or an unknown state type.
+        """
+        states = getattr(states, "metrics", states)
+        for name in sorted(states):
+            state = states[name]
+            kind = state.get("type")
+            if kind == "counter":
+                instrument = self.counter(name)
+            elif kind == "gauge":
+                instrument = self.gauge(name)
+            elif kind == "histogram":
+                instrument = self.histogram(
+                    name, reservoir_size=int(state.get("reservoir_size",
+                                                       256)))
+            else:
+                raise ConfigurationError(
+                    f"unknown metric type {kind!r} for {name!r}")
+            instrument.restore(merge_states(instrument.dump(), state))
 
     def reset(self) -> None:
         """Drop every instrument (test isolation)."""

@@ -1,0 +1,136 @@
+"""Opt-in per-stage profiler: wall and CPU time attribution.
+
+The metrics layer answers *how much work* ran; this module answers
+*where the time went*.  A :class:`Profiler` accumulates per-stage
+``{calls, wall_s, cpu_s}`` totals (wall from ``time.perf_counter``,
+CPU from ``time.process_time``) for the kernel stages the batch engine
+instruments — see
+:data:`repro.runtime.kernels.PROFILE_STAGES` — and, when the metrics
+registry is collecting, also feeds ``profile.<stage>.wall_s`` /
+``profile.<stage>.cpu_s`` histograms so stage timings ride the normal
+export pipeline.
+
+Like every other sink in :mod:`repro.observability`, the process
+default starts **disabled** and a disabled profiler costs one attribute
+check per hook.  Enable it through
+``observability.enable(profile=True)`` (or ``observed(profile=True)``),
+read it back through :meth:`Profiler.report`,
+``RunResult.profile()``, ``Session.stats()["profile"]`` or the CLI's
+``--profile-out``.  Worker-side reports travel home inside the
+telemetry harvest (:mod:`repro.observability.remote`) and fold in with
+:meth:`Profiler.merge`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+__all__ = ["Profiler", "get_profiler", "set_profiler"]
+
+
+class Profiler:
+    """Accumulates per-stage wall/CPU totals; all hooks gate on ``enabled``.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry that receives ``profile.<stage>.*`` histograms;
+        None uses the process default at record time.  Histograms are
+        only fed while that registry is itself enabled, so the profiler
+        can run standalone (report only) or fully wired.
+    enabled:
+        Disabled profilers make :meth:`add` and :meth:`stage` no-ops.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._registry = registry
+        self._stages: dict[str, dict] = {}
+
+    def add(self, stage: str, wall_s: float, cpu_s: float = 0.0,
+            calls: int = 1) -> None:
+        """Accumulate one timed region into ``stage``.
+
+        ``calls`` lets a hot loop batch many inner timings into one
+        accumulate (the engine adds its per-sample film timings once per
+        chunk).
+        """
+        if not self.enabled:
+            return
+        totals = self._stages.get(stage)
+        if totals is None:
+            if not stage or stage != stage.strip():
+                raise ConfigurationError(f"bad stage name {stage!r}")
+            totals = self._stages[stage] = {
+                "calls": 0, "wall_s": 0.0, "cpu_s": 0.0}
+        totals["calls"] += int(calls)
+        totals["wall_s"] += float(wall_s)
+        totals["cpu_s"] += float(cpu_s)
+        registry = self._registry or get_registry()
+        if registry.enabled:
+            registry.histogram(f"profile.{stage}.wall_s").observe(wall_s)
+            registry.histogram(f"profile.{stage}.cpu_s").observe(cpu_s)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager timing one region into ``name``."""
+        if not self.enabled:
+            yield
+            return
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - wall0,
+                     time.process_time() - cpu0)
+
+    def report(self) -> dict[str, dict]:
+        """``{stage: {calls, wall_s, cpu_s}}``, stages sorted by name."""
+        return {name: dict(self._stages[name])
+                for name in sorted(self._stages)}
+
+    def merge(self, report: dict) -> None:
+        """Fold a :meth:`report` (e.g. a worker's harvest) into this one.
+
+        Accumulator-only on purpose: the worker's ``profile.*``
+        histograms arrive through the metrics-snapshot merge, so
+        re-observing them here would double-count.  No-op while
+        disabled.
+        """
+        if not self.enabled:
+            return
+        for stage in sorted(report):
+            values = report[stage]
+            totals = self._stages.setdefault(
+                stage, {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0})
+            totals["calls"] += int(values.get("calls", 0))
+            totals["wall_s"] += float(values.get("wall_s", 0.0))
+            totals["cpu_s"] += float(values.get("cpu_s", 0.0))
+
+    def reset(self) -> None:
+        """Drop every accumulated stage (test isolation)."""
+        self._stages.clear()
+
+
+#: Process-wide default profiler; disabled until the caller opts in.
+_DEFAULT = Profiler(enabled=False)
+
+
+def get_profiler() -> Profiler:
+    """The process-wide default profiler used by all instrumentation."""
+    return _DEFAULT
+
+
+def set_profiler(profiler: Profiler) -> Profiler:
+    """Swap the default profiler (returns it, for chaining)."""
+    global _DEFAULT
+    if not isinstance(profiler, Profiler):
+        raise ConfigurationError("set_profiler needs a Profiler")
+    _DEFAULT = profiler
+    return profiler

@@ -1,0 +1,189 @@
+"""Cross-process telemetry: snapshot in the worker, merge in the parent.
+
+The sharded runtime (:mod:`repro.runtime.parallel`) forks worker
+processes whose observability data would otherwise die with them.  This
+module closes that gap with three picklable value types and a
+bracketing pair of functions:
+
+- :class:`TelemetryRequest` — what the parent asks a worker to collect:
+  the :class:`~repro.observability.tracer.TraceContext` its spans should
+  nest under, and whether the profiler is on.
+- :class:`MetricsSnapshot` — a registry's full merge-grade state
+  (:meth:`~repro.observability.metrics.MetricsRegistry.dump`), with an
+  associative :meth:`MetricsSnapshot.merge` whose empty snapshot is the
+  identity, so any fold order over any shard partition yields the same
+  aggregate.
+- :class:`TelemetryHarvest` — everything one worker collected: its
+  metrics snapshot, finished span records, events and profiler report.
+
+Worker side, :func:`install_worker_telemetry` swaps in **fresh**
+enabled sinks before the run (on Linux the fork start method means the
+worker *inherits* the parent's live registry — harvesting that would
+double-count every pre-existing value) and
+:func:`harvest_worker_telemetry` captures the run's output and restores
+the previous defaults.  Parent side, :func:`merge_harvest` folds a
+harvest into the local sinks, each gated on its own ``enabled`` flag so
+opt-in stays per-sink.  Durations land exactly once: span *records*
+come home via :meth:`Tracer.absorb` (which never re-feeds histograms)
+while their ``span.*`` histograms arrive inside the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.observability.events import EventLog, get_event_log, set_event_log
+from repro.observability.metrics import MetricsRegistry, get_registry, \
+    merge_states, set_registry
+from repro.observability.profile import Profiler, get_profiler, set_profiler
+from repro.observability.tracer import TraceContext, Tracer, get_tracer, \
+    set_tracer
+
+__all__ = ["MetricsSnapshot", "TelemetryRequest", "TelemetryHarvest",
+           "install_worker_telemetry", "harvest_worker_telemetry",
+           "merge_harvest"]
+
+_KNOWN_KINDS = ("counter", "gauge", "histogram")
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A registry's dumped state as a picklable, mergeable value.
+
+    ``metrics`` maps metric name to the merge-grade state dict of
+    :meth:`MetricsRegistry.dump`; treat it as immutable.
+    """
+
+    metrics: dict = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        """The merge identity (no instruments)."""
+        return cls(metrics={})
+
+    @classmethod
+    def capture(cls, registry: MetricsRegistry | None = None,
+                ) -> "MetricsSnapshot":
+        """Dump ``registry`` (default: the process registry)."""
+        registry = registry if registry is not None else get_registry()
+        return cls(metrics=registry.dump())
+
+    def names(self) -> tuple[str, ...]:
+        """Captured metric names, sorted."""
+        return tuple(sorted(self.metrics))
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots (associative; ``empty()`` is identity).
+
+        Per-instrument semantics live in
+        :func:`repro.observability.metrics.merge_states`.
+        """
+        merged = {}
+        for name in sorted(set(self.metrics) | set(other.metrics)):
+            merged[name] = merge_states(self.metrics.get(name),
+                                        other.metrics.get(name))
+        return MetricsSnapshot(metrics=merged)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: ``{"metrics": {name: state}}``."""
+        return {"metrics": {name: dict(state)
+                            for name, state in self.metrics.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises
+        ------
+        ConfigurationError
+            On a payload without a ``metrics`` mapping or with an
+            unknown instrument type.
+        """
+        try:
+            metrics = dict(data["metrics"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                "metrics snapshot needs a 'metrics' mapping") from exc
+        for name, state in metrics.items():
+            if not isinstance(state, dict) \
+                    or state.get("type") not in _KNOWN_KINDS:
+                raise ConfigurationError(
+                    f"bad snapshot state for {name!r}: {state!r}")
+        return cls(metrics=metrics)
+
+
+@dataclass(frozen=True)
+class TelemetryRequest:
+    """What the parent asks one worker to collect (pickled to it)."""
+
+    trace_context: TraceContext | None = None
+    profile: bool = False
+
+
+@dataclass(frozen=True)
+class TelemetryHarvest:
+    """Everything one worker's run collected (pickled back)."""
+
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot.empty)
+    spans: tuple = ()
+    events: tuple = ()
+    profile: dict = field(default_factory=dict)
+
+
+def install_worker_telemetry(request: TelemetryRequest) -> tuple:
+    """Swap in fresh enabled sinks for a worker run; returns the old ones.
+
+    Fresh sinks matter: with the fork start method the worker inherits
+    the parent's registry *contents*, and harvesting those would
+    double-count everything the parent already holds.  The new tracer
+    nests under ``request.trace_context``; the profiler comes up only
+    if the request asks for it.  Pass the returned tuple to
+    :func:`harvest_worker_telemetry`.
+    """
+    previous = (get_registry(), get_tracer(), get_event_log(),
+                get_profiler())
+    registry = set_registry(MetricsRegistry(enabled=True))
+    set_tracer(Tracer(registry=registry, enabled=True,
+                      parent_context=request.trace_context))
+    set_event_log(EventLog(enabled=True))
+    set_profiler(Profiler(registry=registry, enabled=request.profile))
+    return previous
+
+
+def harvest_worker_telemetry(previous: tuple) -> TelemetryHarvest:
+    """Capture the installed sinks' output and restore the old defaults."""
+    harvest = TelemetryHarvest(
+        metrics=MetricsSnapshot.capture(get_registry()),
+        spans=tuple(get_tracer().records()),
+        events=tuple(get_event_log().events()),
+        profile=get_profiler().report(),
+    )
+    registry, tracer, event_log, profiler = previous
+    set_registry(registry)
+    set_tracer(tracer)
+    set_event_log(event_log)
+    set_profiler(profiler)
+    return harvest
+
+
+def merge_harvest(harvest: TelemetryHarvest,
+                  registry: MetricsRegistry | None = None,
+                  tracer: Tracer | None = None,
+                  event_log: EventLog | None = None,
+                  profiler: Profiler | None = None) -> None:
+    """Fold one worker's harvest into the parent-side sinks.
+
+    Defaults to the process-wide sinks; each is gated on its own
+    ``enabled`` flag so a parent that only opted into metrics does not
+    start retaining spans or events as a side effect of sharding.
+    """
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    event_log = event_log if event_log is not None else get_event_log()
+    profiler = profiler if profiler is not None else get_profiler()
+    if registry.enabled:
+        registry.merge(harvest.metrics)
+    tracer.absorb(harvest.spans)
+    event_log.absorb(harvest.events)
+    profiler.merge(harvest.profile)

@@ -15,18 +15,75 @@ Usage::
 
 Disabled tracers hand out a shared no-op span, so an un-opted-in
 process pays one attribute check per ``span()`` call and nothing else.
+
+Trace context propagation: every span carries a ``trace_id`` (shared by
+one tree), a ``span_id`` (unique per span) and a ``parent_id``.  Ids
+are ``<pid>-<tracer>-<seq>`` hex strings — a process-id prefix plus two
+monotone counters — so ids minted in different worker processes can
+never collide without any randomness entering the picture.  A parent
+process captures :meth:`Tracer.current_context` inside its enclosing
+span, ships it to the worker, and the worker builds its tracer with
+``parent_context=`` so its root spans nest under the remote parent.
+Harvested worker records come home through :meth:`Tracer.absorb`, and
+:func:`span_tree` reassembles the parent/child forest from any record
+batch.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import ConfigurationError
 from repro.observability.metrics import MetricsRegistry, get_registry
 
-__all__ = ["SpanRecord", "Span", "Tracer", "get_tracer", "set_tracer"]
+__all__ = ["SpanRecord", "Span", "TraceContext", "Tracer", "span_tree",
+           "get_tracer", "set_tracer"]
+
+#: Distinguishes tracers within one process (each mints its own span
+#: sequence); combined with the pid prefix this keeps ids unique across
+#: the whole sharded run.
+_TRACER_SEQ = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagatable identity of a live span (trace id + span id).
+
+    This is what travels to a worker process: the worker's root spans
+    adopt ``trace_id`` and parent themselves under ``span_id``.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (both fields are plain strings)."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises
+        ------
+        ConfigurationError
+            If either id is missing or not a non-empty string.
+        """
+        try:
+            trace_id, span_id = data["trace_id"], data["span_id"]
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"trace context needs trace_id/span_id: {data!r}") from exc
+        if not (isinstance(trace_id, str) and trace_id
+                and isinstance(span_id, str) and span_id):
+            raise ConfigurationError(
+                f"trace context ids must be non-empty strings: {data!r}")
+        return cls(trace_id=trace_id, span_id=span_id)
 
 
 @dataclass(frozen=True)
@@ -38,11 +95,16 @@ class SpanRecord:
     name:
         Dotted stage name (``session.run``, ``batch.run``).
     start_s / duration_s:
-        ``time.perf_counter`` timestamps (relative origin, monotonic).
+        ``time.perf_counter`` timestamps (relative origin, monotonic —
+        and *per process*: starts from different processes are not
+        comparable).
     parent:
         Enclosing span's name, or None at top level.
     tags:
         Free-form labels given at ``span()`` time.
+    trace_id / span_id / parent_id:
+        Propagated tree identity; ``parent_id`` is None for a root
+        span, and may point at a span recorded in another process.
     """
 
     name: str
@@ -50,23 +112,43 @@ class SpanRecord:
     duration_s: float
     parent: str | None = None
     tags: dict = field(default_factory=dict)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str | None = None
 
 
 class Span:
     """A live span; use as a context manager (or call finish())."""
 
-    __slots__ = ("name", "tags", "_tracer", "_start", "_done")
+    __slots__ = ("name", "tags", "trace_id", "span_id", "_tracer", "_start",
+                 "_done", "_parent_name", "_parent_id")
 
     def __init__(self, tracer: "Tracer", name: str, tags: dict) -> None:
         self.name = name
         self.tags = tags
+        self.trace_id = ""
+        self.span_id = ""
         self._tracer = tracer
         self._start = 0.0
         self._done = False
+        self._parent_name: str | None = None
+        self._parent_id: str | None = None
 
     def __enter__(self) -> "Span":
         self._start = time.perf_counter()
-        self._tracer._stack.append(self.name)
+        tracer = self._tracer
+        stack = tracer._stack
+        if stack:
+            self._parent_name, self._parent_id, self.trace_id = stack[-1]
+        else:
+            context = tracer._parent_context
+            if context is not None:
+                self._parent_id = context.span_id
+                self.trace_id = context.trace_id
+            else:
+                self.trace_id = tracer._new_id()
+        self.span_id = tracer._new_id()
+        stack.append((self.name, self.span_id, self.trace_id))
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -79,12 +161,13 @@ class Span:
         self._done = True
         duration = time.perf_counter() - self._start
         stack = self._tracer._stack
-        if stack and stack[-1] == self.name:
+        if stack and stack[-1][1] == self.span_id:
             stack.pop()
-        parent = stack[-1] if stack else None
         self._tracer._record(SpanRecord(
             name=self.name, start_s=self._start, duration_s=duration,
-            parent=parent, tags=self.tags))
+            parent=self._parent_name, tags=self.tags,
+            trace_id=self.trace_id, span_id=self.span_id,
+            parent_id=self._parent_id))
 
 
 class _NullSpan:
@@ -117,16 +200,31 @@ class Tracer:
         Bound on retained :class:`SpanRecord` history.
     enabled:
         Disabled tracers return a shared no-op span.
+    parent_context:
+        Remote :class:`TraceContext` adopted by spans opened with an
+        empty stack (worker processes nest under the parent's span).
     """
 
     def __init__(self, registry: MetricsRegistry | None = None,
-                 max_spans: int = 1024, enabled: bool = True) -> None:
+                 max_spans: int = 1024, enabled: bool = True,
+                 parent_context: TraceContext | None = None) -> None:
         if max_spans < 1:
             raise ConfigurationError("max_spans must be >= 1")
+        if parent_context is not None and not isinstance(parent_context,
+                                                         TraceContext):
+            raise ConfigurationError(
+                "parent_context must be a TraceContext")
         self.enabled = bool(enabled)
         self._registry = registry
         self._records: deque[SpanRecord] = deque(maxlen=int(max_spans))
-        self._stack: list[str] = []
+        # Live nesting: (name, span_id, trace_id) per open span.
+        self._stack: list[tuple[str, str, str]] = []
+        self._parent_context = parent_context
+        self._id_prefix = f"{os.getpid():x}-{next(_TRACER_SEQ):x}"
+        self._id_seq = itertools.count(1)
+
+    def _new_id(self) -> str:
+        return f"{self._id_prefix}-{next(self._id_seq):x}"
 
     def span(self, name: str, **tags) -> Span | _NullSpan:
         """Open a span; use ``with tracer.span("stage"): ...``."""
@@ -134,12 +232,38 @@ class Tracer:
             return _NULL_SPAN
         return Span(self, name, tags)
 
+    def current_context(self) -> TraceContext | None:
+        """The context a child process should nest under right now.
+
+        Inside an open span that span's identity; outside any span the
+        tracer's own ``parent_context`` (so nesting survives relays);
+        None when disabled or at top level with no inherited context.
+        """
+        if not self.enabled:
+            return None
+        if self._stack:
+            _, span_id, trace_id = self._stack[-1]
+            return TraceContext(trace_id=trace_id, span_id=span_id)
+        return self._parent_context
+
     def _record(self, record: SpanRecord) -> None:
         self._records.append(record)
         registry = self._registry or get_registry()
         if registry.enabled:
             registry.histogram(f"span.{record.name}.s").observe(
                 record.duration_s)
+
+    def absorb(self, records: Iterable[SpanRecord]) -> None:
+        """Append harvested remote records (no-op while disabled).
+
+        Deliberately does *not* feed ``span.<name>.s`` histograms: the
+        worker's own registry already observed those durations, and they
+        arrive through the metrics merge — re-observing here would
+        double-count every remote span.
+        """
+        if not self.enabled:
+            return
+        self._records.extend(records)
 
     def records(self, name: str | None = None) -> list[SpanRecord]:
         """Finished spans, optionally filtered by name."""
@@ -151,6 +275,43 @@ class Tracer:
         """Drop retained spans and any dangling stack state."""
         self._records.clear()
         self._stack.clear()
+
+
+def span_tree(records: Iterable[SpanRecord]) -> list[dict]:
+    """Assemble records into a parent/child forest (roots returned).
+
+    Each node is a plain dict — the record's fields plus ``children`` —
+    so the tree is JSON-safe.  A record whose ``parent_id`` is absent
+    from the batch becomes a root (e.g. worker spans whose parent lives
+    in another harvest).  Children keep the order their records arrive
+    in; ``start_s`` values from different processes have different
+    origins, so the caller should not sort across processes by time.
+    """
+    nodes: dict[str, dict] = {}
+    ordered: list[tuple[SpanRecord, dict]] = []
+    for record in records:
+        if not record.span_id:
+            continue  # pre-propagation record (no identity to link by)
+        node = {
+            "name": record.name,
+            "trace_id": record.trace_id,
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "start_s": record.start_s,
+            "duration_s": record.duration_s,
+            "tags": dict(record.tags),
+            "children": [],
+        }
+        nodes[record.span_id] = node
+        ordered.append((record, node))
+    roots: list[dict] = []
+    for record, node in ordered:
+        parent = nodes.get(record.parent_id) if record.parent_id else None
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
 
 
 #: Process-wide default tracer; disabled until the caller opts in.

@@ -52,7 +52,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro.errors import ConfigurationError, SensorFault
-from repro.observability import get_registry, get_tracer
+from repro.observability import get_profiler, get_registry, get_tracer
 from repro.baselines.promag import Promag50
 from repro.conditioning.drive import ContinuousDrive, PulsedDrive
 from repro.isif.sigma_delta import BehavioralAdc, SigmaDeltaAdc
@@ -594,6 +594,27 @@ class BatchEngine:
                 "runtime.batch.samples", "monitor-samples advanced")
             chunks_counter = registry.counter("runtime.batch.chunks")
             run_start = time.perf_counter()
+        # Per-stage profiling (kernel.plan / kernel.ar1_block /
+        # kernel.film / kernel.chunk_loop): strictly opt-in — one bool
+        # check per hook while disabled — because the film hook sits in
+        # the per-sample loop and a live profiler costs two clock reads
+        # per sample.
+        profiler = get_profiler()
+        profiling = profiler.enabled
+        if profiling:
+            perf_counter, process_time = time.perf_counter, time.process_time
+            run_stages: dict[str, dict] = {}
+
+            def note(stage: str, wall: float, cpu: float,
+                     calls: int = 1) -> None:
+                # Feed the process profiler and the run-local report the
+                # result carries (RunResult.profile()).
+                profiler.add(stage, wall, cpu, calls)
+                totals = run_stages.setdefault(
+                    stage, {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0})
+                totals["calls"] += calls
+                totals["wall_s"] += wall
+                totals["cpu_s"] += cpu
         t_buf: list[float] = []
         v_true: list[np.ndarray] = []
         v_ref: list[np.ndarray] = []
@@ -738,6 +759,8 @@ class BatchEngine:
             if observing:
                 chunk_start = time.perf_counter()
             with tracer.span("kernel.plan", samples=c, fast=fast):
+                if profiling:
+                    prof_w, prof_c = perf_counter(), process_time()
                 # Time axis: setpoints, shared plant, drive schedule, OU
                 # coefficients — everything loop-invariant per step.
                 plan = plan_chunk(
@@ -752,6 +775,9 @@ class BatchEngine:
                     turb_length=self._turb_length,
                     turb_min_speed=self._turb_min_speed,
                     fast=fast)
+                if profiling:
+                    now_w, now_c = perf_counter(), process_time()
+                    note("kernel.plan", now_w - prof_w, now_c - prof_c)
                 bulk_v = plan.bulk_speed
 
                 # Pre-draw this chunk's gaussian blocks from the live
@@ -774,6 +800,11 @@ class BatchEngine:
 
                 # Time-blocked trajectory kernels: every feed-forward
                 # stochastic process runs for the whole chunk at once.
+                # The profiling stage covers the whole region (AR(1)
+                # recurrences, relaxation kernel, and their elementwise
+                # input prep) under the name "kernel.ar1_block".
+                if profiling:
+                    prof_w, prof_c = perf_counter(), process_time()
                 sigma_ou = (self._turb_intensity * plan.v_mag[:, None]
                             + self._turb_floor)
                 x_ou_traj, self._x_ou = ar1_block(
@@ -811,6 +842,9 @@ class BatchEngine:
                     # ``g_back * t_fluid`` term of the heater ambient is
                     # a per-chunk outer product (same elementwise mul).
                     gbtf_all = np.array(plan.bulk_temp)[:, None] * g_back
+                if profiling:
+                    now_w, now_c = perf_counter(), process_time()
+                    note("kernel.ar1_block", now_w - prof_w, now_c - prof_c)
             if observing:
                 plan_end = time.perf_counter()
                 plan_hist.observe(plan_end - chunk_start)
@@ -823,6 +857,10 @@ class BatchEngine:
             bulk_t = plan.bulk_temp
             line_t = plan.line_time
 
+            if profiling:
+                loop_w, loop_c = perf_counter(), process_time()
+                film_w = film_c = 0.0
+                film_n = 0
             for k in range(c):
                 i = start + k
                 p_line = bulk_p[k]
@@ -900,8 +938,14 @@ class BatchEngine:
 
                 # Clean film conductance at the film temperature.
                 film_t = f_half * (t_h + t_f0)
+                if profiling:
+                    film_t0w, film_t0c = perf_counter(), process_time()
                 g = film(v_eff_all[k], film_t,
                          geom_d, geom_L, fast=fast)
+                if profiling:
+                    film_w += perf_counter() - film_t0w
+                    film_c += process_time() - film_t0c
+                    film_n += 1
 
                 # Fouling: deposit resistance in series with the film.
                 if enable_fouling:
@@ -1139,6 +1183,15 @@ class BatchEngine:
                     temperature.append(np.full(n, float(t_fluid)))
                     coverage.append(np.maximum(cov[0], cov[1]))
 
+            if profiling:
+                now_w, now_c = perf_counter(), process_time()
+                note("kernel.chunk_loop", now_w - loop_w, now_c - loop_c)
+                if film_n:
+                    # One accumulate per chunk: the per-sample timings
+                    # were summed locally to keep the profiler dict
+                    # lookups out of the hot loop.
+                    note("kernel.film", film_w, film_c, calls=film_n)
+
             # Carry the shared-line plant into the next chunk's plan.
             self._bulk_speed = float(bulk_v[c - 1])
             self._bulk_pressure = bulk_p[c - 1]
@@ -1175,7 +1228,7 @@ class BatchEngine:
         for rig in self._rigs:
             rig.monitor.platform.scheduler.bulk_tick(steps)
 
-        return RunResult(
+        result = RunResult(
             time_s=np.array(t_buf),
             true_speed_mps=np.stack(v_true, axis=1),
             reference_mps=np.stack(v_ref, axis=1),
@@ -1185,6 +1238,9 @@ class BatchEngine:
             temperature_k=np.stack(temperature, axis=1),
             bubble_coverage=np.stack(coverage, axis=1),
         )
+        if profiling:
+            result.attach_profile(run_stages)
+        return result
 
 
 def run_batch(rigs: list[TestRig], profile: Profile,

@@ -59,6 +59,7 @@ from repro.units import CELSIUS_OFFSET
 
 __all__ = [
     "NUMERICS_MODES",
+    "PROFILE_STAGES",
     "Numerics",
     "resolve_numerics",
     "exp_exact",
@@ -73,6 +74,15 @@ __all__ = [
 
 #: The supported numerics modes, in documentation order.
 NUMERICS_MODES = ("exact", "fast")
+
+#: Stage names the batch engine times when the opt-in profiler is on
+#: (see :mod:`repro.observability.profile`): chunk planning
+#: (:func:`plan_chunk` — ``kernel.plan``), the time-blocked trajectory
+#: kernels (``kernel.ar1_block``), the per-sample water-film kernel
+#: accumulated per chunk (``kernel.film``), and the whole recurrent
+#: per-sample loop (``kernel.chunk_loop``).
+PROFILE_STAGES = ("kernel.plan", "kernel.ar1_block", "kernel.film",
+                  "kernel.chunk_loop")
 
 
 def resolve_numerics(value) -> str:

@@ -36,6 +36,20 @@ change physics.  ``shard.retries`` / ``shard.fallbacks`` counters and
 per-shard wall-time histograms flow through the opt-in
 :mod:`repro.observability` registry.
 
+Telemetry does not die with the workers: when any observability sink is
+enabled in the parent, each worker runs under fresh sinks bracketed by
+:func:`repro.observability.remote.install_worker_telemetry` /
+``harvest_worker_telemetry``, wraps its engine run in a
+``shard.worker`` span nested (via the propagated
+:class:`~repro.observability.tracer.TraceContext`) under the parent's
+``shard.run`` span, and ships a
+:class:`~repro.observability.remote.TelemetryHarvest` back with its
+trace block.  The parent merges harvests in shard order, so worker
+``runtime.*``/``kernel.*``/``profile.*`` metrics, spans and events land
+in the parent registry exactly once — only *successful* attempts
+harvest, so retries cannot double-count, and fallback shards already
+run in-process under the parent sinks directly.
+
 A fault hook for tests: set ``REPRO_SHARD_FAULT`` to
 ``crash:<shard>``, ``hang:<shard>``, ``raise:<shard>`` or
 ``crash-once:<shard>:<marker-dir>`` to make that shard's worker die,
@@ -53,7 +67,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ConfigurationError, ReproError
-from repro.observability import get_registry, get_tracer
+from repro.observability import (get_event_log, get_profiler, get_registry,
+                                 get_tracer)
+from repro.observability.remote import (TelemetryHarvest, TelemetryRequest,
+                                        harvest_worker_telemetry,
+                                        install_worker_telemetry,
+                                        merge_harvest)
 from repro.runtime.batch import BatchEngine
 from repro.runtime.kernels import resolve_numerics
 from repro.runtime.result import RunResult
@@ -154,7 +173,9 @@ def _maybe_inject_fault(shard_index: int) -> None:
 
 def _run_shard(shard_index: int, rigs: list[TestRig], profile: Profile,
                record_every_n: int, chunk_size: int,
-               numerics: str = "exact") -> tuple[int, RunResult]:
+               numerics: str = "exact",
+               telemetry: TelemetryRequest | None = None,
+               ) -> tuple[int, RunResult, TelemetryHarvest | None]:
     """Worker entrypoint: advance one shard and return its trace block.
 
     Runs in a worker process on *pickled copies* of the shard's rigs,
@@ -162,10 +183,29 @@ def _run_shard(shard_index: int, rigs: list[TestRig], profile: Profile,
     numerics mode), and returns the ``(N_shard, M)`` block tagged with
     the shard index so the parent can merge blocks in fleet order
     regardless of completion order.
+
+    With a ``telemetry`` request the run executes under fresh
+    observability sinks (the fork start method would otherwise leak the
+    parent's registry contents into the harvest), inside a
+    ``shard.worker`` span nested under the parent's propagated trace
+    context, and the collected :class:`TelemetryHarvest` rides home as
+    the third tuple element.  Telemetry only ships on success: a
+    crashed, hung or raising attempt returns nothing, so retried shards
+    cannot double-count.
     """
     _maybe_inject_fault(shard_index)
-    engine = BatchEngine(rigs, chunk_size=chunk_size, numerics=numerics)
-    return shard_index, engine.run(profile, record_every_n=record_every_n)
+    previous = (install_worker_telemetry(telemetry)
+                if telemetry is not None else None)
+    harvest = None
+    try:
+        engine = BatchEngine(rigs, chunk_size=chunk_size, numerics=numerics)
+        with get_tracer().span("shard.worker", shard=shard_index,
+                               n_monitors=len(rigs)):
+            block = engine.run(profile, record_every_n=record_every_n)
+    finally:
+        if previous is not None:
+            harvest = harvest_worker_telemetry(previous)
+    return shard_index, block, harvest
 
 
 def _terminate(executor: ProcessPoolExecutor) -> None:
@@ -305,7 +345,19 @@ class ShardedEngine:
         parent rigs were consumed — and scheduler-ticked — serially).
         """
         registry = get_registry()
+        tracer = get_tracer()
+        event_log = get_event_log()
+        profiler = get_profiler()
         observing = registry.enabled
+        # Ask workers to collect telemetry when *any* parent sink is on
+        # (each sink re-gates itself at merge time); the trace context
+        # captured here is the live "shard.run" span, so worker spans
+        # nest under it.
+        collecting = (observing or tracer.enabled or event_log.enabled
+                      or profiler.enabled)
+        telemetry = (TelemetryRequest(trace_context=tracer.current_context(),
+                                      profile=profiler.enabled)
+                     if collecting else None)
         bounds = partition_monitors(len(self._rigs), self._workers)
         if observing:
             registry.gauge("shard.workers").set(self._workers)
@@ -319,6 +371,7 @@ class ShardedEngine:
         started: dict[int, float] = {}
         attempts = {i: 0 for i in range(len(bounds))}
         results: dict[int, RunResult] = {}
+        harvests: dict[int, TelemetryHarvest] = {}
         fallback: list[int] = []
 
         def launch(i: int) -> None:
@@ -328,7 +381,7 @@ class ShardedEngine:
             executors[i] = ProcessPoolExecutor(max_workers=1)
             futures[i] = executors[i].submit(
                 _run_shard, i, self._rigs[start:stop], profile,
-                record_every_n, self._chunk, self._numerics)
+                record_every_n, self._chunk, self._numerics, telemetry)
             started[i] = time.perf_counter()
             deadlines[i] = (None if self._timeout_s is None
                             else started[i] + self._timeout_s)
@@ -345,8 +398,10 @@ class ShardedEngine:
                 timeout = (None if deadline is None
                            else max(0.0, deadline - time.perf_counter()))
                 try:
-                    index, block = futures[i].result(timeout=timeout)
+                    index, block, harvest = futures[i].result(timeout=timeout)
                     results[index] = block
+                    if harvest is not None:
+                        harvests[index] = harvest
                     if observing:
                         worker_hist.observe(
                             time.perf_counter() - started[i])
@@ -388,6 +443,16 @@ class ShardedEngine:
                 self._rigs[start:stop], chunk_size=self._chunk,
                 numerics=self._numerics).run(
                 profile, record_every_n=record_every_n)
+
+        # Fold worker telemetry home in shard-index order — completion
+        # order must not leak into the merged registry (determinism).
+        # Fallback shards have no harvest: they already ran in-process
+        # under the parent sinks.
+        for i in range(len(bounds)):
+            harvest = harvests.get(i)
+            if harvest is not None:
+                merge_harvest(harvest, registry=registry, tracer=tracer,
+                              event_log=event_log, profiler=profiler)
 
         merged = RunResult.concat([results[i] for i in range(len(bounds))])
         return merged, [bounds[i] for i in fallback]

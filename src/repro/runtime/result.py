@@ -108,6 +108,24 @@ class RunResult:
         """All monitors as a list of RigRecords (convenience)."""
         return [self.trace(i) for i in range(self.n_monitors)]
 
+    def attach_profile(self, stages: dict) -> "RunResult":
+        """Attach a per-stage profiling report (returns self).
+
+        ``stages`` maps stage name to ``{calls, wall_s, cpu_s}`` (see
+        :mod:`repro.observability.profile`).  The report lives on the
+        instance only — it pickles with the result (so worker blocks
+        carry theirs home) but is *not* a trace field: ``save``/``load``
+        archives and equality stay byte-identical with or without it.
+        """
+        self._profile = {name: dict(values)
+                         for name, values in stages.items()}
+        return self
+
+    def profile(self) -> dict:
+        """The attached per-stage report (``{}`` for unprofiled runs)."""
+        return {name: dict(values)
+                for name, values in getattr(self, "_profile", {}).items()}
+
     def summary(self, monitor: int | None = None) -> SummaryDict:
         """Per-trace mean/std/min/max statistics.
 
@@ -196,12 +214,25 @@ class RunResult:
             if not np.array_equal(np.asarray(part.time_s), time_s):
                 raise ConfigurationError(
                     "blocks must share an identical time base")
-        return cls(
+        merged = cls(
             time_s=time_s.copy(),
             **{name: np.concatenate(
                 [np.asarray(getattr(p, name)) for p in parts], axis=0)
                for name in cls.STACKED_FIELDS},
         )
+        # Profiled blocks sum their per-stage reports: the merged fleet
+        # report attributes time the same way a serial profiled run does.
+        stages: dict[str, dict] = {}
+        for part in parts:
+            for name, values in part.profile().items():
+                totals = stages.setdefault(
+                    name, {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0})
+                totals["calls"] += int(values.get("calls", 0))
+                totals["wall_s"] += float(values.get("wall_s", 0.0))
+                totals["cpu_s"] += float(values.get("cpu_s", 0.0))
+        if stages:
+            merged.attach_profile(stages)
+        return merged
 
     @classmethod
     def from_records(cls, records: list[RigRecord]) -> "RunResult":

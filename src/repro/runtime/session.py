@@ -27,7 +27,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, SessionError
-from repro.observability import get_event_log, get_registry, get_tracer
+from repro.observability import (get_event_log, get_profiler,
+                                 get_registry, get_tracer)
 from repro.conditioning.calibration import FlowCalibration
 from repro.conditioning.monitor import WaterFlowMonitor
 from repro.runtime.batch import BatchEngine
@@ -310,7 +311,10 @@ class Session:
 
         Returns lifecycle timings measured by the session itself, the
         calibration-LRU statistics, and — when observability is enabled
-        — the process-wide metrics snapshot under ``"metrics"``.
+        — the process-wide metrics snapshot under ``"metrics"`` and the
+        per-stage profiler report under ``"profile"`` (empty unless the
+        profiler was enabled; merged worker stages included for sharded
+        runs).
         """
         registry = get_registry()
         return {
@@ -321,6 +325,7 @@ class Session:
             "timings_s": dict(self._timings),
             "calibration_cache": calibration_cache_stats(),
             "metrics": registry.snapshot() if registry.enabled else {},
+            "profile": get_profiler().report(),
         }
 
     def close(self) -> None:

@@ -91,6 +91,8 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
     registry = get_registry()
     if registry.enabled:
         registry.counter("station.fleet.meters_characterized").inc(n_meters)
+    get_event_log().emit("fleet.characterize", n_meters=n_meters,
+                         seed=seed, workers=workers, numerics=numerics)
     characters = []
     for i in range(n_meters):
         window = result.trace(i).steady_window(settle_s, duration_s)

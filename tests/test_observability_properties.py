@@ -1,0 +1,187 @@
+"""Property-based invariants for the telemetry merge algebra.
+
+Hypothesis is an optional dev dependency: the whole module skips when
+it is absent, so the tier-1 suite never depends on it.  The properties
+are exactly what the sharded runtime's harvest merge relies on:
+
+- :meth:`MetricsSnapshot.merge` is associative with ``empty()`` as the
+  two-sided identity;
+- replaying one observation stream split across any shard partition
+  and folding the shard snapshots in order reproduces the single-shot
+  registry bit-for-bit (counters, gauges *and* histogram reservoirs,
+  including last-K truncation);
+- the Prometheus text format round-trips counter/gauge values with
+  their Python types (the integral-float fix).
+
+Values are dyadic rationals (integers scaled by 1/1024) so float sums
+are exact and the bit-equality assertions are meaningful.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.observability import (MetricsRegistry, MetricsSnapshot,
+                                 export_prometheus, parse_prometheus,
+                                 merge_states)  # noqa: E402
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+#: Small reservoir so the partition property exercises truncation.
+RESERVOIR_SIZE = 8
+
+_dyadic = st.integers(min_value=-2**20, max_value=2**20).map(
+    lambda n: n / 1024.0)
+
+_counter_state = st.integers(min_value=0, max_value=2**30).map(
+    lambda v: {"type": "counter", "value": v})
+_gauge_state = st.tuples(_dyadic, st.integers(min_value=0, max_value=10**6)) \
+    .map(lambda t: {"type": "gauge", "value": t[0], "updated_s": float(t[1])})
+_hist_state = st.lists(_dyadic, max_size=12).map(lambda vs: {
+    "type": "histogram",
+    "count": len(vs),
+    "sum": sum(vs),
+    "min": min(vs) if vs else None,
+    "max": max(vs) if vs else None,
+    "reservoir": vs[-RESERVOIR_SIZE:],
+    "reservoir_size": RESERVOIR_SIZE,
+})
+_state = st.one_of(_counter_state, _gauge_state, _hist_state)
+
+_names = st.lists(st.sampled_from(["m.a", "m.b", "m.c", "m.d"]),
+                  unique=True, min_size=0, max_size=4)
+
+
+@st.composite
+def _snapshots(draw, count):
+    """``count`` snapshots over a shared name->kind assignment.
+
+    Shards of one run observe the *same* instruments, so the per-name
+    kind must agree across the drawn snapshots (mismatches raise by
+    design and are tested separately).
+    """
+    kinds = {name: draw(st.sampled_from(["counter", "gauge", "histogram"]))
+             for name in draw(_names)}
+    by_kind = {"counter": _counter_state, "gauge": _gauge_state,
+               "histogram": _hist_state}
+    snaps = []
+    for _ in range(count):
+        metrics = {}
+        for name, kind in kinds.items():
+            if draw(st.booleans()):
+                metrics[name] = draw(by_kind[kind])
+        snaps.append(MetricsSnapshot(metrics=metrics))
+    return snaps
+
+
+@SETTINGS
+@given(_snapshots(count=3))
+def test_merge_is_associative(snaps):
+    s1, s2, s3 = snaps
+    left = s1.merge(s2).merge(s3)
+    right = s1.merge(s2.merge(s3))
+    assert left.metrics == right.metrics
+
+
+@SETTINGS
+@given(_snapshots(count=1))
+def test_empty_is_two_sided_identity(snaps):
+    (snap,) = snaps
+    assert snap.merge(MetricsSnapshot.empty()).metrics == snap.metrics
+    assert MetricsSnapshot.empty().merge(snap).metrics == snap.metrics
+
+
+@st.composite
+def _observation_stream(draw):
+    """A stream of (kind, name, value) observations plus cut points."""
+    kinds = {name: draw(st.sampled_from(["counter", "gauge", "histogram"]))
+             for name in draw(_names.filter(bool))}
+    n_obs = draw(st.integers(min_value=1, max_value=30))
+    names = sorted(kinds)
+    stream = []
+    for _ in range(n_obs):
+        name = draw(st.sampled_from(names))
+        stream.append((kinds[name], name, draw(_dyadic)))
+    cuts = sorted(draw(st.lists(
+        st.integers(min_value=0, max_value=n_obs), max_size=4)))
+    return kinds, stream, cuts
+
+
+def _replay(kinds, observations, tick):
+    """Apply observations to a fresh registry; returns its snapshot.
+
+    ``tick`` provides strictly increasing gauge timestamps across
+    shards (within one run wall clocks are monotone across the split).
+    """
+    registry = MetricsRegistry(enabled=True)
+    for kind, name, value in observations:
+        if kind == "counter":
+            registry.counter(name).inc(abs(value))
+        elif kind == "gauge":
+            gauge = registry.gauge(name)
+            gauge.set(value)
+            gauge.updated_s = float(next(tick))
+        else:
+            registry.histogram(
+                name, reservoir_size=RESERVOIR_SIZE).observe(value)
+    return MetricsSnapshot.capture(registry)
+
+
+@SETTINGS
+@given(_observation_stream())
+def test_split_replay_folds_to_single_shot(case):
+    kinds, stream, cuts = case
+    tick = iter(range(len(stream)))
+    whole = _replay(kinds, stream, tick)
+    tick = iter(range(len(stream)))
+    merged = MetricsSnapshot.empty()
+    previous = 0
+    for cut in cuts + [len(stream)]:
+        merged = merged.merge(_replay(kinds, stream[previous:cut], tick))
+        previous = cut
+    assert merged.metrics == whole.metrics
+
+
+@SETTINGS
+@given(_snapshots(count=3), st.permutations([0, 1, 2]))
+def test_counter_and_histogram_totals_are_order_invariant(snaps, order):
+    """Totals (not gauges/reservoirs, which are time-ordered) commute."""
+    forward = snaps[0].merge(snaps[1]).merge(snaps[2])
+    shuffled = snaps[order[0]].merge(snaps[order[1]]).merge(snaps[order[2]])
+    for name, state in forward.metrics.items():
+        other = shuffled.metrics[name]
+        if state["type"] == "counter":
+            assert other["value"] == state["value"]
+        elif state["type"] == "histogram":
+            assert other["count"] == state["count"]
+            assert other["sum"] == state["sum"]
+            assert other["min"] == state["min"]
+            assert other["max"] == state["max"]
+
+
+@SETTINGS
+@given(st.integers(min_value=0, max_value=2**40), _dyadic, _dyadic)
+def test_prometheus_round_trip_preserves_types(count, gauge_value, extra):
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("p.int").inc(count)
+    registry.counter("p.float").inc(abs(extra) + 0.5)
+    registry.gauge("p.gauge").set(gauge_value)
+    parsed = parse_prometheus(export_prometheus(registry))
+    assert parsed["p.int"]["value"] == count
+    assert isinstance(parsed["p.int"]["value"], int)
+    assert parsed["p.float"]["value"] == abs(extra) + 0.5
+    assert isinstance(parsed["p.float"]["value"], float)
+    assert parsed["p.gauge"]["value"] == gauge_value
+    assert isinstance(parsed["p.gauge"]["value"], float)
+    # Idempotent: parsing the re-export of the parse changes nothing.
+    assert parse_prometheus(export_prometheus(parsed)) == parsed
+
+
+def test_merge_states_rejects_cross_kind():
+    with pytest.raises(ConfigurationError):
+        merge_states({"type": "counter", "value": 1},
+                     {"type": "histogram", "count": 0, "sum": 0.0,
+                      "min": None, "max": None, "reservoir": [],
+                      "reservoir_size": 8})

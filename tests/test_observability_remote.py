@@ -1,0 +1,376 @@
+"""Cross-process telemetry primitives: snapshot, merge, trace context.
+
+Covers the merge-grade dump/restore path on the instruments, the
+:class:`MetricsSnapshot` value type and its merge algebra edge cases,
+trace-context propagation and span trees, the worker-side
+install/harvest bracket run in-process, and the integral-float
+round-trip fix in the Prometheus parser.  The hypothesis-powered
+algebra properties live in ``test_observability_properties.py``.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro import observability as obs
+from repro.errors import ConfigurationError
+from repro.observability import (EventLog, MetricsRegistry, MetricsSnapshot,
+                                 Profiler, TelemetryHarvest, TelemetryRequest,
+                                 TraceContext, Tracer, export_prometheus,
+                                 export_spans_jsonl, harvest_worker_telemetry,
+                                 install_worker_telemetry, merge_harvest,
+                                 merge_states, parse_prometheus,
+                                 parse_spans_jsonl, span_tree)
+
+
+@pytest.fixture
+def fresh():
+    """Swap in fresh default sinks (all four); restore afterwards."""
+    old = (obs.get_registry(), obs.get_tracer(), obs.get_event_log(),
+           obs.get_profiler())
+    registry = obs.set_registry(MetricsRegistry(enabled=True))
+    tracer = obs.set_tracer(Tracer(registry=registry, enabled=True))
+    log = obs.set_event_log(EventLog(enabled=True))
+    profiler = obs.set_profiler(Profiler(registry=registry, enabled=True))
+    yield registry, tracer, log, profiler
+    obs.set_registry(old[0])
+    obs.set_tracer(old[1])
+    obs.set_event_log(old[2])
+    obs.set_profiler(old[3])
+
+
+def _sample_registry():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("t.counter").inc(3)
+    registry.gauge("t.gauge").set(1.5)
+    h = registry.histogram("t.hist", reservoir_size=4)
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    return registry
+
+
+# -- instrument dump/restore --------------------------------------------------
+
+
+def test_dump_restore_round_trip_counter_gauge_histogram():
+    registry = _sample_registry()
+    clone = MetricsRegistry(enabled=True)
+    clone.merge(registry.dump())
+    assert clone.dump() == registry.dump()
+    assert clone.snapshot() == registry.snapshot()
+
+
+def test_gauge_dump_carries_update_timestamp():
+    registry = MetricsRegistry(enabled=True)
+    g = registry.gauge("t.gauge")
+    assert g.updated_s == 0.0
+    g.set(2.0)
+    assert g.updated_s > 0.0
+    state = g.dump()
+    assert state["updated_s"] == g.updated_s
+    # The exporter-facing snapshot keeps its original shape.
+    assert set(g.snapshot()) == {"type", "value"}
+
+
+def test_histogram_dump_reservoir_is_chronological():
+    registry = MetricsRegistry(enabled=True)
+    h = registry.histogram("t.hist", reservoir_size=3)
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+        h.observe(v)
+    state = h.dump()
+    assert state["reservoir"] == [3.0, 4.0, 5.0]
+    assert state["count"] == 5 and state["sum"] == 15.0
+    assert state["min"] == 1.0 and state["max"] == 5.0
+
+
+def test_empty_histogram_dump_has_none_extremes():
+    registry = MetricsRegistry(enabled=True)
+    state = registry.histogram("t.hist").dump()
+    assert state["count"] == 0
+    assert state["min"] is None and state["max"] is None
+    assert state["reservoir"] == []
+
+
+# -- merge_states semantics ---------------------------------------------------
+
+
+def test_merge_states_none_is_identity():
+    state = {"type": "counter", "value": 7}
+    assert merge_states(state, None) == state
+    assert merge_states(None, state) == state
+    assert merge_states(None, None) is None
+
+
+def test_merge_states_type_mismatch_raises():
+    with pytest.raises(ConfigurationError):
+        merge_states({"type": "counter", "value": 1},
+                     {"type": "gauge", "value": 1.0, "updated_s": 0.0})
+
+
+def test_merge_states_counter_adds():
+    merged = merge_states({"type": "counter", "value": 3},
+                          {"type": "counter", "value": 4})
+    assert merged == {"type": "counter", "value": 7}
+
+
+def test_merge_states_gauge_last_write_wins():
+    older = {"type": "gauge", "value": 1.0, "updated_s": 10.0}
+    newer = {"type": "gauge", "value": 2.0, "updated_s": 20.0}
+    assert merge_states(older, newer)["value"] == 2.0
+    assert merge_states(newer, older)["value"] == 2.0
+    # Equal timestamps break right so the operation stays associative.
+    tied = {"type": "gauge", "value": 9.0, "updated_s": 20.0}
+    assert merge_states(newer, tied)["value"] == 9.0
+
+
+def test_merge_states_histogram_truncates_reservoir_suffix():
+    a = {"type": "histogram", "count": 3, "sum": 6.0, "min": 1.0,
+         "max": 3.0, "reservoir_size": 4, "reservoir": [1.0, 2.0, 3.0]}
+    b = {"type": "histogram", "count": 3, "sum": 18.0, "min": 4.0,
+         "max": 9.0, "reservoir_size": 4, "reservoir": [4.0, 5.0, 9.0]}
+    merged = merge_states(a, b)
+    assert merged["count"] == 6 and merged["sum"] == 24.0
+    assert merged["min"] == 1.0 and merged["max"] == 9.0
+    assert merged["reservoir"] == [3.0, 4.0, 5.0, 9.0]
+
+
+# -- MetricsSnapshot ----------------------------------------------------------
+
+
+def test_snapshot_capture_and_names():
+    snap = MetricsSnapshot.capture(_sample_registry())
+    assert snap.names() == ("t.counter", "t.gauge", "t.hist")
+
+
+def test_snapshot_empty_is_merge_identity():
+    snap = MetricsSnapshot.capture(_sample_registry())
+    assert snap.merge(MetricsSnapshot.empty()).metrics == snap.metrics
+    assert MetricsSnapshot.empty().merge(snap).metrics == snap.metrics
+
+
+def test_snapshot_merge_union_of_names():
+    left = MetricsRegistry(enabled=True)
+    left.counter("a").inc(1)
+    left.counter("shared").inc(2)
+    right = MetricsRegistry(enabled=True)
+    right.counter("b").inc(5)
+    right.counter("shared").inc(3)
+    merged = MetricsSnapshot.capture(left).merge(MetricsSnapshot.capture(right))
+    assert merged.names() == ("a", "b", "shared")
+    assert merged.metrics["shared"]["value"] == 5
+
+
+def test_snapshot_to_from_dict_round_trip():
+    snap = MetricsSnapshot.capture(_sample_registry())
+    data = json.loads(json.dumps(snap.to_dict()))
+    assert MetricsSnapshot.from_dict(data).metrics == snap.metrics
+
+
+def test_snapshot_from_dict_rejects_bad_payloads():
+    with pytest.raises(ConfigurationError):
+        MetricsSnapshot.from_dict({})
+    with pytest.raises(ConfigurationError):
+        MetricsSnapshot.from_dict({"metrics": {"x": {"type": "wat"}}})
+    with pytest.raises(ConfigurationError):
+        MetricsSnapshot.from_dict({"metrics": {"x": "not-a-dict"}})
+
+
+def test_snapshot_pickles():
+    snap = MetricsSnapshot.capture(_sample_registry())
+    assert pickle.loads(pickle.dumps(snap)).metrics == snap.metrics
+
+
+def test_registry_merge_creates_and_doubles():
+    registry = _sample_registry()
+    target = MetricsRegistry(enabled=True)
+    target.merge(MetricsSnapshot.capture(registry))
+    target.merge(MetricsSnapshot.capture(registry))
+    snap = target.snapshot()
+    assert snap["t.counter"]["value"] == 6
+    assert snap["t.hist"]["count"] == 6 and snap["t.hist"]["sum"] == 12.0
+
+
+def test_registry_merge_kind_conflict_raises():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("t.name").inc()
+    other = MetricsRegistry(enabled=True)
+    other.gauge("t.name").set(1.0)
+    with pytest.raises(ConfigurationError):
+        registry.merge(other.dump())
+
+
+# -- trace context and span trees ---------------------------------------------
+
+
+def test_trace_context_round_trip_and_validation():
+    ctx = TraceContext(trace_id="t-1", span_id="s-1")
+    assert TraceContext.from_dict(ctx.to_dict()) == ctx
+    with pytest.raises(ConfigurationError):
+        TraceContext.from_dict({"trace_id": "t-1"})
+    with pytest.raises(ConfigurationError):
+        TraceContext.from_dict({"trace_id": "", "span_id": "s"})
+
+
+def test_span_ids_unique_and_nested(fresh):
+    _, tracer, _, _ = fresh
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            pass
+    assert outer.span_id != inner.span_id
+    records = {r.name: r for r in tracer.records()}
+    assert records["inner"].parent_id == records["outer"].span_id
+    assert records["inner"].trace_id == records["outer"].trace_id
+    assert records["outer"].parent_id is None
+
+
+def test_parent_context_adopts_remote_identity(fresh):
+    registry, _, _, _ = fresh
+    ctx = TraceContext(trace_id="remote-trace", span_id="remote-span")
+    worker = Tracer(registry=registry, parent_context=ctx)
+    assert worker.current_context() == ctx
+    with worker.span("child"):
+        pass
+    (record,) = worker.records()
+    assert record.trace_id == "remote-trace"
+    assert record.parent_id == "remote-span"
+
+
+def test_current_context_tracks_stack(fresh):
+    _, tracer, _, _ = fresh
+    assert tracer.current_context() is None
+    with tracer.span("stage") as span:
+        ctx = tracer.current_context()
+        assert ctx == TraceContext(trace_id=span.trace_id,
+                                   span_id=span.span_id)
+    assert tracer.current_context() is None
+    tracer.enabled = False
+    assert tracer.current_context() is None
+
+
+def test_tracer_absorb_does_not_feed_histograms(fresh):
+    registry, tracer, _, _ = fresh
+    remote = Tracer(registry=MetricsRegistry(enabled=False))
+    with remote.span("remote.stage"):
+        pass
+    tracer.absorb(remote.records())
+    assert [r.name for r in tracer.records()] == ["remote.stage"]
+    assert "span.remote.stage.s" not in registry.names()
+    tracer.enabled = False
+    tracer.absorb(remote.records())
+    assert len(tracer.records()) == 1
+
+
+def test_span_tree_nests_and_orphans_root(fresh):
+    _, tracer, _, _ = fresh
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+    worker = Tracer(parent_context=TraceContext(trace_id="x", span_id="gone"))
+    with worker.span("orphan"):
+        pass
+    roots = span_tree(tracer.records() + worker.records())
+    assert [n["name"] for n in roots] == ["root", "orphan"]
+    assert [c["name"] for c in roots[0]["children"]] == ["child"]
+
+
+def test_span_jsonl_round_trip(fresh):
+    _, tracer, _, _ = fresh
+    with tracer.span("root", shard=1):
+        with tracer.span("leaf"):
+            pass
+    records = tracer.records()
+    parsed = parse_spans_jsonl(export_spans_jsonl(records))
+    assert parsed == records
+    with pytest.raises(ConfigurationError):
+        parse_spans_jsonl("not json\n")
+
+
+# -- worker bracket (in-process) ----------------------------------------------
+
+
+def test_install_harvest_round_trip(fresh):
+    registry, tracer, log, profiler = fresh
+    registry.counter("pre.existing").inc(10)
+    with tracer.span("shard.run"):
+        request = TelemetryRequest(trace_context=tracer.current_context(),
+                                   profile=True)
+        previous = install_worker_telemetry(request)
+        try:
+            obs.get_registry().counter("runtime.batch.samples").inc(100)
+            with obs.get_tracer().span("shard.worker", shard=0):
+                pass
+            obs.get_event_log().emit("worker.event", shard=0)
+            obs.get_profiler().add("kernel.plan", 0.5, 0.25)
+        finally:
+            harvest = harvest_worker_telemetry(previous)
+    # Defaults restored.
+    assert obs.get_registry() is registry
+    assert obs.get_tracer() is tracer
+    assert obs.get_event_log() is log
+    assert obs.get_profiler() is profiler
+    # Fresh sinks: the pre-existing parent counter must not be in the
+    # harvest (fork inheritance would double-count it on merge).
+    assert "pre.existing" not in harvest.metrics.names()
+    assert "runtime.batch.samples" in harvest.metrics.names()
+    (worker_span,) = harvest.spans
+    parent_record = tracer.records("shard.run")[0]
+    assert worker_span.parent_id == parent_record.span_id
+    assert worker_span.trace_id == parent_record.trace_id
+    assert harvest.profile["kernel.plan"]["calls"] == 1
+    merge_harvest(harvest)
+    assert registry.snapshot()["runtime.batch.samples"]["value"] == 100
+    assert registry.snapshot()["pre.existing"]["value"] == 10
+    assert [e.name for e in log.events()] == ["worker.event"]
+    assert profiler.report()["kernel.plan"]["wall_s"] == 0.5
+    assert any(r.name == "shard.worker" for r in tracer.records())
+
+
+def test_merge_harvest_respects_per_sink_opt_in(fresh):
+    registry, tracer, log, profiler = fresh
+    tracer.enabled = False
+    log.enabled = False
+    profiler.enabled = False
+    worker = MetricsRegistry(enabled=True)
+    worker.counter("w.counter").inc(4)
+    remote_tracer = Tracer(registry=MetricsRegistry(enabled=False))
+    with remote_tracer.span("w.span"):
+        pass
+    harvest = TelemetryHarvest(
+        metrics=MetricsSnapshot.capture(worker),
+        spans=tuple(remote_tracer.records()),
+        events=(),
+        profile={"kernel.plan": {"calls": 1, "wall_s": 1.0, "cpu_s": 1.0}})
+    merge_harvest(harvest)
+    assert registry.snapshot()["w.counter"]["value"] == 4
+    assert tracer.records() == []
+    assert profiler.report() == {}
+
+
+def test_telemetry_harvest_pickles(fresh):
+    _, tracer, _, _ = fresh
+    with tracer.span("stage"):
+        pass
+    harvest = TelemetryHarvest(metrics=MetricsSnapshot.empty(),
+                               spans=tuple(tracer.records()))
+    clone = pickle.loads(pickle.dumps(harvest))
+    assert clone.spans == harvest.spans
+
+
+# -- prometheus integral-float round trip (satellite fix) ---------------------
+
+
+def test_prometheus_preserves_value_types():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("c.int").inc(4)
+    registry.counter("c.float").inc(2.5)
+    registry.gauge("g.integral").set(4.0)
+    parsed = parse_prometheus(export_prometheus(registry))
+    assert parsed["c.int"]["value"] == 4
+    assert isinstance(parsed["c.int"]["value"], int)
+    assert parsed["c.float"]["value"] == 2.5
+    # A gauge holding the integral float 4.0 must come back as a float,
+    # not collapse to int (the old parser keyed int-ness off the value).
+    assert parsed["g.integral"]["value"] == 4.0
+    assert isinstance(parsed["g.integral"]["value"], float)
+    assert parsed == parse_prometheus(export_prometheus(parsed))
