@@ -16,7 +16,9 @@ Layers (bottom up):
 * :mod:`repro.station` -- the simulated Vinci test line and rig;
 * :mod:`repro.analysis` -- section-5 metrics and sweep/report helpers;
 * :mod:`repro.runtime` -- fleet-scale sessions over the vectorized
-  batch engine and the process-parallel sharded engine.
+  batch engine and the process-parallel sharded engine;
+* :mod:`repro.service` -- the resident asyncio streaming service
+  multiplexing concurrent client runs onto shared engine ticks.
 
 Quick start (one monitor)::
 
@@ -26,14 +28,21 @@ Quick start (one monitor)::
     record = setup.rig.run(hold(speed_cmps=120.0, duration_s=20.0))
     print(record.measured_mps[-1] * 100.0, "cm/s")
 
-Quick start (a fleet)::
+Quick start (a fleet, one call)::
 
-    from repro import Session, staircase
+    import repro
 
-    with Session(n_monitors=16, seed=1) as session:
-        session.calibrate()
-        result = session.run(staircase([0.0, 50.0, 120.0], dwell_s=10.0))
+    result = repro.run(repro.staircase([0.0, 50.0, 120.0], dwell_s=10.0),
+                       n_monitors=16, seed=1)
     print(result.summary(monitor=0))
+
+Quick start (streaming)::
+
+    async with repro.connect() as client:
+        session = await client.attach(profile, n_monitors=4, seed=7)
+        async for snap in session.snapshots():
+            ...
+        result = await session.result()  # bit-identical to repro.run
 """
 
 # The exception hierarchy is re-exported wholesale: repro.errors.__all__
@@ -56,6 +65,8 @@ from repro.station.profiles import hold, staircase, ramp, step, bidirectional_st
 from repro.station.rig import TestRig, run_calibration
 from repro.runtime import BatchEngine, MonitorHandle, RunResult, Session, \
     ShardedEngine, run_batch
+from repro.service import (ClientSession, FleetService, ServiceClient,
+                           Snapshot, connect, run)
 
 __version__ = "1.0.0"
 
@@ -96,5 +107,11 @@ __all__ = [
     "ShardedEngine",
     "RunResult",
     "run_batch",
+    "FleetService",
+    "ClientSession",
+    "ServiceClient",
+    "Snapshot",
+    "connect",
+    "run",
     "__version__",
 ]

@@ -6,6 +6,7 @@
     python -m repro sweep --cal cal.json --levels 0,50,100,250
     python -m repro fleet --n-monitors 8 --workers 4 [--numerics fast]
                           [--out traces.npz]
+    python -m repro serve --clients 8 --n-monitors 2 [--tick-steps 500]
 
 The CLI mirrors how a bench operator would use the real instrument:
 power-on self-test, a calibration campaign against the reference meter
@@ -13,6 +14,9 @@ power-on self-test, a calibration campaign against the reference meter
 calibration.  ``fleet`` runs a whole fleet of monitors at once through
 the batched runtime, optionally sharded across worker processes
 (``--workers``); the traces are bit-identical for any worker count.
+``serve`` spins up the resident streaming service in-process and drives
+it with concurrent clients — the asyncio demo of the ``repro.connect``
+path, with every client's stream bit-identical to a standalone run.
 """
 
 from __future__ import annotations
@@ -112,6 +116,25 @@ def build_parser() -> argparse.ArgumentParser:
                           "error; default exact)")
     flt.add_argument("--out", type=Path, default=None,
                      help="optional .npz path for the fleet traces")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the streaming fleet service with concurrent demo clients")
+    srv.add_argument("--clients", type=int, default=4,
+                     help="concurrent client sessions to attach (default 4)")
+    srv.add_argument("--n-monitors", type=int, default=1,
+                     help="fleet size per client (default 1)")
+    srv.add_argument("--levels", type=str, default="0,50,120",
+                     help="comma-separated staircase speeds [cm/s]")
+    srv.add_argument("--dwell", type=float, default=2.0,
+                     help="seconds per staircase level")
+    srv.add_argument("--seed", type=int, default=42,
+                     help="base seed; client i uses seed + i")
+    srv.add_argument("--tick-steps", type=int, default=1000,
+                     help="engine samples per cohort tick (the streaming "
+                          "granularity; default 1000)")
+    srv.add_argument("--max-pending", type=int, default=8,
+                     help="per-client snapshot queue bound (default 8)")
     return parser
 
 
@@ -247,6 +270,67 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        levels = [float(x) for x in args.levels.split(",") if x.strip()]
+    except ValueError:
+        print("error: --levels must be comma-separated numbers",
+              file=sys.stderr)
+        return 2
+    if not levels:
+        print("error: no levels given", file=sys.stderr)
+        return 2
+    if args.clients < 1:
+        print("error: --clients must be >= 1", file=sys.stderr)
+        return 2
+    if args.n_monitors < 1:
+        print("error: --n-monitors must be >= 1", file=sys.stderr)
+        return 2
+    import asyncio
+    import time
+
+    from repro.service import FleetService
+    from repro.station.profiles import staircase
+    profile = staircase(levels, dwell_s=args.dwell)
+    print(f"serving {args.clients} client(s) x {args.n_monitors} monitor(s), "
+          f"staircase {levels} cm/s, tick={args.tick_steps} steps ...")
+
+    async def drive():
+        async with FleetService(tick_steps=args.tick_steps,
+                                max_pending=args.max_pending) as service:
+            clients = [
+                await service.attach(profile, n_monitors=args.n_monitors,
+                                     seed=args.seed + i,
+                                     use_pulsed_drive=False,
+                                     fast_calibration=True)
+                for i in range(args.clients)
+            ]
+
+            async def consume(client):
+                windows = 0
+                async for _snap in client.snapshots():
+                    windows += 1
+                return windows, await client.result()
+
+            streamed = await asyncio.gather(*(consume(c) for c in clients))
+            return clients, streamed, service.stats()
+
+    t0 = time.perf_counter()
+    clients, streamed, stats = asyncio.run(drive())
+    elapsed = time.perf_counter() - t0
+    print(f"{'client':>8}  {'group':>5}  {'seed':>5}  {'windows':>7}  "
+          f"{'final [cm/s]':>12}")
+    for client, (windows, result) in zip(clients, streamed):
+        final = float(result.measured_mps[0, -1]) * 100.0
+        print(f"{client.client_id:>8}  {client.group_id:>5}  "
+              f"{client.seed:>5}  {windows:>7}  {final:>12.1f}")
+    samples = sum(c.total_steps * c.n_monitors for c in clients)
+    print(f"{stats['ticks']} engine ticks, {stats['snapshots']} snapshots, "
+          f"{stats['completed']} clients completed in {elapsed:.2f} s wall "
+          f"({samples / max(elapsed, 1e-9) / 1e3:.0f} ksamples/s)")
+    return 0 if stats["completed"] == args.clients else 1
+
+
 _COMMANDS = {
     "selftest": _cmd_selftest,
     "calibrate": _cmd_calibrate,
@@ -254,6 +338,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "record": _cmd_record,
     "fleet": _cmd_fleet,
+    "serve": _cmd_serve,
 }
 
 

@@ -17,6 +17,7 @@ __all__ = [
     "SensorFault",
     "SessionError",
     "FrameError",
+    "ServiceError",
 ]
 
 
@@ -67,6 +68,22 @@ class SessionError(ReproError):
     The session API enforces ``open() -> calibrate() -> run() -> close()``;
     calling a stage out of order (or after ``close()``) raises this.
     """
+
+
+class ServiceError(ReproError):
+    """A :class:`repro.service.FleetService` request could not be honored.
+
+    ``reason`` is a machine-readable slug for programmatic handling:
+    ``"detached"`` (the client already left or finished),
+    ``"stopped"`` (the service shut down under the client),
+    ``"backpressure"`` (a producer-side push would overrun the bounded
+    snapshot queue — an internal invariant, surfaced for diagnostics) or
+    the ``"service"`` catch-all.
+    """
+
+    def __init__(self, message: str, reason: str = "service") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class FrameError(ReproError):

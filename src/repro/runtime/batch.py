@@ -273,6 +273,7 @@ class BatchEngine:
         """Copy fleet state into (2, N)/(N,) arrays and hoist constants."""
         rigs = self._rigs
         n = self._n
+        self._offset = 0
         mon0 = rigs[0].monitor
         sen0 = mon0.sensor
         cfg = sen0.config
@@ -530,6 +531,18 @@ class BatchEngine:
 
     # -- main loop -----------------------------------------------------------
 
+    @property
+    def offset(self) -> int:
+        """Samples already advanced (the absolute step of the next tick).
+
+        Starts at 0 and grows with every :meth:`run` / :meth:`advance`
+        call; profile setpoints and the ``record_every_n`` decimation
+        phase are both evaluated at this absolute step index, so a run
+        split across several :meth:`advance` calls lands on the same
+        recorded ticks as one uninterrupted :meth:`run`.
+        """
+        return self._offset
+
     def run(self, profile: Profile, record_every_n: int = 20) -> RunResult:
         """Execute a profile over the whole fleet; decimated traces out.
 
@@ -545,14 +558,111 @@ class BatchEngine:
             On membrane burst or housing overpressure (any monitor —
             the fleet shares the line, so all see the event together).
         """
-        if record_every_n < 1:
-            raise ConfigurationError("record_every_n must be >= 1")
         dt = self._dt
         steps = int(round(profile.duration_s / dt))
         if steps < 1:
             raise ConfigurationError("profile shorter than one loop tick")
+        return self.advance(profile, steps, record_every_n)
+
+    def advance(self, profile: Profile, steps: int,
+                record_every_n: int = 20) -> RunResult:
+        """Advance ``steps`` samples from the current :attr:`offset`.
+
+        The incremental form of :meth:`run`: repeated calls walk the
+        same profile clock forward, and because every engine recurrence
+        carries its state per step (plant, OU trajectories, RNG
+        streams, drive phase), a run sliced into arbitrary ``advance``
+        windows is *bit-identical* to one uninterrupted :meth:`run` of
+        the total horizon — this is the contract the streaming fleet
+        service (:mod:`repro.service`) builds on.  The returned
+        :class:`RunResult` holds only the window's recorded ticks
+        (possibly zero of them when ``steps`` is shorter than the
+        decimation stride); stitch windows with
+        :meth:`RunResult.concat_time`.
+
+        Raises
+        ------
+        ConfigurationError
+            On a non-positive step count or decimation, or if every
+            rig has been :meth:`drop`-ped.
+        SensorFault
+            On membrane burst or housing overpressure.
+        """
+        if record_every_n < 1:
+            raise ConfigurationError("record_every_n must be >= 1")
+        if steps < 1:
+            raise ConfigurationError("advance needs at least one step")
+        if self._n < 1:
+            raise ConfigurationError("every rig was dropped from the engine")
         with get_tracer().span("batch.run", n_monitors=self._n, steps=steps):
             return self._run(profile, steps, record_every_n)
+
+    def drop(self, indices: list[int]) -> None:
+        """Remove monitors from the fleet between advances.
+
+        All per-monitor state (thermal, filters, PI, RNG streams,
+        calibration constants) is sliced down to the survivors, whose
+        positions shift left to fill the gaps.  Because every
+        cross-monitor interaction in the engine is either elementwise
+        or a branch whose both arms are elementwise-identical, and each
+        monitor draws from its own generators, the survivors' traces
+        stay *bit-identical* to a fleet that never contained the
+        dropped rigs — this is what lets the streaming service detach
+        one client without perturbing the rest.  The shared drive phase
+        and line plant stay on the engine even if rig 0 leaves (they
+        are engine-global clocks, not per-rig state).
+
+        Raises
+        ------
+        ConfigurationError
+            On an out-of-range or duplicated index.
+        """
+        drop_set = set()
+        for j in indices:
+            j = int(j)
+            if not 0 <= j < self._n:
+                raise ConfigurationError(
+                    f"drop index {j} out of range for fleet of {self._n}")
+            if j in drop_set:
+                raise ConfigurationError(f"drop index {j} given twice")
+            drop_set.add(j)
+        if not drop_set:
+            return
+        keep = [j for j in range(self._n) if j not in drop_set]
+
+        for name in ("_turb_intensity", "_x_ou", "_t_mem", "_t_ref",
+                     "_ref_r0", "_leak", "_leak_mask", "_g_lat",
+                     "_g_back_half", "_heater_cap", "_g_rim_total",
+                     "_rho_m", "_x_bs", "_rh_star", "_bp_denom",
+                     "_coeff_a", "_coeff_b", "_inv_exp", "_y_iir",
+                     "_last_output", "_dir_offset", "_y_dir", "_dir",
+                     "_pm_gain", "_pm_state",
+                     "_t_h", "_h_r0", "_r_trim", "_r_foul", "_cov",
+                     "_afe_state", "_flick", "_y_lpf", "_pi_sat", "_u"):
+            setattr(self, name, getattr(self, name)[..., keep])
+        if self._qformat is not None:
+            self._pi_int = self._pi_int[..., keep]
+        else:
+            self._pi_int_f = self._pi_int_f[..., keep]
+        self._aa_state = [[st[..., keep] for st in stage]
+                          for stage in self._aa_state]
+        self._lev_a = self._lev_a[keep]
+        self._lev_b = self._lev_b[keep]
+        for name in ("_line_rngs", "_bs_rngs", "_pm_rngs"):
+            row = getattr(self, name)
+            setattr(self, name, [row[j] for j in keep])
+        for name in ("_bubble_rngs", "_afe_rngs", "_adc_rngs"):
+            rows = getattr(self, name)
+            setattr(self, name, [[row[j] for j in keep] for row in rows])
+
+        self._rigs = [self._rigs[j] for j in keep]
+        self._n = len(keep)
+        self._iota = np.arange(self._n)
+        self._ua_off = np.stack([self._lev_a[:, 0], self._lev_b[:, 0]])
+        self._leak_zero = bool(self._leak_mask.all())
+        self._min_rating = min(
+            (r.monitor.sensor.housing.pressure_rating_pa
+             for r in self._rigs), default=math.inf)
 
     def _run(self, profile: Profile, steps: int,
              record_every_n: int) -> RunResult:
@@ -754,8 +864,14 @@ class BatchEngine:
             g_back = self._g_back_half * 1.0
         cov_nonzero = bool((cov > 0.0).any())
 
-        for start in range(0, steps, self._chunk):
-            c = min(self._chunk, steps - start)
+        # Steps are absolute indices on the engine clock: the profile
+        # setpoints, the drive phase and the decimation condition all
+        # see ``start + k``, so an advance window resumes exactly where
+        # the previous one stopped.
+        start0 = self._offset
+        end = start0 + steps
+        for start in range(start0, end, self._chunk):
+            c = min(self._chunk, end - start)
             if observing:
                 chunk_start = time.perf_counter()
             with tracer.span("kernel.plan", samples=c, fast=fast):
@@ -1228,16 +1344,34 @@ class BatchEngine:
         for rig in self._rigs:
             rig.monitor.platform.scheduler.bulk_tick(steps)
 
-        result = RunResult(
-            time_s=np.array(t_buf),
-            true_speed_mps=np.stack(v_true, axis=1),
-            reference_mps=np.stack(v_ref, axis=1),
-            measured_mps=np.stack(v_meas, axis=1),
-            direction=np.stack(direction, axis=1),
-            pressure_pa=np.stack(pressure, axis=1),
-            temperature_k=np.stack(temperature, axis=1),
-            bubble_coverage=np.stack(coverage, axis=1),
-        )
+        self._offset = end
+
+        if t_buf:
+            result = RunResult(
+                time_s=np.array(t_buf),
+                true_speed_mps=np.stack(v_true, axis=1),
+                reference_mps=np.stack(v_ref, axis=1),
+                measured_mps=np.stack(v_meas, axis=1),
+                direction=np.stack(direction, axis=1),
+                pressure_pa=np.stack(pressure, axis=1),
+                temperature_k=np.stack(temperature, axis=1),
+                bubble_coverage=np.stack(coverage, axis=1),
+            )
+        else:
+            # A window shorter than the decimation stride can record
+            # zero ticks; the state still advanced, so hand back an
+            # empty-but-well-shaped result the caller can concat.
+            empty = np.empty((n, 0))
+            result = RunResult(
+                time_s=np.empty(0),
+                true_speed_mps=empty,
+                reference_mps=empty.copy(),
+                measured_mps=empty.copy(),
+                direction=np.empty((n, 0), dtype=np.int64),
+                pressure_pa=empty.copy(),
+                temperature_k=empty.copy(),
+                bubble_coverage=empty.copy(),
+            )
         if profiling:
             result.attach_profile(run_stages)
         return result

@@ -30,16 +30,18 @@ class SummaryDict(dict):
     """Summary statistics keyed by registry metric names (``run.<field>``).
 
     Legacy bare-field keys (``"measured_mps"``) still resolve — with a
-    :class:`DeprecationWarning` — so existing analysis code keeps
-    working while it migrates to the namespaced keys.
+    :class:`FutureWarning` — so existing analysis code keeps working
+    while it migrates to the namespaced keys.  The bare aliases will be
+    removed in 2.0.
     """
 
     def __missing__(self, key):
         alias = _SUMMARY_PREFIX + str(key)
         if dict.__contains__(self, alias):
             warnings.warn(
-                f"summary key {key!r} is deprecated; use {alias!r}",
-                DeprecationWarning, stacklevel=2)
+                f"summary key {key!r} is deprecated and will stop "
+                f"resolving in repro 2.0; use {alias!r}",
+                FutureWarning, stacklevel=2)
             return dict.__getitem__(self, alias)
         raise KeyError(key)
 
@@ -131,7 +133,7 @@ class RunResult:
 
         Keys are registry metric names (``run.<field>``); the legacy
         bare-field keys keep resolving through :class:`SummaryDict`
-        with a :class:`DeprecationWarning`.  With ``monitor`` given,
+        with a :class:`FutureWarning`.  With ``monitor`` given,
         statistics for that monitor's traces (the values of
         ``trace(monitor).summary()``); otherwise the statistics are
         pooled across the whole fleet.
@@ -222,6 +224,55 @@ class RunResult:
         )
         # Profiled blocks sum their per-stage reports: the merged fleet
         # report attributes time the same way a serial profiled run does.
+        stages: dict[str, dict] = {}
+        for part in parts:
+            for name, values in part.profile().items():
+                totals = stages.setdefault(
+                    name, {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0})
+                totals["calls"] += int(values.get("calls", 0))
+                totals["wall_s"] += float(values.get("wall_s", 0.0))
+                totals["cpu_s"] += float(values.get("cpu_s", 0.0))
+        if stages:
+            merged.attach_profile(stages)
+        return merged
+
+    @classmethod
+    def concat_time(cls, parts: list["RunResult"]) -> "RunResult":
+        """Join windows of one run end to end (time axis 1), in order.
+
+        This is the stitch step of the streaming service: each
+        :meth:`BatchEngine.advance` window hands back the ticks it
+        recorded, and joining the windows in advance order restores the
+        uninterrupted run exactly.  Zero-tick windows (shorter than the
+        decimation stride) contribute nothing and are legal anywhere in
+        the list.
+
+        Raises
+        ------
+        ConfigurationError
+            If the list is empty, the parts disagree on fleet size, or
+            time does not increase strictly across window boundaries.
+        """
+        if not parts:
+            raise ConfigurationError("need at least one window to concatenate")
+        n = parts[0].n_monitors
+        last_t = None
+        for part in parts:
+            if part.n_monitors != n:
+                raise ConfigurationError(
+                    "windows must share one fleet size")
+            if len(part) == 0:
+                continue
+            if last_t is not None and float(part.time_s[0]) <= last_t:
+                raise ConfigurationError(
+                    "windows must be in increasing time order")
+            last_t = float(part.time_s[-1])
+        merged = cls(
+            time_s=np.concatenate([np.asarray(p.time_s) for p in parts]),
+            **{name: np.concatenate(
+                [np.asarray(getattr(p, name)) for p in parts], axis=1)
+               for name in cls.STACKED_FIELDS},
+        )
         stages: dict[str, dict] = {}
         for part in parts:
             for name, values in part.profile().items():

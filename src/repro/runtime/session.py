@@ -237,13 +237,16 @@ class Session:
 
         .. deprecated:: 1.1
             Positional ``engine`` / ``record_every_n`` still work but
-            emit :class:`DeprecationWarning`; pass them by keyword.
+            emit :class:`FutureWarning`; pass them by keyword.  The
+            positional forms will be removed in 2.0.
         """
         if args:
             warnings.warn(
-                "positional engine/record_every_n are deprecated; "
-                "Session.run is keyword-only after profile",
-                DeprecationWarning, stacklevel=2)
+                "positional engine/record_every_n are deprecated and will "
+                "be removed in repro 2.0; Session.run is keyword-only "
+                "after profile — pass engine=.../record_every_n=... "
+                "(or snapshot_s=...)",
+                FutureWarning, stacklevel=2)
             if len(args) > 2:
                 raise ConfigurationError(
                     f"Session.run takes at most profile, engine, "

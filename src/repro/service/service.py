@@ -1,0 +1,608 @@
+"""The resident fleet service: many client sessions, shared engine ticks.
+
+:class:`FleetService` is a long-lived asyncio component that multiplexes
+concurrent client runs onto shared :class:`~repro.runtime.batch.BatchEngine`
+advances.  Clients :meth:`~FleetService.attach` a profile with their own
+fleet size and seed; the service groups clients whose configuration can
+share one homogeneous engine (same session build knobs, profile, cadence
+and numerics) into *cohorts*, advances each cohort in bounded tick
+slices, and streams every client its own rows of each window through a
+bounded :class:`~repro.service.streams.SnapshotStream`.
+
+The engine guarantees the service leans on (see
+:meth:`BatchEngine.advance <repro.runtime.batch.BatchEngine.advance>` and
+:meth:`BatchEngine.drop <repro.runtime.batch.BatchEngine.drop>`):
+
+- advancing in arbitrary tick slices is bit-identical to one
+  uninterrupted run, so streamed windows concatenate into exactly the
+  result a standalone ``Session.run`` returns;
+- per-monitor state and RNG streams are independent, so a client's rows
+  inside a shared cohort are bit-identical to a cohort of its own, and
+  a detaching client's rows can be dropped without perturbing the rest.
+
+Concurrency model: everything runs on one event loop; the tick loop
+never awaits inside a tick, so attach/detach mutations — which run as
+coroutines on the same loop — are naturally serialized *between* ticks
+with no locks.  Backpressure is cooperative: a cohort only ticks while
+every member's stream has space, so one slow consumer stalls its cohort
+(bounded memory) without blocking other cohorts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.observability import get_event_log, get_registry, get_tracer
+from repro.runtime.batch import BatchEngine
+from repro.runtime.result import RunResult
+from repro.runtime.session import Session, resolve_record_every_n
+from repro.runtime.kernels import resolve_numerics
+from repro.service.streams import Snapshot, SnapshotStream
+from repro.station.profiles import Profile
+
+__all__ = ["FleetService", "ClientSession"]
+
+
+def _empty_result(n: int) -> RunResult:
+    """A zero-tick result for an ``n``-monitor fleet (detach before data)."""
+    empty = np.empty((n, 0))
+    return RunResult(
+        time_s=np.empty(0),
+        true_speed_mps=empty,
+        reference_mps=empty.copy(),
+        measured_mps=empty.copy(),
+        direction=np.empty((n, 0), dtype=np.int64),
+        pressure_pa=empty.copy(),
+        temperature_k=empty.copy(),
+        bubble_coverage=empty.copy(),
+    )
+
+
+def _slice_rows(window: RunResult, lo: int, hi: int) -> RunResult:
+    """A client's rows ``[lo, hi)`` of a cohort window (copies)."""
+    return RunResult(
+        time_s=window.time_s.copy(),
+        **{name: getattr(window, name)[lo:hi].copy()
+           for name in RunResult.STACKED_FIELDS},
+    )
+
+
+class _Member:
+    """Service-side bookkeeping for one attached client."""
+
+    __slots__ = ("client", "session", "rigs", "n", "stream", "windows",
+                 "future", "group", "finalized")
+
+    def __init__(self, client: "ClientSession", session: Session,
+                 rigs: list, stream: SnapshotStream) -> None:
+        self.client = client
+        self.session = session
+        self.rigs = rigs
+        self.n = len(rigs)
+        self.stream = stream
+        self.windows: list[RunResult] = []
+        self.future: asyncio.Future[RunResult] = (
+            asyncio.get_running_loop().create_future())
+        # Results are also streamed; never let an unawaited future warn.
+        self.future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None)
+        self.group: "_Group | None" = None
+        self.finalized = False
+
+
+class _Group:
+    """One cohort: clients homogeneous enough to share a BatchEngine.
+
+    A cohort is *open* while its engine is unbuilt — attaches with the
+    same key keep joining.  The first tick seals it (builds the engine
+    from every member's rigs, in attach order); later attaches with the
+    same key start a fresh cohort, because a running engine cannot admit
+    new rigs without disturbing the shared clocks.
+    """
+
+    __slots__ = ("group_id", "key", "profile", "record_every_n", "numerics",
+                 "chunk_size", "total_steps", "members", "engine", "done")
+
+    def __init__(self, group_id: int, key: tuple, profile: Profile,
+                 record_every_n: int, numerics: str, chunk_size: int,
+                 total_steps: int) -> None:
+        self.group_id = group_id
+        self.key = key
+        self.profile = profile
+        self.record_every_n = record_every_n
+        self.numerics = numerics
+        self.chunk_size = chunk_size
+        self.total_steps = total_steps
+        self.members: list[_Member] = []
+        self.engine: BatchEngine | None = None
+        self.done = 0
+
+    def ready(self) -> bool:
+        """Whether every member's stream can take one more snapshot."""
+        return all(m.stream.has_space for m in self.members)
+
+
+class ClientSession:
+    """A client's handle on its run inside the fleet service.
+
+    Returned by :meth:`FleetService.attach`.  The client consumes
+    incremental :class:`~repro.service.streams.Snapshot` windows through
+    :meth:`snapshots` (or one at a time via :meth:`snapshot`), awaits
+    the stitched final :class:`~repro.runtime.result.RunResult` from
+    :meth:`result`, and may leave early with :meth:`detach` — which
+    finalizes a *partial* result bit-identical to a standalone
+    ``Session.run`` of the same config/seed over the completed horizon.
+    """
+
+    def __init__(self, service: "FleetService", client_id: str,
+                 trace_id: str, seed: int, n_monitors: int,
+                 total_steps: int, record_every_n: int) -> None:
+        self.client_id = client_id
+        self.trace_id = trace_id
+        self.seed = seed
+        self.n_monitors = n_monitors
+        self.total_steps = total_steps
+        self.record_every_n = record_every_n
+        self._service = service
+        self._member: _Member | None = None  # linked by attach
+
+    @property
+    def done_steps(self) -> int:
+        """Engine samples completed for this client so far."""
+        member = self._member
+        if member is None or member.group is None:
+            return 0
+        return member.group.done
+
+    @property
+    def group_id(self) -> int:
+        """The cohort this client was multiplexed into."""
+        member = self._member
+        if member is None or member.group is None:
+            raise ServiceError("client is not attached", reason="detached")
+        return member.group.group_id
+
+    @property
+    def attached(self) -> bool:
+        """False once the run completed, crashed, or the client left."""
+        member = self._member
+        return member is not None and not member.finalized
+
+    @property
+    def stream_depth(self) -> int:
+        """Snapshots queued and not yet consumed (bounded)."""
+        if self._member is None:
+            return 0
+        return self._member.stream.depth
+
+    async def snapshot(self) -> Snapshot | None:
+        """Next streamed window, or None once the stream ended.
+
+        Raises
+        ------
+        ReproError
+            The typed engine fault, if the shared engine crashed, or a
+            :class:`~repro.errors.ServiceError` if the service stopped
+            under the client.
+        """
+        if self._member is None:
+            raise ServiceError("client is not attached", reason="detached")
+        return await self._member.stream.get()
+
+    async def snapshots(self) -> AsyncIterator[Snapshot]:
+        """Async-iterate the streamed windows until the run ends.
+
+        Terminates normally at the horizon (or after a detach); raises
+        the propagated typed exception if the shared engine crashed.
+        """
+        while True:
+            snap = await self.snapshot()
+            if snap is None:
+                return
+            yield snap
+
+    async def result(self) -> RunResult:
+        """Await the stitched run result (full horizon, or the partial
+        finalized by :meth:`detach`).
+
+        Raises
+        ------
+        ReproError
+            The typed engine fault if the shared engine crashed, or a
+            :class:`~repro.errors.ServiceError` if the service stopped.
+        """
+        if self._member is None:
+            raise ServiceError("client is not attached", reason="detached")
+        return await self._member.future
+
+    async def detach(self) -> RunResult:
+        """Leave the cohort now; returns the partial result so far.
+
+        The service removes this client's rigs from the shared engine
+        (bit-preserving for the remaining members) and finalizes the
+        windows streamed so far into a partial
+        :class:`~repro.runtime.result.RunResult` — bit-identical to a
+        standalone ``Session.run`` of the same config/seed over
+        :attr:`done_steps` samples.
+
+        Raises
+        ------
+        ServiceError
+            If the client already detached or its run already finished
+            (``reason="detached"``).
+        """
+        return await self._service._detach(self)
+
+
+class FleetService:
+    """Long-lived multiplexer of client runs onto shared engine ticks.
+
+    Parameters
+    ----------
+    tick_steps:
+        Upper bound on engine samples per cohort tick — the streaming
+        granularity.  Each tick yields one snapshot per member, so
+        smaller ticks stream finer windows at more coalescing overhead.
+    max_pending:
+        Per-client snapshot queue bound.  A cohort only ticks while
+        every member has queue space, so a slow consumer stalls its
+        cohort at ``max_pending`` buffered windows (bounded memory)
+        without affecting other cohorts.
+    chunk_size:
+        Noise pre-draw block length for cohort engines (bit-invariant;
+        a locality/memory trade-off only).
+
+    Lifecycle: ``await start()`` spawns the tick loop, ``await stop()``
+    fails the remaining clients with :class:`~repro.errors.ServiceError`
+    and cancels it; ``async with`` does both.  :meth:`attach` may be
+    called before ``start`` — those clients simply wait for the loop.
+    """
+
+    def __init__(self, *, tick_steps: int = 1000, max_pending: int = 8,
+                 chunk_size: int = 1024) -> None:
+        if tick_steps < 1:
+            raise ConfigurationError("tick_steps must be >= 1")
+        if max_pending < 1:
+            raise ConfigurationError("max_pending must be >= 1")
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        self._tick_steps = int(tick_steps)
+        self._max_pending = int(max_pending)
+        self._chunk = int(chunk_size)
+        self._groups: dict[int, _Group] = {}
+        self._open_by_key: dict[tuple, _Group] = {}
+        self._members: set[_Member] = set()
+        self._wake = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._stopped = False
+        self._client_seq = 0
+        self._group_seq = 0
+        self._counters = {
+            "attaches": 0, "detaches": 0, "ticks": 0, "snapshots": 0,
+            "backpressure_stalls": 0, "completed": 0, "crashed_groups": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the tick loop is live."""
+        return self._task is not None and not self._task.done()
+
+    async def start(self) -> "FleetService":
+        """Spawn the tick loop (idempotent until :meth:`stop`).
+
+        Raises
+        ------
+        ServiceError
+            If the service was already stopped (``reason="stopped"``).
+        """
+        if self._stopped:
+            raise ServiceError("service already stopped", reason="stopped")
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._loop())
+        return self
+
+    async def stop(self) -> None:
+        """Stop the loop; fail still-attached clients (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        exc = ServiceError("service stopped", reason="stopped")
+        for member in list(self._members):
+            self._finalize(member, error=exc)
+        self._groups.clear()
+        self._open_by_key.clear()
+        get_event_log().emit("service.stop")
+
+    async def __aenter__(self) -> "FleetService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # -- client surface ------------------------------------------------------
+
+    async def attach(self, profile: Profile, *, n_monitors: int = 1,
+                     seed: int = 42, snapshot_s: float | None = None,
+                     record_every_n: int | None = None,
+                     numerics: str = "exact",
+                     **session_kwargs) -> ClientSession:
+        """Join the service with a profile; returns the client handle.
+
+        Builds (and calibrates) a :class:`~repro.runtime.Session` for
+        ``n_monitors``/``seed``/``session_kwargs`` — the same
+        deterministic materialization a standalone run uses, which is
+        what makes the streamed rows bit-identical to ``Session.run`` —
+        then queues the rigs into an *open* cohort of clients sharing
+        this configuration, profile, cadence and numerics.  The cohort
+        seals at its first tick; every client attached before that
+        (e.g. an attach storm racing the loop) lands in one shared
+        engine.
+
+        Parameters mirror :meth:`repro.runtime.Session.run` where they
+        overlap (``snapshot_s`` / ``record_every_n`` cadence,
+        ``numerics``); ``session_kwargs`` forward to the Session
+        constructor (``loop_rate_hz``, ``use_pulsed_drive``,
+        ``fast_calibration``, ...).
+
+        Raises
+        ------
+        ServiceError
+            If the service was stopped (``reason="stopped"``).
+        ConfigurationError
+            For an empty profile or conflicting cadence spellings.
+        """
+        if self._stopped:
+            raise ServiceError("service stopped", reason="stopped")
+        mode = resolve_numerics(numerics)
+        session = Session(n_monitors=n_monitors, seed=seed,
+                          chunk_size=self._chunk, **session_kwargs)
+        session.open()
+        every = resolve_record_every_n(session._dt, snapshot_s,
+                                       record_every_n)
+        if every < 1:
+            raise ConfigurationError("record_every_n must be >= 1")
+        total_steps = int(round(profile.duration_s / session._dt))
+        if total_steps < 1:
+            raise ConfigurationError("profile shorter than one loop tick")
+
+        self._client_seq += 1
+        client_id = f"c{self._client_seq}"
+        tracer = get_tracer()
+        with tracer.span("service.attach", client=client_id,
+                         n_monitors=n_monitors, seed=seed):
+            context = tracer.current_context()
+            trace_id = (context.trace_id if context is not None
+                        else f"trace-{client_id}")
+            session.calibrate()
+            rigs = [handle.rig for handle in session.monitors]
+
+        client = ClientSession(self, client_id, trace_id, seed=int(seed),
+                               n_monitors=int(n_monitors),
+                               total_steps=total_steps,
+                               record_every_n=every)
+        stream = SnapshotStream(self._max_pending, on_space=self._wake.set)
+        member = _Member(client, session, rigs, stream)
+        client._member = member
+
+        key = self._group_key(session, profile, every, mode)
+        group = self._open_by_key.get(key)
+        if group is None:
+            self._group_seq += 1
+            group = _Group(self._group_seq, key, profile, every, mode,
+                           self._chunk, total_steps)
+            self._groups[group.group_id] = group
+            self._open_by_key[key] = group
+        group.members.append(member)
+        member.group = group
+        self._members.add(member)
+
+        self._counters["attaches"] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("service.attaches").inc()
+            registry.gauge("service.clients").set(len(self._members))
+            registry.gauge("service.groups").set(len(self._groups))
+        get_event_log().emit("service.attach", client=client_id,
+                             trace=trace_id, n_monitors=n_monitors,
+                             seed=int(seed), group=group.group_id)
+        self._wake.set()
+        return client
+
+    def stats(self) -> dict:
+        """Service-level snapshot: counters, cohorts and queue depths."""
+        return {
+            "running": self.running,
+            "clients": len(self._members),
+            "groups": [
+                {
+                    "group_id": g.group_id,
+                    "sealed": g.engine is not None,
+                    "members": len(g.members),
+                    "fleet_size": sum(m.n for m in g.members),
+                    "done_steps": g.done,
+                    "total_steps": g.total_steps,
+                }
+                for g in self._groups.values()
+            ],
+            **dict(self._counters),
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _group_key(session: Session, profile: Profile, every: int,
+                   mode: str) -> tuple:
+        """Cohort identity: everything that must match for one engine."""
+        build = []
+        for name, value in sorted(session._build_kwargs.items()):
+            if isinstance(value, list):
+                value = tuple(value)
+            build.append((name, value))
+        return (tuple(build), tuple(profile.segments), every, mode)
+
+    async def _detach(self, client: ClientSession) -> RunResult:
+        """Remove ``client`` between ticks; finalize its partial result."""
+        member = client._member
+        if member is None or member.finalized:
+            raise ServiceError(
+                f"client {client.client_id} is not attached",
+                reason="detached")
+        group = member.group
+        with get_tracer().span("service.detach", client=client.client_id,
+                               group=group.group_id if group else -1):
+            if group is not None:
+                index = group.members.index(member)
+                if group.engine is not None:
+                    lo = sum(m.n for m in group.members[:index])
+                    group.engine.drop(list(range(lo, lo + member.n)))
+                group.members.pop(index)
+                if not group.members:
+                    self._discard_group(group)
+            partial = self._stitch(member)
+            self._finalize(member, result=partial)
+        self._counters["detaches"] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("service.detaches").inc()
+            registry.gauge("service.clients").set(len(self._members))
+            registry.gauge("service.groups").set(len(self._groups))
+        get_event_log().emit("service.detach", client=client.client_id,
+                             done_steps=group.done if group else 0)
+        self._wake.set()
+        return partial
+
+    def _stitch(self, member: _Member) -> RunResult:
+        """Concatenate a member's streamed windows into one result."""
+        if not member.windows:
+            return _empty_result(member.n)
+        return RunResult.concat_time(member.windows)
+
+    def _finalize(self, member: _Member,
+                  result: RunResult | None = None,
+                  error: BaseException | None = None) -> None:
+        """Resolve a member's future and stream; detach it everywhere."""
+        if member.finalized:
+            return
+        member.finalized = True
+        self._members.discard(member)
+        if not member.future.done():
+            if error is not None:
+                member.future.set_exception(error)
+            else:
+                member.future.set_result(result)
+        member.stream.close(error)
+        member.session.close()
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("service.clients").set(len(self._members))
+
+    def _discard_group(self, group: _Group) -> None:
+        self._groups.pop(group.group_id, None)
+        if self._open_by_key.get(group.key) is group:
+            del self._open_by_key[group.key]
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("service.groups").set(len(self._groups))
+
+    def _seal(self, group: _Group) -> None:
+        """Build the cohort engine; no more members may join."""
+        if self._open_by_key.get(group.key) is group:
+            del self._open_by_key[group.key]
+        rigs = [rig for member in group.members for rig in member.rigs]
+        group.engine = BatchEngine(rigs, chunk_size=group.chunk_size,
+                                   numerics=group.numerics)
+
+    def _fail_group(self, group: _Group, exc: BaseException) -> None:
+        """Propagate an engine fault to every member; drop the cohort."""
+        self._counters["crashed_groups"] += 1
+        get_event_log().emit("service.crash", group=group.group_id,
+                             error=type(exc).__name__)
+        for member in list(group.members):
+            self._finalize(member, error=exc)
+        group.members.clear()
+        self._discard_group(group)
+
+    def _tick(self, group: _Group) -> None:
+        """Advance one cohort by one bounded slice; fan out snapshots."""
+        tracer = get_tracer()
+        if group.engine is None:
+            try:
+                self._seal(group)
+            except ReproError as exc:
+                self._fail_group(group, exc)
+                return
+        budget = min(self._tick_steps, group.total_steps - group.done)
+        with tracer.span("service.tick", group=group.group_id,
+                         steps=budget, clients=len(group.members)):
+            try:
+                window = group.engine.advance(
+                    group.profile, budget, group.record_every_n)
+            except ReproError as exc:
+                self._fail_group(group, exc)
+                return
+        group.done += budget
+        complete = group.done >= group.total_steps
+        lo = 0
+        for member in group.members:
+            rows = _slice_rows(window, lo, lo + member.n)
+            lo += member.n
+            member.windows.append(rows)
+            member.stream.push(Snapshot(
+                seq=len(member.windows) - 1,
+                window=rows,
+                summary=rows.summary(),
+                done_steps=group.done,
+                total_steps=group.total_steps,
+            ))
+        self._counters["ticks"] += 1
+        self._counters["snapshots"] += len(group.members)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("service.ticks").inc()
+            registry.counter("service.snapshots").inc(len(group.members))
+            registry.counter("service.samples").inc(
+                budget * sum(m.n for m in group.members))
+        if complete:
+            self._counters["completed"] += len(group.members)
+            for member in list(group.members):
+                self._finalize(member, result=self._stitch(member))
+            group.members.clear()
+            self._discard_group(group)
+
+    async def _loop(self) -> None:
+        """The tick loop: round-robin over ready cohorts, stall on none.
+
+        Never awaits inside a tick, so attach/detach coroutines (same
+        event loop) interleave only between ticks; yields after every
+        tick so consumers drain while the next cohort advances.
+        """
+        while True:
+            progressed = False
+            for group in list(self._groups.values()):
+                if group.group_id not in self._groups or not group.members:
+                    continue
+                if not group.ready():
+                    self._counters["backpressure_stalls"] += 1
+                    registry = get_registry()
+                    if registry.enabled:
+                        registry.counter("service.backpressure_stalls").inc()
+                    continue
+                self._tick(group)
+                progressed = True
+                await asyncio.sleep(0)
+            if not progressed:
+                self._wake.clear()
+                await self._wake.wait()

@@ -287,14 +287,16 @@ class MonitoredNetwork:
 
         .. deprecated:: 1.1
             The ``hours=`` keyword and positional ``snapshot_s`` still
-            work but emit :class:`DeprecationWarning`; pass the span as
-            ``profile`` and the cadence by keyword.
+            work but emit :class:`FutureWarning`; pass the span as
+            ``profile`` and the cadence by keyword.  Both legacy
+            spellings will be removed in 2.0.
         """
         if args:
             warnings.warn(
-                "positional snapshot_s is deprecated; "
-                "MonitoredNetwork.run is keyword-only after the duration",
-                DeprecationWarning, stacklevel=2)
+                "positional snapshot_s is deprecated and will be removed "
+                "in repro 2.0; MonitoredNetwork.run is keyword-only after "
+                "the duration — pass snapshot_s=...",
+                FutureWarning, stacklevel=2)
             if len(args) > 1:
                 raise ConfigurationError(
                     f"MonitoredNetwork.run takes at most the duration and "
@@ -305,9 +307,10 @@ class MonitoredNetwork:
             snapshot_s = args[0]
         if hours is not None:
             warnings.warn(
-                "hours= is deprecated; pass the duration (hours or a "
-                "Profile) as the first argument",
-                DeprecationWarning, stacklevel=2)
+                "hours= is deprecated and will be removed in repro 2.0; "
+                "pass the duration (hours or a Profile) as the first "
+                "argument: run(1.0, ...)",
+                FutureWarning, stacklevel=2)
             if profile is not None:
                 raise ConfigurationError(
                     "pass the duration as profile or hours=, not both")

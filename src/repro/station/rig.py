@@ -147,16 +147,18 @@ class TestRig:
 
         .. deprecated:: 1.1
             Positional ``record_every_n`` still works but emits
-            :class:`DeprecationWarning`; pass it by keyword.
+            :class:`FutureWarning`; pass it by keyword.  The positional
+            form will be removed in 2.0.
         """
         # Local import: repro.runtime.session imports this module.
         from repro.runtime.session import resolve_record_every_n
 
         if args:
             warnings.warn(
-                "positional record_every_n is deprecated; "
-                "TestRig.run is keyword-only after profile",
-                DeprecationWarning, stacklevel=2)
+                "positional record_every_n is deprecated and will be "
+                "removed in repro 2.0; TestRig.run is keyword-only after "
+                "profile — pass record_every_n=... (or snapshot_s=...)",
+                FutureWarning, stacklevel=2)
             if len(args) > 1:
                 raise ConfigurationError(
                     f"TestRig.run takes at most profile and record_every_n "

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.runtime",
     "repro.observability",
+    "repro.service",
 ]
 
 
@@ -99,6 +100,29 @@ def test_error_hierarchy_single_source():
                     f"outside repro.errors")
                 assert obj.__name__ in listed, (
                     f"{obj.__name__} missing from repro.errors.__all__")
+
+
+def test_facade_single_source():
+    """``repro.run`` / ``repro.connect`` are THE client entry points.
+
+    Both live in :mod:`repro.service.facade` and are re-exported by
+    identity from ``repro`` and ``repro.service`` — no module may grow
+    a competing top-level run/connect spelling on the side.
+    """
+    facade = importlib.import_module("repro.service.facade")
+    service_pkg = importlib.import_module("repro.service")
+    for name in ("run", "connect"):
+        obj = getattr(facade, name)
+        assert obj.__module__ == "repro.service.facade"
+        assert getattr(repro, name) is obj, f"repro.{name} is not the facade"
+        assert getattr(service_pkg, name) is obj
+        assert name in repro.__all__
+    # the streamed handle types come from one home module too
+    for name in ("FleetService", "ClientSession"):
+        assert getattr(repro, name) is getattr(
+            importlib.import_module("repro.service.service"), name)
+    assert repro.Snapshot is importlib.import_module(
+        "repro.service.streams").Snapshot
 
 
 def test_errors_reexported_from_top_level():

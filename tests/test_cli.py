@@ -128,3 +128,27 @@ def test_fleet_rejects_bad_knobs():
     assert main(["fleet", "--n-monitors", "0"]) == 2
     assert main(["fleet", "--levels", "nope"]) == 2
     assert main(["fleet", "--levels", ""]) == 2
+
+
+@pytest.mark.service
+def test_serve_streams_concurrent_clients(capsys):
+    code = main(["serve", "--clients", "3", "--n-monitors", "1",
+                 "--levels", "0,60", "--dwell", "0.4", "--seed", "9",
+                 "--tick-steps", "300"])
+    assert code == 0
+    out = capsys.readouterr().out
+    # all three clients streamed and landed in the shared cohort
+    for client_id in ("c1", "c2", "c3"):
+        assert client_id in out
+    assert "3 clients completed" in out
+    # 800 steps in 300-step ticks -> 3 engine ticks, one snapshot each
+    assert "3 engine ticks, 9 snapshots" in out
+
+
+@pytest.mark.service
+def test_serve_rejects_bad_knobs():
+    assert main(["serve", "--clients", "0"]) == 2
+    assert main(["serve", "--n-monitors", "0"]) == 2
+    assert main(["serve", "--levels", "nope"]) == 2
+    # service knob validation surfaces as a ReproError exit
+    assert main(["serve", "--tick-steps", "0"]) == 1

@@ -46,12 +46,12 @@ def test_session_run_snapshot_s_equals_record_every_n(session):
 
 
 def test_session_run_positional_args_warn_but_work(session):
-    with pytest.warns(DeprecationWarning):
+    with pytest.warns(FutureWarning):
         old = session.run(hold(60.0, 0.5), "scalar", 25)
     new = session.run(hold(60.0, 0.5), engine="scalar", record_every_n=25)
     assert np.array_equal(old.measured_mps, new.measured_mps)
     with pytest.raises(ConfigurationError), warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
+        warnings.simplefilter("ignore", FutureWarning)
         session.run(hold(60.0, 0.5), "scalar", 25, "extra")
 
 
@@ -78,7 +78,7 @@ def test_rig_run_unified_signature():
     assert len(rec) == 25
     summary = rig.run(hold(50.0, 0.5), collect="summary")
     assert "measured_mps" in summary
-    with pytest.warns(DeprecationWarning):
+    with pytest.warns(FutureWarning):
         rig.run(hold(50.0, 0.2), 10)
     with pytest.raises(ConfigurationError):
         rig.run(hold(50.0, 0.2), snapshot_s=0.02, record_every_n=10)
@@ -110,22 +110,66 @@ def test_fleet_run_unified_signature():
 
 def test_fleet_run_deprecation_shims():
     fleet = build_fleet(seed=12)
-    with pytest.warns(DeprecationWarning):
+    with pytest.warns(FutureWarning):
         by_kw = fleet.run(hours=1.0)
-    with pytest.warns(DeprecationWarning):
+    with pytest.warns(FutureWarning):
         by_pos = fleet.run(1.0, 60.0)
     assert by_kw.snapshots == by_pos.snapshots == 60
     with pytest.raises(ConfigurationError), warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
+        warnings.simplefilter("ignore", FutureWarning)
         fleet.run(1.0, hours=1.0)  # duration twice
     with pytest.raises(ConfigurationError):
         with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
+            warnings.simplefilter("ignore", FutureWarning)
             fleet.run(1.0, 60.0, snapshot_s=30.0)  # cadence twice
     with pytest.raises(ConfigurationError):
         fleet.run()  # no duration at all
     with pytest.raises(ConfigurationError):
         fleet.run(1.0, collect="nope")
+
+
+def _sole_warning(record):
+    """The single warning captured by a ``pytest.warns`` block."""
+    assert len(record) == 1, (
+        f"expected exactly one warning, got "
+        f"{[str(w.message) for w in record]}")
+    return str(record[0].message)
+
+
+def test_every_deprecated_surface_warns_once_with_replacement():
+    """Each legacy spelling warns exactly once and names its successor.
+
+    The PR-2 shims are now :class:`FutureWarning` with a stated removal
+    version (2.0): Session.run positional args, TestRig.run positional
+    record_every_n, MonitoredNetwork.run positional snapshot_s and
+    ``hours=``, and the bare SummaryDict key aliases.
+    """
+    with Session(n_monitors=1, seed=24, fast_calibration=True) as s:
+        s.calibrate()
+        with pytest.warns(FutureWarning) as rec:
+            s.run(hold(60.0, 0.2), "scalar", 25)
+        message = _sole_warning(rec)
+        assert "2.0" in message and "keyword" in message
+        result = s.run(hold(60.0, 0.2))
+    setup = build_calibrated_monitor(seed=24, fast=True)
+    with pytest.warns(FutureWarning) as rec:
+        setup.rig.run(hold(50.0, 0.2), 10)
+    message = _sole_warning(rec)
+    assert "2.0" in message and "record_every_n=" in message
+    fleet = build_fleet(seed=13)
+    with pytest.warns(FutureWarning) as rec:
+        fleet.run(1.0, 60.0)
+    message = _sole_warning(rec)
+    assert "2.0" in message and "snapshot_s=" in message
+    with pytest.warns(FutureWarning) as rec:
+        fleet.run(hours=1.0)
+    message = _sole_warning(rec)
+    assert "2.0" in message and "first" in message
+    summary = result.summary()
+    with pytest.warns(FutureWarning) as rec:
+        summary["measured_mps"]
+    message = _sole_warning(rec)
+    assert "2.0" in message and "run.measured_mps" in message
 
 
 def test_run_result_summary_metric_keys():
@@ -139,12 +183,12 @@ def test_run_result_summary_metric_keys():
         "run.temperature_k", "run.bubble_coverage",
     }
     # legacy keys resolve through the deprecation alias
-    with pytest.warns(DeprecationWarning):
+    with pytest.warns(FutureWarning):
         legacy = summary["measured_mps"]
     assert legacy is summary["run.measured_mps"]
     assert "measured_mps" in summary
     with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
+        warnings.simplefilter("ignore", FutureWarning)
         assert summary.get("measured_mps", None) is not None
     assert summary.get("not_a_field") is None
     with pytest.raises(KeyError):

@@ -1,0 +1,337 @@
+"""Streaming fleet-service tests: parity, cohorts, backpressure, faults.
+
+All tests drive the single-threaded asyncio service with
+``asyncio.run`` from synchronous test functions.  The load-bearing
+claims: streamed windows stitch bit-identical to standalone
+``Session.run``; clients coalesce into shared-engine cohorts; a detach
+finalizes a bit-exact partial without perturbing survivors; engine
+faults propagate to every cohort member as the typed exception; a slow
+consumer stalls only its cohort, at bounded memory.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import SensorFault, ServiceError
+from repro.runtime import RunResult, Session
+from repro.service import FleetService, Snapshot, SnapshotStream, connect
+from repro.station.profiles import hold, staircase
+
+pytestmark = pytest.mark.service
+
+PROFILE = staircase([20.0, 60.0, 40.0], dwell_s=1.0)  # 3000 steps at 1 kHz
+
+
+def standalone(profile, *, n_monitors, seed):
+    """The reference a service client must match bit for bit."""
+    with Session(n_monitors=n_monitors, seed=seed,
+                 fast_calibration=True) as session:
+        session.calibrate()
+        return session.run(profile)
+
+
+def assert_traces_equal(a, b, ticks=None):
+    hi = len(a) if ticks is None else ticks
+    assert np.array_equal(a.time_s, b.time_s[:hi])
+    for name in RunResult.STACKED_FIELDS:
+        assert np.array_equal(getattr(a, name),
+                              getattr(b, name)[:, :hi]), name
+
+
+def test_cohort_coalescing_and_bit_exact_parity():
+    """Two same-config clients share one engine; both match Session.run."""
+
+    async def main():
+        async with FleetService(tick_steps=700) as service:
+            a = await service.attach(PROFILE, n_monitors=2, seed=11,
+                                     fast_calibration=True)
+            b = await service.attach(PROFILE, n_monitors=3, seed=12,
+                                     fast_calibration=True)
+            snaps_a = [snap async for snap in a.snapshots()]
+            result_a, result_b = await asyncio.gather(a.result(), b.result())
+            stats = service.stats()
+        return a, b, snaps_a, result_a, result_b, stats
+
+    a, b, snaps_a, result_a, result_b, stats = asyncio.run(main())
+    assert a.group_id == b.group_id  # one shared engine
+    assert a.client_id != b.client_id
+    assert a.total_steps == 3000 and a.record_every_n == 20
+    # 3000 steps in 700-step ticks -> 5 windows, monotone progress
+    assert [snap.seq for snap in snaps_a] == list(range(5))
+    assert [snap.done_steps for snap in snaps_a] == [700, 1400, 2100,
+                                                     2800, 3000]
+    assert snaps_a[-1].complete and not snaps_a[0].complete
+    assert "run.measured_mps" in snaps_a[0].summary
+    # windows stitch into exactly the awaited result
+    assert_traces_equal(RunResult.concat_time([s.window for s in snaps_a]),
+                        result_a)
+    # and both clients match a standalone run of their own config/seed
+    assert_traces_equal(result_a, standalone(PROFILE, n_monitors=2, seed=11))
+    assert_traces_equal(result_b, standalone(PROFILE, n_monitors=3, seed=12))
+    assert stats["completed"] == 2 and stats["clients"] == 0
+    assert not a.attached and not b.attached
+
+
+def test_config_mismatch_opens_separate_cohorts():
+    async def main():
+        async with FleetService() as service:
+            base = await service.attach(hold(50.0, 0.5), seed=5,
+                                        fast_calibration=True)
+            cadence = await service.attach(hold(50.0, 0.5), seed=5,
+                                           fast_calibration=True,
+                                           record_every_n=10)
+            numerics = await service.attach(hold(50.0, 0.5), seed=5,
+                                            fast_calibration=True,
+                                            numerics="fast")
+            groups = {base.group_id, cadence.group_id, numerics.group_id}
+            await asyncio.gather(base.result(), cadence.result(),
+                                 numerics.result())
+        return groups
+
+    assert len(asyncio.run(main())) == 3
+
+
+def test_detach_mid_run_partial_and_survivor_parity():
+    """A detach yields a bit-exact partial and never disturbs survivors."""
+
+    async def main():
+        async with FleetService(tick_steps=700, max_pending=2) as service:
+            a = await service.attach(PROFILE, n_monitors=2, seed=11,
+                                     fast_calibration=True)
+            b = await service.attach(PROFILE, n_monitors=1, seed=12,
+                                     fast_calibration=True)
+            # nobody consumes: the cohort stalls at max_pending ticks
+            while b.done_steps < 1400:
+                await asyncio.sleep(0)
+            partial = await b.detach()
+            with pytest.raises(ServiceError) as err:
+                await b.detach()
+            # the queued windows still drain after the detach close
+            leftovers = [snap async for snap in b.snapshots()]
+            # draining a frees the stall; the cohort runs to the horizon
+            async for _ in a.snapshots():
+                pass
+            result_a = await a.result()
+        return partial, err.value, result_a, leftovers
+
+    partial, detach_err, result_a, leftovers = asyncio.run(main())
+    assert detach_err.reason == "detached"
+    assert [snap.seq for snap in leftovers] == [0, 1]
+    assert_traces_equal(
+        RunResult.concat_time([snap.window for snap in leftovers]), partial)
+    # partial == the first 1400 steps (70 ticks) of b's standalone run
+    assert len(partial) == 70
+    assert_traces_equal(partial, standalone(PROFILE, n_monitors=1, seed=12),
+                        ticks=70)
+    # survivor bits unchanged by the mid-run drop
+    assert_traces_equal(result_a, standalone(PROFILE, n_monitors=2, seed=11))
+
+
+def test_detach_before_any_tick_returns_empty_partial():
+    async def main():
+        service = FleetService()  # never started: no ticks can happen
+        client = await service.attach(hold(50.0, 0.5), seed=5,
+                                      fast_calibration=True)
+        partial = await client.detach()
+        await service.stop()
+        return client, partial
+
+    client, partial = asyncio.run(main())
+    assert len(partial) == 0 and partial.n_monitors == 1
+    assert not client.attached
+
+
+def test_attach_storm_lands_in_one_cohort():
+    """100+ clients attached before the first tick share one engine."""
+    profile = hold(60.0, 0.3)
+    seeds = [31 + (i % 8) for i in range(104)]
+
+    async def main():
+        service = FleetService()
+        clients = [
+            await service.attach(profile, seed=seed, fast_calibration=True)
+            for seed in seeds
+        ]
+        group_ids = {client.group_id for client in clients}
+        await service.start()
+        results = await asyncio.gather(*(c.result() for c in clients))
+        fleet = service.stats()["attaches"]
+        await service.stop()
+        return group_ids, results, fleet
+
+    group_ids, results, attaches = asyncio.run(main())
+    assert len(group_ids) == 1  # one cohort, one 104-rig engine
+    assert attaches == 104
+    references = {seed: standalone(profile, n_monitors=1, seed=seed)
+                  for seed in set(seeds)}
+    for seed, result in zip(seeds, results):
+        assert_traces_equal(result, references[seed])
+
+
+def test_engine_crash_propagates_typed_to_all_members():
+    burst = hold(50.0, 1.0, pressure_bar=80.0)  # over membrane rating
+
+    async def main():
+        async with FleetService(tick_steps=200) as service:
+            doomed_a = await service.attach(burst, seed=5,
+                                            fast_calibration=True)
+            doomed_b = await service.attach(burst, n_monitors=2, seed=6,
+                                            fast_calibration=True)
+            bystander = await service.attach(hold(40.0, 0.5), seed=7,
+                                             fast_calibration=True)
+            with pytest.raises(SensorFault):
+                await doomed_a.result()
+            with pytest.raises(SensorFault):
+                async for _ in doomed_b.snapshots():
+                    pass
+            survivor = await bystander.result()
+            stats = service.stats()
+        return survivor, stats
+
+    survivor, stats = asyncio.run(main())
+    assert stats["crashed_groups"] == 1
+    assert stats["completed"] == 1
+    assert_traces_equal(survivor, standalone(hold(40.0, 0.5),
+                                             n_monitors=1, seed=7))
+
+
+def test_backpressure_bounds_memory_and_drains_to_completion():
+    profile = hold(60.0, 10.0)  # 10000 steps
+
+    async def main():
+        async with FleetService(tick_steps=100, max_pending=3) as service:
+            client = await service.attach(profile, seed=9,
+                                          fast_calibration=True)
+            for _ in range(200):  # let the loop run with no consumer
+                await asyncio.sleep(0)
+            stalled = (client.stream_depth, client.done_steps,
+                       service.stats()["backpressure_stalls"])
+            snaps = [snap async for snap in client.snapshots()]
+            result = await client.result()
+        return stalled, snaps, result
+
+    (depth, done, stalls), snaps, result = asyncio.run(main())
+    # exactly bound ticks ran, then the producer stalled (bounded memory)
+    assert depth == 3 and done == 300
+    assert stalls > 0
+    # draining released the stall and the run finished
+    assert len(snaps) == 100
+    assert len(result) == 500
+    assert_traces_equal(result, standalone(profile, n_monitors=1, seed=9))
+
+
+def test_stop_fails_attached_clients_with_service_error():
+    async def main():
+        service = await FleetService(max_pending=1).start()
+        client = await service.attach(hold(60.0, 10.0), seed=9,
+                                      fast_calibration=True)
+        await asyncio.sleep(0)
+        await service.stop()
+        with pytest.raises(ServiceError) as from_result:
+            await client.result()
+        with pytest.raises(ServiceError) as from_stream:
+            while await client.snapshot() is not None:
+                pass
+        with pytest.raises(ServiceError) as from_attach:
+            await service.attach(hold(60.0, 1.0), fast_calibration=True)
+        return from_result.value, from_stream.value, from_attach.value
+
+    from_result, from_stream, from_attach = asyncio.run(main())
+    assert from_result.reason == "stopped"
+    assert from_stream.reason == "stopped"
+    assert from_attach.reason == "stopped"
+
+
+def test_snapshot_stream_bound_and_close_semantics():
+    def snap(seq):
+        window = standalone(hold(50.0, 0.1), n_monitors=1, seed=3)
+        return Snapshot(seq=seq, window=window, summary=window.summary(),
+                        done_steps=100 * (seq + 1), total_steps=300)
+
+    async def main():
+        freed = []
+        stream = SnapshotStream(2, on_space=lambda: freed.append(True))
+        assert stream.has_space and stream.depth == 0
+        stream.push(snap(0))
+        stream.push(snap(1))
+        assert not stream.has_space
+        with pytest.raises(ServiceError) as overrun:
+            stream.push(snap(2))
+        assert overrun.value.reason == "backpressure"
+        first = await stream.get()
+        assert first.seq == 0 and freed == [True]
+        stream.close()  # normal close: the queued item still drains
+        stream.close()  # idempotent
+        with pytest.raises(ServiceError):
+            stream.push(snap(3))
+        assert (await stream.get()).seq == 1
+        assert await stream.get() is None
+
+        errored = SnapshotStream(2)
+        errored.push(snap(0))
+        errored.close(SensorFault("membrane burst"))
+        with pytest.raises(SensorFault):  # error close drops the queue
+            await errored.get()
+        with pytest.raises(ServiceError):
+            SnapshotStream(0)
+
+    asyncio.run(main())
+
+
+def test_facade_run_and_connect_are_bit_identical():
+    profile = hold(55.0, 0.5)
+    oneshot = repro.run(profile, n_monitors=2, seed=17,
+                        fast_calibration=True)
+
+    async def main():
+        async with connect(tick_steps=300) as client:
+            return await client.run(profile, n_monitors=2, seed=17,
+                                    fast_calibration=True)
+
+    assert_traces_equal(asyncio.run(main()), oneshot)
+    assert_traces_equal(oneshot, standalone(profile, n_monitors=2, seed=17))
+
+
+def test_connect_shares_a_resident_service_without_owning_it():
+    async def main():
+        async with FleetService() as service:
+            with pytest.raises(ServiceError):
+                connect(service, tick_steps=100)  # service or kwargs
+            client = connect(service)
+            assert client.service is service
+            session = await client.attach(hold(50.0, 0.3), seed=5,
+                                          fast_calibration=True)
+            result = await session.result()
+            await client.close()  # shared: must NOT stop the service
+            still_running = service.running
+            again = await client.run(hold(50.0, 0.3), seed=5,
+                                     fast_calibration=True)
+        return result, still_running, again
+
+    result, still_running, again = asyncio.run(main())
+    assert still_running
+    assert_traces_equal(result, again)
+
+
+def test_service_stats_reports_live_cohorts():
+    async def main():
+        async with FleetService(tick_steps=100, max_pending=1) as service:
+            client = await service.attach(hold(60.0, 5.0), seed=9,
+                                          fast_calibration=True)
+            open_stats = service.stats()  # before the first tick
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            sealed_stats = service.stats()
+            await client.detach()
+        return open_stats, sealed_stats
+
+    open_stats, sealed_stats = asyncio.run(main())
+    assert open_stats["running"] and open_stats["clients"] == 1
+    (open_group,) = open_stats["groups"]
+    assert not open_group["sealed"] and open_group["done_steps"] == 0
+    (sealed_group,) = sealed_stats["groups"]
+    assert sealed_group["sealed"] and sealed_group["fleet_size"] == 1
+    assert 0 < sealed_group["done_steps"] <= sealed_group["total_steps"]
