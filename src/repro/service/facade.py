@@ -116,8 +116,15 @@ class ServiceClient:
 
         The streaming equivalent of module-level :func:`run` — same
         bit-exact traces — for callers already inside an event loop.
+        The snapshot stream is drained (and discarded) on the caller's
+        behalf: the service only ticks a cohort while every member's
+        bounded stream has space, so awaiting the result without a
+        consumer would stall any run longer than
+        ``max_pending * tick_steps`` samples.
         """
         session = await self.attach(profile, **kwargs)
+        async for _ in session.snapshots():
+            pass
         return await session.result()
 
     async def close(self) -> None:

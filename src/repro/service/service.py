@@ -75,7 +75,7 @@ class _Member:
     """Service-side bookkeeping for one attached client."""
 
     __slots__ = ("client", "session", "rigs", "n", "stream", "windows",
-                 "future", "group", "finalized")
+                 "future", "group", "finalized", "done")
 
     def __init__(self, client: "ClientSession", session: Session,
                  rigs: list, stream: SnapshotStream) -> None:
@@ -85,6 +85,7 @@ class _Member:
         self.n = len(rigs)
         self.stream = stream
         self.windows: list[RunResult] = []
+        self.done = 0  # frozen off the cohort clock at finalize
         self.future: asyncio.Future[RunResult] = (
             asyncio.get_running_loop().create_future())
         # Results are also streamed; never let an unawaited future warn.
@@ -152,10 +153,16 @@ class ClientSession:
 
     @property
     def done_steps(self) -> int:
-        """Engine samples completed for this client so far."""
+        """Engine samples completed for this client so far.
+
+        Frozen at detach/completion: the surviving cohort advancing
+        further does not move a finalized client's count.
+        """
         member = self._member
-        if member is None or member.group is None:
+        if member is None:
             return 0
+        if member.finalized or member.group is None:
+            return member.done
         return member.group.done
 
     @property
@@ -370,24 +377,30 @@ class FleetService:
         session = Session(n_monitors=n_monitors, seed=seed,
                           chunk_size=self._chunk, **session_kwargs)
         session.open()
-        every = resolve_record_every_n(session._dt, snapshot_s,
-                                       record_every_n)
-        if every < 1:
-            raise ConfigurationError("record_every_n must be >= 1")
-        total_steps = int(round(profile.duration_s / session._dt))
-        if total_steps < 1:
-            raise ConfigurationError("profile shorter than one loop tick")
+        try:
+            every = resolve_record_every_n(session._dt, snapshot_s,
+                                           record_every_n)
+            if every < 1:
+                raise ConfigurationError("record_every_n must be >= 1")
+            total_steps = int(round(profile.duration_s / session._dt))
+            if total_steps < 1:
+                raise ConfigurationError("profile shorter than one loop tick")
 
-        self._client_seq += 1
-        client_id = f"c{self._client_seq}"
-        tracer = get_tracer()
-        with tracer.span("service.attach", client=client_id,
-                         n_monitors=n_monitors, seed=seed):
-            context = tracer.current_context()
-            trace_id = (context.trace_id if context is not None
-                        else f"trace-{client_id}")
-            session.calibrate()
-            rigs = [handle.rig for handle in session.monitors]
+            self._client_seq += 1
+            client_id = f"c{self._client_seq}"
+            tracer = get_tracer()
+            with tracer.span("service.attach", client=client_id,
+                             n_monitors=n_monitors, seed=seed):
+                context = tracer.current_context()
+                trace_id = (context.trace_id if context is not None
+                            else f"trace-{client_id}")
+                session.calibrate()
+                rigs = [handle.rig for handle in session.monitors]
+        except BaseException:
+            # Once registered, _finalize owns closing the session; until
+            # then a validation/calibration failure must not leak it.
+            session.close()
+            raise
 
         client = ClientSession(self, client_id, trace_id, seed=int(seed),
                                n_monitors=int(n_monitors),
@@ -497,6 +510,8 @@ class FleetService:
         if member.finalized:
             return
         member.finalized = True
+        if member.group is not None:
+            member.done = member.group.done
         self._members.discard(member)
         if not member.future.done():
             if error is not None:
@@ -600,7 +615,14 @@ class FleetService:
                     if registry.enabled:
                         registry.counter("service.backpressure_stalls").inc()
                     continue
-                self._tick(group)
+                try:
+                    self._tick(group)
+                except Exception as exc:
+                    # _tick maps engine faults itself; anything escaping
+                    # is a service-side bug.  It must still resolve the
+                    # cohort's futures/streams — an exception out of the
+                    # loop task would strand every attached client.
+                    self._fail_group(group, exc)
                 progressed = True
                 await asyncio.sleep(0)
             if not progressed:

@@ -15,8 +15,9 @@ import numpy as np
 import pytest
 
 import repro
-from repro.errors import SensorFault, ServiceError
+from repro.errors import ConfigurationError, SensorFault, ServiceError
 from repro.runtime import RunResult, Session
+from repro.runtime.batch import BatchEngine
 from repro.service import FleetService, Snapshot, SnapshotStream, connect
 from repro.station.profiles import hold, staircase
 
@@ -115,10 +116,13 @@ def test_detach_mid_run_partial_and_survivor_parity():
             async for _ in a.snapshots():
                 pass
             result_a = await a.result()
-        return partial, err.value, result_a, leftovers
+            # b's count froze at detach; survivors advancing cannot move it
+            frozen = b.done_steps
+        return partial, err.value, result_a, leftovers, frozen
 
-    partial, detach_err, result_a, leftovers = asyncio.run(main())
+    partial, detach_err, result_a, leftovers, frozen = asyncio.run(main())
     assert detach_err.reason == "detached"
+    assert frozen == 1400
     assert [snap.seq for snap in leftovers] == [0, 1]
     assert_traces_equal(
         RunResult.concat_time([snap.window for snap in leftovers]), partial)
@@ -196,6 +200,69 @@ def test_engine_crash_propagates_typed_to_all_members():
     assert stats["completed"] == 1
     assert_traces_equal(survivor, standalone(hold(40.0, 0.5),
                                              n_monitors=1, seed=7))
+
+
+def test_unexpected_tick_fault_fails_clients_not_the_loop():
+    """A non-ReproError escaping a tick resolves futures, not kills the loop."""
+
+    def buggy_advance(self, *args, **kwargs):
+        raise RuntimeError("service bug, not an engine fault")
+
+    async def main():
+        async with FleetService(tick_steps=100) as service:
+            doomed = await service.attach(hold(50.0, 0.5), seed=5,
+                                          fast_calibration=True)
+            original = BatchEngine.advance
+            BatchEngine.advance = buggy_advance
+            try:
+                with pytest.raises(RuntimeError):
+                    await doomed.result()
+                with pytest.raises(RuntimeError):
+                    await doomed.snapshot()
+            finally:
+                BatchEngine.advance = original
+            alive = service.running
+            # the loop survived: a fresh cohort still runs to completion
+            fresh = await service.attach(hold(50.0, 0.3), seed=7,
+                                         fast_calibration=True)
+            result = await fresh.result()
+            stats = service.stats()
+        return alive, result, stats
+
+    alive, result, stats = asyncio.run(main())
+    assert alive
+    assert stats["crashed_groups"] == 1 and stats["completed"] == 1
+    assert_traces_equal(result, standalone(hold(50.0, 0.3),
+                                           n_monitors=1, seed=7))
+
+
+def test_attach_validation_failure_closes_the_opened_session(monkeypatch):
+    """A rejected attach must not leak the session it already opened."""
+    from repro.service import service as service_module
+
+    built = []
+
+    class RecordingSession(Session):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            built.append(self)
+
+    monkeypatch.setattr(service_module, "Session", RecordingSession)
+
+    async def main():
+        async with FleetService() as service:
+            with pytest.raises(ConfigurationError):
+                await service.attach(hold(50.0, 0.5), seed=5,
+                                     record_every_n=0,
+                                     fast_calibration=True)
+            with pytest.raises(ConfigurationError):
+                await service.attach(hold(50.0, 1e-4), seed=5,
+                                     fast_calibration=True)
+            return service.stats()
+
+    stats = asyncio.run(main())
+    assert stats["clients"] == 0 and not stats["groups"]
+    assert [session.state for session in built] == ["closed", "closed"]
 
 
 def test_backpressure_bounds_memory_and_drains_to_completion():
@@ -293,6 +360,21 @@ def test_facade_run_and_connect_are_bit_identical():
 
     assert_traces_equal(asyncio.run(main()), oneshot)
     assert_traces_equal(oneshot, standalone(profile, n_monitors=2, seed=17))
+
+
+def test_facade_run_drains_past_the_stream_bound():
+    """client.run on a profile longer than max_pending*tick_steps samples
+    must drain the stream itself — it used to deadlock awaiting result()."""
+    profile = hold(60.0, 2.0)  # 2000 steps = 20 ticks of 100 >> 2 pending
+
+    async def main():
+        async with connect(tick_steps=100, max_pending=2) as client:
+            return await asyncio.wait_for(
+                client.run(profile, seed=13, fast_calibration=True),
+                timeout=60.0)
+
+    assert_traces_equal(asyncio.run(main()),
+                        standalone(profile, n_monitors=1, seed=13))
 
 
 def test_connect_shares_a_resident_service_without_owning_it():
