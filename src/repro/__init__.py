@@ -13,7 +13,9 @@ Layers (bottom up):
   temperature loop, pulsed drive, calibration, flow/direction
   estimation, leak detection;
 * :mod:`repro.baselines` -- Promag 50 and turbine-wheel comparators;
-* :mod:`repro.station` -- the simulated Vinci test line and rig;
+* :mod:`repro.station` -- the simulated Vinci test line and rig, plus
+  scenario campaigns (demand generators + event injection) over
+  ``FleetSpec``-described fleets;
 * :mod:`repro.analysis` -- section-5 metrics and sweep/report helpers;
 * :mod:`repro.runtime` -- fleet-scale sessions over the vectorized
   batch engine and the process-parallel sharded engine;
@@ -63,8 +65,12 @@ from repro.baselines.turbine import TurbineMeter
 from repro.station.scenarios import build_calibrated_monitor, CalibratedSetup, vinci_station
 from repro.station.profiles import hold, staircase, ramp, step, bidirectional_staircase, pressure_peaks
 from repro.station.rig import TestRig, run_calibration
-from repro.runtime import BatchEngine, MonitorHandle, RunResult, Session, \
-    ShardedEngine, run_batch
+from repro.runtime import (BatchEngine, FleetSpec, MixedEngine,
+                           MonitorHandle, RigSpec, RunResult, Session,
+                           ShardedEngine, run_batch)
+from repro.station.campaign import (Event, ScenarioSpec, builtin_scenario,
+                                    household_demand, run_campaign,
+                                    station_demand)
 from repro.service import (ClientSession, FleetService, ServiceClient,
                            Snapshot, connect, run)
 
@@ -105,8 +111,17 @@ __all__ = [
     "MonitorHandle",
     "BatchEngine",
     "ShardedEngine",
+    "MixedEngine",
+    "FleetSpec",
+    "RigSpec",
     "RunResult",
     "run_batch",
+    "Event",
+    "ScenarioSpec",
+    "builtin_scenario",
+    "household_demand",
+    "station_demand",
+    "run_campaign",
     "FleetService",
     "ClientSession",
     "ServiceClient",

@@ -6,6 +6,10 @@
     python -m repro sweep --cal cal.json --levels 0,50,100,250
     python -m repro fleet --n-monitors 8 --workers 4 [--numerics fast]
                           [--out traces.npz]
+    python -m repro fleet --spec fleet.json [--workers 4]
+    python -m repro campaign --duration 6 \
+                             --scenarios baseline,tank_leak,mains_burst
+    python -m repro campaign --spec campaign.json [--out summary.json]
     python -m repro serve --clients 8 --n-monitors 2 [--tick-steps 500]
 
 The CLI mirrors how a bench operator would use the real instrument:
@@ -14,6 +18,13 @@ power-on self-test, a calibration campaign against the reference meter
 calibration.  ``fleet`` runs a whole fleet of monitors at once through
 the batched runtime, optionally sharded across worker processes
 (``--workers``); the traces are bit-identical for any worker count.
+With ``--spec`` the fleet comes from a JSON :class:`FleetSpec` image
+instead of ``--n-monitors``/``--seed``, and a structurally mixed spec
+sub-batches per config group (bit-identical per rig to running its
+group alone).  ``campaign`` runs a scenario campaign — demand-profile
+base load plus injected events (leaks, bursts, freezes, scaling
+episodes) — over a scenario-tagged FleetSpec and prints the per-window
+``run.*`` summary deltas.
 ``serve`` spins up the resident streaming service in-process and drives
 it with concurrent clients — the asyncio demo of the ``repro.connect``
 path, with every client's stream bit-identical to a standalone run.
@@ -97,8 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     flt = sub.add_parser(
         "fleet",
         help="run a fleet through the batched runtime, optionally sharded")
-    flt.add_argument("--n-monitors", type=int, default=4,
-                     help="fleet size (default 4)")
+    flt.add_argument("--spec", type=Path, default=None, metavar="PATH",
+                     help="JSON FleetSpec image (FleetSpec.to_dict); a "
+                          "mixed spec sub-batches per config group. "
+                          "Mutually exclusive with --n-monitors/--seed")
+    flt.add_argument("--n-monitors", type=int, default=None,
+                     help="fleet size (default 4; ignored with --spec)")
     flt.add_argument("--workers", type=int, default=1,
                      help="worker processes; >1 shards the fleet across a "
                           "process pool with bit-identical results "
@@ -107,7 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated staircase speeds [cm/s]")
     flt.add_argument("--dwell", type=float, default=4.0,
                      help="seconds per staircase level")
-    flt.add_argument("--seed", type=int, default=42, help="session seed")
+    flt.add_argument("--seed", type=int, default=None,
+                     help="session seed (default 42; ignored with --spec "
+                          "-- the spec carries its own seed)")
     flt.add_argument("--numerics", choices=list(NUMERICS_MODES),
                      default="exact",
                      help="kernel numerics mode: 'exact' is bit-identical "
@@ -116,6 +133,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "error; default exact)")
     flt.add_argument("--out", type=Path, default=None,
                      help="optional .npz path for the fleet traces")
+
+    cmp = sub.add_parser(
+        "campaign",
+        help="run a scenario campaign (demand base load + injected events)")
+    cmp.add_argument("--spec", type=Path, default=None, metavar="PATH",
+                     help="JSON FleetSpec image with scenario tags; "
+                          "mutually exclusive with --scenarios/"
+                          "--n-per-scenario/--seed")
+    cmp.add_argument("--duration", type=float, default=6.0,
+                     help="campaign horizon [s] (default 6.0)")
+    cmp.add_argument("--scenarios", type=str,
+                     default="baseline,tank_leak,mains_burst",
+                     help="comma-separated builtin scenario names "
+                          "(default baseline,tank_leak,mains_burst)")
+    cmp.add_argument("--n-per-scenario", type=int, default=1,
+                     help="monitors per scenario entry (default 1)")
+    cmp.add_argument("--seed", type=int, default=42, help="fleet seed")
+    cmp.add_argument("--demand", choices=("household", "station"),
+                     default="household",
+                     help="base-load demand generator (default household)")
+    cmp.add_argument("--out", type=Path, default=None,
+                     help="optional JSON path for the campaign summary")
 
     srv = sub.add_parser(
         "serve",
@@ -226,6 +265,11 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fleet_spec(path: Path):
+    from repro.runtime import FleetSpec
+    return FleetSpec.from_dict(json.loads(path.read_text()))
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     try:
         levels = [float(x) for x in args.levels.split(",") if x.strip()]
@@ -236,27 +280,41 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if not levels:
         print("error: no levels given", file=sys.stderr)
         return 2
-    if args.n_monitors < 1:
-        print("error: --n-monitors must be >= 1", file=sys.stderr)
+    if args.spec is not None and (args.n_monitors is not None
+                                  or args.seed is not None):
+        print("error: --spec carries the fleet size and seed; do not "
+              "combine it with --n-monitors/--seed", file=sys.stderr)
         return 2
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
     import time
 
-    from repro.runtime import Session
+    from repro.runtime import FleetSpec, Session
     from repro.station.profiles import staircase
+    if args.spec is not None:
+        spec = _load_fleet_spec(args.spec)
+        desc = (f"fleet spec {args.spec} ({spec.n_monitors} monitors, "
+                f"{len(spec.rigs)} entries, seed {spec.seed})")
+    else:
+        n_monitors = 4 if args.n_monitors is None else args.n_monitors
+        if n_monitors < 1:
+            print("error: --n-monitors must be >= 1", file=sys.stderr)
+            return 2
+        spec = FleetSpec.homogeneous(
+            n_monitors, seed=42 if args.seed is None else args.seed,
+            use_pulsed_drive=False, fast_calibration=True)
+        desc = f"fleet of {n_monitors} monitors"
     profile = staircase(levels, dwell_s=args.dwell)
-    print(f"fleet of {args.n_monitors} monitors, {args.workers} worker(s), "
+    print(f"{desc}, {args.workers} worker(s), "
           f"staircase {levels} cm/s, numerics={args.numerics} ...")
-    with Session(n_monitors=args.n_monitors, seed=args.seed,
-                 use_pulsed_drive=False, fast_calibration=True) as session:
+    with Session(fleet=spec) as session:
         session.calibrate()
         t0 = time.perf_counter()
         result = session.run(profile, workers=args.workers,
                              numerics=args.numerics)
         elapsed = time.perf_counter() - t0
-    samples = int(profile.duration_s * 1000.0) * args.n_monitors
+    samples = int(profile.duration_s * 1000.0) * spec.n_monitors
     print(f"ran {profile.duration_s:.1f} s x {result.n_monitors} monitors "
           f"in {elapsed:.2f} s wall "
           f"({samples / max(elapsed, 1e-9) / 1e3:.0f} ksamples/s)")
@@ -267,6 +325,60 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         result.save(args.out)
         print(f"{len(result)} ticks x {result.n_monitors} monitors "
               f"written to {args.out}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.runtime import FleetSpec, RigSpec
+    from repro.station.campaign import SCENARIO_NAMES, run_campaign
+    if args.spec is not None:
+        spec = _load_fleet_spec(args.spec)
+    else:
+        names = [x.strip() for x in args.scenarios.split(",") if x.strip()]
+        if not names:
+            print("error: no scenarios given", file=sys.stderr)
+            return 2
+        unknown = sorted(set(names) - set(SCENARIO_NAMES))
+        if unknown:
+            print(f"error: unknown scenarios {unknown}; "
+                  f"builtins are {list(SCENARIO_NAMES)}", file=sys.stderr)
+            return 2
+        if args.n_per_scenario < 1:
+            print("error: --n-per-scenario must be >= 1", file=sys.stderr)
+            return 2
+        spec = FleetSpec(
+            rigs=tuple(RigSpec(count=args.n_per_scenario,
+                               scenario=None if name == "baseline" else name,
+                               use_pulsed_drive=False, fast_calibration=True)
+                       for name in names),
+            seed=args.seed)
+    print(f"campaign: {spec.n_monitors} monitors, "
+          f"{len(spec.rigs)} entries, {args.duration:.1f} s, "
+          f"{args.demand} demand ...")
+    report = run_campaign(spec, duration_s=args.duration, demand=args.demand)
+    for group in report.groups:
+        print(f"\nscenario {group['scenario']!r}  "
+              f"config {group['config_key']}  "
+              f"positions {list(group['positions'])}")
+        print(f"  {'window [s]':>16}  {'events':<24}  "
+              f"{'d speed [cm/s]':>14}  {'d press [kPa]':>13}")
+        for window in group["windows"]:
+            span = f"{window['start_s']:.2f}-{window['end_s']:.2f}"
+            active = ",".join(window["active"]) or "-"
+            d_speed = window["deltas"]["run.measured_mps"] * 100.0
+            d_press = window["deltas"]["run.pressure_pa"] / 1e3
+            print(f"  {span:>16}  {active:<24}  "
+                  f"{d_speed:>14.2f}  {d_press:>13.2f}")
+    if report.days:
+        print(f"\n{'day':>4}  {'measured [cm/s]':>15}  {'pressure [kPa]':>14}")
+        for day in report.days:
+            means = day["means"]
+            print(f"{day['day']:>4}  "
+                  f"{means['run.measured_mps'] * 100.0:>15.2f}  "
+                  f"{means['run.pressure_pa'] / 1e3:>14.2f}")
+    if args.out is not None:
+        args.out.write_text(json.dumps(report.summary(), indent=2) + "\n")
+        print(f"\ncampaign summary written to {args.out}")
     return 0
 
 
@@ -338,6 +450,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "record": _cmd_record,
     "fleet": _cmd_fleet,
+    "campaign": _cmd_campaign,
     "serve": _cmd_serve,
 }
 

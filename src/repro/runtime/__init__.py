@@ -14,6 +14,15 @@
   fallback on worker failure,
 - :class:`RunResult` — stacked ``(N, M)`` traces with scalar
   ``RigRecord`` rehydration and shard-block concatenation,
+- :class:`MixedEngine` (:mod:`repro.runtime.mixed`) — group-by-config
+  sub-batching for *structurally heterogeneous* fleets: rigs are
+  partitioned into config-equivalence groups (:func:`config_group_key`
+  / :func:`fleet_groups`), each group runs on its own ``BatchEngine``,
+  and the blocks interleave back into caller order bit-identically,
+- :class:`FleetSpec` / :class:`RigSpec` (:mod:`repro.runtime.spec`) —
+  the one declarative fleet description (per-rig config + count + seed
+  + scenario) accepted by ``run_batch``, ``Session``,
+  ``characterize_meter_pool``, the service facade and the CLI,
 - :class:`Numerics` (:mod:`repro.runtime.kernels`) — the numerics
   policy behind the unified ``numerics="exact" | "fast"`` knob every
   run surface accepts (see ``docs/performance.md``).
@@ -25,12 +34,16 @@ bit-identical outputs on shared seeds.
 
 from repro.runtime.batch import BatchEngine, run_batch
 from repro.runtime.kernels import NUMERICS_MODES, Numerics, resolve_numerics
+from repro.runtime.mixed import MixedEngine, config_group_key, fleet_groups
 from repro.runtime.parallel import (ShardedEngine, partition_monitors,
                                     resolve_workers, spawn_monitor_seeds)
 from repro.runtime.result import RunResult
 from repro.runtime.session import MonitorHandle, Session
+from repro.runtime.spec import FleetSpec, RigSpec
 
 __all__ = ["BatchEngine", "run_batch", "RunResult", "Session",
            "MonitorHandle", "ShardedEngine", "partition_monitors",
            "resolve_workers", "spawn_monitor_seeds",
+           "MixedEngine", "config_group_key", "fleet_groups",
+           "FleetSpec", "RigSpec",
            "NUMERICS_MODES", "Numerics", "resolve_numerics"]

@@ -39,8 +39,11 @@ Fleets must be *structurally homogeneous* (same configs modulo seeds);
 per-monitor diversity enters only through realized component values
 (resistor tolerances, DAC mismatch, calibration constants, housing
 state, noise streams).  Heterogeneous fleets are refused with
-:class:`~repro.errors.ConfigurationError` rather than silently
-mis-simulated.
+:class:`~repro.errors.ConfigurationError` (``reason="heterogeneous"``,
+naming the offending config-group keys) — route them through
+:class:`repro.runtime.mixed.MixedEngine`, which sub-batches per config
+group and merges bit-identically, or describe the fleet with a
+:class:`repro.runtime.FleetSpec` and let :func:`run_batch` dispatch.
 """
 
 from __future__ import annotations
@@ -133,6 +136,22 @@ class BatchEngine:
     def _validate(self) -> None:
         """Refuse fleets the vectorized path cannot reproduce bit-exactly."""
         rigs = self._rigs
+        if len(rigs) > 1:
+            # Lead with one structured check so a mixed fleet gets a
+            # diagnosable error naming its config groups, not whichever
+            # pairwise mismatch below happens to trip first.
+            from repro.runtime.mixed import fleet_groups  # lazy: mixed imports us
+            try:
+                groups = fleet_groups(rigs)
+            except Exception:
+                groups = {}  # fall through to the precise checks below
+            if len(groups) > 1:
+                raise ConfigurationError(
+                    "fleet is heterogeneous: config groups "
+                    f"{sorted(groups)} cannot share one BatchEngine; use "
+                    "repro.runtime.MixedEngine (or a FleetSpec via "
+                    "run_batch/Session) to sub-batch per group",
+                    reason="heterogeneous")
         mon0 = rigs[0].monitor
         sen0 = mon0.sensor
         cfg0 = replace(sen0.config, seed=0)
@@ -1377,23 +1396,54 @@ class BatchEngine:
         return result
 
 
-def run_batch(rigs: list[TestRig], profile: Profile,
+def run_batch(rigs, profile: Profile,
               record_every_n: int = 20, chunk_size: int = 1024,
               workers: int | None = None,
               numerics: str = "exact") -> RunResult:
-    """One-shot convenience: build an engine and run it.
+    """One-shot convenience: build the right engine and run it.
 
-    With ``workers`` left at None (or 1) this builds a serial
-    :class:`BatchEngine`; with ``workers > 1`` the fleet is partitioned
-    across worker processes by :class:`repro.runtime.parallel.ShardedEngine`,
-    whose merged result is bit-identical to the serial path.
-    ``numerics`` selects the kernel mode (``"exact"`` — the default,
-    bit-identical — or ``"fast"``) on whichever engine runs.
+    ``rigs`` is either a rig list or a
+    :class:`repro.runtime.FleetSpec` (materialized here, seeds and
+    all).  A structurally heterogeneous fleet is routed through
+    :class:`repro.runtime.mixed.MixedEngine` — per-config-group
+    sub-batching, results interleaved back into caller order
+    bit-identically; a homogeneous fleet takes the classic
+    :class:`BatchEngine` path.  With ``workers > 1`` the fleet (or each
+    config group) is partitioned across worker processes by
+    :class:`repro.runtime.parallel.ShardedEngine`, whose merged result
+    is bit-identical to the serial path.  ``numerics`` selects the
+    kernel mode (``"exact"`` — the default, bit-identical — or
+    ``"fast"``) on whichever engine runs.
 
     The rigs are consumed (see the module docstring); build fresh rigs
     for repeat runs or use :class:`repro.runtime.Session`, which
     re-materializes monitors from cached calibrations.
+
+    Raises
+    ------
+    ConfigurationError
+        If a :class:`FleetSpec` carries scenarios (those belong to
+        :func:`repro.station.run_campaign`), plus everything the
+        engines refuse.
     """
+    if not isinstance(rigs, list):
+        # Duck-typed FleetSpec path (lazy import: spec.py imports parallel,
+        # which imports this module).
+        from repro.runtime.spec import FleetSpec
+        if isinstance(rigs, FleetSpec):
+            if rigs.has_scenarios:
+                raise ConfigurationError(
+                    "this FleetSpec carries scenarios; run it with "
+                    "repro.station.run_campaign, which owns event "
+                    "injection")
+            rigs = rigs.materialize()
+        else:
+            rigs = list(rigs)
+    from repro.runtime.mixed import MixedEngine, fleet_groups
+    if len(rigs) > 1 and len(fleet_groups(rigs)) > 1:
+        return MixedEngine(rigs, chunk_size=chunk_size,
+                           numerics=numerics).run(
+            profile, record_every_n=record_every_n, workers=workers)
     if workers is not None and workers != 1:
         # Imported lazily: parallel.py itself imports this module.
         from repro.runtime.parallel import ShardedEngine

@@ -194,36 +194,23 @@ class RunResult:
                     f"run archive missing traces {missing}")
             return cls(**{name: data[name] for name in fields})
 
-    @classmethod
-    def concat(cls, parts: list["RunResult"]) -> "RunResult":
-        """Stack fleet blocks row-wise (monitor axis 0), in list order.
+    def provenance(self) -> list[tuple]:
+        """Per-row source labels attached by a permutation-aware merge.
 
-        This is the merge step of the sharded runtime: each worker
-        returns the ``(N_shard, M)`` block for its contiguous slice of
-        the fleet, and concatenating the blocks in shard order restores
-        the serial fleet layout exactly.
-
-        Raises
-        ------
-        ConfigurationError
-            If the list is empty or the parts' time bases are not
-            bit-identical (shards of one run share the profile clock).
+        A :meth:`concat` over the fleet axis with explicit ``indices``
+        records, for each destination row, the ``(part, row)`` pair it
+        came from (the :class:`~repro.runtime.mixed.MixedEngine`
+        relabels ``part`` with the group's config key).  Like the
+        profile report this lives on the instance only: archives and
+        equality stay byte-identical with or without it.  Returns
+        ``[]`` when no provenance was attached.
         """
-        if not parts:
-            raise ConfigurationError("need at least one block to concatenate")
-        time_s = np.asarray(parts[0].time_s)
-        for part in parts[1:]:
-            if not np.array_equal(np.asarray(part.time_s), time_s):
-                raise ConfigurationError(
-                    "blocks must share an identical time base")
-        merged = cls(
-            time_s=time_s.copy(),
-            **{name: np.concatenate(
-                [np.asarray(getattr(p, name)) for p in parts], axis=0)
-               for name in cls.STACKED_FIELDS},
-        )
-        # Profiled blocks sum their per-stage reports: the merged fleet
-        # report attributes time the same way a serial profiled run does.
+        return list(getattr(self, "_provenance", []))
+
+    @staticmethod
+    def _merge_profiles(merged: "RunResult",
+                        parts: list["RunResult"]) -> "RunResult":
+        """Sum the parts' per-stage profile reports onto ``merged``."""
         stages: dict[str, dict] = {}
         for part in parts:
             for name, values in part.profile().items():
@@ -237,22 +224,101 @@ class RunResult:
         return merged
 
     @classmethod
-    def concat_time(cls, parts: list["RunResult"]) -> "RunResult":
-        """Join windows of one run end to end (time axis 1), in order.
+    def concat(cls, parts: list["RunResult"], axis: str = "fleet",
+               indices: list[list[int]] | None = None) -> "RunResult":
+        """The one merge entry point, over the fleet or the time axis.
 
-        This is the stitch step of the streaming service: each
-        :meth:`BatchEngine.advance` window hands back the ticks it
-        recorded, and joining the windows in advance order restores the
-        uninterrupted run exactly.  Zero-tick windows (shorter than the
-        decimation stride) contribute nothing and are legal anywhere in
-        the list.
+        ``axis="fleet"`` stacks blocks row-wise (monitor axis 0) — the
+        merge step of the sharded runtime, where each worker returns the
+        ``(N_shard, M)`` block for its contiguous slice of the fleet and
+        list order restores the serial layout.  With ``indices`` the
+        merge is *permutation-aware*: ``indices[p][r]`` is the
+        destination row of part ``p``'s row ``r``, the index lists must
+        jointly be a permutation of ``range(total_rows)``, and the
+        merged result carries per-row :meth:`provenance` — this is how
+        the :class:`~repro.runtime.mixed.MixedEngine` interleaves
+        config-group blocks back into caller order.
+
+        ``axis="time"`` joins windows of one run end to end (time
+        axis 1) — the stitch step of the streaming service, where each
+        :meth:`BatchEngine.advance <repro.runtime.batch.BatchEngine.advance>`
+        window hands back the ticks it recorded and joining them in
+        advance order restores the uninterrupted run exactly.
+        Zero-tick windows contribute nothing and are legal anywhere.
+        :meth:`concat_time` is a thin alias for this spelling.
 
         Raises
         ------
         ConfigurationError
-            If the list is empty, the parts disagree on fleet size, or
-            time does not increase strictly across window boundaries.
+            If the list is empty or the axis is unknown; for
+            ``"fleet"``, if the time bases are not bit-identical or
+            ``indices`` is not a valid permutation cover; for
+            ``"time"``, if the windows disagree on fleet size or time
+            does not increase strictly across boundaries (``indices``
+            is refused — rows never permute across windows).
         """
+        if axis == "time":
+            if indices is not None:
+                raise ConfigurationError(
+                    "indices apply to the fleet axis only")
+            return cls._concat_time(parts)
+        if axis != "fleet":
+            raise ConfigurationError(
+                f"unknown concat axis {axis!r}; use 'fleet' or 'time'")
+        if not parts:
+            raise ConfigurationError("need at least one block to concatenate")
+        time_s = np.asarray(parts[0].time_s)
+        for part in parts[1:]:
+            if not np.array_equal(np.asarray(part.time_s), time_s):
+                raise ConfigurationError(
+                    "blocks must share an identical time base")
+        if indices is None:
+            merged = cls(
+                time_s=time_s.copy(),
+                **{name: np.concatenate(
+                    [np.asarray(getattr(p, name)) for p in parts], axis=0)
+                   for name in cls.STACKED_FIELDS},
+            )
+            return cls._merge_profiles(merged, parts)
+        if len(indices) != len(parts):
+            raise ConfigurationError(
+                f"need one index list per block "
+                f"({len(parts)} blocks, {len(indices)} lists)")
+        total = sum(p.n_monitors for p in parts)
+        seen: set[int] = set()
+        for part, rows in zip(parts, indices):
+            if len(rows) != part.n_monitors:
+                raise ConfigurationError(
+                    f"index list length {len(rows)} does not match the "
+                    f"block's {part.n_monitors} monitors")
+            for j in rows:
+                j = int(j)
+                if not 0 <= j < total:
+                    raise ConfigurationError(
+                        f"destination row {j} out of range [0, {total})")
+                if j in seen:
+                    raise ConfigurationError(
+                        f"destination row {j} assigned twice")
+                seen.add(j)
+        fields = {}
+        for name in cls.STACKED_FIELDS:
+            first = np.asarray(getattr(parts[0], name))
+            out = np.empty((total,) + first.shape[1:], dtype=first.dtype)
+            for part, rows in zip(parts, indices):
+                out[np.asarray(rows, dtype=int)] = \
+                    np.asarray(getattr(part, name))
+            fields[name] = out
+        merged = cls(time_s=time_s.copy(), **fields)
+        provenance: list[tuple] = [()] * total
+        for p, rows in enumerate(indices):
+            for r, j in enumerate(rows):
+                provenance[int(j)] = (p, r)
+        merged._provenance = provenance
+        return cls._merge_profiles(merged, parts)
+
+    @classmethod
+    def _concat_time(cls, parts: list["RunResult"]) -> "RunResult":
+        """The time-axis merge behind ``concat(axis="time")``."""
         if not parts:
             raise ConfigurationError("need at least one window to concatenate")
         n = parts[0].n_monitors
@@ -273,17 +339,14 @@ class RunResult:
                 [np.asarray(getattr(p, name)) for p in parts], axis=1)
                for name in cls.STACKED_FIELDS},
         )
-        stages: dict[str, dict] = {}
-        for part in parts:
-            for name, values in part.profile().items():
-                totals = stages.setdefault(
-                    name, {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0})
-                totals["calls"] += int(values.get("calls", 0))
-                totals["wall_s"] += float(values.get("wall_s", 0.0))
-                totals["cpu_s"] += float(values.get("cpu_s", 0.0))
-        if stages:
-            merged.attach_profile(stages)
-        return merged
+        return cls._merge_profiles(merged, parts)
+
+    @classmethod
+    def concat_time(cls, parts: list["RunResult"]) -> "RunResult":
+        """Thin alias for ``concat(parts, axis="time")`` (kept for
+        existing callers; :meth:`concat` is the documented entry
+        point)."""
+        return cls.concat(parts, axis="time")
 
     @classmethod
     def from_records(cls, records: list[RigRecord]) -> "RunResult":
@@ -308,3 +371,9 @@ class RunResult:
                                for r in records])
                for name in cls.STACKED_FIELDS},
         )
+
+
+# Single-source marker asserted by tests/test_api_quality.py: the legacy
+# window-stitch spelling is a thin alias of concat(axis="time"), not a
+# second implementation.
+RunResult.concat_time.__func__._alias_of = "concat"

@@ -24,8 +24,6 @@ import time
 import warnings
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import ConfigurationError, SessionError
 from repro.observability import (get_event_log, get_profiler,
                                  get_registry, get_tracer)
@@ -34,6 +32,7 @@ from repro.conditioning.monitor import WaterFlowMonitor
 from repro.runtime.batch import BatchEngine
 from repro.runtime.kernels import resolve_numerics
 from repro.runtime.result import RunResult
+from repro.runtime.spec import FleetSpec, warn_once
 from repro.station.profiles import Profile
 from repro.station.rig import TestRig
 from repro.station.scenarios import build_calibrated_monitor, \
@@ -97,48 +96,92 @@ class Session:
 
     Parameters
     ----------
+    fleet:
+        A :class:`~repro.runtime.FleetSpec` describing the fleet —
+        possibly *mixed* (entries with different build configurations);
+        :meth:`run` sub-batches a mixed fleet per config group through
+        :class:`repro.runtime.mixed.MixedEngine`, bit-identical per rig
+        to running its group alone.  Mutually exclusive with every
+        other fleet-shape argument below; scenario-bearing specs are
+        refused (events belong to :func:`repro.station.run_campaign`).
     n_monitors:
-        Fleet size.
+        Fleet size (classic homogeneous spelling; default 1).
     seed:
         Session seed; per-monitor seeds are spawned from it with
         :class:`numpy.random.SeedSequence`, so fleets with different
-        sizes share the leading monitors' realizations.
+        sizes share the leading monitors' realizations (default 42).
     loop_rate_hz / overtemperature_k / output_bandwidth_hz /
-    use_pulsed_drive / calibration_speeds_cmps / fast_calibration:
-        Forwarded to :func:`repro.station.scenarios.build_calibrated_monitor`.
+    use_pulsed_drive / calibration_speeds_cmps / fast_calibration /
     use_cache:
-        Reuse cached calibrations for repeat builds (default True).
+        Forwarded to
+        :func:`repro.station.scenarios.build_calibrated_monitor`.
+
+        .. deprecated:: 1.2
+            Per-call build kwargs are deprecated (removed in 2.0) —
+            describe the build in a
+            :class:`~repro.runtime.FleetSpec` and pass ``fleet=``.
+            They warn once per process and keep working bit-identically
+            (``Session(fleet=FleetSpec.homogeneous(n, seed, **build))``
+            is the same fleet).
     chunk_size:
         Batch-engine noise pre-draw block length.
     """
 
-    def __init__(self, n_monitors: int = 1, seed: int = 42, *,
-                 loop_rate_hz: float = 1000.0,
-                 overtemperature_k: float = 5.0,
-                 output_bandwidth_hz: float = 0.1,
-                 use_pulsed_drive: bool = True,
+    def __init__(self, n_monitors: int | None = None,
+                 seed: int | None = None, *,
+                 fleet: FleetSpec | None = None,
+                 loop_rate_hz: float | None = None,
+                 overtemperature_k: float | None = None,
+                 output_bandwidth_hz: float | None = None,
+                 use_pulsed_drive: bool | None = None,
                  calibration_speeds_cmps: list[float] | None = None,
-                 fast_calibration: bool = False,
-                 use_cache: bool = True,
+                 fast_calibration: bool | None = None,
+                 use_cache: bool | None = None,
                  chunk_size: int = 1024) -> None:
-        if n_monitors < 1:
-            raise ConfigurationError("session needs at least one monitor")
-        self.n_monitors = int(n_monitors)
-        self.seed = int(seed)
-        self._build_kwargs = dict(
+        build = dict(
             loop_rate_hz=loop_rate_hz,
             overtemperature_k=overtemperature_k,
             output_bandwidth_hz=output_bandwidth_hz,
             use_pulsed_drive=use_pulsed_drive,
             calibration_speeds_cmps=calibration_speeds_cmps,
-            fast=fast_calibration,
+            fast_calibration=fast_calibration,
             use_cache=use_cache,
         )
+        explicit = {k: v for k, v in build.items() if v is not None}
+        if fleet is not None:
+            if n_monitors is not None or seed is not None or explicit:
+                raise ConfigurationError(
+                    "fleet= fully describes the fleet; do not combine it "
+                    "with n_monitors/seed or per-call build kwargs")
+            if fleet.has_scenarios:
+                raise ConfigurationError(
+                    "this FleetSpec carries scenarios; run it with "
+                    "repro.station.run_campaign, which owns event "
+                    "injection")
+            self._fleet = fleet
+        else:
+            if explicit:
+                warn_once(
+                    "session-build-kwargs",
+                    "per-call build kwargs on Session "
+                    f"({', '.join(sorted(explicit))}) are deprecated and "
+                    "will be removed in repro 2.0; describe the fleet "
+                    "with repro.runtime.FleetSpec and pass "
+                    "Session(fleet=...)")
+            n = 1 if n_monitors is None else int(n_monitors)
+            if n < 1:
+                raise ConfigurationError(
+                    "session needs at least one monitor")
+            self._fleet = FleetSpec.homogeneous(
+                n, seed=42 if seed is None else int(seed), **explicit)
+        self.n_monitors = self._fleet.n_monitors
+        self.seed = int(self._fleet.seed)
+        self._build_kwargs = self._fleet.rigs[0].build_kwargs()
         self._chunk = int(chunk_size)
         self._state = "new"
         self._seeds: list[int] = []
         self._handles: list[MonitorHandle] = []
-        self._dt = 1.0 / float(loop_rate_hz)
+        self._dt = self._fleet.dt_s
         self._timings: dict[str, float] = {}
         self._runs = 0
 
@@ -160,9 +203,7 @@ class Session:
         self._expect("new")
         t0 = time.perf_counter()
         with get_tracer().span("session.open", n_monitors=self.n_monitors):
-            children = np.random.SeedSequence(self.seed).spawn(self.n_monitors)
-            self._seeds = [int(child.generate_state(1)[0])
-                           for child in children]
+            self._seeds = self._fleet.monitor_seeds()
             self._state = "open"
         self._timings["open_s"] = time.perf_counter() - t0
         get_event_log().emit("session.state", state="open",
@@ -213,11 +254,15 @@ class Session:
             returns ``RunResult.summary()`` (pooled statistics keyed by
             registry metric names).
         engine:
-            ``"batch"`` uses the vectorized :class:`BatchEngine`;
-            ``"scalar"`` runs each rig through the per-sample reference
-            path and stacks the records.  Both start from freshly
-            materialized rigs, so with the same seeds the two engines
-            return bit-identical traces.
+            ``"batch"`` uses the vectorized :class:`BatchEngine` — or,
+            when the session's :class:`~repro.runtime.FleetSpec` is
+            structurally mixed, the per-config-group
+            :class:`repro.runtime.mixed.MixedEngine` (bit-identical per
+            rig to running its group alone); ``"scalar"`` runs each rig
+            through the per-sample reference path and stacks the
+            records.  Both start from freshly materialized rigs, so
+            with the same seeds the engines return bit-identical
+            traces.
         workers:
             With ``engine="batch"`` and ``workers > 1`` the fleet is
             partitioned across that many worker processes by
@@ -280,7 +325,18 @@ class Session:
                                n_monitors=self.n_monitors):
             self._handles = self._materialize()
             rigs = [handle.rig for handle in self._handles]
-            if engine == "batch" and workers is not None and workers != 1:
+            mixed = False
+            if engine == "batch" and len(self._fleet.rigs) > 1:
+                # A multi-entry spec may be structurally mixed; group on
+                # the materialized rigs (entries that differ only in
+                # realized values still share one BatchEngine).
+                from repro.runtime.mixed import MixedEngine, fleet_groups
+                mixed = len(fleet_groups(rigs)) > 1
+            if mixed:
+                result = MixedEngine(
+                    rigs, chunk_size=self._chunk, numerics=mode).run(
+                    profile, record_every_n=every, workers=workers)
+            elif engine == "batch" and workers is not None and workers != 1:
                 from repro.runtime.parallel import ShardedEngine
                 result = ShardedEngine(
                     rigs, workers=workers, chunk_size=self._chunk,
@@ -355,11 +411,13 @@ class Session:
         self.close()
 
     def _materialize(self) -> list[MonitorHandle]:
+        """Build fresh handles from the per-position seeds and specs."""
         return [
             MonitorHandle(index=i, seed=s,
                           monitor=setup.monitor, rig=setup.rig,
                           calibration=setup.calibration)
-            for i, s in enumerate(self._seeds)
+            for i, (s, entry) in enumerate(zip(self._seeds,
+                                               self._fleet.flat()))
             for setup in (build_calibrated_monitor(seed=s,
-                                                   **self._build_kwargs),)
+                                                   **entry.build_kwargs()),)
         ]

@@ -27,7 +27,8 @@ from repro.station.profiles import Profile
 __all__ = ["ServiceClient", "connect", "run"]
 
 
-def run(profile: Profile, *, n_monitors: int = 1, seed: int = 42,
+def run(profile: Profile, *, fleet=None,
+        n_monitors: int | None = None, seed: int | None = None,
         snapshot_s: float | None = None, collect: str = "result",
         engine: str = "batch", workers: int | None = None,
         numerics: str = "exact", record_every_n: int | None = None,
@@ -44,20 +45,28 @@ def run(profile: Profile, *, n_monitors: int = 1, seed: int = 42,
                                            dwell_s=4.0),
                            n_monitors=8, seed=7)
 
-    All keyword parameters mirror :meth:`repro.runtime.Session.run`
-    (``snapshot_s``/``record_every_n`` cadence, ``collect``, ``engine``,
-    ``workers``, ``numerics``); ``session_kwargs`` forward to the
-    Session constructor (``loop_rate_hz``, ``use_pulsed_drive``,
-    ``fast_calibration``, ...).  Traces are bit-identical to what a
+    The fleet is described either by ``fleet=`` (a
+    :class:`~repro.runtime.FleetSpec`, possibly mixed — a structurally
+    heterogeneous fleet sub-batches per config group, bit-identical per
+    rig to running its group alone) or by the legacy
+    ``n_monitors``/``seed``/``session_kwargs`` spelling (``loop_rate_hz``,
+    ``use_pulsed_drive``, ``fast_calibration``, ... — deprecated at the
+    Session layer in favor of ``fleet=``).  All other keywords mirror
+    :meth:`repro.runtime.Session.run` (``snapshot_s``/``record_every_n``
+    cadence, ``collect``, ``engine``, ``workers``, ``numerics``).
+    Traces are bit-identical to what a
     :meth:`~repro.service.service.FleetService` client streaming the
     same config/seed/profile would stitch together.
 
     Raises
     ------
     ConfigurationError
-        For invalid knobs (propagated from the session layer).
+        For invalid knobs (propagated from the session layer), and for
+        ``fleet=`` combined with the legacy fleet kwargs or a
+        scenario-bearing spec (campaigns belong to
+        :func:`repro.station.run_campaign`).
     """
-    with Session(n_monitors=n_monitors, seed=seed,
+    with Session(n_monitors, seed, fleet=fleet,
                  **session_kwargs) as session:
         session.calibrate()
         return session.run(profile, snapshot_s=snapshot_s, collect=collect,

@@ -1,17 +1,21 @@
 """The resident fleet service: many client sessions, shared engine ticks.
 
 :class:`FleetService` is a long-lived asyncio component that multiplexes
-concurrent client runs onto shared :class:`~repro.runtime.batch.BatchEngine`
-advances.  Clients :meth:`~FleetService.attach` a profile with their own
-fleet size and seed; the service groups clients whose configuration can
-share one homogeneous engine (same session build knobs, profile, cadence
-and numerics) into *cohorts*, advances each cohort in bounded tick
-slices, and streams every client its own rows of each window through a
-bounded :class:`~repro.service.streams.SnapshotStream`.
+concurrent client runs onto shared engine advances.  Clients
+:meth:`~FleetService.attach` a profile with their own fleet description
+(a :class:`~repro.runtime.FleetSpec`, or the legacy size/seed/build
+kwargs); the service groups clients who share a profile, cadence, loop
+rate and numerics into *cohorts* — build configurations may differ
+freely, because each cohort runs on a
+:class:`~repro.runtime.mixed.MixedEngine` that sub-batches per config
+group — advances each cohort in bounded tick slices, and streams every
+client its own rows of each window through a bounded
+:class:`~repro.service.streams.SnapshotStream`.
 
 The engine guarantees the service leans on (see
 :meth:`BatchEngine.advance <repro.runtime.batch.BatchEngine.advance>` and
-:meth:`BatchEngine.drop <repro.runtime.batch.BatchEngine.drop>`):
+:meth:`BatchEngine.drop <repro.runtime.batch.BatchEngine.drop>`, which
+:class:`~repro.runtime.mixed.MixedEngine` mirrors per config group):
 
 - advancing in arbitrary tick slices is bit-identical to one
   uninterrupted run, so streamed windows concatenate into exactly the
@@ -37,9 +41,10 @@ import numpy as np
 
 from repro.errors import ConfigurationError, ReproError, ServiceError
 from repro.observability import get_event_log, get_registry, get_tracer
-from repro.runtime.batch import BatchEngine
+from repro.runtime.mixed import MixedEngine
 from repro.runtime.result import RunResult
 from repro.runtime.session import Session, resolve_record_every_n
+from repro.runtime.spec import FleetSpec
 from repro.runtime.kernels import resolve_numerics
 from repro.service.streams import Snapshot, SnapshotStream
 from repro.station.profiles import Profile
@@ -96,7 +101,10 @@ class _Member:
 
 
 class _Group:
-    """One cohort: clients homogeneous enough to share a BatchEngine.
+    """One cohort: clients sharing a profile, cadence, loop rate and
+    numerics — build configurations may differ, the cohort engine is a
+    :class:`~repro.runtime.mixed.MixedEngine` sub-batching per config
+    group.
 
     A cohort is *open* while its engine is unbuilt — attaches with the
     same key keep joining.  The first tick seals it (builds the engine
@@ -119,7 +127,7 @@ class _Group:
         self.chunk_size = chunk_size
         self.total_steps = total_steps
         self.members: list[_Member] = []
-        self.engine: BatchEngine | None = None
+        self.engine: MixedEngine | None = None
         self.done = 0
 
     def ready(self) -> bool:
@@ -341,41 +349,61 @@ class FleetService:
 
     # -- client surface ------------------------------------------------------
 
-    async def attach(self, profile: Profile, *, n_monitors: int = 1,
-                     seed: int = 42, snapshot_s: float | None = None,
+    async def attach(self, profile: Profile, *,
+                     fleet: FleetSpec | None = None,
+                     n_monitors: int | None = None,
+                     seed: int | None = None,
+                     snapshot_s: float | None = None,
                      record_every_n: int | None = None,
                      numerics: str = "exact",
                      **session_kwargs) -> ClientSession:
         """Join the service with a profile; returns the client handle.
 
         Builds (and calibrates) a :class:`~repro.runtime.Session` for
-        ``n_monitors``/``seed``/``session_kwargs`` — the same
-        deterministic materialization a standalone run uses, which is
-        what makes the streamed rows bit-identical to ``Session.run`` —
-        then queues the rigs into an *open* cohort of clients sharing
-        this configuration, profile, cadence and numerics.  The cohort
-        seals at its first tick; every client attached before that
-        (e.g. an attach storm racing the loop) lands in one shared
-        engine.
+        the client's fleet — preferably a
+        :class:`~repro.runtime.FleetSpec` via ``fleet=`` (possibly
+        mixed), or the legacy ``n_monitors``/``seed``/``session_kwargs``
+        spelling — the same deterministic materialization a standalone
+        run uses, which is what makes the streamed rows bit-identical
+        to ``Session.run`` — then queues the rigs into an *open* cohort
+        of clients sharing this profile, cadence, loop rate and
+        numerics.  Build configurations may differ across a cohort's
+        members: the cohort engine sub-batches per config group
+        (:class:`~repro.runtime.mixed.MixedEngine`), bit-identical per
+        rig to a cohort of its own.  The cohort seals at its first
+        tick; every client attached before that (e.g. an attach storm
+        racing the loop) lands in one shared engine.
 
         Parameters mirror :meth:`repro.runtime.Session.run` where they
         overlap (``snapshot_s`` / ``record_every_n`` cadence,
         ``numerics``); ``session_kwargs`` forward to the Session
         constructor (``loop_rate_hz``, ``use_pulsed_drive``,
-        ``fast_calibration``, ...).
+        ``fast_calibration``, ... — deprecated there in favor of
+        ``fleet=``, warning once per process).
 
         Raises
         ------
         ServiceError
             If the service was stopped (``reason="stopped"``).
         ConfigurationError
-            For an empty profile or conflicting cadence spellings.
+            For an empty profile, conflicting cadence spellings, or
+            ``fleet=`` combined with the legacy fleet kwargs.
         """
         if self._stopped:
             raise ServiceError("service stopped", reason="stopped")
         mode = resolve_numerics(numerics)
-        session = Session(n_monitors=n_monitors, seed=seed,
-                          chunk_size=self._chunk, **session_kwargs)
+        if fleet is not None:
+            # Session refuses fleet= + legacy kwargs with the precise
+            # error; just forward both spellings.
+            session = Session(n_monitors, seed, fleet=fleet,
+                              chunk_size=self._chunk, **session_kwargs)
+        else:
+            session = Session(n_monitors=1 if n_monitors is None
+                              else n_monitors,
+                              seed=42 if seed is None else seed,
+                              chunk_size=self._chunk, **session_kwargs)
+        n_monitors = session.n_monitors
+        seed = session.seed
         session.open()
         try:
             every = resolve_record_every_n(session._dt, snapshot_s,
@@ -445,6 +473,8 @@ class FleetService:
                     "sealed": g.engine is not None,
                     "members": len(g.members),
                     "fleet_size": sum(m.n for m in g.members),
+                    "config_groups": (len(g.engine.groups)
+                                      if g.engine is not None else None),
                     "done_steps": g.done,
                     "total_steps": g.total_steps,
                 }
@@ -458,13 +488,15 @@ class FleetService:
     @staticmethod
     def _group_key(session: Session, profile: Profile, every: int,
                    mode: str) -> tuple:
-        """Cohort identity: everything that must match for one engine."""
-        build = []
-        for name, value in sorted(session._build_kwargs.items()):
-            if isinstance(value, list):
-                value = tuple(value)
-            build.append((name, value))
-        return (tuple(build), tuple(profile.segments), every, mode)
+        """Cohort identity: everything that must match for one engine.
+
+        Build configurations are deliberately *absent*: the cohort
+        engine is a :class:`~repro.runtime.mixed.MixedEngine`, so
+        clients with different builds coalesce into one mixed cohort.
+        Only the shared clocks remain — profile, cadence, loop rate
+        (``session._dt``) and numerics.
+        """
+        return (tuple(profile.segments), every, session._dt, mode)
 
     async def _detach(self, client: ClientSession) -> RunResult:
         """Remove ``client`` between ticks; finalize its partial result."""
@@ -533,11 +565,18 @@ class FleetService:
             registry.gauge("service.groups").set(len(self._groups))
 
     def _seal(self, group: _Group) -> None:
-        """Build the cohort engine; no more members may join."""
+        """Build the cohort engine; no more members may join.
+
+        The engine is a :class:`~repro.runtime.mixed.MixedEngine` over
+        every member's rigs in attach order: a homogeneous cohort takes
+        its single-group fast path (byte-identical to the plain
+        ``BatchEngine`` it used to build), a mixed cohort sub-batches
+        per config group.
+        """
         if self._open_by_key.get(group.key) is group:
             del self._open_by_key[group.key]
         rigs = [rig for member in group.members for rig in member.rigs]
-        group.engine = BatchEngine(rigs, chunk_size=group.chunk_size,
+        group.engine = MixedEngine(rigs, chunk_size=group.chunk_size,
                                    numerics=group.numerics)
 
     def _fail_group(self, group: _Group, exc: BaseException) -> None:

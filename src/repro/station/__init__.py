@@ -14,6 +14,11 @@ from repro.station.scenarios import vinci_station, build_calibrated_monitor, Cal
 from repro.station.network import PipeNetwork, PipeFlow
 from repro.station.demand import DiurnalDemand
 from repro.station.fleet import MonitoredNetwork, MeterCharacter, FleetReport
+from repro.station.campaign import (EVENT_KINDS, SCENARIO_NAMES,
+                                    CampaignReport, Event, ScenarioProfile,
+                                    ScenarioSpec, builtin_scenario,
+                                    household_demand, resolve_scenario,
+                                    run_campaign, station_demand)
 
 __all__ = [
     "WaterLine",
@@ -39,4 +44,15 @@ __all__ = [
     "MonitoredNetwork",
     "MeterCharacter",
     "FleetReport",
+    "EVENT_KINDS",
+    "SCENARIO_NAMES",
+    "Event",
+    "ScenarioSpec",
+    "ScenarioProfile",
+    "CampaignReport",
+    "builtin_scenario",
+    "resolve_scenario",
+    "household_demand",
+    "station_demand",
+    "run_campaign",
 ]

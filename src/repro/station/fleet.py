@@ -29,7 +29,8 @@ __all__ = ["MeterCharacter", "MonitoredNetwork", "FleetReport",
            "characterize_meter_pool"]
 
 
-def characterize_meter_pool(n_meters: int, seed: int = 0, *,
+def characterize_meter_pool(fleet=None, seed: int = 0, *,
+                            n_meters: int | None = None,
                             speed_cmps: float = 100.0,
                             duration_s: float = 20.0,
                             settle_s: float = 8.0,
@@ -38,7 +39,7 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
                             numerics: str = "exact") -> list["MeterCharacter"]:
     """Measure meter characters from full monitor simulations.
 
-    Builds and calibrates ``n_meters`` complete monitoring points
+    Builds and calibrates the fleet's complete monitoring points
     through the batched runtime (:class:`repro.runtime.Session`), holds
     them at a steady line speed, and condenses each monitor's steady
     window into the (bias, noise) pair the fleet model consumes — the
@@ -46,16 +47,31 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
 
     Parameters
     ----------
-    n_meters:
-        Fleet size to characterize.
+    fleet:
+        A :class:`repro.runtime.FleetSpec` describing the pool —
+        possibly mixed; a structurally heterogeneous pool sub-batches
+        per config group through the mixed engine, bit-identical per
+        meter to characterizing its group alone.
+
+        .. deprecated:: 1.2
+            An integer meter count (the old ``n_meters=`` spelling,
+            paired with ``seed``/``fast_calibration``) still works —
+            it warns once per process and is removed in 2.0; pass
+            ``FleetSpec.homogeneous(n, seed=s, use_pulsed_drive=False,
+            fast_calibration=True)`` instead (the integer path forces
+            continuous drive, as it always has).
     seed:
-        Session seed (per-meter seeds are spawned from it).
+        Session seed for the integer spelling (per-meter seeds are
+        spawned from it).  Must stay at its default with a
+        ``FleetSpec`` — the spec carries its own seed.
     speed_cmps:
         Steady characterization speed [cm/s].
     duration_s / settle_s:
         Hold duration and the initial transient to discard.
     fast_calibration:
-        Short calibration windows (keep True except for final benches).
+        Short calibration windows for the integer spelling (keep True
+        except for final benches); a ``FleetSpec`` entry carries its
+        own ``fast_calibration``.
     workers:
         Forwarded to :meth:`repro.runtime.Session.run`; with
         ``workers > 1`` the characterization hold runs through the
@@ -72,19 +88,48 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
     list[MeterCharacter]
         One character per monitor, in fleet index order.
     """
-    from repro.runtime import Session  # local: avoid a station->runtime cycle
+    from repro.runtime import (  # local: avoid a station->runtime cycle
+        FleetSpec, Session)
+    from repro.runtime.spec import warn_once
     from repro.station.profiles import hold
 
-    if n_meters < 1:
-        raise ConfigurationError("need at least one meter")
+    if n_meters is not None:
+        if fleet is not None:
+            raise ConfigurationError(
+                "pass either a FleetSpec or the deprecated n_meters=, "
+                "not both")
+        fleet = n_meters
+    if fleet is None:
+        raise ConfigurationError(
+            "characterize_meter_pool needs a FleetSpec describing the "
+            "pool (or, deprecated, an integer meter count)")
+    if isinstance(fleet, FleetSpec):
+        if seed != 0:
+            raise ConfigurationError(
+                "a FleetSpec carries its own seed; do not also pass "
+                "seed= to characterize_meter_pool")
+        spec = fleet
+    else:
+        n_meters = int(fleet)
+        if n_meters < 1:
+            raise ConfigurationError("need at least one meter")
+        warn_once(
+            "characterize-meter-pool-n-meters",
+            "characterize_meter_pool(n_meters=...) is deprecated and "
+            "will be removed in repro 2.0; describe the pool with "
+            "repro.runtime.FleetSpec (e.g. FleetSpec.homogeneous(n, "
+            "seed=s, use_pulsed_drive=False, fast_calibration=True)) "
+            "and pass it as the first argument")
+        spec = FleetSpec.homogeneous(
+            n_meters, seed=seed, use_pulsed_drive=False,
+            fast_calibration=fast_calibration)
+    n_meters = spec.n_monitors
     if not 0.0 <= settle_s < duration_s:
         raise ConfigurationError("settle window must fit inside the hold")
     true_mps = speed_cmps * 1e-2
     with get_tracer().span("fleet.characterize_meter_pool",
-                           n_meters=n_meters, seed=seed):
-        with Session(n_monitors=n_meters, seed=seed,
-                     use_pulsed_drive=False,
-                     fast_calibration=fast_calibration) as session:
+                           n_meters=n_meters, seed=spec.seed):
+        with Session(fleet=spec) as session:
             session.calibrate()
             result = session.run(hold(speed_cmps, duration_s),
                                  workers=workers, numerics=numerics)
@@ -92,7 +137,7 @@ def characterize_meter_pool(n_meters: int, seed: int = 0, *,
     if registry.enabled:
         registry.counter("station.fleet.meters_characterized").inc(n_meters)
     get_event_log().emit("fleet.characterize", n_meters=n_meters,
-                         seed=seed, workers=workers, numerics=numerics)
+                         seed=spec.seed, workers=workers, numerics=numerics)
     characters = []
     for i in range(n_meters):
         window = result.trace(i).steady_window(settle_s, duration_s)

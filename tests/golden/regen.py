@@ -4,7 +4,7 @@ Run from the repository root::
 
     PYTHONPATH=src python -m tests.golden.regen
 
-Four archives pin the execution paths of the same physics:
+Five archives pin the execution paths of the same physics:
 
 - ``scalar_cta.npz`` — one rig through the per-sample scalar reference
   loop (``TestRig.run``, i.e. the CTA loop ticked in Python);
@@ -13,7 +13,10 @@ Four archives pin the execution paths of the same physics:
 - ``sharded_engine.npz`` — the same fleet through the process-parallel
   :class:`~repro.runtime.parallel.ShardedEngine` (two workers);
 - ``fast_engine.npz`` — the same fleet through the batch engine with
-  ``numerics="fast"`` (vectorized transcendentals).
+  ``numerics="fast"`` (vectorized transcendentals);
+- ``mixed_fleet.npz`` — an interleaved two-config-group fleet through
+  the group-by-config :class:`~repro.runtime.mixed.MixedEngine` (the
+  ragged merge back into caller order).
 
 The exact-mode cases are pure functions of their hard-coded seeds, so
 regenerating on the same code produces byte-identical archives; the
@@ -32,15 +35,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.runtime import BatchEngine, RunResult, ShardedEngine, \
-    spawn_monitor_seeds
+from repro.runtime import BatchEngine, MixedEngine, RunResult, \
+    ShardedEngine, spawn_monitor_seeds
 from repro.station.profiles import staircase
 from repro.station.rig import RigRecord
 from repro.station.scenarios import build_calibrated_monitor
 
 __all__ = ["GOLDEN_DIR", "CASES", "TOLERANT_CASES", "scalar_cta_case",
            "batch_engine_case", "sharded_engine_case", "fast_engine_case",
-           "main"]
+           "mixed_fleet_case", "main"]
 
 #: Directory holding the checked-in archives (this package).
 GOLDEN_DIR = Path(__file__).resolve().parent
@@ -89,6 +92,25 @@ def fast_engine_case() -> dict[str, np.ndarray]:
             for name in ("time_s",) + RunResult.STACKED_FIELDS}
 
 
+def mixed_fleet_case() -> dict[str, np.ndarray]:
+    """Four rigs, two interleaved config groups, through the MixedEngine.
+
+    Odd positions run at 7 K overtemperature, so the engine has to
+    sub-batch per config group and interleave the ragged blocks back
+    into caller order — this archive pins that merge (and the group
+    engines under it) byte for byte.
+    """
+    seeds = spawn_monitor_seeds(_FLEET_SEED, 4)
+    rigs = [build_calibrated_monitor(
+                seed=s, fast=True,
+                overtemperature_k=7.0 if i % 2 else 5.0).rig
+            for i, s in enumerate(seeds)]
+    result = MixedEngine(rigs).run(_PROFILE,
+                                   record_every_n=_RECORD_EVERY_N)
+    return {name: np.asarray(getattr(result, name))
+            for name in ("time_s",) + RunResult.STACKED_FIELDS}
+
+
 #: Archive stem -> case function; the single source of truth shared by
 #: this regenerator and ``tests/test_golden_traces.py``.
 CASES = {
@@ -96,6 +118,7 @@ CASES = {
     "batch_engine": batch_engine_case,
     "sharded_engine": sharded_engine_case,
     "fast_engine": fast_engine_case,
+    "mixed_fleet": mixed_fleet_case,
 }
 
 #: Stems whose archives are compared with a tolerance rather than byte

@@ -125,6 +125,18 @@ def test_facade_single_source():
         "repro.service.streams").Snapshot
 
 
+def test_concat_single_source():
+    """``RunResult.concat`` is THE merge: one axis-aware classmethod.
+
+    ``concat_time`` survives only as a declared thin alias (the
+    ``_alias_of`` marker) so no second merge implementation can creep
+    back in behind it.
+    """
+    from repro.runtime import RunResult
+    assert getattr(RunResult.concat_time.__func__, "_alias_of", None) == \
+        "concat", "concat_time must stay a thin alias of concat"
+
+
 def test_errors_reexported_from_top_level():
     """The full exception hierarchy is importable from ``repro`` itself,
     by identity, and listed in ``repro.__all__``."""

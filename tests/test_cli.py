@@ -130,6 +130,31 @@ def test_fleet_rejects_bad_knobs():
     assert main(["fleet", "--levels", ""]) == 2
 
 
+def test_fleet_from_spec_runs_mixed_fleet(tmp_path, capsys):
+    import numpy as np
+
+    from repro.runtime import FleetSpec, RigSpec, RunResult
+    spec = FleetSpec(
+        rigs=(RigSpec(use_pulsed_drive=False, fast_calibration=True),
+              RigSpec(overtemperature_k=7.0, use_pulsed_drive=False,
+                      fast_calibration=True)),
+        seed=7)
+    spec_path = tmp_path / "fleet.json"
+    spec_path.write_text(json.dumps(spec.to_dict()))
+    out = tmp_path / "mixed.npz"
+    code = main(["fleet", "--spec", str(spec_path), "--levels", "0,60",
+                 "--dwell", "0.5", "--out", str(out)])
+    assert code == 0
+    result = RunResult.load(out)
+    assert result.n_monitors == 2
+    assert np.isfinite(np.asarray(result.measured_mps)).all()
+    assert "2 monitors" in capsys.readouterr().out
+    # the spec fully describes the fleet: explicit size/seed conflict
+    assert main(["fleet", "--spec", str(spec_path), "--seed", "9"]) == 2
+    assert main(["fleet", "--spec", str(spec_path),
+                 "--n-monitors", "3"]) == 2
+
+
 @pytest.mark.service
 def test_serve_streams_concurrent_clients(capsys):
     code = main(["serve", "--clients", "3", "--n-monitors", "1",

@@ -1,0 +1,176 @@
+"""FleetSpec/RigSpec: the one declarative fleet description.
+
+Covers seed-derivation bit-compatibility with the classic Session
+plumbing, dict round-trips (scenario tags included), the ``fleet=``
+redesign of Session / run_batch / characterize_meter_pool, the
+conflict and scenario refusals, and the warn-once deprecation shims.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import FleetSpec, RigSpec, RunResult, Session, run_batch
+from repro.runtime import spec as spec_module
+from repro.station.campaign import Event, ScenarioSpec
+from repro.station.fleet import characterize_meter_pool
+from repro.station.profiles import hold
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warn_once():
+    """Each test sees the warn-once shims in their pristine state."""
+    spec_module._WARNED.clear()
+    yield
+    spec_module._WARNED.clear()
+
+
+def _assert_bit_equal(a: RunResult, b: RunResult):
+    for name in ("time_s",) + RunResult.STACKED_FIELDS:
+        assert np.asarray(getattr(a, name)).tobytes() == \
+            np.asarray(getattr(b, name)).tobytes(), name
+
+
+def test_monitor_seeds_match_session_derivation():
+    spec = FleetSpec.homogeneous(4, seed=99)
+    children = np.random.SeedSequence(99).spawn(4)
+    assert spec.monitor_seeds() == \
+        [int(c.generate_state(1)[0]) for c in children]
+
+
+def test_explicit_entry_seed_pins_its_slice():
+    mixed = FleetSpec(rigs=(RigSpec(count=2),
+                            RigSpec(count=2, seed=7)), seed=99)
+    seeds = mixed.monitor_seeds()
+    fleet = FleetSpec.homogeneous(4, seed=99).monitor_seeds()
+    own = [int(c.generate_state(1)[0])
+           for c in np.random.SeedSequence(7).spawn(2)]
+    assert seeds[:2] == fleet[:2]
+    assert seeds[2:] == own
+
+
+def test_dict_round_trip_with_scenarios():
+    spec = FleetSpec(
+        rigs=(RigSpec(count=2, scenario="tank_leak", fast_calibration=True),
+              RigSpec(count=1, seed=5, overtemperature_k=7.0,
+                      scenario=ScenarioSpec(
+                          name="custom",
+                          events=(Event(kind="freeze", at_s=1.0,
+                                        duration_s=0.5),)),
+                      calibration_speeds_cmps=(0.0, 50.0, 120.0))),
+        seed=13)
+    clone = FleetSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.has_scenarios
+    assert clone.without_scenarios() == \
+        FleetSpec.from_dict(spec.without_scenarios().to_dict())
+
+
+def test_fleet_introspection():
+    spec = FleetSpec(rigs=(RigSpec(count=2), RigSpec(count=3)), seed=1)
+    assert spec.n_monitors == 5
+    assert len(spec.flat()) == 5
+    assert not spec.has_scenarios
+    assert spec.dt_s == 1.0 / spec.loop_rate_hz
+
+
+def test_mixed_loop_rates_refused():
+    spec = FleetSpec(rigs=(RigSpec(), RigSpec(loop_rate_hz=500.0)))
+    with pytest.raises(ConfigurationError) as err:
+        spec.loop_rate_hz
+    assert err.value.reason == "heterogeneous"
+
+
+def test_empty_and_invalid_specs_refused():
+    with pytest.raises(ConfigurationError):
+        FleetSpec(rigs=())
+    with pytest.raises(ConfigurationError):
+        FleetSpec(rigs=(object(),))
+    with pytest.raises(ConfigurationError):
+        RigSpec(count=0)
+    with pytest.raises(ConfigurationError):
+        FleetSpec.homogeneous(0)
+
+
+def test_session_fleet_matches_legacy_session():
+    profile = hold(70.0, 1.0)
+    spec = FleetSpec.homogeneous(2, seed=31, fast_calibration=True)
+    with Session(fleet=spec) as session:
+        session.calibrate()
+        from_spec = session.run(profile)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FutureWarning)
+        with Session(n_monitors=2, seed=31,
+                     fast_calibration=True) as session:
+            session.calibrate()
+            legacy = session.run(profile)
+    _assert_bit_equal(from_spec, legacy)
+
+
+def test_session_fleet_conflicts_refused():
+    spec = FleetSpec.homogeneous(2, seed=1)
+    with pytest.raises(ConfigurationError):
+        Session(n_monitors=2, fleet=spec)
+    with pytest.raises(ConfigurationError):
+        Session(seed=7, fleet=spec)
+    with pytest.raises(ConfigurationError):
+        Session(fleet=spec, fast_calibration=True)
+
+
+def test_scenario_specs_refused_outside_campaign():
+    tagged = FleetSpec(rigs=(RigSpec(scenario="tank_leak",
+                                     fast_calibration=True),))
+    with pytest.raises(ConfigurationError):
+        Session(fleet=tagged)
+    with pytest.raises(ConfigurationError):
+        run_batch(tagged, hold(50.0, 1.0))
+
+
+def test_run_batch_accepts_fleet_spec():
+    profile = hold(60.0, 1.0)
+    spec = FleetSpec(
+        rigs=(RigSpec(fast_calibration=True),
+              RigSpec(overtemperature_k=7.0, fast_calibration=True)),
+        seed=5)
+    batched = run_batch(spec, profile)
+    with Session(fleet=spec) as session:
+        session.calibrate()
+        from_session = session.run(profile)
+    assert batched.n_monitors == 2
+    _assert_bit_equal(batched, from_session)
+
+
+def test_session_build_kwargs_warn_exactly_once():
+    with pytest.warns(FutureWarning, match="FleetSpec") as record:
+        Session(n_monitors=1, seed=1, fast_calibration=True)
+        Session(n_monitors=1, seed=2, use_pulsed_drive=False)
+    assert len(record) == 1
+
+
+def test_characterize_meter_pool_n_meters_warns_once():
+    with pytest.warns(FutureWarning, match="FleetSpec") as record:
+        pool_a = characterize_meter_pool(2, seed=3, duration_s=4.0,
+                                         settle_s=2.0)
+        pool_b = characterize_meter_pool(2, seed=3, duration_s=4.0,
+                                         settle_s=2.0)
+    assert len(record) == 1
+    assert [(m.bias_fraction, m.noise_mps) for m in pool_a] == \
+        [(m.bias_fraction, m.noise_mps) for m in pool_b]
+
+
+def test_characterize_meter_pool_accepts_fleet_spec():
+    spec = FleetSpec.homogeneous(2, seed=3, use_pulsed_drive=False,
+                                 fast_calibration=True)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FutureWarning)
+        from_spec = characterize_meter_pool(spec, duration_s=4.0,
+                                            settle_s=2.0)
+    with pytest.warns(FutureWarning):
+        legacy = characterize_meter_pool(2, seed=3, duration_s=4.0,
+                                         settle_s=2.0)
+    assert [(m.bias_fraction, m.noise_mps) for m in from_spec] == \
+        [(m.bias_fraction, m.noise_mps) for m in legacy]
+    with pytest.raises(ConfigurationError):
+        characterize_meter_pool(spec, seed=9)

@@ -417,3 +417,99 @@ def test_service_stats_reports_live_cohorts():
     (sealed_group,) = sealed_stats["groups"]
     assert sealed_group["sealed"] and sealed_group["fleet_size"] == 1
     assert 0 < sealed_group["done_steps"] <= sealed_group["total_steps"]
+
+
+def standalone_spec(profile, fleet):
+    """Standalone reference for a FleetSpec-described client."""
+    with Session(fleet=fleet) as session:
+        session.calibrate()
+        return session.run(profile)
+
+
+def test_mixed_build_clients_share_one_cohort():
+    """Clients whose builds differ structurally still coalesce: the
+    cohort runs on a MixedEngine that sub-batches per config group, and
+    every client's stream stays bit-identical to its standalone run."""
+    from repro.runtime import FleetSpec
+
+    short = staircase([0.0, 60.0], dwell_s=1.0)
+    spec = FleetSpec.homogeneous(1, seed=13, fast_calibration=True)
+
+    async def main():
+        async with FleetService(tick_steps=700) as service:
+            plain = await service.attach(short, n_monitors=1, seed=11,
+                                         fast_calibration=True)
+            hot = await service.attach(short, n_monitors=1, seed=12,
+                                       overtemperature_k=7.0,
+                                       fast_calibration=True)
+            from_spec = await service.attach(short, fleet=spec)
+            mid_stats = {}
+
+            async def consume(client, probe=False):
+                async for snap in client.snapshots():
+                    if probe and not mid_stats:
+                        mid_stats.update(service.stats())
+                return await client.result()
+
+            results = await asyncio.gather(consume(plain, probe=True),
+                                           consume(hot), consume(from_spec))
+        return (plain, hot, from_spec), results, mid_stats
+
+    clients, results, mid_stats = asyncio.run(main())
+    plain, hot, from_spec = clients
+    assert plain.group_id == hot.group_id == from_spec.group_id
+    (group,) = mid_stats["groups"]
+    assert group["members"] == 3 and group["fleet_size"] == 3
+    assert group["config_groups"] == 2  # default build vs 7 K overtemp
+
+    assert_traces_equal(results[0],
+                        standalone(short, n_monitors=1, seed=11),
+                        ticks=len(results[0]))
+    with Session(n_monitors=1, seed=12, overtemperature_k=7.0,
+                 fast_calibration=True) as session:
+        session.calibrate()
+        hot_ref = session.run(short)
+    assert_traces_equal(results[1], hot_ref, ticks=len(results[1]))
+    assert_traces_equal(results[2], standalone_spec(short, spec),
+                        ticks=len(results[2]))
+
+
+def test_mixed_cohort_detach_preserves_survivor_bits():
+    short = staircase([0.0, 60.0], dwell_s=1.0)
+
+    async def main():
+        async with FleetService(tick_steps=400) as service:
+            survivor = await service.attach(short, n_monitors=1, seed=21,
+                                            fast_calibration=True)
+            leaver = await service.attach(short, n_monitors=1, seed=22,
+                                          overtemperature_k=7.0,
+                                          fast_calibration=True)
+            assert survivor.group_id == leaver.group_id
+            ticks = 0
+            async for _ in survivor.snapshots():
+                ticks += 1
+                if ticks == 1:
+                    await leaver.detach()
+            return await survivor.result()
+
+    result = asyncio.run(main())
+    assert_traces_equal(result, standalone(short, n_monitors=1, seed=21),
+                        ticks=len(result))
+
+
+def test_attach_fleet_conflicts_are_refused():
+    from repro.runtime import FleetSpec
+
+    spec = FleetSpec.homogeneous(1, seed=5, fast_calibration=True)
+
+    async def main():
+        async with FleetService() as service:
+            with pytest.raises(ConfigurationError):
+                await service.attach(hold(50.0, 0.5), fleet=spec,
+                                     n_monitors=2)
+            with pytest.raises(ConfigurationError):
+                await service.attach(hold(50.0, 0.5), fleet=spec, seed=9)
+            return service.stats()
+
+    stats = asyncio.run(main())
+    assert stats["clients"] == 0  # failed attaches leave nothing behind
