@@ -20,7 +20,11 @@ Layers (bottom up):
 * :mod:`repro.runtime` -- fleet-scale sessions over the vectorized
   batch engine and the process-parallel sharded engine;
 * :mod:`repro.service` -- the resident asyncio streaming service
-  multiplexing concurrent client runs onto shared engine ticks.
+  multiplexing concurrent client runs onto shared engine ticks;
+* :mod:`repro.store` / :mod:`repro.runtime.checkpoint` -- the
+  durability layer: a disk-backed artifact store under the calibration
+  cache, and bit-exact engine checkpoints that let crashed runs,
+  campaigns and service cohorts resume exactly where they died.
 
 Quick start (one monitor)::
 
@@ -65,14 +69,18 @@ from repro.baselines.turbine import TurbineMeter
 from repro.station.scenarios import build_calibrated_monitor, CalibratedSetup, vinci_station
 from repro.station.profiles import hold, staircase, ramp, step, bidirectional_staircase, pressure_peaks
 from repro.station.rig import TestRig, run_calibration
-from repro.runtime import (BatchEngine, FleetSpec, MixedEngine,
+from repro.runtime import (BatchEngine, Checkpoint, FleetSpec, MixedEngine,
                            MonitorHandle, RigSpec, RunResult, Session,
-                           ShardedEngine, run_batch)
+                           ShardedEngine, load_checkpoint, run_batch,
+                           run_durable, save_checkpoint)
 from repro.station.campaign import (Event, ScenarioSpec, builtin_scenario,
                                     household_demand, run_campaign,
                                     station_demand)
-from repro.service import (ClientSession, FleetService, ServiceClient,
-                           Snapshot, connect, run)
+from repro.service import (ClientSession, FleetService, RecoveredCohort,
+                           ServiceClient, Snapshot, connect,
+                           recover_cohorts, run)
+from repro.store import (ArtifactStore, canonical_key, get_default_store,
+                         set_default_store)
 
 __version__ = "1.0.0"
 
@@ -124,9 +132,19 @@ __all__ = [
     "run_campaign",
     "FleetService",
     "ClientSession",
+    "RecoveredCohort",
     "ServiceClient",
     "Snapshot",
     "connect",
+    "recover_cohorts",
     "run",
+    "ArtifactStore",
+    "canonical_key",
+    "get_default_store",
+    "set_default_store",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "run_durable",
     "__version__",
 ]

@@ -7,10 +7,14 @@
     python -m repro fleet --n-monitors 8 --workers 4 [--numerics fast]
                           [--out traces.npz]
     python -m repro fleet --spec fleet.json [--workers 4]
+    python -m repro fleet --checkpoint-dir ckpt/ [--resume]
     python -m repro campaign --duration 6 \
                              --scenarios baseline,tank_leak,mains_burst
     python -m repro campaign --spec campaign.json [--out summary.json]
+    python -m repro campaign --checkpoint-dir ckpt/ [--resume]
     python -m repro serve --clients 8 --n-monitors 2 [--tick-steps 500]
+    python -m repro store inspect --dir store/ [--json]
+    python -m repro store evict --dir store/ [--kind calibration] [--key K]
 
 The CLI mirrors how a bench operator would use the real instrument:
 power-on self-test, a calibration campaign against the reference meter
@@ -28,6 +32,13 @@ episodes) — over a scenario-tagged FleetSpec and prints the per-window
 ``serve`` spins up the resident streaming service in-process and drives
 it with concurrent clients — the asyncio demo of the ``repro.connect``
 path, with every client's stream bit-identical to a standalone run.
+
+Durability (see ``docs/durability.md``): ``fleet`` and ``campaign``
+accept ``--checkpoint-dir`` to snapshot progress after every engine
+window and ``--resume`` to continue a killed run bit-identically from
+its checkpoint; ``store`` inspects or evicts the on-disk artifact
+store that ``--checkpoint-dir`` (and the ``REPRO_STORE`` environment
+variable) layer under the in-process calibration cache.
 """
 
 from __future__ import annotations
@@ -133,6 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "error; default exact)")
     flt.add_argument("--out", type=Path, default=None,
                      help="optional .npz path for the fleet traces")
+    flt.add_argument("--checkpoint-dir", type=Path, default=None,
+                     metavar="DIR",
+                     help="checkpoint the run after every engine window "
+                          "under DIR (serial runs only) and layer a "
+                          "disk-backed calibration store under the "
+                          "in-process cache")
+    flt.add_argument("--resume", action="store_true",
+                     help="continue from the checkpoint left in "
+                          "--checkpoint-dir by a killed run "
+                          "(bit-identical to an uninterrupted run)")
 
     cmp = sub.add_parser(
         "campaign",
@@ -155,6 +176,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="base-load demand generator (default household)")
     cmp.add_argument("--out", type=Path, default=None,
                      help="optional JSON path for the campaign summary")
+    cmp.add_argument("--checkpoint-dir", type=Path, default=None,
+                     metavar="DIR",
+                     help="checkpoint campaign progress after every engine "
+                          "window under DIR")
+    cmp.add_argument("--resume", action="store_true",
+                     help="continue from the checkpoint left in "
+                          "--checkpoint-dir by a killed campaign "
+                          "(bit-identical summary)")
 
     srv = sub.add_parser(
         "serve",
@@ -174,6 +203,24 @@ def build_parser() -> argparse.ArgumentParser:
                           "granularity; default 1000)")
     srv.add_argument("--max-pending", type=int, default=8,
                      help="per-client snapshot queue bound (default 8)")
+
+    sto = sub.add_parser(
+        "store",
+        help="inspect or evict the on-disk artifact store")
+    sto.add_argument("action", choices=("inspect", "evict"),
+                     help="'inspect' lists published artifacts, 'evict' "
+                          "removes them")
+    sto.add_argument("--dir", type=Path, required=True, dest="store_dir",
+                     metavar="DIR", help="store root directory")
+    sto.add_argument("--kind", type=str, default=None,
+                     help="restrict to one artifact kind "
+                          "(e.g. calibration)")
+    sto.add_argument("--key", type=str, default=None,
+                     help="single artifact key (evict only; requires "
+                          "--kind)")
+    sto.add_argument("--json", action="store_true",
+                     help="inspect: print machine-readable JSON instead "
+                          "of the table")
     return parser
 
 
@@ -288,6 +335,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir is not None and args.workers > 1:
+        print("error: --checkpoint-dir only supports serial runs "
+              "(--workers 1)", file=sys.stderr)
+        return 2
     import time
 
     from repro.runtime import FleetSpec, Session
@@ -308,11 +362,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     profile = staircase(levels, dwell_s=args.dwell)
     print(f"{desc}, {args.workers} worker(s), "
           f"staircase {levels} cm/s, numerics={args.numerics} ...")
-    with Session(fleet=spec) as session:
+    if args.checkpoint_dir is not None:
+        print(f"checkpointing to {args.checkpoint_dir}"
+              + (" (resuming)" if args.resume else ""))
+    with Session(fleet=spec, checkpoint_dir=args.checkpoint_dir) as session:
         session.calibrate()
         t0 = time.perf_counter()
         result = session.run(profile, workers=args.workers,
-                             numerics=args.numerics)
+                             numerics=args.numerics, resume=args.resume)
         elapsed = time.perf_counter() - t0
     samples = int(profile.duration_s * 1000.0) * spec.n_monitors
     print(f"ran {profile.duration_s:.1f} s x {result.n_monitors} monitors "
@@ -331,6 +388,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.runtime import FleetSpec, RigSpec
     from repro.station.campaign import SCENARIO_NAMES, run_campaign
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     if args.spec is not None:
         spec = _load_fleet_spec(args.spec)
     else:
@@ -355,7 +415,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"campaign: {spec.n_monitors} monitors, "
           f"{len(spec.rigs)} entries, {args.duration:.1f} s, "
           f"{args.demand} demand ...")
-    report = run_campaign(spec, duration_s=args.duration, demand=args.demand)
+    if args.checkpoint_dir is not None:
+        print(f"checkpointing to {args.checkpoint_dir}"
+              + (" (resuming)" if args.resume else ""))
+    report = run_campaign(spec, duration_s=args.duration, demand=args.demand,
+                          checkpoint_dir=args.checkpoint_dir,
+                          resume=args.resume)
     for group in report.groups:
         print(f"\nscenario {group['scenario']!r}  "
               f"config {group['config_key']}  "
@@ -443,6 +508,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if stats["completed"] == args.clients else 1
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore
+    store = ArtifactStore(args.store_dir)
+    if args.action == "inspect":
+        entries = store.inspect()
+        if args.kind is not None:
+            entries = [e for e in entries if e["kind"] == args.kind]
+        if args.key is not None:
+            entries = [e for e in entries if e["key"] == args.key]
+        if args.json:
+            print(json.dumps(entries, indent=2))
+            return 0
+        if not entries:
+            print(f"store {args.store_dir}: no artifacts")
+            return 0
+        print(f"{'kind':<16}  {'key':<18}  {'bytes':>10}")
+        for entry in entries:
+            print(f"{entry['kind']:<16}  {entry['key']:<18}  "
+                  f"{entry['bytes']:>10}")
+        total = sum(e["bytes"] for e in entries)
+        print(f"{len(entries)} artifact(s), {total} bytes")
+        return 0
+    if args.key is not None and args.kind is None:
+        print("error: --key requires --kind", file=sys.stderr)
+        return 2
+    removed = store.evict(kind=args.kind, key=args.key)
+    print(f"evicted {removed} artifact(s) from {args.store_dir}")
+    return 0
+
+
 _COMMANDS = {
     "selftest": _cmd_selftest,
     "calibrate": _cmd_calibrate,
@@ -452,6 +547,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "store": _cmd_store,
 }
 
 

@@ -18,6 +18,7 @@ __all__ = [
     "SessionError",
     "FrameError",
     "ServiceError",
+    "CheckpointError",
 ]
 
 
@@ -88,6 +89,25 @@ class ServiceError(ReproError):
     """
 
     def __init__(self, message: str, reason: str = "service") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class CheckpointError(ReproError):
+    """A checkpoint or store artifact could not be saved or restored.
+
+    ``reason`` is a machine-readable slug for programmatic handling:
+    ``"missing"`` (no checkpoint at the given path / key),
+    ``"corrupt"`` (the artifact failed validation — bad magic, a torn
+    or truncated payload), ``"version"`` (written by an incompatible
+    format version), ``"kind"`` (the checkpoint holds a different
+    engine kind than the caller expected), ``"mismatch"`` (the
+    checkpoint was taken under a different configuration — profile,
+    cadence, fleet — than the resuming run), or the ``"checkpoint"``
+    catch-all.
+    """
+
+    def __init__(self, message: str, reason: str = "checkpoint") -> None:
         super().__init__(message)
         self.reason = reason
 

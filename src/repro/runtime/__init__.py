@@ -25,7 +25,11 @@
   ``characterize_meter_pool``, the service facade and the CLI,
 - :class:`Numerics` (:mod:`repro.runtime.kernels`) — the numerics
   policy behind the unified ``numerics="exact" | "fast"`` knob every
-  run surface accepts (see ``docs/performance.md``).
+  run surface accepts (see ``docs/performance.md``),
+- :func:`save_checkpoint` / :func:`load_checkpoint` /
+  :func:`run_durable` (:mod:`repro.runtime.checkpoint`) — bit-exact
+  engine checkpoints and the windowed durable-run loop behind
+  ``Session(checkpoint_dir=...)`` (see ``docs/durability.md``).
 
 The scalar classes (`TestRig`, `CTAController`, ...) remain the
 reference implementation; the parity tests hold all three paths to
@@ -33,6 +37,9 @@ bit-identical outputs on shared seeds.
 """
 
 from repro.runtime.batch import BatchEngine, run_batch
+from repro.runtime.checkpoint import (CHECKPOINT_FORMAT_VERSION, Checkpoint,
+                                      engine_kind, load_checkpoint,
+                                      run_durable, save_checkpoint)
 from repro.runtime.kernels import NUMERICS_MODES, Numerics, resolve_numerics
 from repro.runtime.mixed import MixedEngine, config_group_key, fleet_groups
 from repro.runtime.parallel import (ShardedEngine, partition_monitors,
@@ -46,4 +53,6 @@ __all__ = ["BatchEngine", "run_batch", "RunResult", "Session",
            "resolve_workers", "spawn_monitor_seeds",
            "MixedEngine", "config_group_key", "fleet_groups",
            "FleetSpec", "RigSpec",
-           "NUMERICS_MODES", "Numerics", "resolve_numerics"]
+           "NUMERICS_MODES", "Numerics", "resolve_numerics",
+           "Checkpoint", "save_checkpoint", "load_checkpoint",
+           "run_durable", "engine_kind", "CHECKPOINT_FORMAT_VERSION"]

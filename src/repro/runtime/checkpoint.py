@@ -1,0 +1,334 @@
+"""Bit-exact engine checkpoints: durable runs that survive process death.
+
+A checkpoint is the *live engine object* — rigs, every RNG stream
+(``numpy.random.Generator`` state pickles exactly), thermal/filter/PI
+state, the decimation phase and the absolute step ``offset`` — wrapped
+in a versioned header and written atomically.  Restoring it and calling
+``advance`` continues the run **bit-identically** to one that was never
+interrupted: the PR 6 ``advance/offset`` contract guarantees that a run
+sliced into windows at any offsets equals the uninterrupted run, and
+pickle round-trips the inter-window state exactly (the golden
+``*_resume`` archives and ``tests/test_checkpoint_properties.py`` pin
+this for every engine kind).
+
+Engine kinds and what gets snapshotted:
+
+- ``"scalar"`` — a :class:`~repro.station.rig.TestRig` (its monitor,
+  line and reference carry all state; :attr:`TestRig.offset` carries
+  the cut point).
+- ``"batch"`` — a :class:`~repro.runtime.batch.BatchEngine` (vectorized
+  fleet state plus the rigs its RNG streams alias).
+- ``"sharded"`` — a :class:`~repro.runtime.parallel.ShardedEngine`
+  (between windows each shard's live engine is a pickled blob held in
+  the parent, so the parent object alone is the complete run).
+- ``"mixed"`` — a :class:`~repro.runtime.mixed.MixedEngine` (per-group
+  engines plus the interleave map).
+
+:func:`run_durable` is the turnkey loop built on top: advance in
+windows, checkpoint after each, resume from the artifact after a crash
+— used by ``Session(checkpoint_dir=...)`` and the CLI.  Campaign- and
+service-level recovery (:func:`repro.station.campaign.run_campaign`,
+:func:`repro.service.recover_cohorts`) layer their own bookkeeping over
+:func:`save_checkpoint` / :func:`load_checkpoint`.
+
+Failures raise :class:`~repro.errors.CheckpointError` with a
+machine-readable ``reason``: ``"missing"``, ``"corrupt"``,
+``"version"``, ``"kind"`` or ``"mismatch"`` (see the class docs).
+Writes land on the opt-in ``checkpoint.writes`` counter and
+``checkpoint.write_s`` histogram; loads on ``checkpoint.loads``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.observability import get_registry
+from repro.runtime.batch import BatchEngine
+from repro.runtime.kernels import resolve_numerics
+from repro.runtime.mixed import MixedEngine
+from repro.runtime.parallel import ShardedEngine
+from repro.runtime.result import RunResult
+from repro.station.profiles import Profile
+from repro.station.rig import TestRig
+from repro.store import canonical_key
+
+__all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint",
+           "run_durable", "engine_kind", "CHECKPOINT_FORMAT_VERSION"]
+
+#: On-disk checkpoint format version; bumped on incompatible changes.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Header magic identifying a checkpoint artifact.
+_MAGIC = "repro-checkpoint"
+
+#: Engine kind dispatch, most specific type first (a ShardedEngine is
+#: not a BatchEngine, but keep the order defensive anyway).
+_KINDS: tuple[tuple[str, type], ...] = (
+    ("mixed", MixedEngine),
+    ("sharded", ShardedEngine),
+    ("batch", BatchEngine),
+    ("scalar", TestRig),
+)
+
+
+def engine_kind(engine) -> str:
+    """The checkpoint kind slug for an engine (or rig) instance.
+
+    Raises
+    ------
+    CheckpointError
+        If the object is not one of the checkpointable kinds
+        (``reason="kind"``).
+    """
+    for kind, cls in _KINDS:
+        if isinstance(engine, cls):
+            return kind
+    raise CheckpointError(
+        f"cannot checkpoint a {type(engine).__name__}; expected one of "
+        f"{[cls.__name__ for _, cls in _KINDS]}", reason="kind")
+
+
+@dataclass
+class Checkpoint:
+    """One restored checkpoint artifact.
+
+    Attributes
+    ----------
+    version:
+        Format version the artifact was written with.
+    kind:
+        Engine kind slug (``"scalar"``/``"batch"``/``"sharded"``/
+        ``"mixed"``).
+    offset:
+        Absolute step of the next tick at snapshot time (the cut
+        point).
+    meta:
+        Caller-supplied bookkeeping saved alongside the engine
+        (fingerprints, accumulated windows, ...); ``{}`` if none.
+    engine:
+        The live engine object, ready for ``advance``.
+    """
+
+    version: int
+    kind: str
+    offset: int
+    meta: dict
+    engine: object
+
+
+def _atomic_write(path: Path, blob: bytes) -> None:
+    """Publish ``blob`` at ``path`` via write-then-rename (atomic)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".tmp-{os.getpid()}-{id(blob):x}-{path.name}"
+    try:
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def save_checkpoint(engine, path, *, meta: dict | None = None) -> Path:
+    """Snapshot a live engine (or scalar rig) to a checkpoint artifact.
+
+    The engine keeps running afterwards — saving only pickles it.  The
+    write is atomic (write-then-rename), so a crash mid-save leaves the
+    previous checkpoint intact, and a concurrent reader can never see a
+    torn artifact.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`TestRig`, :class:`BatchEngine`, :class:`ShardedEngine`
+        or :class:`MixedEngine` between ``advance`` windows.
+    path:
+        Destination file.
+    meta:
+        Optional JSON-able/pickle-able bookkeeping to store alongside
+        (returned verbatim by :func:`load_checkpoint`).
+
+    Raises
+    ------
+    CheckpointError
+        ``reason="kind"`` for a non-checkpointable object;
+        ``reason="checkpoint"`` if the engine fails to pickle.
+    """
+    t0 = time.perf_counter()
+    path = Path(path)
+    kind = engine_kind(engine)
+    record = {
+        "magic": _MAGIC,
+        "version": CHECKPOINT_FORMAT_VERSION,
+        "kind": kind,
+        "offset": int(engine.offset),
+        "meta": dict(meta or {}),
+        "engine": engine,
+    }
+    try:
+        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            f"{kind} engine failed to pickle: {exc}") from exc
+    _atomic_write(path, blob)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("checkpoint.writes").inc()
+        registry.histogram(
+            "checkpoint.write_s",
+            "checkpoint serialization + publish wall time").observe(
+            time.perf_counter() - t0)
+    return path
+
+
+def load_checkpoint(path, *, expect_kind: str | None = None) -> Checkpoint:
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file.
+    expect_kind:
+        When given, the artifact must hold this engine kind.
+
+    Raises
+    ------
+    CheckpointError
+        ``reason="missing"`` if there is no artifact at ``path``;
+        ``reason="corrupt"`` if it is not a valid checkpoint;
+        ``reason="version"`` for an incompatible format version;
+        ``reason="kind"`` on an ``expect_kind`` mismatch.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(
+            f"no checkpoint at {path}", reason="missing") from None
+    try:
+        record = pickle.loads(blob)
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path} failed to deserialize: {exc}",
+            reason="corrupt") from exc
+    if not isinstance(record, dict) or record.get("magic") != _MAGIC:
+        raise CheckpointError(
+            f"{path} is not a repro checkpoint", reason="corrupt")
+    if record["version"] != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {record['version']}; "
+            f"this library reads version {CHECKPOINT_FORMAT_VERSION}",
+            reason="version")
+    if expect_kind is not None and record["kind"] != expect_kind:
+        raise CheckpointError(
+            f"checkpoint {path} holds a {record['kind']} engine, "
+            f"expected {expect_kind}", reason="kind")
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("checkpoint.loads").inc()
+    return Checkpoint(version=record["version"], kind=record["kind"],
+                      offset=record["offset"], meta=record["meta"],
+                      engine=record["engine"])
+
+
+def _run_fingerprint(profile: Profile, total_steps: int, n_monitors: int,
+                     record_every_n: int, numerics: str) -> str:
+    """Canonical hash of everything a resumed run must agree on."""
+    return canonical_key({
+        "profile_type": type(profile).__name__,
+        "segments": [(s.duration_s, s.speed_mps, s.pressure_pa,
+                      s.temperature_k, s.interpolate)
+                     for s in profile.segments],
+        "total_steps": total_steps,
+        "n_monitors": n_monitors,
+        "record_every_n": record_every_n,
+        "numerics": numerics,
+    })
+
+
+def run_durable(rigs: list[TestRig], profile: Profile, *,
+                checkpoint_path, record_every_n: int = 20,
+                window_steps: int = 1000, resume: bool = False,
+                chunk_size: int = 1024, numerics: str = "exact",
+                ) -> RunResult:
+    """Run a fleet with per-window checkpoints; resume after a crash.
+
+    The fleet runs as a :class:`MixedEngine` (whose single-group path
+    is byte-identical to a plain :class:`BatchEngine`), advanced in
+    ``window_steps`` slices; after each window the live engine and the
+    accumulated window results are checkpointed at ``checkpoint_path``.
+    If the process dies, calling again with ``resume=True`` picks up at
+    the last completed window and the final :class:`RunResult` is
+    bit-identical to an uninterrupted run.  On success the checkpoint
+    is deleted.
+
+    Parameters
+    ----------
+    rigs:
+        The fleet (heterogeneous fleets welcome).
+    profile:
+        Setpoint schedule; its length fixes the total step count.
+    checkpoint_path:
+        Artifact location for the per-window snapshots.
+    record_every_n / chunk_size / numerics:
+        As for the engines.
+    window_steps:
+        Checkpoint cadence in loop ticks.
+    resume:
+        Continue from an existing checkpoint instead of starting fresh.
+        The checkpoint's run fingerprint (profile, fleet size, cadence,
+        numerics) must match this call's.
+
+    Raises
+    ------
+    CheckpointError
+        ``reason="missing"`` when resuming without a checkpoint;
+        ``reason="mismatch"`` when the checkpoint belongs to a
+        different run configuration.
+    ConfigurationError
+        On invalid knobs or an empty profile.
+    """
+    if window_steps < 1:
+        raise ConfigurationError("window_steps must be >= 1")
+    if record_every_n < 1:
+        raise ConfigurationError("record_every_n must be >= 1")
+    if not rigs:
+        raise ConfigurationError("run_durable needs at least one rig")
+    checkpoint_path = Path(checkpoint_path)
+    numerics = resolve_numerics(numerics)
+    dt = rigs[0].monitor.platform.dt_s
+    total = int(round(profile.duration_s / dt))
+    if total < 1:
+        raise ConfigurationError("profile shorter than one loop tick")
+    fingerprint = _run_fingerprint(profile, total, len(rigs),
+                                   record_every_n, numerics)
+    if resume:
+        ckpt = load_checkpoint(checkpoint_path)
+        if ckpt.meta.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path} was taken under a different "
+                f"run configuration (profile/fleet/cadence/numerics); "
+                f"refusing to resume", reason="mismatch")
+        engine = ckpt.engine
+        windows: list[RunResult] = list(ckpt.meta["windows"])
+        done = int(ckpt.offset)
+    else:
+        engine = MixedEngine(list(rigs), chunk_size=chunk_size,
+                             numerics=numerics)
+        windows = []
+        done = 0
+    while done < total:
+        budget = min(window_steps, total - done)
+        windows.append(engine.advance(profile, budget,
+                                      record_every_n=record_every_n))
+        done += budget
+        if done < total:
+            save_checkpoint(engine, checkpoint_path,
+                            meta={"fingerprint": fingerprint,
+                                  "windows": windows})
+    result = RunResult.concat(windows, axis="time")
+    checkpoint_path.unlink(missing_ok=True)
+    return result

@@ -55,11 +55,21 @@ A fault hook for tests: set ``REPRO_SHARD_FAULT`` to
 ``crash-once:<shard>:<marker-dir>`` to make that shard's worker die,
 hang, raise, or die exactly once (the marker directory persists the
 "already tripped" bit across retried worker processes).
+
+Windowed execution (:meth:`ShardedEngine.advance`) keeps the same
+parity contract across checkpoint cut points: each shard's
+:class:`BatchEngine` lives between windows as a pickled blob in the
+parent, rides to a worker for each window and comes home re-pickled
+with its advanced state, so any slicing of a run into windows is
+bit-identical to the uninterrupted run — and the whole engine (blobs
+included) is itself picklable, which is what
+:func:`repro.runtime.checkpoint.save_checkpoint` relies on.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
@@ -208,6 +218,40 @@ def _run_shard(shard_index: int, rigs: list[TestRig], profile: Profile,
     return shard_index, block, harvest
 
 
+def _advance_shard(shard_index: int, blob: bytes, profile: Profile,
+                   steps: int, record_every_n: int,
+                   telemetry: TelemetryRequest | None = None,
+                   ) -> tuple[int, RunResult, bytes, TelemetryHarvest | None]:
+    """Worker entrypoint: advance one pickled shard engine by a window.
+
+    The blob is the shard's live :class:`BatchEngine` (rigs, RNG
+    streams, decimation phase and all) as pickled by the parent after
+    the previous window; it is advanced ``steps`` samples and shipped
+    home re-pickled together with the window's trace block, tagged with
+    the shard index for in-order merging.  Pickle round-trips the
+    engine state exactly, so windowing introduces no drift.
+
+    Telemetry handling mirrors :func:`_run_shard`: with a request the
+    window runs under fresh worker sinks inside a ``shard.worker``
+    span, and the harvest only ships on success.
+    """
+    _maybe_inject_fault(shard_index)
+    previous = (install_worker_telemetry(telemetry)
+                if telemetry is not None else None)
+    harvest = None
+    try:
+        engine = pickle.loads(blob)
+        with get_tracer().span("shard.worker", shard=shard_index,
+                               steps=steps):
+            block = engine.advance(profile, steps,
+                                   record_every_n=record_every_n)
+        new_blob = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        if previous is not None:
+            harvest = harvest_worker_telemetry(previous)
+    return shard_index, block, new_blob, harvest
+
+
 def _terminate(executor: ProcessPoolExecutor) -> None:
     """Tear an executor down hard (its worker may be hung or dead)."""
     processes = list(getattr(executor, "_processes", {}).values())
@@ -283,11 +327,27 @@ class ShardedEngine:
         self._workers = resolve_workers(workers, len(self._rigs))
         self._max_retries = int(max_retries)
         self._timeout_s = timeout_s
+        self._offset = 0
+        self._ran = False
+        self._bounds: list[tuple[int, int]] | None = None
+        self._blobs: list[bytes] | None = None
 
     @property
     def workers(self) -> int:
         """Resolved worker/shard count (``min(workers, len(rigs))``)."""
         return self._workers
+
+    @property
+    def offset(self) -> int:
+        """Samples already advanced (the absolute step of the next tick).
+
+        Zero on a fresh engine; grows with every :meth:`advance`
+        window.  The PR 6 contract: a run sliced into ``advance``
+        windows at any offsets is bit-identical to one uninterrupted
+        :meth:`run` — this property marks the cut point a checkpoint
+        captures.
+        """
+        return self._offset
 
     @property
     def numerics(self) -> str:
@@ -313,10 +373,15 @@ class ShardedEngine:
         """
         if record_every_n < 1:
             raise ConfigurationError("record_every_n must be >= 1")
+        if self._offset:
+            raise ConfigurationError(
+                "this engine was advanced in windows; continue with "
+                "advance() instead of run()")
         steps = int(round(profile.duration_s /
                           self._rigs[0].monitor.platform.dt_s))
         if steps < 1:
             raise ConfigurationError("profile shorter than one loop tick")
+        self._ran = True
         if self._workers == 1:
             # One shard: the serial engine *is* the sharded run.
             return BatchEngine(self._rigs, chunk_size=self._chunk,
@@ -334,6 +399,131 @@ class ShardedEngine:
             if id(rig) not in ticked_serially:
                 rig.monitor.platform.scheduler.bulk_tick(steps)
         return result
+
+    def advance(self, profile: Profile, steps: int,
+                record_every_n: int = 20) -> RunResult:
+        """Advance ``steps`` samples across the sharded fleet; one
+        window's merged traces out.
+
+        The windowed counterpart of :meth:`run` and the sharded
+        implementation of the PR 6 ``advance/offset`` contract:
+        consecutive windows concatenated time-wise are bit-identical to
+        one uninterrupted run, for any window boundaries and any worker
+        scheduling.  On the first call each shard's rigs are folded
+        into a pickled :class:`BatchEngine` blob; every window ships
+        each blob to a fresh single-process worker and stores the
+        advanced blob it sends back, so between windows the complete
+        run state lives in the parent — ready to be checkpointed by
+        pickling this engine.
+
+        A worker that dies, hangs or fails to pickle degrades that
+        shard's window to an in-process advance of the same blob
+        (``shard.fallbacks`` counts these); deterministic simulation
+        errors re-raise immediately, exactly as in :meth:`run`.
+
+        Raises
+        ------
+        ConfigurationError
+            On non-positive ``steps``/``record_every_n``, or if
+            :meth:`run` already consumed the fleet.
+        SensorFault
+            On membrane burst or housing overpressure, exactly as the
+            serial engine would.
+        """
+        if steps < 1:
+            raise ConfigurationError("advance needs at least one step")
+        if record_every_n < 1:
+            raise ConfigurationError("record_every_n must be >= 1")
+        if self._ran:
+            raise ConfigurationError(
+                "this engine's fleet was consumed by run(); build a "
+                "fresh ShardedEngine to advance in windows")
+        if self._blobs is None:
+            self._bounds = partition_monitors(len(self._rigs), self._workers)
+            self._blobs = [
+                pickle.dumps(
+                    BatchEngine(self._rigs[start:stop],
+                                chunk_size=self._chunk,
+                                numerics=self._numerics),
+                    protocol=pickle.HIGHEST_PROTOCOL)
+                for start, stop in self._bounds
+            ]
+        with get_tracer().span("shard.advance", n_monitors=len(self._rigs),
+                               workers=self._workers, steps=steps):
+            window = self._advance_window(profile, steps, record_every_n)
+        # Mirror the serial engine's scheduler accounting on the parent
+        # rigs (the live state advanced inside the blobs).
+        for rig in self._rigs:
+            rig.monitor.platform.scheduler.bulk_tick(steps)
+        self._offset += steps
+        return window
+
+    def _advance_window(self, profile: Profile, steps: int,
+                        record_every_n: int) -> RunResult:
+        """Ship every shard blob out for one window, collect in order.
+
+        One single-process executor per shard, submitted concurrently;
+        infrastructure failures degrade that shard to an in-process
+        advance of the same blob (the blob is only replaced by a
+        *successful* attempt, so a fallback resumes from exactly the
+        state the failed worker started with).
+        """
+        registry = get_registry()
+        tracer = get_tracer()
+        event_log = get_event_log()
+        profiler = get_profiler()
+        observing = registry.enabled
+        collecting = (observing or tracer.enabled or event_log.enabled
+                      or profiler.enabled)
+        telemetry = (TelemetryRequest(trace_context=tracer.current_context(),
+                                      profile=profiler.enabled)
+                     if collecting else None)
+        n_shards = len(self._blobs)
+        executors: dict[int, ProcessPoolExecutor] = {}
+        futures: dict[int, object] = {}
+        results: dict[int, RunResult] = {}
+        harvests: dict[int, TelemetryHarvest] = {}
+        fallback: list[int] = []
+        try:
+            for i in range(n_shards):
+                executors[i] = ProcessPoolExecutor(max_workers=1)
+                futures[i] = executors[i].submit(
+                    _advance_shard, i, self._blobs[i], profile, steps,
+                    record_every_n, telemetry)
+            for i in range(n_shards):
+                try:
+                    index, block, new_blob, harvest = futures[i].result(
+                        timeout=self._timeout_s)
+                    results[index] = block
+                    self._blobs[index] = new_blob
+                    if harvest is not None:
+                        harvests[index] = harvest
+                    executors.pop(i).shutdown(wait=True)
+                except ReproError:
+                    raise
+                except Exception:
+                    _terminate(executors.pop(i))
+                    fallback.append(i)
+        finally:
+            for executor in executors.values():
+                _terminate(executor)
+        for i in fallback:
+            if observing:
+                registry.counter(
+                    "shard.fallbacks",
+                    "shards degraded to the serial in-process "
+                    "engine").inc()
+            engine = pickle.loads(self._blobs[i])
+            results[i] = engine.advance(profile, steps,
+                                        record_every_n=record_every_n)
+            self._blobs[i] = pickle.dumps(
+                engine, protocol=pickle.HIGHEST_PROTOCOL)
+        for i in range(n_shards):
+            harvest = harvests.get(i)
+            if harvest is not None:
+                merge_harvest(harvest, registry=registry, tracer=tracer,
+                              event_log=event_log, profiler=profiler)
+        return RunResult.concat([results[i] for i in range(n_shards)])
 
     def _run_sharded(
             self, profile: Profile, record_every_n: int,

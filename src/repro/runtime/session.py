@@ -125,6 +125,16 @@ class Session:
             is the same fleet).
     chunk_size:
         Batch-engine noise pre-draw block length.
+    checkpoint_dir:
+        Durability root for this session (default None: no disk
+        artifacts).  Enables two things: calibrations persist in (and
+        materialize from) a :class:`repro.store.ArtifactStore` under
+        ``<checkpoint_dir>/store``, so a fresh process skips the §4
+        campaign with bit-identical outputs; and serial batch
+        :meth:`run` calls advance in checkpointed windows
+        (:func:`repro.runtime.checkpoint.run_durable`) that a crashed
+        process can pick up with ``run(..., resume=True)`` —
+        bit-identical to the uninterrupted run.
     """
 
     def __init__(self, n_monitors: int | None = None,
@@ -137,7 +147,8 @@ class Session:
                  calibration_speeds_cmps: list[float] | None = None,
                  fast_calibration: bool | None = None,
                  use_cache: bool | None = None,
-                 chunk_size: int = 1024) -> None:
+                 chunk_size: int = 1024,
+                 checkpoint_dir=None) -> None:
         build = dict(
             loop_rate_hz=loop_rate_hz,
             overtemperature_k=overtemperature_k,
@@ -184,6 +195,15 @@ class Session:
         self._dt = self._fleet.dt_s
         self._timings: dict[str, float] = {}
         self._runs = 0
+        if checkpoint_dir is not None:
+            from pathlib import Path
+
+            from repro.store import ArtifactStore
+            self._checkpoint_dir = Path(checkpoint_dir)
+            self._store = ArtifactStore(self._checkpoint_dir / "store")
+        else:
+            self._checkpoint_dir = None
+            self._store = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -233,7 +253,8 @@ class Session:
             engine: str = "batch",
             workers: int | None = None,
             numerics: str = "exact",
-            record_every_n: int | None = None) -> RunResult | dict:
+            record_every_n: int | None = None,
+            resume: bool = False) -> RunResult | dict:
         """Run a line profile over the fleet; decimated traces out.
 
         This is the unified run surface (shared with
@@ -279,6 +300,12 @@ class Session:
             too.  Refused (``reason="numerics"``) for
             ``engine="scalar"`` with ``"fast"`` — the scalar reference
             path *is* the exact contract and has no fast kernels.
+        resume:
+            Continue this run from the checkpoint a previous (crashed)
+            process left under the session's ``checkpoint_dir``.
+            Requires a checkpointed session with a serial batch run;
+            the resumed result is bit-identical to an uninterrupted
+            one.
 
         .. deprecated:: 1.1
             Positional ``engine`` / ``record_every_n`` still work but
@@ -319,6 +346,13 @@ class Session:
         every = resolve_record_every_n(self._dt, snapshot_s, record_every_n)
         if every < 1:
             raise ConfigurationError("record_every_n must be >= 1")
+        durable = (self._checkpoint_dir is not None and engine == "batch"
+                   and (workers is None or workers == 1))
+        if resume and not durable:
+            raise ConfigurationError(
+                "resume=True needs a checkpointed serial batch run: a "
+                "Session(checkpoint_dir=...) with engine='batch' and "
+                "workers in (None, 1)")
         t0 = time.perf_counter()
         with get_tracer().span("session.run", engine=engine,
                                numerics=mode,
@@ -332,7 +366,14 @@ class Session:
                 # realized values still share one BatchEngine).
                 from repro.runtime.mixed import MixedEngine, fleet_groups
                 mixed = len(fleet_groups(rigs)) > 1
-            if mixed:
+            if durable:
+                from repro.runtime.checkpoint import run_durable
+                result = run_durable(
+                    rigs, profile, record_every_n=every,
+                    checkpoint_path=(self._checkpoint_dir /
+                                     f"run-{self._runs}.ckpt"),
+                    resume=resume, chunk_size=self._chunk, numerics=mode)
+            elif mixed:
                 result = MixedEngine(
                     rigs, chunk_size=self._chunk, numerics=mode).run(
                     profile, record_every_n=every, workers=workers)
@@ -383,6 +424,7 @@ class Session:
             "runs": self._runs,
             "timings_s": dict(self._timings),
             "calibration_cache": calibration_cache_stats(),
+            "store": self._store.stats() if self._store is not None else {},
             "metrics": registry.snapshot() if registry.enabled else {},
             "profile": get_profiler().report(),
         }
@@ -411,7 +453,12 @@ class Session:
         self.close()
 
     def _materialize(self) -> list[MonitorHandle]:
-        """Build fresh handles from the per-position seeds and specs."""
+        """Build fresh handles from the per-position seeds and specs.
+
+        A checkpointed session passes its artifact store down, so the
+        first materialization in a fresh process restores persisted
+        calibrations instead of re-running campaigns.
+        """
         return [
             MonitorHandle(index=i, seed=s,
                           monitor=setup.monitor, rig=setup.rig,
@@ -419,5 +466,6 @@ class Session:
             for i, (s, entry) in enumerate(zip(self._seeds,
                                                self._fleet.flat()))
             for setup in (build_calibrated_monitor(seed=s,
+                                                   store=self._store,
                                                    **entry.build_kwargs()),)
         ]

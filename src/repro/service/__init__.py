@@ -15,18 +15,26 @@ Client-facing entry points (re-exported from the top-level ``repro``
 package): :func:`~repro.service.facade.connect` for streaming,
 :func:`~repro.service.facade.run` for one-shot runs.  See
 ``docs/service.md`` for the architecture and the parity guarantees.
+
+Durability: a service built with ``checkpoint_dir=`` snapshots every
+sealed cohort after each tick; after a process death
+:func:`recover_cohorts` salvages the orphans and finishes their runs
+bit-identically (see ``docs/durability.md``).
 """
 
 from repro.service.facade import ServiceClient, connect, run
-from repro.service.service import ClientSession, FleetService
+from repro.service.service import (ClientSession, FleetService,
+                                   RecoveredCohort, recover_cohorts)
 from repro.service.streams import Snapshot, SnapshotStream
 
 __all__ = [
     "FleetService",
     "ClientSession",
+    "RecoveredCohort",
     "ServiceClient",
     "Snapshot",
     "SnapshotStream",
     "connect",
+    "recover_cohorts",
     "run",
 ]

@@ -30,17 +30,31 @@ coroutines on the same loop — are naturally serialized *between* ticks
 with no locks.  Backpressure is cooperative: a cohort only ticks while
 every member's stream has space, so one slow consumer stalls its cohort
 (bounded memory) without blocking other cohorts.
+
+Crash recovery: with ``checkpoint_dir=`` the service snapshots every
+sealed cohort after each tick — the live
+:class:`~repro.runtime.mixed.MixedEngine` plus each member's streamed
+windows, a consistent pair — into ``cohort-<id>.ckpt`` artifacts, and
+deletes them when the cohort completes, crashes deterministically, or
+empties.  After a process death, :func:`recover_cohorts` lists the
+orphaned cohorts and each :class:`RecoveredCohort` can :meth:`~
+RecoveredCohort.resume` — advancing the engine to the horizon and
+stitching per-client results bit-identical to what the uninterrupted
+service would have streamed.
 """
 
 from __future__ import annotations
 
 import asyncio
+from dataclasses import dataclass
+from pathlib import Path
 from typing import AsyncIterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ReproError, ServiceError
 from repro.observability import get_event_log, get_registry, get_tracer
+from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
 from repro.runtime.mixed import MixedEngine
 from repro.runtime.result import RunResult
 from repro.runtime.session import Session, resolve_record_every_n
@@ -49,7 +63,8 @@ from repro.runtime.kernels import resolve_numerics
 from repro.service.streams import Snapshot, SnapshotStream
 from repro.station.profiles import Profile
 
-__all__ = ["FleetService", "ClientSession"]
+__all__ = ["FleetService", "ClientSession", "RecoveredCohort",
+           "recover_cohorts"]
 
 
 def _empty_result(n: int) -> RunResult:
@@ -270,6 +285,12 @@ class FleetService:
     chunk_size:
         Noise pre-draw block length for cohort engines (bit-invariant;
         a locality/memory trade-off only).
+    checkpoint_dir:
+        When given, every sealed cohort is snapshotted to
+        ``cohort-<id>.ckpt`` under this directory after each tick (and
+        the artifact deleted once the cohort ends), so a process death
+        strands no compute: :func:`recover_cohorts` salvages the
+        orphans and finishes their runs bit-identically.
 
     Lifecycle: ``await start()`` spawns the tick loop, ``await stop()``
     fails the remaining clients with :class:`~repro.errors.ServiceError`
@@ -278,7 +299,7 @@ class FleetService:
     """
 
     def __init__(self, *, tick_steps: int = 1000, max_pending: int = 8,
-                 chunk_size: int = 1024) -> None:
+                 chunk_size: int = 1024, checkpoint_dir=None) -> None:
         if tick_steps < 1:
             raise ConfigurationError("tick_steps must be >= 1")
         if max_pending < 1:
@@ -288,6 +309,8 @@ class FleetService:
         self._tick_steps = int(tick_steps)
         self._max_pending = int(max_pending)
         self._chunk = int(chunk_size)
+        self._checkpoint_dir = (None if checkpoint_dir is None
+                                else Path(checkpoint_dir))
         self._groups: dict[int, _Group] = {}
         self._open_by_key: dict[tuple, _Group] = {}
         self._members: set[_Member] = set()
@@ -560,6 +583,11 @@ class FleetService:
         self._groups.pop(group.group_id, None)
         if self._open_by_key.get(group.key) is group:
             del self._open_by_key[group.key]
+        if self._checkpoint_dir is not None:
+            # The cohort ended (completed, crashed or emptied): its
+            # checkpoint no longer names recoverable work.
+            (self._checkpoint_dir
+             / f"cohort-{group.group_id}.ckpt").unlink(missing_ok=True)
         registry = get_registry()
         if registry.enabled:
             registry.gauge("service.groups").set(len(self._groups))
@@ -635,6 +663,35 @@ class FleetService:
                 self._finalize(member, result=self._stitch(member))
             group.members.clear()
             self._discard_group(group)
+        elif self._checkpoint_dir is not None:
+            self._checkpoint_group(group)
+
+    def _checkpoint_group(self, group: _Group) -> None:
+        """Snapshot a sealed cohort to ``cohort-<id>.ckpt``.
+
+        The artifact pairs the live engine with every member's streamed
+        windows *at the same cut point*, so a resume continues exactly
+        where the streamed data ends.  The write is atomic, so a crash
+        mid-save leaves the previous tick's checkpoint intact.
+        """
+        save_checkpoint(
+            group.engine,
+            self._checkpoint_dir / f"cohort-{group.group_id}.ckpt",
+            meta={
+                "service": "cohort",
+                "group_id": group.group_id,
+                "done": group.done,
+                "total_steps": group.total_steps,
+                "record_every_n": group.record_every_n,
+                "profile": group.profile,
+                "members": [
+                    {"client_id": m.client.client_id,
+                     "seed": m.client.seed,
+                     "n": m.n,
+                     "windows": list(m.windows)}
+                    for m in group.members
+                ],
+            })
 
     async def _loop(self) -> None:
         """The tick loop: round-robin over ready cohorts, stall on none.
@@ -667,3 +724,103 @@ class FleetService:
             if not progressed:
                 self._wake.clear()
                 await self._wake.wait()
+
+
+@dataclass
+class RecoveredCohort:
+    """One orphaned cohort salvaged from a dead service's checkpoints.
+
+    Produced by :func:`recover_cohorts`.  Holds the restored live
+    engine plus every member's already-streamed windows at the same cut
+    point; :meth:`resume` finishes the run offline.
+
+    Attributes
+    ----------
+    path:
+        The checkpoint artifact this cohort was restored from.
+    group_id:
+        The dead service's cohort id.
+    done / total_steps:
+        Engine samples completed at the checkpoint, and the horizon.
+    record_every_n:
+        Recording decimation the cohort streamed at.
+    clients:
+        Member client ids, in attach order.
+    """
+
+    path: Path
+    group_id: int
+    done: int
+    total_steps: int
+    record_every_n: int
+    clients: list[str]
+    _profile: Profile
+    _members: list[dict]
+    _engine: MixedEngine
+
+    def resume(self) -> dict[str, RunResult]:
+        """Finish the cohort's run; per-client stitched results.
+
+        Advances the restored engine from the checkpoint's cut point to
+        the horizon, slices each member its own rows, and concatenates
+        them onto the windows the dead service already streamed — the
+        returned :class:`~repro.runtime.result.RunResult` per client id
+        is bit-identical to what an uninterrupted service would have
+        resolved from :meth:`ClientSession.result`.  On success the
+        checkpoint artifact is deleted.
+        """
+        windows = [list(m["windows"]) for m in self._members]
+        remaining = self.total_steps - self.done
+        if remaining > 0:
+            window = self._engine.advance(
+                self._profile, remaining,
+                record_every_n=self.record_every_n)
+            lo = 0
+            for m, acc in zip(self._members, windows):
+                acc.append(_slice_rows(window, lo, lo + m["n"]))
+                lo += m["n"]
+        results = {
+            m["client_id"]: (RunResult.concat_time(acc) if acc
+                             else _empty_result(m["n"]))
+            for m, acc in zip(self._members, windows)
+        }
+        self.path.unlink(missing_ok=True)
+        return results
+
+
+def recover_cohorts(checkpoint_dir) -> list[RecoveredCohort]:
+    """List the cohorts a dead service left behind, oldest cohort first.
+
+    Scans ``checkpoint_dir`` for ``cohort-*.ckpt`` artifacts written by
+    a :class:`FleetService` run with ``checkpoint_dir=`` and restores
+    each into a :class:`RecoveredCohort`.  Call
+    :meth:`RecoveredCohort.resume` to finish a cohort's run and collect
+    the per-client results the dead service never delivered.
+
+    Returns an empty list when nothing was stranded (the service
+    deletes checkpoints for cohorts that end normally).
+
+    Raises
+    ------
+    CheckpointError
+        ``reason="corrupt"``/``"version"``/``"kind"`` if an artifact in
+        the directory is not a readable service cohort checkpoint.
+    """
+    root = Path(checkpoint_dir)
+    cohorts = []
+    for path in sorted(root.glob("cohort-*.ckpt")):
+        ckpt = load_checkpoint(path, expect_kind="mixed")
+        meta = ckpt.meta
+        cohorts.append(RecoveredCohort(
+            path=path,
+            group_id=int(meta["group_id"]),
+            done=int(meta["done"]),
+            total_steps=int(meta["total_steps"]),
+            record_every_n=int(meta["record_every_n"]),
+            clients=[m["client_id"] for m in meta["members"]],
+            _profile=meta["profile"],
+            _members=meta["members"],
+            _engine=ckpt.engine,
+        ))
+    cohorts.sort(key=lambda cohort: cohort.group_id)
+    return cohorts

@@ -32,15 +32,29 @@ Runtime imports stay inside functions (the station package must not
 import :mod:`repro.runtime` at module load; see
 :func:`repro.station.fleet.characterize_meter_pool` for the same
 idiom).
+
+Campaigns are durable: pass ``checkpoint_dir=`` and
+:func:`run_campaign` snapshots the live group engine plus all completed
+bookkeeping after every window (the event-edge cuts it already advances
+between).  A killed campaign restarted with ``resume=True`` skips the
+completed groups and windows and produces a :class:`CampaignReport`
+bit-identical to an uninterrupted run — groups execute in a
+deterministic order and untouched groups re-materialize from their
+seeds, so only the in-flight engine needs to ride the checkpoint.  A
+fault hook for tests and CI: set ``REPRO_CAMPAIGN_FAULT=kill:<k>`` to
+SIGKILL the process right after the k-th checkpoint write.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.observability import get_event_log, get_registry, get_tracer
 from repro.station.demand import DiurnalDemand, DiurnalDemandShape
 from repro.station.profiles import Profile, Segment
@@ -48,7 +62,34 @@ from repro.station.profiles import Profile, Segment
 __all__ = ["EVENT_KINDS", "SCENARIO_NAMES", "Event", "ScenarioSpec",
            "ScenarioProfile", "CampaignReport", "builtin_scenario",
            "resolve_scenario", "household_demand", "station_demand",
-           "run_campaign"]
+           "run_campaign", "CAMPAIGN_FAULT_ENV"]
+
+#: Environment variable consulted after every campaign checkpoint write
+#: (test hook): ``kill:<k>`` SIGKILLs the process right after the k-th
+#: write — the deterministic mid-window crash the durability CI job and
+#: the resume tests rely on.
+CAMPAIGN_FAULT_ENV = "REPRO_CAMPAIGN_FAULT"
+
+_CAMPAIGN_CHECKPOINT_WRITES = 0
+
+
+def _maybe_campaign_fault() -> None:
+    """Honour the ``REPRO_CAMPAIGN_FAULT`` test hook after a write."""
+    spec = os.environ.get(CAMPAIGN_FAULT_ENV)
+    if not spec:
+        return
+    mode, target = spec.split(":")
+    if mode == "kill" and _CAMPAIGN_CHECKPOINT_WRITES == int(target):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _write_campaign_checkpoint(engine, path, meta: dict) -> None:
+    """One durable campaign snapshot, then the fault hook (tests/CI)."""
+    global _CAMPAIGN_CHECKPOINT_WRITES
+    from repro.runtime.checkpoint import save_checkpoint
+    save_checkpoint(engine, path, meta=meta)
+    _CAMPAIGN_CHECKPOINT_WRITES += 1
+    _maybe_campaign_fault()
 
 
 def _slab_leak(s: float, p: float, t: float, m: float):
@@ -355,7 +396,9 @@ def run_campaign(fleet, *, duration_s: float | None = None,
                  snapshot_s: float | None = None,
                  record_every_n: int | None = None,
                  numerics: str = "exact",
-                 chunk_size: int = 1024) -> CampaignReport:
+                 chunk_size: int = 1024,
+                 checkpoint_dir=None,
+                 resume: bool = False) -> CampaignReport:
     """Run a scenario campaign described by a scenario-tagged FleetSpec.
 
     Each :class:`~repro.runtime.RigSpec` entry's ``scenario`` tag (a
@@ -388,18 +431,35 @@ def run_campaign(fleet, *, duration_s: float | None = None,
         :func:`repro.runtime.session.resolve_record_every_n`).
     numerics / chunk_size:
         Forwarded to every group engine.
+    checkpoint_dir:
+        Durability root (default None: no disk artifacts).  The
+        campaign checkpoints its state to
+        ``<checkpoint_dir>/campaign.ckpt`` after every completed
+        window; the artifact is deleted on success.
+    resume:
+        Continue from the checkpoint a previous (killed) campaign left
+        under ``checkpoint_dir``.  Completed groups and windows are
+        skipped; the final report is bit-identical to an uninterrupted
+        run.
 
     Raises
     ------
     ConfigurationError
         On a missing horizon, an unknown demand kind, unknown scenario
         names, or anything the engines refuse.
+    CheckpointError
+        When resuming: ``reason="missing"`` without a checkpoint,
+        ``reason="mismatch"`` if the checkpoint belongs to a different
+        campaign configuration.
     """
     # Lazy runtime imports: station must not pull repro.runtime at
     # module-import time (cycle; see module docstring).
     from repro.runtime import BatchEngine, FleetSpec, RunResult
+    from repro.runtime.checkpoint import load_checkpoint
+    from repro.runtime.kernels import resolve_numerics
     from repro.runtime.mixed import config_group_key
     from repro.runtime.session import resolve_record_every_n
+    from repro.store import canonical_key
 
     if not isinstance(fleet, FleetSpec):
         raise ConfigurationError(
@@ -446,14 +506,52 @@ def run_campaign(fleet, *, duration_s: float | None = None,
         group["positions"].append(pos)
         group["rigs"].append(rig)
 
+    checkpoint_path = (Path(checkpoint_dir) / "campaign.ckpt"
+                       if checkpoint_dir is not None else None)
+    fingerprint = None
+    if checkpoint_path is not None:
+        fingerprint = canonical_key({
+            "fleet": fleet.to_dict(),
+            "segments": [(s.duration_s, s.speed_mps, s.pressure_pa,
+                          s.temperature_k, s.interpolate)
+                         for s in base_profile.segments],
+            "total_steps": total_steps,
+            "record_every_n": every,
+            "numerics": resolve_numerics(numerics),
+            "chunk_size": int(chunk_size),
+        })
+    restored = None
+    if resume:
+        if checkpoint_path is None:
+            raise ConfigurationError(
+                "resume=True requires checkpoint_dir (the campaign "
+                "checkpoint to pick up)")
+        restored = load_checkpoint(checkpoint_path, expect_kind="batch")
+        if restored.meta.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path} was taken under a different "
+                f"campaign configuration (fleet/profile/cadence/numerics); "
+                f"refusing to resume", reason="mismatch")
+
     with get_tracer().span("station.campaign", n_monitors=len(rigs),
                            n_groups=len(exec_groups),
                            duration_s=horizon_s):
         group_reports = []
         blocks = []
         indices = []
-        for group in exec_groups.values():
+        # Completed groups travel inside the checkpoint; groups the
+        # crash never reached re-materialize deterministically from
+        # their seeds, so only the in-flight engine rides the artifact.
+        completed = list(restored.meta["completed"]) if restored else []
+        current = restored.meta["current"] if restored else None
+        for gi, group in enumerate(exec_groups.values()):
             scenario = group["scenario"]
+            if gi < len(completed):
+                entry = completed[gi]
+                blocks.append(entry["block"])
+                indices.append(list(group["positions"]))
+                group_reports.append(entry["report"])
+                continue
             profile = ScenarioProfile(base_profile, scenario.events)
             # Window boundaries at the event edges, as absolute steps
             # (the same rounding used to label window activity below —
@@ -469,11 +567,20 @@ def run_campaign(fleet, *, duration_s: float | None = None,
                     if 0 < step < total_steps:
                         cuts.add(step)
             bounds = sorted(cuts)
-            engine = BatchEngine(group["rigs"], chunk_size=chunk_size,
-                                 numerics=numerics)
-            windows = []
-            window_rows = []
-            for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if current is not None and gi == len(completed):
+                engine = restored.engine
+                windows = list(current["windows"])
+                window_rows = list(current["window_rows"])
+                first_window = current["next_window"]
+                current = None
+            else:
+                engine = BatchEngine(group["rigs"], chunk_size=chunk_size,
+                                     numerics=numerics)
+                windows = []
+                window_rows = []
+                first_window = 0
+            for wi in range(first_window, len(bounds) - 1):
+                lo, hi = bounds[wi], bounds[wi + 1]
                 rows = engine.advance(profile, hi - lo,
                                       record_every_n=every)
                 active = sorted({kind for kind, start, end in edges
@@ -484,6 +591,14 @@ def run_campaign(fleet, *, duration_s: float | None = None,
                     "active": active,
                     "means": _window_means(rows),
                 })
+                if checkpoint_path is not None and wi < len(bounds) - 2:
+                    _write_campaign_checkpoint(
+                        engine, checkpoint_path,
+                        meta={"fingerprint": fingerprint,
+                              "completed": completed,
+                              "current": {"windows": windows,
+                                          "window_rows": window_rows,
+                                          "next_window": wi + 1}})
             baseline_means = windows[0]["means"]
             for window in windows:
                 window["deltas"] = {
@@ -493,14 +608,22 @@ def run_campaign(fleet, *, duration_s: float | None = None,
                 if len(window_rows) > 1 else window_rows[0]
             blocks.append(merged)
             indices.append(group["positions"])
-            group_reports.append({
+            report = {
                 "scenario": scenario.name,
                 "config_key": group["config_key"],
                 "positions": list(group["positions"]),
                 "events": [event.to_dict()
                            for event in scenario.events],
                 "windows": windows,
-            })
+            }
+            group_reports.append(report)
+            if checkpoint_path is not None and gi < len(exec_groups) - 1:
+                completed.append({"report": report, "block": merged})
+                _write_campaign_checkpoint(
+                    engine, checkpoint_path,
+                    meta={"fingerprint": fingerprint,
+                          "completed": completed,
+                          "current": None})
         if len(blocks) == 1 and indices[0] == list(range(len(rigs))):
             result = blocks[0]
         else:
@@ -518,6 +641,8 @@ def run_campaign(fleet, *, duration_s: float | None = None,
     get_event_log().emit("station.campaign", n_monitors=len(rigs),
                          n_groups=len(exec_groups), duration_s=horizon_s)
 
+    if checkpoint_path is not None:
+        checkpoint_path.unlink(missing_ok=True)
     day_reports = _day_rollups(result, horizon_s, days)
     return CampaignReport(result=result, groups=group_reports,
                           days=day_reports, duration_s=horizon_s,

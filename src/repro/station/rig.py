@@ -106,6 +106,28 @@ class RigRecord:
                     f"record archive missing traces {missing}")
             return cls(**{name: data[name] for name in cls.FIELDS})
 
+    @classmethod
+    def concat(cls, parts: list["RigRecord"]) -> "RigRecord":
+        """Stitch consecutive windows (from :meth:`TestRig.advance`)
+        back into one record, trace by trace.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``parts`` is empty.
+        """
+        if not parts:
+            raise ConfigurationError("RigRecord.concat needs at least one part")
+        traces = {}
+        for name in cls.FIELDS:
+            arrays = [np.asarray(getattr(part, name)) for part in parts]
+            # A window too short to cross a recording boundary yields an
+            # empty list whose default float dtype would promote integer
+            # traces (direction); drop empties unless all are empty.
+            filled = [arr for arr in arrays if arr.size] or arrays[:1]
+            traces[name] = np.concatenate(filled)
+        return cls(**traces)
+
 
 class TestRig:
     """One measurement line with a monitor-under-test and a reference."""
@@ -185,9 +207,52 @@ class TestRig:
         steps = int(round(profile.duration_s / dt))
         if steps < 1:
             raise ConfigurationError("profile shorter than one loop tick")
+        return self._advance(profile, 0, steps, record_every_n, dt)
+
+    @property
+    def offset(self) -> int:
+        """Absolute loop tick the next :meth:`advance` resumes from.
+
+        Zero on a fresh rig; advances by ``steps`` per :meth:`advance`
+        call.  Checkpoints taken between windows (pickling the rig)
+        carry this offset, which is what makes a resumed run evaluate
+        profile setpoints at the same absolute times — and record the
+        same decimation phase — as an uninterrupted one.
+        """
+        return getattr(self, "_advance_offset", 0)
+
+    def advance(self, profile: Profile, steps: int,
+                record_every_n: int = 20) -> RigRecord:
+        """Advance ``steps`` loop ticks through ``profile`` and return
+        the window's decimated traces.
+
+        The scalar sibling of :meth:`repro.runtime.BatchEngine.advance`
+        (the PR 6 contract): consecutive windows stitched with
+        :meth:`RigRecord.concat` are bit-identical to one uninterrupted
+        :meth:`run` of the same total length — setpoints are evaluated
+        at absolute step times and the ``record_every_n`` decimation
+        phase carries across window boundaries.
+
+        Raises
+        ------
+        ConfigurationError
+            On non-positive ``steps`` or ``record_every_n``.
+        """
+        if steps < 1:
+            raise ConfigurationError("advance needs at least one step")
+        if record_every_n < 1:
+            raise ConfigurationError("record_every_n must be >= 1")
+        dt = self.monitor.platform.dt_s
+        start = self.offset
+        record = self._advance(profile, start, steps, record_every_n, dt)
+        self._advance_offset = start + steps
+        return record
+
+    def _advance(self, profile: Profile, start: int, steps: int,
+                 record_every_n: int, dt: float) -> RigRecord:
         t_buf, v_true, v_ref, v_meas = [], [], [], []
         direction, pressure, temperature, coverage = [], [], [], []
-        for i in range(steps):
+        for i in range(start, start + steps):
             t = i * dt
             v_set, p_set, t_set = profile.setpoints(t)
             state = self.line.step(dt, v_set, p_set, t_set)

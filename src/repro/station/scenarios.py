@@ -17,6 +17,17 @@ determines them, so fleet-scale callers (``repro.runtime.Session``) pay
 for one campaign per distinct configuration.  Builds with a caller-owned
 ``housing`` bypass the cache — the assembly carries mutable state the
 cache must not alias.
+
+Underneath the LRU sits the optional disk-backed
+:class:`repro.store.ArtifactStore` (``store=`` argument, or the
+process-wide default from :func:`repro.store.get_default_store` /
+``REPRO_STORE``): an LRU miss first consults the store — keyed by the
+canonical hash of the sensor config's ``to_dict`` plus the build knobs
+— and only runs the §4 campaign when the store misses too, publishing
+the artifact for other workers and future processes.  Restoring from
+the store is bit-identical to a fresh campaign: the same
+(calibration, sensor-state snapshot) pair the LRU holds round-trips
+through pickle exactly.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ from repro.sensor.maf import MAFConfig, MAFSensor
 from repro.sensor.packaging import SensorHousing
 from repro.station.line import LineConfig, WaterLine
 from repro.station.rig import TestRig, run_calibration
+from repro.store import canonical_key, get_default_store
 
 __all__ = ["CalibratedSetup", "vinci_station", "build_calibrated_monitor",
            "clear_calibration_cache", "calibration_cache_stats",
@@ -99,7 +111,9 @@ def calibration_cache_stats() -> dict:
     The hit/miss tallies are process-lifetime (reset by
     :func:`clear_calibration_cache`); uncacheable builds (caller-owned
     housing, ``use_cache=False``) count as misses — they paid for a
-    full campaign.
+    full campaign.  A *miss* may still be served from the disk-backed
+    artifact store without a campaign — the store keeps its own
+    hit/miss tallies (:meth:`repro.store.ArtifactStore.stats`).
     """
     lookups = _CACHE_HITS + _CACHE_MISSES
     return {
@@ -176,6 +190,7 @@ def build_calibrated_monitor(
     sensor_config: MAFConfig | None = None,
     housing: SensorHousing | None = None,
     use_cache: bool = True,
+    store=None,
 ) -> CalibratedSetup:
     """Build, calibrate and wrap a complete monitoring point.
 
@@ -199,6 +214,12 @@ def build_calibrated_monitor(
     use_cache:
         Memoize the campaign per distinct configuration (default).
         Builds with a caller-owned ``housing`` always bypass the cache.
+    store:
+        Disk-backed :class:`repro.store.ArtifactStore` layered under
+        the in-process LRU (defaults to the process-wide store from
+        :func:`repro.store.get_default_store`, if any).  Cacheable LRU
+        misses consult it before recalibrating and publish the fitted
+        artifact after a campaign.
     """
     (die_ss, cal_platform_ss, cal_line_ss, cal_reference_ss,
      run_platform_ss, rig_line_ss, rig_reference_ss) = \
@@ -228,19 +249,41 @@ def build_calibrated_monitor(
         _CACHE_MISSES += 1
         if registry.enabled:
             registry.counter("station.calibration_cache.misses").inc()
-        with get_tracer().span("scenarios.calibration_campaign", seed=seed):
-            cal_platform = ISIFPlatform.for_anemometer(
-                loop_rate_hz=loop_rate_hz, bit_true_adc=bit_true_adc,
-                seed=_child_seed(cal_platform_ss))
-            cal_controller = CTAController(sensor, cal_platform, cta_cfg)
-            line = WaterLine(LineConfig(seed=_child_seed(cal_line_ss)))
-            calibration = run_calibration(
-                cal_controller, speeds, line=line,
-                reference=Promag50(seed=_child_seed(cal_reference_ss)),
-                settle_s=settle_s, average_s=average_s)
+        disk = (store or get_default_store()) if cacheable else None
+        disk_key = canonical_key({
+            "sensor": sensor_cfg.to_dict(),
+            "seed": seed,
+            "loop_rate_hz": loop_rate_hz,
+            "overtemperature_k": overtemperature_k,
+            "output_bandwidth_hz": output_bandwidth_hz,
+            "use_pulsed_drive": use_pulsed_drive,
+            "bit_true_adc": bit_true_adc,
+            "speeds": speeds,
+            "fast": fast,
+        }) if disk is not None else None
+        artifact = disk.get("calibration", disk_key) if disk is not None else None
+        if artifact is not None:
+            calibration = artifact["calibration"]
+            snapshot = artifact["snapshot"]
+            _restore_sensor(sensor, snapshot)
+        else:
+            with get_tracer().span("scenarios.calibration_campaign",
+                                   seed=seed):
+                cal_platform = ISIFPlatform.for_anemometer(
+                    loop_rate_hz=loop_rate_hz, bit_true_adc=bit_true_adc,
+                    seed=_child_seed(cal_platform_ss))
+                cal_controller = CTAController(sensor, cal_platform, cta_cfg)
+                line = WaterLine(LineConfig(seed=_child_seed(cal_line_ss)))
+                calibration = run_calibration(
+                    cal_controller, speeds, line=line,
+                    reference=Promag50(seed=_child_seed(cal_reference_ss)),
+                    settle_s=settle_s, average_s=average_s)
+            snapshot = _snapshot_sensor(sensor)
+            if disk is not None:
+                disk.put("calibration", disk_key,
+                         {"calibration": calibration, "snapshot": snapshot})
         if cacheable:
-            _CALIBRATION_CACHE[cache_key] = (calibration,
-                                             _snapshot_sensor(sensor))
+            _CALIBRATION_CACHE[cache_key] = (calibration, snapshot)
             while len(_CALIBRATION_CACHE) > _CALIBRATION_CACHE_MAX:
                 _CALIBRATION_CACHE.popitem(last=False)
 

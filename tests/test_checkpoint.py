@@ -1,0 +1,283 @@
+"""Checkpoint/resume unit tests: artifact hygiene and bit-exact restarts.
+
+The contract under test (``repro.runtime.checkpoint``): a checkpoint
+is the pickled live engine between ``advance`` windows, so restoring it
+and finishing the run is byte-identical to never having stopped —
+for every engine kind, from arbitrary cut points, across real process
+deaths (the campaign SIGKILL test at the bottom).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.runtime import (BatchEngine, FleetSpec, MixedEngine, Session,
+                           ShardedEngine, load_checkpoint, run_durable,
+                           save_checkpoint, spawn_monitor_seeds)
+from repro.runtime.checkpoint import CHECKPOINT_FORMAT_VERSION, engine_kind
+from repro.station.profiles import staircase
+from repro.station.scenarios import (build_calibrated_monitor,
+                                     clear_calibration_cache)
+
+pytestmark = pytest.mark.durability
+
+_PROFILE = staircase([0.0, 70.0], dwell_s=0.25)  # 500 steps at 1 kHz
+_TOTAL = 500
+_EVERY = 10
+
+
+def _rigs(n=2, base_seed=31337):
+    return [build_calibrated_monitor(seed=s, fast=True).rig
+            for s in spawn_monitor_seeds(base_seed, n)]
+
+
+def _fields(result):
+    return {name: np.asarray(getattr(result, name))
+            for name in ("time_s",) + type(result).STACKED_FIELDS}
+
+
+def _assert_bit_equal(got, ref):
+    a, b = _fields(got), _fields(ref)
+    assert sorted(a) == sorted(b)
+    for name in b:
+        assert a[name].tobytes() == b[name].tobytes(), name
+
+
+# -- artifact hygiene ---------------------------------------------------------
+
+
+def test_engine_kind_dispatch():
+    rigs = _rigs(2)
+    assert engine_kind(rigs[0]) == "scalar"
+    assert engine_kind(BatchEngine(_rigs(2))) == "batch"
+    assert engine_kind(MixedEngine(_rigs(2))) == "mixed"
+    assert engine_kind(ShardedEngine(_rigs(2), workers=2)) == "sharded"
+    with pytest.raises(CheckpointError) as exc:
+        engine_kind(object())
+    assert exc.value.reason == "kind"
+
+
+def test_save_load_round_trip(tmp_path):
+    engine = BatchEngine(_rigs(2))
+    engine.advance(_PROFILE, 123, record_every_n=_EVERY)
+    path = save_checkpoint(engine, tmp_path / "a.ckpt",
+                           meta={"note": "mid-run"})
+    ckpt = load_checkpoint(path)
+    assert ckpt.version == CHECKPOINT_FORMAT_VERSION
+    assert ckpt.kind == "batch"
+    assert ckpt.offset == 123
+    assert ckpt.meta == {"note": "mid-run"}
+    assert ckpt.engine.offset == 123
+
+
+def test_load_missing_raises(tmp_path):
+    with pytest.raises(CheckpointError) as exc:
+        load_checkpoint(tmp_path / "nope.ckpt")
+    assert exc.value.reason == "missing"
+
+
+def test_load_corrupt_raises(tmp_path):
+    path = tmp_path / "bad.ckpt"
+    path.write_bytes(b"garbage")
+    with pytest.raises(CheckpointError) as exc:
+        load_checkpoint(path)
+    assert exc.value.reason == "corrupt"
+    path.write_bytes(pickle.dumps({"magic": "wrong"}))
+    with pytest.raises(CheckpointError) as exc:
+        load_checkpoint(path)
+    assert exc.value.reason == "corrupt"
+
+
+def test_load_version_mismatch_raises(tmp_path):
+    path = save_checkpoint(BatchEngine(_rigs(1)), tmp_path / "v.ckpt")
+    record = pickle.loads(path.read_bytes())
+    record["version"] = CHECKPOINT_FORMAT_VERSION + 1
+    path.write_bytes(pickle.dumps(record))
+    with pytest.raises(CheckpointError) as exc:
+        load_checkpoint(path)
+    assert exc.value.reason == "version"
+
+
+def test_load_expect_kind_raises(tmp_path):
+    path = save_checkpoint(BatchEngine(_rigs(1)), tmp_path / "k.ckpt")
+    with pytest.raises(CheckpointError) as exc:
+        load_checkpoint(path, expect_kind="mixed")
+    assert exc.value.reason == "kind"
+    assert load_checkpoint(path, expect_kind="batch").kind == "batch"
+
+
+# -- bit-exact resume ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("cut", [1, 237, 499])
+def test_batch_resume_bit_identical(tmp_path, cut):
+    ref = BatchEngine(_rigs(2)).run(_PROFILE, record_every_n=_EVERY)
+    engine = BatchEngine(_rigs(2))
+    first = engine.advance(_PROFILE, cut, record_every_n=_EVERY)
+    save_checkpoint(engine, tmp_path / "cut.ckpt")
+    restored = load_checkpoint(tmp_path / "cut.ckpt").engine
+    rest = restored.advance(_PROFILE, _TOTAL - cut, record_every_n=_EVERY)
+    from repro.runtime import RunResult
+    _assert_bit_equal(RunResult.concat_time([first, rest]), ref)
+
+
+def test_run_durable_matches_plain_batch(tmp_path):
+    ref = BatchEngine(_rigs(2)).run(_PROFILE, record_every_n=_EVERY)
+    got = run_durable(_rigs(2), _PROFILE,
+                      checkpoint_path=tmp_path / "run.ckpt",
+                      record_every_n=_EVERY, window_steps=180)
+    _assert_bit_equal(got, ref)
+    assert not (tmp_path / "run.ckpt").exists()  # deleted on success
+
+
+def test_run_durable_crash_resume_bit_identical(tmp_path, monkeypatch):
+    """Kill run_durable after two windows; resume equals uninterrupted."""
+    ref = run_durable(_rigs(2), _PROFILE,
+                      checkpoint_path=tmp_path / "ref.ckpt",
+                      record_every_n=_EVERY, window_steps=180)
+
+    calls = {"n": 0}
+    real_advance = MixedEngine.advance
+
+    def dying_advance(self, *args, **kwargs):
+        if calls["n"] == 2:
+            raise KeyboardInterrupt("simulated process death")
+        calls["n"] += 1
+        return real_advance(self, *args, **kwargs)
+
+    monkeypatch.setattr(MixedEngine, "advance", dying_advance)
+    with pytest.raises(KeyboardInterrupt):
+        run_durable(_rigs(2), _PROFILE,
+                    checkpoint_path=tmp_path / "run.ckpt",
+                    record_every_n=_EVERY, window_steps=180)
+    monkeypatch.setattr(MixedEngine, "advance", real_advance)
+    assert (tmp_path / "run.ckpt").exists()
+    assert load_checkpoint(tmp_path / "run.ckpt").offset == 360
+
+    got = run_durable(_rigs(2), _PROFILE,
+                      checkpoint_path=tmp_path / "run.ckpt",
+                      record_every_n=_EVERY, window_steps=180, resume=True)
+    _assert_bit_equal(got, ref)
+    assert not (tmp_path / "run.ckpt").exists()
+
+
+def test_run_durable_resume_without_checkpoint_raises(tmp_path):
+    with pytest.raises(CheckpointError) as exc:
+        run_durable(_rigs(1), _PROFILE,
+                    checkpoint_path=tmp_path / "none.ckpt",
+                    record_every_n=_EVERY, resume=True)
+    assert exc.value.reason == "missing"
+
+
+def test_run_durable_fingerprint_mismatch_raises(tmp_path):
+    engine = MixedEngine(_rigs(2))
+    engine.advance(_PROFILE, 100, record_every_n=_EVERY)
+    save_checkpoint(engine, tmp_path / "run.ckpt",
+                    meta={"fingerprint": "not-this-run", "windows": []})
+    with pytest.raises(CheckpointError) as exc:
+        run_durable(_rigs(2), _PROFILE,
+                    checkpoint_path=tmp_path / "run.ckpt",
+                    record_every_n=_EVERY, resume=True)
+    assert exc.value.reason == "mismatch"
+
+
+def test_run_durable_validates_knobs(tmp_path):
+    with pytest.raises(ConfigurationError):
+        run_durable(_rigs(1), _PROFILE, checkpoint_path=tmp_path / "x",
+                    window_steps=0)
+    with pytest.raises(ConfigurationError):
+        run_durable(_rigs(1), _PROFILE, checkpoint_path=tmp_path / "x",
+                    record_every_n=0)
+    with pytest.raises(ConfigurationError):
+        run_durable([], _PROFILE, checkpoint_path=tmp_path / "x")
+
+
+# -- Session wiring -----------------------------------------------------------
+
+
+def test_session_checkpoint_dir_parity_and_stats(tmp_path):
+    spec = FleetSpec.homogeneous(2, seed=555, fast_calibration=True)
+    with Session(fleet=spec) as plain:
+        plain.calibrate()
+        ref = plain.run(_PROFILE, record_every_n=_EVERY)
+    # Cold LRU: the durable session must go through the disk store.
+    clear_calibration_cache()
+    with Session(fleet=spec, checkpoint_dir=tmp_path) as durable:
+        durable.calibrate()
+        got = durable.run(_PROFILE, record_every_n=_EVERY)
+        stats = durable.stats()
+    _assert_bit_equal(got, ref)
+    assert stats["store"]["root"] == str(tmp_path / "store")
+    # The durable session's calibrations were published to the store.
+    assert stats["store"]["writes"] >= 1
+
+
+def test_session_resume_requires_durable_run(tmp_path):
+    one = FleetSpec.homogeneous(1, seed=1, fast_calibration=True)
+    two = FleetSpec.homogeneous(2, seed=1, fast_calibration=True)
+    with Session(fleet=one) as session:
+        session.calibrate()
+        with pytest.raises(ConfigurationError):
+            session.run(_PROFILE, resume=True)  # no checkpoint_dir
+    with Session(fleet=two, checkpoint_dir=tmp_path) as session:
+        session.calibrate()
+        with pytest.raises(ConfigurationError):
+            session.run(_PROFILE, resume=True, workers=2)  # not serial
+
+
+# -- campaign process-death recovery -----------------------------------------
+
+
+def _campaign_cmd(ckpt_dir: Path, out: Path, resume: bool = False):
+    cmd = [sys.executable, "-m", "repro", "campaign",
+           "--duration", "2", "--scenarios", "baseline,tank_leak",
+           "--checkpoint-dir", str(ckpt_dir), "--out", str(out)]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def test_campaign_sigkill_resume_summary_bit_identical(tmp_path):
+    """SIGKILL a campaign mid-window; the resumed summary is identical.
+
+    The ``REPRO_CAMPAIGN_FAULT=kill:2`` hook hard-kills the process
+    right after its second checkpoint write — a real process death, not
+    an exception — and the resumed run's summary JSON must equal an
+    uninterrupted reference byte for byte.
+    """
+    env = {**os.environ, "PYTHONPATH": "src"}
+    repo = Path(__file__).resolve().parent.parent
+
+    ref_out = tmp_path / "ref.json"
+    ref = subprocess.run(_campaign_cmd(tmp_path / "ck-ref", ref_out),
+                         cwd=repo, env=env, capture_output=True, text=True)
+    assert ref.returncode == 0, ref.stderr
+    assert not (tmp_path / "ck-ref" / "campaign.ckpt").exists()
+
+    killed = subprocess.run(
+        _campaign_cmd(tmp_path / "ck", tmp_path / "never.json"),
+        cwd=repo, env={**env, "REPRO_CAMPAIGN_FAULT": "kill:2"},
+        capture_output=True, text=True)
+    assert killed.returncode == -signal.SIGKILL, (killed.returncode,
+                                                  killed.stderr)
+    assert (tmp_path / "ck" / "campaign.ckpt").exists()
+    assert not (tmp_path / "never.json").exists()
+
+    out = tmp_path / "resumed.json"
+    resumed = subprocess.run(_campaign_cmd(tmp_path / "ck", out, resume=True),
+                             cwd=repo, env=env, capture_output=True,
+                             text=True)
+    assert resumed.returncode == 0, resumed.stderr
+    assert out.read_bytes() == ref_out.read_bytes()
+    assert not (tmp_path / "ck" / "campaign.ckpt").exists()
+    assert json.loads(out.read_text())  # valid, non-empty summary

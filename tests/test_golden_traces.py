@@ -13,6 +13,14 @@ rounding is build-dependent, so it is held to the fast-mode contract —
 1e-9 relative error on float traces, exact on integer traces — instead
 of bytes.
 
+The ``*_resume`` archives additionally pin the checkpoint contract:
+each was produced by cutting its sibling case at step 737 (not a
+recording boundary), round-tripping the live engine through
+``save_checkpoint``/``load_checkpoint`` on disk and finishing from the
+restored object — so ``test_resume_matches_uninterrupted_bytes``
+asserting the pair byte-identical is the durability guarantee in
+archive form.
+
 If a change *intends* to alter the numerics, regenerate with::
 
     PYTHONPATH=src python -m tests.golden.regen
@@ -23,7 +31,8 @@ and commit the new archives together with the change that explains them.
 import numpy as np
 import pytest
 
-from tests.golden.regen import CASES, GOLDEN_DIR, TOLERANT_CASES
+from tests.golden.regen import (CASES, GOLDEN_DIR, RESUME_PAIRS,
+                                TOLERANT_CASES)
 
 
 @pytest.mark.parametrize("stem", sorted(CASES))
@@ -54,3 +63,21 @@ def test_traces_match_golden_bytes(stem):
             else:
                 assert fresh.tobytes() == stored.tobytes(), \
                     f"{stem}/{name}: traces drifted from the golden bytes"
+
+
+@pytest.mark.parametrize("resume_stem,base_stem", sorted(RESUME_PAIRS.items()))
+def test_resume_matches_uninterrupted_bytes(resume_stem, base_stem):
+    """A checkpointed-and-resumed run equals the uninterrupted one, in bytes.
+
+    Compares the checked-in archives directly (both already pinned to
+    their case functions above), so a parity break cannot hide behind a
+    joint regeneration.
+    """
+    with np.load(GOLDEN_DIR / f"{resume_stem}.npz") as resumed, \
+            np.load(GOLDEN_DIR / f"{base_stem}.npz") as base:
+        assert sorted(resumed.files) == sorted(base.files)
+        for name in base.files:
+            assert resumed[name].dtype == base[name].dtype, name
+            assert resumed[name].shape == base[name].shape, name
+            assert resumed[name].tobytes() == base[name].tobytes(), \
+                f"{resume_stem}/{name}: resume diverged from {base_stem}"

@@ -26,6 +26,23 @@ pytestmark = pytest.mark.service
 PROFILE = staircase([20.0, 60.0, 40.0], dwell_s=1.0)  # 3000 steps at 1 kHz
 
 
+async def wait_until(predicate, timeout=30.0):
+    """Yield to the service loop until ``predicate()`` holds, bounded.
+
+    The tick loop shares this event loop, so a zero-delay sleep hands
+    it control between polls; ``asyncio.wait_for`` bounds the whole
+    wait so a service regression fails the test in seconds instead of
+    hanging the suite on an unbounded busy-wait or a guessed number of
+    yields.
+    """
+
+    async def poll():
+        while not predicate():
+            await asyncio.sleep(0)
+
+    await asyncio.wait_for(poll(), timeout=timeout)
+
+
 def standalone(profile, *, n_monitors, seed):
     """The reference a service client must match bit for bit."""
     with Session(n_monitors=n_monitors, seed=seed,
@@ -105,8 +122,7 @@ def test_detach_mid_run_partial_and_survivor_parity():
             b = await service.attach(PROFILE, n_monitors=1, seed=12,
                                      fast_calibration=True)
             # nobody consumes: the cohort stalls at max_pending ticks
-            while b.done_steps < 1400:
-                await asyncio.sleep(0)
+            await wait_until(lambda: b.done_steps >= 1400)
             partial = await b.detach()
             with pytest.raises(ServiceError) as err:
                 await b.detach()
@@ -272,8 +288,9 @@ def test_backpressure_bounds_memory_and_drains_to_completion():
         async with FleetService(tick_steps=100, max_pending=3) as service:
             client = await service.attach(profile, seed=9,
                                           fast_calibration=True)
-            for _ in range(200):  # let the loop run with no consumer
-                await asyncio.sleep(0)
+            # let the loop run with no consumer until it provably stalls
+            await wait_until(lambda: client.stream_depth == 3 and
+                             service.stats()["backpressure_stalls"] > 0)
             stalled = (client.stream_depth, client.done_steps,
                        service.stats()["backpressure_stalls"])
             snaps = [snap async for snap in client.snapshots()]
@@ -404,8 +421,9 @@ def test_service_stats_reports_live_cohorts():
             client = await service.attach(hold(60.0, 5.0), seed=9,
                                           fast_calibration=True)
             open_stats = service.stats()  # before the first tick
-            await asyncio.sleep(0)
-            await asyncio.sleep(0)
+            await wait_until(lambda: (stats := service.stats())["groups"]
+                             and stats["groups"][0]["sealed"]
+                             and stats["groups"][0]["done_steps"] > 0)
             sealed_stats = service.stats()
             await client.detach()
         return open_stats, sealed_stats
@@ -495,6 +513,52 @@ def test_mixed_cohort_detach_preserves_survivor_bits():
     result = asyncio.run(main())
     assert_traces_equal(result, standalone(short, n_monitors=1, seed=21),
                         ticks=len(result))
+
+
+@pytest.mark.durability
+def test_crash_recovery_resumes_cohort_bit_identical(tmp_path):
+    """A checkpointing service dies mid-run; recovery finishes the run.
+
+    With ``checkpoint_dir=`` the service writes a consistent
+    (engine, member-windows) checkpoint after every non-final tick.
+    Stopping the service with the cohort still live stands in for a
+    process death — the checkpoint stays behind — and
+    ``recover_cohorts``/``resume`` must finish each client's run
+    bit-identical to never having died.
+    """
+    from repro.service import recover_cohorts
+
+    profile = staircase([0.0, 60.0, 140.0], dwell_s=0.5)  # 1500 steps
+
+    async def main():
+        async with FleetService(tick_steps=400, max_pending=2,
+                                checkpoint_dir=tmp_path) as service:
+            a = await service.attach(profile, n_monitors=2, seed=101,
+                                     fast_calibration=True)
+            b = await service.attach(profile, n_monitors=1, seed=202,
+                                     fast_calibration=True)
+            # nobody consumes: the cohort stalls two ticks in, leaving a
+            # checkpoint pairing the engine with both members' windows
+            # at the 800-step cut
+            await wait_until(lambda: b.done_steps >= 800)
+            return a.client_id, b.client_id
+        # __aexit__ stops the loop without discarding live cohorts
+
+    id_a, id_b = asyncio.run(main())
+    ckpt = tmp_path / "cohort-1.ckpt"
+    assert ckpt.exists()
+
+    (cohort,) = recover_cohorts(tmp_path)
+    assert cohort.group_id == 1
+    assert cohort.done == 800 and cohort.total_steps == 1500
+    assert cohort.clients == [id_a, id_b]
+    results = cohort.resume()
+    assert_traces_equal(results[id_a],
+                        standalone(profile, n_monitors=2, seed=101))
+    assert_traces_equal(results[id_b],
+                        standalone(profile, n_monitors=1, seed=202))
+    assert not ckpt.exists()  # consumed on successful resume
+    assert recover_cohorts(tmp_path) == []
 
 
 def test_attach_fleet_conflicts_are_refused():

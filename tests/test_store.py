@@ -1,0 +1,204 @@
+"""ArtifactStore unit tests: atomic publication, headers, layering.
+
+The store's contract is small but load-bearing: a ``get`` sees either
+nothing or a complete versioned artifact (never a torn file), ``put``
+publishes atomically, keys are canonical hashes so independent
+processes converge with no coordination, and the whole thing layers
+*under* the in-process calibration LRU so a cold process skips the §4
+calibration campaign with bit-identical outputs.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.station.profiles import hold
+from repro.station.scenarios import (build_calibrated_monitor,
+                                     clear_calibration_cache)
+from repro.store import (STORE_FORMAT_VERSION, ArtifactStore, canonical_key,
+                         get_default_store, set_default_store)
+
+pytestmark = pytest.mark.durability
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def test_put_get_round_trip_identity(store):
+    artifact = {"coeffs": np.linspace(0.0, 1.0, 7),
+                "label": "calibration", "n": 3}
+    key = canonical_key({"seed": 1, "fast": True})
+    path = store.put("calibration", key, artifact)
+    assert path.exists()
+    loaded = store.get("calibration", key)
+    assert loaded["label"] == "calibration" and loaded["n"] == 3
+    assert np.array_equal(loaded["coeffs"], artifact["coeffs"])
+    assert loaded["coeffs"].tobytes() == artifact["coeffs"].tobytes()
+
+
+def test_miss_returns_none_and_counts(store):
+    assert store.get("calibration", "deadbeef00000000") is None
+    stats = store.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 0
+    assert stats["hit_rate"] == 0.0
+
+
+def test_contains_keys_kinds_inspect(store):
+    assert not store.contains("calibration", "aa")
+    store.put("calibration", "aa", 1)
+    store.put("calibration", "bb", 2)
+    store.put("checkpoint", "cc", 3)
+    assert store.contains("calibration", "aa")
+    assert store.keys("calibration") == ["aa", "bb"]
+    assert store.keys("nope") == []
+    assert store.kinds() == ["calibration", "checkpoint"]
+    entries = store.inspect()
+    assert [(e["kind"], e["key"]) for e in entries] == [
+        ("calibration", "aa"), ("calibration", "bb"), ("checkpoint", "cc")]
+    assert all(e["bytes"] > 0 for e in entries)
+
+
+def test_evict_scopes(store):
+    store.put("calibration", "aa", 1)
+    store.put("calibration", "bb", 2)
+    store.put("checkpoint", "cc", 3)
+    assert store.evict(kind="calibration", key="aa") == 1
+    assert store.keys("calibration") == ["bb"]
+    assert store.evict(kind="checkpoint") == 1
+    assert store.evict() == 1  # the remaining calibration/bb
+    assert store.inspect() == []
+    assert store.evict() == 0
+
+
+def test_evict_key_without_kind_raises(store):
+    with pytest.raises(CheckpointError):
+        store.evict(key="aa")
+
+
+def test_corrupt_artifact_raises(store):
+    store.put("calibration", "aa", 1)
+    store._path("calibration", "aa").write_bytes(b"not a pickle")
+    with pytest.raises(CheckpointError) as exc:
+        store.get("calibration", "aa")
+    assert exc.value.reason == "corrupt"
+
+
+def test_foreign_pickle_raises(store):
+    path = store._path("calibration", "aa")
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps({"magic": "something-else"}))
+    with pytest.raises(CheckpointError) as exc:
+        store.get("calibration", "aa")
+    assert exc.value.reason == "corrupt"
+
+
+def test_version_mismatch_raises(store):
+    store.put("calibration", "aa", 1)
+    path = store._path("calibration", "aa")
+    record = pickle.loads(path.read_bytes())
+    record["version"] = STORE_FORMAT_VERSION + 1
+    path.write_bytes(pickle.dumps(record))
+    with pytest.raises(CheckpointError) as exc:
+        store.get("calibration", "aa")
+    assert exc.value.reason == "version"
+
+
+def test_relocated_artifact_raises(store):
+    """A file copied under the wrong (kind, key) is rejected, not served."""
+    store.put("calibration", "aa", 1)
+    wrong = store._path("calibration", "bb")
+    wrong.write_bytes(store._path("calibration", "aa").read_bytes())
+    with pytest.raises(CheckpointError) as exc:
+        store.get("calibration", "bb")
+    assert exc.value.reason == "corrupt"
+
+
+def test_no_temp_files_left_behind(store):
+    for i in range(5):
+        store.put("calibration", f"k{i}", list(range(i)))
+    leftovers = [p for p in store.root.rglob(".tmp-*")]
+    assert leftovers == []
+
+
+def test_stats_hit_rate(store):
+    store.put("calibration", "aa", 1)
+    store.get("calibration", "aa")
+    store.get("calibration", "aa")
+    store.get("calibration", "zz")
+    stats = store.stats()
+    assert stats["hits"] == 2 and stats["misses"] == 1
+    assert stats["writes"] == 1
+    assert stats["hit_rate"] == pytest.approx(2.0 / 3.0)
+
+
+def test_canonical_key_is_order_invariant():
+    a = canonical_key({"x": 1, "y": [1, 2], "z": {"a": 0.5, "b": "s"}})
+    b = canonical_key({"z": {"b": "s", "a": 0.5}, "y": [1, 2], "x": 1})
+    assert a == b
+    assert len(a) == 16 and int(a, 16) >= 0
+    assert canonical_key({"x": 1}) != canonical_key({"x": 2})
+
+
+def test_default_store_explicit_and_env(tmp_path, monkeypatch):
+    import repro.store as store_module
+    # Explicit install (accepts a bare path) wins and survives env.
+    installed = set_default_store(tmp_path / "explicit")
+    try:
+        assert isinstance(installed, ArtifactStore)
+        assert get_default_store() is installed
+        # Clearing re-arms nothing: the explicit call overrode the env.
+        set_default_store(None)
+        assert get_default_store() is None
+        # Reset the lazy latch and point the env at a directory.
+        monkeypatch.setattr(store_module, "_ENV_CHECKED", False)
+        monkeypatch.setenv(store_module.STORE_ENV, str(tmp_path / "env"))
+        picked = get_default_store()
+        assert isinstance(picked, ArtifactStore)
+        assert picked.root == tmp_path / "env"
+    finally:
+        set_default_store(None)
+
+
+def test_calibration_layering_cold_process_hit(tmp_path):
+    """A cold-LRU build served from disk is bit-identical to a fresh one.
+
+    Clearing the in-process LRU between builds simulates a fresh
+    process; the second build must hit the store, skip the calibration
+    campaign, and still drive a bit-identical run.
+    """
+    store = ArtifactStore(tmp_path / "store")
+    profile = hold(speed_cmps=90.0, duration_s=0.3)
+
+    clear_calibration_cache()
+    first = build_calibrated_monitor(seed=90125, fast=True, store=store)
+    assert store.stats()["writes"] == 1
+    assert store.stats()["misses"] == 1
+    run_a = first.rig.run(profile, record_every_n=10)
+
+    clear_calibration_cache()
+    second = build_calibrated_monitor(seed=90125, fast=True, store=store)
+    assert store.stats()["hits"] == 1
+    assert store.stats()["writes"] == 1  # no recalibration, no rewrite
+    assert second.calibration.to_dict() == first.calibration.to_dict()
+    run_b = second.rig.run(profile, record_every_n=10)
+    for name in run_a.FIELDS:
+        a, b = np.asarray(getattr(run_a, name)), np.asarray(
+            getattr(run_b, name))
+        assert np.array_equal(a, b), name
+    clear_calibration_cache()
+
+
+def test_calibration_layering_key_discriminates(tmp_path):
+    """Different build knobs land on different store keys."""
+    store = ArtifactStore(tmp_path / "store")
+    clear_calibration_cache()
+    build_calibrated_monitor(seed=90125, fast=True, store=store)
+    build_calibrated_monitor(seed=90126, fast=True, store=store)
+    assert len(store.keys("calibration")) == 2
+    clear_calibration_cache()

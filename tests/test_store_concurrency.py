@@ -1,0 +1,133 @@
+"""Concurrent artifact-store stress: N processes race one key.
+
+The store's claim is lock-free safety: workers racing the same
+calibration key may each pay the campaign, but the atomic
+write-then-rename means the directory always holds exactly one valid
+artifact, a reader never sees a torn file, and post-race lookups are
+pure hits.  The workers pick the store up from the ``REPRO_STORE``
+environment variable (no plumbing) and ship their counters home
+through the worker-telemetry harvest, so the parent can assert the
+merged ``store.*`` tallies across the whole race.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.observability.remote import (TelemetryRequest,
+                                        harvest_worker_telemetry,
+                                        install_worker_telemetry,
+                                        merge_harvest)
+from repro.store import ArtifactStore
+
+pytestmark = [pytest.mark.durability, pytest.mark.parallel]
+
+_RACERS = 4
+_SEED = 777001
+
+
+def _race_worker(barrier, queue, seed: int) -> None:
+    """One racer: cold process, shared REPRO_STORE, same build key.
+
+    Runs in a spawned interpreter, so the calibration LRU is empty and
+    the build *must* consult the store.  Telemetry is collected under
+    fresh sinks and shipped back for the parent to merge (the PR 5
+    harvest path), alongside the calibration image for the bit-equality
+    check.
+    """
+    previous = install_worker_telemetry(TelemetryRequest())
+    try:
+        from repro.station.scenarios import build_calibrated_monitor
+        from repro.store import get_default_store
+
+        barrier.wait(timeout=60)
+        setup = build_calibrated_monitor(seed=seed, fast=True,
+                                         use_pulsed_drive=False)
+        harvest = harvest_worker_telemetry(previous)
+        queue.put((pickle.dumps(harvest), setup.calibration.to_dict(),
+                   get_default_store().stats()))
+    except BaseException as exc:  # surface, don't hang the parent
+        queue.put(exc)
+        raise
+
+
+def _counter_value(registry: MetricsRegistry, name: str) -> int:
+    if name not in registry.names():
+        return 0
+    return int(registry.counter(name).value)
+
+
+def test_racing_processes_converge_on_one_artifact(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+    ctx = mp.get_context("spawn")
+    barrier = ctx.Barrier(_RACERS)
+    queue = ctx.Queue()
+    workers = [ctx.Process(target=_race_worker, args=(barrier, queue, _SEED))
+               for _ in range(_RACERS)]
+    for worker in workers:
+        worker.start()
+    payloads = [queue.get(timeout=120) for _ in range(_RACERS)]
+    for worker in workers:
+        worker.join(timeout=60)
+        assert worker.exitcode == 0
+    failures = [p for p in payloads if isinstance(p, BaseException)]
+    assert not failures, failures
+
+    # Exactly one valid artifact under the racing key; no torn temp files.
+    store = ArtifactStore(tmp_path)
+    keys = store.keys("calibration")
+    assert len(keys) == 1, keys
+    assert list(tmp_path.rglob(".tmp-*")) == []
+    published = store.get("calibration", keys[0])
+    assert published is not None  # decodes: header, version and key check
+
+    # Every racer computed (or read) the same calibration, bit for bit.
+    calibrations = [cal for _, cal, _ in payloads]
+    assert all(cal == calibrations[0] for cal in calibrations)
+
+    # Merge the harvests into one parent-side registry (the PR 5
+    # telemetry path) and assert the fleet-wide tallies: every racer
+    # did exactly one lookup, at least one missed and wrote, and
+    # process-local stats agree with the merged registry.
+    registry = MetricsRegistry(enabled=True)
+    for blob, _, _ in payloads:
+        merge_harvest(pickle.loads(blob), registry=registry)
+    hits = _counter_value(registry, "store.hits")
+    misses = _counter_value(registry, "store.misses")
+    writes = _counter_value(registry, "store.writes")
+    assert hits + misses == _RACERS
+    assert misses >= 1
+    assert writes == misses  # every miss recalibrated and published
+    local = [stats for _, _, stats in payloads]
+    assert sum(s["hits"] for s in local) == hits
+    assert sum(s["misses"] for s in local) == misses
+    assert sum(s["writes"] for s in local) == writes
+
+
+def test_post_race_cold_process_is_a_pure_hit(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+    ctx = mp.get_context("spawn")
+
+    def run_one():
+        barrier = ctx.Barrier(1)
+        queue = ctx.Queue()
+        worker = ctx.Process(target=_race_worker,
+                             args=(barrier, queue, _SEED + 1))
+        worker.start()
+        payload = queue.get(timeout=120)
+        worker.join(timeout=60)
+        assert worker.exitcode == 0
+        assert not isinstance(payload, BaseException), payload
+        return payload
+
+    _, first_cal, first_stats = run_one()
+    assert first_stats == {**first_stats, "hits": 0, "misses": 1, "writes": 1}
+    _, second_cal, second_stats = run_one()
+    assert second_stats == {**second_stats,
+                            "hits": 1, "misses": 0, "writes": 0}
+    assert second_cal == first_cal
