@@ -16,6 +16,7 @@ figure — and the test skips.
 
 import json
 import os
+import platform
 import time
 from pathlib import Path
 
@@ -40,6 +41,19 @@ def _fleet():
             for s in spawn_monitor_seeds(SEED, N_MONITORS)]
 
 
+def _machine():
+    """The host fingerprint every stage records, skipped ones included.
+
+    A throughput figure (or the absence of one) is meaningless without
+    the machine it came from; downstream comparisons key on these.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
 def test_x01_sharded_engine_throughput():
     """Serial vs 4-way sharded run at N=64; appends the parallel stage."""
     cpus = os.cpu_count() or 1
@@ -51,8 +65,8 @@ def test_x01_sharded_engine_throughput():
         payload["parallel"] = {
             "n_monitors": N_MONITORS,
             "workers": WORKERS,
-            "cpu_count": cpus,
             "skipped": True,
+            **_machine(),
         }
         out.write_text(json.dumps(payload, indent=2) + "\n")
         pytest.skip(f"{cpus} CPU(s) < {WORKERS} workers: sharded speedup "
@@ -78,7 +92,7 @@ def test_x01_sharded_engine_throughput():
     stage = {
         "n_monitors": N_MONITORS,
         "workers": WORKERS,
-        "cpu_count": cpus,
+        **_machine(),
         "samples": samples,
         "serial_samples_per_s": samples / serial_s,
         "sharded_samples_per_s": samples / sharded_s,

@@ -1399,7 +1399,8 @@ class BatchEngine:
 def run_batch(rigs, profile: Profile,
               record_every_n: int = 20, chunk_size: int = 1024,
               workers: int | None = None,
-              numerics: str = "exact") -> RunResult:
+              numerics: str = "exact",
+              backend: str = "spawn") -> RunResult:
     """One-shot convenience: build the right engine and run it.
 
     ``rigs`` is either a rig list or a
@@ -1411,9 +1412,11 @@ def run_batch(rigs, profile: Profile,
     :class:`BatchEngine` path.  With ``workers > 1`` the fleet (or each
     config group) is partitioned across worker processes by
     :class:`repro.runtime.parallel.ShardedEngine`, whose merged result
-    is bit-identical to the serial path.  ``numerics`` selects the
-    kernel mode (``"exact"`` — the default, bit-identical — or
-    ``"fast"``) on whichever engine runs.
+    is bit-identical to the serial path; ``backend`` selects how those
+    workers run (``"spawn"`` per-run processes, or ``"shm"`` — the
+    persistent zero-copy pool of :mod:`repro.runtime.shm`).
+    ``numerics`` selects the kernel mode (``"exact"`` — the default,
+    bit-identical — or ``"fast"``) on whichever engine runs.
 
     The rigs are consumed (see the module docstring); build fresh rigs
     for repeat runs or use :class:`repro.runtime.Session`, which
@@ -1443,12 +1446,13 @@ def run_batch(rigs, profile: Profile,
     if len(rigs) > 1 and len(fleet_groups(rigs)) > 1:
         return MixedEngine(rigs, chunk_size=chunk_size,
                            numerics=numerics).run(
-            profile, record_every_n=record_every_n, workers=workers)
+            profile, record_every_n=record_every_n, workers=workers,
+            backend=backend)
     if workers is not None and workers != 1:
         # Imported lazily: parallel.py itself imports this module.
         from repro.runtime.parallel import ShardedEngine
         return ShardedEngine(rigs, workers=workers, chunk_size=chunk_size,
-                             numerics=numerics).run(
+                             numerics=numerics, backend=backend).run(
             profile, record_every_n=record_every_n)
     return BatchEngine(rigs, chunk_size=chunk_size, numerics=numerics).run(
         profile, record_every_n=record_every_n)

@@ -253,6 +253,7 @@ def run_durable(rigs: list[TestRig], profile: Profile, *,
                 checkpoint_path, record_every_n: int = 20,
                 window_steps: int = 1000, resume: bool = False,
                 chunk_size: int = 1024, numerics: str = "exact",
+                workers: int | None = None, backend: str = "spawn",
                 ) -> RunResult:
     """Run a fleet with per-window checkpoints; resume after a crash.
 
@@ -281,6 +282,16 @@ def run_durable(rigs: list[TestRig], profile: Profile, *,
         Continue from an existing checkpoint instead of starting fresh.
         The checkpoint's run fingerprint (profile, fleet size, cadence,
         numerics) must match this call's.
+    workers / backend:
+        Parallelize each window across worker processes (see
+        :class:`MixedEngine`); any worker count and either backend
+        (``"spawn"`` / ``"shm"``) is bit-identical to the serial run,
+        so the run fingerprint deliberately excludes both and a
+        checkpoint taken under any parallel configuration resumes
+        cleanly (the restored engine continues with the configuration
+        it was checkpointed with).  Checkpointing an shm engine dumps
+        its pool-resident shard state back into owned blobs; resume
+        re-loads them into the pool on the next window.
 
     Raises
     ------
@@ -317,18 +328,24 @@ def run_durable(rigs: list[TestRig], profile: Profile, *,
         done = int(ckpt.offset)
     else:
         engine = MixedEngine(list(rigs), chunk_size=chunk_size,
-                             numerics=numerics)
+                             numerics=numerics, workers=workers,
+                             backend=backend)
         windows = []
         done = 0
-    while done < total:
-        budget = min(window_steps, total - done)
-        windows.append(engine.advance(profile, budget,
-                                      record_every_n=record_every_n))
-        done += budget
-        if done < total:
-            save_checkpoint(engine, checkpoint_path,
-                            meta={"fingerprint": fingerprint,
-                                  "windows": windows})
+    try:
+        while done < total:
+            budget = min(window_steps, total - done)
+            windows.append(engine.advance(profile, budget,
+                                          record_every_n=record_every_n))
+            done += budget
+            if done < total:
+                save_checkpoint(engine, checkpoint_path,
+                                meta={"fingerprint": fingerprint,
+                                      "windows": windows})
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     result = RunResult.concat(windows, axis="time")
     checkpoint_path.unlink(missing_ok=True)
     return result

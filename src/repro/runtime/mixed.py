@@ -138,15 +138,27 @@ def fleet_groups(rigs: list[TestRig]) -> dict[str, list[int]]:
 class _MixGroup:
     """One config-equivalence group inside a :class:`MixedEngine`."""
 
-    __slots__ = ("key", "positions", "rigs", "engine")
+    __slots__ = ("key", "positions", "rigs", "engine", "dt", "line_time")
 
     def __init__(self, key: str, positions: list[int], rigs: list[TestRig],
-                 chunk_size: int, numerics: str) -> None:
+                 chunk_size: int, numerics: str, workers: int | None,
+                 backend: str) -> None:
         self.key = key
         self.positions = positions
         self.rigs = rigs
-        self.engine = BatchEngine(rigs, chunk_size=chunk_size,
-                                  numerics=numerics)
+        # The probe validates homogeneity and pins the group's time
+        # base either way; it becomes the engine on the serial path.
+        probe = BatchEngine(rigs, chunk_size=chunk_size, numerics=numerics)
+        self.dt = probe._dt
+        self.line_time = probe._line_time
+        effective = 0 if workers is None else min(int(workers), len(rigs))
+        if effective > 1:
+            from repro.runtime.parallel import ShardedEngine
+            self.engine = ShardedEngine(rigs, workers=effective,
+                                        chunk_size=chunk_size,
+                                        numerics=numerics, backend=backend)
+        else:
+            self.engine = probe
 
 
 class MixedEngine:
@@ -175,6 +187,15 @@ class MixedEngine:
         result needs a single time base).
     chunk_size / numerics:
         Forwarded to every group's ``BatchEngine``.
+    workers / backend:
+        With ``workers > 1`` each group large enough to shard runs on
+        its own :class:`~repro.runtime.parallel.ShardedEngine`
+        (``min(workers, group size)`` shards, on the given backend —
+        ``"spawn"`` or ``"shm"``), *including* the incremental
+        :meth:`advance`/:meth:`drop` surface — this is how the fleet
+        service and durable runs parallelize cohort ticks.  Groups of
+        one rig stay on a plain ``BatchEngine``.  Bit-identical either
+        way.
 
     Raises
     ------
@@ -185,11 +206,14 @@ class MixedEngine:
     """
 
     def __init__(self, rigs: list[TestRig], chunk_size: int = 1024,
-                 numerics: str = "exact") -> None:
+                 numerics: str = "exact", workers: int | None = None,
+                 backend: str = "spawn") -> None:
         grouped = fleet_groups(rigs)
+        self._workers = None if workers is None else int(workers)
+        self._backend = backend
         self._groups = [
             _MixGroup(key, positions, [rigs[i] for i in positions],
-                      chunk_size, numerics)
+                      chunk_size, numerics, self._workers, backend)
             for key, positions in grouped.items()
         ]
         self._n = len(rigs)
@@ -199,12 +223,12 @@ class MixedEngine:
         self._spent = False
         g0 = self._groups[0]
         for g in self._groups[1:]:
-            if g.engine._dt != g0.engine._dt:
+            if g.dt != g0.dt:
                 raise ConfigurationError(
                     f"config groups {g0.key} and {g.key} differ in loop "
                     f"rate; a mixed fleet needs one shared time base",
                     reason="heterogeneous")
-            if g.engine._line_time != g0.engine._line_time:
+            if g.line_time != g0.line_time:
                 raise ConfigurationError(
                     f"config groups {g0.key} and {g.key} differ in line "
                     f"start time; a mixed fleet needs one shared clock",
@@ -262,39 +286,46 @@ class MixedEngine:
         return merged
 
     def run(self, profile: Profile, record_every_n: int = 20,
-            workers: int | None = None) -> RunResult:
+            workers: int | None = None,
+            backend: str = "spawn") -> RunResult:
         """Execute a profile over the whole mixed fleet.
 
-        With ``workers`` left at None (or 1) every group advances
-        serially on its ``BatchEngine``.  With ``workers > 1`` each
-        group is sharded *within itself* by
+        With ``workers`` left at None (or 1) every group advances on
+        the engine it was built with — serial ``BatchEngine`` groups by
+        default, sharded groups if the constructor fixed ``workers``.
+        Passing ``workers > 1`` *here* is the legacy one-shot spelling:
+        each group is sharded within itself on a fresh
         :class:`~repro.runtime.parallel.ShardedEngine` (capped at the
-        group size), whose merge is bit-identical to the serial group
-        run — so the mixed result is bit-identical for any worker
-        count.  The workers path consumes the engine: further
-        :meth:`run`/:meth:`advance` calls are refused.
+        group size, on ``backend``), and the engine is consumed —
+        further :meth:`run`/:meth:`advance` calls are refused.  Every
+        path is bit-identical for any worker count.
 
         Raises
         ------
         ConfigurationError
-            On an empty profile, non-positive decimation, or a consumed
-            engine.
+            On an empty profile, non-positive decimation, a consumed
+            engine, or a one-shot ``workers`` on an engine whose
+            workers were already fixed at construction.
         SensorFault
             Propagated from any group (membrane burst, overpressure).
         """
         if workers is None or workers == 1:
-            dt = self._groups[0].engine._dt if self._groups else 1.0
+            dt = self._groups[0].dt if self._groups else 1.0
             steps = int(round(profile.duration_s / dt))
             if steps < 1:
                 raise ConfigurationError("profile shorter than one loop tick")
             return self.advance(profile, steps, record_every_n)
+        if self._workers is not None and self._workers != 1:
+            raise ConfigurationError(
+                "workers were fixed at construction; run() without a "
+                "workers override")
         self._require_live()
         from repro.runtime.parallel import ShardedEngine
         self._spent = True
         blocks = [
             ShardedEngine(g.rigs, workers=min(int(workers), len(g.rigs)),
                           chunk_size=self._chunk,
-                          numerics=self._numerics).run(
+                          numerics=self._numerics, backend=backend).run(
                 profile, record_every_n=record_every_n)
             for g in self._groups
         ]
@@ -369,6 +400,26 @@ class MixedEngine:
                 survivors.append(g)
         self._groups = survivors
         self._n = len(keep)
+
+    def close(self) -> None:
+        """Release group engines that hold external state (idempotent).
+
+        Sharded groups evict their pool-resident shard engines
+        (:meth:`ShardedEngine.close
+        <repro.runtime.parallel.ShardedEngine.close>`); serial groups
+        have nothing to release.  The fleet service calls this when a
+        cohort finishes, fails or is discarded.
+        """
+        for g in self._groups:
+            close = getattr(g.engine, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "MixedEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _require_live(self) -> None:
         """Refuse use after the one-shot workers path consumed the rigs."""

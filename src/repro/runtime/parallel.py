@@ -64,6 +64,24 @@ with its advanced state, so any slicing of a run into windows is
 bit-identical to the uninterrupted run — and the whole engine (blobs
 included) is itself picklable, which is what
 :func:`repro.runtime.checkpoint.save_checkpoint` relies on.
+
+Everything above describes the default ``backend="spawn"``.  With
+``backend="shm"`` the same partition, seeds and merge order ride the
+zero-copy runtime of :mod:`repro.runtime.shm` instead: shard engines
+are loaded **once** into a persistent worker pool and advanced in
+place by small commands, trace blocks land in parent-owned shared
+memory, and the merge is :meth:`RunResult.from_shared
+<repro.runtime.result.RunResult.from_shared>` pointer assembly.  The
+parity contract is identical — same bits for any worker count — but
+the failure semantics differ for *windowed* runs: a pool worker that
+dies mid-sequence takes its shard's live state with it, so
+:meth:`advance` raises :class:`~repro.runtime.shm.PoolWorkerError`
+instead of silently degrading (durable runs recover through their last
+checkpoint; one-shot :meth:`run` still falls back to the serial
+engine, whose state lives in the parent).  Checkpointing an shm engine
+dumps the pool-resident shard engines back into pickled blobs
+(:meth:`__getstate__`), so a checkpoint holds owned bytes, never pool
+references; resume re-loads the blobs into whatever pool exists then.
 """
 
 from __future__ import annotations
@@ -86,6 +104,10 @@ from repro.observability.remote import (TelemetryHarvest, TelemetryRequest,
 from repro.runtime.batch import BatchEngine
 from repro.runtime.kernels import resolve_numerics
 from repro.runtime.result import RunResult
+from repro.runtime.shm import (PoolWorkerError, SharedBlock, empty_result,
+                               existing_pool, get_pool, next_engine_id,
+                               recorded_ticks, resolve_backend,
+                               write_block_rows)
 from repro.station.profiles import Profile
 from repro.station.rig import TestRig
 
@@ -300,24 +322,32 @@ class ShardedEngine:
         default, or ``"fast"``); a :class:`~repro.runtime.kernels.Numerics`
         policy is accepted too.  Shard-count invariance holds per mode:
         every worker runs the same kernels the serial engine would.
+    backend:
+        ``"spawn"`` (the default) runs each shard on per-run
+        single-worker executors; ``"shm"`` runs shards on the
+        persistent zero-copy pool of :mod:`repro.runtime.shm` (see the
+        module docstring for how the failure semantics differ).  Both
+        are bit-identical to serial for any worker count.
 
     Raises
     ------
     ConfigurationError
         From the fleet homogeneity validation, or on invalid knobs
-        (``reason="numerics"`` for an unknown numerics mode).
+        (``reason="numerics"`` for an unknown numerics mode,
+        ``reason="backend"`` for an unknown backend).
     """
 
     def __init__(self, rigs: list[TestRig], workers: int | None = None,
                  chunk_size: int = 1024, max_retries: int = 1,
                  timeout_s: float | None = None,
-                 numerics: str = "exact") -> None:
+                 numerics: str = "exact", backend: str = "spawn") -> None:
         if max_retries < 0:
             raise ConfigurationError("max_retries must be non-negative")
         if timeout_s is not None and timeout_s <= 0.0:
             raise ConfigurationError("timeout_s must be positive")
         self._rigs = list(rigs)
         self._numerics = resolve_numerics(numerics)
+        self._backend = resolve_backend(backend)
         # Validate homogeneity (and every BatchEngine precondition) in
         # the parent, before any process is spawned: construction only
         # reads rig state, it does not consume the rigs.
@@ -329,8 +359,15 @@ class ShardedEngine:
         self._timeout_s = timeout_s
         self._offset = 0
         self._ran = False
+        self._closed = False
         self._bounds: list[tuple[int, int]] | None = None
         self._blobs: list[bytes] | None = None
+        # shm-backend state: pool engine ids (worker i holds engine
+        # _eids[i]), live shard sizes (drop-aware), and blobs restored
+        # from a checkpoint awaiting re-load into the pool.
+        self._eids: list[int] | None = None
+        self._sizes: list[int] | None = None
+        self._pending_blobs: list[bytes] | None = None
 
     @property
     def workers(self) -> int:
@@ -354,6 +391,11 @@ class ShardedEngine:
         """The resolved numerics mode shared by every shard engine."""
         return self._numerics
 
+    @property
+    def backend(self) -> str:
+        """The resolved parallel backend (``"spawn"`` or ``"shm"``)."""
+        return self._backend
+
     def run(self, profile: Profile, record_every_n: int = 20) -> RunResult:
         """Execute a profile over the sharded fleet; merged traces out.
 
@@ -373,6 +415,7 @@ class ShardedEngine:
         """
         if record_every_n < 1:
             raise ConfigurationError("record_every_n must be >= 1")
+        self._require_open()
         if self._offset:
             raise ConfigurationError(
                 "this engine was advanced in windows; continue with "
@@ -387,9 +430,16 @@ class ShardedEngine:
             return BatchEngine(self._rigs, chunk_size=self._chunk,
                                numerics=self._numerics).run(
                 profile, record_every_n=record_every_n)
-        with get_tracer().span("shard.run", n_monitors=len(self._rigs),
-                               workers=self._workers):
-            result, fell_back = self._run_sharded(profile, record_every_n)
+        if self._backend == "shm":
+            with get_tracer().span("shm.run", n_monitors=len(self._rigs),
+                                   workers=self._workers):
+                result, fell_back = self._run_shm(profile, record_every_n,
+                                                  steps)
+        else:
+            with get_tracer().span("shard.run", n_monitors=len(self._rigs),
+                                   workers=self._workers):
+                result, fell_back = self._run_sharded(profile,
+                                                      record_every_n)
         # Mirror the serial engine's scheduler accounting on the parent
         # rigs (worker-side copies advanced their own, then died).
         # Fallback shards already ran in-process on the parent rigs.
@@ -434,12 +484,26 @@ class ShardedEngine:
             raise ConfigurationError("advance needs at least one step")
         if record_every_n < 1:
             raise ConfigurationError("record_every_n must be >= 1")
+        self._require_open()
         if self._ran:
             raise ConfigurationError(
                 "this engine's fleet was consumed by run(); build a "
                 "fresh ShardedEngine to advance in windows")
+        if not self._rigs:
+            raise ConfigurationError("every rig was dropped; nothing to "
+                                     "advance")
+        if self._backend == "shm":
+            with get_tracer().span("shm.advance",
+                                   n_monitors=len(self._rigs),
+                                   workers=self._workers, steps=steps):
+                window = self._advance_shm(profile, steps, record_every_n)
+            for rig in self._rigs:
+                rig.monitor.platform.scheduler.bulk_tick(steps)
+            self._offset += steps
+            return window
         if self._blobs is None:
             self._bounds = partition_monitors(len(self._rigs), self._workers)
+            self._sizes = [stop - start for start, stop in self._bounds]
             self._blobs = [
                 pickle.dumps(
                     BatchEngine(self._rigs[start:stop],
@@ -646,3 +710,418 @@ class ShardedEngine:
 
         merged = RunResult.concat([results[i] for i in range(len(bounds))])
         return merged, [bounds[i] for i in fallback]
+
+    # -- the shm backend -----------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "this engine is closed; build a fresh ShardedEngine")
+
+    def _telemetry_request(self):
+        """Worker telemetry request when any parent sink is on (or None)."""
+        tracer = get_tracer()
+        profiler = get_profiler()
+        collecting = (get_registry().enabled or tracer.enabled
+                      or get_event_log().enabled or profiler.enabled)
+        if not collecting:
+            return None
+        return TelemetryRequest(trace_context=tracer.current_context(),
+                                profile=profiler.enabled)
+
+    @staticmethod
+    def _check_replies(replies: dict[int, tuple]) -> dict[int, object]:
+        """Split pool replies into payloads; raise on any failure.
+
+        Deterministic :class:`~repro.errors.ReproError` re-raises
+        as itself (lowest shard first — merge order, not completion
+        order); any infrastructure failure raises
+        :class:`~repro.runtime.shm.PoolWorkerError`.
+        """
+        payloads: dict[int, object] = {}
+        infra: tuple[int, Exception] | None = None
+        for index in sorted(replies):
+            status, payload, _ = replies[index]
+            if status == "ok":
+                payloads[index] = payload
+            elif isinstance(payload, ReproError):
+                raise payload
+            elif infra is None:
+                infra = (index, payload)
+        if infra is not None:
+            index, exc = infra
+            raise PoolWorkerError(
+                f"shm pool worker for shard {index} failed: {exc}") from exc
+        return payloads
+
+    def _shard_starts(self) -> list[int]:
+        """Row offsets of each live shard in the merged fleet layout."""
+        starts, cursor = [], 0
+        for size in self._sizes:
+            starts.append(cursor)
+            cursor += size
+        return starts
+
+    def _load_shm(self) -> None:
+        """Load each shard's engine into the persistent pool, once.
+
+        Fresh engines are pickled from the parent rigs; an engine
+        restored from a checkpoint re-loads its dumped blobs instead
+        (``_pending_blobs``), resuming bit-exactly from the cut point.
+        """
+        if self._eids is not None:
+            return
+        if self._sizes is None:
+            self._bounds = partition_monitors(len(self._rigs), self._workers)
+            self._sizes = [stop - start for start, stop in self._bounds]
+        if self._pending_blobs is not None:
+            blobs, self._pending_blobs = self._pending_blobs, None
+        else:
+            blobs = [
+                pickle.dumps(
+                    BatchEngine(self._rigs[start:stop],
+                                chunk_size=self._chunk,
+                                numerics=self._numerics),
+                    protocol=pickle.HIGHEST_PROTOCOL)
+                for start, stop in self._bounds
+            ]
+        pool = get_pool(len(blobs))
+        eids = [next_engine_id() for _ in blobs]
+        replies = pool.call_many(
+            {i: ("load", eids[i], blobs[i]) for i in range(len(blobs))},
+            timeout=self._timeout_s)
+        self._check_replies(replies)
+        self._eids = eids
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "shm.loads",
+                "shard engines loaded into the pool").inc(len(eids))
+
+    def _advance_messages(self, profile: Profile, steps: int,
+                          record_every_n: int, eids: list[int],
+                          block: SharedBlock | None, n_ticks: int,
+                          telemetry) -> dict[int, tuple]:
+        """Build one advance command per shard (shard 0 writes time)."""
+        starts = self._shard_starts()
+        messages = {}
+        for i, eid in enumerate(eids):
+            spec = {
+                "shard": i,
+                "profile": profile,
+                "steps": steps,
+                "record_every_n": record_every_n,
+                "shm_name": None if block is None else block.name,
+                "n_total": len(self._rigs),
+                "n_ticks": n_ticks,
+                "row_start": starts[i],
+                "write_time": i == 0,
+                "telemetry": telemetry,
+            }
+            messages[i] = ("advance", eid, spec)
+        return messages
+
+    def _merge_shm_harvests(self, replies: dict[int, tuple]) -> None:
+        """Fold worker telemetry home in shard order (as spawn does)."""
+        registry = get_registry()
+        tracer = get_tracer()
+        event_log = get_event_log()
+        profiler = get_profiler()
+        for index in sorted(replies):
+            status, _, harvest = replies[index]
+            if status == "ok" and harvest is not None:
+                merge_harvest(harvest, registry=registry, tracer=tracer,
+                              event_log=event_log, profiler=profiler)
+
+    @staticmethod
+    def _attach_pool_profiles(result: RunResult,
+                              profiles: dict[int, dict]) -> RunResult:
+        """Sum per-shard profile reports onto the merged result.
+
+        The spawn backend gets this for free from ``RunResult.concat``;
+        the zero-copy merge never sees the shard blocks, so the reports
+        ride the command replies instead and are folded here.
+        """
+        stages: dict[str, dict] = {}
+        for index in sorted(profiles):
+            for name, values in (profiles[index] or {}).items():
+                totals = stages.setdefault(
+                    name, {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0})
+                totals["calls"] += int(values.get("calls", 0))
+                totals["wall_s"] += float(values.get("wall_s", 0.0))
+                totals["cpu_s"] += float(values.get("cpu_s", 0.0))
+        if stages:
+            result.attach_profile(stages)
+        return result
+
+    def _assemble(self, block: SharedBlock | None, n_ticks: int,
+                  alloc_s: float) -> RunResult:
+        """Zero-copy merge: views over the block, pinned to its life."""
+        registry = get_registry()
+        if block is None:
+            return empty_result(len(self._rigs))
+        t0 = time.perf_counter()
+        result = RunResult.from_shared(block.buf, len(self._rigs), n_ticks,
+                                       keepalive=block)
+        if registry.enabled:
+            registry.histogram(
+                "shm.attach_s",
+                "per-window shared-block allocate + view assembly "
+                "time").observe(alloc_s + (time.perf_counter() - t0))
+            registry.counter("shm.windows",
+                             "windows merged zero-copy").inc()
+            registry.counter("shm.bytes",
+                             "bytes of traces shared, not copied").inc(
+                RunResult.shared_layout(len(self._rigs), n_ticks)[1])
+        return result
+
+    def _advance_shm(self, profile: Profile, steps: int,
+                     record_every_n: int) -> RunResult:
+        """One window on the pool: advance commands, zero-copy merge.
+
+        No per-shard fallback here: between windows the live state is
+        pool-resident, so a dead worker means the shard's state is gone
+        — the window raises :class:`~repro.runtime.shm.PoolWorkerError`
+        and a durable caller resumes from its last checkpoint.
+        """
+        self._load_shm()
+        n_ticks = recorded_ticks(self._offset, steps, record_every_n)
+        telemetry = self._telemetry_request()
+        block = None
+        alloc_s = 0.0
+        if n_ticks:
+            t0 = time.perf_counter()
+            block = SharedBlock(
+                RunResult.shared_layout(len(self._rigs), n_ticks)[1])
+            alloc_s = time.perf_counter() - t0
+        pool = get_pool(len(self._eids))
+        try:
+            replies = pool.call_many(
+                self._advance_messages(profile, steps, record_every_n,
+                                       self._eids, block, n_ticks,
+                                       telemetry),
+                timeout=self._timeout_s)
+            payloads = self._check_replies(replies)
+        except BaseException:
+            if block is not None:
+                block.close()
+            raise
+        self._merge_shm_harvests(replies)
+        result = self._assemble(block, n_ticks, alloc_s)
+        return self._attach_pool_profiles(
+            result, {i: payloads[i]["profile"] for i in payloads})
+
+    def _run_shm(self, profile: Profile, record_every_n: int, steps: int,
+                 ) -> tuple[RunResult, list[tuple[int, int]]]:
+        """One-shot run on the pool, with serial fallback per shard.
+
+        Unlike :meth:`_advance_shm`, the parent rigs still hold the
+        whole fleet state here, so a shard whose load or advance fails
+        on infrastructure degrades to the serial in-process engine
+        (``shard.fallbacks`` counts it) and writes its rows into the
+        same shared block — the merged result is identical either way.
+        """
+        registry = get_registry()
+        observing = registry.enabled
+        telemetry = self._telemetry_request()
+        bounds = partition_monitors(len(self._rigs), self._workers)
+        self._bounds = bounds
+        self._sizes = [stop - start for start, stop in bounds]
+        if observing:
+            registry.gauge("shard.workers").set(self._workers)
+            registry.counter("shard.runs").inc()
+        n_ticks = recorded_ticks(0, steps, record_every_n)
+        alloc_s = 0.0
+        block = None
+        if n_ticks:
+            t0 = time.perf_counter()
+            block = SharedBlock(
+                RunResult.shared_layout(len(self._rigs), n_ticks)[1])
+            alloc_s = time.perf_counter() - t0
+        pool = get_pool(len(bounds))
+        eids = [next_engine_id() for _ in bounds]
+        blobs = {
+            i: pickle.dumps(
+                BatchEngine(self._rigs[start:stop], chunk_size=self._chunk,
+                            numerics=self._numerics),
+                protocol=pickle.HIGHEST_PROTOCOL)
+            for i, (start, stop) in enumerate(bounds)
+        }
+        fallback: list[int] = []
+        try:
+            loaded = pool.call_many(
+                {i: ("load", eids[i], blobs[i]) for i in blobs},
+                timeout=self._timeout_s)
+            for i in sorted(loaded):
+                if loaded[i][0] != "ok":
+                    if isinstance(loaded[i][1], ReproError):
+                        raise loaded[i][1]
+                    fallback.append(i)
+            live = [i for i in range(len(bounds)) if i not in fallback]
+            messages = self._advance_messages(
+                profile, steps, record_every_n, eids, block, n_ticks,
+                telemetry)
+            replies = pool.call_many(
+                {i: messages[i] for i in live}, timeout=self._timeout_s)
+            profiles: dict[int, dict] = {}
+            for i in sorted(replies):
+                if replies[i][0] != "ok":
+                    if isinstance(replies[i][1], ReproError):
+                        raise replies[i][1]
+                    fallback.append(i)
+                else:
+                    profiles[i] = replies[i][1]["profile"]
+            for i in sorted(fallback):
+                if observing:
+                    registry.counter(
+                        "shard.fallbacks",
+                        "shards degraded to the serial in-process "
+                        "engine").inc()
+                start, stop = bounds[i]
+                part = BatchEngine(
+                    self._rigs[start:stop], chunk_size=self._chunk,
+                    numerics=self._numerics).run(
+                    profile, record_every_n=record_every_n)
+                profiles[i] = part.profile()
+                if block is not None:
+                    write_block_rows(block.buf, part, len(self._rigs),
+                                     n_ticks, start, write_time=i == 0)
+            self._merge_shm_harvests(replies)
+            result = self._attach_pool_profiles(
+                self._assemble(block, n_ticks, alloc_s), profiles)
+        except BaseException:
+            if block is not None:
+                block.close()
+            raise
+        finally:
+            # The run consumed the fleet: evict the pool-resident
+            # engines (best-effort — dead workers have nothing loaded).
+            pool.call_many({i: ("unload", eids[i]) for i in range(len(eids))},
+                           timeout=self._timeout_s, spawn_missing=False)
+        return result, [bounds[i] for i in fallback]
+
+    # -- fleet surgery and lifecycle -----------------------------------------
+
+    def drop(self, indices) -> None:
+        """Permanently remove monitors from the live windowed fleet.
+
+        The sharded counterpart of :meth:`BatchEngine.drop
+        <repro.runtime.batch.BatchEngine.drop>`, routing each global
+        index to its shard: spawn blobs are unpickled, dropped and
+        re-pickled; shm shards receive a ``drop`` command (their
+        engines mutate in place inside the pool).  Shards emptied
+        entirely are retired.  Indices are engine-local fleet rows, as
+        everywhere else; later windows simply omit the dropped rows.
+
+        Raises
+        ------
+        ConfigurationError
+            On out-of-range or duplicate indices, after :meth:`run`
+            consumed the fleet, or on a closed engine.
+        """
+        self._require_open()
+        if self._ran:
+            raise ConfigurationError(
+                "this engine's fleet was consumed by run(); nothing "
+                "left to drop")
+        wanted = [int(i) for i in indices]
+        drop = sorted(set(wanted))
+        if len(drop) != len(wanted):
+            raise ConfigurationError("duplicate drop indices")
+        for i in drop:
+            if not 0 <= i < len(self._rigs):
+                raise ConfigurationError(
+                    f"drop index {i} out of range [0, {len(self._rigs)})")
+        if not drop:
+            return
+        if self._sizes is not None:
+            # Live shards exist: route global rows to (shard, local).
+            starts = self._shard_starts()
+            per_shard: dict[int, list[int]] = {}
+            for row in drop:
+                shard = 0
+                while (shard + 1 < len(starts)
+                       and row >= starts[shard + 1]):
+                    shard += 1
+                per_shard.setdefault(shard, []).append(row - starts[shard])
+            if self._eids is not None:
+                pool = get_pool(len(self._eids))
+                replies = pool.call_many(
+                    {shard: ("drop", self._eids[shard], local)
+                     for shard, local in per_shard.items()},
+                    timeout=self._timeout_s)
+                self._check_replies(replies)
+            elif self._blobs is not None:
+                for shard, local in per_shard.items():
+                    engine = pickle.loads(self._blobs[shard])
+                    engine.drop(local)
+                    self._blobs[shard] = pickle.dumps(
+                        engine, protocol=pickle.HIGHEST_PROTOCOL)
+            for shard, local in per_shard.items():
+                self._sizes[shard] -= len(local)
+            empty = [s for s, size in enumerate(self._sizes) if size == 0]
+            if empty:
+                if self._eids is not None:
+                    pool.call_many(
+                        {s: ("unload", self._eids[s]) for s in empty},
+                        timeout=self._timeout_s, spawn_missing=False)
+                for s in reversed(empty):
+                    del self._sizes[s]
+                    if self._eids is not None:
+                        del self._eids[s]
+                    if self._blobs is not None:
+                        del self._blobs[s]
+        keep = [i for i in range(len(self._rigs)) if i not in set(drop)]
+        self._rigs = [self._rigs[i] for i in keep]
+        self._workers = min(self._workers, max(1, len(self._rigs)))
+
+    def close(self) -> None:
+        """Release pool-resident state deterministically (idempotent).
+
+        Evicts this engine's shard engines from the shm pool (the pool
+        itself is shared and stays up — ``Session.close`` or
+        :func:`repro.runtime.shm.shutdown_pool` owns its lifetime).  A
+        closed engine refuses further runs.  Safe to call on any
+        backend; spawn engines hold no external state.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        eids, self._eids = self._eids, None
+        if eids:
+            pool = existing_pool()
+            if pool is not None:
+                pool.call_many(
+                    {i: ("unload", eid) for i, eid in enumerate(eids)},
+                    timeout=5.0, spawn_missing=False)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _dump_blobs(self) -> list[bytes]:
+        """Dump pool-resident shard engines back into pickled blobs."""
+        pool = get_pool(len(self._eids))
+        replies = pool.call_many(
+            {i: ("dump", eid) for i, eid in enumerate(self._eids)},
+            timeout=self._timeout_s)
+        payloads = self._check_replies(replies)
+        return [payloads[i] for i in range(len(self._eids))]
+
+    def __getstate__(self):
+        """Pickle an shm engine as owned bytes, never pool references.
+
+        A spawn engine pickles as-is (its window state already lives in
+        ``_blobs``).  An shm engine with pool-resident shards dumps
+        them into ``_pending_blobs`` first — this is what lets
+        :func:`repro.runtime.checkpoint.save_checkpoint` capture a
+        running shm engine; unpickling re-loads the blobs into the
+        pool on the next window.
+        """
+        state = dict(self.__dict__)
+        if self._eids is not None:
+            state["_pending_blobs"] = self._dump_blobs()
+            state["_eids"] = None
+        return state

@@ -195,6 +195,7 @@ class Session:
         self._dt = self._fleet.dt_s
         self._timings: dict[str, float] = {}
         self._runs = 0
+        self._used_shm = False
         if checkpoint_dir is not None:
             from pathlib import Path
 
@@ -254,7 +255,8 @@ class Session:
             workers: int | None = None,
             numerics: str = "exact",
             record_every_n: int | None = None,
-            resume: bool = False) -> RunResult | dict:
+            resume: bool = False,
+            backend: str = "spawn") -> RunResult | dict:
         """Run a line profile over the fleet; decimated traces out.
 
         This is the unified run surface (shared with
@@ -303,9 +305,19 @@ class Session:
         resume:
             Continue this run from the checkpoint a previous (crashed)
             process left under the session's ``checkpoint_dir``.
-            Requires a checkpointed session with a serial batch run;
-            the resumed result is bit-identical to an uninterrupted
-            one.
+            Requires a checkpointed session with a batch run; the
+            resumed result is bit-identical to an uninterrupted one.
+            The checkpoint records the engine configuration, so
+            ``workers``/``backend`` overrides are refused on resume —
+            the restored engine keeps the shape it started with.
+        backend:
+            Parallel backend for ``workers > 1``: ``"spawn"`` (the
+            default; per-run worker processes) or ``"shm"`` (the
+            persistent zero-copy pool of :mod:`repro.runtime.shm` —
+            see "Choosing a parallel backend" in
+            ``docs/performance.md``).  Bit-identical either way.
+            ``Session.close`` tears the shm pool down after a session
+            that used it.
 
         .. deprecated:: 1.1
             Positional ``engine`` / ``record_every_n`` still work but
@@ -343,16 +355,23 @@ class Session:
                 "numerics='fast' requires engine='batch' (the scalar "
                 "reference path is the exact contract itself)",
                 reason="numerics")
+        from repro.runtime.shm import resolve_backend
+        backend = resolve_backend(backend)
         every = resolve_record_every_n(self._dt, snapshot_s, record_every_n)
         if every < 1:
             raise ConfigurationError("record_every_n must be >= 1")
-        durable = (self._checkpoint_dir is not None and engine == "batch"
-                   and (workers is None or workers == 1))
+        durable = (self._checkpoint_dir is not None and engine == "batch")
         if resume and not durable:
             raise ConfigurationError(
-                "resume=True needs a checkpointed serial batch run: a "
-                "Session(checkpoint_dir=...) with engine='batch' and "
-                "workers in (None, 1)")
+                "resume=True needs a checkpointed batch run: a "
+                "Session(checkpoint_dir=...) with engine='batch'")
+        if resume and (workers not in (None, 1) or backend != "spawn"):
+            raise ConfigurationError(
+                "resume=True continues the engine configuration recorded "
+                "in the checkpoint; workers/backend overrides don't apply "
+                "to a resumed run — rerun without them")
+        if workers is not None and workers != 1 and backend == "shm":
+            self._used_shm = True
         t0 = time.perf_counter()
         with get_tracer().span("session.run", engine=engine,
                                numerics=mode,
@@ -372,16 +391,18 @@ class Session:
                     rigs, profile, record_every_n=every,
                     checkpoint_path=(self._checkpoint_dir /
                                      f"run-{self._runs}.ckpt"),
-                    resume=resume, chunk_size=self._chunk, numerics=mode)
+                    resume=resume, chunk_size=self._chunk, numerics=mode,
+                    workers=workers, backend=backend)
             elif mixed:
                 result = MixedEngine(
                     rigs, chunk_size=self._chunk, numerics=mode).run(
-                    profile, record_every_n=every, workers=workers)
+                    profile, record_every_n=every, workers=workers,
+                    backend=backend)
             elif engine == "batch" and workers is not None and workers != 1:
                 from repro.runtime.parallel import ShardedEngine
                 result = ShardedEngine(
                     rigs, workers=workers, chunk_size=self._chunk,
-                    numerics=mode).run(
+                    numerics=mode, backend=backend).run(
                     profile, record_every_n=every)
             elif engine == "batch":
                 result = BatchEngine(rigs, chunk_size=self._chunk,
@@ -430,9 +451,19 @@ class Session:
         }
 
     def close(self) -> None:
-        """End the session; any further stage call raises SessionError."""
+        """End the session; any further stage call raises SessionError.
+
+        A session that ran on the shm backend also tears the
+        process-global worker pool down here — deterministic teardown
+        inside the session lifecycle, not at interpreter exit, so
+        ``-W error`` runs see no atexit-ordering warnings.
+        """
         self._state = "closed"
         self._handles = []
+        if self._used_shm:
+            from repro.runtime.shm import shutdown_pool
+            shutdown_pool()
+            self._used_shm = False
         get_event_log().emit("session.state", state="closed",
                              n_monitors=self.n_monitors)
 

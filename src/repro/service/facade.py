@@ -31,7 +31,8 @@ def run(profile: Profile, *, fleet=None,
         n_monitors: int | None = None, seed: int | None = None,
         snapshot_s: float | None = None, collect: str = "result",
         engine: str = "batch", workers: int | None = None,
-        numerics: str = "exact", record_every_n: int | None = None,
+        numerics: str = "exact", backend: str = "spawn",
+        record_every_n: int | None = None,
         **session_kwargs) -> RunResult | dict:
     """One-shot fleet run: session lifecycle in a single call.
 
@@ -53,7 +54,8 @@ def run(profile: Profile, *, fleet=None,
     ``use_pulsed_drive``, ``fast_calibration``, ... — deprecated at the
     Session layer in favor of ``fleet=``).  All other keywords mirror
     :meth:`repro.runtime.Session.run` (``snapshot_s``/``record_every_n``
-    cadence, ``collect``, ``engine``, ``workers``, ``numerics``).
+    cadence, ``collect``, ``engine``, ``workers``, ``backend``,
+    ``numerics``).
     Traces are bit-identical to what a
     :meth:`~repro.service.service.FleetService` client streaming the
     same config/seed/profile would stitch together.
@@ -71,7 +73,7 @@ def run(profile: Profile, *, fleet=None,
         session.calibrate()
         return session.run(profile, snapshot_s=snapshot_s, collect=collect,
                            engine=engine, workers=workers, numerics=numerics,
-                           record_every_n=record_every_n)
+                           backend=backend, record_every_n=record_every_n)
 
 
 class ServiceClient:
@@ -148,7 +150,8 @@ def connect(service: FleetService | None = None,
 
     With no arguments the client owns a private in-process
     :class:`~repro.service.service.FleetService` (service knobs —
-    ``tick_steps``, ``max_pending``, ``chunk_size`` — may be passed
+    ``tick_steps``, ``max_pending``, ``chunk_size``, ``workers``,
+    ``backend`` — may be passed
     through); with ``service=`` it wraps a shared resident service
     without taking over its lifecycle.
 

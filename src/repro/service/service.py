@@ -291,6 +291,13 @@ class FleetService:
         the artifact deleted once the cohort ends), so a process death
         strands no compute: :func:`recover_cohorts` salvages the
         orphans and finishes their runs bit-identically.
+    workers / backend:
+        Shard every cohort's ticks across worker processes
+        (:class:`~repro.runtime.mixed.MixedEngine` with fixed workers).
+        ``backend="shm"`` rides the persistent zero-copy pool of
+        :mod:`repro.runtime.shm` — tick overhead is one command
+        round-trip per shard — and :meth:`stop` tears the pool down.
+        Streamed windows are bit-identical for any setting.
 
     Lifecycle: ``await start()`` spawns the tick loop, ``await stop()``
     fails the remaining clients with :class:`~repro.errors.ServiceError`
@@ -299,16 +306,25 @@ class FleetService:
     """
 
     def __init__(self, *, tick_steps: int = 1000, max_pending: int = 8,
-                 chunk_size: int = 1024, checkpoint_dir=None) -> None:
+                 chunk_size: int = 1024, checkpoint_dir=None,
+                 workers: int | None = None,
+                 backend: str = "spawn") -> None:
         if tick_steps < 1:
             raise ConfigurationError("tick_steps must be >= 1")
         if max_pending < 1:
             raise ConfigurationError("max_pending must be >= 1")
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
+        from repro.runtime.shm import resolve_backend
         self._tick_steps = int(tick_steps)
         self._max_pending = int(max_pending)
         self._chunk = int(chunk_size)
+        # Cohort parallelism: every sealed cohort's engine shards its
+        # ticks across this many workers on this backend ("shm" rides
+        # the persistent zero-copy pool, so per-tick overhead is one
+        # command round-trip per shard, not a process spawn).
+        self._workers = None if workers is None else int(workers)
+        self._backend = resolve_backend(backend)
         self._checkpoint_dir = (None if checkpoint_dir is None
                                 else Path(checkpoint_dir))
         self._groups: dict[int, _Group] = {}
@@ -360,8 +376,14 @@ class FleetService:
         exc = ServiceError("service stopped", reason="stopped")
         for member in list(self._members):
             self._finalize(member, error=exc)
+        for group in self._groups.values():
+            if group.engine is not None:
+                group.engine.close()
         self._groups.clear()
         self._open_by_key.clear()
+        if self._backend == "shm":
+            from repro.runtime.shm import shutdown_pool
+            shutdown_pool()
         get_event_log().emit("service.stop")
 
     async def __aenter__(self) -> "FleetService":
@@ -580,6 +602,10 @@ class FleetService:
             registry.gauge("service.clients").set(len(self._members))
 
     def _discard_group(self, group: _Group) -> None:
+        if group.engine is not None:
+            # Evict any pool-resident shard state the cohort engine
+            # holds (a no-op for serial groups).
+            group.engine.close()
         self._groups.pop(group.group_id, None)
         if self._open_by_key.get(group.key) is group:
             del self._open_by_key[group.key]
@@ -605,7 +631,9 @@ class FleetService:
             del self._open_by_key[group.key]
         rigs = [rig for member in group.members for rig in member.rigs]
         group.engine = MixedEngine(rigs, chunk_size=group.chunk_size,
-                                   numerics=group.numerics)
+                                   numerics=group.numerics,
+                                   workers=self._workers,
+                                   backend=self._backend)
 
     def _fail_group(self, group: _Group, exc: BaseException) -> None:
         """Propagate an engine fault to every member; drop the cohort."""

@@ -36,7 +36,9 @@ def characterize_meter_pool(fleet=None, seed: int = 0, *,
                             settle_s: float = 8.0,
                             fast_calibration: bool = True,
                             workers: int | None = None,
-                            numerics: str = "exact") -> list["MeterCharacter"]:
+                            numerics: str = "exact",
+                            backend: str = "spawn",
+                            ) -> list["MeterCharacter"]:
     """Measure meter characters from full monitor simulations.
 
     Builds and calibrates the fleet's complete monitoring points
@@ -82,6 +84,10 @@ def characterize_meter_pool(fleet=None, seed: int = 0, *,
         to :meth:`repro.runtime.Session.run`: ``"exact"`` (default) or
         ``"fast"`` (≤1e-9 relative error on the traces, far below the
         bias/noise statistics condensed here).
+    backend:
+        Parallel backend for ``workers > 1`` (``"spawn"`` or
+        ``"shm"``), forwarded to :meth:`repro.runtime.Session.run`;
+        the characters are bit-identical either way.
 
     Returns
     -------
@@ -132,7 +138,8 @@ def characterize_meter_pool(fleet=None, seed: int = 0, *,
         with Session(fleet=spec) as session:
             session.calibrate()
             result = session.run(hold(speed_cmps, duration_s),
-                                 workers=workers, numerics=numerics)
+                                 workers=workers, numerics=numerics,
+                                 backend=backend)
     registry = get_registry()
     if registry.enabled:
         registry.counter("station.fleet.meters_characterized").inc(n_meters)

@@ -1,0 +1,149 @@
+"""Property-based invariants for the zero-copy merge path.
+
+``RunResult.from_shared`` is pointer assembly over a flat buffer laid
+out by ``RunResult.shared_layout``; these properties are what make it
+safe to hand those views to callers:
+
+- the layout tiles the buffer exactly (disjoint fields, no gaps);
+- a merged result's rows never alias — not across rigs, not across
+  fields — so no rig's trace can be read or clobbered through another;
+- every view is read-only after merge;
+- bytes written by one shard land in exactly that shard's rows, and
+  corrupting one rig's region perturbs no other rig.
+
+Hypothesis is an optional dev dependency: the module skips when it is
+absent, so the tier-1 suite never depends on it.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.runtime import RunResult, partition_monitors  # noqa: E402
+from repro.runtime.shm import write_block_rows  # noqa: E402
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+_FIELDS = ("time_s",) + RunResult.STACKED_FIELDS
+
+
+def _value(row, field_index, tick):
+    """A sentinel unique to (rig row, field, tick)."""
+    return 100000.0 * (row + 1) + 100.0 * (field_index + 1) + tick
+
+
+def _shard_block(rows, ticks, time_s):
+    """A synthetic shard result whose cells encode their coordinates."""
+    data = {}
+    for j, name in enumerate(RunResult.STACKED_FIELDS):
+        arr = np.array([[_value(row, j, t) for t in range(ticks)]
+                        for row in rows], dtype=np.float64)
+        data[name] = arr.astype(np.int64) if name == "direction" else arr
+    return RunResult(time_s=np.asarray(time_s, dtype=np.float64), **data)
+
+
+def _merged(n, k, ticks):
+    """Write k shards of an (n, ticks) fleet into a flat buffer; merge."""
+    _, total = RunResult.shared_layout(n, ticks)
+    buf = bytearray(total)
+    time_s = np.arange(ticks, dtype=np.float64) * 0.05
+    for i, (start, stop) in enumerate(partition_monitors(n, k)):
+        block = _shard_block(range(start, stop), ticks, time_s)
+        write_block_rows(buf, block, n, ticks, start, write_time=i == 0)
+    return buf, time_s, RunResult.from_shared(buf, n, ticks)
+
+
+@st.composite
+def _merge_case(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    k = draw(st.integers(min_value=1, max_value=n))
+    ticks = draw(st.integers(min_value=1, max_value=8))
+    return n, k, ticks
+
+
+@SETTINGS
+@given(_merge_case())
+def test_layout_tiles_the_buffer_exactly(case):
+    n, _, ticks = case
+    offsets, total = RunResult.shared_layout(n, ticks)
+    sizes = {name: (ticks if name == "time_s" else n * ticks) * 8
+             for name in _FIELDS}
+    spans = sorted((offsets[name], offsets[name] + sizes[name])
+                   for name in _FIELDS)
+    assert spans[0][0] == 0 and spans[-1][1] == total
+    for (_, stop), (start, _) in zip(spans, spans[1:]):
+        assert start == stop  # contiguous, disjoint, gap-free
+
+
+@SETTINGS
+@given(_merge_case())
+def test_merged_views_are_read_only_and_never_alias(case):
+    n, k, ticks = case
+    _, _, merged = _merged(n, k, ticks)
+    views = {name: np.asarray(getattr(merged, name)) for name in _FIELDS}
+    for name, view in views.items():
+        assert not view.flags.writeable, name
+        with pytest.raises(ValueError):
+            view[...] = 0.0
+    # no cross-field overlap (time included), no cross-rig overlap
+    names = list(views)
+    for a in range(len(names)):
+        for b in range(a + 1, len(names)):
+            assert not np.shares_memory(views[names[a]], views[names[b]])
+    for name in RunResult.STACKED_FIELDS:
+        for row in range(n):
+            for other in range(row + 1, n):
+                assert not np.shares_memory(views[name][row],
+                                            views[name][other])
+
+
+@SETTINGS
+@given(_merge_case())
+def test_every_cell_lands_in_its_own_rigs_row(case):
+    n, k, ticks = case
+    _, time_s, merged = _merged(n, k, ticks)
+    assert np.array_equal(np.asarray(merged.time_s), time_s)
+    for j, name in enumerate(RunResult.STACKED_FIELDS):
+        view = np.asarray(getattr(merged, name))
+        assert view.shape == (n, ticks)
+        expected = np.array([[_value(row, j, t) for t in range(ticks)]
+                             for row in range(n)])
+        assert np.array_equal(view, expected), name
+
+
+@SETTINGS
+@given(_merge_case())
+def test_corrupting_one_rig_never_touches_another(case):
+    n, k, ticks = case
+    offsets, _ = RunResult.shared_layout(n, ticks)
+    buf, _, merged = _merged(n, k, ticks)
+    victim = n - 1
+    before = {name: np.array(getattr(merged, name))
+              for name in RunResult.STACKED_FIELDS}
+    for name in RunResult.STACKED_FIELDS:
+        start = offsets[name] + victim * ticks * 8
+        buf[start:start + ticks * 8] = b"\xff" * (ticks * 8)
+    for name in RunResult.STACKED_FIELDS:
+        view = np.asarray(getattr(merged, name))
+        assert not np.array_equal(view[victim], before[name][victim])
+        for row in range(n):
+            if row != victim:
+                assert np.array_equal(view[row], before[name][row]), name
+
+
+def test_from_shared_refuses_short_buffer():
+    _, total = RunResult.shared_layout(2, 5)
+    with pytest.raises(ConfigurationError):
+        RunResult.from_shared(bytearray(total - 1), 2, 5)
+
+
+def test_write_block_rows_refuses_tick_mismatch():
+    from repro.runtime.shm import PoolWorkerError
+
+    _, total = RunResult.shared_layout(2, 5)
+    block = _shard_block(range(2), 4, np.arange(4, dtype=np.float64))
+    with pytest.raises(PoolWorkerError):
+        write_block_rows(bytearray(total), block, 2, 5, 0, write_time=True)
