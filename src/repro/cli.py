@@ -13,6 +13,9 @@
     python -m repro campaign --spec campaign.json [--out summary.json]
     python -m repro campaign --checkpoint-dir ckpt/ [--resume]
     python -m repro serve --clients 8 --n-monitors 2 [--tick-steps 500]
+                          [--http-port 8765] [--sample-every 0.5]
+                          [--hold-open 20]
+    python -m repro top --url http://127.0.0.1:8765 [--interval 1] [--once]
     python -m repro store inspect --dir store/ [--json]
     python -m repro store evict --dir store/ [--kind calibration] [--key K]
 
@@ -32,6 +35,11 @@ episodes) — over a scenario-tagged FleetSpec and prints the per-window
 ``serve`` spins up the resident streaming service in-process and drives
 it with concurrent clients — the asyncio demo of the ``repro.connect``
 path, with every client's stream bit-identical to a standalone run.
+With ``--http-port`` it also publishes the live observability plane
+(``/metrics``, ``/health``, ``/ready``, ``/snapshot``; see
+``docs/observability.md``), and ``top`` renders a live terminal
+dashboard — per-cohort throughput, tick-latency percentiles and the
+worst-health rigs — from those endpoints.
 
 Durability (see ``docs/durability.md``): ``fleet`` and ``campaign``
 accept ``--checkpoint-dir`` to snapshot progress after every engine
@@ -209,6 +217,35 @@ def build_parser() -> argparse.ArgumentParser:
                           "granularity; default 1000)")
     srv.add_argument("--max-pending", type=int, default=8,
                      help="per-client snapshot queue bound (default 8)")
+    srv.add_argument("--http-port", type=int, default=None,
+                     help="serve the live observability plane (/metrics, "
+                          "/health, /ready, /snapshot) on this port "
+                          "(0 picks a free one); implies a 0.5 s sampler")
+    srv.add_argument("--http-host", type=str, default="127.0.0.1",
+                     help="bind address for --http-port "
+                          "(default 127.0.0.1)")
+    srv.add_argument("--sample-every", type=float, default=None,
+                     help="snapshot-pipeline cadence in seconds "
+                          "(default 0.5 when --http-port is given)")
+    srv.add_argument("--hold-open", type=float, default=0.0,
+                     help="keep the service (and HTTP plane) up this many "
+                          "seconds after the demo clients complete, so "
+                          "scrapers can read the final state")
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a serve --http-port observability plane")
+    top.add_argument("--url", type=str, required=True,
+                     help="base URL of the live plane "
+                          "(e.g. http://127.0.0.1:8765)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between redraws (default 1)")
+    top.add_argument("--frames", type=int, default=0,
+                     help="stop after this many frames (0 = until ^C)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (CI-friendly)")
+    top.add_argument("--last", type=int, default=5,
+                     help="ring-buffer samples per frame (default 5)")
 
     sto = sub.add_parser(
         "store",
@@ -472,12 +509,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import FleetService
     from repro.station.profiles import staircase
     profile = staircase(levels, dwell_s=args.dwell)
+    if args.http_port is not None:
+        # The live plane serves /metrics from the default registry, so
+        # turn the instrumentation on for the whole serve run.
+        _enable_observability()
     print(f"serving {args.clients} client(s) x {args.n_monitors} monitor(s), "
           f"staircase {levels} cm/s, tick={args.tick_steps} steps ...")
 
     async def drive():
         async with FleetService(tick_steps=args.tick_steps,
-                                max_pending=args.max_pending) as service:
+                                max_pending=args.max_pending,
+                                http_port=args.http_port,
+                                http_host=args.http_host,
+                                sample_every_s=args.sample_every) as service:
+            if service.http_url is not None:
+                print(f"live observability plane at {service.http_url} "
+                      f"(/metrics /health /ready /snapshot)")
             clients = [
                 await service.attach(profile, n_monitors=args.n_monitors,
                                      seed=args.seed + i,
@@ -493,11 +540,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 return windows, await client.result()
 
             streamed = await asyncio.gather(*(consume(c) for c in clients))
-            return clients, streamed, service.stats()
+            stats = service.stats()
+            done_t = time.perf_counter()
+            if args.hold_open > 0:
+                print(f"holding the service open for {args.hold_open:.0f} s "
+                      f"(scrape away) ...", flush=True)
+                await asyncio.sleep(args.hold_open)
+            return clients, streamed, stats, done_t
 
     t0 = time.perf_counter()
-    clients, streamed, stats = asyncio.run(drive())
-    elapsed = time.perf_counter() - t0
+    clients, streamed, stats, done_t = asyncio.run(drive())
+    elapsed = done_t - t0
     print(f"{'client':>8}  {'group':>5}  {'seed':>5}  {'windows':>7}  "
           f"{'final [cm/s]':>12}")
     for client, (windows, result) in zip(clients, streamed):
@@ -509,6 +562,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{stats['completed']} clients completed in {elapsed:.2f} s wall "
           f"({samples / max(elapsed, 1e-9) / 1e3:.0f} ksamples/s)")
     return 0 if stats["completed"] == args.clients else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.observability.live.top import run_top
+    if args.interval <= 0:
+        print("error: --interval must be > 0", file=sys.stderr)
+        return 2
+    if args.last < 1:
+        print("error: --last must be >= 1", file=sys.stderr)
+        return 2
+    return run_top(args.url, interval=args.interval, frames=args.frames,
+                   once=args.once, last=args.last)
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -550,6 +615,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "store": _cmd_store,
 }
 

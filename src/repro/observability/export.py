@@ -21,6 +21,7 @@ instruments.
 from __future__ import annotations
 
 import json
+import math
 import re
 
 from repro.errors import ConfigurationError
@@ -28,7 +29,8 @@ from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import SpanRecord
 
 __all__ = ["export_jsonl", "parse_jsonl", "export_prometheus",
-           "parse_prometheus", "prometheus_name", "export_spans_jsonl",
+           "parse_prometheus", "prometheus_name", "escape_label_value",
+           "unescape_label_value", "export_spans_jsonl",
            "parse_spans_jsonl"]
 
 _UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
@@ -84,12 +86,42 @@ def prometheus_name(name: str) -> str:
     return "repro_" + _UNSAFE.sub("_", name)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside ``label="..."``.
+    """
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+_UNESCAPE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (unknown escapes pass through)."""
+    return _UNESCAPE.sub(
+        lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(0)), value)
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: the format defines ``\\\\`` and ``\\n`` only."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _unescape_help(text: str) -> str:
+    return _UNESCAPE.sub(
+        lambda m: {"\\": "\\", "n": "\n"}.get(m.group(1), m.group(0)), text)
+
+
 def export_prometheus(source: MetricsRegistry | dict) -> str:
     """Render a registry (or snapshot) in Prometheus text format."""
     out: list[str] = []
     for name, state in _snapshot(source).items():
         pname = prometheus_name(name)
-        out.append(f"# HELP {pname} {name}")
+        out.append(f"# HELP {pname} {_escape_help(name)}")
         kind = state["type"]
         if kind in ("counter", "gauge"):
             out.append(f"# TYPE {pname} {kind}")
@@ -100,7 +132,8 @@ def export_prometheus(source: MetricsRegistry | dict) -> str:
                 value = state.get(key)
                 if value is not None:
                     out.append(
-                        f'{pname}{{quantile="{q_label}"}} {_fmt(value)}')
+                        f'{pname}{{quantile="{escape_label_value(q_label)}"}}'
+                        f' {_fmt(value)}')
             out.append(f"{pname}_sum {_fmt(state['sum'])}")
             out.append(f"{pname}_count {_fmt(state['count'])}")
         else:
@@ -109,8 +142,19 @@ def export_prometheus(source: MetricsRegistry | dict) -> str:
 
 
 def _fmt(value: float | int) -> str:
-    """Prometheus sample value: repr keeps float64 exactness."""
-    return repr(float(value)) if isinstance(value, float) else str(value)
+    """Prometheus sample value: repr keeps float64 exactness.
+
+    Non-finite floats render as the canonical Prometheus spellings
+    (``NaN`` / ``+Inf`` / ``-Inf``) — Python's ``repr`` forms (``nan``,
+    ``inf``) are not valid exposition-format samples.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
 
 
 def parse_prometheus(text: str) -> dict[str, dict]:
@@ -137,7 +181,7 @@ def parse_prometheus(text: str) -> dict[str, dict]:
         if line.startswith("# HELP "):
             _, _, rest = line.partition("# HELP ")
             pname, _, original = rest.partition(" ")
-            dotted[pname] = original
+            dotted[pname] = _unescape_help(original)
             continue
         if line.startswith("# TYPE "):
             _, _, rest = line.partition("# TYPE ")
@@ -147,11 +191,19 @@ def parse_prometheus(text: str) -> dict[str, dict]:
         if line.startswith("#"):
             continue
         match = re.match(
-            r'^([a-zA-Z0-9_]+)(\{quantile="([^"]+)"\})?\s+(\S+)$', line)
+            r'^([a-zA-Z0-9_]+)(\{quantile="((?:[^"\\]|\\.)*)"\})?\s+(\S+)$',
+            line)
         if match is None:
             raise ConfigurationError(f"bad prometheus line {lineno}: {line!r}")
         sample, _, quantile, raw = match.groups()
-        value = float(raw)
+        if quantile is not None:
+            quantile = unescape_label_value(quantile)
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad prometheus sample value on line {lineno}: "
+                f"{raw!r}") from exc
         base = sample
         suffix = None
         for cand in ("_sum", "_count"):

@@ -1,0 +1,26 @@
+"""Live observability plane: streaming telemetry for long-lived runs.
+
+Three cooperating pieces turn the harvest-at-end observability stack
+into something an operator can watch while a fleet runs:
+
+- :class:`~repro.observability.live.pipeline.SnapshotPipeline` — a
+  background sampler that captures :class:`~repro.observability.MetricsRegistry`
+  deltas (the PR-5 merge algebra, run in reverse) into a bounded
+  time-series ring buffer;
+- :class:`~repro.observability.live.http.LiveServer` — a stdlib-only
+  HTTP surface exposing ``/metrics`` (Prometheus text), ``/health``,
+  ``/ready`` and ``/snapshot`` (JSON ring-buffer window);
+- :mod:`~repro.observability.live.top` — the ``repro top`` terminal
+  dashboard rendered from those endpoints.
+
+Everything here is opt-in and import-light: nothing starts threads or
+sockets until explicitly constructed, and
+:class:`~repro.service.FleetService` wires it up only when asked
+(``sample_every_s=`` / ``http_port=``).
+"""
+
+from repro.observability.live.pipeline import (SeriesSample, SnapshotPipeline,
+                                               snapshot_delta)
+from repro.observability.live.http import LiveServer
+
+__all__ = ["SeriesSample", "SnapshotPipeline", "snapshot_delta", "LiveServer"]

@@ -1,0 +1,172 @@
+"""Stdlib-only HTTP surface for the live observability plane.
+
+:class:`LiveServer` serves four read-only endpoints from a daemon
+thread (``http.server.ThreadingHTTPServer`` — no third-party web stack):
+
+- ``/metrics`` — Prometheus text exposition of the registry, straight
+  through :func:`repro.observability.export.export_prometheus`;
+- ``/health`` — JSON from an injected health source (e.g.
+  :meth:`repro.service.FleetService.health`);
+- ``/ready`` — 200 ``ready`` / 503 ``not ready`` from an injected
+  readiness predicate (load-balancer style liveness);
+- ``/snapshot`` — JSON ring-buffer window from a
+  :class:`~repro.observability.live.pipeline.SnapshotPipeline`
+  (``?last=N`` bounds the window).
+
+The server binds loopback by default and ``port=0`` picks a free port
+(read it back from :attr:`LiveServer.port` / :attr:`LiveServer.url`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ConfigurationError
+from repro.observability.export import export_prometheus
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+__all__ = ["LiveServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-live/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (monitoring must be quiet)."""
+
+    def _send(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(code, "application/json", body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        plane: "LiveServer" = self.server.plane  # type: ignore[attr-defined]
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/metrics":
+                registry = plane.registry or get_registry()
+                text = export_prometheus(registry)
+                self._send(200, PROMETHEUS_CONTENT_TYPE,
+                           text.encode("utf-8"))
+            elif parsed.path == "/health":
+                payload = (plane.health_source()
+                           if plane.health_source is not None
+                           else {"status": "ok"})
+                self._send_json(200, payload)
+            elif parsed.path == "/ready":
+                ready = (bool(plane.ready_source())
+                         if plane.ready_source is not None else True)
+                if ready:
+                    self._send(200, "text/plain", b"ready\n")
+                else:
+                    self._send(503, "text/plain", b"not ready\n")
+            elif parsed.path == "/snapshot":
+                if plane.pipeline is None:
+                    self._send_json(404, {"error": "no snapshot pipeline"})
+                    return
+                query = parse_qs(parsed.query)
+                last = None
+                if "last" in query:
+                    try:
+                        last = max(1, int(query["last"][0]))
+                    except ValueError:
+                        self._send_json(400, {"error": "bad last= value"})
+                        return
+                self._send_json(200, plane.pipeline.payload(last=last))
+            else:
+                self._send_json(404, {"error": f"no route {parsed.path!r}"})
+        except Exception as exc:  # noqa: BLE001 - a scrape must not kill serving
+            try:
+                self._send_json(500, {"error": repr(exc)})
+            except Exception:  # noqa: BLE001 - client already gone
+                pass
+
+
+class LiveServer:
+    """Threaded HTTP server publishing the live observability endpoints.
+
+    Parameters
+    ----------
+    registry:
+        Registry behind ``/metrics``; None means the process-wide one
+        at scrape time.
+    pipeline:
+        Optional :class:`~repro.observability.live.pipeline.SnapshotPipeline`
+        behind ``/snapshot`` (404 without one).
+    health_source / ready_source:
+        Zero-arg callables for ``/health`` (JSON-safe dict) and
+        ``/ready`` (truthy = ready).  Both optional.
+    host / port:
+        Bind address; ``port=0`` (default) picks a free port.
+    """
+
+    def __init__(self, *, registry: MetricsRegistry | None = None,
+                 pipeline=None, health_source=None, ready_source=None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        if not 0 <= int(port) <= 65535:
+            raise ConfigurationError("port must be in [0, 65535]")
+        self.registry = registry
+        self.pipeline = pipeline
+        self.health_source = health_source
+        self.ready_source = ready_source
+        self._host = host
+        self._port = int(port)
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        """True while the server thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def port(self) -> int | None:
+        """The bound port (resolved after :meth:`start`), else None."""
+        return self._server.server_address[1] if self._server else None
+
+    @property
+    def url(self) -> str | None:
+        """Base URL (``http://host:port``) once started, else None."""
+        return f"http://{self._host}:{self.port}" if self._server else None
+
+    def start(self) -> "LiveServer":
+        """Bind and serve on a daemon thread (idempotent); returns self."""
+        if self.running:
+            return self
+        server = ThreadingHTTPServer((self._host, self._port), _Handler)
+        server.daemon_threads = True
+        server.plane = self  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-live-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket."""
+        server, thread = self._server, self._thread
+        self._server, self._thread = None, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "LiveServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,286 @@
+"""Snapshot pipeline: periodic registry deltas in a bounded ring buffer.
+
+The cross-process harvest layer (PR 5) established a merge algebra over
+dumped instrument states — :func:`repro.observability.metrics.merge_states`
+folds two states into one.  The live pipeline runs that algebra *in
+reverse*: :func:`snapshot_delta` computes, for two successive cumulative
+dumps ``old`` and ``new``, a delta state such that
+
+    ``merge_states(old, delta) == new``   (exactly, per instrument)
+
+so each ring-buffer sample carries only what changed in that interval
+(counter increments, histogram count/sum deltas with the newly-observed
+reservoir tail, current gauge writes).  Consumers get interval rates
+for free and the ring stays small; the latest *cumulative* dump is kept
+separately for absolute readings.
+
+:class:`SnapshotPipeline` samples on a daemon thread at a configurable
+cadence, or deterministically under test: inject a ``clock`` and call
+:meth:`SnapshotPipeline.sample` by hand — no thread, no wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+__all__ = ["SeriesSample", "SnapshotPipeline", "snapshot_delta"]
+
+
+def _delta_one(old: dict | None, new: dict) -> dict | None:
+    """Delta for one instrument; None when nothing changed (counters/histograms).
+
+    Gauges always re-emit (their merge is last-write-wins, so the delta
+    *is* the current state).  Returns the full ``new`` state when the
+    instrument is fresh or went backwards (registry reset) — the merge
+    identity then holds against an absent/stale ``old`` by convention.
+    """
+    kind = new.get("type")
+    if old is None or old.get("type") != kind:
+        return dict(new)
+    if kind == "counter":
+        diff = new["value"] - old["value"]
+        if diff < 0:  # reset between samples; re-baseline
+            return dict(new)
+        if diff == 0:
+            return None
+        return {"type": "counter", "value": diff}
+    if kind == "gauge":
+        return dict(new)
+    if kind == "histogram":
+        d = new["count"] - old["count"]
+        if d < 0:  # reset between samples; re-baseline
+            return dict(new)
+        if d == 0:
+            return None
+        # The chronological reservoir's last d entries are exactly the
+        # observations made since ``old`` (or, when more than
+        # reservoir_size arrived, the most recent survivors) — merging
+        # them onto old's reservoir reproduces new's reservoir exactly.
+        tail = list(new["reservoir"])[-d:] if d else []
+        return {
+            "type": "histogram",
+            "count": d,
+            "sum": new["sum"] - old["sum"],
+            "min": new["min"],
+            "max": new["max"],
+            "reservoir": tail,
+            "reservoir_size": new["reservoir_size"],
+        }
+    raise ConfigurationError(f"unknown metric type {kind!r}")
+
+
+def snapshot_delta(old: dict, new: dict) -> dict:
+    """Per-instrument delta between two cumulative registry dumps.
+
+    ``old`` and ``new`` are ``{name: state}`` mappings from
+    :meth:`MetricsRegistry.dump`.  The result contains only instruments
+    that changed, and satisfies ``merge_states(old[name], delta[name])
+    == new[name]`` for every emitted name (for histograms this holds
+    exactly only when min/max are monotone between dumps — true for
+    cumulative dumps of one registry, which is the only supported use).
+
+    Instruments present in ``old`` but missing from ``new`` (a registry
+    reset) are simply dropped — deltas are defined over monotone
+    registries.
+    """
+    out: dict[str, dict] = {}
+    for name, state in new.items():
+        d = _delta_one(old.get(name), state)
+        if d is not None:
+            out[name] = d
+    return out
+
+
+@dataclass(frozen=True)
+class SeriesSample:
+    """One ring-buffer entry: what changed since the previous sample.
+
+    Attributes
+    ----------
+    seq:
+        Monotone sample counter (0-based, survives ring eviction).
+    t_s:
+        Sample timestamp from the pipeline's clock.
+    delta:
+        ``{name: state}`` instrument deltas vs the previous sample
+        (see :func:`snapshot_delta`); empty when nothing moved.
+    extra:
+        Evaluated auxiliary sources (``{source_name: value}``), e.g. a
+        service's ``stats()``/``health()`` output.
+    """
+
+    seq: int
+    t_s: float
+    delta: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe view."""
+        return {"seq": self.seq, "t_s": self.t_s,
+                "delta": self.delta, "extra": self.extra}
+
+
+class SnapshotPipeline:
+    """Background sampler feeding a bounded time-series ring buffer.
+
+    Parameters
+    ----------
+    cadence_s:
+        Sampling period for the background thread (> 0).
+    retention:
+        Ring-buffer length in samples (>= 1); the default keeps two
+        minutes of history at the default 0.5 s cadence.
+    registry:
+        Registry to sample; defaults to the process-wide one *at each
+        sample* (so a test that swaps the default registry is honoured).
+    clock:
+        Timestamp source, default ``time.monotonic``.  Inject a fake and
+        drive :meth:`sample` manually for deterministic tests.
+    sources:
+        Optional ``{name: callable}`` auxiliary sources evaluated at
+        every sample into :attr:`SeriesSample.extra`.  A raising source
+        contributes ``{"error": repr}`` instead of killing the sampler.
+    """
+
+    def __init__(self, *, cadence_s: float = 0.5, retention: int = 240,
+                 registry: MetricsRegistry | None = None,
+                 clock=None, sources: dict | None = None) -> None:
+        if cadence_s <= 0.0:
+            raise ConfigurationError("cadence_s must be > 0")
+        if retention < 1:
+            raise ConfigurationError("retention must be >= 1")
+        self.cadence_s = float(cadence_s)
+        self.retention = int(retention)
+        self._registry = registry
+        if clock is None:
+            import time
+            clock = time.monotonic
+        self._clock = clock
+        self._sources = dict(sources or {})
+        self._ring: deque[SeriesSample] = deque(maxlen=self.retention)
+        self._last_dump: dict = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._errors = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- sampling ------------------------------------------------------
+
+    def _registry_now(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def sample(self) -> SeriesSample:
+        """Take one sample now (also what the background thread calls)."""
+        dump = self._registry_now().dump()
+        extra = {}
+        for name, source in self._sources.items():
+            try:
+                extra[name] = source()
+            except Exception as exc:  # noqa: BLE001 - keep the sampler alive
+                self._errors += 1
+                extra[name] = {"error": repr(exc)}
+        with self._lock:
+            delta = snapshot_delta(self._last_dump, dump)
+            entry = SeriesSample(seq=self._seq, t_s=float(self._clock()),
+                                 delta=delta, extra=extra)
+            self._ring.append(entry)
+            self._last_dump = dump
+            self._seq += 1
+        return entry
+
+    # -- background thread ---------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True while the sampler thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SnapshotPipeline":
+        """Start the daemon sampler thread (idempotent); returns self."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-live-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.cadence_s):
+            try:
+                self.sample()
+            except Exception:  # noqa: BLE001 - monitoring must not crash the host
+                self._errors += 1
+
+    def stop(self, *, final_sample: bool = True) -> None:
+        """Stop the sampler thread; optionally take one last sample."""
+        thread = self._thread
+        self._stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        if final_sample:
+            try:
+                self.sample()
+            except Exception:  # noqa: BLE001
+                self._errors += 1
+
+    def __enter__(self) -> "SnapshotPipeline":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- reads ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def errors(self) -> int:
+        """Sampler/source exceptions swallowed so far."""
+        return self._errors
+
+    def window(self, last: int | None = None) -> list[SeriesSample]:
+        """The most recent ``last`` samples, oldest first (all when None)."""
+        with self._lock:
+            entries = list(self._ring)
+        if last is not None:
+            if last < 1:
+                raise ConfigurationError("last must be >= 1")
+            entries = entries[-last:]
+        return entries
+
+    def latest(self) -> SeriesSample | None:
+        """The newest sample, or None before the first one."""
+        with self._lock:
+            return self._ring[-1] if self._ring else None
+
+    def latest_metrics(self) -> dict:
+        """The latest *cumulative* registry dump (not a delta)."""
+        with self._lock:
+            return dict(self._last_dump)
+
+    def payload(self, last: int | None = None) -> dict:
+        """JSON-safe window for the ``/snapshot`` endpoint.
+
+        Carries the sample deltas/extras plus one copy of the latest
+        cumulative dump under ``metrics`` — so the payload stays light
+        no matter the window length.
+        """
+        entries = self.window(last)
+        return {
+            "cadence_s": self.cadence_s,
+            "retention": self.retention,
+            "count": len(entries),
+            "errors": self._errors,
+            "metrics": self.latest_metrics(),
+            "samples": [e.to_dict() for e in entries],
+        }

@@ -350,23 +350,40 @@ class MetricsRegistry:
             Histogram)
 
     def names(self) -> tuple[str, ...]:
-        """Registered metric names, sorted."""
-        return tuple(sorted(self._instruments))
+        """Registered metric names, sorted.
+
+        Reads work from an atomically-copied view of the instrument
+        table, so a sampler thread (the live snapshot pipeline) can call
+        this while hot paths register new instruments.
+        """
+        return tuple(sorted(dict(self._instruments)))
+
+    def discard(self, name: str) -> bool:
+        """Drop one instrument by name; True when it existed.
+
+        Lets long-lived services retire per-cohort instruments when the
+        cohort is discarded, keeping registry cardinality bounded.
+        """
+        return self._instruments.pop(name, None) is not None
 
     def snapshot(self) -> dict[str, dict]:
         """All instruments as ``{name: state}``, sorted by name."""
-        return {name: self._instruments[name].snapshot()
-                for name in self.names()}
+        instruments = dict(self._instruments)
+        return {name: instruments[name].snapshot()
+                for name in sorted(instruments)}
 
     def dump(self) -> dict[str, dict]:
         """Full merge-grade states as ``{name: state}``, sorted by name.
 
         Unlike :meth:`snapshot` (the exporter view), the dump carries
         everything :meth:`merge` needs: gauge timestamps and the full
-        chronological histogram reservoirs.
+        chronological histogram reservoirs.  Like :meth:`names`, it
+        iterates an atomically-copied view, making it safe to call from
+        a sampler thread while instruments register concurrently.
         """
-        return {name: self._instruments[name].dump()
-                for name in self.names()}
+        instruments = dict(self._instruments)
+        return {name: instruments[name].dump()
+                for name in sorted(instruments)}
 
     def merge(self, states) -> None:
         """Fold dumped states (``{name: state}``) into this registry.

@@ -613,6 +613,16 @@ class BatchEngine:
             raise ConfigurationError("advance needs at least one step")
         if self._n < 1:
             raise ConfigurationError("every rig was dropped from the engine")
+        registry = get_registry()
+        if registry.enabled:
+            start = time.perf_counter()
+            with get_tracer().span("batch.run", n_monitors=self._n,
+                                   steps=steps):
+                result = self._run(profile, steps, record_every_n)
+            registry.histogram("runtime.advance.wall_s").observe(
+                time.perf_counter() - start)
+            registry.counter("runtime.advance.windows").inc()
+            return result
         with get_tracer().span("batch.run", n_monitors=self._n, steps=steps):
             return self._run(profile, steps, record_every_n)
 

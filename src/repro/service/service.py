@@ -46,6 +46,7 @@ service would have streamed.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import AsyncIterator
@@ -61,6 +62,7 @@ from repro.runtime.session import Session, resolve_record_every_n
 from repro.runtime.spec import FleetSpec
 from repro.runtime.kernels import resolve_numerics
 from repro.service.streams import Snapshot, SnapshotStream
+from repro.station.health import RigHealthTracker, fleet_reference
 from repro.station.profiles import Profile
 
 __all__ = ["FleetService", "ClientSession", "RecoveredCohort",
@@ -95,7 +97,7 @@ class _Member:
     """Service-side bookkeeping for one attached client."""
 
     __slots__ = ("client", "session", "rigs", "n", "stream", "windows",
-                 "future", "group", "finalized", "done")
+                 "future", "group", "finalized", "done", "health")
 
     def __init__(self, client: "ClientSession", session: Session,
                  rigs: list, stream: SnapshotStream) -> None:
@@ -106,6 +108,9 @@ class _Member:
         self.stream = stream
         self.windows: list[RunResult] = []
         self.done = 0  # frozen off the cohort clock at finalize
+        # One streaming RigHealthTracker per rig, fed each tick window
+        # against the cohort reference (built lazily at the first tick).
+        self.health: list[RigHealthTracker] = []
         self.future: asyncio.Future[RunResult] = (
             asyncio.get_running_loop().create_future())
         # Results are also streamed; never let an unawaited future warn.
@@ -209,6 +214,23 @@ class ClientSession:
             return 0
         return self._member.stream.depth
 
+    def health(self) -> list[dict]:
+        """Per-rig fused health reports (see :mod:`repro.station.health`).
+
+        One dict per monitor row (``rig``, ``score``, ``status``,
+        ``components``, ...), updated by the service at every tick from
+        the cohort-reference residuals.  Empty before the first tick.
+        """
+        member = self._member
+        if member is None:
+            return []
+        reports = []
+        for rig, tracker in enumerate(member.health):
+            report = tracker.report()
+            report["rig"] = rig
+            reports.append(report)
+        return reports
+
     async def snapshot(self) -> Snapshot | None:
         """Next streamed window, or None once the stream ended.
 
@@ -298,6 +320,20 @@ class FleetService:
         :mod:`repro.runtime.shm` — tick overhead is one command
         round-trip per shard — and :meth:`stop` tears the pool down.
         Streamed windows are bit-identical for any setting.
+    sample_every_s / http_port / http_host:
+        Wire up the live observability plane
+        (:mod:`repro.observability.live`): ``sample_every_s`` starts a
+        background :class:`~repro.observability.live.SnapshotPipeline`
+        at that cadence, ``http_port`` additionally serves
+        ``/metrics``, ``/health``, ``/ready`` and ``/snapshot`` on a
+        stdlib HTTP thread (``http_port`` alone implies a 0.5 s
+        cadence; ``http_port=0`` picks a free port — read it back from
+        :attr:`http_url`).  Neither touches the tick path: streamed
+        windows stay bit-identical with the plane on or off.
+    health_scores:
+        Keep per-rig :class:`~repro.station.health.RigHealthTracker`
+        scores updated at every tick (default on; the fused scores feed
+        ``/health`` and :meth:`ClientSession.health`).
 
     Lifecycle: ``await start()`` spawns the tick loop, ``await stop()``
     fails the remaining clients with :class:`~repro.errors.ServiceError`
@@ -308,13 +344,21 @@ class FleetService:
     def __init__(self, *, tick_steps: int = 1000, max_pending: int = 8,
                  chunk_size: int = 1024, checkpoint_dir=None,
                  workers: int | None = None,
-                 backend: str = "spawn") -> None:
+                 backend: str = "spawn",
+                 sample_every_s: float | None = None,
+                 http_port: int | None = None,
+                 http_host: str = "127.0.0.1",
+                 health_scores: bool = True) -> None:
         if tick_steps < 1:
             raise ConfigurationError("tick_steps must be >= 1")
         if max_pending < 1:
             raise ConfigurationError("max_pending must be >= 1")
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
+        if http_port is not None and sample_every_s is None:
+            sample_every_s = 0.5  # an HTTP plane without samples is useless
+        if sample_every_s is not None and sample_every_s <= 0.0:
+            raise ConfigurationError("sample_every_s must be > 0")
         from repro.runtime.shm import resolve_backend
         self._tick_steps = int(tick_steps)
         self._max_pending = int(max_pending)
@@ -339,6 +383,16 @@ class FleetService:
             "attaches": 0, "detaches": 0, "ticks": 0, "snapshots": 0,
             "backpressure_stalls": 0, "completed": 0, "crashed_groups": 0,
         }
+        # Live observability plane (repro.observability.live), started
+        # and stopped with the service when configured.
+        self._sample_every = (None if sample_every_s is None
+                              else float(sample_every_s))
+        self._http_port = None if http_port is None else int(http_port)
+        self._http_host = http_host
+        self._health_scores = bool(health_scores)
+        self._pipeline = None
+        self._http = None
+        self._last_tick_monotonic: float | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -359,6 +413,20 @@ class FleetService:
             raise ServiceError("service already stopped", reason="stopped")
         if self._task is None:
             self._task = asyncio.get_running_loop().create_task(self._loop())
+        if self._sample_every is not None and self._pipeline is None:
+            from repro.observability.live import SnapshotPipeline
+            self._pipeline = SnapshotPipeline(
+                cadence_s=self._sample_every,
+                sources={"service": self.stats, "health": self.health})
+            self._pipeline.start()
+        if self._http_port is not None and self._http is None:
+            from repro.observability.live import LiveServer
+            self._http = LiveServer(
+                pipeline=self._pipeline,
+                health_source=self.health,
+                ready_source=lambda: self.running and not self._stopped,
+                host=self._http_host, port=self._http_port)
+            self._http.start()
         return self
 
     async def stop(self) -> None:
@@ -384,6 +452,11 @@ class FleetService:
         if self._backend == "shm":
             from repro.runtime.shm import shutdown_pool
             shutdown_pool()
+        if self._http is not None:
+            self._http.stop()
+            self._http = None
+        if self._pipeline is not None:
+            self._pipeline.stop()
         get_event_log().emit("service.stop")
 
     async def __aenter__(self) -> "FleetService":
@@ -508,25 +581,102 @@ class FleetService:
         return client
 
     def stats(self) -> dict:
-        """Service-level snapshot: counters, cohorts and queue depths."""
+        """Service-level snapshot: counters, cohorts and queue depths.
+
+        Safe to call from a sampler thread (the live snapshot pipeline
+        polls it): all shared containers are copied before iteration,
+        so a concurrent attach/detach on the event loop cannot break
+        the walk — the view is simply a moment-in-time sample.
+        """
+        groups = []
+        for g in list(self._groups.values()):
+            members = list(g.members)
+            groups.append({
+                "group_id": g.group_id,
+                "sealed": g.engine is not None,
+                "members": len(members),
+                "fleet_size": sum(m.n for m in members),
+                "config_groups": (len(g.engine.groups)
+                                  if g.engine is not None else None),
+                "done_steps": g.done,
+                "total_steps": g.total_steps,
+                "queue_depth": max((m.stream.depth for m in members),
+                                   default=0),
+            })
+        registry = get_registry()
         return {
             "running": self.running,
             "clients": len(self._members),
-            "groups": [
-                {
-                    "group_id": g.group_id,
-                    "sealed": g.engine is not None,
-                    "members": len(g.members),
-                    "fleet_size": sum(m.n for m in g.members),
-                    "config_groups": (len(g.engine.groups)
-                                      if g.engine is not None else None),
-                    "done_steps": g.done,
-                    "total_steps": g.total_steps,
-                }
-                for g in self._groups.values()
-            ],
+            "groups": groups,
             **dict(self._counters),
+            "metrics": registry.snapshot() if registry.enabled else {},
         }
+
+    def health(self) -> dict:
+        """Liveness/saturation report for the ``/health`` endpoint.
+
+        JSON-safe and thread-safe (copied views, like :meth:`stats`).
+        ``status`` is ``"ok"`` while the tick loop is live and
+        backpressure saturation — stalled loop passes over total passes
+        — stays under 90%; a configured-but-dead shm pool or a stopped
+        loop degrades it.
+        """
+        stalls = self._counters["backpressure_stalls"]
+        ticks = self._counters["ticks"]
+        saturation = stalls / max(1, stalls + ticks)
+        if self._stopped:
+            status = "stopped"
+        elif not self.running:
+            status = "idle"
+        elif saturation >= 0.9 and len(self._members) > 0:
+            status = "degraded"
+        else:
+            status = "ok"
+        pool: dict = {"backend": self._backend}
+        if self._backend == "shm":
+            from repro.runtime.shm import existing_pool
+            live = existing_pool()
+            pool["workers_alive"] = 0 if live is None else live.size
+            # A sealed cohort with no live pool means ticks will stall.
+            if (status == "ok" and live is None
+                    and any(g.engine is not None
+                            for g in list(self._groups.values()))):
+                status = "degraded"
+        worst = []
+        if self._health_scores:
+            for member in list(self._members):
+                for rig, tracker in enumerate(list(member.health)):
+                    worst.append({
+                        "client": member.client.client_id,
+                        "rig": rig,
+                        "score": tracker.score(),
+                        "status": tracker.status().name.lower(),
+                    })
+            worst.sort(key=lambda r: r["score"], reverse=True)
+        since_tick = (None if self._last_tick_monotonic is None
+                      else time.monotonic() - self._last_tick_monotonic)
+        return {
+            "status": status,
+            "running": self.running,
+            "clients": len(self._members),
+            "groups": len(self._groups),
+            "backpressure": {"stalls": stalls, "ticks": ticks,
+                             "saturation": saturation},
+            "pool": pool,
+            "since_last_tick_s": since_tick,
+            "worst_rigs": worst[:5],
+        }
+
+    @property
+    def pipeline(self):
+        """The live :class:`~repro.observability.live.SnapshotPipeline`
+        (None unless ``sample_every_s``/``http_port`` was configured)."""
+        return self._pipeline
+
+    @property
+    def http_url(self) -> str | None:
+        """Base URL of the live HTTP plane once started, else None."""
+        return self._http.url if self._http is not None else None
 
     # -- internals -----------------------------------------------------------
 
@@ -617,6 +767,10 @@ class FleetService:
         registry = get_registry()
         if registry.enabled:
             registry.gauge("service.groups").set(len(self._groups))
+        # Retire the cohort's own gauge so a resident service's registry
+        # cardinality stays bounded by *live* cohorts, not history.
+        get_registry().discard(
+            f"service.group.{group.group_id}.queue_depth")
 
     def _seal(self, group: _Group) -> None:
         """Build the cohort engine; no more members may join.
@@ -647,6 +801,7 @@ class FleetService:
 
     def _tick(self, group: _Group) -> None:
         """Advance one cohort by one bounded slice; fan out snapshots."""
+        tick_start = time.perf_counter()
         tracer = get_tracer()
         if group.engine is None:
             try:
@@ -665,6 +820,8 @@ class FleetService:
                 return
         group.done += budget
         complete = group.done >= group.total_steps
+        if self._health_scores and len(window):
+            self._score_window(group, window)
         lo = 0
         for member in group.members:
             rows = _slice_rows(window, lo, lo + member.n)
@@ -679,12 +836,19 @@ class FleetService:
             ))
         self._counters["ticks"] += 1
         self._counters["snapshots"] += len(group.members)
+        self._last_tick_monotonic = time.monotonic()
         registry = get_registry()
         if registry.enabled:
             registry.counter("service.ticks").inc()
             registry.counter("service.snapshots").inc(len(group.members))
             registry.counter("service.samples").inc(
                 budget * sum(m.n for m in group.members))
+            registry.histogram("service.tick.wall_s").observe(
+                time.perf_counter() - tick_start)
+            depth = max((m.stream.depth for m in group.members), default=0)
+            registry.gauge(f"service.group.{group.group_id}.queue_depth").set(
+                depth)
+            registry.gauge("service.queue.depth").set(depth)
         if complete:
             self._counters["completed"] += len(group.members)
             for member in list(group.members):
@@ -693,6 +857,42 @@ class FleetService:
             self._discard_group(group)
         elif self._checkpoint_dir is not None:
             self._checkpoint_group(group)
+
+    def _score_window(self, group: _Group, window: RunResult) -> None:
+        """Feed one cohort window through every member's health trackers.
+
+        Residuals are taken against the cohort-wide reference trace
+        (per-tick median across all rigs in the window), which cancels
+        the shared demand profile and isolates per-rig anomalies; see
+        :mod:`repro.station.health`.
+        """
+        dt_s = group.key[2] * group.record_every_n
+        ref_speed = fleet_reference(window, "measured_mps")
+        ref_press = fleet_reference(window, "pressure_pa")
+        ref_temp = fleet_reference(window, "temperature_k")
+        worst = 0.0
+        lo = 0
+        for member in group.members:
+            if len(member.health) != member.n:
+                member.health = [RigHealthTracker()
+                                 for _ in range(member.n)]
+            for offset, tracker in enumerate(member.health):
+                row = lo + offset
+                score = tracker.update(
+                    dt_s=dt_s,
+                    measured_mps=window.measured_mps[row],
+                    reference_mps=ref_speed,
+                    pressure_pa=window.pressure_pa[row],
+                    reference_pa=ref_press,
+                    temperature_k=window.temperature_k[row],
+                    reference_k=ref_temp,
+                    bubble_coverage=window.bubble_coverage[row],
+                )
+                worst = max(worst, score)
+            lo += member.n
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("service.health.worst").set(worst)
 
     def _checkpoint_group(self, group: _Group) -> None:
         """Snapshot a sealed cohort to ``cohort-<id>.ckpt``.
@@ -737,7 +937,7 @@ class FleetService:
                     self._counters["backpressure_stalls"] += 1
                     registry = get_registry()
                     if registry.enabled:
-                        registry.counter("service.backpressure_stalls").inc()
+                        registry.counter("service.backpressure.stalls").inc()
                     continue
                 try:
                     self._tick(group)

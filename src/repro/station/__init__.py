@@ -14,6 +14,8 @@ from repro.station.scenarios import vinci_station, build_calibrated_monitor, Cal
 from repro.station.network import PipeNetwork, PipeFlow
 from repro.station.demand import DiurnalDemand
 from repro.station.fleet import MonitoredNetwork, MeterCharacter, FleetReport
+from repro.station.health import (RigHealthTracker, evaluate_scores,
+                                  fleet_reference, score_fleet)
 from repro.station.campaign import (EVENT_KINDS, SCENARIO_NAMES,
                                     CampaignReport, Event, ScenarioProfile,
                                     ScenarioSpec, builtin_scenario,
@@ -55,4 +57,8 @@ __all__ = [
     "household_demand",
     "station_demand",
     "run_campaign",
+    "RigHealthTracker",
+    "score_fleet",
+    "fleet_reference",
+    "evaluate_scores",
 ]

@@ -1,0 +1,369 @@
+"""Per-rig fleet health scoring (the live-plane "fleet intelligence" layer).
+
+Fuses the conditioning-stack fault signals — the one-sided CUSUM from
+:mod:`repro.conditioning.leak_detect`, the coverage/drift thresholds
+from :mod:`repro.conditioning.diagnostics` and the excess-volume
+bookkeeping of :class:`repro.conditioning.totaliser.VolumeTotaliser` —
+into a single [0, 1] health score per rig, streamable window-by-window
+so a resident :class:`~repro.service.FleetService` can publish it live.
+
+The score is *measured*, not heuristic: :func:`evaluate_scores` is a
+Mann-Whitney ROC/AUC harness, and the test suite drives it with the
+labeled fault injectors from :func:`repro.station.run_campaign`
+(tank/slab leaks, freeze, CaCO3 episodes) so separation from clean rigs
+is pinned numerically.
+
+Residuals are taken against a *fleet reference* — by default the
+cross-sectional median trace of the cohort — which cancels shared
+demand/diurnal structure and leaves per-rig anomalies.  With at least
+half the cohort healthy the median is robust to the faulty rigs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.conditioning.diagnostics import HealthStatus
+from repro.conditioning.leak_detect import CusumDetector
+from repro.conditioning.totaliser import VolumeTotaliser
+from repro.errors import ConfigurationError
+
+__all__ = ["RigHealthTracker", "score_fleet", "fleet_reference", "evaluate_scores"]
+
+
+class RigHealthTracker:
+    """Streaming health score for one rig.
+
+    Feed windows of decimated trace rows (plus the matching fleet
+    reference rows) through :meth:`update`; read :meth:`score`,
+    :meth:`components` and :meth:`status` at any point.  Components are
+    each normalized to [0, 1] and fused with a noisy-OR, so any single
+    saturated signal drives the score to 1 while small correlated
+    evidence still accumulates:
+
+    ``leak``
+        One-sided CUSUM on the speed residual vs the fleet reference
+        (:class:`~repro.conditioning.leak_detect.CusumDetector`),
+        normalized by ``leak_sensitivity_mps`` x elapsed time — a
+        persistent excess draw above the allowance saturates it.
+    ``draw``
+        Unaccounted volume: excess residual flow integrated by a
+        :class:`~repro.conditioning.totaliser.VolumeTotaliser` as a
+        fraction of the reference throughput.
+    ``pressure``
+        Mean supply-pressure sag below the fleet reference (slab leaks
+        depressurize the loop; scale ``pressure_scale_pa``).
+    ``thermal``
+        Mean absolute water-temperature anomaly vs the fleet reference
+        (freeze events and CaCO3-favouring warm episodes; scale
+        ``thermal_scale_k``).
+    ``loop``
+        Worst bubble coverage seen, against the
+        :class:`~repro.conditioning.diagnostics.LoopHealthMonitor`
+        convention (``coverage_limit`` degraded, 3x for fault).
+    """
+
+    def __init__(self, *,
+                 drift_mps: float = 0.005,
+                 leak_sensitivity_mps: float = 0.01,
+                 draw_fraction: float = 0.02,
+                 pressure_scale_pa: float = 5e3,
+                 thermal_scale_k: float = 4.0,
+                 thermal_deadband_k: float = 1.0,
+                 coverage_limit: float = 0.05,
+                 pipe_diameter_m: float = 0.05,
+                 baseline_s: float = 1.0,
+                 degraded_at: float = 0.3,
+                 fault_at: float = 0.8) -> None:
+        if leak_sensitivity_mps <= 0.0 or draw_fraction <= 0.0:
+            raise ConfigurationError(
+                "leak_sensitivity_mps and draw_fraction must be > 0")
+        if not 0.0 < degraded_at < fault_at <= 1.0:
+            raise ConfigurationError(
+                "need 0 < degraded_at < fault_at <= 1")
+        self.leak_sensitivity_mps = leak_sensitivity_mps
+        self.draw_fraction = draw_fraction
+        self.pressure_scale_pa = pressure_scale_pa
+        self.thermal_scale_k = thermal_scale_k
+        self.thermal_deadband_k = thermal_deadband_k
+        self.coverage_limit = coverage_limit
+        self.degraded_at = degraded_at
+        self.fault_at = fault_at
+        self.drift_mps = drift_mps
+        # The CUSUM runs on dt-weighted residuals with the drift
+        # allowance already subtracted (in m/s, *before* the dt
+        # weighting), so its statistic has units of metres and is
+        # invariant under decimation; the detector's own per-element
+        # drift would double-subtract, hence 0.  Threshold is irrelevant
+        # here (we read the statistic, not the alarm bit).
+        self._cusum = CusumDetector(drift=0.0, threshold=1.0)
+        self._excess = VolumeTotaliser(pipe_diameter_m=pipe_diameter_m)
+        self._reference = VolumeTotaliser(pipe_diameter_m=pipe_diameter_m)
+        self._elapsed_s = 0.0
+        self._scored_s = 0.0  # post-baseline time the leak signals cover
+        self._cusum_peak = 0.0
+        self._sag_integral_pa_s = 0.0
+        self._thermal_integral_k_s = 0.0
+        self._worst_coverage = 0.0
+        self._windows = 0
+        # Per-meter baseline learning: the first ``baseline_s`` of
+        # residuals calibrate this rig's persistent *gain* vs the fleet
+        # reference (meter character, fouling state scale with flow, so
+        # the bias is multiplicative, not an offset), plus a pressure
+        # offset.  Only changes relative to the rig's own normal count
+        # as anomalies afterwards.
+        self.baseline_s = float(baseline_s)
+        self._baseline_gain: float | None = None
+        self._baseline_pa: float | None = None
+        self._warm_speed: deque[float] = deque(maxlen=1024)
+        self._warm_press: deque[float] = deque(maxlen=1024)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total trace time consumed so far [s]."""
+        return self._elapsed_s
+
+    @property
+    def windows(self) -> int:
+        """Number of update() calls consumed so far."""
+        return self._windows
+
+    def update(self, *, dt_s: float,
+               measured_mps: np.ndarray,
+               reference_mps: np.ndarray,
+               pressure_pa: np.ndarray | None = None,
+               reference_pa: np.ndarray | None = None,
+               temperature_k: np.ndarray | None = None,
+               reference_k: np.ndarray | None = None,
+               bubble_coverage: np.ndarray | None = None) -> float:
+        """Consume one decimated window for this rig; returns the new score.
+
+        ``dt_s`` is the tick spacing of the (decimated) rows.
+        ``measured_mps`` is the rig's own trace; ``reference_mps`` is the
+        fleet reference over the same ticks (see :func:`fleet_reference`).
+        Pressure/temperature/coverage channels are optional — omitted
+        channels simply contribute nothing.
+        """
+        if dt_s <= 0.0:
+            raise ConfigurationError("dt_s must be > 0")
+        measured = np.asarray(measured_mps, dtype=np.float64).ravel()
+        reference = np.asarray(reference_mps, dtype=np.float64).ravel()
+        if measured.shape != reference.shape:
+            raise ConfigurationError("measured/reference shape mismatch")
+        if measured.size == 0:
+            return self.score()
+        self._windows += 1
+        self._elapsed_s += measured.size * dt_s
+        window_s = measured.size * dt_s
+        residual = np.abs(measured) - np.abs(reference)
+        p_res = None
+        if pressure_pa is not None and reference_pa is not None:
+            p_res = (np.asarray(reference_pa, dtype=np.float64).ravel()
+                     - np.asarray(pressure_pa, dtype=np.float64).ravel())
+        if self._baseline_gain is None:
+            # Warmup: learn this rig's persistent *relative* bias vs the
+            # fleet reference before scoring leak-type signals.  Meter
+            # bias is multiplicative (a gain error scales with flow), so
+            # the warmup collects residual/reference ratios — an offset
+            # baseline learned at one demand level would mis-subtract as
+            # soon as the diurnal demand moves.  The floor keeps
+            # near-stagnant ticks from blowing the ratio up.
+            floor = np.maximum(np.abs(reference), 0.05)
+            self._warm_speed.extend((residual / floor).tolist())
+            if p_res is not None:
+                self._warm_press.extend(p_res.tolist())
+            if self._elapsed_s >= self.baseline_s:
+                self._baseline_gain = (float(np.median(self._warm_speed))
+                                       if self._warm_speed else 0.0)
+                self._baseline_pa = (float(np.median(self._warm_press))
+                                     if self._warm_press else 0.0)
+                self._warm_speed.clear()
+                self._warm_press.clear()
+        else:
+            self._scored_s += window_s
+            adjusted = residual - self._baseline_gain * np.abs(reference)
+            # Leak CUSUM runs on the drift-discounted residual scaled by
+            # dt so the statistic has units of metres (speed x time)
+            # independent of decimation.
+            peak = self._cusum.update_block(
+                (adjusted - self.drift_mps) * dt_s)
+            self._cusum_peak = max(self._cusum_peak, peak)
+            # Unaccounted draw: one-sided means of the residual would
+            # count symmetric inter-rig noise as a leak, so the negative
+            # lobe is subtracted — zero-mean noise cancels, a persistent
+            # positive shift survives.  The totaliser is linear in
+            # speed x dt, so one net-mean call per window integrates it
+            # exactly.
+            positive = np.maximum(adjusted - self.drift_mps, 0.0).mean()
+            negative = np.maximum(-adjusted - self.drift_mps, 0.0).mean()
+            excess = max(0.0, float(positive - negative))
+            self._excess.accumulate(excess, window_s)
+            self._reference.accumulate(float(np.abs(reference).mean()),
+                                       window_s)
+            if p_res is not None:
+                p_adj = p_res - (self._baseline_pa or 0.0)
+                sag = max(0.0, float(np.maximum(p_adj, 0.0).mean()
+                                     - np.maximum(-p_adj, 0.0).mean()))
+                self._sag_integral_pa_s += sag * window_s
+        if temperature_k is not None and reference_k is not None:
+            anomaly = np.abs(np.asarray(temperature_k, dtype=np.float64).ravel()
+                             - np.asarray(reference_k, dtype=np.float64).ravel())
+            shifted = np.maximum(anomaly - self.thermal_deadband_k, 0.0)
+            self._thermal_integral_k_s += float(shifted.sum()) * dt_s
+        if bubble_coverage is not None:
+            cov = np.asarray(bubble_coverage, dtype=np.float64)
+            if cov.size:
+                self._worst_coverage = max(self._worst_coverage,
+                                           float(cov.max()))
+        return self.score()
+
+    def components(self) -> dict:
+        """Per-signal [0, 1] contributions (keys: leak/draw/pressure/thermal/loop)."""
+        if self._elapsed_s <= 0.0:
+            return {"leak": 0.0, "draw": 0.0, "pressure": 0.0,
+                    "thermal": 0.0, "loop": 0.0}
+        scored = self._scored_s
+        leak = (0.0 if scored <= 0.0 else
+                min(1.0, self._cusum.statistic
+                    / (self.leak_sensitivity_mps * scored)))
+        ref_m3 = self._reference.forward_m3
+        draw = min(1.0, self._excess.forward_m3
+                   / (self.draw_fraction * ref_m3 + 1e-12))
+        pressure = (0.0 if scored <= 0.0 else
+                    min(1.0, (self._sag_integral_pa_s / scored)
+                        / self.pressure_scale_pa))
+        thermal = min(1.0, (self._thermal_integral_k_s / self._elapsed_s)
+                      / self.thermal_scale_k)
+        loop = min(1.0, self._worst_coverage / (3.0 * self.coverage_limit))
+        return {"leak": leak, "draw": draw, "pressure": pressure,
+                "thermal": thermal, "loop": loop}
+
+    def score(self) -> float:
+        """Fused [0, 1] health score (0 healthy, 1 faulted): noisy-OR of components."""
+        prod = 1.0
+        for value in self.components().values():
+            prod *= 1.0 - value
+        return 1.0 - prod
+
+    def status(self) -> HealthStatus:
+        """Map the fused score onto the diagnostics HealthStatus ladder."""
+        score = self.score()
+        if score >= self.fault_at:
+            return HealthStatus.FAULT
+        if score >= self.degraded_at:
+            return HealthStatus.DEGRADED
+        return HealthStatus.HEALTHY
+
+    def report(self) -> dict:
+        """JSON-safe summary: score, status, components, elapsed, windows."""
+        return {
+            "score": self.score(),
+            "status": self.status().name.lower(),
+            "components": self.components(),
+            "elapsed_s": self._elapsed_s,
+            "windows": self._windows,
+        }
+
+
+def fleet_reference(result, field: str = "measured_mps") -> np.ndarray:
+    """Cross-sectional fleet reference trace for one stacked field.
+
+    The per-tick median across monitors for fleets of >= 3 rows — robust
+    to a faulty minority — falling back to the per-tick mean for tiny
+    fleets where a median of two is no more robust.
+    """
+    stacked = np.asarray(getattr(result, field), dtype=np.float64)
+    if stacked.ndim != 2:
+        raise ConfigurationError(f"field {field!r} is not a stacked trace")
+    if stacked.shape[0] >= 3:
+        return np.median(stacked, axis=0)
+    return stacked.mean(axis=0)
+
+
+def score_fleet(result, *, labels=None, **tracker_kwargs) -> list[dict]:
+    """Score every rig in a RunResult against the fleet reference.
+
+    Returns one dict per monitor row: ``rig``, ``score``, ``status``,
+    ``components`` (plus ``label`` when ``labels`` is given — any
+    per-rig annotation, e.g. the scenario tag used to build it).
+    """
+    n_ticks = len(result.time_s)
+    if n_ticks < 2:
+        raise ConfigurationError("need at least 2 record ticks to score")
+    dt_s = float(np.median(np.diff(result.time_s)))
+    if dt_s <= 0.0:
+        raise ConfigurationError("time_s must be strictly increasing")
+    if labels is not None and len(labels) != result.n_monitors:
+        raise ConfigurationError("labels length must match n_monitors")
+    ref_speed = fleet_reference(result, "measured_mps")
+    ref_press = fleet_reference(result, "pressure_pa")
+    ref_temp = fleet_reference(result, "temperature_k")
+    out = []
+    for rig in range(result.n_monitors):
+        tracker = RigHealthTracker(**tracker_kwargs)
+        # Feed the trace in windows a quarter of the baseline period
+        # long, so the per-meter baseline warmup behaves the same as it
+        # does under the streaming service's tick cadence.
+        step = max(1, int(round(tracker.baseline_s / (4.0 * dt_s))))
+        for lo in range(0, n_ticks, step):
+            hi = min(n_ticks, lo + step)
+            tracker.update(
+                dt_s=dt_s,
+                measured_mps=result.measured_mps[rig, lo:hi],
+                reference_mps=ref_speed[lo:hi],
+                pressure_pa=result.pressure_pa[rig, lo:hi],
+                reference_pa=ref_press[lo:hi],
+                temperature_k=result.temperature_k[rig, lo:hi],
+                reference_k=ref_temp[lo:hi],
+                bubble_coverage=result.bubble_coverage[rig, lo:hi],
+            )
+        row = tracker.report()
+        row["rig"] = rig
+        if labels is not None:
+            row["label"] = labels[rig]
+        out.append(row)
+    return out
+
+
+def evaluate_scores(labels, scores) -> dict:
+    """ROC/AUC evaluation of a health score against binary fault labels.
+
+    ``labels`` are truthy for injected-fault rigs; ``scores`` the fused
+    health scores.  AUC is the Mann-Whitney statistic (midranks for
+    ties), identical to the area under the empirical ROC curve, which is
+    returned as ``roc``: (fpr, tpr) points for thresholds descending
+    through the unique scores.
+    """
+    y = np.asarray([1 if bool(v) else 0 for v in labels], dtype=np.int64)
+    s = np.asarray(list(scores), dtype=np.float64)
+    if y.shape != s.shape or y.ndim != 1:
+        raise ConfigurationError("labels and scores must be equal-length 1-D")
+    n_pos = int(y.sum())
+    n_neg = int(y.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ConfigurationError("need at least one positive and one negative")
+    # Midranks: average rank within tied groups.
+    order = np.argsort(s, kind="stable")
+    ranks = np.empty(s.size, dtype=np.float64)
+    sorted_s = s[order]
+    i = 0
+    while i < s.size:
+        j = i
+        while j + 1 < s.size and sorted_s[j + 1] == sorted_s[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    auc = (float(ranks[y == 1].sum()) - n_pos * (n_pos + 1) / 2.0) \
+        / (n_pos * n_neg)
+    # Empirical ROC: sweep thresholds from +inf down through unique scores.
+    points = [(0.0, 0.0)]
+    for thr in np.unique(s)[::-1]:
+        pred = s >= thr
+        tpr = float((pred & (y == 1)).sum()) / n_pos
+        fpr = float((pred & (y == 0)).sum()) / n_neg
+        points.append((fpr, tpr))
+    if points[-1] != (1.0, 1.0):
+        points.append((1.0, 1.0))
+    return {"auc": auc, "roc": points, "n_pos": n_pos, "n_neg": n_neg}

@@ -1,0 +1,219 @@
+"""Snapshot-pipeline tests: delta algebra, the ring buffer, the sampler.
+
+The load-bearing claim is the merge identity — for two successive
+cumulative dumps ``old``/``new`` of one registry,
+``merge_states(old[name], delta[name]) == new[name]`` exactly for every
+instrument the delta emits — because every downstream consumer (the
+``/snapshot`` endpoint, ``repro top`` rates) assumes ring samples can
+be folded back into cumulative state losslessly.
+"""
+
+import threading
+
+import pytest
+
+from repro import observability as obs
+from repro.errors import ConfigurationError
+from repro.observability import EventLog, MetricsRegistry, Tracer
+from repro.observability.live import SnapshotPipeline, snapshot_delta
+from repro.observability.metrics import merge_states
+
+pytestmark = pytest.mark.live
+
+
+@pytest.fixture
+def fresh():
+    """Swap in fresh default registry/tracer/log; restore afterwards."""
+    old_reg = obs.get_registry()
+    old_tr = obs.get_tracer()
+    old_log = obs.get_event_log()
+    registry = obs.set_registry(MetricsRegistry(enabled=True))
+    tracer = obs.set_tracer(Tracer(enabled=True))
+    log = obs.set_event_log(EventLog(enabled=True))
+    yield registry, tracer, log
+    obs.set_registry(old_reg)
+    obs.set_tracer(old_tr)
+    obs.set_event_log(old_log)
+
+
+def exercise(registry, phase):
+    """Mutate a mixed instrument population, differently per phase."""
+    registry.counter("t.count").inc(3 + phase)
+    registry.gauge("t.gauge").set(0.25 * (phase + 1))
+    h = registry.histogram("t.hist", reservoir_size=8)
+    for i in range(5 + 3 * phase):
+        h.observe(float(i + 10 * phase))
+
+
+# -- the delta algebra --------------------------------------------------------
+
+
+def test_delta_merge_identity_across_phases(fresh):
+    """merge_states(old, delta) == new, instrument by instrument."""
+    registry, _, _ = fresh
+    exercise(registry, 0)
+    old = registry.dump()
+    exercise(registry, 1)
+    new = registry.dump()
+    delta = snapshot_delta(old, new)
+    assert set(delta) == {"t.count", "t.gauge", "t.hist"}
+    for name, d in delta.items():
+        assert merge_states(old[name], d) == new[name], name
+
+
+def test_delta_skips_unchanged_counters_and_histograms(fresh):
+    registry, _, _ = fresh
+    exercise(registry, 0)
+    old = registry.dump()
+    registry.counter("t.count").inc(2)  # only the counter moves
+    new = registry.dump()
+    delta = snapshot_delta(old, new)
+    assert delta["t.count"] == {"type": "counter", "value": 2}
+    assert "t.hist" not in delta
+    # Gauges always re-emit: their merge is last-write-wins, so the
+    # delta IS the state and the identity holds trivially.
+    assert delta["t.gauge"] == new["t.gauge"]
+
+
+def test_delta_rebaselines_on_registry_reset(fresh):
+    registry, _, _ = fresh
+    registry.counter("t.count").inc(10)
+    old = registry.dump()
+    fresh_registry = MetricsRegistry(enabled=True)
+    fresh_registry.counter("t.count").inc(4)  # went "backwards"
+    new = fresh_registry.dump()
+    delta = snapshot_delta(old, new)
+    assert delta["t.count"] == new["t.count"]  # full state, not -6
+
+
+def test_delta_on_fresh_instrument_is_full_state(fresh):
+    registry, _, _ = fresh
+    old = registry.dump()
+    assert old == {}
+    exercise(registry, 0)
+    new = registry.dump()
+    delta = snapshot_delta(old, new)
+    assert delta == new
+    for name in delta:
+        assert merge_states(None, delta[name]) == new[name]
+
+
+def test_histogram_delta_reservoir_is_the_new_tail(fresh):
+    registry, _, _ = fresh
+    h = registry.histogram("t.tail", reservoir_size=4)
+    for v in (1.0, 2.0):
+        h.observe(v)
+    old = registry.dump()
+    for v in (3.0, 4.0, 5.0):
+        h.observe(v)
+    new = registry.dump()
+    d = snapshot_delta(old, new)["t.tail"]
+    assert d["count"] == 3 and d["sum"] == 12.0
+    assert d["reservoir"] == [3.0, 4.0, 5.0]
+    assert merge_states(old["t.tail"], d) == new["t.tail"]
+
+
+# -- the pipeline -------------------------------------------------------------
+
+
+def test_manual_sampling_is_deterministic_with_injected_clock(fresh):
+    registry, _, _ = fresh
+    ticks = iter(range(100))
+    pipe = SnapshotPipeline(cadence_s=0.5, retention=8,
+                            registry=registry, clock=lambda: next(ticks))
+    exercise(registry, 0)
+    first = pipe.sample()
+    exercise(registry, 1)
+    second = pipe.sample()
+    assert (first.seq, first.t_s) == (0, 0.0)
+    assert (second.seq, second.t_s) == (1, 1.0)
+    # Folding the deltas in order reproduces the cumulative dump.
+    state = {}
+    for sample in pipe.window():
+        for name, d in sample.delta.items():
+            state[name] = merge_states(state.get(name), d)
+    assert state == pipe.latest_metrics() == registry.dump()
+
+
+def test_ring_retention_evicts_oldest_but_seq_survives(fresh):
+    registry, _, _ = fresh
+    pipe = SnapshotPipeline(retention=3, registry=registry,
+                            clock=lambda: 0.0)
+    for i in range(7):
+        registry.counter("t.count").inc()
+        pipe.sample()
+    assert len(pipe) == 3
+    window = pipe.window()
+    assert [s.seq for s in window] == [4, 5, 6]
+    assert pipe.window(last=2) == window[-2:]
+    assert pipe.latest().seq == 6
+    with pytest.raises(ConfigurationError):
+        pipe.window(last=0)
+
+
+def test_raising_source_is_contained_and_counted(fresh):
+    registry, _, _ = fresh
+    def boom():
+        raise RuntimeError("source down")
+    pipe = SnapshotPipeline(registry=registry, clock=lambda: 0.0,
+                            sources={"ok": lambda: {"x": 1}, "bad": boom})
+    sample = pipe.sample()
+    assert sample.extra["ok"] == {"x": 1}
+    assert "RuntimeError" in sample.extra["bad"]["error"]
+    assert pipe.errors == 1
+    payload = pipe.payload()
+    assert payload["errors"] == 1
+    assert payload["count"] == 1
+
+
+def test_payload_shape_and_json_safety(fresh):
+    import json
+    registry, _, _ = fresh
+    pipe = SnapshotPipeline(cadence_s=0.25, retention=16,
+                            registry=registry, clock=lambda: 1.5)
+    exercise(registry, 0)
+    pipe.sample()
+    payload = pipe.payload(last=1)
+    json.dumps(payload)  # must not raise
+    assert payload["cadence_s"] == 0.25 and payload["retention"] == 16
+    assert payload["count"] == 1
+    assert payload["metrics"] == registry.dump()
+    assert payload["samples"][0]["seq"] == 0
+    assert payload["samples"][0]["delta"]["t.count"]["value"] == 3
+
+
+def test_background_thread_samples_and_stops(fresh):
+    registry, _, _ = fresh
+    registry.counter("t.count").inc()
+    done = threading.Event()
+    samples_seen = []
+    class Clock:
+        def __call__(self):
+            samples_seen.append(1)
+            if len(samples_seen) >= 3:
+                done.set()
+            return float(len(samples_seen))
+    with SnapshotPipeline(cadence_s=0.005, registry=registry,
+                          clock=Clock()) as pipe:
+        assert pipe.running
+        assert done.wait(timeout=30.0)
+    assert not pipe.running
+    # stop() takes a final sample, so the ring is never empty here.
+    assert len(pipe) >= 3
+    assert pipe.latest_metrics() == registry.dump()
+
+
+def test_pipeline_validates_configuration():
+    with pytest.raises(ConfigurationError):
+        SnapshotPipeline(cadence_s=0.0)
+    with pytest.raises(ConfigurationError):
+        SnapshotPipeline(retention=0)
+
+
+def test_default_registry_is_resolved_at_sample_time(fresh):
+    """A pipeline built before a registry swap samples the new default."""
+    registry, _, _ = fresh
+    pipe = SnapshotPipeline(clock=lambda: 0.0)
+    registry.counter("t.count").inc(5)
+    sample = pipe.sample()
+    assert sample.delta["t.count"]["value"] == 5

@@ -17,6 +17,8 @@ from repro.observability import (Event, EventLog, MetricsRegistry, Tracer,
                                  export_jsonl, export_prometheus,
                                  parse_jsonl, parse_prometheus,
                                  prometheus_name)
+from repro.observability.export import (escape_label_value,
+                                        unescape_label_value)
 
 
 @pytest.fixture
@@ -103,6 +105,19 @@ def test_snapshot_is_json_safe(fresh):
     assert json.loads(text)["a.hist"]["p50"] is None
     assert snap["a.count"] == {"type": "counter", "value": 3}
     assert list(snap) == sorted(snap)
+
+
+def test_registry_discard_retires_instruments(fresh):
+    """Per-cohort instruments can be dropped to bound cardinality."""
+    registry, _, _ = fresh
+    registry.gauge("service.group.9.queue_depth").set(3)
+    registry.counter("keep.me").inc()
+    assert registry.discard("service.group.9.queue_depth") is True
+    assert registry.discard("service.group.9.queue_depth") is False
+    assert "service.group.9.queue_depth" not in registry.names()
+    assert "keep.me" in registry.names()
+    # re-registering after a discard starts from scratch
+    assert registry.gauge("service.group.9.queue_depth").value == 0.0
 
 
 # -- tracer -------------------------------------------------------------------
@@ -222,6 +237,59 @@ def test_prometheus_name_sanitization():
 def test_prometheus_parse_rejects_orphans():
     with pytest.raises(ConfigurationError):
         parse_prometheus("repro_unknown 1\n")
+
+
+def test_prometheus_round_trips_nan_and_infinities():
+    """Non-finite samples use the canonical exposition spellings."""
+    registry = MetricsRegistry(enabled=True)
+    registry.gauge("nf.nan").set(float("nan"))
+    registry.gauge("nf.pos").set(float("inf"))
+    registry.gauge("nf.neg").set(float("-inf"))
+    text = export_prometheus(registry)
+    assert "repro_nf_nan NaN" in text
+    assert "repro_nf_pos +Inf" in text
+    assert "repro_nf_neg -Inf" in text
+    # Python's repr forms are NOT valid exposition samples.
+    assert " nan" not in text and " inf" not in text
+    parsed = parse_prometheus(text)
+    assert math.isnan(parsed["nf.nan"]["value"])
+    assert parsed["nf.pos"]["value"] == float("inf")
+    assert parsed["nf.neg"]["value"] == float("-inf")
+
+
+def test_prometheus_empty_registry_round_trips():
+    empty = MetricsRegistry(enabled=True)
+    assert export_prometheus(empty) == ""
+    assert parse_prometheus("") == {}
+    assert parse_jsonl(export_jsonl(empty)) == {}
+
+
+def test_prometheus_label_value_escaping_round_trips():
+    tricky = 'back\\slash "quoted"\nnewline'
+    escaped = escape_label_value(tricky)
+    assert "\n" not in escaped
+    assert r"\\" in escaped and r"\"" in escaped and r"\n" in escaped
+    assert unescape_label_value(escaped) == tricky
+    # unknown escapes pass through rather than corrupting the value
+    assert unescape_label_value(r"\q") == r"\q"
+
+
+def test_prometheus_help_line_escapes_metric_names():
+    """A dotted name with \\ or newline survives the HELP round trip."""
+    snapshot = {"odd\\name\nwith newline": {"type": "counter", "value": 2}}
+    text = export_prometheus(snapshot)
+    assert text.count("\n") == len(text.splitlines())  # no line injection
+    parsed = parse_prometheus(text)
+    assert parsed == {"odd\\name\nwith newline":
+                      {"type": "counter", "value": 2}}
+
+
+def test_prometheus_parse_rejects_bad_sample_values():
+    with pytest.raises(ConfigurationError):
+        parse_prometheus("# HELP repro_x x\n# TYPE repro_x counter\n"
+                         "repro_x notanumber\n")
+    with pytest.raises(ConfigurationError):
+        parse_prometheus("# HELP repro_x x\nrepro_x{quantile=\"0.5\"\n")
 
 
 # -- global switches ----------------------------------------------------------

@@ -274,6 +274,65 @@ def test_span_tree_nests_and_orphans_root(fresh):
     assert [c["name"] for c in roots[0]["children"]] == ["child"]
 
 
+def _span(name, span_id, parent_id=None, trace_id="t"):
+    """A bare SpanRecord with explicit identity (forest-assembly tests)."""
+    from repro.observability.tracer import SpanRecord
+    return SpanRecord(name=name, start_s=0.0, duration_s=0.0, parent=None,
+                      tags={}, trace_id=trace_id, span_id=span_id,
+                      parent_id=parent_id)
+
+
+def test_span_tree_assembles_out_of_order_batches():
+    """Children arriving before their parents still nest correctly.
+
+    Cross-process harvests interleave records arbitrarily — a worker's
+    span can land in the batch ahead of the coordinator span that
+    spawned it — so linking must be a two-pass operation.
+    """
+    records = [
+        _span("grandchild", "c", parent_id="b"),
+        _span("child", "b", parent_id="a"),
+        _span("root", "a"),
+    ]
+    roots = span_tree(records)
+    assert [n["name"] for n in roots] == ["root"]
+    assert roots[0]["children"][0]["name"] == "child"
+    assert roots[0]["children"][0]["children"][0]["name"] == "grandchild"
+
+
+def test_span_tree_roots_orphans_and_skips_identityless_records():
+    records = [
+        _span("orphan", "x", parent_id="never-harvested"),
+        _span("root", "a"),
+        _span("", ""),  # pre-propagation record: no identity to link by
+        _span("child", "b", parent_id="a"),
+    ]
+    roots = span_tree(records)
+    assert [n["name"] for n in roots] == ["orphan", "root"]
+    assert [c["name"] for c in roots[1]["children"]] == ["child"]
+    # the identityless record is dropped, not rooted
+    assert all(n["span_id"] for n in roots)
+
+
+def test_span_tree_self_parent_becomes_a_root_not_a_cycle():
+    records = [_span("loop", "a", parent_id="a"),
+               _span("child", "b", parent_id="a")]
+    roots = span_tree(records)
+    assert [n["name"] for n in roots] == ["loop"]
+    assert [c["name"] for c in roots[0]["children"]] == ["child"]
+
+
+def test_span_tree_duplicate_span_ids_last_node_wins_linking():
+    """Duplicate ids (a retried harvest) must not crash assembly."""
+    records = [_span("first", "a"), _span("second", "a"),
+               _span("child", "b", parent_id="a")]
+    roots = span_tree(records)
+    # both duplicates survive as nodes; the child hangs off the last one
+    names = [n["name"] for n in roots]
+    assert names == ["first", "second"]
+    assert [c["name"] for c in roots[1]["children"]] == ["child"]
+
+
 def test_span_jsonl_round_trip(fresh):
     _, tracer, _, _ = fresh
     with tracer.span("root", shard=1):

@@ -577,3 +577,91 @@ def test_attach_fleet_conflicts_are_refused():
 
     stats = asyncio.run(main())
     assert stats["clients"] == 0  # failed attaches leave nothing behind
+
+
+# -- tick-loop instrumentation (the live observability plane) -----------------
+
+
+def test_tick_loop_instruments_registry_and_health_surface():
+    """The tick loop feeds the registry; stats()/health() expose it.
+
+    Asserted mid-run (stalled under backpressure, so the numbers are
+    frozen): the ``service.tick.wall_s`` histogram, the per-cohort and
+    global queue-depth gauges, the ``service.backpressure.stalls``
+    counter, per-cohort ``queue_depth`` in stats, and the fused
+    health-score surface on both the service and the client.
+    """
+    from repro import observability as obs
+    from repro.observability import MetricsRegistry
+
+    old_registry = obs.get_registry()
+    obs.set_registry(MetricsRegistry(enabled=True))
+    try:
+        async def main():
+            async with FleetService(tick_steps=500,
+                                    max_pending=2) as service:
+                client = await service.attach(PROFILE, n_monitors=2, seed=5,
+                                              fast_calibration=True)
+                await wait_until(
+                    lambda: client.stream_depth == 2 and
+                    service.stats()["backpressure_stalls"] > 0)
+                mid_stats = service.stats()
+                mid_health = service.health()
+                client_health = client.health()
+                async for _ in client.snapshots():
+                    pass
+                await client.result()
+                final_stats = service.stats()
+            return mid_stats, mid_health, client_health, final_stats
+
+        mid_stats, mid_health, client_health, final_stats = \
+            asyncio.run(main())
+    finally:
+        obs.set_registry(old_registry)
+
+    gid = mid_stats["groups"][0]["group_id"]
+    metrics = mid_stats["metrics"]
+    # satellite instruments: tick wall-time histogram, queue gauges, stalls
+    assert metrics["service.tick.wall_s"]["count"] >= 2
+    assert metrics["service.tick.wall_s"]["sum"] > 0.0
+    assert metrics["service.backpressure.stalls"]["value"] > 0
+    assert metrics[f"service.group.{gid}.queue_depth"]["value"] == 2
+    assert metrics["service.queue.depth"]["value"] == 2
+    assert "service.health.worst" in metrics
+    # stats rows carry the per-cohort queue depth directly
+    assert mid_stats["groups"][0]["queue_depth"] == 2
+
+    # the /health surface mid-run: live, uncongested, scored rigs
+    assert mid_health["status"] == "ok" and mid_health["running"]
+    assert mid_health["backpressure"]["stalls"] > 0
+    assert mid_health["since_last_tick_s"] >= 0.0
+    assert [r["rig"] for r in mid_health["worst_rigs"]] in \
+        ([0, 1], [1, 0])  # sorted by score, 2 rigs attached
+    assert all(0.0 <= r["score"] <= 1.0 for r in mid_health["worst_rigs"])
+
+    # the client mirrors its own rig reports
+    assert [r["rig"] for r in client_health] == [0, 1]
+    assert all(r["windows"] >= 1 for r in client_health)
+
+    # cohort completion retires the per-cohort gauge (bounded cardinality)
+    assert f"service.group.{gid}.queue_depth" not in final_stats["metrics"]
+    assert "service.tick.wall_s" in final_stats["metrics"]
+
+
+def test_health_scoring_can_be_disabled():
+    from repro import observability as obs
+
+    assert not obs.get_registry().enabled  # scoring must not need metrics
+
+    async def main():
+        async with FleetService(tick_steps=1500,
+                                health_scores=False) as service:
+            client = await service.attach(hold(60.0, 1.5), seed=3,
+                                          fast_calibration=True)
+            await client.result()
+            return client.health(), service.health()
+
+    client_health, service_health = asyncio.run(main())
+    assert client_health == []  # no trackers were ever created
+    assert service_health["worst_rigs"] == []
+    assert service_health["status"] == "ok"
